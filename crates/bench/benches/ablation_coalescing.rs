@@ -1,0 +1,61 @@
+//! Ablation: the cost and behaviour of the two line-coalescing policies
+//! (the paper's plain-average rule vs. the probability-weighted refinement),
+//! plus the cost of running the main algorithm completely uncoalesced.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ttk_bench::{evaluation_area, P_TAU};
+use ttk_core::dp::{topk_score_distribution, MainConfig};
+use ttk_uncertain::{CoalescePolicy, ScoreDistribution};
+
+fn bench_policies(c: &mut Criterion) {
+    // Policy cost on a raw distribution with many lines.
+    let wide = ScoreDistribution::from_pairs((0..4_000).map(|i| (i as f64 * 0.37, 0.00025)));
+    let mut group = c.benchmark_group("ablation_coalesce_policy");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for policy in [CoalescePolicy::PaperMean, CoalescePolicy::WeightedMean] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{policy:?}")),
+            &policy,
+            |b, &policy| {
+                b.iter_batched(
+                    || wide.clone(),
+                    |mut d| d.coalesce(200, policy),
+                    criterion::BatchSize::SmallInput,
+                );
+            },
+        );
+    }
+    group.finish();
+
+    // End-to-end effect: main algorithm with and without coalescing.
+    let area = evaluation_area(80, 17);
+    let mut group = c.benchmark_group("ablation_coalescing_budget");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for max_lines in [0usize, 100, 400] {
+        let config = MainConfig {
+            p_tau: P_TAU,
+            max_lines,
+            track_witnesses: false,
+            ..MainConfig::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(if max_lines == 0 {
+                "exact".to_string()
+            } else {
+                max_lines.to_string()
+            }),
+            &config,
+            |b, config| {
+                b.iter(|| topk_score_distribution(area.table(), 10, config).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Ablation: the lead-tuple-region refinement of §3.3.3 against the simple
+//! per-ending decomposition of §3.3.2 on the same workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ttk_bench::{evaluation_area, FIG10_MAX_LINES, P_TAU};
+use ttk_core::dp::{topk_score_distribution, MainConfig, MeStrategy};
+
+fn bench_strategies(c: &mut Criterion) {
+    let area = evaluation_area(120, 23);
+    let table = area.table();
+    let mut group = c.benchmark_group("ablation_me_strategy");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for strategy in [MeStrategy::LeadRegions, MeStrategy::PerEnding] {
+        let config = MainConfig {
+            p_tau: P_TAU,
+            max_lines: FIG10_MAX_LINES,
+            track_witnesses: false,
+            me_strategy: strategy,
+            ..MainConfig::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{strategy:?}")),
+            &config,
+            |b, config| {
+                b.iter(|| topk_score_distribution(table, 15, config).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Figure 9: cost of computing the Theorem-2 scan depth as k grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ttk_bench::{evaluation_area, P_TAU};
+use ttk_core::scan_depth;
+
+fn bench_scan_depth(c: &mut Criterion) {
+    let area = evaluation_area(400, 9);
+    let table = area.table();
+    let mut group = c.benchmark_group("fig09_scan_depth");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for k in [10usize, 20, 30, 40, 50, 60] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| scan_depth(table, k, P_TAU).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scan_depth);
+criterion_main!(benches);

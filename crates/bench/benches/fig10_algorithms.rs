@@ -1,0 +1,70 @@
+//! Figure 10: execution time of the main algorithm vs. the StateExpansion
+//! and k-Combo baselines as k grows.
+//!
+//! The naive baselines grow exponentially with k (that is the figure's
+//! point), so they are benchmarked only at small k to keep `cargo bench`
+//! runnable; the main algorithm is measured across the full sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ttk_bench::{evaluation_area, FIG10_MAX_LINES, P_TAU};
+use ttk_core::dp::{topk_score_distribution, MainConfig};
+use ttk_core::state_expansion::NaiveConfig;
+use ttk_core::{k_combo, state_expansion};
+use ttk_uncertain::CoalescePolicy;
+
+fn configs() -> (MainConfig, NaiveConfig) {
+    (
+        MainConfig {
+            p_tau: P_TAU,
+            max_lines: FIG10_MAX_LINES,
+            track_witnesses: false,
+            ..MainConfig::default()
+        },
+        NaiveConfig {
+            p_tau: P_TAU,
+            max_lines: FIG10_MAX_LINES,
+            coalesce_policy: CoalescePolicy::PaperMean,
+            track_witnesses: false,
+        },
+    )
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    let area = evaluation_area(200, 9);
+    let table = area.table();
+    let (main_config, naive_config) = configs();
+
+    let mut group = c.benchmark_group("fig10_main");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for k in [10usize, 20, 30] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| topk_score_distribution(table, k, &main_config).unwrap());
+        });
+    }
+    group.finish();
+
+    // The naive baselines blow up exponentially on this workload (the point
+    // of Figure 10); keep their k small so the bench suite stays runnable.
+    let mut group = c.benchmark_group("fig10_state_expansion");
+    group.sample_size(10);
+    for k in [3usize, 4, 5] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| state_expansion(table, k, &naive_config).unwrap());
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("fig10_k_combo");
+    group.sample_size(10);
+    for k in [2usize, 3, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| k_combo(table, k, &naive_config).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Figure 11: execution time of the main algorithm as the portion of
+//! mutually-exclusive tuples grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ttk_bench::{synthetic_table, FIG10_MAX_LINES, P_TAU};
+use ttk_core::dp::{topk_score_distribution, MainConfig};
+use ttk_datagen::synthetic::{MePolicy, SyntheticConfig};
+
+fn bench_me_portion(c: &mut Criterion) {
+    let config = MainConfig {
+        p_tau: P_TAU,
+        max_lines: FIG10_MAX_LINES,
+        track_witnesses: false,
+        ..MainConfig::default()
+    };
+    let mut group = c.benchmark_group("fig11_me_portion");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for portion in [0.1f64, 0.3, 0.5] {
+        let table = synthetic_table(&SyntheticConfig {
+            tuples: 1_000,
+            me_policy: MePolicy {
+                portion,
+                ..MePolicy::default()
+            },
+            ..SyntheticConfig::default()
+        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{portion:.1}")),
+            &table,
+            |b, table| {
+                b.iter(|| topk_score_distribution(table, 20, &config).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_me_portion);
+criterion_main!(benches);

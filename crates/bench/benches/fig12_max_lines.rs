@@ -1,0 +1,34 @@
+//! Figure 12: execution time of the main algorithm as the line-coalescing
+//! budget grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ttk_bench::{evaluation_area, P_TAU};
+use ttk_core::dp::{topk_score_distribution, MainConfig};
+
+fn bench_max_lines(c: &mut Criterion) {
+    let area = evaluation_area(200, 9);
+    let table = area.table();
+    let mut group = c.benchmark_group("fig12_max_lines");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for max_lines in [50usize, 200, 500] {
+        let config = MainConfig {
+            p_tau: P_TAU,
+            max_lines,
+            track_witnesses: false,
+            ..MainConfig::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(max_lines),
+            &config,
+            |b, config| {
+                b.iter(|| topk_score_distribution(table, 10, config).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_max_lines);
+criterion_main!(benches);

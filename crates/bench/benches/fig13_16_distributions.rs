@@ -1,0 +1,23 @@
+//! Figures 13–16: cost of computing the top-10 score distribution (with
+//! witnesses, typical selection and the U-Topk marker) for each synthetic
+//! configuration of §5.4.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ttk_bench::{distribution_figure, synthetic_sweep, synthetic_table};
+
+fn bench_synthetic_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13_16_distribution_pipeline");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for (label, config) in synthetic_sweep() {
+        let table = synthetic_table(&config);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &table, |b, table| {
+            b.iter(|| distribution_figure("bench", table, 10));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_synthetic_sweep);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Cost of the c-Typical-Topk selection DP (§4) as the number of requested
+//! typical answers and the distribution size grow. The paper notes that once
+//! the distribution has been computed, re-running the selection for a
+//! different c is cheap; this bench quantifies that claim.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ttk_bench::{evaluation_area, P_TAU};
+use ttk_core::dp::{topk_score_distribution, MainConfig};
+use ttk_core::typical::typical_topk;
+
+fn bench_typical_selection(c: &mut Criterion) {
+    let area = evaluation_area(200, 9);
+    let mut group = c.benchmark_group("typical_selection");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for max_lines in [100usize, 300, 500] {
+        let config = MainConfig {
+            p_tau: P_TAU,
+            max_lines,
+            track_witnesses: false,
+            ..MainConfig::default()
+        };
+        let dist = topk_score_distribution(area.table(), 20, &config)
+            .unwrap()
+            .distribution;
+        for c_value in [1usize, 3, 10] {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("lines{}_c{}", dist.len(), c_value)),
+                &dist,
+                |b, dist| {
+                    b.iter(|| typical_topk(dist, c_value).unwrap());
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_typical_selection);
+criterion_main!(benches);

@@ -1,0 +1,167 @@
+//! Regenerates the data series behind every figure of the paper's evaluation
+//! section (§5) and prints them as plain-text tables.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p ttk-bench --bin figures           # all figures
+//! cargo run --release -p ttk-bench --bin figures -- 9 10   # only figures 9 and 10
+//! ```
+//!
+//! Figure numbers follow the paper: 3 (toy example), 8 (CarTel-like areas),
+//! 9 (scan depth), 10 (algorithm timings), 11 (ME portion), 12 (line budget),
+//! 13–16 (synthetic sweeps). `A1`/`A2` select the two ablations described in
+//! DESIGN.md.
+
+use ttk_bench::*;
+
+fn want(selected: &[String], figure: &str) -> bool {
+    selected.is_empty() || selected.iter().any(|s| s.eq_ignore_ascii_case(figure))
+}
+
+fn print_distribution(fig: &DistributionFigure) {
+    println!("--- {} ---", fig.label);
+    println!(
+        "lines: {}, captured mass: {:.4}, expected score: {:.2}",
+        fig.distribution.len(),
+        fig.distribution.total_probability(),
+        fig.expected_score
+    );
+    match (fig.u_topk_score, fig.u_topk_probability) {
+        (Some(score), Some(prob)) => println!(
+            "U-Topk score: {:.2} (probability {:.5}, percentile {:.3})",
+            score,
+            prob,
+            fig.u_topk_percentile().unwrap_or(f64::NAN)
+        ),
+        _ => println!("U-Topk: none"),
+    }
+    println!(
+        "3-Typical scores: {:?}",
+        fig.typical_scores
+            .iter()
+            .map(|s| (s * 100.0).round() / 100.0)
+            .collect::<Vec<_>>()
+    );
+    // Print the PMF as a 20-bucket histogram series (score_bucket_start, mass).
+    if let (Some(lo), Some(hi)) = (fig.distribution.min_score(), fig.distribution.max_score()) {
+        let width = if hi > lo { (hi - lo) / 20.0 } else { 1.0 };
+        if let Some(hist) = fig.distribution.histogram(width) {
+            println!("histogram (bucket_start, probability):");
+            for (i, mass) in hist.buckets.iter().enumerate() {
+                println!("  {:10.2}  {:.5}", hist.bucket_start(i), mass);
+            }
+        }
+    }
+    println!();
+}
+
+fn main() {
+    let selected: Vec<String> = std::env::args().skip(1).collect();
+
+    if want(&selected, "3") {
+        println!("==== Figure 3: toy soldier example ====");
+        print_distribution(&fig03_soldier());
+    }
+
+    if want(&selected, "8") {
+        println!("==== Figure 8: top-k congestion score distributions (CarTel-like areas) ====");
+        for fig in fig08_areas() {
+            print_distribution(&fig);
+        }
+    }
+
+    if want(&selected, "9") {
+        println!("==== Figure 9: k vs. scan depth n (p_tau = 0.001) ====");
+        println!("{:>6} {:>12}", "k", "scan depth");
+        for (k, depth) in fig09_scan_depth(&[10, 20, 30, 40, 50, 60]) {
+            println!("{k:>6} {depth:>12}");
+        }
+        println!();
+    }
+
+    if want(&selected, "10") {
+        println!("==== Figure 10: k vs. execution time (seconds) ====");
+        println!(
+            "{:>6} {:>14} {:>18} {:>14}",
+            "k", "main", "state-expansion", "k-combo"
+        );
+        // The naive algorithms grow exponentially on this workload; they are
+        // capped (StateExpansion at k = 5, k-Combo at k = 4) to keep the
+        // harness runnable — the blow-up is the figure's point.
+        for row in fig10_algorithms(&[2, 3, 4, 5, 10, 20, 30, 40, 50, 60], 5, 4) {
+            let fmt = |d: Option<std::time::Duration>| {
+                d.map(|d| format!("{:.3}", d.as_secs_f64()))
+                    .unwrap_or_else(|| "(skipped)".to_string())
+            };
+            println!(
+                "{:>6} {:>14.3} {:>18} {:>14}",
+                row.k,
+                row.main.as_secs_f64(),
+                fmt(row.state_expansion),
+                fmt(row.k_combo)
+            );
+        }
+        println!();
+    }
+
+    if want(&selected, "11") {
+        println!("==== Figure 11: ME tuple portion vs. execution time (k = 20) ====");
+        println!("{:>10} {:>12} {:>12}", "requested", "actual", "seconds");
+        for (requested, actual, time) in fig11_me_portion(&[0.1, 0.2, 0.3, 0.4, 0.5], 20) {
+            println!("{requested:>10.1} {actual:>12.3} {:>12.3}", time.as_secs_f64());
+        }
+        println!();
+    }
+
+    if want(&selected, "12") {
+        println!("==== Figure 12: maximum number of lines vs. execution time (k = 20) ====");
+        println!("{:>10} {:>12}", "max lines", "seconds");
+        for (lines, time) in fig12_max_lines(&[50, 100, 200, 300, 400, 500], 20) {
+            println!("{lines:>10} {:>12.3}", time.as_secs_f64());
+        }
+        println!();
+    }
+
+    let sweep_wanted = ["13", "14", "15", "16"]
+        .iter()
+        .any(|f| want(&selected, f));
+    if sweep_wanted {
+        println!("==== Figures 13-16: synthetic sweeps (k = 10) ====");
+        for fig in fig13_16_distributions() {
+            let number = if fig.label.contains("13") {
+                "13"
+            } else if fig.label.contains("14") {
+                "14"
+            } else if fig.label.contains("15") {
+                "15"
+            } else {
+                "16"
+            };
+            if want(&selected, number) {
+                print_distribution(&fig);
+            }
+        }
+    }
+
+    if want(&selected, "A1") {
+        println!("==== Ablation A1: line-coalescing accuracy (k = 5) ====");
+        println!("{:>10} {:>22}", "max lines", "EMD vs exact");
+        for (lines, emd) in ablation_coalescing(5, &[25, 50, 100, 200, 400]) {
+            println!("{lines:>10} {emd:>22.4}");
+        }
+        println!();
+    }
+
+    if want(&selected, "A2") {
+        println!("==== Ablation A2: lead-region refinement vs. per-ending decomposition (k = 20) ====");
+        let (lead, per_ending) = ablation_lead_regions(20);
+        println!("lead-region : {:.3} s", lead.as_secs_f64());
+        println!("per-ending  : {:.3} s", per_ending.as_secs_f64());
+        println!(
+            "speedup     : {:.2}x",
+            per_ending.as_secs_f64() / lead.as_secs_f64().max(1e-9)
+        );
+        println!();
+    }
+}

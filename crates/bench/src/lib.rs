@@ -1,0 +1,389 @@
+//! Shared workloads and data-series generators for the benchmark harness.
+//!
+//! Every figure of the paper's evaluation section (§5) corresponds to one
+//! `figNN_*` function here returning the data series the figure plots. The
+//! `figures` binary prints them; the Criterion benches re-measure the
+//! timing-based figures with statistical rigour. Keeping the logic in a
+//! library makes the series unit-testable.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+use ttk_core::baselines::{u_topk, UTopkConfig};
+use ttk_core::dp::{topk_score_distribution, MainConfig, MeStrategy};
+use ttk_core::state_expansion::NaiveConfig;
+use ttk_core::typical::typical_topk;
+use ttk_core::{k_combo, scan_depth, state_expansion};
+use ttk_datagen::cartel::{generate_area, Area, CartelConfig};
+use ttk_datagen::soldier;
+use ttk_datagen::synthetic::{generate, IntRange, MePolicy, SyntheticConfig};
+use ttk_uncertain::{CoalescePolicy, ScoreDistribution, UncertainTable};
+
+/// The probability threshold used throughout the evaluation (§5.3).
+pub const P_TAU: f64 = 1e-3;
+/// The line budget used by the timing experiments ("no more than 100 lines").
+pub const FIG10_MAX_LINES: usize = 100;
+
+/// A CarTel-like measurement area used by Figures 8–12.
+pub fn evaluation_area(segments: usize, seed: u64) -> Area {
+    generate_area(&CartelConfig {
+        segments,
+        seed,
+        ..CartelConfig::default()
+    })
+    .expect("area generation cannot fail for valid configurations")
+}
+
+/// The standard synthetic table of Figure 13a (ρ = 0, σ = 60).
+pub fn synthetic_table(config: &SyntheticConfig) -> UncertainTable {
+    generate(config).expect("synthetic generation cannot fail for valid configurations")
+}
+
+fn main_config(max_lines: usize, witnesses: bool) -> MainConfig {
+    MainConfig {
+        p_tau: P_TAU,
+        max_lines,
+        coalesce_policy: CoalescePolicy::PaperMean,
+        track_witnesses: witnesses,
+        me_strategy: MeStrategy::LeadRegions,
+    }
+}
+
+/// A distribution figure: the PMF plus the U-Topk and 3-Typical markers.
+#[derive(Debug, Clone)]
+pub struct DistributionFigure {
+    /// Label of the figure/sub-plot.
+    pub label: String,
+    /// The (coalesced) score distribution.
+    pub distribution: ScoreDistribution,
+    /// Total score of the U-Topk vector, when one exists.
+    pub u_topk_score: Option<f64>,
+    /// Probability of the U-Topk vector.
+    pub u_topk_probability: Option<f64>,
+    /// The 3-Typical-Topk scores.
+    pub typical_scores: Vec<f64>,
+    /// Expected total score.
+    pub expected_score: f64,
+}
+
+impl DistributionFigure {
+    /// Where the U-Topk score falls in the distribution (normalised CDF).
+    pub fn u_topk_percentile(&self) -> Option<f64> {
+        let score = self.u_topk_score?;
+        let total = self.distribution.total_probability();
+        (total > 0.0).then(|| self.distribution.cdf(score) / total)
+    }
+}
+
+/// Computes a distribution figure for a table and query size.
+pub fn distribution_figure(label: &str, table: &UncertainTable, k: usize) -> DistributionFigure {
+    let out = topk_score_distribution(table, k, &main_config(300, true))
+        .expect("main algorithm cannot fail for valid parameters");
+    let typical = typical_topk(&out.distribution, 3).expect("non-empty distribution");
+    let u = u_topk(table, k, &UTopkConfig::default())
+        .expect("search within expansion budget")
+        .map(|a| (a.vector.total_score(), a.vector.probability()));
+    DistributionFigure {
+        label: label.to_string(),
+        expected_score: out.distribution.expected_score(),
+        typical_scores: typical.scores(),
+        u_topk_score: u.map(|x| x.0),
+        u_topk_probability: u.map(|x| x.1),
+        distribution: out.distribution,
+    }
+}
+
+/// Figure 3: the toy soldier example (top-2 distribution, U-Top2 marker).
+pub fn fig03_soldier() -> DistributionFigure {
+    let table = soldier::table().expect("static table is valid");
+    let out = topk_score_distribution(
+        &table,
+        2,
+        &MainConfig {
+            p_tau: 1e-9,
+            max_lines: 0,
+            ..main_config(0, true)
+        },
+    )
+    .expect("main algorithm on the toy table");
+    let typical = typical_topk(&out.distribution, 3).expect("non-empty distribution");
+    let u = u_topk(&table, 2, &UTopkConfig::default())
+        .expect("search terminates")
+        .map(|a| (a.vector.total_score(), a.vector.probability()));
+    DistributionFigure {
+        label: "Figure 3: soldier toy example, top-2".to_string(),
+        expected_score: out.distribution.expected_score(),
+        typical_scores: typical.scores(),
+        u_topk_score: u.map(|x| x.0),
+        u_topk_probability: u.map(|x| x.1),
+        distribution: out.distribution,
+    }
+}
+
+/// Figure 8: congestion score distributions of top-k roads in three areas.
+pub fn fig08_areas() -> Vec<DistributionFigure> {
+    [(0u64, 5usize), (1, 5), (2, 10)]
+        .iter()
+        .map(|&(seed, k)| {
+            let area = evaluation_area(60, 100 + seed);
+            distribution_figure(
+                &format!("Figure 8{}: area seed {seed}, top-{k}", (b'a' + seed as u8) as char),
+                area.table(),
+                k,
+            )
+        })
+        .collect()
+}
+
+/// Figure 9: k vs. scan depth n (Theorem 2) on the CarTel-like area.
+pub fn fig09_scan_depth(ks: &[usize]) -> Vec<(usize, usize)> {
+    let area = evaluation_area(400, 9);
+    ks.iter()
+        .map(|&k| {
+            (
+                k,
+                scan_depth(area.table(), k, P_TAU).expect("valid parameters"),
+            )
+        })
+        .collect()
+}
+
+/// One row of the Figure 10 series.
+#[derive(Debug, Clone)]
+pub struct AlgorithmTiming {
+    /// Query size.
+    pub k: usize,
+    /// Main-algorithm execution time.
+    pub main: Duration,
+    /// StateExpansion execution time, when it was run for this k.
+    pub state_expansion: Option<Duration>,
+    /// k-Combo execution time, when it was run for this k.
+    pub k_combo: Option<Duration>,
+}
+
+/// Figure 10: execution time vs. k for the three algorithms. The naive
+/// algorithms grow exponentially on this workload (that is the figure's
+/// point), so each gets its own cap: StateExpansion is skipped above
+/// `se_max_k` and k-Combo above `kcombo_max_k`.
+pub fn fig10_algorithms(ks: &[usize], se_max_k: usize, kcombo_max_k: usize) -> Vec<AlgorithmTiming> {
+    let area = evaluation_area(400, 9);
+    let table = area.table();
+    let naive = NaiveConfig {
+        p_tau: P_TAU,
+        max_lines: FIG10_MAX_LINES,
+        coalesce_policy: CoalescePolicy::PaperMean,
+        track_witnesses: false,
+    };
+    ks.iter()
+        .map(|&k| {
+            let start = Instant::now();
+            topk_score_distribution(table, k, &main_config(FIG10_MAX_LINES, false))
+                .expect("main algorithm");
+            let main = start.elapsed();
+            let state_expansion = (k <= se_max_k).then(|| {
+                let start = Instant::now();
+                state_expansion(table, k, &naive).expect("state expansion");
+                start.elapsed()
+            });
+            let k_combo_time = (k <= kcombo_max_k).then(|| {
+                let start = Instant::now();
+                k_combo(table, k, &naive).expect("k-combo");
+                start.elapsed()
+            });
+            AlgorithmTiming {
+                k,
+                main,
+                state_expansion,
+                k_combo: k_combo_time,
+            }
+        })
+        .collect()
+}
+
+/// Figure 11: execution time of the main algorithm vs. the portion of tuples
+/// that are mutually exclusive with other tuples.
+pub fn fig11_me_portion(portions: &[f64], k: usize) -> Vec<(f64, f64, Duration)> {
+    portions
+        .iter()
+        .map(|&portion| {
+            let table = synthetic_table(&SyntheticConfig {
+                tuples: 2_000,
+                me_policy: MePolicy {
+                    portion,
+                    ..MePolicy::default()
+                },
+                ..SyntheticConfig::default()
+            });
+            let start = Instant::now();
+            topk_score_distribution(&table, k, &main_config(FIG10_MAX_LINES, false))
+                .expect("main algorithm");
+            (portion, table.me_tuple_portion(), start.elapsed())
+        })
+        .collect()
+}
+
+/// Figure 12: execution time of the main algorithm vs. the maximum number of
+/// lines kept by coalescing.
+pub fn fig12_max_lines(line_budgets: &[usize], k: usize) -> Vec<(usize, Duration)> {
+    let area = evaluation_area(400, 9);
+    line_budgets
+        .iter()
+        .map(|&lines| {
+            let start = Instant::now();
+            topk_score_distribution(area.table(), k, &main_config(lines, false))
+                .expect("main algorithm");
+            (lines, start.elapsed())
+        })
+        .collect()
+}
+
+/// Figures 13–16: the synthetic sweeps. Each entry is (label, config).
+pub fn synthetic_sweep() -> Vec<(String, SyntheticConfig)> {
+    let base = SyntheticConfig::default();
+    vec![
+        ("Figure 13a: rho = 0".to_string(), base),
+        (
+            "Figure 13b: rho = +0.8".to_string(),
+            SyntheticConfig {
+                correlation: 0.8,
+                ..base
+            },
+        ),
+        (
+            "Figure 13c: rho = -0.8".to_string(),
+            SyntheticConfig {
+                correlation: -0.8,
+                ..base
+            },
+        ),
+        (
+            "Figure 14: sigma = 100".to_string(),
+            SyntheticConfig {
+                score_std: 100.0,
+                ..base
+            },
+        ),
+        (
+            "Figure 15: ME gaps 1-40".to_string(),
+            SyntheticConfig {
+                me_policy: MePolicy {
+                    gap: IntRange::new(1, 40),
+                    ..MePolicy::default()
+                },
+                ..base
+            },
+        ),
+        (
+            "Figure 16: ME group sizes 2-10".to_string(),
+            SyntheticConfig {
+                me_policy: MePolicy {
+                    group_size: IntRange::new(2, 10),
+                    ..MePolicy::default()
+                },
+                ..base
+            },
+        ),
+    ]
+}
+
+/// Computes the distribution figures for the synthetic sweep (k = 10).
+pub fn fig13_16_distributions() -> Vec<DistributionFigure> {
+    synthetic_sweep()
+        .into_iter()
+        .map(|(label, config)| {
+            let table = synthetic_table(&config);
+            distribution_figure(&label, &table, 10)
+        })
+        .collect()
+}
+
+/// Ablation A1: accuracy of line coalescing — earth mover's distance between
+/// the exact and coalesced distributions as the line budget shrinks.
+pub fn ablation_coalescing(k: usize, line_budgets: &[usize]) -> Vec<(usize, f64)> {
+    let area = evaluation_area(40, 17);
+    let exact = topk_score_distribution(area.table(), k, &main_config(0, false))
+        .expect("exact run")
+        .distribution;
+    line_budgets
+        .iter()
+        .map(|&lines| {
+            let approx = topk_score_distribution(area.table(), k, &main_config(lines, false))
+                .expect("approximate run")
+                .distribution;
+            (lines, exact.earth_movers_distance(&approx))
+        })
+        .collect()
+}
+
+/// Ablation A2: the §3.3.3 lead-region refinement vs. the §3.3.2 per-ending
+/// decomposition, as wall-clock time on the same workload.
+pub fn ablation_lead_regions(k: usize) -> (Duration, Duration) {
+    let area = evaluation_area(150, 23);
+    let lead = {
+        let start = Instant::now();
+        topk_score_distribution(area.table(), k, &main_config(FIG10_MAX_LINES, false))
+            .expect("lead-region run");
+        start.elapsed()
+    };
+    let per_ending = {
+        let config = MainConfig {
+            me_strategy: MeStrategy::PerEnding,
+            ..main_config(FIG10_MAX_LINES, false)
+        };
+        let start = Instant::now();
+        topk_score_distribution(area.table(), k, &config).expect("per-ending run");
+        start.elapsed()
+    };
+    (lead, per_ending)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig03_matches_the_paper_numbers() {
+        let fig = fig03_soldier();
+        assert!((fig.expected_score - 164.1).abs() < 0.05);
+        assert_eq!(fig.u_topk_score, Some(118.0));
+        assert_eq!(fig.typical_scores, vec![118.0, 183.0, 235.0]);
+    }
+
+    #[test]
+    fn fig09_scan_depth_grows_with_k() {
+        let series = fig09_scan_depth(&[10, 20, 40]);
+        assert_eq!(series.len(), 3);
+        assert!(series[0].1 < series[1].1 && series[1].1 < series[2].1);
+    }
+
+    #[test]
+    fn fig10_runs_all_three_algorithms_for_small_k() {
+        let rows = fig10_algorithms(&[3], 3, 3);
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].state_expansion.is_some());
+        assert!(rows[0].k_combo.is_some());
+    }
+
+    #[test]
+    fn fig11_me_portion_is_monotone_in_the_request() {
+        let rows = fig11_me_portion(&[0.1, 0.5], 10);
+        assert!(rows[0].1 < rows[1].1);
+    }
+
+    #[test]
+    fn fig13_correlation_shifts_the_distribution() {
+        let table_pos = synthetic_table(&SyntheticConfig::with_correlation(0.8));
+        let table_neg = synthetic_table(&SyntheticConfig::with_correlation(-0.8));
+        let pos = distribution_figure("pos", &table_pos, 10);
+        let neg = distribution_figure("neg", &table_neg, 10);
+        assert!(pos.expected_score > neg.expected_score);
+    }
+
+    #[test]
+    fn ablation_coalescing_distance_shrinks_with_more_lines() {
+        let rows = ablation_coalescing(5, &[10, 200]);
+        assert!(rows[0].1 >= rows[1].1);
+    }
+}

@@ -1,0 +1,389 @@
+//! `ttk` — a small command line front end for typical top-k queries on
+//! uncertain data.
+//!
+//! Subcommands:
+//!
+//! * `ttk generate cartel|synthetic [options]` — write a CSV dataset to
+//!   stdout (or `--out FILE`).
+//! * `ttk query --file data.csv --score EXPR --k K [options]` — run a top-k
+//!   distribution query over a CSV file and print the histogram, the typical
+//!   answers and the U-Topk comparison point.
+//! * `ttk soldier` — print the paper's toy example end to end.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use ttk_core::{execute, Algorithm, TopkQuery};
+use ttk_datagen::cartel::{generate_area, CartelConfig};
+use ttk_datagen::soldier;
+use ttk_datagen::synthetic::{generate, IntRange, MePolicy, SyntheticConfig};
+use ttk_pdb::{
+    run_distribution_query, table_from_csv, table_to_csv, CsvOptions, DataType, DistributionQuery,
+    PTable, Schema,
+};
+use ttk_uncertain::ScoreDistribution;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!();
+            eprintln!("{}", usage());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "usage:
+  ttk soldier
+  ttk generate cartel   [--segments N] [--seed S] [--out FILE]
+  ttk generate synthetic [--tuples N] [--rho R] [--sigma S] [--me-size LO:HI] [--me-gap LO:HI] [--seed S] [--out FILE]
+  ttk query --file data.csv --score EXPR --k K
+            [--c C] [--p-tau P] [--max-lines N] [--algorithm main|per-ending|state-expansion|k-combo]
+            [--prob-column NAME] [--group-column NAME] [--buckets N]"
+}
+
+/// Parses `--key value` style flags into a map; bare words are positional.
+fn parse_flags(args: &[String]) -> Result<(Vec<String>, HashMap<String, String>), String> {
+    let mut positional = Vec::new();
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        if let Some(name) = arg.strip_prefix("--") {
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| format!("flag --{name} needs a value"))?;
+            flags.insert(name.to_string(), value.clone());
+            i += 2;
+        } else {
+            positional.push(arg.clone());
+            i += 1;
+        }
+    }
+    Ok((positional, flags))
+}
+
+fn get_parse<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    name: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| format!("invalid value `{raw}` for --{name}")),
+    }
+}
+
+fn parse_range(raw: &str) -> Result<IntRange, String> {
+    let (lo, hi) = raw
+        .split_once(':')
+        .ok_or_else(|| format!("expected LO:HI, got `{raw}`"))?;
+    let lo: u64 = lo.parse().map_err(|_| format!("invalid range `{raw}`"))?;
+    let hi: u64 = hi.parse().map_err(|_| format!("invalid range `{raw}`"))?;
+    if lo > hi {
+        return Err(format!("empty range `{raw}`"));
+    }
+    Ok(IntRange::new(lo, hi))
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(command) = args.first() else {
+        return Err("missing command".to_string());
+    };
+    let rest = &args[1..];
+    match command.as_str() {
+        "soldier" => cmd_soldier(),
+        "generate" => cmd_generate(rest),
+        "query" => cmd_query(rest),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn cmd_soldier() -> Result<(), String> {
+    let table = soldier::table().map_err(|e| e.to_string())?;
+    let query = TopkQuery::new(2).with_p_tau(1e-9).with_max_lines(0);
+    let answer = execute(&table, &query).map_err(|e| e.to_string())?;
+    println!("The soldier-monitoring example of the paper (k = 2):");
+    print_histogram(&answer.distribution, 14, &markers(&answer));
+    print_answer_summary(&answer);
+    Ok(())
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let (positional, flags) = parse_flags(args)?;
+    let kind = positional
+        .first()
+        .ok_or("generate needs a dataset kind: cartel or synthetic")?;
+    let seed = get_parse(&flags, "seed", 42u64)?;
+    let csv = match kind.as_str() {
+        "cartel" => {
+            let segments = get_parse(&flags, "segments", 60usize)?;
+            let area = generate_area(&CartelConfig {
+                segments,
+                seed,
+                ..CartelConfig::default()
+            })
+            .map_err(|e| e.to_string())?;
+            let schema = Schema::default()
+                .with("segment_id", DataType::Integer)
+                .with("speed_limit", DataType::Float)
+                .with("length", DataType::Float)
+                .with("delay", DataType::Float);
+            let mut table = PTable::new("area", schema);
+            for segment in &area.segments {
+                for bin in &segment.bins {
+                    table
+                        .insert(
+                            vec![
+                                (segment.segment_id as i64).into(),
+                                segment.speed_limit_kmh.into(),
+                                segment.length_m.into(),
+                                bin.delay_seconds.into(),
+                            ],
+                            bin.probability.clamp(1e-6, 1.0),
+                            Some(&format!("segment-{}", segment.segment_id)),
+                        )
+                        .map_err(|e| e.to_string())?;
+                }
+            }
+            table_to_csv(&table, &CsvOptions::default())
+        }
+        "synthetic" => {
+            let tuples = get_parse(&flags, "tuples", 300usize)?;
+            let rho = get_parse(&flags, "rho", 0.0f64)?;
+            let sigma = get_parse(&flags, "sigma", 60.0f64)?;
+            let group_size = match flags.get("me-size") {
+                Some(raw) => parse_range(raw)?,
+                None => IntRange::new(2, 3),
+            };
+            let gap = match flags.get("me-gap") {
+                Some(raw) => parse_range(raw)?,
+                None => IntRange::new(1, 8),
+            };
+            let table = generate(&SyntheticConfig {
+                tuples,
+                correlation: rho,
+                score_std: sigma,
+                me_policy: MePolicy {
+                    group_size,
+                    gap,
+                    portion: 1.0,
+                },
+                seed,
+                ..SyntheticConfig::default()
+            })
+            .map_err(|e| e.to_string())?;
+            // Export as a flat relation: score column + probability + group.
+            let schema = Schema::default().with("score", DataType::Float);
+            let mut out = PTable::new("synthetic", schema);
+            for pos in 0..table.len() {
+                let t = table.tuple(pos);
+                let group_label = {
+                    let members = table.group_members(pos);
+                    (members.len() > 1).then(|| format!("g{}", table.group_index(pos)))
+                };
+                out.insert(vec![t.score().into()], t.prob(), group_label.as_deref())
+                    .map_err(|e| e.to_string())?;
+            }
+            table_to_csv(&out, &CsvOptions::default())
+        }
+        other => return Err(format!("unknown dataset kind `{other}`")),
+    };
+    match flags.get("out") {
+        Some(path) => std::fs::write(path, csv).map_err(|e| e.to_string())?,
+        None => print!("{csv}"),
+    }
+    Ok(())
+}
+
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let (_, flags) = parse_flags(args)?;
+    let file = flags.get("file").ok_or("--file is required")?;
+    let score = flags.get("score").ok_or("--score is required")?;
+    let k = get_parse(&flags, "k", 0usize)?;
+    if k == 0 {
+        return Err("--k is required and must be at least 1".to_string());
+    }
+    let c = get_parse(&flags, "c", 3usize)?;
+    let p_tau = get_parse(&flags, "p-tau", 1e-3f64)?;
+    let max_lines = get_parse(&flags, "max-lines", 200usize)?;
+    let buckets = get_parse(&flags, "buckets", 16usize)?;
+    let algorithm = match flags.get("algorithm").map(String::as_str) {
+        None | Some("main") => Algorithm::Main,
+        Some("per-ending") => Algorithm::MainPerEnding,
+        Some("state-expansion") => Algorithm::StateExpansion,
+        Some("k-combo") => Algorithm::KCombo,
+        Some(other) => return Err(format!("unknown algorithm `{other}`")),
+    };
+    let csv_options = CsvOptions {
+        probability_column: flags
+            .get("prob-column")
+            .cloned()
+            .unwrap_or_else(|| "probability".to_string()),
+        group_column: Some(
+            flags
+                .get("group-column")
+                .cloned()
+                .unwrap_or_else(|| "group_key".to_string()),
+        ),
+    };
+
+    let text = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
+    let table = table_from_csv("data", &text, &csv_options).map_err(|e| e.to_string())?;
+    let query = DistributionQuery::new(score.clone(), k).with_topk(
+        TopkQuery::new(k)
+            .with_typical_count(c)
+            .with_p_tau(p_tau)
+            .with_max_lines(max_lines)
+            .with_algorithm(algorithm),
+    );
+    let result = run_distribution_query(&table, &query).map_err(|e| e.to_string())?;
+    println!(
+        "{} rows loaded from {file}; scoring expression: {}",
+        table.len(),
+        result.score_expression
+    );
+    print_histogram(&result.answer.distribution, buckets, &markers(&result.answer));
+    print_answer_summary(&result.answer);
+    Ok(())
+}
+
+fn markers(answer: &ttk_core::QueryAnswer) -> Vec<(f64, String)> {
+    let mut markers = Vec::new();
+    if let Some(u) = &answer.u_topk {
+        markers.push((u.vector.total_score(), "U-Topk".to_string()));
+    }
+    for (i, s) in answer.typical.scores().iter().enumerate() {
+        markers.push((*s, format!("typical #{}", i + 1)));
+    }
+    markers
+}
+
+fn print_histogram(distribution: &ScoreDistribution, buckets: usize, markers: &[(f64, String)]) {
+    let Some(lo) = distribution.min_score() else {
+        println!("(empty distribution)");
+        return;
+    };
+    let hi = distribution.max_score().unwrap_or(lo);
+    let width = if hi > lo { (hi - lo) / buckets as f64 } else { 1.0 };
+    let Some(hist) = distribution.histogram(width) else {
+        println!("(empty distribution)");
+        return;
+    };
+    let max_mass = hist.buckets.iter().cloned().fold(f64::MIN_POSITIVE, f64::max);
+    for (i, &mass) in hist.buckets.iter().enumerate() {
+        let start = hist.bucket_start(i);
+        let end = start + hist.width;
+        let bar = "#".repeat(((mass / max_mass) * 50.0).round() as usize);
+        let mut annotation = String::new();
+        for (value, label) in markers {
+            let in_last = i + 1 == hist.buckets.len() && *value >= start;
+            if (*value >= start && *value < end) || in_last {
+                annotation.push_str(&format!("  <-- {label} ({value:.1})"));
+            }
+        }
+        println!("[{start:9.2}, {end:9.2})  {mass:6.4}  {bar}{annotation}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn flag_parsing_separates_positionals_and_flags() {
+        let (pos, flags) = parse_flags(&s(&["cartel", "--segments", "40", "--seed", "7"])).unwrap();
+        assert_eq!(pos, vec!["cartel"]);
+        assert_eq!(flags.get("segments").unwrap(), "40");
+        assert_eq!(flags.get("seed").unwrap(), "7");
+        assert!(parse_flags(&s(&["--oops"])).is_err());
+    }
+
+    #[test]
+    fn flag_value_parsing_and_ranges() {
+        let (_, flags) = parse_flags(&s(&["--k", "5"])).unwrap();
+        assert_eq!(get_parse(&flags, "k", 0usize).unwrap(), 5);
+        assert_eq!(get_parse(&flags, "missing", 3usize).unwrap(), 3);
+        assert!(get_parse::<usize>(&flags, "k", 0).is_ok());
+        let (_, bad) = parse_flags(&s(&["--k", "five"])).unwrap();
+        assert!(get_parse::<usize>(&bad, "k", 0).is_err());
+        assert_eq!(parse_range("2:10").unwrap(), IntRange::new(2, 10));
+        assert!(parse_range("10:2").is_err());
+        assert!(parse_range("abc").is_err());
+    }
+
+    #[test]
+    fn unknown_commands_are_rejected_and_soldier_runs() {
+        assert!(run(&s(&["frobnicate"])).is_err());
+        assert!(run(&[]).is_err());
+        assert!(run(&s(&["soldier"])).is_ok());
+    }
+
+    #[test]
+    fn generate_and_query_round_trip_through_a_temp_file() {
+        let dir = std::env::temp_dir();
+        let data = dir.join("ttk_cli_test_area.csv");
+        let path = data.to_string_lossy().to_string();
+        run(&s(&[
+            "generate", "cartel", "--segments", "12", "--seed", "3", "--out", &path,
+        ]))
+        .unwrap();
+        run(&s(&[
+            "query",
+            "--file",
+            &path,
+            "--score",
+            "speed_limit / (length / delay)",
+            "--k",
+            "3",
+        ]))
+        .unwrap();
+        // Missing required flags are reported as errors.
+        assert!(run(&s(&["query", "--file", &path])).is_err());
+        assert!(run(&s(&["query", "--file", &path, "--score", "delay"])).is_err());
+        std::fs::remove_file(&data).ok();
+    }
+}
+
+fn print_answer_summary(answer: &ttk_core::QueryAnswer) {
+    println!();
+    println!(
+        "captured mass {:.4}, expected score {:.2}, std dev {:.2}, scan depth {}",
+        answer.distribution.total_probability(),
+        answer.expected_score(),
+        answer.distribution.std_dev(),
+        answer.scan_depth
+    );
+    println!("typical answers:");
+    for t in &answer.typical.answers {
+        match &t.vector {
+            Some(v) => println!("  score {:10.2}  {}", t.score, v),
+            None => println!("  score {:10.2}  (probability {:.4})", t.score, t.probability),
+        }
+    }
+    if let Some(u) = &answer.u_topk {
+        println!("U-Topk: {}", u.vector);
+        if let Some(p) = answer.u_topk_percentile() {
+            println!("U-Topk score percentile within the distribution: {:.3}", p);
+        }
+    }
+    println!(
+        "distribution computed in {:.3} s, typical selection in {:.6} s",
+        answer.distribution_time.as_secs_f64(),
+        answer.typical_time.as_secs_f64()
+    );
+}

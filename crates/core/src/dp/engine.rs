@@ -1,0 +1,296 @@
+//! The generic dynamic-programming engine shared by the main algorithm.
+//!
+//! The engine runs the bottom-up recurrence of §3.2 over an abstract sequence
+//! of [`DpRow`]s. A row is either a *simple* uncertain tuple or a *rule
+//! tuple* (§3.3.1) compressing an ME group into one row whose include branch
+//! enumerates the member tuples. Exit points (the auxiliary column 0 of the
+//! paper, §3.3.2) are enabled per row: a top-k vector may have its last
+//! (lowest-ranked) member at row `r` only when `exits[r]` is true.
+//!
+//! The drivers in [`super`] decide how tables are translated into rows and
+//! which exits are enabled; the engine is agnostic to those decisions.
+
+use ttk_uncertain::{CoalescePolicy, ScoreDistribution, TupleId};
+
+/// One row of the dynamic-programming table.
+#[derive(Debug, Clone)]
+pub enum DpRow {
+    /// A single uncertain tuple.
+    Simple {
+        /// Tuple id (for witness tracking).
+        id: TupleId,
+        /// Tuple score.
+        score: f64,
+        /// Membership probability.
+        prob: f64,
+    },
+    /// A compressed ME group ("rule tuple", §3.3.1): when included, exactly
+    /// one of the branches appears; when excluded, none of them appears.
+    Rule {
+        /// The member tuples: `(id, score, probability)`.
+        branches: Vec<(TupleId, f64, f64)>,
+    },
+}
+
+impl DpRow {
+    /// Probability that the row contributes no tuple (the exclude branch).
+    pub fn exclude_probability(&self) -> f64 {
+        match self {
+            DpRow::Simple { prob, .. } => (1.0 - prob).max(0.0),
+            DpRow::Rule { branches } => {
+                (1.0 - branches.iter().map(|b| b.2).sum::<f64>()).max(0.0)
+            }
+        }
+    }
+
+    /// Number of underlying uncertain tuples represented by the row.
+    pub fn width(&self) -> usize {
+        match self {
+            DpRow::Simple { .. } => 1,
+            DpRow::Rule { branches } => branches.len(),
+        }
+    }
+}
+
+/// Tuning knobs of the engine.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Maximum number of lines kept in any intermediate or final
+    /// distribution (`c'` of §3.2.1). Zero disables coalescing.
+    pub max_lines: usize,
+    /// How coalesced lines combine.
+    pub coalesce_policy: CoalescePolicy,
+    /// Whether witness vectors are tracked (needed for c-Typical-Topk; can be
+    /// disabled to save memory when only the PMF is needed).
+    pub track_witnesses: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            max_lines: 200,
+            coalesce_policy: CoalescePolicy::PaperMean,
+            track_witnesses: true,
+        }
+    }
+}
+
+/// Runs the dynamic program and returns the distribution of the total score
+/// of top-`k` selections over `rows`, where a selection may only have its
+/// last selected row at a position `r` with `exits[r] == true`.
+///
+/// `exits.len()` must equal `rows.len()`.
+pub fn run(rows: &[DpRow], exits: &[bool], k: usize, config: &EngineConfig) -> ScoreDistribution {
+    assert_eq!(rows.len(), exits.len(), "one exit flag per row");
+    if k == 0 || rows.is_empty() {
+        return ScoreDistribution::empty();
+    }
+
+    // `current[j]` holds D_{i+1, j} while processing row i (bottom-up).
+    // Column 0 is *not* stored: the recurrence consults `exits[i]` directly
+    // when it needs D_{i+1, 0}.
+    let mut current: Vec<ScoreDistribution> = vec![ScoreDistribution::empty(); k + 1];
+    let unit = if config.track_witnesses {
+        ScoreDistribution::unit()
+    } else {
+        ScoreDistribution::singleton(0.0, 1.0, None)
+    };
+
+    for i in (0..rows.len()).rev() {
+        let row = &rows[i];
+        let exclude_p = row.exclude_probability();
+        let mut next: Vec<ScoreDistribution> = vec![ScoreDistribution::empty(); k + 1];
+        // The number of selections still possible below row i is bounded by
+        // the number of tuples the remaining rows can contribute, but keeping
+        // the loop over all 1..=k is simpler and the empty distributions
+        // short-circuit immediately.
+        for j in 1..=k {
+            // Exclude branch: row i contributes nothing.
+            let mut dist = if exclude_p > 0.0 {
+                current[j].shifted_scaled(0.0, exclude_p, None)
+            } else {
+                ScoreDistribution::empty()
+            };
+            // Include branch: row i contributes one tuple; the remaining j-1
+            // selections come from below (or from the exit when j == 1).
+            let below: &ScoreDistribution = if j == 1 {
+                if exits[i] {
+                    &unit
+                } else {
+                    // Blocked exit point: distribution (0, 0), i.e. empty.
+                    &current[0]
+                }
+            } else {
+                &current[j - 1]
+            };
+            if !below.is_empty() {
+                match row {
+                    DpRow::Simple { id, score, prob } => {
+                        let prepend = config.track_witnesses.then_some(*id);
+                        dist.merge_from(&below.shifted_scaled(*score, *prob, prepend));
+                    }
+                    DpRow::Rule { branches } => {
+                        for (id, score, prob) in branches {
+                            let prepend = config.track_witnesses.then_some(*id);
+                            dist.merge_from(&below.shifted_scaled(*score, *prob, prepend));
+                        }
+                    }
+                }
+            }
+            if config.max_lines > 0 {
+                dist.coalesce(config.max_lines, config.coalesce_policy);
+            }
+            next[j] = dist;
+        }
+        // current[0] stays empty: it only models the blocked exit.
+        current = next;
+    }
+    std::mem::take(&mut current[k])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple(id: u64, score: f64, prob: f64) -> DpRow {
+        DpRow::Simple {
+            id: TupleId(id),
+            score,
+            prob,
+        }
+    }
+
+    fn cfg() -> EngineConfig {
+        EngineConfig {
+            max_lines: 0,
+            ..EngineConfig::default()
+        }
+    }
+
+    #[test]
+    fn exclude_probability_of_rows() {
+        assert!((simple(1, 5.0, 0.3).exclude_probability() - 0.7).abs() < 1e-12);
+        let rule = DpRow::Rule {
+            branches: vec![(TupleId(1), 5.0, 0.3), (TupleId(2), 4.0, 0.5)],
+        };
+        assert!((rule.exclude_probability() - 0.2).abs() < 1e-12);
+        assert_eq!(rule.width(), 2);
+        assert_eq!(simple(1, 5.0, 0.3).width(), 1);
+    }
+
+    #[test]
+    fn top1_of_two_independent_tuples() {
+        // Tuples: A (score 10, 0.5), B (score 4, 0.8).
+        // Top-1 = 10 with prob 0.5; 4 with prob 0.5*0.8 = 0.4.
+        let rows = vec![simple(1, 10.0, 0.5), simple(2, 4.0, 0.8)];
+        let d = run(&rows, &[true, true], 1, &cfg());
+        assert_eq!(d.len(), 2);
+        assert!((d.cdf(5.0) - 0.4).abs() < 1e-12);
+        assert!((d.total_probability() - 0.9).abs() < 1e-12);
+        // Witnesses recorded with their probabilities.
+        let ws = d.witness_vectors();
+        assert_eq!(ws.len(), 2);
+        assert_eq!(ws[1].ids(), &[TupleId(1)]);
+    }
+
+    #[test]
+    fn top2_requires_both_tuples() {
+        let rows = vec![simple(1, 10.0, 0.5), simple(2, 4.0, 0.8)];
+        let d = run(&rows, &[true, true], 2, &cfg());
+        assert_eq!(d.len(), 1);
+        assert!((d.points()[0].score - 14.0).abs() < 1e-12);
+        assert!((d.points()[0].probability - 0.4).abs() < 1e-12);
+        let w = d.points()[0].witness.as_ref().unwrap();
+        assert_eq!(w.ids, vec![TupleId(1), TupleId(2)]);
+    }
+
+    #[test]
+    fn blocked_exits_restrict_endings() {
+        // Only vectors ending at the second row are allowed.
+        let rows = vec![simple(1, 10.0, 0.5), simple(2, 4.0, 0.8)];
+        let d = run(&rows, &[false, true], 1, &cfg());
+        // Top-1 ending at row 1 means row 0 must be absent.
+        assert_eq!(d.len(), 1);
+        assert!((d.points()[0].score - 4.0).abs() < 1e-12);
+        assert!((d.points()[0].probability - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rule_rows_enumerate_members_top1() {
+        // One ME group {A: 10/0.3, B: 9/0.4} (both members ranked above the
+        // independent tuple C: 8/0.5), exits enabled everywhere, k = 1.
+        //
+        // Ground truth: top-1 = 10 with 0.3 (A appears); 9 with 0.4 (B
+        // appears, A automatically absent); 8 with 0.5·(1−0.7) = 0.15 (C
+        // appears, neither group member does).
+        let rule = DpRow::Rule {
+            branches: vec![(TupleId(1), 10.0, 0.3), (TupleId(2), 9.0, 0.4)],
+        };
+        let rows = vec![rule, simple(3, 8.0, 0.5)];
+        let d = run(&rows, &[true, true], 1, &cfg());
+        let probs: Vec<(f64, f64)> = d.pairs().collect();
+        assert_eq!(probs.len(), 3);
+        assert!((probs[0].0 - 8.0).abs() < 1e-12 && (probs[0].1 - 0.15).abs() < 1e-12);
+        assert!((probs[1].0 - 9.0).abs() < 1e-12 && (probs[1].1 - 0.4).abs() < 1e-12);
+        assert!((probs[2].0 - 10.0).abs() < 1e-12 && (probs[2].1 - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rule_rows_with_restricted_exit_top2() {
+        // Same data, but only vectors ending at C are allowed (the per-ending
+        // construction of §3.3.2), k = 2.
+        //
+        // Ground truth: <A, C> with 0.3·0.5 = 0.15 (score 18) and <B, C> with
+        // 0.4·0.5 = 0.2 (score 17).
+        let rule = DpRow::Rule {
+            branches: vec![(TupleId(1), 10.0, 0.3), (TupleId(2), 9.0, 0.4)],
+        };
+        let rows = vec![rule, simple(3, 8.0, 0.5)];
+        let d = run(&rows, &[false, true], 2, &cfg());
+        let probs: Vec<(f64, f64)> = d.pairs().collect();
+        assert_eq!(probs.len(), 2);
+        assert!((probs[0].0 - 17.0).abs() < 1e-12 && (probs[0].1 - 0.2).abs() < 1e-12);
+        assert!((probs[1].0 - 18.0).abs() < 1e-12 && (probs[1].1 - 0.15).abs() < 1e-12);
+        // Witness of score 17 is <B, C>.
+        let w = d.points()[0].witness.as_ref().unwrap();
+        assert_eq!(w.ids, vec![TupleId(2), TupleId(3)]);
+    }
+
+    #[test]
+    fn k_zero_or_empty_rows_give_empty_distribution() {
+        assert!(run(&[], &[], 3, &cfg()).is_empty());
+        let rows = vec![simple(1, 1.0, 0.5)];
+        assert!(run(&rows, &[true], 0, &cfg()).is_empty());
+    }
+
+    #[test]
+    fn witness_tracking_can_be_disabled() {
+        let rows = vec![simple(1, 10.0, 0.5), simple(2, 4.0, 0.8)];
+        let mut config = cfg();
+        config.track_witnesses = false;
+        let d = run(&rows, &[true, true], 1, &config);
+        assert!(d.points().iter().all(|p| p.witness.is_none()));
+    }
+
+    #[test]
+    fn coalescing_limits_lines() {
+        let rows: Vec<DpRow> = (0..40)
+            .map(|i| simple(i as u64, 1000.0 - i as f64 * 7.3, 0.5))
+            .collect();
+        let exits = vec![true; rows.len()];
+        let mut config = EngineConfig::default();
+        config.max_lines = 16;
+        let d = run(&rows, &exits, 3, &config);
+        assert!(d.len() <= 16);
+        assert!(d.total_probability() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn certain_tuples_concentrate_all_mass() {
+        let rows = vec![simple(1, 5.0, 1.0), simple(2, 3.0, 1.0), simple(3, 1.0, 1.0)];
+        let d = run(&rows, &[true, true, true], 2, &cfg());
+        assert_eq!(d.len(), 1);
+        assert!((d.points()[0].score - 8.0).abs() < 1e-12);
+        assert!((d.points()[0].probability - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,65 @@
+//! # ttk-core — score distributions and typical answers for top-k queries on uncertain data
+//!
+//! This crate implements the algorithms of *Top-k Queries on Uncertain Data:
+//! On Score Distribution and Typical Answers* (Ge, Zdonik, Madden — SIGMOD
+//! 2009) on top of the [`ttk_uncertain`] data model:
+//!
+//! * [`scan_depth`] — the Theorem-2 stopping condition bounding how many
+//!   rank-ordered tuples any algorithm must read.
+//! * [`dp`] — the main dynamic-programming algorithm for the top-k score
+//!   distribution, with line coalescing (§3.2.1), mutual-exclusion handling
+//!   via rule tuples and lead-tuple regions (§3.3), and score ties (§3.4).
+//! * [`state_expansion`] / [`k_combo`] — the two naive baselines of §3.1.
+//! * [`typical`] — the c-Typical-Topk selection dynamic program of §4.
+//! * [`baselines`] — the comparator semantics U-Topk, U-kRanks and PT-k, and
+//!   exhaustive possible-world ground truth.
+//! * [`query`] — a high-level API ([`TopkQuery`] / [`execute`]) running the
+//!   complete pipeline, used by the examples, the CLI and `ttk-pdb`.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use ttk_core::{execute, TopkQuery};
+//! use ttk_uncertain::UncertainTable;
+//!
+//! // The soldier-monitoring example of the paper (Figure 1).
+//! let table = UncertainTable::builder()
+//!     .tuple(1u64, 49.0, 0.4)?
+//!     .tuple(2u64, 60.0, 0.4)?
+//!     .tuple(3u64, 110.0, 0.4)?
+//!     .tuple(4u64, 80.0, 0.3)?
+//!     .tuple(5u64, 56.0, 1.0)?
+//!     .tuple(6u64, 58.0, 0.5)?
+//!     .tuple(7u64, 125.0, 0.3)?
+//!     .me_rule([2u64, 4, 7])
+//!     .me_rule([3u64, 6])
+//!     .build()?;
+//!
+//! let answer = execute(&table, &TopkQuery::new(2).with_p_tau(1e-9).with_max_lines(0))?;
+//! // The U-Top2 answer has score 118, far below the expected top-2 score.
+//! assert!((answer.expected_score() - 164.1).abs() < 0.05);
+//! assert_eq!(answer.typical.scores(), vec![118.0, 183.0, 235.0]);
+//! # Ok::<(), ttk_uncertain::Error>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod baselines;
+pub mod dp;
+pub mod k_combo;
+pub mod query;
+pub mod scan_depth;
+pub mod state_expansion;
+pub mod typical;
+
+pub use baselines::{u_topk, UTopkAnswer, UTopkConfig};
+pub use dp::{topk_score_distribution, MainConfig, MainOutput, MeStrategy};
+pub use k_combo::k_combo;
+pub use query::{execute, Algorithm, QueryAnswer, TopkQuery};
+pub use scan_depth::{scan_depth, stopping_threshold};
+pub use state_expansion::{state_expansion, BaselineOutput, NaiveConfig};
+pub use typical::{typical_topk, typical_topk_brute_force, TypicalAnswer, TypicalSelection};
+
+// Re-export the data model so downstream users need a single dependency.
+pub use ttk_uncertain as uncertain;

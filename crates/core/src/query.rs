@@ -1,0 +1,337 @@
+//! High-level query interface.
+//!
+//! [`TopkQuery`] bundles every knob of the paper's proposal — the query size
+//! `k`, the number of typical answers `c`, the probability threshold pτ, the
+//! line-coalescing budget and the algorithm choice — and [`execute`] runs the
+//! whole pipeline: score distribution → c-Typical-Topk selection → U-Topk
+//! comparison point. This is the API the examples, the CLI and the
+//! probabilistic-database layer (`ttk-pdb`) build on.
+
+use std::time::{Duration, Instant};
+
+use ttk_uncertain::{CoalescePolicy, Error, Result, ScoreDistribution, UncertainTable};
+
+use crate::baselines::u_topk::{u_topk, UTopkAnswer, UTopkConfig};
+use crate::dp::{topk_score_distribution, MainConfig, MeStrategy};
+use crate::k_combo::k_combo;
+use crate::state_expansion::{state_expansion, NaiveConfig};
+use crate::typical::{typical_topk, TypicalSelection};
+
+/// Which algorithm computes the score distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Algorithm {
+    /// The main dynamic-programming algorithm (§3.2–3.4) with the lead-region
+    /// refinement for ME groups. This is the default.
+    #[default]
+    Main,
+    /// The main algorithm with the simpler per-ending decomposition (§3.3.2);
+    /// slower but useful for ablation.
+    MainPerEnding,
+    /// The StateExpansion baseline (Figure 4).
+    StateExpansion,
+    /// The k-Combo baseline (§3.1).
+    KCombo,
+    /// Exhaustive possible-world enumeration (tiny tables only).
+    Exhaustive,
+}
+
+/// A fully specified typical top-k query.
+#[derive(Debug, Clone, Copy)]
+pub struct TopkQuery {
+    /// Number of tuples per answer vector.
+    pub k: usize,
+    /// Number of typical vectors to return (the `c` of c-Typical-Topk).
+    pub typical_count: usize,
+    /// Probability threshold pτ: vectors less likely than this may be
+    /// ignored (drives the Theorem-2 scan depth and state pruning).
+    pub p_tau: f64,
+    /// Maximum number of lines kept in any distribution (0 = exact).
+    pub max_lines: usize,
+    /// How coalesced lines combine.
+    pub coalesce_policy: CoalescePolicy,
+    /// Algorithm used to compute the score distribution.
+    pub algorithm: Algorithm,
+    /// Whether the U-Topk comparison answer is also computed.
+    pub compute_u_topk: bool,
+    /// Upper bound on possible worlds for [`Algorithm::Exhaustive`].
+    pub world_limit: u128,
+}
+
+impl TopkQuery {
+    /// A query with the defaults used throughout the paper's evaluation:
+    /// `c = 3`, pτ = 10⁻³, at most 200 lines, main algorithm, U-Topk
+    /// comparison enabled.
+    pub fn new(k: usize) -> Self {
+        TopkQuery {
+            k,
+            typical_count: 3,
+            p_tau: 1e-3,
+            max_lines: 200,
+            coalesce_policy: CoalescePolicy::PaperMean,
+            algorithm: Algorithm::Main,
+            compute_u_topk: true,
+            world_limit: 1 << 22,
+        }
+    }
+
+    /// Sets the number of typical answers.
+    pub fn with_typical_count(mut self, c: usize) -> Self {
+        self.typical_count = c;
+        self
+    }
+
+    /// Sets the probability threshold pτ.
+    pub fn with_p_tau(mut self, p_tau: f64) -> Self {
+        self.p_tau = p_tau;
+        self
+    }
+
+    /// Sets the line-coalescing budget (0 keeps every line).
+    pub fn with_max_lines(mut self, max_lines: usize) -> Self {
+        self.max_lines = max_lines;
+        self
+    }
+
+    /// Sets the coalescing policy.
+    pub fn with_coalesce_policy(mut self, policy: CoalescePolicy) -> Self {
+        self.coalesce_policy = policy;
+        self
+    }
+
+    /// Sets the algorithm.
+    pub fn with_algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Enables or disables the U-Topk comparison answer.
+    pub fn with_u_topk(mut self, compute: bool) -> Self {
+        self.compute_u_topk = compute;
+        self
+    }
+}
+
+/// The complete answer to a [`TopkQuery`].
+#[derive(Debug, Clone)]
+pub struct QueryAnswer {
+    /// The score distribution of top-k vectors (usage (1) of §2.2).
+    pub distribution: ScoreDistribution,
+    /// The c-Typical-Topk selection (usage (2) of §2.2).
+    pub typical: TypicalSelection,
+    /// The U-Topk answer, when requested and when one exists.
+    pub u_topk: Option<UTopkAnswer>,
+    /// Scan depth n used by the distribution algorithm (Theorem 2); zero for
+    /// the exhaustive algorithm.
+    pub scan_depth: usize,
+    /// Wall-clock time spent computing the distribution (excludes U-Topk).
+    pub distribution_time: Duration,
+    /// Wall-clock time spent selecting typical answers.
+    pub typical_time: Duration,
+}
+
+impl QueryAnswer {
+    /// Expected total score of the top-k vectors.
+    pub fn expected_score(&self) -> f64 {
+        self.distribution.expected_score()
+    }
+
+    /// Convenience accessor: where does the U-Topk score fall within the
+    /// distribution? Returns the normalized CDF value at the U-Topk score,
+    /// or `None` when U-Topk was not computed. Values close to 0 or 1 mean
+    /// the U-Topk answer is atypical.
+    pub fn u_topk_percentile(&self) -> Option<f64> {
+        let answer = self.u_topk.as_ref()?;
+        let total = self.distribution.total_probability();
+        if total <= 0.0 {
+            return None;
+        }
+        Some(self.distribution.cdf(answer.vector.total_score()) / total)
+    }
+}
+
+/// Executes a [`TopkQuery`] against an uncertain table.
+///
+/// # Errors
+///
+/// Propagates parameter validation errors from the underlying algorithms
+/// (`k == 0`, pτ out of range, `typical_count == 0`, too many possible
+/// worlds for the exhaustive algorithm, …).
+pub fn execute(table: &UncertainTable, query: &TopkQuery) -> Result<QueryAnswer> {
+    if query.typical_count == 0 {
+        return Err(Error::InvalidParameter(
+            "the number of typical answers c must be at least 1".into(),
+        ));
+    }
+    let start = Instant::now();
+    let (distribution, scan_depth) = match query.algorithm {
+        Algorithm::Main | Algorithm::MainPerEnding => {
+            let config = MainConfig {
+                p_tau: query.p_tau,
+                max_lines: query.max_lines,
+                coalesce_policy: query.coalesce_policy,
+                track_witnesses: true,
+                me_strategy: if query.algorithm == Algorithm::Main {
+                    MeStrategy::LeadRegions
+                } else {
+                    MeStrategy::PerEnding
+                },
+            };
+            let out = topk_score_distribution(table, query.k, &config)?;
+            (out.distribution, out.scan_depth)
+        }
+        Algorithm::StateExpansion | Algorithm::KCombo => {
+            let config = NaiveConfig {
+                p_tau: query.p_tau,
+                max_lines: query.max_lines,
+                coalesce_policy: query.coalesce_policy,
+                track_witnesses: true,
+            };
+            let out = if query.algorithm == Algorithm::StateExpansion {
+                state_expansion(table, query.k, &config)?
+            } else {
+                k_combo(table, query.k, &config)?
+            };
+            (out.distribution, out.scan_depth)
+        }
+        Algorithm::Exhaustive => {
+            let dist = crate::baselines::exhaustive::exhaustive_topk_distribution(
+                table,
+                query.k,
+                query.world_limit,
+            )?;
+            (dist, 0)
+        }
+    };
+    let distribution_time = start.elapsed();
+
+    if distribution.is_empty() {
+        return Err(Error::InvalidParameter(format!(
+            "the table admits no top-{} vector (fewer than k compatible tuples)",
+            query.k
+        )));
+    }
+
+    let typical_start = Instant::now();
+    let typical = typical_topk(&distribution, query.typical_count)?;
+    let typical_time = typical_start.elapsed();
+
+    let u_topk_answer = if query.compute_u_topk {
+        u_topk(table, query.k, &UTopkConfig::default())?
+    } else {
+        None
+    };
+
+    Ok(QueryAnswer {
+        distribution,
+        typical,
+        u_topk: u_topk_answer,
+        scan_depth,
+        distribution_time,
+        typical_time,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ttk_uncertain::TupleId;
+
+    fn soldier_table() -> UncertainTable {
+        UncertainTable::builder()
+            .tuple(1u64, 49.0, 0.4)
+            .unwrap()
+            .tuple(2u64, 60.0, 0.4)
+            .unwrap()
+            .tuple(3u64, 110.0, 0.4)
+            .unwrap()
+            .tuple(4u64, 80.0, 0.3)
+            .unwrap()
+            .tuple(5u64, 56.0, 1.0)
+            .unwrap()
+            .tuple(6u64, 58.0, 0.5)
+            .unwrap()
+            .tuple(7u64, 125.0, 0.3)
+            .unwrap()
+            .me_rule([2u64, 4, 7])
+            .me_rule([3u64, 6])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn end_to_end_soldier_query() {
+        let table = soldier_table();
+        let query = TopkQuery::new(2).with_p_tau(1e-9).with_max_lines(0);
+        let answer = execute(&table, &query).unwrap();
+        assert!((answer.expected_score() - 164.1).abs() < 0.05);
+        assert_eq!(answer.typical.scores(), vec![118.0, 183.0, 235.0]);
+        let u = answer.u_topk.as_ref().unwrap();
+        assert_eq!(u.vector.ids(), &[TupleId(2), TupleId(6)]);
+        // The U-Top2 score of 118 sits in the lowest quarter of the
+        // distribution — the "atypical" observation of §1.
+        assert!(answer.u_topk_percentile().unwrap() < 0.25);
+        assert!(answer.scan_depth == table.len());
+    }
+
+    #[test]
+    fn all_algorithms_agree_on_expected_score() {
+        let table = soldier_table();
+        let mut expected = Vec::new();
+        for algorithm in [
+            Algorithm::Main,
+            Algorithm::MainPerEnding,
+            Algorithm::StateExpansion,
+            Algorithm::KCombo,
+            Algorithm::Exhaustive,
+        ] {
+            let query = TopkQuery::new(2)
+                .with_p_tau(1e-9)
+                .with_max_lines(0)
+                .with_algorithm(algorithm)
+                .with_u_topk(false);
+            let answer = execute(&table, &query).unwrap();
+            expected.push(answer.expected_score());
+        }
+        for pair in expected.windows(2) {
+            assert!((pair[0] - pair[1]).abs() < 1e-6, "{expected:?}");
+        }
+    }
+
+    #[test]
+    fn builder_methods_set_fields() {
+        let q = TopkQuery::new(7)
+            .with_typical_count(5)
+            .with_p_tau(0.01)
+            .with_max_lines(64)
+            .with_coalesce_policy(CoalescePolicy::WeightedMean)
+            .with_algorithm(Algorithm::KCombo)
+            .with_u_topk(false);
+        assert_eq!(q.k, 7);
+        assert_eq!(q.typical_count, 5);
+        assert_eq!(q.p_tau, 0.01);
+        assert_eq!(q.max_lines, 64);
+        assert_eq!(q.coalesce_policy, CoalescePolicy::WeightedMean);
+        assert_eq!(q.algorithm, Algorithm::KCombo);
+        assert!(!q.compute_u_topk);
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        let table = soldier_table();
+        assert!(execute(&table, &TopkQuery::new(0)).is_err());
+        assert!(execute(&table, &TopkQuery::new(2).with_typical_count(0)).is_err());
+        // k larger than the table can support.
+        assert!(execute(&table, &TopkQuery::new(10)).is_err());
+    }
+
+    #[test]
+    fn typical_answers_lie_inside_the_distribution_span() {
+        let table = soldier_table();
+        let answer = execute(&table, &TopkQuery::new(3)).unwrap();
+        let lo = answer.distribution.min_score().unwrap();
+        let hi = answer.distribution.max_score().unwrap();
+        for score in answer.typical.scores() {
+            assert!(score >= lo && score <= hi);
+        }
+    }
+}

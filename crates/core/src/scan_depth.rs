@@ -1,0 +1,167 @@
+//! Scan depth: how many rank-ordered tuples the algorithms must examine.
+//!
+//! Theorem 2 of the paper gives a stopping condition for the sequential scan
+//! of tuples in rank order: once the accumulated probability mass μ of the
+//! higher-ranked tuples (excluding the current tuple's own ME group) reaches
+//!
+//! ```text
+//! μ ≥ k + ln(1/pτ) + sqrt(ln²(1/pτ) + 2·k·ln(1/pτ)) + 1
+//! ```
+//!
+//! no tuple from that point on can be in the top-k with probability pτ or
+//! more, and consequently no k-tuple vector with probability ≥ pτ is missed.
+//! The scan always stops at the end of a tie group, because a tie group is
+//! either entirely needed or entirely not needed.
+
+use ttk_uncertain::{Error, Result, UncertainTable};
+
+/// The right-hand side of the Theorem 2 inequality.
+///
+/// `k` is the query size and `p_tau` the probability threshold below which
+/// top-k vectors may be ignored.
+pub fn stopping_threshold(k: usize, p_tau: f64) -> f64 {
+    let k = k as f64;
+    let l = (1.0 / p_tau).ln();
+    k + l + (l * l + 2.0 * k * l).sqrt() + 1.0
+}
+
+/// Computes the scan depth `n` for a table: the number of highest-ranked
+/// tuples that must be considered so that no top-k vector with probability at
+/// least `p_tau` is missed.
+///
+/// Returns the table length when the stopping condition is never met.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidParameter`] when `k == 0` or `p_tau` is not in
+/// `(0, 1)`.
+pub fn scan_depth(table: &UncertainTable, k: usize, p_tau: f64) -> Result<usize> {
+    if k == 0 {
+        return Err(Error::InvalidParameter("k must be at least 1".into()));
+    }
+    if !(p_tau > 0.0 && p_tau < 1.0) {
+        return Err(Error::InvalidParameter(format!(
+            "probability threshold pτ must be in (0, 1), got {p_tau}"
+        )));
+    }
+    let threshold = stopping_threshold(k, p_tau);
+    for pos in 0..table.len() {
+        if table.mu(pos) >= threshold {
+            // Stop at the end of the tie group containing the previous tuple:
+            // tuples with the same score as the stopping tuple are either all
+            // needed or all unneeded, and the conservative choice is to keep
+            // the whole group (§3.1).
+            return Ok(if pos == 0 { 0 } else { table.tie_group_end(pos - 1) });
+        }
+    }
+    Ok(table.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ttk_uncertain::UncertainTable;
+
+    fn uniform_table(n: usize, prob: f64) -> UncertainTable {
+        UncertainTable::new(
+            (0..n)
+                .map(|i| {
+                    ttk_uncertain::UncertainTuple::new(i as u64, (n - i) as f64, prob).unwrap()
+                })
+                .collect(),
+            Vec::new(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn threshold_grows_with_k_and_shrinks_with_p_tau() {
+        assert!(stopping_threshold(10, 0.001) < stopping_threshold(20, 0.001));
+        assert!(stopping_threshold(10, 0.001) > stopping_threshold(10, 0.01));
+        // Sanity: threshold is always at least k + 1.
+        for k in [1usize, 5, 50] {
+            assert!(stopping_threshold(k, 0.001) > k as f64 + 1.0);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let t = uniform_table(10, 0.5);
+        assert!(scan_depth(&t, 0, 0.001).is_err());
+        assert!(scan_depth(&t, 2, 0.0).is_err());
+        assert!(scan_depth(&t, 2, 1.0).is_err());
+    }
+
+    #[test]
+    fn small_tables_are_fully_scanned() {
+        let t = uniform_table(20, 0.5);
+        assert_eq!(scan_depth(&t, 5, 0.001).unwrap(), 20);
+    }
+
+    #[test]
+    fn depth_is_bounded_and_grows_with_k() {
+        let t = uniform_table(2000, 0.5);
+        let d5 = scan_depth(&t, 5, 0.001).unwrap();
+        let d20 = scan_depth(&t, 20, 0.001).unwrap();
+        let d60 = scan_depth(&t, 60, 0.001).unwrap();
+        assert!(d5 < d20 && d20 < d60, "{d5} {d20} {d60}");
+        assert!(d60 < 2000);
+        // The depth must exceed k (we need at least k tuples).
+        assert!(d5 > 5 && d20 > 20 && d60 > 60);
+    }
+
+    #[test]
+    fn depth_grows_when_p_tau_shrinks() {
+        let t = uniform_table(2000, 0.5);
+        let loose = scan_depth(&t, 10, 0.01).unwrap();
+        let tight = scan_depth(&t, 10, 0.0001).unwrap();
+        assert!(tight >= loose);
+    }
+
+    #[test]
+    fn certain_tuples_need_roughly_k_plus_threshold_tuples() {
+        // With probability-1 tuples, μ at position i is exactly i, so the
+        // depth is close to the threshold itself.
+        let t = uniform_table(1000, 1.0);
+        let d = scan_depth(&t, 10, 0.001).unwrap();
+        assert_eq!(d, stopping_threshold(10, 0.001).ceil() as usize);
+    }
+
+    #[test]
+    fn stops_at_tie_group_boundary() {
+        // 100 certain tuples, all with the same score: the stopping condition
+        // triggers inside the tie group, so the whole group must be kept.
+        let t = UncertainTable::new(
+            (0..100)
+                .map(|i| ttk_uncertain::UncertainTuple::new(i as u64, 42.0, 1.0).unwrap())
+                .collect(),
+            Vec::new(),
+        )
+        .unwrap();
+        assert_eq!(scan_depth(&t, 3, 0.01).unwrap(), 100);
+    }
+
+    #[test]
+    fn me_groups_inflate_depth() {
+        // Tuples that are mutually exclusive with many others contribute less
+        // μ mass (their own group is excluded), so the scan goes deeper.
+        let independent = uniform_table(3000, 0.25);
+        let mut builder = UncertainTable::builder();
+        let mut rules: Vec<Vec<u64>> = Vec::new();
+        for i in 0..3000u64 {
+            builder.push(
+                ttk_uncertain::UncertainTuple::new(i, (3000 - i) as f64, 0.25).unwrap(),
+            );
+        }
+        for chunk in 0..750u64 {
+            rules.push((0..4).map(|j| chunk * 4 + j).collect());
+        }
+        for r in &rules {
+            builder.add_me_rule(r.iter().copied());
+        }
+        let grouped = builder.build().unwrap();
+        let d_ind = scan_depth(&independent, 10, 0.001).unwrap();
+        let d_grp = scan_depth(&grouped, 10, 0.001).unwrap();
+        assert!(d_grp >= d_ind);
+    }
+}

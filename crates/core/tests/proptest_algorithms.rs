@@ -1,0 +1,193 @@
+//! Property-based cross-validation of every algorithm against exhaustive
+//! possible-world enumeration on random small tables (with score ties and
+//! mutual-exclusion groups).
+
+use proptest::prelude::*;
+use ttk_core::baselines::{exhaustive_u_topk, u_topk, UTopkConfig};
+use ttk_core::dp::{topk_score_distribution, MainConfig, MeStrategy};
+use ttk_core::state_expansion::NaiveConfig;
+use ttk_core::typical::{typical_topk, typical_topk_brute_force};
+use ttk_core::{k_combo, state_expansion};
+use ttk_uncertain::{
+    exact_topk_score_distribution, ScoreDistribution, UncertainTable, UncertainTuple,
+};
+
+/// Random small table with ties (small integer score range) and greedy ME
+/// grouping.
+fn small_table() -> impl Strategy<Value = UncertainTable> {
+    let tuple = (0u64..1000, 0i32..8, 1u32..=10)
+        .prop_map(|(id, score, p)| (id, score as f64, p as f64 / 10.0));
+    (proptest::collection::vec(tuple, 1..9), any::<bool>()).prop_map(|(mut raw, group_dense)| {
+        raw.sort_by_key(|r| r.0);
+        raw.dedup_by_key(|r| r.0);
+        let tuples: Vec<UncertainTuple> = raw
+            .iter()
+            .map(|&(id, s, p)| UncertainTuple::new(id, s, p).unwrap())
+            .collect();
+        let max_group = if group_dense { 4 } else { 2 };
+        let mut rules: Vec<Vec<u64>> = Vec::new();
+        let mut current: Vec<u64> = Vec::new();
+        let mut current_sum = 0.0;
+        for t in &tuples {
+            if current.len() < max_group && current_sum + t.prob() <= 1.0 {
+                current.push(t.id().raw());
+                current_sum += t.prob();
+            } else {
+                if current.len() > 1 {
+                    rules.push(current.clone());
+                }
+                current = vec![t.id().raw()];
+                current_sum = t.prob();
+            }
+        }
+        if current.len() > 1 {
+            rules.push(current);
+        }
+        UncertainTable::new(
+            tuples,
+            rules
+                .into_iter()
+                .map(|r| r.into_iter().map(Into::into).collect())
+                .collect(),
+        )
+        .unwrap()
+    })
+}
+
+fn assert_close(a: &ScoreDistribution, b: &ScoreDistribution, label: &str) {
+    assert_eq!(a.len(), b.len(), "{label}: line count {} vs {}", a.len(), b.len());
+    for (pa, pb) in a.points().iter().zip(b.points()) {
+        assert!(
+            (pa.score - pb.score).abs() < 1e-9,
+            "{label}: score {} vs {}",
+            pa.score,
+            pb.score
+        );
+        assert!(
+            (pa.probability - pb.probability).abs() < 1e-9,
+            "{label}: probability at score {}: {} vs {}",
+            pa.score,
+            pa.probability,
+            pb.probability
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The main DP (both ME strategies), StateExpansion and k-Combo all
+    /// reproduce the exhaustive score distribution exactly when pruning and
+    /// coalescing are disabled.
+    #[test]
+    fn all_algorithms_match_exhaustive(table in small_table(), k in 1usize..5) {
+        let exact = exact_topk_score_distribution(&table, k, 1 << 24).unwrap();
+
+        for strategy in [MeStrategy::LeadRegions, MeStrategy::PerEnding] {
+            let config = MainConfig {
+                p_tau: 1e-12,
+                max_lines: 0,
+                me_strategy: strategy,
+                ..MainConfig::default()
+            };
+            let got = topk_score_distribution(&table, k, &config).unwrap();
+            assert_close(&got.distribution, &exact, &format!("main/{strategy:?} k={k}"));
+        }
+
+        let naive = NaiveConfig { p_tau: 1e-12, max_lines: 0, ..NaiveConfig::default() };
+        let se = state_expansion(&table, k, &naive).unwrap();
+        assert_close(&se.distribution, &exact, &format!("state-expansion k={k}"));
+        let kc = k_combo(&table, k, &naive).unwrap();
+        assert_close(&kc.distribution, &exact, &format!("k-combo k={k}"));
+    }
+
+    /// The best-first U-Topk search finds a vector whose probability equals
+    /// the maximum probability over all vectors found by enumeration.
+    ///
+    /// (Under score ties the two approaches may pick different but equally
+    /// probable vectors; under the prefix semantics the search probability
+    /// never exceeds the enumeration optimum.)
+    #[test]
+    fn u_topk_probability_is_maximal(table in small_table(), k in 1usize..4) {
+        let exact = exhaustive_u_topk(&table, k, 1 << 24).unwrap();
+        let got = u_topk(&table, k, &UTopkConfig::default()).unwrap();
+        match (exact, got) {
+            (None, None) => {}
+            (Some((_, best)), Some(answer)) => {
+                prop_assert!(answer.vector.probability() <= best + 1e-9);
+                // Without ties the probabilities must match exactly.
+                let has_ties = table.tie_groups().iter().any(|g| g.len() > 1);
+                if !has_ties {
+                    prop_assert!(
+                        (answer.vector.probability() - best).abs() < 1e-9,
+                        "{} vs {}",
+                        answer.vector.probability(),
+                        best
+                    );
+                }
+            }
+            (exact, got) => {
+                return Err(TestCaseError::fail(format!(
+                    "existence mismatch: exhaustive={:?} search={:?}",
+                    exact.is_some(),
+                    got.is_some()
+                )));
+            }
+        }
+    }
+
+    /// The typical-selection DP achieves the same optimal objective as brute
+    /// force, and its reported objective is consistent with the scores it
+    /// returns.
+    #[test]
+    fn typical_selection_is_optimal(table in small_table(), k in 1usize..4, c in 1usize..5) {
+        let dist = exact_topk_score_distribution(&table, k, 1 << 24).unwrap();
+        if dist.is_empty() {
+            return Ok(());
+        }
+        let fast = typical_topk(&dist, c).unwrap();
+        let slow = typical_topk_brute_force(&dist, c).unwrap();
+        prop_assert!((fast.expected_distance - slow.expected_distance).abs() < 1e-9,
+            "c={c}: {} vs {}", fast.expected_distance, slow.expected_distance);
+        let recomputed = dist.expected_min_distance(&fast.scores());
+        prop_assert!((recomputed - fast.expected_distance).abs() < 1e-9);
+    }
+
+    /// Coalesced and pruned runs never report more than the allowed number of
+    /// lines, never exceed unit mass, and keep the expected score within the
+    /// exact distribution's span.
+    #[test]
+    fn approximation_stays_sane(table in small_table(), k in 1usize..4, max_lines in 1usize..12) {
+        let exact = exact_topk_score_distribution(&table, k, 1 << 24).unwrap();
+        if exact.is_empty() {
+            return Ok(());
+        }
+        let config = MainConfig {
+            p_tau: 1e-3,
+            max_lines,
+            ..MainConfig::default()
+        };
+        let got = topk_score_distribution(&table, k, &config).unwrap().distribution;
+        prop_assert!(got.len() <= max_lines);
+        prop_assert!(got.total_probability() <= 1.0 + 1e-9);
+        if !got.is_empty() {
+            let lo = exact.min_score().unwrap();
+            let hi = exact.max_score().unwrap();
+            prop_assert!(got.expected_score() >= lo - 1e-9 && got.expected_score() <= hi + 1e-9);
+        }
+    }
+
+    /// The scan depth never cuts off more than pτ worth of top-k vector mass:
+    /// running the DP with the Theorem-2 truncation captures at least the
+    /// exhaustive mass minus a generous multiple of pτ.
+    #[test]
+    fn scan_depth_preserves_mass(table in small_table(), k in 1usize..4) {
+        let exact = exact_topk_score_distribution(&table, k, 1 << 24).unwrap();
+        let config = MainConfig { p_tau: 1e-3, max_lines: 0, ..MainConfig::default() };
+        let got = topk_score_distribution(&table, k, &config).unwrap().distribution;
+        // Tiny tables are never truncated, so the masses must agree almost
+        // exactly; the tolerance accounts for the per-vector pτ pruning
+        // guarantee only.
+        prop_assert!(got.total_probability() >= exact.total_probability() - 1e-2);
+    }
+}

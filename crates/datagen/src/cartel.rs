@@ -1,0 +1,281 @@
+//! A CarTel-like road-delay workload (§5.1–5.3 substitution).
+//!
+//! The paper's real dataset consists of road-segment travel-delay
+//! measurements collected by the CarTel vehicular testbed in the greater
+//! Boston area. That dataset is not publicly available, so this module
+//! simulates a structurally equivalent workload:
+//!
+//! * an *area* contains many road segments, each with a length, a speed
+//!   limit and a latent congestion level;
+//! * each segment is measured several times; measured delays scatter
+//!   (log-normally) around the latent delay;
+//! * the measurements of a segment are binned, each bin becoming one
+//!   uncertain tuple whose value is the bin average and whose probability is
+//!   the bin's relative frequency — exactly the procedure §5.2 describes;
+//! * all bins of a segment form one mutual-exclusion group (the segment has
+//!   only one true delay), so a top-k answer always contains k distinct road
+//!   segments;
+//! * the ranking score is the paper's congestion score
+//!   `speed_limit / (length / delay)`.
+//!
+//! The absolute numbers differ from the CarTel data, but the structural
+//! properties the evaluation depends on (one ME group per segment, group
+//! probabilities summing to one, scores spread within a group) are preserved.
+
+use ttk_uncertain::{Result, TupleId, UncertainTable, UncertainTuple};
+
+use crate::rng::DataRng;
+
+/// One simulated delay measurement bin (i.e. one uncertain tuple) of a road
+/// segment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DelayBin {
+    /// Tuple id used in the generated table.
+    pub tuple_id: TupleId,
+    /// Average delay of the bin, in seconds.
+    pub delay_seconds: f64,
+    /// Relative frequency of the bin (the tuple's membership probability).
+    pub probability: f64,
+    /// The congestion score `speed_limit / (length / delay)`.
+    pub congestion_score: f64,
+}
+
+/// One simulated road segment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoadSegment {
+    /// Stable segment identifier.
+    pub segment_id: u64,
+    /// Segment length in metres.
+    pub length_m: f64,
+    /// Speed limit in km/h.
+    pub speed_limit_kmh: f64,
+    /// Latent congestion factor (1 = free flow, larger = more congested).
+    pub congestion_factor: f64,
+    /// The measurement bins (mutually exclusive alternatives).
+    pub bins: Vec<DelayBin>,
+}
+
+impl RoadSegment {
+    /// Free-flow travel time of the segment in seconds.
+    pub fn free_flow_delay(&self) -> f64 {
+        self.length_m / (self.speed_limit_kmh / 3.6)
+    }
+}
+
+/// A simulated measurement area: the unit the paper's congestion query runs
+/// over ("the top-k most congested road segments in an area").
+#[derive(Debug, Clone)]
+pub struct Area {
+    /// The simulated segments.
+    pub segments: Vec<RoadSegment>,
+    /// The uncertain table over all measurement bins of all segments.
+    table: UncertainTable,
+}
+
+impl Area {
+    /// The uncertain table (scores = congestion scores, one ME group per
+    /// segment).
+    pub fn table(&self) -> &UncertainTable {
+        &self.table
+    }
+
+    /// Consumes the area and returns the table.
+    pub fn into_table(self) -> UncertainTable {
+        self.table
+    }
+
+    /// Finds the segment owning a tuple id, if any.
+    pub fn segment_of(&self, id: TupleId) -> Option<&RoadSegment> {
+        self.segments
+            .iter()
+            .find(|s| s.bins.iter().any(|b| b.tuple_id == id))
+    }
+}
+
+/// Configuration of the CarTel-like simulator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CartelConfig {
+    /// Number of road segments in the area.
+    pub segments: usize,
+    /// Minimum and maximum number of measurements per segment.
+    pub measurements: (usize, usize),
+    /// Minimum and maximum number of bins the measurements are grouped into.
+    pub bins: (usize, usize),
+    /// Log-normal sigma of the measurement noise around the latent delay.
+    pub measurement_noise: f64,
+    /// Log-normal sigma of the latent congestion factor across segments.
+    pub congestion_spread: f64,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl Default for CartelConfig {
+    fn default() -> Self {
+        CartelConfig {
+            segments: 80,
+            measurements: (5, 40),
+            bins: (1, 6),
+            measurement_noise: 0.35,
+            congestion_spread: 0.6,
+            seed: 0xCAB5,
+        }
+    }
+}
+
+/// Simulates one measurement area.
+///
+/// # Errors
+///
+/// Propagates data-model validation errors (which, given the clamping below,
+/// indicate a configuration bug rather than bad luck).
+pub fn generate_area(config: &CartelConfig) -> Result<Area> {
+    let mut rng = DataRng::seed_from_u64(config.seed);
+    let speed_limits = [30.0, 40.0, 50.0, 60.0, 80.0, 100.0];
+    let mut segments = Vec::with_capacity(config.segments);
+    let mut tuples = Vec::new();
+    let mut rules: Vec<Vec<TupleId>> = Vec::new();
+    let mut next_tuple_id: u64 = 0;
+
+    for segment_id in 0..config.segments as u64 {
+        let length_m = rng.uniform_in(150.0, 2500.0);
+        let speed_limit_kmh = *rng.choose(&speed_limits);
+        // Latent congestion: 1 = free flow; log-normal spread across segments.
+        let congestion_factor = 1.0 + rng.log_normal(-0.3, config.congestion_spread);
+        let free_flow = length_m / (speed_limit_kmh / 3.6);
+        let latent_delay = free_flow * congestion_factor;
+
+        // Simulate measurements and bin them.
+        let m = rng.int_in(config.measurements.0 as u64, config.measurements.1 as u64) as usize;
+        let mut samples: Vec<f64> = (0..m)
+            .map(|_| latent_delay * rng.log_normal(0.0, config.measurement_noise))
+            .collect();
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let bin_count = rng
+            .int_in(config.bins.0 as u64, config.bins.1 as u64)
+            .min(m as u64)
+            .max(1) as usize;
+
+        let mut bins = Vec::with_capacity(bin_count);
+        let per_bin = m.div_ceil(bin_count);
+        let mut rule = Vec::new();
+        for chunk in samples.chunks(per_bin) {
+            let delay = chunk.iter().sum::<f64>() / chunk.len() as f64;
+            let probability = chunk.len() as f64 / m as f64;
+            let congestion_score = speed_limit_kmh / (length_m / delay);
+            let tuple_id = TupleId(next_tuple_id);
+            next_tuple_id += 1;
+            tuples.push(UncertainTuple::new(
+                tuple_id,
+                congestion_score,
+                probability.clamp(1e-6, 1.0),
+            )?);
+            rule.push(tuple_id);
+            bins.push(DelayBin {
+                tuple_id,
+                delay_seconds: delay,
+                probability,
+                congestion_score,
+            });
+        }
+        if rule.len() > 1 {
+            rules.push(rule);
+        }
+        segments.push(RoadSegment {
+            segment_id,
+            length_m,
+            speed_limit_kmh,
+            congestion_factor,
+            bins,
+        });
+    }
+
+    let table = UncertainTable::new(tuples, rules)?;
+    Ok(Area { segments, table })
+}
+
+/// Convenience wrapper: the table of a simulated area with `segments`
+/// segments and the given seed, defaults elsewhere.
+pub fn area_table(segments: usize, seed: u64) -> Result<UncertainTable> {
+    Ok(generate_area(&CartelConfig {
+        segments,
+        seed,
+        ..CartelConfig::default()
+    })?
+    .into_table())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_area(&CartelConfig::default()).unwrap();
+        let b = generate_area(&CartelConfig::default()).unwrap();
+        assert_eq!(a.segments.len(), b.segments.len());
+        assert_eq!(a.table().len(), b.table().len());
+        for (x, y) in a.table().tuples().iter().zip(b.table().tuples()) {
+            assert_eq!(x.score(), y.score());
+        }
+    }
+
+    #[test]
+    fn every_segment_is_one_me_group_summing_to_one() {
+        let area = generate_area(&CartelConfig::default()).unwrap();
+        for segment in &area.segments {
+            let total: f64 = segment.bins.iter().map(|b| b.probability).sum();
+            assert!((total - 1.0).abs() < 1e-9, "segment {}", segment.segment_id);
+            // All bins of a multi-bin segment share one ME group.
+            if segment.bins.len() > 1 {
+                let table = area.table();
+                let first = table.position(segment.bins[0].tuple_id).unwrap();
+                for bin in &segment.bins {
+                    let pos = table.position(bin.tuple_id).unwrap();
+                    assert_eq!(table.group_index(pos), table.group_index(first));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn congestion_scores_match_the_paper_formula() {
+        let area = generate_area(&CartelConfig::default()).unwrap();
+        for segment in &area.segments {
+            for bin in &segment.bins {
+                let expected = segment.speed_limit_kmh / (segment.length_m / bin.delay_seconds);
+                assert!((bin.congestion_score - expected).abs() < 1e-9);
+                assert!(bin.congestion_score > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn segment_lookup_by_tuple_id() {
+        let area = generate_area(&CartelConfig {
+            segments: 10,
+            ..CartelConfig::default()
+        })
+        .unwrap();
+        let some_tuple = area.segments[3].bins[0].tuple_id;
+        assert_eq!(area.segment_of(some_tuple).unwrap().segment_id, 3);
+        assert!(area.segment_of(TupleId(9_999_999)).is_none());
+    }
+
+    #[test]
+    fn area_table_helper_controls_size() {
+        let t = area_table(25, 7).unwrap();
+        assert!(t.len() >= 25);
+        // Most segments have multiple bins, so the table is larger than the
+        // number of segments.
+        assert!(t.len() > 30);
+        assert!(t.me_tuple_portion() > 0.5);
+    }
+
+    #[test]
+    fn free_flow_delay_is_consistent() {
+        let area = generate_area(&CartelConfig::default()).unwrap();
+        let s = &area.segments[0];
+        let expected = s.length_m / (s.speed_limit_kmh / 3.6);
+        assert!((s.free_flow_delay() - expected).abs() < 1e-12);
+    }
+}

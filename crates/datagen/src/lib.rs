@@ -1,0 +1,30 @@
+//! # ttk-datagen — workload generators for the typical top-k workspace
+//!
+//! The paper evaluates on (a) a real road-delay dataset collected by the
+//! CarTel project and (b) synthetic data generated with R. Neither source is
+//! available here, so this crate provides seeded, structurally faithful
+//! substitutes (see `DESIGN.md` at the workspace root for the substitution
+//! argument):
+//!
+//! * [`synthetic`] — bivariate-normal (score, confidence) pairs with a
+//!   controllable correlation ρ, score spread σ and ME-group layout
+//!   (group size, in-rank gaps, ME portion): the knobs of Figures 11 and
+//!   13–16.
+//! * [`cartel`] — a road-network delay simulator producing one ME group per
+//!   road segment with binned measurements, scored by the paper's congestion
+//!   formula: the workload of Figures 8–12.
+//! * [`soldier`] — the exact toy table of Figure 1 used throughout §1–§2.
+//!
+//! All generators take a `u64` seed and are fully deterministic.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cartel;
+pub mod rng;
+pub mod soldier;
+pub mod synthetic;
+
+pub use cartel::{area_table, generate_area, Area, CartelConfig, DelayBin, RoadSegment};
+pub use rng::DataRng;
+pub use synthetic::{generate, IntRange, MePolicy, SyntheticConfig};

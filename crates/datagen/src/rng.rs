@@ -1,0 +1,171 @@
+//! Small random-sampling helpers shared by the generators.
+//!
+//! The paper generated its synthetic data with the R statistical package;
+//! here the equivalent samplers (correlated bivariate normals, log-normals,
+//! integer ranges) are implemented directly on top of a seedable PRNG so
+//! every dataset in the workspace is reproducible from a single `u64` seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seedable source of the distributions used by the generators.
+#[derive(Debug)]
+pub struct DataRng {
+    rng: StdRng,
+    /// Cached second value of the most recent Box–Muller draw.
+    spare_normal: Option<f64>,
+}
+
+impl DataRng {
+    /// Creates a generator from a seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        DataRng {
+            rng: StdRng::seed_from_u64(seed),
+            spare_normal: None,
+        }
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.rng.gen::<f64>()
+    }
+
+    /// Uniform draw in `[lo, hi)`.
+    pub fn uniform_in(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform integer in the inclusive range `[lo, hi]`.
+    pub fn int_in(&mut self, lo: u64, hi: u64) -> u64 {
+        self.rng.gen_range(lo..=hi)
+    }
+
+    /// A standard normal draw (Box–Muller transform).
+    pub fn standard_normal(&mut self) -> f64 {
+        if let Some(z) = self.spare_normal.take() {
+            return z;
+        }
+        // Avoid log(0) by pulling u1 away from zero.
+        let u1 = self.uniform().max(1e-12);
+        let u2 = self.uniform();
+        let radius = (-2.0 * u1.ln()).sqrt();
+        let angle = 2.0 * std::f64::consts::PI * u2;
+        self.spare_normal = Some(radius * angle.sin());
+        radius * angle.cos()
+    }
+
+    /// A normal draw with the given mean and standard deviation.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev * self.standard_normal()
+    }
+
+    /// A correlated pair of normals with the given means, standard deviations
+    /// and correlation coefficient `rho ∈ [-1, 1]` (2×2 Cholesky factor).
+    pub fn bivariate_normal(
+        &mut self,
+        mean: (f64, f64),
+        std_dev: (f64, f64),
+        rho: f64,
+    ) -> (f64, f64) {
+        let rho = rho.clamp(-1.0, 1.0);
+        let z1 = self.standard_normal();
+        let z2 = self.standard_normal();
+        let x = mean.0 + std_dev.0 * z1;
+        let y = mean.1 + std_dev.1 * (rho * z1 + (1.0 - rho * rho).sqrt() * z2);
+        (x, y)
+    }
+
+    /// A log-normal draw parameterised by the mean and standard deviation of
+    /// the underlying normal.
+    pub fn log_normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        self.normal(mu, sigma).exp()
+    }
+
+    /// Picks one element of a non-empty slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        let idx = self.int_in(0, items.len() as u64 - 1) as usize;
+        &items[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = DataRng::seed_from_u64(42);
+        let mut b = DataRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.uniform(), b.uniform());
+        }
+        let mut c = DataRng::seed_from_u64(43);
+        assert_ne!(a.uniform(), c.uniform());
+    }
+
+    #[test]
+    fn uniform_in_respects_bounds() {
+        let mut rng = DataRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = rng.uniform_in(-3.0, 7.0);
+            assert!((-3.0..7.0).contains(&x));
+            let i = rng.int_in(2, 5);
+            assert!((2..=5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn standard_normal_has_roughly_unit_moments() {
+        let mut rng = DataRng::seed_from_u64(7);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.standard_normal()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.08, "variance {var}");
+    }
+
+    #[test]
+    fn bivariate_normal_reproduces_correlation() {
+        let mut rng = DataRng::seed_from_u64(11);
+        let n = 20_000;
+        for &rho in &[0.0, 0.8, -0.8] {
+            let pairs: Vec<(f64, f64)> = (0..n)
+                .map(|_| rng.bivariate_normal((10.0, -5.0), (2.0, 3.0), rho))
+                .collect();
+            let mx = pairs.iter().map(|p| p.0).sum::<f64>() / n as f64;
+            let my = pairs.iter().map(|p| p.1).sum::<f64>() / n as f64;
+            let sx = (pairs.iter().map(|p| (p.0 - mx).powi(2)).sum::<f64>() / n as f64).sqrt();
+            let sy = (pairs.iter().map(|p| (p.1 - my).powi(2)).sum::<f64>() / n as f64).sqrt();
+            let cov = pairs
+                .iter()
+                .map(|p| (p.0 - mx) * (p.1 - my))
+                .sum::<f64>()
+                / n as f64;
+            let measured = cov / (sx * sy);
+            assert!(
+                (measured - rho).abs() < 0.05,
+                "rho {rho}: measured {measured}"
+            );
+            assert!((mx - 10.0).abs() < 0.1);
+            assert!((my + 5.0).abs() < 0.15);
+        }
+    }
+
+    #[test]
+    fn log_normal_is_positive() {
+        let mut rng = DataRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(rng.log_normal(0.0, 0.5) > 0.0);
+        }
+    }
+
+    #[test]
+    fn choose_picks_existing_elements() {
+        let mut rng = DataRng::seed_from_u64(5);
+        let items = [10, 20, 30];
+        for _ in 0..100 {
+            assert!(items.contains(rng.choose(&items)));
+        }
+    }
+}

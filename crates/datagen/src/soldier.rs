@@ -1,0 +1,86 @@
+//! The soldier-monitoring toy dataset of Figure 1.
+//!
+//! The paper's running example: sensors embedded in soldiers' uniforms
+//! estimate how much medical attention each soldier needs. Readings for the
+//! same soldier taken at the same time are mutually exclusive; the
+//! confidence column is the membership probability.
+
+use ttk_uncertain::{Result, UncertainTable};
+
+/// One row of the Figure 1 table, kept with its descriptive attributes so
+/// examples can print a faithful reproduction of the figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoldierReading {
+    /// Tuple id (T1..T7 in the paper).
+    pub tuple_id: u64,
+    /// The soldier the reading refers to.
+    pub soldier_id: u32,
+    /// Timestamp of the reading (HH:MM as printed in the figure).
+    pub time: &'static str,
+    /// Reported location (grid coordinates).
+    pub location: (u32, u32),
+    /// Score for medical needs (higher = more urgent).
+    pub score: f64,
+    /// Confidence (membership probability).
+    pub confidence: f64,
+}
+
+/// The seven readings of Figure 1.
+pub fn readings() -> Vec<SoldierReading> {
+    vec![
+        SoldierReading { tuple_id: 1, soldier_id: 1, time: "10:50", location: (10, 20), score: 49.0, confidence: 0.4 },
+        SoldierReading { tuple_id: 2, soldier_id: 2, time: "10:49", location: (10, 19), score: 60.0, confidence: 0.4 },
+        SoldierReading { tuple_id: 3, soldier_id: 3, time: "10:51", location: (9, 25), score: 110.0, confidence: 0.4 },
+        SoldierReading { tuple_id: 4, soldier_id: 2, time: "10:50", location: (10, 19), score: 80.0, confidence: 0.3 },
+        SoldierReading { tuple_id: 5, soldier_id: 4, time: "10:49", location: (12, 7), score: 56.0, confidence: 1.0 },
+        SoldierReading { tuple_id: 6, soldier_id: 3, time: "10:50", location: (9, 25), score: 58.0, confidence: 0.5 },
+        SoldierReading { tuple_id: 7, soldier_id: 2, time: "10:50", location: (11, 19), score: 125.0, confidence: 0.3 },
+    ]
+}
+
+/// The uncertain table of Figure 1: readings for the same soldier form one
+/// mutual-exclusion group (T2 ⊕ T4 ⊕ T7 and T3 ⊕ T6).
+pub fn table() -> Result<UncertainTable> {
+    let rows = readings();
+    let mut builder = UncertainTable::builder();
+    for r in &rows {
+        builder.push(ttk_uncertain::UncertainTuple::new(
+            r.tuple_id,
+            r.score,
+            r.confidence,
+        )?);
+    }
+    builder.add_me_rule([2u64, 4, 7]);
+    builder.add_me_rule([3u64, 6]);
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ttk_uncertain::world_count;
+
+    #[test]
+    fn table_matches_the_figure() {
+        let t = table().unwrap();
+        assert_eq!(t.len(), 7);
+        assert_eq!(world_count(&t), 18);
+        // Soldier 2's readings are one ME group.
+        let p2 = t.position(2u64).unwrap();
+        assert_eq!(t.group_members(p2).len(), 3);
+        let p3 = t.position(3u64).unwrap();
+        assert_eq!(t.group_members(p3).len(), 2);
+    }
+
+    #[test]
+    fn readings_are_consistent_with_the_table() {
+        let rows = readings();
+        assert_eq!(rows.len(), 7);
+        let t = table().unwrap();
+        for r in rows {
+            let pos = t.position(r.tuple_id).unwrap();
+            assert_eq!(t.tuple(pos).score(), r.score);
+            assert_eq!(t.tuple(pos).prob(), r.confidence);
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! A trivial catalog of named probabilistic tables.
+
+use std::collections::BTreeMap;
+
+use crate::error::{PdbError, Result};
+use crate::table::PTable;
+
+/// An in-memory database: a set of named probabilistic tables.
+#[derive(Debug, Default, Clone)]
+pub struct Database {
+    tables: BTreeMap<String, PTable>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a table under its own name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdbError::DuplicateTable`] when a table with the same name
+    /// already exists.
+    pub fn create_table(&mut self, table: PTable) -> Result<()> {
+        if self.tables.contains_key(table.name()) {
+            return Err(PdbError::DuplicateTable(table.name().to_string()));
+        }
+        self.tables.insert(table.name().to_string(), table);
+        Ok(())
+    }
+
+    /// Looks a table up by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdbError::UnknownTable`] when it does not exist.
+    pub fn table(&self, name: &str) -> Result<&PTable> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| PdbError::UnknownTable(name.to_string()))
+    }
+
+    /// Mutable table lookup.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdbError::UnknownTable`] when it does not exist.
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut PTable> {
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| PdbError::UnknownTable(name.to_string()))
+    }
+
+    /// Removes a table, returning it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdbError::UnknownTable`] when it does not exist.
+    pub fn drop_table(&mut self, name: &str) -> Result<PTable> {
+        self.tables
+            .remove(name)
+            .ok_or_else(|| PdbError::UnknownTable(name.to_string()))
+    }
+
+    /// The table names in lexicographic order.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(String::as_str).collect()
+    }
+
+    /// Number of tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True when the database holds no tables.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::value::DataType;
+
+    fn sample_table(name: &str) -> PTable {
+        PTable::new(name, Schema::default().with("x", DataType::Float))
+    }
+
+    #[test]
+    fn create_lookup_and_drop() {
+        let mut db = Database::new();
+        assert!(db.is_empty());
+        db.create_table(sample_table("area")).unwrap();
+        db.create_table(sample_table("sensors")).unwrap();
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.table_names(), vec!["area", "sensors"]);
+        assert!(db.table("area").is_ok());
+        assert!(matches!(db.table("nope"), Err(PdbError::UnknownTable(_))));
+        assert!(matches!(
+            db.create_table(sample_table("area")),
+            Err(PdbError::DuplicateTable(_))
+        ));
+        db.table_mut("area")
+            .unwrap()
+            .insert(vec![1.0.into()], 0.5, None)
+            .unwrap();
+        assert_eq!(db.table("area").unwrap().len(), 1);
+        let dropped = db.drop_table("area").unwrap();
+        assert_eq!(dropped.name(), "area");
+        assert!(db.drop_table("area").is_err());
+        assert_eq!(db.len(), 1);
+    }
+}

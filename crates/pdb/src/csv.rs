@@ -1,0 +1,286 @@
+//! Minimal CSV import/export for probabilistic tables.
+//!
+//! The format is conventional RFC-4180-style CSV with a header row. Two
+//! designated columns carry the uncertainty metadata:
+//!
+//! * the *probability column* (required) holds the membership probability;
+//! * the *group column* (optional) holds the x-tuple key — rows sharing a
+//!   non-empty key are mutually exclusive.
+//!
+//! Both metadata columns are stripped from the relational schema; all other
+//! columns are type-inferred (integer → float → boolean → text).
+
+use crate::error::{PdbError, Result};
+use crate::schema::{Column, Schema};
+use crate::table::PTable;
+use crate::value::{DataType, Value};
+
+/// Options controlling CSV import.
+#[derive(Debug, Clone)]
+pub struct CsvOptions {
+    /// Name of the column holding membership probabilities.
+    pub probability_column: String,
+    /// Name of the column holding x-tuple group keys, if any.
+    pub group_column: Option<String>,
+}
+
+impl Default for CsvOptions {
+    fn default() -> Self {
+        CsvOptions {
+            probability_column: "probability".to_string(),
+            group_column: Some("group_key".to_string()),
+        }
+    }
+}
+
+/// Splits one CSV record, honouring double-quoted fields with embedded commas
+/// and doubled quotes.
+fn split_record(line: &str, line_no: usize) -> Result<Vec<String>> {
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    field.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' if field.is_empty() => in_quotes = true,
+            '"' => {
+                return Err(PdbError::CsvError {
+                    line: line_no,
+                    message: "unexpected quote in unquoted field".into(),
+                })
+            }
+            ',' if !in_quotes => {
+                fields.push(std::mem::take(&mut field));
+            }
+            c => field.push(c),
+        }
+    }
+    if in_quotes {
+        return Err(PdbError::CsvError {
+            line: line_no,
+            message: "unterminated quoted field".into(),
+        });
+    }
+    fields.push(field);
+    Ok(fields)
+}
+
+/// Parses CSV text into a probabilistic table.
+///
+/// # Errors
+///
+/// Returns [`PdbError::CsvError`] for malformed input (missing header,
+/// missing probability column, ragged rows, unparsable probabilities) and
+/// propagates schema/probability validation errors from [`PTable::insert`].
+pub fn table_from_csv(name: &str, text: &str, options: &CsvOptions) -> Result<PTable> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty());
+    let (_, header_line) = lines.next().ok_or(PdbError::CsvError {
+        line: 1,
+        message: "missing header row".into(),
+    })?;
+    let header = split_record(header_line, 1)?;
+    let prob_idx = header
+        .iter()
+        .position(|h| h.trim() == options.probability_column)
+        .ok_or_else(|| PdbError::CsvError {
+            line: 1,
+            message: format!(
+                "probability column `{}` not found in header",
+                options.probability_column
+            ),
+        })?;
+    let group_idx = match &options.group_column {
+        Some(name) => header.iter().position(|h| h.trim() == *name),
+        None => None,
+    };
+
+    // Collect records first so column types can be inferred over the whole
+    // file.
+    let mut records = Vec::new();
+    for (i, line) in lines {
+        let record = split_record(line, i + 1)?;
+        if record.len() != header.len() {
+            return Err(PdbError::CsvError {
+                line: i + 1,
+                message: format!("expected {} fields, got {}", header.len(), record.len()),
+            });
+        }
+        records.push((i + 1, record));
+    }
+
+    let data_columns: Vec<usize> = (0..header.len())
+        .filter(|&i| i != prob_idx && Some(i) != group_idx)
+        .collect();
+    let mut columns = Vec::new();
+    for &col in &data_columns {
+        let mut ty = DataType::Integer;
+        for (_, record) in &records {
+            match Value::infer_from_str(&record[col]) {
+                Value::Integer(_) | Value::Null => {}
+                Value::Float(_) => {
+                    if ty == DataType::Integer {
+                        ty = DataType::Float;
+                    }
+                }
+                Value::Boolean(_) => {
+                    if ty == DataType::Integer {
+                        ty = DataType::Boolean;
+                    } else if ty != DataType::Boolean {
+                        ty = DataType::Text;
+                    }
+                }
+                Value::Text(_) => ty = DataType::Text,
+            }
+        }
+        columns.push(Column::new(header[col].trim(), ty));
+    }
+    let schema = Schema::new(columns)?;
+    let mut table = PTable::new(name, schema);
+    for (line_no, record) in records {
+        let probability: f64 =
+            record[prob_idx]
+                .trim()
+                .parse()
+                .map_err(|_| PdbError::CsvError {
+                    line: line_no,
+                    message: format!("invalid probability `{}`", record[prob_idx]),
+                })?;
+        let group = group_idx.and_then(|g| {
+            let key = record[g].trim();
+            (!key.is_empty()).then(|| key.to_string())
+        });
+        let values: Vec<Value> = data_columns
+            .iter()
+            .map(|&c| Value::infer_from_str(&record[c]))
+            .collect();
+        table.insert(values, probability, group.as_deref())?;
+    }
+    Ok(table)
+}
+
+/// Serialises a probabilistic table back to CSV (probability and group
+/// columns appended after the data columns).
+pub fn table_to_csv(table: &PTable, options: &CsvOptions) -> String {
+    let mut out = String::new();
+    let mut header: Vec<String> = table
+        .schema()
+        .columns()
+        .iter()
+        .map(|c| c.name.clone())
+        .collect();
+    header.push(options.probability_column.clone());
+    if let Some(g) = &options.group_column {
+        header.push(g.clone());
+    }
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in table.rows() {
+        let mut fields: Vec<String> = row.values.iter().map(escape_field).collect();
+        fields.push(format!("{}", row.probability));
+        if options.group_column.is_some() {
+            fields.push(row.group.clone().unwrap_or_default());
+        }
+        out.push_str(&fields.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+fn escape_field(value: &Value) -> String {
+    let s = value.to_string();
+    if s.contains(',') || s.contains('"') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+segment_id,speed_limit,length,delay,probability,group_key
+1,50,1000,120,0.6,seg-1
+1,50,1000,300,0.4,seg-1
+2,30,500,90,1.0,seg-2
+3,60,\"1,200\",100,0.5,
+";
+
+    #[test]
+    fn imports_a_table_with_groups_and_quotes() {
+        let t = table_from_csv("area", SAMPLE, &CsvOptions::default()).unwrap();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.schema().len(), 4);
+        assert_eq!(t.rows()[0].group.as_deref(), Some("seg-1"));
+        assert_eq!(t.rows()[3].group, None);
+        // The quoted "1,200" stays one field and becomes text (not numeric).
+        assert_eq!(t.rows()[3].values[2], Value::Text("1,200".into()));
+        // speed_limit is inferred as integer, delay as integer, probability
+        // column is stripped from the schema.
+        assert!(t.schema().index_of("probability").is_err());
+    }
+
+    #[test]
+    fn round_trips_through_export_and_import() {
+        let t = table_from_csv("area", SAMPLE, &CsvOptions::default()).unwrap();
+        let text = table_to_csv(&t, &CsvOptions::default());
+        let t2 = table_from_csv("area", &text, &CsvOptions::default()).unwrap();
+        assert_eq!(t.len(), t2.len());
+        for (a, b) in t.rows().iter().zip(t2.rows()) {
+            assert_eq!(a.probability, b.probability);
+            assert_eq!(a.group, b.group);
+        }
+    }
+
+    #[test]
+    fn reports_malformed_input() {
+        assert!(matches!(
+            table_from_csv("x", "", &CsvOptions::default()),
+            Err(PdbError::CsvError { .. })
+        ));
+        let missing_prob = "a,b\n1,2\n";
+        assert!(matches!(
+            table_from_csv("x", missing_prob, &CsvOptions::default()),
+            Err(PdbError::CsvError { line: 1, .. })
+        ));
+        let ragged = "a,probability\n1,0.5\n2\n";
+        assert!(matches!(
+            table_from_csv("x", ragged, &CsvOptions::default()),
+            Err(PdbError::CsvError { line: 3, .. })
+        ));
+        let bad_prob = "a,probability\n1,huh\n";
+        assert!(matches!(
+            table_from_csv("x", bad_prob, &CsvOptions::default()),
+            Err(PdbError::CsvError { line: 2, .. })
+        ));
+        let unterminated = "a,probability\n\"oops,0.5\n";
+        assert!(matches!(
+            table_from_csv("x", unterminated, &CsvOptions::default()),
+            Err(PdbError::CsvError { .. })
+        ));
+    }
+
+    #[test]
+    fn group_column_is_optional() {
+        let options = CsvOptions {
+            probability_column: "p".into(),
+            group_column: None,
+        };
+        let csv = "score,p\n10,0.5\n20,0.25\n";
+        let t = table_from_csv("simple", csv, &options).unwrap();
+        assert_eq!(t.len(), 2);
+        assert!(t.rows().iter().all(|r| r.group.is_none()));
+    }
+}

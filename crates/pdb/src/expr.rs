@@ -1,0 +1,238 @@
+//! Scoring expressions: a small arithmetic language over row attributes.
+//!
+//! The paper's example query ranks road segments by
+//! `speed_limit / (length / delay)`. This module provides the abstract
+//! syntax tree and evaluator for such expressions; [`crate::parser`] turns
+//! SQL-ish text into an [`Expr`].
+
+use crate::error::{PdbError, Result};
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// Binary arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinaryOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+}
+
+impl BinaryOp {
+    fn apply(self, lhs: f64, rhs: f64) -> Result<f64> {
+        match self {
+            BinaryOp::Add => Ok(lhs + rhs),
+            BinaryOp::Sub => Ok(lhs - rhs),
+            BinaryOp::Mul => Ok(lhs * rhs),
+            BinaryOp::Div => {
+                if rhs.abs() < 1e-300 {
+                    Err(PdbError::DivisionByZero)
+                } else {
+                    Ok(lhs / rhs)
+                }
+            }
+        }
+    }
+}
+
+/// A scoring expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A reference to a column of the row being scored.
+    Column(String),
+    /// A numeric literal.
+    Literal(f64),
+    /// A binary arithmetic operation.
+    Binary {
+        /// The operator.
+        op: BinaryOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Unary negation.
+    Negate(Box<Expr>),
+}
+
+impl Expr {
+    /// A column reference.
+    pub fn column(name: impl Into<String>) -> Expr {
+        Expr::Column(name.into())
+    }
+
+    /// A numeric literal.
+    pub fn literal(v: f64) -> Expr {
+        Expr::Literal(v)
+    }
+
+    /// `self op other`.
+    pub fn binary(self, op: BinaryOp, other: Expr) -> Expr {
+        Expr::Binary {
+            op,
+            lhs: Box::new(self),
+            rhs: Box::new(other),
+        }
+    }
+
+    /// Collects the column names referenced by the expression.
+    pub fn referenced_columns(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out
+    }
+
+    fn collect_columns<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Expr::Column(name) => {
+                if !out.contains(&name.as_str()) {
+                    out.push(name);
+                }
+            }
+            Expr::Literal(_) => {}
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.collect_columns(out);
+                rhs.collect_columns(out);
+            }
+            Expr::Negate(inner) => inner.collect_columns(out),
+        }
+    }
+
+    /// Checks that every referenced column exists in the schema.
+    pub fn validate(&self, schema: &Schema) -> Result<()> {
+        for name in self.referenced_columns() {
+            schema.index_of(name)?;
+        }
+        Ok(())
+    }
+
+    /// Evaluates the expression against one row of values laid out according
+    /// to `schema`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdbError::UnknownColumn`], [`PdbError::TypeMismatch`] (for
+    /// non-numeric operands, including NULL) or [`PdbError::DivisionByZero`].
+    pub fn evaluate(&self, schema: &Schema, values: &[Value]) -> Result<f64> {
+        match self {
+            Expr::Column(name) => {
+                let idx = schema.index_of(name)?;
+                values
+                    .get(idx)
+                    .ok_or_else(|| PdbError::SchemaMismatch(format!("row too short for `{name}`")))?
+                    .as_number(&format!("column `{name}`"))
+            }
+            Expr::Literal(v) => Ok(*v),
+            Expr::Binary { op, lhs, rhs } => {
+                let l = lhs.evaluate(schema, values)?;
+                let r = rhs.evaluate(schema, values)?;
+                op.apply(l, r)
+            }
+            Expr::Negate(inner) => Ok(-inner.evaluate(schema, values)?),
+        }
+    }
+}
+
+impl std::fmt::Display for Expr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Expr::Column(name) => write!(f, "{name}"),
+            Expr::Literal(v) => write!(f, "{v}"),
+            Expr::Binary { op, lhs, rhs } => {
+                let symbol = match op {
+                    BinaryOp::Add => "+",
+                    BinaryOp::Sub => "-",
+                    BinaryOp::Mul => "*",
+                    BinaryOp::Div => "/",
+                };
+                write!(f, "({lhs} {symbol} {rhs})")
+            }
+            Expr::Negate(inner) => write!(f, "(-{inner})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::DataType;
+
+    fn schema() -> Schema {
+        Schema::default()
+            .with("speed_limit", DataType::Float)
+            .with("length", DataType::Float)
+            .with("delay", DataType::Float)
+    }
+
+    fn congestion() -> Expr {
+        // speed_limit / (length / delay)
+        Expr::column("speed_limit").binary(
+            BinaryOp::Div,
+            Expr::column("length").binary(BinaryOp::Div, Expr::column("delay")),
+        )
+    }
+
+    #[test]
+    fn evaluates_the_congestion_score() {
+        let values = vec![Value::Float(50.0), Value::Float(1000.0), Value::Float(200.0)];
+        let score = congestion().evaluate(&schema(), &values).unwrap();
+        assert!((score - 50.0 / (1000.0 / 200.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic_and_negation() {
+        let s = Schema::default().with("x", DataType::Float);
+        let values = vec![Value::Float(4.0)];
+        let e = Expr::literal(2.0)
+            .binary(BinaryOp::Mul, Expr::column("x"))
+            .binary(BinaryOp::Add, Expr::literal(1.0));
+        assert_eq!(e.evaluate(&s, &values).unwrap(), 9.0);
+        let n = Expr::Negate(Box::new(Expr::column("x")));
+        assert_eq!(n.evaluate(&s, &values).unwrap(), -4.0);
+        let d = Expr::column("x").binary(BinaryOp::Sub, Expr::literal(1.5));
+        assert_eq!(d.evaluate(&s, &values).unwrap(), 2.5);
+    }
+
+    #[test]
+    fn division_by_zero_and_type_errors() {
+        let s = Schema::default()
+            .with("x", DataType::Float)
+            .with("label", DataType::Text);
+        let values = vec![Value::Float(1.0), Value::from("road")];
+        let div = Expr::column("x").binary(BinaryOp::Div, Expr::literal(0.0));
+        assert!(matches!(div.evaluate(&s, &values), Err(PdbError::DivisionByZero)));
+        let text = Expr::column("label").binary(BinaryOp::Add, Expr::literal(1.0));
+        assert!(matches!(
+            text.evaluate(&s, &values),
+            Err(PdbError::TypeMismatch { .. })
+        ));
+        let missing = Expr::column("nope");
+        assert!(matches!(
+            missing.evaluate(&s, &values),
+            Err(PdbError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn referenced_columns_and_validation() {
+        let e = congestion();
+        let mut cols = e.referenced_columns();
+        cols.sort_unstable();
+        assert_eq!(cols, vec!["delay", "length", "speed_limit"]);
+        assert!(e.validate(&schema()).is_ok());
+        let bad = Expr::column("missing");
+        assert!(bad.validate(&schema()).is_err());
+    }
+
+    #[test]
+    fn display_round_trips_visually() {
+        assert_eq!(
+            congestion().to_string(),
+            "(speed_limit / (length / delay))"
+        );
+    }
+}

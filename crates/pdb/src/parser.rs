@@ -1,0 +1,207 @@
+//! A recursive-descent parser for scoring expressions.
+//!
+//! Grammar (usual precedence, left associative):
+//!
+//! ```text
+//! expr    := term (('+' | '-') term)*
+//! term    := factor (('*' | '/') factor)*
+//! factor  := '-' factor | '(' expr ')' | NUMBER | IDENTIFIER
+//! ```
+//!
+//! Identifiers are column names (letters, digits and underscores, starting
+//! with a letter or underscore); numbers are decimal literals with an
+//! optional fraction and exponent.
+
+use crate::error::{PdbError, Result};
+use crate::expr::{BinaryOp, Expr};
+
+/// Parses a scoring expression such as `speed_limit / (length / delay)`.
+pub fn parse_expression(input: &str) -> Result<Expr> {
+    let mut parser = Parser {
+        input: input.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_whitespace();
+    let expr = parser.expr()?;
+    parser.skip_whitespace();
+    if parser.pos != parser.input.len() {
+        return Err(parser.error("unexpected trailing input"));
+    }
+    Ok(expr)
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, message: &str) -> PdbError {
+        PdbError::ParseError {
+            position: self.pos,
+            message: message.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.term()?;
+        loop {
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b'+') => {
+                    self.bump();
+                    lhs = lhs.binary(BinaryOp::Add, self.term()?);
+                }
+                Some(b'-') => {
+                    self.bump();
+                    lhs = lhs.binary(BinaryOp::Sub, self.term()?);
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    fn term(&mut self) -> Result<Expr> {
+        let mut lhs = self.factor()?;
+        loop {
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b'*') => {
+                    self.bump();
+                    lhs = lhs.binary(BinaryOp::Mul, self.factor()?);
+                }
+                Some(b'/') => {
+                    self.bump();
+                    lhs = lhs.binary(BinaryOp::Div, self.factor()?);
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    fn factor(&mut self) -> Result<Expr> {
+        self.skip_whitespace();
+        match self.peek() {
+            Some(b'-') => {
+                self.bump();
+                Ok(Expr::Negate(Box::new(self.factor()?)))
+            }
+            Some(b'(') => {
+                self.bump();
+                let inner = self.expr()?;
+                self.skip_whitespace();
+                if self.bump() != Some(b')') {
+                    return Err(self.error("expected `)`"));
+                }
+                Ok(inner)
+            }
+            Some(c) if c.is_ascii_digit() || c == b'.' => self.number(),
+            Some(c) if c.is_ascii_alphabetic() || c == b'_' => self.identifier(),
+            Some(_) => Err(self.error("expected a number, column name, `-` or `(`")),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn number(&mut self) -> Result<Expr> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || c == b'.') {
+            self.pos += 1;
+        }
+        // Optional exponent.
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.input[start..self.pos])
+            .expect("ASCII slice is valid UTF-8");
+        text.parse::<f64>()
+            .map(Expr::Literal)
+            .map_err(|_| PdbError::ParseError {
+                position: start,
+                message: format!("invalid numeric literal `{text}`"),
+            })
+    }
+
+    fn identifier(&mut self) -> Result<Expr> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || c == b'_') {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.input[start..self.pos])
+            .expect("ASCII slice is valid UTF-8");
+        Ok(Expr::Column(text.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::value::{DataType, Value};
+
+    #[test]
+    fn parses_the_paper_query_expression() {
+        let e = parse_expression("speed_limit / (length / delay)").unwrap();
+        assert_eq!(e.to_string(), "(speed_limit / (length / delay))");
+    }
+
+    #[test]
+    fn precedence_and_associativity() {
+        let s = Schema::default().with("x", DataType::Float);
+        let v = vec![Value::Float(10.0)];
+        let cases = [
+            ("1 + 2 * 3", 7.0),
+            ("(1 + 2) * 3", 9.0),
+            ("10 - 2 - 3", 5.0),
+            ("100 / 10 / 2", 5.0),
+            ("-x + 12", 2.0),
+            ("2 * -3", -6.0),
+            ("x * 1.5e1", 150.0),
+            (".5 * x", 5.0),
+        ];
+        for (text, expected) in cases {
+            let e = parse_expression(text).unwrap();
+            let got = e.evaluate(&s, &v).unwrap();
+            assert!((got - expected).abs() < 1e-12, "{text}: {got} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in ["", "1 +", "(1 + 2", "1 ** 2", "foo $ bar", "1 2"] {
+            assert!(
+                matches!(parse_expression(bad), Err(PdbError::ParseError { .. })),
+                "{bad} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn identifiers_allow_underscores_and_digits() {
+        let e = parse_expression("speed_limit_2 * 2").unwrap();
+        assert_eq!(e.referenced_columns(), vec!["speed_limit_2"]);
+    }
+}

@@ -1,0 +1,149 @@
+//! Table schemas.
+
+use crate::error::{PdbError, Result};
+use crate::value::{DataType, Value};
+
+/// One column of a schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    /// Column name (case sensitive).
+    pub name: String,
+    /// Declared data type.
+    pub data_type: DataType,
+}
+
+impl Column {
+    /// Creates a column.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Column {
+            name: name.into(),
+            data_type,
+        }
+    }
+}
+
+/// An ordered list of named, typed columns.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    columns: Vec<Column>,
+}
+
+impl Schema {
+    /// Creates a schema from columns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdbError::SchemaMismatch`] when two columns share a name.
+    pub fn new(columns: Vec<Column>) -> Result<Self> {
+        for (i, c) in columns.iter().enumerate() {
+            if columns[..i].iter().any(|o| o.name == c.name) {
+                return Err(PdbError::SchemaMismatch(format!(
+                    "duplicate column name `{}`",
+                    c.name
+                )));
+            }
+        }
+        Ok(Schema { columns })
+    }
+
+    /// Builder-style helper: `Schema::default().with("delay", DataType::Float)`.
+    pub fn with(mut self, name: impl Into<String>, data_type: DataType) -> Self {
+        self.columns.push(Column::new(name, data_type));
+        self
+    }
+
+    /// The columns in declaration order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True when the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Index of the column with the given name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdbError::UnknownColumn`] when the name is not present.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name == name)
+            .ok_or_else(|| PdbError::UnknownColumn(name.to_string()))
+    }
+
+    /// Validates and coerces a row of values against the schema.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdbError::SchemaMismatch`] for arity errors and
+    /// [`PdbError::TypeMismatch`] for values that cannot be coerced.
+    pub fn check_row(&self, values: &[Value]) -> Result<Vec<Value>> {
+        if values.len() != self.columns.len() {
+            return Err(PdbError::SchemaMismatch(format!(
+                "expected {} values, got {}",
+                self.columns.len(),
+                values.len()
+            )));
+        }
+        values
+            .iter()
+            .zip(&self.columns)
+            .map(|(v, c)| v.coerce(c.data_type))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::default()
+            .with("segment_id", DataType::Integer)
+            .with("length", DataType::Float)
+            .with("name", DataType::Text)
+    }
+
+    #[test]
+    fn lookup_and_len() {
+        let s = schema();
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert_eq!(s.index_of("length").unwrap(), 1);
+        assert!(matches!(
+            s.index_of("missing"),
+            Err(PdbError::UnknownColumn(_))
+        ));
+        assert_eq!(s.columns()[0].name, "segment_id");
+    }
+
+    #[test]
+    fn duplicate_columns_rejected() {
+        let r = Schema::new(vec![
+            Column::new("a", DataType::Integer),
+            Column::new("a", DataType::Float),
+        ]);
+        assert!(matches!(r, Err(PdbError::SchemaMismatch(_))));
+    }
+
+    #[test]
+    fn row_checking_coerces_and_validates() {
+        let s = schema();
+        let row = s
+            .check_row(&[Value::Integer(1), Value::Integer(120), Value::from("elm st")])
+            .unwrap();
+        assert_eq!(row[1], Value::Float(120.0));
+        assert!(s.check_row(&[Value::Integer(1)]).is_err());
+        assert!(s
+            .check_row(&[Value::from("x"), Value::Float(1.0), Value::from("y")])
+            .is_err());
+    }
+}

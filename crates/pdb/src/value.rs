@@ -1,0 +1,218 @@
+//! Values and data types stored in probabilistic tables.
+
+use std::fmt;
+
+use crate::error::{PdbError, Result};
+
+/// The data types supported by the storage layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Integer,
+    /// 64-bit floating point number.
+    Float,
+    /// UTF-8 string.
+    Text,
+    /// Boolean.
+    Boolean,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Integer => "INTEGER",
+            DataType::Float => "FLOAT",
+            DataType::Text => "TEXT",
+            DataType::Boolean => "BOOLEAN",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single stored value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// An integer value.
+    Integer(i64),
+    /// A floating point value.
+    Float(f64),
+    /// A text value.
+    Text(String),
+    /// A boolean value.
+    Boolean(bool),
+    /// An SQL-style NULL.
+    Null,
+}
+
+impl Value {
+    /// The data type of the value, or `None` for NULL.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Integer(_) => Some(DataType::Integer),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Text(_) => Some(DataType::Text),
+            Value::Boolean(_) => Some(DataType::Boolean),
+            Value::Null => None,
+        }
+    }
+
+    /// True for [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Interprets the value as a number (integers widen to floats).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PdbError::TypeMismatch`] for text, boolean or NULL values.
+    pub fn as_number(&self, context: &str) -> Result<f64> {
+        match self {
+            Value::Integer(i) => Ok(*i as f64),
+            Value::Float(f) => Ok(*f),
+            other => Err(PdbError::TypeMismatch {
+                expected: "a number".into(),
+                found: format!("{other}"),
+                context: context.to_string(),
+            }),
+        }
+    }
+
+    /// Parses a textual field into the "widest-fitting" value: integers,
+    /// then floats, then booleans, then text; an empty string becomes NULL.
+    pub fn infer_from_str(s: &str) -> Value {
+        let trimmed = s.trim();
+        if trimmed.is_empty() {
+            return Value::Null;
+        }
+        if let Ok(i) = trimmed.parse::<i64>() {
+            return Value::Integer(i);
+        }
+        if let Ok(f) = trimmed.parse::<f64>() {
+            return Value::Float(f);
+        }
+        match trimmed.to_ascii_lowercase().as_str() {
+            "true" => Value::Boolean(true),
+            "false" => Value::Boolean(false),
+            _ => Value::Text(trimmed.to_string()),
+        }
+    }
+
+    /// Coerces the value to the given type when a lossless conversion exists.
+    pub fn coerce(&self, to: DataType) -> Result<Value> {
+        match (self, to) {
+            (Value::Null, _) => Ok(Value::Null),
+            (Value::Integer(i), DataType::Integer) => Ok(Value::Integer(*i)),
+            (Value::Integer(i), DataType::Float) => Ok(Value::Float(*i as f64)),
+            (Value::Integer(i), DataType::Text) => Ok(Value::Text(i.to_string())),
+            (Value::Float(f), DataType::Float) => Ok(Value::Float(*f)),
+            (Value::Float(f), DataType::Text) => Ok(Value::Text(f.to_string())),
+            (Value::Text(s), DataType::Text) => Ok(Value::Text(s.clone())),
+            (Value::Boolean(b), DataType::Boolean) => Ok(Value::Boolean(*b)),
+            (Value::Boolean(b), DataType::Text) => Ok(Value::Text(b.to_string())),
+            (Value::Text(s), t) => {
+                let inferred = Value::infer_from_str(s);
+                if matches!(inferred, Value::Text(_)) {
+                    Err(PdbError::TypeMismatch {
+                        expected: t.to_string(),
+                        found: format!("TEXT `{s}`"),
+                        context: "coercion".into(),
+                    })
+                } else {
+                    inferred.coerce(t)
+                }
+            }
+            (v, t) => Err(PdbError::TypeMismatch {
+                expected: t.to_string(),
+                found: format!("{v}"),
+                context: "coercion".into(),
+            }),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Integer(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Text(s) => write!(f, "{s}"),
+            Value::Boolean(b) => write!(f, "{b}"),
+            Value::Null => write!(f, "NULL"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Integer(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Text(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Text(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Boolean(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inference_from_strings() {
+        assert_eq!(Value::infer_from_str("42"), Value::Integer(42));
+        assert_eq!(Value::infer_from_str("4.5"), Value::Float(4.5));
+        assert_eq!(Value::infer_from_str("true"), Value::Boolean(true));
+        assert_eq!(Value::infer_from_str("  "), Value::Null);
+        assert_eq!(Value::infer_from_str("main st"), Value::Text("main st".into()));
+    }
+
+    #[test]
+    fn numbers_widen_and_others_fail() {
+        assert_eq!(Value::Integer(3).as_number("test").unwrap(), 3.0);
+        assert_eq!(Value::Float(2.5).as_number("test").unwrap(), 2.5);
+        assert!(Value::Text("x".into()).as_number("test").is_err());
+        assert!(Value::Null.as_number("test").is_err());
+    }
+
+    #[test]
+    fn coercion_rules() {
+        assert_eq!(
+            Value::Integer(3).coerce(DataType::Float).unwrap(),
+            Value::Float(3.0)
+        );
+        assert_eq!(
+            Value::Text("7".into()).coerce(DataType::Integer).unwrap(),
+            Value::Integer(7)
+        );
+        assert!(Value::Text("abc".into()).coerce(DataType::Float).is_err());
+        assert_eq!(Value::Null.coerce(DataType::Float).unwrap(), Value::Null);
+        assert!(Value::Boolean(true).coerce(DataType::Integer).is_err());
+    }
+
+    #[test]
+    fn display_and_types() {
+        assert_eq!(Value::from(3i64).to_string(), "3");
+        assert_eq!(Value::from("x").to_string(), "x");
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::from(true).data_type(), Some(DataType::Boolean));
+        assert_eq!(Value::Null.data_type(), None);
+        assert!(Value::Null.is_null());
+        assert_eq!(DataType::Float.to_string(), "FLOAT");
+    }
+}

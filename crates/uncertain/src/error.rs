@@ -1,0 +1,115 @@
+//! Error types for the uncertain-relation data model.
+
+use std::fmt;
+
+/// Errors produced while building or querying uncertain tables.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A probability value was outside the half-open interval `(0, 1]`.
+    ///
+    /// The tuple-level membership probability of an uncertain tuple must be
+    /// strictly positive (a tuple that can never exist carries no
+    /// information) and at most one.
+    InvalidProbability {
+        /// The offending value.
+        value: f64,
+        /// Human readable description of where the value came from.
+        context: String,
+    },
+    /// The probabilities of the members of a mutual-exclusion (ME) group sum
+    /// to more than one, which is inconsistent with the x-relation model.
+    GroupProbabilityExceedsOne {
+        /// Index of the group in declaration order.
+        group: usize,
+        /// The offending sum.
+        sum: f64,
+    },
+    /// Two tuples were declared with the same [`TupleId`](crate::TupleId).
+    DuplicateTupleId(u64),
+    /// A tuple was listed in more than one mutual-exclusion rule.
+    TupleInMultipleGroups(u64),
+    /// A mutual-exclusion rule referenced a tuple id that is not in the table.
+    UnknownTupleId(u64),
+    /// A score was not a finite number.
+    NonFiniteScore {
+        /// The tuple whose score is invalid.
+        tuple: u64,
+        /// The offending value.
+        value: f64,
+    },
+    /// Possible-world enumeration would produce more worlds than the caller
+    /// allowed.
+    TooManyWorlds {
+        /// The number of worlds that full enumeration would produce
+        /// (saturating).
+        worlds: u128,
+        /// The limit the caller supplied.
+        limit: u128,
+    },
+    /// A query or algorithm parameter was invalid (for example `k = 0`).
+    InvalidParameter(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidProbability { value, context } => {
+                write!(f, "invalid probability {value} ({context}): must be in (0, 1]")
+            }
+            Error::GroupProbabilityExceedsOne { group, sum } => write!(
+                f,
+                "mutual-exclusion group #{group} has total probability {sum} > 1"
+            ),
+            Error::DuplicateTupleId(id) => write!(f, "duplicate tuple id {id}"),
+            Error::TupleInMultipleGroups(id) => {
+                write!(f, "tuple {id} appears in more than one mutual-exclusion rule")
+            }
+            Error::UnknownTupleId(id) => {
+                write!(f, "mutual-exclusion rule references unknown tuple id {id}")
+            }
+            Error::NonFiniteScore { tuple, value } => {
+                write!(f, "tuple {tuple} has a non-finite score {value}")
+            }
+            Error::TooManyWorlds { worlds, limit } => write!(
+                f,
+                "possible-world enumeration would produce {worlds} worlds, more than the limit {limit}"
+            ),
+            Error::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = Error::InvalidProbability {
+            value: 1.5,
+            context: "tuple 7".into(),
+        };
+        assert!(e.to_string().contains("1.5"));
+        assert!(e.to_string().contains("tuple 7"));
+
+        let e = Error::GroupProbabilityExceedsOne { group: 3, sum: 1.25 };
+        assert!(e.to_string().contains("#3"));
+
+        let e = Error::TooManyWorlds {
+            worlds: 1 << 40,
+            limit: 1 << 20,
+        };
+        assert!(e.to_string().contains("limit"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&Error::DuplicateTupleId(1));
+    }
+}

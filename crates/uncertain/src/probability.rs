@@ -1,0 +1,113 @@
+//! A validated probability value.
+
+use crate::error::{Error, Result};
+
+/// Tolerance used when comparing probability sums against 1.0.
+///
+/// Membership probabilities typically come from measurement binning or from
+/// confidence estimates, so sums of group probabilities are allowed to exceed
+/// one by a small floating point slack.
+pub const PROBABILITY_EPSILON: f64 = 1e-9;
+
+/// A tuple membership probability, guaranteed to lie in the half-open
+/// interval `(0, 1]`.
+///
+/// The x-relation model of the paper assigns each uncertain tuple a
+/// probability of existence. Tuples with probability zero carry no
+/// information and are rejected at construction time, which keeps every
+/// downstream algorithm free of degenerate branches.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Probability(f64);
+
+impl Probability {
+    /// A probability of exactly one (a certain tuple).
+    pub const ONE: Probability = Probability(1.0);
+
+    /// Creates a probability, validating that `value ∈ (0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidProbability`] when the value is not a finite
+    /// number in `(0, 1]`.
+    pub fn new(value: f64) -> Result<Self> {
+        if !value.is_finite() || value <= 0.0 || value > 1.0 + PROBABILITY_EPSILON {
+            return Err(Error::InvalidProbability {
+                value,
+                context: "membership probability".to_string(),
+            });
+        }
+        Ok(Probability(value.min(1.0)))
+    }
+
+    /// Returns the raw value.
+    #[inline]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the complement `1 − p` (the probability that the tuple does
+    /// not appear). The complement may legitimately be zero.
+    #[inline]
+    pub fn complement(self) -> f64 {
+        (1.0 - self.0).max(0.0)
+    }
+
+    /// True when the tuple is certain (probability 1 up to epsilon).
+    #[inline]
+    pub fn is_certain(self) -> bool {
+        self.0 >= 1.0 - PROBABILITY_EPSILON
+    }
+}
+
+impl From<Probability> for f64 {
+    fn from(p: Probability) -> f64 {
+        p.value()
+    }
+}
+
+impl std::fmt::Display for Probability {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_valid_probabilities() {
+        for v in [1e-12, 0.1, 0.5, 0.999, 1.0] {
+            let p = Probability::new(v).unwrap();
+            assert!((p.value() - v).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn rejects_zero_negative_and_above_one() {
+        assert!(Probability::new(0.0).is_err());
+        assert!(Probability::new(-0.3).is_err());
+        assert!(Probability::new(1.0 + 1e-6).is_err());
+        assert!(Probability::new(f64::NAN).is_err());
+        assert!(Probability::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn tolerates_floating_point_slack_just_above_one() {
+        let p = Probability::new(1.0 + 1e-12).unwrap();
+        assert_eq!(p.value(), 1.0);
+    }
+
+    #[test]
+    fn complement_and_certainty() {
+        assert_eq!(Probability::new(0.25).unwrap().complement(), 0.75);
+        assert_eq!(Probability::ONE.complement(), 0.0);
+        assert!(Probability::ONE.is_certain());
+        assert!(!Probability::new(0.99).unwrap().is_certain());
+    }
+
+    #[test]
+    fn display_shows_raw_value() {
+        assert_eq!(Probability::new(0.5).unwrap().to_string(), "0.5");
+    }
+}

@@ -1,0 +1,170 @@
+//! Uncertain tuples and their identifiers.
+
+use crate::error::{Error, Result};
+use crate::probability::Probability;
+
+/// Opaque identifier of an uncertain tuple.
+///
+/// Identifiers are assigned by the application (for example a row id of the
+/// underlying relation) and are carried through every algorithm so results can
+/// be mapped back to application data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TupleId(pub u64);
+
+impl TupleId {
+    /// Returns the raw id.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for TupleId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl From<u64> for TupleId {
+    fn from(v: u64) -> Self {
+        TupleId(v)
+    }
+}
+
+/// One uncertain tuple: an identifier, a ranking score, and a membership
+/// probability.
+///
+/// The scoring function of the paper maps a full relational tuple to a real
+/// score; by the time the top-k machinery runs, only the triple
+/// `(id, score, probability)` matters, so this is the unit every algorithm
+/// operates on. Scores may repeat across tuples (non-injective scoring
+/// functions are fully supported, see §2.3 / §3.4 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UncertainTuple {
+    id: TupleId,
+    score: f64,
+    probability: Probability,
+}
+
+impl UncertainTuple {
+    /// Creates an uncertain tuple, validating score finiteness and the
+    /// probability range.
+    pub fn new(id: impl Into<TupleId>, score: f64, probability: f64) -> Result<Self> {
+        let id = id.into();
+        if !score.is_finite() {
+            return Err(Error::NonFiniteScore {
+                tuple: id.raw(),
+                value: score,
+            });
+        }
+        Ok(UncertainTuple {
+            id,
+            score,
+            probability: Probability::new(probability)?,
+        })
+    }
+
+    /// The tuple identifier.
+    #[inline]
+    pub fn id(&self) -> TupleId {
+        self.id
+    }
+
+    /// The ranking score of the tuple.
+    #[inline]
+    pub fn score(&self) -> f64 {
+        self.score
+    }
+
+    /// The membership probability of the tuple.
+    #[inline]
+    pub fn probability(&self) -> Probability {
+        self.probability
+    }
+
+    /// Raw membership probability as an `f64`.
+    #[inline]
+    pub fn prob(&self) -> f64 {
+        self.probability.value()
+    }
+
+    /// Ordering key used by every algorithm in this workspace: descending by
+    /// score, then descending by probability, then ascending by id.
+    ///
+    /// Sorting by `(score desc, probability desc)` is exactly the tie-handling
+    /// extension of §3.4 (Theorem 3); the id component only makes the order
+    /// deterministic.
+    pub fn rank_key(&self) -> impl Ord {
+        (
+            std::cmp::Reverse(OrderedScore(self.score)),
+            std::cmp::Reverse(OrderedScore(self.probability.value())),
+            self.id,
+        )
+    }
+}
+
+/// Total-ordering wrapper for finite `f64` scores.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct OrderedScore(pub f64);
+
+impl Eq for OrderedScore {}
+
+impl PartialOrd for OrderedScore {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrderedScore {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructs_valid_tuples() {
+        let t = UncertainTuple::new(7u64, 42.5, 0.3).unwrap();
+        assert_eq!(t.id(), TupleId(7));
+        assert_eq!(t.score(), 42.5);
+        assert_eq!(t.prob(), 0.3);
+    }
+
+    #[test]
+    fn rejects_invalid_scores_and_probabilities() {
+        assert!(matches!(
+            UncertainTuple::new(1u64, f64::NAN, 0.5),
+            Err(Error::NonFiniteScore { tuple: 1, .. })
+        ));
+        assert!(UncertainTuple::new(1u64, 1.0, 0.0).is_err());
+        assert!(UncertainTuple::new(1u64, 1.0, 1.2).is_err());
+    }
+
+    #[test]
+    fn rank_key_orders_by_score_then_probability() {
+        let a = UncertainTuple::new(1u64, 10.0, 0.4).unwrap();
+        let b = UncertainTuple::new(2u64, 8.0, 0.9).unwrap();
+        let c = UncertainTuple::new(3u64, 8.0, 0.3).unwrap();
+        let mut v = vec![c, a, b];
+        v.sort_by_key(|t| t.rank_key());
+        let ids: Vec<u64> = v.iter().map(|t| t.id().raw()).collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn rank_key_breaks_full_ties_by_id() {
+        let a = UncertainTuple::new(9u64, 8.0, 0.3).unwrap();
+        let b = UncertainTuple::new(2u64, 8.0, 0.3).unwrap();
+        let mut v = vec![a, b];
+        v.sort_by_key(|t| t.rank_key());
+        assert_eq!(v[0].id().raw(), 2);
+    }
+
+    #[test]
+    fn tuple_id_display() {
+        assert_eq!(TupleId(12).to_string(), "T12");
+    }
+}

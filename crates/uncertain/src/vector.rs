@@ -1,0 +1,170 @@
+//! Top-k tuple vectors: the unit of answer returned by category-(1) semantics.
+
+use crate::tuple::TupleId;
+
+/// A candidate answer to a top-k query: `k` tuples that can co-exist in some
+/// possible world, together with their total score and the probability that
+/// this exact vector is the top-k of the table.
+///
+/// Vectors store tuple ids in rank order (highest score first), which is the
+/// order in which the algorithms discover them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopkVector {
+    ids: Vec<TupleId>,
+    total_score: f64,
+    probability: f64,
+}
+
+impl TopkVector {
+    /// Creates a vector from its member ids (rank order), total score and
+    /// probability of being the top-k.
+    pub fn new(ids: Vec<TupleId>, total_score: f64, probability: f64) -> Self {
+        TopkVector {
+            ids,
+            total_score,
+            probability,
+        }
+    }
+
+    /// Member tuple ids in rank order (highest score first).
+    #[inline]
+    pub fn ids(&self) -> &[TupleId] {
+        &self.ids
+    }
+
+    /// Number of tuples in the vector (the `k` of the query).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when the vector contains no tuples.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Sum of the member scores.
+    #[inline]
+    pub fn total_score(&self) -> f64 {
+        self.total_score
+    }
+
+    /// Probability that this vector is the top-k vector of the table (for
+    /// results produced under pruning or line coalescing this is the
+    /// probability accumulated by the producing algorithm, a lower bound on
+    /// the exact value in the presence of score ties, see §3.4).
+    #[inline]
+    pub fn probability(&self) -> f64 {
+        self.probability
+    }
+
+    /// True when the vector contains the given tuple.
+    pub fn contains(&self, id: impl Into<TupleId>) -> bool {
+        let id = id.into();
+        self.ids.contains(&id)
+    }
+
+    /// Number of tuples present in exactly one of the two vectors (the size
+    /// of the symmetric difference). A cheap, order-insensitive measure of
+    /// how different two answers are.
+    pub fn symmetric_difference(&self, other: &TopkVector) -> usize {
+        let only_self = self.ids.iter().filter(|id| !other.ids.contains(id)).count();
+        let only_other = other.ids.iter().filter(|id| !self.ids.contains(id)).count();
+        only_self + only_other
+    }
+
+    /// Levenshtein edit distance between the two id sequences (insertions,
+    /// deletions and substitutions each cost one). The paper (§4) suggests
+    /// users examine edit distances between typical vectors to judge how
+    /// spread out the answer space is.
+    pub fn edit_distance(&self, other: &TopkVector) -> usize {
+        let a = &self.ids;
+        let b = &other.ids;
+        if a.is_empty() {
+            return b.len();
+        }
+        if b.is_empty() {
+            return a.len();
+        }
+        let mut prev: Vec<usize> = (0..=b.len()).collect();
+        let mut cur = vec![0usize; b.len() + 1];
+        for (i, ai) in a.iter().enumerate() {
+            cur[0] = i + 1;
+            for (j, bj) in b.iter().enumerate() {
+                let cost = usize::from(ai != bj);
+                cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+            }
+            std::mem::swap(&mut prev, &mut cur);
+        }
+        prev[b.len()]
+    }
+}
+
+impl std::fmt::Display for TopkVector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "<")?;
+        for (i, id) in self.ids.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{id}")?;
+        }
+        write!(
+            f,
+            "> (score {:.4}, probability {:.6})",
+            self.total_score, self.probability
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(ids: &[u64], score: f64, p: f64) -> TopkVector {
+        TopkVector::new(ids.iter().map(|&i| TupleId(i)).collect(), score, p)
+    }
+
+    #[test]
+    fn accessors() {
+        let a = v(&[2, 6], 118.0, 0.2);
+        assert_eq!(a.len(), 2);
+        assert!(!a.is_empty());
+        assert_eq!(a.total_score(), 118.0);
+        assert_eq!(a.probability(), 0.2);
+        assert!(a.contains(2u64));
+        assert!(!a.contains(9u64));
+    }
+
+    #[test]
+    fn symmetric_difference_counts_unshared() {
+        let a = v(&[1, 2, 3], 0.0, 0.1);
+        let b = v(&[2, 3, 4], 0.0, 0.1);
+        assert_eq!(a.symmetric_difference(&b), 2);
+        assert_eq!(a.symmetric_difference(&a), 0);
+    }
+
+    #[test]
+    fn edit_distance_basic_cases() {
+        let a = v(&[1, 2, 3], 0.0, 0.1);
+        let b = v(&[1, 2, 3], 0.0, 0.9);
+        assert_eq!(a.edit_distance(&b), 0);
+        let c = v(&[1, 5, 3], 0.0, 0.1);
+        assert_eq!(a.edit_distance(&c), 1);
+        let d = v(&[], 0.0, 0.1);
+        assert_eq!(a.edit_distance(&d), 3);
+        assert_eq!(d.edit_distance(&a), 3);
+        let e = v(&[3, 2, 1], 0.0, 0.1);
+        assert_eq!(a.edit_distance(&e), 2);
+    }
+
+    #[test]
+    fn display_lists_ids_and_score() {
+        let a = v(&[2, 6], 118.0, 0.2);
+        let s = a.to_string();
+        assert!(s.contains("T2"));
+        assert!(s.contains("T6"));
+        assert!(s.contains("118"));
+    }
+}

@@ -1,0 +1,375 @@
+//! Possible-world semantics: exhaustive enumeration for small tables.
+//!
+//! Every algorithm in the workspace is ultimately defined against possible
+//! worlds (Figure 2 of the paper): a possible world picks at most one tuple
+//! from each mutual-exclusion group, with the group's left-over probability
+//! assigned to "no member appears", and includes independent tuples according
+//! to their membership probabilities. Enumeration is exponential and is only
+//! meant for ground-truth verification and for small didactic examples; the
+//! production algorithms live in `ttk-core`.
+
+use crate::error::{Error, Result};
+use crate::pmf::ScoreDistribution;
+use crate::table::UncertainTable;
+
+/// One possible world: the set of tuple positions that appear (ascending,
+/// i.e. rank order) and the probability of this world.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PossibleWorld {
+    /// Rank positions of the tuples present in this world, ascending.
+    pub present: Vec<usize>,
+    /// Probability of the world.
+    pub probability: f64,
+}
+
+impl PossibleWorld {
+    /// Total score of the top-k tuples of this world, or `None` when fewer
+    /// than `k` tuples are present. Because `present` is in rank order and
+    /// all top-k vectors of a world share the same total score (Theorem 1),
+    /// this is simply the sum of the first `k` member scores.
+    pub fn topk_score(&self, table: &UncertainTable, k: usize) -> Option<f64> {
+        if k == 0 || self.present.len() < k {
+            return None;
+        }
+        Some(
+            self.present[..k]
+                .iter()
+                .map(|&p| table.tuple(p).score())
+                .sum(),
+        )
+    }
+
+    /// Enumerates every top-k tuple vector of this world (as rank positions,
+    /// ascending). With an injective scoring function there is exactly one;
+    /// with ties there are `C(|g|, m)` of them, where `g` is the tie group
+    /// the vectors partially reach and `m` the number of tuples it
+    /// contributes (Theorem 1). Returns an empty list when fewer than `k`
+    /// tuples are present.
+    pub fn topk_vectors(&self, table: &UncertainTable, k: usize) -> Vec<Vec<usize>> {
+        if k == 0 || self.present.len() < k {
+            return Vec::new();
+        }
+        let boundary_score = table.tuple(self.present[k - 1]).score();
+        // Positions strictly above the boundary score are in every vector.
+        let fixed: Vec<usize> = self
+            .present
+            .iter()
+            .copied()
+            .filter(|&p| table.tuple(p).score() > boundary_score)
+            .collect();
+        // Members of the boundary tie group present in this world.
+        let tie: Vec<usize> = self
+            .present
+            .iter()
+            .copied()
+            .filter(|&p| table.tuple(p).score() == boundary_score)
+            .collect();
+        let m = k - fixed.len();
+        debug_assert!(m <= tie.len());
+        let mut out = Vec::new();
+        let mut choice = vec![0usize; m];
+        combinations(&tie, m, 0, 0, &mut choice, &mut |chosen| {
+            let mut v = fixed.clone();
+            v.extend_from_slice(chosen);
+            v.sort_unstable();
+            out.push(v);
+        });
+        out
+    }
+}
+
+fn combinations(
+    items: &[usize],
+    m: usize,
+    start: usize,
+    depth: usize,
+    buf: &mut [usize],
+    emit: &mut impl FnMut(&[usize]),
+) {
+    if depth == m {
+        emit(&buf[..m]);
+        return;
+    }
+    for i in start..items.len() {
+        if items.len() - i < m - depth {
+            break;
+        }
+        buf[depth] = items[i];
+        combinations(items, m, i + 1, depth + 1, buf, emit);
+    }
+}
+
+/// Per-group alternatives used by the enumerator: either one member position
+/// appears, or (when the group probabilities sum to less than one) no member
+/// appears.
+fn group_alternatives(table: &UncertainTable) -> Vec<Vec<(Option<usize>, f64)>> {
+    (0..table.group_count())
+        .map(|g| {
+            let members = table.group_positions(g);
+            let mut alts: Vec<(Option<usize>, f64)> = members
+                .iter()
+                .map(|&p| (Some(p), table.tuple(p).prob()))
+                .collect();
+            let none_prob = 1.0 - table.group_total_probability(g);
+            if none_prob > 1e-12 {
+                alts.push((None, none_prob));
+            }
+            alts
+        })
+        .collect()
+}
+
+/// Number of possible worlds of the table (saturating at `u128::MAX`).
+pub fn world_count(table: &UncertainTable) -> u128 {
+    group_alternatives(table)
+        .iter()
+        .fold(1u128, |acc, alts| acc.saturating_mul(alts.len() as u128))
+}
+
+/// Iterator over every possible world of a table.
+///
+/// Construction fails with [`Error::TooManyWorlds`] when the number of worlds
+/// exceeds `limit`, protecting callers against accidental exponential blowups.
+#[derive(Debug)]
+pub struct PossibleWorlds {
+    alternatives: Vec<Vec<(Option<usize>, f64)>>,
+    /// Odometer over `alternatives`; `None` once exhausted.
+    counters: Option<Vec<usize>>,
+}
+
+impl PossibleWorlds {
+    /// Creates an enumerator, refusing to enumerate more than `limit` worlds.
+    pub fn new(table: &UncertainTable, limit: u128) -> Result<Self> {
+        let worlds = world_count(table);
+        if worlds > limit {
+            return Err(Error::TooManyWorlds { worlds, limit });
+        }
+        let alternatives = group_alternatives(table);
+        let counters = Some(vec![0usize; alternatives.len()]);
+        Ok(PossibleWorlds {
+            alternatives,
+            counters,
+        })
+    }
+}
+
+impl Iterator for PossibleWorlds {
+    type Item = PossibleWorld;
+
+    fn next(&mut self) -> Option<PossibleWorld> {
+        let counters = self.counters.as_mut()?;
+        // Materialize the current world.
+        let mut present = Vec::new();
+        let mut probability = 1.0;
+        for (g, &choice) in counters.iter().enumerate() {
+            let (pos, p) = self.alternatives[g][choice];
+            probability *= p;
+            if let Some(pos) = pos {
+                present.push(pos);
+            }
+        }
+        present.sort_unstable();
+        // Advance the odometer.
+        let mut done = true;
+        for g in (0..counters.len()).rev() {
+            counters[g] += 1;
+            if counters[g] < self.alternatives[g].len() {
+                done = false;
+                break;
+            }
+            counters[g] = 0;
+        }
+        if done {
+            self.counters = None;
+        }
+        Some(PossibleWorld {
+            present,
+            probability,
+        })
+    }
+}
+
+/// Computes the exact top-k total-score distribution by enumerating every
+/// possible world. Worlds with fewer than `k` tuples contribute no mass, so
+/// the result may sum to less than one.
+///
+/// This is the ground truth the efficient algorithms of `ttk-core` are tested
+/// against; its cost is exponential in the number of ME groups.
+pub fn exact_topk_score_distribution(
+    table: &UncertainTable,
+    k: usize,
+    limit: u128,
+) -> Result<ScoreDistribution> {
+    if k == 0 {
+        return Err(Error::InvalidParameter("k must be at least 1".into()));
+    }
+    let mut dist = ScoreDistribution::empty();
+    for world in PossibleWorlds::new(table, limit)? {
+        if world.probability <= 0.0 {
+            continue;
+        }
+        if let Some(score) = world.topk_score(table, k) {
+            dist.add_mass(score, world.probability, None);
+        }
+    }
+    Ok(dist)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The soldier-monitoring table of Figure 1.
+    fn soldier_table() -> UncertainTable {
+        UncertainTable::builder()
+            .tuple(1u64, 49.0, 0.4)
+            .unwrap()
+            .tuple(2u64, 60.0, 0.4)
+            .unwrap()
+            .tuple(3u64, 110.0, 0.4)
+            .unwrap()
+            .tuple(4u64, 80.0, 0.3)
+            .unwrap()
+            .tuple(5u64, 56.0, 1.0)
+            .unwrap()
+            .tuple(6u64, 58.0, 0.5)
+            .unwrap()
+            .tuple(7u64, 125.0, 0.3)
+            .unwrap()
+            .me_rule([2u64, 4, 7])
+            .me_rule([3u64, 6])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn soldier_table_has_eighteen_worlds() {
+        let t = soldier_table();
+        assert_eq!(world_count(&t), 18);
+        let worlds: Vec<_> = PossibleWorlds::new(&t, 1 << 20).unwrap().collect();
+        assert_eq!(worlds.len(), 18);
+        let total: f64 = worlds.iter().map(|w| w.probability).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn world_limit_is_enforced() {
+        let t = soldier_table();
+        assert!(matches!(
+            PossibleWorlds::new(&t, 10),
+            Err(Error::TooManyWorlds { worlds: 18, limit: 10 })
+        ));
+    }
+
+    #[test]
+    fn exact_top2_distribution_matches_paper_figures() {
+        // Figure 3 facts: Pr(top-2 score = 235) = 0.12, the expected top-2
+        // total score is 164.1, and Pr(score > 118) = 0.76.
+        let t = soldier_table();
+        let d = exact_topk_score_distribution(&t, 2, 1 << 20).unwrap();
+        assert!((d.total_probability() - 1.0).abs() < 1e-9);
+        let p235: f64 = d
+            .pairs()
+            .filter(|(s, _)| (*s - 235.0).abs() < 1e-9)
+            .map(|(_, p)| p)
+            .sum();
+        assert!((p235 - 0.12).abs() < 1e-9);
+        assert!((d.expected_score() - 164.1).abs() < 0.05);
+        assert!((d.mass_above(118.0) - 0.76).abs() < 1e-9);
+    }
+
+    #[test]
+    fn certain_tuple_always_present() {
+        let t = soldier_table();
+        let p5 = t.position(5u64).unwrap();
+        for w in PossibleWorlds::new(&t, 1 << 20).unwrap() {
+            assert!(w.present.contains(&p5));
+        }
+    }
+
+    #[test]
+    fn topk_score_none_when_too_few_tuples() {
+        let t = UncertainTable::builder()
+            .tuple(1u64, 5.0, 0.5)
+            .unwrap()
+            .tuple(2u64, 4.0, 0.5)
+            .unwrap()
+            .build()
+            .unwrap();
+        let w = PossibleWorld {
+            present: vec![0],
+            probability: 0.25,
+        };
+        assert_eq!(w.topk_score(&t, 2), None);
+        assert_eq!(w.topk_score(&t, 0), None);
+        assert_eq!(w.topk_score(&t, 1), Some(5.0));
+    }
+
+    #[test]
+    fn topk_vectors_enumerates_tie_choices() {
+        // Example 3 of the paper: three tie groups g1={a,b}, g2={c,d,e},
+        // g3={f,g,h}; top-7 has C(3,2)=3 vectors.
+        let t = UncertainTable::builder()
+            .tuple(1u64, 30.0, 0.5)
+            .unwrap()
+            .tuple(2u64, 30.0, 0.5)
+            .unwrap()
+            .tuple(3u64, 20.0, 0.5)
+            .unwrap()
+            .tuple(4u64, 20.0, 0.5)
+            .unwrap()
+            .tuple(5u64, 20.0, 0.5)
+            .unwrap()
+            .tuple(6u64, 10.0, 0.5)
+            .unwrap()
+            .tuple(7u64, 10.0, 0.5)
+            .unwrap()
+            .tuple(8u64, 10.0, 0.5)
+            .unwrap()
+            .build()
+            .unwrap();
+        let w = PossibleWorld {
+            present: (0..8).collect(),
+            probability: 1.0,
+        };
+        let vectors = w.topk_vectors(&t, 7);
+        assert_eq!(vectors.len(), 3);
+        for v in &vectors {
+            assert_eq!(v.len(), 7);
+            // Every vector contains g1 and g2 entirely.
+            for p in 0..5 {
+                assert!(v.contains(&p));
+            }
+        }
+        // Injective case: exactly one vector.
+        assert_eq!(w.topk_vectors(&t, 5).len(), 1);
+        // Too few tuples: none.
+        let small = PossibleWorld {
+            present: vec![0, 1],
+            probability: 1.0,
+        };
+        assert!(small.topk_vectors(&t, 7).is_empty());
+    }
+
+    #[test]
+    fn exact_distribution_rejects_k_zero() {
+        let t = soldier_table();
+        assert!(exact_topk_score_distribution(&t, 0, 1 << 20).is_err());
+    }
+
+    #[test]
+    fn independent_two_tuple_table_worlds() {
+        let t = UncertainTable::builder()
+            .tuple(1u64, 5.0, 0.5)
+            .unwrap()
+            .tuple(2u64, 4.0, 0.25)
+            .unwrap()
+            .build()
+            .unwrap();
+        assert_eq!(world_count(&t), 4);
+        let d = exact_topk_score_distribution(&t, 1, 100).unwrap();
+        // Top-1: score 5 with prob 0.5; score 4 with prob 0.5*0.25.
+        assert!((d.cdf(4.5) - 0.125).abs() < 1e-12);
+        assert!((d.total_probability() - 0.625).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,161 @@
+//! Property-based tests for the uncertain-relation data model.
+
+use proptest::prelude::*;
+use ttk_uncertain::{
+    exact_topk_score_distribution, world_count, CoalescePolicy, PossibleWorlds, ScoreDistribution,
+    UncertainTable, UncertainTuple,
+};
+
+/// Strategy producing a small random uncertain table together with its ME
+/// rules. Group sizes are kept small so exhaustive enumeration stays cheap.
+fn small_table() -> impl Strategy<Value = UncertainTable> {
+    // Up to 8 tuples; scores in a small range so ties happen regularly.
+    let tuple = (0u64..1000, 0i32..12, 1u32..=10)
+        .prop_map(|(id, score, p)| (id, score as f64, p as f64 / 10.0));
+    proptest::collection::vec(tuple, 1..8).prop_map(|mut raw| {
+        // Deduplicate ids while keeping order.
+        raw.sort_by_key(|r| r.0);
+        raw.dedup_by_key(|r| r.0);
+        let tuples: Vec<UncertainTuple> = raw
+            .iter()
+            .map(|&(id, s, p)| UncertainTuple::new(id, s, p).unwrap())
+            .collect();
+        // Greedily form ME groups of up to 3 tuples whose probabilities sum
+        // to at most 1.
+        let mut rules: Vec<Vec<u64>> = Vec::new();
+        let mut current: Vec<u64> = Vec::new();
+        let mut current_sum = 0.0;
+        for t in &tuples {
+            if current.len() < 3 && current_sum + t.prob() <= 1.0 {
+                current.push(t.id().raw());
+                current_sum += t.prob();
+            } else {
+                if current.len() > 1 {
+                    rules.push(current.clone());
+                }
+                current = vec![t.id().raw()];
+                current_sum = t.prob();
+            }
+        }
+        if current.len() > 1 {
+            rules.push(current);
+        }
+        UncertainTable::new(
+            tuples,
+            rules
+                .into_iter()
+                .map(|r| r.into_iter().map(Into::into).collect())
+                .collect(),
+        )
+        .unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Possible-world probabilities always sum to one.
+    #[test]
+    fn world_probabilities_sum_to_one(table in small_table()) {
+        let worlds: Vec<_> = PossibleWorlds::new(&table, 1 << 24).unwrap().collect();
+        prop_assert_eq!(worlds.len() as u128, world_count(&table));
+        let total: f64 = worlds.iter().map(|w| w.probability).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "total = {}", total);
+    }
+
+    /// The exact top-k score distribution never captures more than unit mass
+    /// and equals the probability that at least k tuples exist.
+    #[test]
+    fn exact_distribution_mass_matches_world_mass(table in small_table(), k in 1usize..4) {
+        let dist = exact_topk_score_distribution(&table, k, 1 << 24).unwrap();
+        let mass_with_k: f64 = PossibleWorlds::new(&table, 1 << 24)
+            .unwrap()
+            .filter(|w| w.present.len() >= k)
+            .map(|w| w.probability)
+            .sum();
+        prop_assert!(dist.total_probability() <= 1.0 + 1e-9);
+        prop_assert!((dist.total_probability() - mass_with_k).abs() < 1e-9);
+    }
+
+    /// Every world either has no top-k (too few tuples) or all of its top-k
+    /// vectors share the same total score (Theorem 1).
+    #[test]
+    fn all_topk_vectors_of_a_world_share_a_score(table in small_table(), k in 1usize..4) {
+        for world in PossibleWorlds::new(&table, 1 << 24).unwrap() {
+            let vectors = world.topk_vectors(&table, k);
+            if world.present.len() < k {
+                prop_assert!(vectors.is_empty());
+                continue;
+            }
+            prop_assert!(!vectors.is_empty());
+            let score_of = |v: &Vec<usize>| -> f64 {
+                v.iter().map(|&p| table.tuple(p).score()).sum()
+            };
+            let expected = world.topk_score(&table, k).unwrap();
+            for v in &vectors {
+                prop_assert_eq!(v.len(), k);
+                prop_assert!((score_of(v) - expected).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// Coalescing reduces the number of lines to the requested bound while
+    /// preserving total probability mass, and keeps the expectation within
+    /// the span of the distribution.
+    #[test]
+    fn coalescing_preserves_mass(
+        pairs in proptest::collection::vec((0.0f64..1000.0, 0.01f64..1.0), 1..60),
+        max_lines in 1usize..20,
+        weighted in any::<bool>(),
+    ) {
+        let dist = ScoreDistribution::from_pairs(pairs.iter().copied());
+        let before_mass = dist.total_probability();
+        let lo = dist.min_score().unwrap();
+        let hi = dist.max_score().unwrap();
+        let mut coalesced = dist.clone();
+        let policy = if weighted { CoalescePolicy::WeightedMean } else { CoalescePolicy::PaperMean };
+        coalesced.coalesce(max_lines, policy);
+        prop_assert!(coalesced.len() <= max_lines);
+        prop_assert!((coalesced.total_probability() - before_mass).abs() < 1e-6);
+        let mean = coalesced.expected_score();
+        prop_assert!(mean >= lo - 1e-9 && mean <= hi + 1e-9);
+    }
+
+    /// A histogram at any bucket width captures exactly the distribution's
+    /// total mass.
+    #[test]
+    fn histogram_captures_all_mass(
+        pairs in proptest::collection::vec((0.0f64..500.0, 0.01f64..1.0), 1..40),
+        width in 0.5f64..100.0,
+    ) {
+        let dist = ScoreDistribution::from_pairs(pairs.iter().copied());
+        let h = dist.histogram(width).unwrap();
+        prop_assert!((h.total() - dist.total_probability()).abs() < 1e-9);
+    }
+
+    /// The earth mover's distance is symmetric and zero on identical inputs.
+    #[test]
+    fn emd_symmetry(
+        a in proptest::collection::vec((0.0f64..100.0, 0.01f64..1.0), 1..20),
+        b in proptest::collection::vec((0.0f64..100.0, 0.01f64..1.0), 1..20),
+    ) {
+        let da = ScoreDistribution::from_pairs(a.iter().copied());
+        let db = ScoreDistribution::from_pairs(b.iter().copied());
+        prop_assert!(da.earth_movers_distance(&da) < 1e-9);
+        let d1 = da.earth_movers_distance(&db);
+        let d2 = db.earth_movers_distance(&da);
+        prop_assert!((d1 - d2).abs() < 1e-9);
+    }
+
+    /// Quantiles are monotone in the requested level.
+    #[test]
+    fn quantiles_are_monotone(
+        pairs in proptest::collection::vec((0.0f64..100.0, 0.01f64..1.0), 1..20),
+        q1 in 0.0f64..1.0,
+        q2 in 0.0f64..1.0,
+    ) {
+        let dist = ScoreDistribution::from_pairs(pairs.iter().copied());
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(dist.quantile(lo).unwrap() <= dist.quantile(hi).unwrap());
+    }
+}

@@ -1,0 +1,76 @@
+//! Shared helpers for the runnable examples.
+//!
+//! The examples print score distributions as ASCII histograms; the helpers
+//! here keep that presentation code out of the individual binaries.
+
+use ttk_uncertain::ScoreDistribution;
+
+/// Renders a score distribution as an ASCII histogram with `buckets` bars.
+///
+/// Each line shows the bucket's score range, its probability mass and a bar
+/// whose length is proportional to the mass. Markers (for example the U-Topk
+/// score or the typical scores) are annotated on the bucket they fall into.
+pub fn render_histogram(
+    distribution: &ScoreDistribution,
+    buckets: usize,
+    markers: &[(f64, &str)],
+) -> String {
+    let Some(lo) = distribution.min_score() else {
+        return "(empty distribution)".to_string();
+    };
+    let hi = distribution.max_score().unwrap_or(lo);
+    let width = if hi > lo {
+        (hi - lo) / buckets as f64
+    } else {
+        1.0
+    };
+    let Some(hist) = distribution.histogram(width) else {
+        return "(empty distribution)".to_string();
+    };
+    let max_mass = hist
+        .buckets
+        .iter()
+        .fold(f64::MIN_POSITIVE, |acc, &b| acc.max(b));
+    let mut out = String::new();
+    for (i, &mass) in hist.buckets.iter().enumerate() {
+        let start = hist.bucket_start(i);
+        let end = start + hist.width;
+        let bar_len = ((mass / max_mass) * 50.0).round() as usize;
+        let mut annotations = String::new();
+        for (value, label) in markers {
+            let in_last = i + 1 == hist.buckets.len() && *value >= start;
+            if (*value >= start && *value < end) || in_last {
+                annotations.push_str(&format!("  <-- {label} ({value:.1})"));
+            }
+        }
+        out.push_str(&format!(
+            "[{start:8.1}, {end:8.1})  {mass:6.4}  {}{annotations}\n",
+            "#".repeat(bar_len)
+        ));
+    }
+    out
+}
+
+/// Formats a probability as a percentage with two decimals.
+pub fn percent(p: f64) -> String {
+    format!("{:.2}%", p * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_renders_all_buckets_and_markers() {
+        let d = ScoreDistribution::from_pairs([(0.0, 0.2), (10.0, 0.5), (20.0, 0.3)]);
+        let text = render_histogram(&d, 4, &[(10.0, "U-Topk")]);
+        assert_eq!(text.lines().count(), 5);
+        assert!(text.contains("U-Topk"));
+        assert!(render_histogram(&ScoreDistribution::empty(), 4, &[]).contains("empty"));
+    }
+
+    #[test]
+    fn percent_formats() {
+        assert_eq!(percent(0.1234), "12.34%");
+    }
+}

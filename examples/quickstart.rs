@@ -1,0 +1,86 @@
+//! Quickstart: build a small uncertain table, compute the top-k score
+//! distribution, the c-Typical-Topk answers and the U-Topk comparison point.
+//!
+//! Run with `cargo run -p ttk-examples --bin quickstart`.
+
+use ttk_core::{execute, TopkQuery};
+use ttk_examples::{percent, render_histogram};
+use ttk_uncertain::UncertainTable;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Sensor readings for four objects; two readings disagree about object B
+    // (they are mutually exclusive), the others are independent.
+    let table = UncertainTable::builder()
+        .tuple(1u64, 92.0, 0.35)? // object A, strong but unlikely reading
+        .tuple(2u64, 75.0, 0.60)? // object B, first estimate
+        .tuple(3u64, 64.0, 0.40)? // object B, second estimate
+        .tuple(4u64, 58.0, 0.90)? // object C
+        .tuple(5u64, 41.0, 1.00)? // object D, certain
+        .tuple(6u64, 30.0, 0.80)? // object E
+        .me_rule([2u64, 3u64])
+        .build()?;
+
+    // k = 3, c = 3 typical answers, exact computation (no pruning).
+    let query = TopkQuery::new(3)
+        .with_typical_count(3)
+        .with_p_tau(1e-9)
+        .with_max_lines(0);
+    let answer = execute(&table, &query)?;
+
+    println!("== Top-3 total score distribution ==");
+    let mut markers: Vec<(f64, &str)> = Vec::new();
+    if let Some(u) = &answer.u_topk {
+        markers.push((u.vector.total_score(), "U-Topk"));
+    }
+    let typical_scores = answer.typical.scores();
+    let typical_markers: Vec<(f64, String)> = typical_scores
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| (s, format!("typical #{}", i + 1)))
+        .collect();
+    let mut all_markers = markers.clone();
+    for (s, label) in &typical_markers {
+        all_markers.push((*s, label.as_str()));
+    }
+    print!("{}", render_histogram(&answer.distribution, 12, &all_markers));
+
+    println!();
+    println!(
+        "captured probability mass : {}",
+        percent(answer.distribution.total_probability())
+    );
+    println!("expected top-3 score      : {:.2}", answer.expected_score());
+    println!(
+        "score standard deviation  : {:.2}",
+        answer.distribution.std_dev()
+    );
+    println!();
+
+    println!("== c-Typical-Top3 answers (c = 3) ==");
+    for typical in &answer.typical.answers {
+        match &typical.vector {
+            Some(v) => println!(
+                "  score {:7.2}  probability {:6.4}  vector {}",
+                typical.score,
+                typical.probability,
+                v
+            ),
+            None => println!("  score {:7.2}  probability {:6.4}", typical.score, typical.probability),
+        }
+    }
+    println!(
+        "  expected |actual - closest typical| = {:.3}",
+        answer.typical.expected_distance
+    );
+    println!();
+
+    if let Some(u) = &answer.u_topk {
+        println!("== U-Topk comparison ==");
+        println!("  U-Top3 vector   : {}", u.vector);
+        println!(
+            "  percentile of its score in the distribution: {}",
+            percent(answer.u_topk_percentile().unwrap_or(0.0))
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,101 @@
+//! Reproduces the synthetic study of §5.4 interactively: how the correlation
+//! between scores and confidences (Figure 13), the score variance
+//! (Figure 14) and the ME-group structure (Figures 15–16) change the top-k
+//! score distribution and how atypical the U-Topk answer becomes.
+//!
+//! Run with `cargo run -p ttk-examples --bin synthetic_correlation`.
+
+use ttk_core::{execute, TopkQuery};
+use ttk_datagen::synthetic::{generate, IntRange, MePolicy, SyntheticConfig};
+use ttk_examples::percent;
+use ttk_uncertain::UncertainTable;
+
+fn summarize(label: &str, table: &UncertainTable, k: usize) -> Result<(), Box<dyn std::error::Error>> {
+    let answer = execute(
+        table,
+        &TopkQuery::new(k)
+            .with_typical_count(3)
+            .with_p_tau(1e-3)
+            .with_max_lines(300),
+    )?;
+    let dist = &answer.distribution;
+    let u_score = answer
+        .u_topk
+        .as_ref()
+        .map(|u| u.vector.total_score())
+        .unwrap_or(f64::NAN);
+    println!(
+        "{label:<34} span [{:8.1}, {:8.1}]  E[score] {:8.1}  std {:7.1}  U-Topk {:8.1} (pct {})  typicals {:?}",
+        dist.min_score().unwrap_or(f64::NAN),
+        dist.max_score().unwrap_or(f64::NAN),
+        answer.expected_score(),
+        dist.std_dev(),
+        u_score,
+        percent(answer.u_topk_percentile().unwrap_or(f64::NAN)),
+        answer
+            .typical
+            .scores()
+            .iter()
+            .map(|s| s.round())
+            .collect::<Vec<_>>(),
+    );
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let k = 10;
+    println!("k = {k}, n = 300 tuples per configuration, all seeds fixed\n");
+
+    println!("== Figure 13: score/confidence correlation ==");
+    for rho in [0.0, 0.8, -0.8] {
+        let table = generate(&SyntheticConfig::with_correlation(rho))?;
+        summarize(&format!("correlation rho = {rho:+.1}"), &table, k)?;
+    }
+    println!();
+
+    println!("== Figure 14: wider score variance ==");
+    for sigma in [60.0, 100.0] {
+        let table = generate(&SyntheticConfig {
+            score_std: sigma,
+            ..SyntheticConfig::default()
+        })?;
+        summarize(&format!("score sigma = {sigma}"), &table, k)?;
+    }
+    println!();
+
+    println!("== Figure 15: gaps between ME-group members ==");
+    for (label, gap) in [("gaps 1-8", IntRange::new(1, 8)), ("gaps 1-40", IntRange::new(1, 40))] {
+        let table = generate(&SyntheticConfig {
+            me_policy: MePolicy {
+                gap,
+                ..MePolicy::default()
+            },
+            ..SyntheticConfig::default()
+        })?;
+        summarize(label, &table, k)?;
+    }
+    println!();
+
+    println!("== Figure 16: larger ME groups ==");
+    for (label, size) in [
+        ("group size 2-3", IntRange::new(2, 3)),
+        ("group size 2-10", IntRange::new(2, 10)),
+    ] {
+        let table = generate(&SyntheticConfig {
+            me_policy: MePolicy {
+                group_size: size,
+                ..MePolicy::default()
+            },
+            ..SyntheticConfig::default()
+        })?;
+        summarize(label, &table, k)?;
+    }
+    println!();
+    println!(
+        "Expected shapes: positive correlation shifts the distribution right and negative\n\
+         correlation left; a larger sigma widens the span; changing only the gaps barely\n\
+         matters; larger ME groups widen the span, lower the scores and push U-Topk toward\n\
+         the tail."
+    );
+    Ok(())
+}

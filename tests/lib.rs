@@ -1,0 +1,28 @@
+//! Shared fixtures for the cross-crate integration tests.
+
+use ttk_uncertain::UncertainTable;
+
+/// The soldier-monitoring table of Figure 1, re-exported for integration
+/// tests that exercise the full stack.
+pub fn soldier_table() -> UncertainTable {
+    ttk_datagen::soldier::table().expect("the static example table is valid")
+}
+
+/// A deterministic CarTel-like area of moderate size.
+pub fn small_area() -> ttk_datagen::Area {
+    ttk_datagen::generate_area(&ttk_datagen::CartelConfig {
+        segments: 25,
+        seed: 7,
+        ..ttk_datagen::CartelConfig::default()
+    })
+    .expect("area generation succeeds")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fixtures_are_consistent() {
+        assert_eq!(super::soldier_table().len(), 7);
+        assert!(super::small_area().table().len() >= 25);
+    }
+}

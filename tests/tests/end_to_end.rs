@@ -1,0 +1,192 @@
+//! Cross-crate integration tests: data generators → probabilistic database →
+//! core algorithms → typical answers, exercised the way the examples and the
+//! CLI use them.
+
+use ttk_core::baselines::{exhaustive_topk_distribution, u_topk, UTopkConfig};
+use ttk_core::{execute, Algorithm, TopkQuery};
+use ttk_datagen::synthetic::{generate, MePolicy, SyntheticConfig};
+use ttk_integration_tests::{small_area, soldier_table};
+use ttk_pdb::{
+    run_distribution_query, table_from_csv, table_to_csv, CsvOptions, DataType, DistributionQuery,
+    PTable, Schema,
+};
+
+#[test]
+fn soldier_example_reproduces_every_published_number() {
+    let table = soldier_table();
+    let answer = execute(
+        &table,
+        &TopkQuery::new(2).with_p_tau(1e-9).with_max_lines(0),
+    )
+    .unwrap();
+
+    // Figure 3 / §1 numbers.
+    assert!((answer.expected_score() - 164.1).abs() < 0.05);
+    assert!((answer.distribution.mass_above(118.0) - 0.76).abs() < 1e-9);
+    let u = answer.u_topk.as_ref().unwrap();
+    assert_eq!(u.vector.total_score(), 118.0);
+    assert!((u.vector.probability() - 0.2).abs() < 1e-9);
+
+    // §2.2 numbers.
+    assert_eq!(answer.typical.scores(), vec![118.0, 183.0, 235.0]);
+    assert!((answer.typical.expected_distance - 6.6).abs() < 0.05);
+}
+
+#[test]
+fn cartel_pipeline_from_rows_to_typical_answers() {
+    let area = small_area();
+    let schema = Schema::default()
+        .with("segment_id", DataType::Integer)
+        .with("speed_limit", DataType::Float)
+        .with("length", DataType::Float)
+        .with("delay", DataType::Float);
+    let mut relation = PTable::new("area", schema);
+    for segment in &area.segments {
+        for bin in &segment.bins {
+            relation
+                .insert(
+                    vec![
+                        (segment.segment_id as i64).into(),
+                        segment.speed_limit_kmh.into(),
+                        segment.length_m.into(),
+                        bin.delay_seconds.into(),
+                    ],
+                    bin.probability.clamp(1e-6, 1.0),
+                    Some(&format!("segment-{}", segment.segment_id)),
+                )
+                .unwrap();
+        }
+    }
+
+    let query = DistributionQuery::new("speed_limit / (length / delay)", 5);
+    let result = run_distribution_query(&relation, &query).unwrap();
+    let answer = &result.answer;
+
+    // The distribution captures nearly all mass (segments always exist, so a
+    // top-5 always exists as long as there are ≥ 5 segments).
+    assert!(answer.distribution.total_probability() > 0.97);
+    // Typical vectors contain 5 distinct segments each.
+    for rows in result.typical_rows() {
+        assert_eq!(rows.len(), 5);
+        let mut segments: Vec<String> = rows
+            .iter()
+            .map(|&r| relation.row(r).unwrap().values[0].to_string())
+            .collect();
+        segments.sort();
+        segments.dedup();
+        assert_eq!(segments.len(), 5, "typical vector repeats a segment");
+    }
+    // The U-Topk score lies inside the distribution's span.
+    let u = answer.u_topk.as_ref().unwrap();
+    assert!(u.vector.total_score() >= answer.distribution.min_score().unwrap() - 1e-9);
+    assert!(u.vector.total_score() <= answer.distribution.max_score().unwrap() + 1e-9);
+}
+
+#[test]
+fn csv_round_trip_preserves_query_results() {
+    let area = small_area();
+    let schema = Schema::default()
+        .with("speed_limit", DataType::Float)
+        .with("length", DataType::Float)
+        .with("delay", DataType::Float);
+    let mut relation = PTable::new("area", schema);
+    for segment in &area.segments {
+        for bin in &segment.bins {
+            relation
+                .insert(
+                    vec![
+                        segment.speed_limit_kmh.into(),
+                        segment.length_m.into(),
+                        bin.delay_seconds.into(),
+                    ],
+                    bin.probability.clamp(1e-6, 1.0),
+                    Some(&format!("segment-{}", segment.segment_id)),
+                )
+                .unwrap();
+        }
+    }
+    let csv = table_to_csv(&relation, &CsvOptions::default());
+    let reloaded = table_from_csv("area", &csv, &CsvOptions::default()).unwrap();
+    assert_eq!(reloaded.len(), relation.len());
+
+    let query = DistributionQuery::new("speed_limit / (length / delay)", 3);
+    let a = run_distribution_query(&relation, &query).unwrap();
+    let b = run_distribution_query(&reloaded, &query).unwrap();
+    assert!((a.answer.expected_score() - b.answer.expected_score()).abs() < 1e-6);
+    assert_eq!(a.answer.typical.scores().len(), b.answer.typical.scores().len());
+}
+
+#[test]
+fn all_algorithms_agree_on_a_generated_workload() {
+    // A small synthetic table (exhaustive enumeration still feasible).
+    let table = generate(&SyntheticConfig {
+        tuples: 12,
+        me_policy: MePolicy::default(),
+        seed: 99,
+        ..SyntheticConfig::default()
+    })
+    .unwrap();
+    let k = 3;
+    let exact = exhaustive_topk_distribution(&table, k, 1 << 24).unwrap();
+    for algorithm in [
+        Algorithm::Main,
+        Algorithm::MainPerEnding,
+        Algorithm::StateExpansion,
+        Algorithm::KCombo,
+    ] {
+        let answer = execute(
+            &table,
+            &TopkQuery::new(k)
+                .with_p_tau(1e-12)
+                .with_max_lines(0)
+                .with_algorithm(algorithm)
+                .with_u_topk(false),
+        )
+        .unwrap();
+        assert_eq!(answer.distribution.len(), exact.len(), "{algorithm:?}");
+        assert!(
+            (answer.expected_score() - exact.expected_score()).abs() < 1e-9,
+            "{algorithm:?}"
+        );
+    }
+}
+
+#[test]
+fn u_topk_answer_is_compatible_with_me_rules() {
+    let area = small_area();
+    let table = area.table();
+    let answer = u_topk(table, 6, &UTopkConfig::default()).unwrap().unwrap();
+    // All members of the vector come from distinct segments (distinct ME
+    // groups), i.e. the answer is a set of compatible tuples.
+    let mut groups: Vec<usize> = answer
+        .vector
+        .ids()
+        .iter()
+        .map(|id| table.group_index(table.position(*id).unwrap()))
+        .collect();
+    groups.sort_unstable();
+    groups.dedup();
+    assert_eq!(groups.len(), 6);
+}
+
+#[test]
+fn typicality_improves_with_more_typical_answers() {
+    let area = small_area();
+    let table = area.table();
+    let mut previous = f64::INFINITY;
+    for c in [1usize, 2, 3, 5, 8] {
+        let answer = execute(
+            table,
+            &TopkQuery::new(5)
+                .with_typical_count(c)
+                .with_u_topk(false),
+        )
+        .unwrap();
+        let distance = answer.typical.expected_distance;
+        assert!(
+            distance <= previous + 1e-9,
+            "expected distance should not increase with c: {distance} > {previous}"
+        );
+        previous = distance;
+    }
+}
