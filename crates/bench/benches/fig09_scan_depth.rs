@@ -1,8 +1,19 @@
-//! Figure 9: cost of computing the Theorem-2 scan depth as k grows.
+//! Figure 9: cost of the Theorem-2 scan as k grows, in three variants:
+//!
+//! * `depth` — just computing the scan depth (the paper's figure);
+//! * `materialized` — the pre-streaming pipeline: compute the depth over the
+//!   full table, then *truncate* (re-sort, re-group) to the prefix;
+//! * `streamed` — the rank-scan executor: pull tuples through the
+//!   incremental `ScanGate` and assemble the prefix directly, never touching
+//!   the tuples past the bound.
+//!
+//! The `materialized`/`streamed` pair quantifies what fusing the stopping
+//! condition into the scan saves before any algorithm even runs.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use ttk_bench::{evaluation_area, P_TAU};
-use ttk_core::scan_depth;
+use ttk_core::{scan_depth, RankScan, ScanGate};
+use ttk_uncertain::TableSource;
 
 fn bench_scan_depth(c: &mut Criterion) {
     let area = evaluation_area(400, 9);
@@ -12,12 +23,38 @@ fn bench_scan_depth(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(2));
     group.warm_up_time(std::time::Duration::from_millis(500));
     for k in [10usize, 20, 30, 40, 50, 60] {
-        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+        group.bench_with_input(BenchmarkId::new("depth", k), &k, |b, &k| {
             b.iter(|| scan_depth(table, k, P_TAU).unwrap());
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_scan_depth);
+fn bench_streamed_vs_materialized(c: &mut Criterion) {
+    let area = evaluation_area(400, 9);
+    let table = area.table();
+    let mut group = c.benchmark_group("fig09_scan_variants");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for k in [10usize, 20, 40] {
+        group.bench_with_input(BenchmarkId::new("materialized", k), &k, |b, &k| {
+            b.iter(|| {
+                let depth = scan_depth(table, k, P_TAU).unwrap();
+                black_box(table.truncate(depth))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("streamed", k), &k, |b, &k| {
+            let mut scan = RankScan::new();
+            b.iter(|| {
+                let mut source = TableSource::new(table);
+                let mut gate = ScanGate::new(k, P_TAU).unwrap();
+                black_box(scan.collect_prefix(&mut source, &mut gate).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scan_depth, bench_streamed_vs_materialized);
 criterion_main!(benches);

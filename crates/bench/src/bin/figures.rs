@@ -109,7 +109,10 @@ fn main() {
         println!("==== Figure 11: ME tuple portion vs. execution time (k = 20) ====");
         println!("{:>10} {:>12} {:>12}", "requested", "actual", "seconds");
         for (requested, actual, time) in fig11_me_portion(&[0.1, 0.2, 0.3, 0.4, 0.5], 20) {
-            println!("{requested:>10.1} {actual:>12.3} {:>12.3}", time.as_secs_f64());
+            println!(
+                "{requested:>10.1} {actual:>12.3} {:>12.3}",
+                time.as_secs_f64()
+            );
         }
         println!();
     }
@@ -123,9 +126,7 @@ fn main() {
         println!();
     }
 
-    let sweep_wanted = ["13", "14", "15", "16"]
-        .iter()
-        .any(|f| want(&selected, f));
+    let sweep_wanted = ["13", "14", "15", "16"].iter().any(|f| want(&selected, f));
     if sweep_wanted {
         println!("==== Figures 13-16: synthetic sweeps (k = 10) ====");
         for fig in fig13_16_distributions() {
@@ -154,7 +155,9 @@ fn main() {
     }
 
     if want(&selected, "A2") {
-        println!("==== Ablation A2: lead-region refinement vs. per-ending decomposition (k = 20) ====");
+        println!(
+            "==== Ablation A2: lead-region refinement vs. per-ending decomposition (k = 20) ===="
+        );
         let (lead, per_ending) = ablation_lead_regions(20);
         println!("lead-region : {:.3} s", lead.as_secs_f64());
         println!("per-ending  : {:.3} s", per_ending.as_secs_f64());

@@ -129,7 +129,10 @@ pub fn fig08_areas() -> Vec<DistributionFigure> {
         .map(|&(seed, k)| {
             let area = evaluation_area(60, 100 + seed);
             distribution_figure(
-                &format!("Figure 8{}: area seed {seed}, top-{k}", (b'a' + seed as u8) as char),
+                &format!(
+                    "Figure 8{}: area seed {seed}, top-{k}",
+                    (b'a' + seed as u8) as char
+                ),
                 area.table(),
                 k,
             )
@@ -167,7 +170,11 @@ pub struct AlgorithmTiming {
 /// algorithms grow exponentially on this workload (that is the figure's
 /// point), so each gets its own cap: StateExpansion is skipped above
 /// `se_max_k` and k-Combo above `kcombo_max_k`.
-pub fn fig10_algorithms(ks: &[usize], se_max_k: usize, kcombo_max_k: usize) -> Vec<AlgorithmTiming> {
+pub fn fig10_algorithms(
+    ks: &[usize],
+    se_max_k: usize,
+    kcombo_max_k: usize,
+) -> Vec<AlgorithmTiming> {
     let area = evaluation_area(400, 9);
     let table = area.table();
     let naive = NaiveConfig {

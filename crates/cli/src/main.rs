@@ -13,13 +13,13 @@
 use std::collections::HashMap;
 use std::process::ExitCode;
 
-use ttk_core::{execute, Algorithm, TopkQuery};
+use ttk_core::{execute, execute_batch, Algorithm, BatchJob, TopkQuery};
 use ttk_datagen::cartel::{generate_area, CartelConfig};
 use ttk_datagen::soldier;
 use ttk_datagen::synthetic::{generate, IntRange, MePolicy, SyntheticConfig};
 use ttk_pdb::{
-    run_distribution_query, table_from_csv, table_to_csv, CsvOptions, DataType, DistributionQuery,
-    PTable, Schema,
+    parse_expression, run_distribution_query, table_from_csv, table_to_csv, CsvOptions, DataType,
+    DistributionQuery, PTable, Schema,
 };
 use ttk_uncertain::ScoreDistribution;
 
@@ -43,7 +43,12 @@ fn usage() -> &'static str {
   ttk generate synthetic [--tuples N] [--rho R] [--sigma S] [--me-size LO:HI] [--me-gap LO:HI] [--seed S] [--out FILE]
   ttk query --file data.csv --score EXPR --k K
             [--c C] [--p-tau P] [--max-lines N] [--algorithm main|per-ending|state-expansion|k-combo]
-            [--prob-column NAME] [--group-column NAME] [--buckets N]"
+            [--prob-column NAME] [--group-column NAME] [--buckets N]
+            [--batch KS] [--threads N]
+
+  --batch KS runs one query per k in KS (comma list `1,5,10` or range
+  `LO:HI`) through the parallel batch executor and prints a summary table;
+  --k is ignored when --batch is given."
 }
 
 /// Parses `--key value` style flags into a map; bare words are positional.
@@ -206,13 +211,42 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses a `--batch` specification: `1,5,10` or `LO:HI` (inclusive).
+fn parse_k_list(raw: &str) -> Result<Vec<usize>, String> {
+    if let Some((lo, hi)) = raw.split_once(':') {
+        let lo: usize = lo
+            .parse()
+            .map_err(|_| format!("invalid batch range `{raw}`"))?;
+        let hi: usize = hi
+            .parse()
+            .map_err(|_| format!("invalid batch range `{raw}`"))?;
+        if lo == 0 || lo > hi {
+            return Err(format!("empty batch range `{raw}`"));
+        }
+        return Ok((lo..=hi).collect());
+    }
+    let ks: Vec<usize> = raw
+        .split(',')
+        .map(|part| part.trim().parse())
+        .collect::<Result<_, _>>()
+        .map_err(|_| format!("invalid batch list `{raw}`"))?;
+    if ks.contains(&0) {
+        return Err(format!("batch list `{raw}` must contain positive k values"));
+    }
+    Ok(ks)
+}
+
 fn cmd_query(args: &[String]) -> Result<(), String> {
     let (_, flags) = parse_flags(args)?;
     let file = flags.get("file").ok_or("--file is required")?;
     let score = flags.get("score").ok_or("--score is required")?;
     let k = get_parse(&flags, "k", 0usize)?;
-    if k == 0 {
-        return Err("--k is required and must be at least 1".to_string());
+    let batch_ks = match flags.get("batch") {
+        Some(raw) => Some(parse_k_list(raw)?),
+        None => None,
+    };
+    if k == 0 && batch_ks.is_none() {
+        return Err("--k (or --batch) is required and must be at least 1".to_string());
     }
     let c = get_parse(&flags, "c", 3usize)?;
     let p_tau = get_parse(&flags, "p-tau", 1e-3f64)?;
@@ -240,6 +274,76 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
 
     let text = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
     let table = table_from_csv("data", &text, &csv_options).map_err(|e| e.to_string())?;
+
+    if let Some(ks) = batch_ks {
+        let threads = get_parse(&flags, "threads", 0usize)?;
+        let expression = parse_expression(score).map_err(|e| e.to_string())?;
+        let uncertain = table
+            .to_uncertain_table(&expression)
+            .map_err(|e| e.to_string())?;
+        let jobs: Vec<BatchJob> = ks
+            .iter()
+            .map(|&batch_k| {
+                BatchJob::new(
+                    &uncertain,
+                    TopkQuery::new(batch_k)
+                        .with_typical_count(c)
+                        .with_p_tau(p_tau)
+                        .with_max_lines(max_lines)
+                        .with_algorithm(algorithm),
+                )
+            })
+            .collect();
+        let started = std::time::Instant::now();
+        let answers = execute_batch(&jobs, threads);
+        let elapsed = started.elapsed();
+        println!(
+            "{} rows loaded from {file}; scoring expression: {expression}",
+            table.len()
+        );
+        println!(
+            "batch of {} queries executed in {:.3} s ({} worker threads)",
+            jobs.len(),
+            elapsed.as_secs_f64(),
+            if threads == 0 {
+                "auto".to_string()
+            } else {
+                // The executor never spawns more workers than jobs.
+                threads.min(jobs.len()).to_string()
+            }
+        );
+        println!(
+            "{:>4}  {:>10}  {:>9}  {:>6}  {:>10}  typical scores",
+            "k", "E[score]", "std dev", "depth", "U-Topk"
+        );
+        for (batch_k, answer) in ks.iter().zip(&answers) {
+            match answer {
+                Ok(a) => {
+                    let u = a
+                        .u_topk
+                        .as_ref()
+                        .map(|u| format!("{:.2}", u.vector.total_score()))
+                        .unwrap_or_else(|| "-".to_string());
+                    let typical: Vec<String> = a
+                        .typical
+                        .scores()
+                        .iter()
+                        .map(|s| format!("{s:.2}"))
+                        .collect();
+                    println!(
+                        "{batch_k:>4}  {:>10.2}  {:>9.2}  {:>6}  {u:>10}  [{}]",
+                        a.expected_score(),
+                        a.distribution.std_dev(),
+                        a.scan_depth,
+                        typical.join(", ")
+                    );
+                }
+                Err(e) => println!("{batch_k:>4}  error: {e}"),
+            }
+        }
+        return Ok(());
+    }
+
     let query = DistributionQuery::new(score.clone(), k).with_topk(
         TopkQuery::new(k)
             .with_typical_count(c)
@@ -253,7 +357,11 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         table.len(),
         result.score_expression
     );
-    print_histogram(&result.answer.distribution, buckets, &markers(&result.answer));
+    print_histogram(
+        &result.answer.distribution,
+        buckets,
+        &markers(&result.answer),
+    );
     print_answer_summary(&result.answer);
     Ok(())
 }
@@ -275,12 +383,20 @@ fn print_histogram(distribution: &ScoreDistribution, buckets: usize, markers: &[
         return;
     };
     let hi = distribution.max_score().unwrap_or(lo);
-    let width = if hi > lo { (hi - lo) / buckets as f64 } else { 1.0 };
+    let width = if hi > lo {
+        (hi - lo) / buckets as f64
+    } else {
+        1.0
+    };
     let Some(hist) = distribution.histogram(width) else {
         println!("(empty distribution)");
         return;
     };
-    let max_mass = hist.buckets.iter().cloned().fold(f64::MIN_POSITIVE, f64::max);
+    let max_mass = hist
+        .buckets
+        .iter()
+        .cloned()
+        .fold(f64::MIN_POSITIVE, f64::max);
     for (i, &mass) in hist.buckets.iter().enumerate() {
         let start = hist.bucket_start(i);
         let end = start + hist.width;
@@ -294,6 +410,38 @@ fn print_histogram(distribution: &ScoreDistribution, buckets: usize, markers: &[
         }
         println!("[{start:9.2}, {end:9.2})  {mass:6.4}  {bar}{annotation}");
     }
+}
+
+fn print_answer_summary(answer: &ttk_core::QueryAnswer) {
+    println!();
+    println!(
+        "captured mass {:.4}, expected score {:.2}, std dev {:.2}, scan depth {}",
+        answer.distribution.total_probability(),
+        answer.expected_score(),
+        answer.distribution.std_dev(),
+        answer.scan_depth
+    );
+    println!("typical answers:");
+    for t in &answer.typical.answers {
+        match &t.vector {
+            Some(v) => println!("  score {:10.2}  {}", t.score, v),
+            None => println!(
+                "  score {:10.2}  (probability {:.4})",
+                t.score, t.probability
+            ),
+        }
+    }
+    if let Some(u) = &answer.u_topk {
+        println!("U-Topk: {}", u.vector);
+        if let Some(p) = answer.u_topk_percentile() {
+            println!("U-Topk score percentile within the distribution: {:.3}", p);
+        }
+    }
+    println!(
+        "distribution computed in {:.3} s, typical selection in {:.6} s",
+        answer.distribution_time.as_secs_f64(),
+        answer.typical_time.as_secs_f64()
+    );
 }
 
 #[cfg(test)]
@@ -334,12 +482,65 @@ mod tests {
     }
 
     #[test]
+    fn batch_specs_parse() {
+        assert_eq!(parse_k_list("1,5,10").unwrap(), vec![1, 5, 10]);
+        assert_eq!(parse_k_list("2:5").unwrap(), vec![2, 3, 4, 5]);
+        assert!(parse_k_list("0:4").is_err());
+        assert!(parse_k_list("5:2").is_err());
+        assert!(parse_k_list("1,0").is_err());
+        assert!(parse_k_list("abc").is_err());
+    }
+
+    #[test]
+    fn batch_query_runs_over_a_range_of_k() {
+        let dir = std::env::temp_dir();
+        let data = dir.join("ttk_cli_test_batch.csv");
+        let path = data.to_string_lossy().to_string();
+        run(&s(&[
+            "generate",
+            "cartel",
+            "--segments",
+            "15",
+            "--seed",
+            "11",
+            "--out",
+            &path,
+        ]))
+        .unwrap();
+        run(&s(&[
+            "query",
+            "--file",
+            &path,
+            "--score",
+            "speed_limit / (length / delay)",
+            "--batch",
+            "1:4",
+            "--threads",
+            "2",
+        ]))
+        .unwrap();
+        // A bad batch spec is rejected.
+        assert!(run(&s(&[
+            "query", "--file", &path, "--score", "delay", "--batch", "4:1",
+        ]))
+        .is_err());
+        std::fs::remove_file(&data).ok();
+    }
+
+    #[test]
     fn generate_and_query_round_trip_through_a_temp_file() {
         let dir = std::env::temp_dir();
         let data = dir.join("ttk_cli_test_area.csv");
         let path = data.to_string_lossy().to_string();
         run(&s(&[
-            "generate", "cartel", "--segments", "12", "--seed", "3", "--out", &path,
+            "generate",
+            "cartel",
+            "--segments",
+            "12",
+            "--seed",
+            "3",
+            "--out",
+            &path,
         ]))
         .unwrap();
         run(&s(&[
@@ -357,33 +558,4 @@ mod tests {
         assert!(run(&s(&["query", "--file", &path, "--score", "delay"])).is_err());
         std::fs::remove_file(&data).ok();
     }
-}
-
-fn print_answer_summary(answer: &ttk_core::QueryAnswer) {
-    println!();
-    println!(
-        "captured mass {:.4}, expected score {:.2}, std dev {:.2}, scan depth {}",
-        answer.distribution.total_probability(),
-        answer.expected_score(),
-        answer.distribution.std_dev(),
-        answer.scan_depth
-    );
-    println!("typical answers:");
-    for t in &answer.typical.answers {
-        match &t.vector {
-            Some(v) => println!("  score {:10.2}  {}", t.score, v),
-            None => println!("  score {:10.2}  (probability {:.4})", t.score, t.probability),
-        }
-    }
-    if let Some(u) = &answer.u_topk {
-        println!("U-Topk: {}", u.vector);
-        if let Some(p) = answer.u_topk_percentile() {
-            println!("U-Topk score percentile within the distribution: {:.3}", p);
-        }
-    }
-    println!(
-        "distribution computed in {:.3} s, typical selection in {:.6} s",
-        answer.distribution_time.as_secs_f64(),
-        answer.typical_time.as_secs_f64()
-    );
 }

@@ -9,8 +9,28 @@
 use std::collections::HashMap;
 
 use ttk_uncertain::{
-    PossibleWorlds, Result, ScoreDistribution, TupleId, UncertainTable, VectorWitness,
+    PossibleWorlds, Result, ScoreDistribution, TupleId, TupleSource, UncertainTable, VectorWitness,
 };
+
+use crate::scan::RankScan;
+use crate::scan_depth::ScanGate;
+
+/// Computes the exact top-k score distribution from a rank-ordered
+/// [`TupleSource`] by draining the stream (exhaustive enumeration needs every
+/// tuple, so the gate stays open) and enumerating possible worlds.
+///
+/// # Errors
+///
+/// Propagates source errors and [`PossibleWorlds`] limits.
+pub fn exhaustive_topk_distribution_streamed(
+    source: &mut dyn TupleSource,
+    k: usize,
+    world_limit: u128,
+) -> Result<ScoreDistribution> {
+    let mut gate = ScanGate::open();
+    let prefix = RankScan::new().collect_prefix(source, &mut gate)?;
+    exhaustive_topk_distribution(&prefix.table, k, world_limit)
+}
 
 /// Computes the exact top-k score distribution *with witness vectors*: each
 /// line carries the most probable single vector attaining that score, where a
@@ -47,7 +67,9 @@ pub fn exhaustive_topk_distribution(
     for (vector, mass) in &vector_mass {
         let score: f64 = vector.iter().map(|&p| table.tuple(p).score()).sum();
         let key = score.to_bits();
-        let entry = best_vector_for_score.entry(key).or_insert((vector.clone(), *mass));
+        let entry = best_vector_for_score
+            .entry(key)
+            .or_insert((vector.clone(), *mass));
         if *mass > entry.1 {
             *entry = (vector.clone(), *mass);
         }
@@ -55,10 +77,12 @@ pub fn exhaustive_topk_distribution(
 
     let mut dist = ScoreDistribution::empty();
     for (score, probability) in score_mass {
-        let witness = best_vector_for_score.get(&score.to_bits()).map(|(v, p)| VectorWitness {
-            ids: v.iter().map(|&pos| table.tuple(pos).id()).collect(),
-            probability: *p,
-        });
+        let witness = best_vector_for_score
+            .get(&score.to_bits())
+            .map(|(v, p)| VectorWitness {
+                ids: v.iter().map(|&pos| table.tuple(pos).id()).collect(),
+                probability: *p,
+            });
         dist.add_mass(score, probability, witness);
     }
     Ok(dist)

@@ -11,8 +11,6 @@ pub mod exhaustive;
 pub mod ranks;
 pub mod u_topk;
 
-pub use exhaustive::{
-    exhaustive_topk_distribution, exhaustive_topk_membership, exhaustive_u_topk,
-};
+pub use exhaustive::{exhaustive_topk_distribution, exhaustive_topk_membership, exhaustive_u_topk};
 pub use ranks::{pt_k, rank_probabilities, u_kranks, RankWinner, TopkMembership};
 pub use u_topk::{u_topk, UTopkAnswer, UTopkConfig};

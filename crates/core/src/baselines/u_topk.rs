@@ -15,7 +15,10 @@
 
 use std::collections::{BinaryHeap, HashMap};
 
-use ttk_uncertain::{Error, Result, TopkVector, TupleId, UncertainTable};
+use ttk_uncertain::{Error, Result, TopkVector, TupleId, TupleSource, UncertainTable};
+
+use crate::scan::RankScan;
+use crate::scan_depth::ScanGate;
 
 /// Safety limit and outcome statistics for the best-first search.
 #[derive(Debug, Clone, Copy)]
@@ -79,8 +82,28 @@ impl Ord for SearchState {
     }
 }
 
+/// Computes the U-Topk answer from a rank-ordered [`TupleSource`].
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidParameter`] when `k == 0` or the search exceeds
+/// [`UTopkConfig::max_expansions`]; propagates source errors.
+pub fn u_topk_streamed(
+    source: &mut dyn TupleSource,
+    k: usize,
+    config: &UTopkConfig,
+) -> Result<Option<UTopkAnswer>> {
+    // U-Topk has no probability threshold, so Theorem 2 provides no bound for
+    // it; the stream is drained through an open gate (the best-first search
+    // itself then stops at its optimal depth).
+    let mut gate = ScanGate::open();
+    let prefix = RankScan::new().collect_prefix(source, &mut gate)?;
+    u_topk(&prefix.table, k, config)
+}
+
 /// Computes the U-Topk answer: the k-tuple vector with the highest
-/// probability of being the top-k vector of the table.
+/// probability of being the top-k vector of the table (see
+/// [`u_topk_streamed`] for the source-based variant).
 ///
 /// Returns `None` when the table cannot produce `k` co-existing tuples (for
 /// example when it has fewer than `k` ME groups).
@@ -263,8 +286,12 @@ mod tests {
             .me_rule([1u64, 2])
             .build()
             .unwrap();
-        assert!(u_topk(&table, 2, &UTopkConfig::default()).unwrap().is_none());
-        assert!(u_topk(&table, 1, &UTopkConfig::default()).unwrap().is_some());
+        assert!(u_topk(&table, 2, &UTopkConfig::default())
+            .unwrap()
+            .is_none());
+        assert!(u_topk(&table, 1, &UTopkConfig::default())
+            .unwrap()
+            .is_some());
     }
 
     #[test]
@@ -281,9 +308,7 @@ mod tests {
         // roughly k positions.
         let table = UncertainTable::new(
             (0..100u64)
-                .map(|i| {
-                    ttk_uncertain::UncertainTuple::new(i, 1000.0 - i as f64, 1.0).unwrap()
-                })
+                .map(|i| ttk_uncertain::UncertainTuple::new(i, 1000.0 - i as f64, 1.0).unwrap())
                 .collect(),
             Vec::new(),
         )

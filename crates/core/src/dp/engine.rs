@@ -37,9 +37,7 @@ impl DpRow {
     pub fn exclude_probability(&self) -> f64 {
         match self {
             DpRow::Simple { prob, .. } => (1.0 - prob).max(0.0),
-            DpRow::Rule { branches } => {
-                (1.0 - branches.iter().map(|b| b.2).sum::<f64>()).max(0.0)
-            }
+            DpRow::Rule { branches } => (1.0 - branches.iter().map(|b| b.2).sum::<f64>()).max(0.0),
         }
     }
 
@@ -278,8 +276,10 @@ mod tests {
             .map(|i| simple(i as u64, 1000.0 - i as f64 * 7.3, 0.5))
             .collect();
         let exits = vec![true; rows.len()];
-        let mut config = EngineConfig::default();
-        config.max_lines = 16;
+        let config = EngineConfig {
+            max_lines: 16,
+            ..EngineConfig::default()
+        };
         let d = run(&rows, &exits, 3, &config);
         assert!(d.len() <= 16);
         assert!(d.total_probability() <= 1.0 + 1e-9);
@@ -287,7 +287,11 @@ mod tests {
 
     #[test]
     fn certain_tuples_concentrate_all_mass() {
-        let rows = vec![simple(1, 5.0, 1.0), simple(2, 3.0, 1.0), simple(3, 1.0, 1.0)];
+        let rows = vec![
+            simple(1, 5.0, 1.0),
+            simple(2, 3.0, 1.0),
+            simple(3, 1.0, 1.0),
+        ];
         let d = run(&rows, &[true, true, true], 2, &cfg());
         assert_eq!(d.len(), 1);
         assert!((d.points()[0].score - 8.0).abs() < 1e-12);

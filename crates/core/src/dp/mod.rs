@@ -5,7 +5,9 @@
 //! The module is split into the mechanical recurrence ([`engine`]) and the
 //! driver in this file, which
 //!
-//! 1. truncates the table at the scan depth given by Theorem 2,
+//! 1. streams the rank-ordered tuples through the Theorem-2 [`ScanGate`]
+//!    ([`crate::scan`]), so the dynamic program only ever sees the prefix it
+//!    is allowed to read,
 //! 2. decomposes the (rank-ordered) tuples into *ending segments* — maximal
 //!    lead-tuple regions and individual non-lead tuples (§3.3.3),
 //! 3. translates each segment into a row sequence where every other ME group
@@ -16,16 +18,23 @@
 //!
 //! On a table without mutual exclusion the decomposition degenerates to a
 //! single segment spanning all tuples, i.e. exactly the basic algorithm of
-//! §3.2.
+//! §3.2. The pre-streaming pipeline (materialize the full table, truncate
+//! afterwards) is retained as
+//! [`materialized_topk_score_distribution`] — it is the reference the
+//! streaming path is property-tested against and the baseline the benches
+//! quantify the streaming win with.
 
 pub mod engine;
 
 use std::collections::HashMap;
 use std::ops::Range;
 
-use ttk_uncertain::{CoalescePolicy, Error, Result, ScoreDistribution, UncertainTable};
+use ttk_uncertain::{
+    CoalescePolicy, Error, Result, ScoreDistribution, TableSource, TupleSource, UncertainTable,
+};
 
-use crate::scan_depth::scan_depth;
+use crate::scan::{RankScan, ScanPrefix};
+use crate::scan_depth::{scan_depth, ScanGate};
 use engine::{DpRow, EngineConfig};
 
 /// How the driver decomposes a table with ME groups into per-ending dynamic
@@ -86,6 +95,10 @@ pub struct MainOutput {
 /// Runs the main dynamic-programming algorithm and returns the top-k score
 /// distribution.
 ///
+/// This is a convenience wrapper streaming the in-memory table through the
+/// rank-scan executor; [`topk_score_distribution_streamed`] accepts any
+/// [`TupleSource`].
+///
 /// # Errors
 ///
 /// Returns [`Error::InvalidParameter`] when `k == 0` or the probability
@@ -95,11 +108,70 @@ pub fn topk_score_distribution(
     k: usize,
     config: &MainConfig,
 ) -> Result<MainOutput> {
+    topk_score_distribution_streamed(&mut TableSource::new(table), k, config)
+}
+
+/// Runs the main algorithm against a rank-ordered [`TupleSource`], reading at
+/// most one tuple past the Theorem-2 bound.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidParameter`] for invalid parameters and propagates
+/// source errors.
+pub fn topk_score_distribution_streamed(
+    source: &mut dyn TupleSource,
+    k: usize,
+    config: &MainConfig,
+) -> Result<MainOutput> {
+    if k == 0 {
+        return Err(Error::InvalidParameter("k must be at least 1".into()));
+    }
+    let mut gate = ScanGate::new(k, config.p_tau)?;
+    let prefix = RankScan::new().collect_prefix(source, &mut gate)?;
+    topk_from_prefix(&prefix, k, config)
+}
+
+/// The pre-streaming pipeline: compute the Theorem-2 depth over the full
+/// materialized table, truncate, then run the dynamic program.
+///
+/// Retained as the reference implementation the streaming path is verified
+/// against (bit-identical outputs) and as the ablation baseline quantifying
+/// what fusing the stopping condition into the scan saves.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidParameter`] when `k == 0` or the probability
+/// threshold is outside `(0, 1)`.
+pub fn materialized_topk_score_distribution(
+    table: &UncertainTable,
+    k: usize,
+    config: &MainConfig,
+) -> Result<MainOutput> {
     if k == 0 {
         return Err(Error::InvalidParameter("k must be at least 1".into()));
     }
     let depth = scan_depth(table, k, config.p_tau)?;
     let working = table.truncate(depth);
+    run_on_prefix_table(&working, depth, k, config)
+}
+
+/// Runs the per-segment dynamic programs over an already-collected scan
+/// prefix. Shared by the streaming entry points and the batch
+/// [`crate::query::Executor`].
+pub(crate) fn topk_from_prefix(
+    prefix: &ScanPrefix,
+    k: usize,
+    config: &MainConfig,
+) -> Result<MainOutput> {
+    run_on_prefix_table(&prefix.table, prefix.depth(), k, config)
+}
+
+fn run_on_prefix_table(
+    working: &UncertainTable,
+    depth: usize,
+    k: usize,
+    config: &MainConfig,
+) -> Result<MainOutput> {
     if working.len() < k {
         // No possible world can contain k tuples from the considered prefix;
         // with a sensible pτ this only happens when the full table itself has
@@ -117,7 +189,7 @@ pub fn topk_score_distribution(
         track_witnesses: config.track_witnesses,
     };
 
-    let segments = build_segments(&working, config.me_strategy);
+    let segments = build_segments(working, config.me_strategy);
     let mut distribution = ScoreDistribution::empty();
     let mut executed = 0usize;
     for segment in &segments {
@@ -126,7 +198,7 @@ pub fn topk_score_distribution(
         if segment.end < k {
             continue;
         }
-        let (rows, exits) = build_rows(&working, segment.clone(), k);
+        let (rows, exits) = build_rows(working, segment.clone(), k);
         if rows.is_empty() {
             continue;
         }
@@ -140,7 +212,7 @@ pub fn topk_score_distribution(
 
     // Witness vectors are assembled in row order, which may interleave rule
     // members out of rank order; restore rank order for presentation.
-    distribution = restore_witness_rank_order(distribution, table);
+    distribution = restore_witness_rank_order(distribution, working);
 
     Ok(MainOutput {
         distribution,
@@ -185,11 +257,7 @@ fn build_segments(table: &UncertainTable, strategy: MeStrategy) -> Vec<Range<usi
 /// above it are removed entirely (they are automatically absent whenever the
 /// ending tuple exists); this situation only arises for single non-lead
 /// segments. Exit points are enabled exactly at the segment rows.
-fn build_rows(
-    table: &UncertainTable,
-    segment: Range<usize>,
-    _k: usize,
-) -> (Vec<DpRow>, Vec<bool>) {
+fn build_rows(table: &UncertainTable, segment: Range<usize>, _k: usize) -> (Vec<DpRow>, Vec<bool>) {
     let start = segment.start;
     // The group of a single non-lead ending tuple: its higher-ranked members
     // must be dropped from the prefix rows. A lead-region segment never has
@@ -492,6 +560,30 @@ mod tests {
         assert!(pr_c > 0.0);
         let exact = exact_topk_score_distribution(&table, 5, 1 << 20).unwrap();
         assert_distributions_match(&out.distribution, &exact);
+    }
+
+    #[test]
+    fn streamed_and_materialized_paths_are_bit_identical() {
+        let table = soldier_table();
+        for k in 1..=5 {
+            for p_tau in [1e-9, 0.05] {
+                for strategy in [MeStrategy::LeadRegions, MeStrategy::PerEnding] {
+                    let config = MainConfig {
+                        p_tau,
+                        max_lines: 0,
+                        me_strategy: strategy,
+                        ..MainConfig::default()
+                    };
+                    let streamed = topk_score_distribution(&table, k, &config).unwrap();
+                    let materialized =
+                        materialized_topk_score_distribution(&table, k, &config).unwrap();
+                    // PartialEq compares exact f64 values: bit-identical.
+                    assert_eq!(streamed.distribution, materialized.distribution);
+                    assert_eq!(streamed.scan_depth, materialized.scan_depth);
+                    assert_eq!(streamed.segments, materialized.segments);
+                }
+            }
+        }
     }
 
     #[test]

@@ -10,9 +10,12 @@
 //! the paper (a top-k vector with probability below pτ need not be
 //! reported).
 
-use ttk_uncertain::{Error, Result, ScoreDistribution, UncertainTable, VectorWitness};
+use ttk_uncertain::{
+    Error, Result, ScoreDistribution, TableSource, TupleSource, UncertainTable, VectorWitness,
+};
 
-use crate::scan_depth::scan_depth;
+use crate::scan::RankScan;
+use crate::scan_depth::ScanGate;
 use crate::state_expansion::{BaselineOutput, NaiveConfig};
 
 /// Runs k-Combo and returns the top-k score distribution.
@@ -21,10 +24,36 @@ use crate::state_expansion::{BaselineOutput, NaiveConfig};
 ///
 /// Returns [`Error::InvalidParameter`] for `k == 0` or an out-of-range pτ.
 pub fn k_combo(table: &UncertainTable, k: usize, config: &NaiveConfig) -> Result<BaselineOutput> {
+    k_combo_streamed(&mut TableSource::new(table), k, config)
+}
+
+/// Runs k-Combo against a rank-ordered [`TupleSource`], reading at most one
+/// tuple past the Theorem-2 bound.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidParameter`] for invalid parameters and propagates
+/// source errors.
+pub fn k_combo_streamed(
+    source: &mut dyn TupleSource,
+    k: usize,
+    config: &NaiveConfig,
+) -> Result<BaselineOutput> {
     if k == 0 {
         return Err(Error::InvalidParameter("k must be at least 1".into()));
     }
-    let depth = scan_depth(table, k, config.p_tau)?;
+    let mut gate = ScanGate::new(k, config.p_tau)?;
+    let prefix = RankScan::new().collect_prefix(source, &mut gate)?;
+    Ok(k_combo_on_prefix(&prefix.table, k, config))
+}
+
+/// The combination enumeration over an already-collected Theorem-2 prefix.
+pub(crate) fn k_combo_on_prefix(
+    table: &UncertainTable,
+    k: usize,
+    config: &NaiveConfig,
+) -> BaselineOutput {
+    let depth = table.len();
     let mut ctx = Context {
         table,
         k,
@@ -41,11 +70,11 @@ pub fn k_combo(table: &UncertainTable, k: usize, config: &NaiveConfig) -> Result
     if config.max_lines > 0 {
         dist.coalesce(config.max_lines, config.coalesce_policy);
     }
-    Ok(BaselineOutput {
+    BaselineOutput {
         distribution: dist,
         scan_depth: depth,
         explored: ctx.explored,
-    })
+    }
 }
 
 struct Context<'a> {
@@ -78,11 +107,7 @@ impl Context<'_> {
                 let new_prob = selected_prob * p;
                 if new_prob > self.config.p_tau || self.config.p_tau <= 0.0 {
                     self.chosen.push(pos);
-                    self.recurse(
-                        pos + 1,
-                        new_prob,
-                        score + self.table.tuple(pos).score(),
-                    );
+                    self.recurse(pos + 1, new_prob, score + self.table.tuple(pos).score());
                     self.chosen.pop();
                 }
             }

@@ -5,7 +5,11 @@
 //! 2009) on top of the [`ttk_uncertain`] data model:
 //!
 //! * [`scan_depth`] — the Theorem-2 stopping condition bounding how many
-//!   rank-ordered tuples any algorithm must read.
+//!   rank-ordered tuples any algorithm must read, both as a batch formula
+//!   and as the incremental [`ScanGate`] consulted per streamed tuple.
+//! * [`scan`] — the streaming rank-scan executor: pulls a
+//!   [`TupleSource`](ttk_uncertain::TupleSource) through the gate and
+//!   assembles the Theorem-2 prefix no algorithm ever reads past.
 //! * [`dp`] — the main dynamic-programming algorithm for the top-k score
 //!   distribution, with line coalescing (§3.2.1), mutual-exclusion handling
 //!   via rule tuples and lead-tuple regions (§3.3), and score ties (§3.4).
@@ -14,7 +18,9 @@
 //! * [`baselines`] — the comparator semantics U-Topk, U-kRanks and PT-k, and
 //!   exhaustive possible-world ground truth.
 //! * [`query`] — a high-level API ([`TopkQuery`] / [`execute`]) running the
-//!   complete pipeline, used by the examples, the CLI and `ttk-pdb`.
+//!   complete pipeline, used by the examples, the CLI and `ttk-pdb`; the
+//!   reusable [`Executor`] and the parallel [`execute_batch`] serve many
+//!   queries without per-query allocation.
 //!
 //! ## Quick start
 //!
@@ -49,16 +55,21 @@ pub mod baselines;
 pub mod dp;
 pub mod k_combo;
 pub mod query;
+pub mod scan;
 pub mod scan_depth;
 pub mod state_expansion;
 pub mod typical;
 
 pub use baselines::{u_topk, UTopkAnswer, UTopkConfig};
-pub use dp::{topk_score_distribution, MainConfig, MainOutput, MeStrategy};
-pub use k_combo::k_combo;
-pub use query::{execute, Algorithm, QueryAnswer, TopkQuery};
-pub use scan_depth::{scan_depth, stopping_threshold};
-pub use state_expansion::{state_expansion, BaselineOutput, NaiveConfig};
+pub use dp::{
+    materialized_topk_score_distribution, topk_score_distribution,
+    topk_score_distribution_streamed, MainConfig, MainOutput, MeStrategy,
+};
+pub use k_combo::{k_combo, k_combo_streamed};
+pub use query::{execute, execute_batch, Algorithm, BatchJob, Executor, QueryAnswer, TopkQuery};
+pub use scan::{RankScan, ScanPrefix};
+pub use scan_depth::{scan_depth, stopping_threshold, ScanGate};
+pub use state_expansion::{state_expansion, state_expansion_streamed, BaselineOutput, NaiveConfig};
 pub use typical::{typical_topk, typical_topk_brute_force, TypicalAnswer, TypicalSelection};
 
 // Re-export the data model so downstream users need a single dependency.

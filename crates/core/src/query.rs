@@ -6,15 +6,30 @@
 //! whole pipeline: score distribution → c-Typical-Topk selection → U-Topk
 //! comparison point. This is the API the examples, the CLI and the
 //! probabilistic-database layer (`ttk-pdb`) build on.
+//!
+//! Every algorithm choice runs through the same streaming front end: the
+//! input — an in-memory table or any [`TupleSource`] — is pulled through a
+//! Theorem-2 [`ScanGate`] by the rank-scan executor, and only the admitted
+//! prefix reaches the algorithm. The [`Executor`] owns the scan's scratch
+//! buffers so serving many queries does not reallocate per query, and
+//! [`execute_batch`] fans a batch of independent queries out across threads
+//! with results identical to sequential execution.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use ttk_uncertain::{CoalescePolicy, Error, Result, ScoreDistribution, UncertainTable};
+use ttk_uncertain::{
+    CoalescePolicy, Error, Result, ScoreDistribution, TableSource, TupleSource, UncertainTable,
+};
 
+use crate::baselines::exhaustive::exhaustive_topk_distribution;
 use crate::baselines::u_topk::{u_topk, UTopkAnswer, UTopkConfig};
-use crate::dp::{topk_score_distribution, MainConfig, MeStrategy};
-use crate::k_combo::k_combo;
-use crate::state_expansion::{state_expansion, NaiveConfig};
+use crate::dp::{topk_from_prefix, MainConfig, MeStrategy};
+use crate::k_combo::k_combo_on_prefix;
+use crate::scan::RankScan;
+use crate::scan_depth::ScanGate;
+use crate::state_expansion::{state_expansion_on_prefix, NaiveConfig};
 use crate::typical::{typical_topk, TypicalSelection};
 
 /// Which algorithm computes the score distribution.
@@ -149,7 +164,172 @@ impl QueryAnswer {
     }
 }
 
+/// A reusable query executor.
+///
+/// An `Executor` owns the streaming rank scan and one [`ScanGate`] that is
+/// re-armed per query, so a long-lived serving process (or a batch worker
+/// thread) keeps the gate's group-mass table allocation across queries.
+/// Every execution — regardless of the [`Algorithm`] chosen — flows through
+/// [`TupleSource`] + [`ScanGate`]: the gate implements Theorem 2 for the
+/// four bounded algorithms and stays open for the exhaustive ground truth,
+/// which simply needs the entire stream.
+#[derive(Debug)]
+pub struct Executor {
+    scan: RankScan,
+    gate: ScanGate,
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Executor {
+            scan: RankScan::new(),
+            gate: ScanGate::open(),
+        }
+    }
+}
+
+impl Executor {
+    /// Creates an executor with empty scratch buffers.
+    pub fn new() -> Self {
+        Executor::default()
+    }
+
+    /// Executes a query against an in-memory table.
+    ///
+    /// The score distribution is computed through the streaming scan; the
+    /// U-Topk comparison answer (when requested) searches the full table,
+    /// matching the classical semantics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter validation errors from the underlying algorithms
+    /// (`k == 0`, pτ out of range, `typical_count == 0`, too many possible
+    /// worlds for the exhaustive algorithm, …).
+    pub fn execute(&mut self, table: &UncertainTable, query: &TopkQuery) -> Result<QueryAnswer> {
+        let mut source = TableSource::new(table);
+        self.execute_inner(&mut source, query, Some(table))
+    }
+
+    /// Executes a query against a rank-ordered [`TupleSource`].
+    ///
+    /// The score distribution reads at most one tuple past the Theorem-2
+    /// bound (none past the end for the exhaustive algorithm). When the
+    /// U-Topk comparison answer is requested the **remainder of the stream
+    /// is drained** and the classical full-table search runs — U-Topk has no
+    /// probability threshold, so Theorem 2 provides no bound for it; disable
+    /// it with [`TopkQuery::with_u_topk`] to keep the scan bounded.
+    ///
+    /// # Errors
+    ///
+    /// As [`Executor::execute`], plus any error the source reports.
+    pub fn execute_source(
+        &mut self,
+        source: &mut dyn TupleSource,
+        query: &TopkQuery,
+    ) -> Result<QueryAnswer> {
+        self.execute_inner(source, query, None)
+    }
+
+    fn execute_inner(
+        &mut self,
+        source: &mut dyn TupleSource,
+        query: &TopkQuery,
+        full_table: Option<&UncertainTable>,
+    ) -> Result<QueryAnswer> {
+        if query.typical_count == 0 {
+            return Err(Error::InvalidParameter(
+                "the number of typical answers c must be at least 1".into(),
+            ));
+        }
+        if query.k == 0 {
+            return Err(Error::InvalidParameter("k must be at least 1".into()));
+        }
+        let start = Instant::now();
+        match query.algorithm {
+            Algorithm::Exhaustive => self.gate.reset_open(),
+            _ => self.gate.reset(query.k, query.p_tau)?,
+        }
+        let prefix = self.scan.collect_prefix(source, &mut self.gate)?;
+        let (distribution, scan_depth) = match query.algorithm {
+            Algorithm::Main | Algorithm::MainPerEnding => {
+                let config = MainConfig {
+                    p_tau: query.p_tau,
+                    max_lines: query.max_lines,
+                    coalesce_policy: query.coalesce_policy,
+                    track_witnesses: true,
+                    me_strategy: if query.algorithm == Algorithm::Main {
+                        MeStrategy::LeadRegions
+                    } else {
+                        MeStrategy::PerEnding
+                    },
+                };
+                let out = topk_from_prefix(&prefix, query.k, &config)?;
+                (out.distribution, out.scan_depth)
+            }
+            Algorithm::StateExpansion | Algorithm::KCombo => {
+                let config = NaiveConfig {
+                    p_tau: query.p_tau,
+                    max_lines: query.max_lines,
+                    coalesce_policy: query.coalesce_policy,
+                    track_witnesses: true,
+                };
+                let out = if query.algorithm == Algorithm::StateExpansion {
+                    state_expansion_on_prefix(&prefix.table, query.k, &config)
+                } else {
+                    k_combo_on_prefix(&prefix.table, query.k, &config)
+                };
+                (out.distribution, out.scan_depth)
+            }
+            Algorithm::Exhaustive => {
+                let dist = exhaustive_topk_distribution(&prefix.table, query.k, query.world_limit)?;
+                (dist, prefix.depth())
+            }
+        };
+        let distribution_time = start.elapsed();
+
+        if distribution.is_empty() {
+            return Err(Error::InvalidParameter(format!(
+                "the table admits no top-{} vector (fewer than k compatible tuples)",
+                query.k
+            )));
+        }
+
+        let typical_start = Instant::now();
+        let typical = typical_topk(&distribution, query.typical_count)?;
+        let typical_time = typical_start.elapsed();
+
+        let u_topk_answer = if query.compute_u_topk {
+            match full_table {
+                Some(table) => u_topk(table, query.k, &UTopkConfig::default())?,
+                None => {
+                    // Theorem 2 does not bound U-Topk (it has no probability
+                    // threshold), so honour the classical semantics by
+                    // draining the rest of the stream — mirroring
+                    // `u_topk_streamed` rather than silently searching only
+                    // the pτ prefix.
+                    let full = prefix.into_full_table(source)?;
+                    u_topk(&full, query.k, &UTopkConfig::default())?
+                }
+            }
+        } else {
+            None
+        };
+
+        Ok(QueryAnswer {
+            distribution,
+            typical,
+            u_topk: u_topk_answer,
+            scan_depth,
+            distribution_time,
+            typical_time,
+        })
+    }
+}
+
 /// Executes a [`TopkQuery`] against an uncertain table.
+///
+/// One-shot convenience over [`Executor::execute`]; long-lived callers should
+/// hold an [`Executor`] to reuse its scratch buffers.
 ///
 /// # Errors
 ///
@@ -157,78 +337,74 @@ impl QueryAnswer {
 /// (`k == 0`, pτ out of range, `typical_count == 0`, too many possible
 /// worlds for the exhaustive algorithm, …).
 pub fn execute(table: &UncertainTable, query: &TopkQuery) -> Result<QueryAnswer> {
-    if query.typical_count == 0 {
-        return Err(Error::InvalidParameter(
-            "the number of typical answers c must be at least 1".into(),
-        ));
+    Executor::new().execute(table, query)
+}
+
+/// One independent query of a batch: a table reference plus its parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchJob<'a> {
+    /// The table the query runs against.
+    pub table: &'a UncertainTable,
+    /// The query parameters.
+    pub query: TopkQuery,
+}
+
+impl<'a> BatchJob<'a> {
+    /// Bundles a table and a query.
+    pub fn new(table: &'a UncertainTable, query: TopkQuery) -> Self {
+        BatchJob { table, query }
     }
-    let start = Instant::now();
-    let (distribution, scan_depth) = match query.algorithm {
-        Algorithm::Main | Algorithm::MainPerEnding => {
-            let config = MainConfig {
-                p_tau: query.p_tau,
-                max_lines: query.max_lines,
-                coalesce_policy: query.coalesce_policy,
-                track_witnesses: true,
-                me_strategy: if query.algorithm == Algorithm::Main {
-                    MeStrategy::LeadRegions
-                } else {
-                    MeStrategy::PerEnding
-                },
-            };
-            let out = topk_score_distribution(table, query.k, &config)?;
-            (out.distribution, out.scan_depth)
-        }
-        Algorithm::StateExpansion | Algorithm::KCombo => {
-            let config = NaiveConfig {
-                p_tau: query.p_tau,
-                max_lines: query.max_lines,
-                coalesce_policy: query.coalesce_policy,
-                track_witnesses: true,
-            };
-            let out = if query.algorithm == Algorithm::StateExpansion {
-                state_expansion(table, query.k, &config)?
-            } else {
-                k_combo(table, query.k, &config)?
-            };
-            (out.distribution, out.scan_depth)
-        }
-        Algorithm::Exhaustive => {
-            let dist = crate::baselines::exhaustive::exhaustive_topk_distribution(
-                table,
-                query.k,
-                query.world_limit,
-            )?;
-            (dist, 0)
-        }
-    };
-    let distribution_time = start.elapsed();
+}
 
-    if distribution.is_empty() {
-        return Err(Error::InvalidParameter(format!(
-            "the table admits no top-{} vector (fewer than k compatible tuples)",
-            query.k
-        )));
-    }
-
-    let typical_start = Instant::now();
-    let typical = typical_topk(&distribution, query.typical_count)?;
-    let typical_time = typical_start.elapsed();
-
-    let u_topk_answer = if query.compute_u_topk {
-        u_topk(table, query.k, &UTopkConfig::default())?
+/// Executes a batch of independent queries, fanning them out over `threads`
+/// worker threads (`0` = one per available CPU).
+///
+/// Each worker owns one [`Executor`] whose scratch buffers are reused across
+/// the jobs it claims. Jobs are deterministic and independent, so the result
+/// vector — indexed like `jobs` — is identical to running every job
+/// sequentially, regardless of how the workers interleave.
+pub fn execute_batch(jobs: &[BatchJob<'_>], threads: usize) -> Vec<Result<QueryAnswer>> {
+    let threads = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     } else {
-        None
-    };
+        threads
+    }
+    .min(jobs.len().max(1));
 
-    Ok(QueryAnswer {
-        distribution,
-        typical,
-        u_topk: u_topk_answer,
-        scan_depth,
-        distribution_time,
-        typical_time,
-    })
+    if threads <= 1 || jobs.len() <= 1 {
+        let mut executor = Executor::new();
+        return jobs
+            .iter()
+            .map(|job| executor.execute(job.table, &job.query))
+            .collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<QueryAnswer>>>> =
+        jobs.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut executor = Executor::new();
+                loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(job) = jobs.get(index) else { break };
+                    let answer = executor.execute(job.table, &job.query);
+                    *slots[index].lock().expect("result slot poisoned") = Some(answer);
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every batch job is claimed by exactly one worker")
+        })
+        .collect()
 }
 
 #[cfg(test)]

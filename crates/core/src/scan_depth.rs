@@ -12,8 +12,18 @@
 //! more, and consequently no k-tuple vector with probability ≥ pτ is missed.
 //! The scan always stops at the end of a tie group, because a tie group is
 //! either entirely needed or entirely not needed.
+//!
+//! The stopping condition is implemented **incrementally** by [`ScanGate`]:
+//! the gate is consulted once per streamed tuple, accumulates μ as the scan
+//! advances, and closes exactly at the position the batch formula would
+//! return. This is what fuses Theorem 2 *into* the scan — the streaming
+//! executor ([`crate::scan`]) asks the gate before accepting each tuple and
+//! never reads past the bound. The batch [`scan_depth`] function is now a
+//! thin wrapper running a gate over a materialized table.
 
-use ttk_uncertain::{Error, Result, UncertainTable};
+use std::collections::HashMap;
+
+use ttk_uncertain::{Error, GroupKey, Result, UncertainTable};
 
 /// The right-hand side of the Theorem 2 inequality.
 ///
@@ -23,6 +33,153 @@ pub fn stopping_threshold(k: usize, p_tau: f64) -> f64 {
     let k = k as f64;
     let l = (1.0 / p_tau).ln();
     k + l + (l * l + 2.0 * k * l).sqrt() + 1.0
+}
+
+/// The incremental Theorem-2 stopping condition.
+///
+/// A gate is consulted once per rank-ordered tuple via [`ScanGate::admit`].
+/// It tracks the total membership mass seen so far and the per-ME-group
+/// shares of that mass, so the quantity μ of Theorem 2 (mass of the
+/// higher-ranked tuples *excluding the tuple's own group*) is available in
+/// O(1) per tuple. Tie groups are honoured exactly like the batch formula:
+///
+/// * when the condition first holds at the **first tuple of a tie group**,
+///   the gate closes before that tuple (the whole group is unneeded);
+/// * when it first holds **inside** a tie group, the remainder of that group
+///   is still admitted (a tie group is kept or dropped as a unit) and the
+///   gate closes at the next score change.
+///
+/// The number of admitted tuples therefore equals [`scan_depth`] of the same
+/// stream, while the consumer reads at most one tuple past the bound (the
+/// look-ahead that observes the closing score change).
+#[derive(Debug, Clone)]
+pub struct ScanGate {
+    threshold: f64,
+    total_mass: f64,
+    group_mass: HashMap<u64, f64>,
+    last_score: Option<f64>,
+    stop_after_tie_group: bool,
+    closed: bool,
+    admitted: usize,
+}
+
+impl ScanGate {
+    /// A gate implementing the Theorem-2 bound for query size `k` and
+    /// probability threshold `p_tau`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] when `k == 0` or `p_tau` is not in
+    /// `(0, 1)`.
+    pub fn new(k: usize, p_tau: f64) -> Result<Self> {
+        let mut gate = Self::with_threshold(f64::INFINITY);
+        gate.reset(k, p_tau)?;
+        Ok(gate)
+    }
+
+    /// A gate that never closes — used by consumers that need the entire
+    /// stream (exhaustive enumeration, U-Topk) while still going through the
+    /// same scan machinery.
+    pub fn open() -> Self {
+        Self::with_threshold(f64::INFINITY)
+    }
+
+    fn with_threshold(threshold: f64) -> Self {
+        ScanGate {
+            threshold,
+            total_mass: 0.0,
+            group_mass: HashMap::new(),
+            last_score: None,
+            stop_after_tie_group: false,
+            closed: false,
+            admitted: 0,
+        }
+    }
+
+    /// Re-arms the gate for a fresh scan with the given parameters, keeping
+    /// the group-mass table's allocation. This is what lets a long-lived
+    /// [`crate::query::Executor`] serve many queries without reallocating.
+    ///
+    /// # Errors
+    ///
+    /// As [`ScanGate::new`].
+    pub fn reset(&mut self, k: usize, p_tau: f64) -> Result<()> {
+        if k == 0 {
+            return Err(Error::InvalidParameter("k must be at least 1".into()));
+        }
+        if !(p_tau > 0.0 && p_tau < 1.0) {
+            return Err(Error::InvalidParameter(format!(
+                "probability threshold pτ must be in (0, 1), got {p_tau}"
+            )));
+        }
+        self.reset_with_threshold(stopping_threshold(k, p_tau));
+        Ok(())
+    }
+
+    /// Re-arms the gate as an open (never-closing) gate, keeping allocations.
+    pub fn reset_open(&mut self) {
+        self.reset_with_threshold(f64::INFINITY);
+    }
+
+    fn reset_with_threshold(&mut self, threshold: f64) {
+        self.threshold = threshold;
+        self.total_mass = 0.0;
+        self.group_mass.clear();
+        self.last_score = None;
+        self.stop_after_tie_group = false;
+        self.closed = false;
+        self.admitted = 0;
+    }
+
+    /// Decides whether the next rank-ordered tuple is part of the Theorem-2
+    /// prefix. Returns `false` once the gate has closed; from then on every
+    /// call returns `false`.
+    pub fn admit(&mut self, score: f64, prob: f64, group: GroupKey) -> bool {
+        if self.closed {
+            return false;
+        }
+        let starts_tie_group = self.last_score != Some(score);
+        if starts_tie_group && self.stop_after_tie_group {
+            self.closed = true;
+            return false;
+        }
+        let own_mass = match group {
+            GroupKey::Shared(key) => self.group_mass.get(&key).copied().unwrap_or(0.0),
+            GroupKey::Independent => 0.0,
+        };
+        let mu = self.total_mass - own_mass;
+        if mu >= self.threshold {
+            if starts_tie_group {
+                // The whole tie group is unneeded.
+                self.closed = true;
+                return false;
+            }
+            // Mid-group trigger: keep the rest of the group, then stop.
+            self.stop_after_tie_group = true;
+        }
+        self.total_mass += prob;
+        if let GroupKey::Shared(key) = group {
+            *self.group_mass.entry(key).or_insert(0.0) += prob;
+        }
+        self.last_score = Some(score);
+        self.admitted += 1;
+        true
+    }
+
+    /// True once the gate has rejected a tuple.
+    pub fn is_closed(&self) -> bool {
+        self.closed
+    }
+
+    /// Number of tuples admitted so far (the scan depth once closed).
+    pub fn admitted(&self) -> usize {
+        self.admitted
+    }
+
+    /// The accumulated membership mass of the admitted tuples.
+    pub fn accumulated_mass(&self) -> f64 {
+        self.total_mass
+    }
 }
 
 /// Computes the scan depth `n` for a table: the number of highest-ranked
@@ -36,25 +193,19 @@ pub fn stopping_threshold(k: usize, p_tau: f64) -> f64 {
 /// Returns [`Error::InvalidParameter`] when `k == 0` or `p_tau` is not in
 /// `(0, 1)`.
 pub fn scan_depth(table: &UncertainTable, k: usize, p_tau: f64) -> Result<usize> {
-    if k == 0 {
-        return Err(Error::InvalidParameter("k must be at least 1".into()));
-    }
-    if !(p_tau > 0.0 && p_tau < 1.0) {
-        return Err(Error::InvalidParameter(format!(
-            "probability threshold pτ must be in (0, 1), got {p_tau}"
-        )));
-    }
-    let threshold = stopping_threshold(k, p_tau);
+    let mut gate = ScanGate::new(k, p_tau)?;
     for pos in 0..table.len() {
-        if table.mu(pos) >= threshold {
-            // Stop at the end of the tie group containing the previous tuple:
-            // tuples with the same score as the stopping tuple are either all
-            // needed or all unneeded, and the conservative choice is to keep
-            // the whole group (§3.1).
-            return Ok(if pos == 0 { 0 } else { table.tie_group_end(pos - 1) });
+        let tuple = table.tuple(pos);
+        let group = if table.group_members(pos).len() > 1 {
+            GroupKey::Shared(table.group_index(pos) as u64)
+        } else {
+            GroupKey::Independent
+        };
+        if !gate.admit(tuple.score(), tuple.prob(), group) {
+            break;
         }
     }
-    Ok(table.len())
+    Ok(gate.admitted())
 }
 
 #[cfg(test)]
@@ -74,6 +225,36 @@ mod tests {
         .unwrap()
     }
 
+    /// The original batch formulation of Theorem 2 (materialize, then
+    /// truncate), kept as the oracle the incremental gate is tested against.
+    fn scan_depth_batch(table: &UncertainTable, k: usize, p_tau: f64) -> Result<usize> {
+        if k == 0 {
+            return Err(Error::InvalidParameter("k must be at least 1".into()));
+        }
+        if !(p_tau > 0.0 && p_tau < 1.0) {
+            return Err(Error::InvalidParameter(format!(
+                "probability threshold pτ must be in (0, 1), got {p_tau}"
+            )));
+        }
+        let threshold = stopping_threshold(k, p_tau);
+        for pos in 0..table.len() {
+            if table.mu(pos) >= threshold {
+                return Ok(if pos == 0 {
+                    0
+                } else {
+                    table.tie_group_end(pos - 1)
+                });
+            }
+        }
+        Ok(table.len())
+    }
+
+    fn assert_gate_matches_batch(table: &UncertainTable, k: usize, p_tau: f64) {
+        let incremental = scan_depth(table, k, p_tau).unwrap();
+        let batch = scan_depth_batch(table, k, p_tau).unwrap();
+        assert_eq!(incremental, batch, "k={k}, p_tau={p_tau}");
+    }
+
     #[test]
     fn threshold_grows_with_k_and_shrinks_with_p_tau() {
         assert!(stopping_threshold(10, 0.001) < stopping_threshold(20, 0.001));
@@ -90,6 +271,8 @@ mod tests {
         assert!(scan_depth(&t, 0, 0.001).is_err());
         assert!(scan_depth(&t, 2, 0.0).is_err());
         assert!(scan_depth(&t, 2, 1.0).is_err());
+        assert!(ScanGate::new(0, 0.001).is_err());
+        assert!(ScanGate::new(2, -1.0).is_err());
     }
 
     #[test]
@@ -149,9 +332,7 @@ mod tests {
         let mut builder = UncertainTable::builder();
         let mut rules: Vec<Vec<u64>> = Vec::new();
         for i in 0..3000u64 {
-            builder.push(
-                ttk_uncertain::UncertainTuple::new(i, (3000 - i) as f64, 0.25).unwrap(),
-            );
+            builder.push(ttk_uncertain::UncertainTuple::new(i, (3000 - i) as f64, 0.25).unwrap());
         }
         for chunk in 0..750u64 {
             rules.push((0..4).map(|j| chunk * 4 + j).collect());
@@ -163,5 +344,76 @@ mod tests {
         let d_ind = scan_depth(&independent, 10, 0.001).unwrap();
         let d_grp = scan_depth(&grouped, 10, 0.001).unwrap();
         assert!(d_grp >= d_ind);
+    }
+
+    #[test]
+    fn gate_agrees_with_batch_formula_across_workloads() {
+        // Independent tuples at several probabilities.
+        for prob in [0.1, 0.5, 1.0] {
+            let t = uniform_table(1500, prob);
+            for k in [1usize, 3, 10, 40] {
+                for p_tau in [0.05, 1e-3, 1e-6] {
+                    assert_gate_matches_batch(&t, k, p_tau);
+                }
+            }
+        }
+        // A table with large ME groups and score ties.
+        let mut builder = UncertainTable::builder();
+        for i in 0..1200u64 {
+            // Four-way score ties; probabilities cycling through 0.10..0.25
+            // (kept small so three-member ME groups stay under total mass 1).
+            let score = (1200 - (i / 4) * 4) as f64;
+            let prob = 0.1 + 0.05 * (i % 4) as f64;
+            builder.push(ttk_uncertain::UncertainTuple::new(i, score, prob).unwrap());
+        }
+        for g in 0..300u64 {
+            // Members spread 300 apart so groups straddle the scan bound.
+            builder.add_me_rule([g, g + 300, g + 600]);
+        }
+        let t = builder.build().unwrap();
+        for k in [1usize, 2, 5, 20] {
+            for p_tau in [0.05, 1e-3, 1e-6] {
+                assert_gate_matches_batch(&t, k, p_tau);
+            }
+        }
+    }
+
+    #[test]
+    fn open_gate_never_closes() {
+        let t = uniform_table(500, 1.0);
+        let mut gate = ScanGate::open();
+        for pos in 0..t.len() {
+            assert!(gate.admit(
+                t.tuple(pos).score(),
+                t.tuple(pos).prob(),
+                GroupKey::Independent
+            ));
+        }
+        assert!(!gate.is_closed());
+        assert_eq!(gate.admitted(), 500);
+        assert!((gate.accumulated_mass() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn closed_gate_stays_closed() {
+        let t = uniform_table(1000, 1.0);
+        let mut gate = ScanGate::new(2, 0.01).unwrap();
+        let mut admitted = 0;
+        for pos in 0..t.len() {
+            if gate.admit(
+                t.tuple(pos).score(),
+                t.tuple(pos).prob(),
+                GroupKey::Independent,
+            ) {
+                admitted += 1;
+            } else {
+                break;
+            }
+        }
+        assert!(gate.is_closed());
+        assert_eq!(admitted, gate.admitted());
+        // Further offers are rejected without changing the count.
+        assert!(!gate.admit(0.0, 1.0, GroupKey::Independent));
+        assert_eq!(gate.admitted(), admitted);
     }
 }

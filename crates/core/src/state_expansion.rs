@@ -12,10 +12,12 @@
 use std::collections::HashMap;
 
 use ttk_uncertain::{
-    CoalescePolicy, Error, Result, ScoreDistribution, TupleId, UncertainTable, VectorWitness,
+    CoalescePolicy, Error, Result, ScoreDistribution, TableSource, TupleId, TupleSource,
+    UncertainTable, VectorWitness,
 };
 
-use crate::scan_depth::scan_depth;
+use crate::scan::RankScan;
+use crate::scan_depth::ScanGate;
 
 /// Configuration shared by the two naive baselines (StateExpansion, k-Combo).
 #[derive(Debug, Clone, Copy)]
@@ -99,10 +101,36 @@ pub fn state_expansion(
     k: usize,
     config: &NaiveConfig,
 ) -> Result<BaselineOutput> {
+    state_expansion_streamed(&mut TableSource::new(table), k, config)
+}
+
+/// Runs StateExpansion against a rank-ordered [`TupleSource`], reading at
+/// most one tuple past the Theorem-2 bound.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidParameter`] for invalid parameters and propagates
+/// source errors.
+pub fn state_expansion_streamed(
+    source: &mut dyn TupleSource,
+    k: usize,
+    config: &NaiveConfig,
+) -> Result<BaselineOutput> {
     if k == 0 {
         return Err(Error::InvalidParameter("k must be at least 1".into()));
     }
-    let depth = scan_depth(table, k, config.p_tau)?;
+    let mut gate = ScanGate::new(k, config.p_tau)?;
+    let prefix = RankScan::new().collect_prefix(source, &mut gate)?;
+    Ok(state_expansion_on_prefix(&prefix.table, k, config))
+}
+
+/// The expansion loop over an already-collected Theorem-2 prefix.
+pub(crate) fn state_expansion_on_prefix(
+    table: &UncertainTable,
+    k: usize,
+    config: &NaiveConfig,
+) -> BaselineOutput {
+    let depth = table.len();
     let mut dist = ScoreDistribution::empty();
     let mut states = vec![State::initial()];
     let mut explored: u64 = 0;
@@ -187,11 +215,11 @@ pub fn state_expansion(
     if config.max_lines > 0 {
         dist.coalesce(config.max_lines, config.coalesce_policy);
     }
-    Ok(BaselineOutput {
+    BaselineOutput {
         distribution: dist,
         scan_depth: depth,
         explored,
-    })
+    }
 }
 
 #[cfg(test)]

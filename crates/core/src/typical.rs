@@ -48,7 +48,10 @@ impl TypicalSelection {
 
     /// The typical vectors (where available) in ascending score order.
     pub fn vectors(&self) -> Vec<&TopkVector> {
-        self.answers.iter().filter_map(|a| a.vector.as_ref()).collect()
+        self.answers
+            .iter()
+            .filter_map(|a| a.vector.as_ref())
+            .collect()
     }
 }
 
@@ -133,24 +136,22 @@ pub fn typical_topk(distribution: &ScoreDistribution, c: usize) -> Result<Typica
     }
 
     // F_a(j) = min_{j ≤ k < n} [ left_cost(j, k) + G_a(k) ].
-    let fill_f = |f: &mut Vec<Vec<f64>>,
-                  f_arg: &mut Vec<Vec<usize>>,
-                  g: &Vec<Vec<f64>>,
-                  a: usize| {
-        for j in (0..n).rev() {
-            let mut best = f64::INFINITY;
-            let mut best_k = j;
-            for k in j..n {
-                let candidate = left_cost(j, k) + g[a][k];
-                if candidate < best {
-                    best = candidate;
-                    best_k = k;
+    let fill_f =
+        |f: &mut Vec<Vec<f64>>, f_arg: &mut Vec<Vec<usize>>, g: &Vec<Vec<f64>>, a: usize| {
+            for j in (0..n).rev() {
+                let mut best = f64::INFINITY;
+                let mut best_k = j;
+                for k in j..n {
+                    let candidate = left_cost(j, k) + g[a][k];
+                    if candidate < best {
+                        best = candidate;
+                        best_k = k;
+                    }
                 }
+                f[a][j] = best;
+                f_arg[a][j] = best_k;
             }
-            f[a][j] = best;
-            f_arg[a][j] = best_k;
-        }
-    };
+        };
 
     fill_f(&mut f, &mut f_arg, &g, 1);
     for a in 2..=c {

@@ -4,7 +4,9 @@
 
 use proptest::prelude::*;
 use ttk_core::baselines::{exhaustive_u_topk, u_topk, UTopkConfig};
-use ttk_core::dp::{topk_score_distribution, MainConfig, MeStrategy};
+use ttk_core::dp::{
+    materialized_topk_score_distribution, topk_score_distribution, MainConfig, MeStrategy,
+};
 use ttk_core::state_expansion::NaiveConfig;
 use ttk_core::typical::{typical_topk, typical_topk_brute_force};
 use ttk_core::{k_combo, state_expansion};
@@ -54,8 +56,56 @@ fn small_table() -> impl Strategy<Value = UncertainTable> {
     })
 }
 
+/// Random larger table (tens to hundreds of tuples) with frequent score ties
+/// and greedy ME grouping — big enough that the Theorem-2 gate actually
+/// closes before the end of the stream, exercising real truncation.
+fn large_table() -> impl Strategy<Value = UncertainTable> {
+    let tuple = (0u64..100_000, 0i32..40, 1u32..=10)
+        .prop_map(|(id, score, p)| (id, score as f64, p as f64 / 10.0));
+    proptest::collection::vec(tuple, 60..220).prop_map(|mut raw| {
+        raw.sort_by_key(|r| r.0);
+        raw.dedup_by_key(|r| r.0);
+        let tuples: Vec<UncertainTuple> = raw
+            .iter()
+            .map(|&(id, s, p)| UncertainTuple::new(id, s, p).unwrap())
+            .collect();
+        let mut rules: Vec<Vec<u64>> = Vec::new();
+        let mut current: Vec<u64> = Vec::new();
+        let mut current_sum = 0.0;
+        for t in &tuples {
+            if current.len() < 4 && current_sum + t.prob() <= 1.0 {
+                current.push(t.id().raw());
+                current_sum += t.prob();
+            } else {
+                if current.len() > 1 {
+                    rules.push(current.clone());
+                }
+                current = vec![t.id().raw()];
+                current_sum = t.prob();
+            }
+        }
+        if current.len() > 1 {
+            rules.push(current);
+        }
+        UncertainTable::new(
+            tuples,
+            rules
+                .into_iter()
+                .map(|r| r.into_iter().map(Into::into).collect())
+                .collect(),
+        )
+        .unwrap()
+    })
+}
+
 fn assert_close(a: &ScoreDistribution, b: &ScoreDistribution, label: &str) {
-    assert_eq!(a.len(), b.len(), "{label}: line count {} vs {}", a.len(), b.len());
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "{label}: line count {} vs {}",
+        a.len(),
+        b.len()
+    );
     for (pa, pb) in a.points().iter().zip(b.points()) {
         assert!(
             (pa.score - pb.score).abs() < 1e-9,
@@ -174,6 +224,39 @@ proptest! {
             let lo = exact.min_score().unwrap();
             let hi = exact.max_score().unwrap();
             prop_assert!(got.expected_score() >= lo - 1e-9 && got.expected_score() <= hi + 1e-9);
+        }
+    }
+
+    /// The streaming `ScanGate` path produces **bit-identical**
+    /// `ScoreDistribution`s to the old materialize-then-truncate path, on
+    /// small tables (never truncated) and on large ones (genuinely truncated
+    /// mid-stream), across ME groups, score ties, both decomposition
+    /// strategies, and with coalescing both off and on.
+    #[test]
+    fn streaming_path_is_bit_identical_to_materialized(
+        small in small_table(),
+        large in large_table(),
+        k in 1usize..5,
+    ) {
+        for table in [&small, &large] {
+            for strategy in [MeStrategy::LeadRegions, MeStrategy::PerEnding] {
+                for (p_tau, max_lines) in [(1e-3, 0usize), (0.05, 8)] {
+                    let config = MainConfig {
+                        p_tau,
+                        max_lines,
+                        me_strategy: strategy,
+                        ..MainConfig::default()
+                    };
+                    let streamed = topk_score_distribution(table, k, &config).unwrap();
+                    let materialized =
+                        materialized_topk_score_distribution(table, k, &config).unwrap();
+                    // `PartialEq` on distributions compares every score,
+                    // probability and witness with exact f64 equality.
+                    prop_assert_eq!(&streamed.distribution, &materialized.distribution);
+                    prop_assert_eq!(streamed.scan_depth, materialized.scan_depth);
+                    prop_assert_eq!(streamed.segments, materialized.segments);
+                }
+            }
         }
     }
 

@@ -1,0 +1,236 @@
+//! Acceptance tests for the streaming rank-scan executor:
+//!
+//! * every `Algorithm` variant runs through `TupleSource` + `ScanGate`, and
+//!   none of the Theorem-2-bounded algorithms reads past the bound (asserted
+//!   with a counting source);
+//! * a batch of ≥ 100 independent queries executed in parallel produces
+//!   results identical to sequential execution.
+
+use ttk_core::{execute, execute_batch, scan_depth, Algorithm, BatchJob, Executor, TopkQuery};
+use ttk_datagen::cartel::{generate_area, CartelConfig};
+use ttk_datagen::synthetic::{generate, MePolicy, SyntheticConfig};
+use ttk_uncertain::{CountingSource, TableSource, UncertainTable};
+
+/// A large workload whose top tuples carry high confidence (ρ = +0.8), so
+/// even the combination-enumerating baselines keep answers above pτ.
+fn confident_synthetic_table() -> UncertainTable {
+    generate(&SyntheticConfig {
+        tuples: 2_000,
+        correlation: 0.8,
+        me_policy: MePolicy::default(),
+        seed: 4242,
+        ..SyntheticConfig::default()
+    })
+    .expect("synthetic generation succeeds")
+}
+
+#[test]
+fn bounded_algorithms_never_read_past_the_theorem_2_bound() {
+    let table = confident_synthetic_table();
+    let k = 4;
+    let p_tau = 1e-3;
+    let depth = scan_depth(&table, k, p_tau).unwrap();
+    assert!(
+        depth + 1 < table.len(),
+        "workload must stop early (depth {depth} of {})",
+        table.len()
+    );
+
+    for algorithm in [
+        Algorithm::Main,
+        Algorithm::MainPerEnding,
+        Algorithm::StateExpansion,
+        Algorithm::KCombo,
+    ] {
+        let mut source = CountingSource::new(TableSource::new(&table));
+        let query = TopkQuery::new(k)
+            .with_p_tau(p_tau)
+            .with_algorithm(algorithm)
+            .with_u_topk(false);
+        let answer = Executor::new()
+            .execute_source(&mut source, &query)
+            .unwrap_or_else(|e| panic!("{algorithm:?}: {e}"));
+        assert_eq!(answer.scan_depth, depth, "{algorithm:?}");
+        assert_eq!(
+            source.pulled(),
+            depth + 1,
+            "{algorithm:?} must read exactly the bound plus one look-ahead tuple"
+        );
+        assert!(
+            answer.distribution.total_probability() > 0.5,
+            "{algorithm:?}"
+        );
+    }
+}
+
+#[test]
+fn source_path_u_topk_keeps_full_table_semantics() {
+    // U-Topk has no probability threshold, so the source path drains the
+    // remainder of the stream for it instead of searching only the pτ prefix.
+    let table = confident_synthetic_table();
+    let query = TopkQuery::new(3).with_p_tau(1e-3); // U-Topk on by default.
+
+    let mut source = CountingSource::new(TableSource::new(&table));
+    let streamed = Executor::new().execute_source(&mut source, &query).unwrap();
+    let materialized = execute(&table, &query).unwrap();
+
+    let (a, b) = (
+        streamed.u_topk.as_ref().unwrap(),
+        materialized.u_topk.as_ref().unwrap(),
+    );
+    assert_eq!(a.vector.ids(), b.vector.ids());
+    assert_eq!(a.vector.probability(), b.vector.probability());
+    assert_eq!(streamed.distribution, materialized.distribution);
+    // Draining for U-Topk reads the whole stream — the bound only holds when
+    // the comparison answer is disabled.
+    assert_eq!(source.pulled(), table.len());
+}
+
+#[test]
+fn exhaustive_variant_runs_through_the_source_too() {
+    // Exhaustive enumeration needs the whole (tiny) stream; the open gate
+    // drains it and the result matches the table-based path.
+    let table = generate(&SyntheticConfig {
+        tuples: 12,
+        me_policy: MePolicy::default(),
+        seed: 99,
+        ..SyntheticConfig::default()
+    })
+    .unwrap();
+    let query = TopkQuery::new(3)
+        .with_p_tau(1e-12)
+        .with_max_lines(0)
+        .with_algorithm(Algorithm::Exhaustive)
+        .with_u_topk(false);
+
+    let mut source = CountingSource::new(TableSource::new(&table));
+    let streamed = Executor::new().execute_source(&mut source, &query).unwrap();
+    assert_eq!(source.pulled(), table.len());
+
+    let materialized = execute(&table, &query).unwrap();
+    assert_eq!(streamed.distribution, materialized.distribution);
+}
+
+#[test]
+fn parallel_batch_matches_sequential_execution() {
+    // ≥ 100 independent queries: three tables × a (k, pτ, algorithm) grid.
+    // Seeds are chosen for small areas so the suite stays fast on one core.
+    let tables: Vec<UncertainTable> = [100u64, 104, 105]
+        .iter()
+        .map(|&seed| {
+            generate_area(&CartelConfig {
+                segments: 25,
+                seed,
+                ..CartelConfig::default()
+            })
+            .unwrap()
+            .into_table()
+        })
+        .collect();
+    let mut jobs = Vec::new();
+    for table in &tables {
+        for k in 1..=10usize {
+            for p_tau in [1e-3, 1e-2] {
+                jobs.push(BatchJob::new(
+                    table,
+                    TopkQuery::new(k)
+                        .with_p_tau(p_tau)
+                        .with_algorithm(Algorithm::Main)
+                        .with_u_topk(k % 2 == 0 && k <= 4),
+                ));
+            }
+            if k <= 8 {
+                jobs.push(BatchJob::new(
+                    table,
+                    TopkQuery::new(k)
+                        .with_p_tau(1e-3)
+                        .with_algorithm(Algorithm::MainPerEnding)
+                        .with_u_topk(false),
+                ));
+            }
+            if k <= 4 {
+                jobs.push(BatchJob::new(
+                    table,
+                    TopkQuery::new(k)
+                        .with_p_tau(5e-2)
+                        .with_algorithm(Algorithm::StateExpansion)
+                        .with_u_topk(false),
+                ));
+            }
+            if k <= 2 {
+                jobs.push(BatchJob::new(
+                    table,
+                    TopkQuery::new(k)
+                        .with_p_tau(1e-2)
+                        .with_algorithm(Algorithm::KCombo)
+                        .with_u_topk(false),
+                ));
+            }
+        }
+    }
+    assert!(jobs.len() >= 100, "{} jobs", jobs.len());
+
+    let parallel = execute_batch(&jobs, 4);
+    let sequential = execute_batch(&jobs, 1);
+    assert_eq!(parallel.len(), jobs.len());
+
+    for (index, (p, s)) in parallel.iter().zip(&sequential).enumerate() {
+        match (p, s) {
+            // Determinism covers failures too: identical messages.
+            (Err(a), Err(b)) => assert_eq!(a.to_string(), b.to_string(), "job {index}"),
+            (Ok(p), Ok(s)) => {
+                assert_eq!(p.distribution, s.distribution, "job {index}");
+                assert_eq!(p.typical.scores(), s.typical.scores(), "job {index}");
+                assert_eq!(p.scan_depth, s.scan_depth, "job {index}");
+                match (&p.u_topk, &s.u_topk) {
+                    (None, None) => {}
+                    (Some(a), Some(b)) => {
+                        assert_eq!(a.vector.ids(), b.vector.ids(), "job {index}");
+                        assert_eq!(
+                            a.vector.probability(),
+                            b.vector.probability(),
+                            "job {index}"
+                        );
+                    }
+                    other => panic!("job {index}: U-Topk presence mismatch {other:?}"),
+                }
+                // Spot-check against the plain one-shot API.
+                if index % 10 == 0 {
+                    let direct = execute(jobs[index].table, &jobs[index].query).unwrap();
+                    assert_eq!(p.distribution, direct.distribution, "job {index}");
+                }
+            }
+            other => panic!("job {index}: outcome mismatch {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn executor_scratch_reuse_does_not_leak_state_between_queries() {
+    let big = confident_synthetic_table();
+    let small = ttk_datagen::soldier::table().unwrap();
+    let mut executor = Executor::new();
+
+    let first = executor
+        .execute(&big, &TopkQuery::new(8).with_u_topk(false))
+        .unwrap();
+    let second = executor
+        .execute(
+            &small,
+            &TopkQuery::new(2).with_p_tau(1e-9).with_max_lines(0),
+        )
+        .unwrap();
+    let third = executor
+        .execute(&big, &TopkQuery::new(8).with_u_topk(false))
+        .unwrap();
+
+    // Interleaving an unrelated query must not perturb results.
+    assert_eq!(first.distribution, third.distribution);
+    assert_eq!(second.typical.scores(), vec![118.0, 183.0, 235.0]);
+
+    // A fresh executor agrees with the reused one.
+    let fresh = Executor::new()
+        .execute(&big, &TopkQuery::new(8).with_u_topk(false))
+        .unwrap();
+    assert_eq!(first.distribution, fresh.distribution);
+}

@@ -22,7 +22,7 @@
 //! properties the evaluation depends on (one ME group per segment, group
 //! probabilities summing to one, scores spread within a group) are preserved.
 
-use ttk_uncertain::{Result, TupleId, UncertainTable, UncertainTuple};
+use ttk_uncertain::{Result, SourceTuple, TupleId, UncertainTable, UncertainTuple, VecSource};
 
 use crate::rng::DataRng;
 
@@ -89,6 +89,30 @@ impl Area {
         self.segments
             .iter()
             .find(|s| s.bins.iter().any(|b| b.tuple_id == id))
+    }
+
+    /// The area's measurement bins as a rank-ordered
+    /// [`TupleSource`](ttk_uncertain::TupleSource): all bins of one road
+    /// segment share one ME group key (the segment id).
+    pub fn tuple_source(&self) -> VecSource {
+        let tuples = self
+            .segments
+            .iter()
+            .flat_map(|segment| {
+                segment.bins.iter().map(|bin| {
+                    SourceTuple::grouped(
+                        UncertainTuple::new(
+                            bin.tuple_id,
+                            bin.congestion_score,
+                            bin.probability.clamp(1e-6, 1.0),
+                        )
+                        .expect("generated bins are valid tuples"),
+                        segment.segment_id,
+                    )
+                })
+            })
+            .collect();
+        VecSource::new(tuples)
     }
 }
 
@@ -204,6 +228,12 @@ pub fn area_table(segments: usize, seed: u64) -> Result<UncertainTable> {
     .into_table())
 }
 
+/// Convenience wrapper: a rank-ordered tuple source over a freshly simulated
+/// area, without retaining the area or its table.
+pub fn area_source(config: &CartelConfig) -> Result<VecSource> {
+    Ok(generate_area(config)?.tuple_source())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -269,6 +299,44 @@ mod tests {
         // number of segments.
         assert!(t.len() > 30);
         assert!(t.me_tuple_portion() > 0.5);
+    }
+
+    #[test]
+    fn tuple_source_streams_the_same_table() {
+        use ttk_uncertain::{GroupKey, TupleSource};
+
+        let area = generate_area(&CartelConfig {
+            segments: 20,
+            seed: 5,
+            ..CartelConfig::default()
+        })
+        .unwrap();
+        let table = area.table();
+        let mut source = area.tuple_source();
+        let mut tuples = Vec::new();
+        let mut keys = Vec::new();
+        while let Some(st) = source.next_tuple().unwrap() {
+            tuples.push(st.tuple);
+            keys.push(st.group);
+        }
+        let rebuilt = ttk_uncertain::UncertainTable::from_rank_ordered(tuples, &keys).unwrap();
+        assert_eq!(rebuilt.len(), table.len());
+        for pos in 0..table.len() {
+            assert_eq!(rebuilt.tuple(pos), table.tuple(pos));
+            assert_eq!(rebuilt.group_members(pos), table.group_members(pos));
+        }
+        // Group keys are segment ids, so single-bin segments come through as
+        // one-member shared groups — structurally identical to singletons.
+        assert!(keys.iter().all(|k| matches!(k, GroupKey::Shared(_))));
+        // The convenience wrapper produces the same stream.
+        let mut wrapper = area_source(&CartelConfig {
+            segments: 20,
+            seed: 5,
+            ..CartelConfig::default()
+        })
+        .unwrap();
+        let first = wrapper.next_tuple().unwrap().unwrap();
+        assert_eq!(&first.tuple, rebuilt.tuple(0));
     }
 
     #[test]

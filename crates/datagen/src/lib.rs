@@ -25,6 +25,8 @@ pub mod rng;
 pub mod soldier;
 pub mod synthetic;
 
-pub use cartel::{area_table, generate_area, Area, CartelConfig, DelayBin, RoadSegment};
+pub use cartel::{
+    area_source, area_table, generate_area, Area, CartelConfig, DelayBin, RoadSegment,
+};
 pub use rng::DataRng;
-pub use synthetic::{generate, IntRange, MePolicy, SyntheticConfig};
+pub use synthetic::{generate, generate_source, IntRange, MePolicy, SyntheticConfig};

@@ -137,11 +137,7 @@ mod tests {
             let my = pairs.iter().map(|p| p.1).sum::<f64>() / n as f64;
             let sx = (pairs.iter().map(|p| (p.0 - mx).powi(2)).sum::<f64>() / n as f64).sqrt();
             let sy = (pairs.iter().map(|p| (p.1 - my).powi(2)).sum::<f64>() / n as f64).sqrt();
-            let cov = pairs
-                .iter()
-                .map(|p| (p.0 - mx) * (p.1 - my))
-                .sum::<f64>()
-                / n as f64;
+            let cov = pairs.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum::<f64>() / n as f64;
             let measured = cov / (sx * sy);
             assert!(
                 (measured - rho).abs() < 0.05,

@@ -28,13 +28,62 @@ pub struct SoldierReading {
 /// The seven readings of Figure 1.
 pub fn readings() -> Vec<SoldierReading> {
     vec![
-        SoldierReading { tuple_id: 1, soldier_id: 1, time: "10:50", location: (10, 20), score: 49.0, confidence: 0.4 },
-        SoldierReading { tuple_id: 2, soldier_id: 2, time: "10:49", location: (10, 19), score: 60.0, confidence: 0.4 },
-        SoldierReading { tuple_id: 3, soldier_id: 3, time: "10:51", location: (9, 25), score: 110.0, confidence: 0.4 },
-        SoldierReading { tuple_id: 4, soldier_id: 2, time: "10:50", location: (10, 19), score: 80.0, confidence: 0.3 },
-        SoldierReading { tuple_id: 5, soldier_id: 4, time: "10:49", location: (12, 7), score: 56.0, confidence: 1.0 },
-        SoldierReading { tuple_id: 6, soldier_id: 3, time: "10:50", location: (9, 25), score: 58.0, confidence: 0.5 },
-        SoldierReading { tuple_id: 7, soldier_id: 2, time: "10:50", location: (11, 19), score: 125.0, confidence: 0.3 },
+        SoldierReading {
+            tuple_id: 1,
+            soldier_id: 1,
+            time: "10:50",
+            location: (10, 20),
+            score: 49.0,
+            confidence: 0.4,
+        },
+        SoldierReading {
+            tuple_id: 2,
+            soldier_id: 2,
+            time: "10:49",
+            location: (10, 19),
+            score: 60.0,
+            confidence: 0.4,
+        },
+        SoldierReading {
+            tuple_id: 3,
+            soldier_id: 3,
+            time: "10:51",
+            location: (9, 25),
+            score: 110.0,
+            confidence: 0.4,
+        },
+        SoldierReading {
+            tuple_id: 4,
+            soldier_id: 2,
+            time: "10:50",
+            location: (10, 19),
+            score: 80.0,
+            confidence: 0.3,
+        },
+        SoldierReading {
+            tuple_id: 5,
+            soldier_id: 4,
+            time: "10:49",
+            location: (12, 7),
+            score: 56.0,
+            confidence: 1.0,
+        },
+        SoldierReading {
+            tuple_id: 6,
+            soldier_id: 3,
+            time: "10:50",
+            location: (9, 25),
+            score: 58.0,
+            confidence: 0.5,
+        },
+        SoldierReading {
+            tuple_id: 7,
+            soldier_id: 2,
+            time: "10:50",
+            location: (11, 19),
+            score: 125.0,
+            confidence: 0.3,
+        },
     ]
 }
 
@@ -55,6 +104,22 @@ pub fn table() -> Result<UncertainTable> {
     builder.build()
 }
 
+/// The Figure 1 readings as a rank-ordered
+/// [`TupleSource`](ttk_uncertain::TupleSource): readings for the same
+/// soldier share one ME group key.
+pub fn source() -> Result<ttk_uncertain::VecSource> {
+    let tuples = readings()
+        .into_iter()
+        .map(|r| {
+            Ok(ttk_uncertain::SourceTuple::grouped(
+                ttk_uncertain::UncertainTuple::new(r.tuple_id, r.score, r.confidence)?,
+                u64::from(r.soldier_id),
+            ))
+        })
+        .collect::<Result<Vec<_>>>()?;
+    Ok(ttk_uncertain::VecSource::new(tuples))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -70,6 +135,20 @@ mod tests {
         assert_eq!(t.group_members(p2).len(), 3);
         let p3 = t.position(3u64).unwrap();
         assert_eq!(t.group_members(p3).len(), 2);
+    }
+
+    #[test]
+    fn source_streams_the_figure_table() {
+        use ttk_uncertain::TupleSource;
+
+        let t = table().unwrap();
+        let mut s = source().unwrap();
+        let mut pos = 0;
+        while let Some(st) = s.next_tuple().unwrap() {
+            assert_eq!(&st.tuple, t.tuple(pos));
+            pos += 1;
+        }
+        assert_eq!(pos, t.len());
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! gap/size policy, rescaling member probabilities when a group would exceed
 //! total probability one.
 
-use ttk_uncertain::{Result, TupleId, UncertainTable, UncertainTuple};
+use ttk_uncertain::{Result, TupleId, UncertainTable, UncertainTuple, VecSource};
 
 use crate::rng::DataRng;
 
@@ -176,6 +176,17 @@ pub fn generate(config: &SyntheticConfig) -> Result<UncertainTable> {
     UncertainTable::new(adjusted, rules)
 }
 
+/// Generates a synthetic workload directly as a rank-ordered
+/// [`TupleSource`](ttk_uncertain::TupleSource) — the streaming counterpart
+/// of [`generate`], equal table for equal configuration.
+///
+/// # Errors
+///
+/// As [`generate`].
+pub fn generate_source(config: &SyntheticConfig) -> Result<VecSource> {
+    Ok(generate(config)?.to_source())
+}
+
 /// Builds ME rules over rank-ordered tuples according to the policy.
 fn assign_groups(
     tuples: &[UncertainTuple],
@@ -240,11 +251,7 @@ mod tests {
             assert_eq!(x.score(), y.score());
             assert_eq!(x.prob(), y.prob());
         }
-        let c = generate(&SyntheticConfig {
-            seed: 1,
-            ..config
-        })
-        .unwrap();
+        let c = generate(&SyntheticConfig { seed: 1, ..config }).unwrap();
         assert!(a
             .tuples()
             .iter()

@@ -10,7 +10,12 @@
 //! Both metadata columns are stripped from the relational schema; all other
 //! columns are type-inferred (integer → float → boolean → text).
 
+use std::collections::HashMap;
+
+use ttk_uncertain::{SourceTuple, UncertainTuple, VecSource};
+
 use crate::error::{PdbError, Result};
+use crate::expr::Expr;
 use crate::schema::{Column, Schema};
 use crate::table::PTable;
 use crate::value::{DataType, Value};
@@ -73,22 +78,24 @@ fn split_record(line: &str, line_no: usize) -> Result<Vec<String>> {
     Ok(fields)
 }
 
-/// Parses CSV text into a probabilistic table.
-///
-/// # Errors
-///
-/// Returns [`PdbError::CsvError`] for malformed input (missing header,
-/// missing probability column, ragged rows, unparsable probabilities) and
-/// propagates schema/probability validation errors from [`PTable::insert`].
-pub fn table_from_csv(name: &str, text: &str, options: &CsvOptions) -> Result<PTable> {
-    let mut lines = text
+/// The structural layout of a CSV file: header names plus the positions of
+/// the metadata columns.
+struct CsvLayout {
+    header: Vec<String>,
+    prob_idx: usize,
+    group_idx: Option<usize>,
+    data_columns: Vec<usize>,
+}
+
+/// Parses the header row and locates the probability/group columns.
+fn parse_layout(text: &str, options: &CsvOptions) -> Result<CsvLayout> {
+    let header_line = text
         .lines()
-        .enumerate()
-        .filter(|(_, l)| !l.trim().is_empty());
-    let (_, header_line) = lines.next().ok_or(PdbError::CsvError {
-        line: 1,
-        message: "missing header row".into(),
-    })?;
+        .find(|l| !l.trim().is_empty())
+        .ok_or(PdbError::CsvError {
+            line: 1,
+            message: "missing header row".into(),
+        })?;
     let header = split_record(header_line, 1)?;
     let prob_idx = header
         .iter()
@@ -104,69 +111,172 @@ pub fn table_from_csv(name: &str, text: &str, options: &CsvOptions) -> Result<PT
         Some(name) => header.iter().position(|h| h.trim() == *name),
         None => None,
     };
+    let data_columns: Vec<usize> = (0..header.len())
+        .filter(|&i| i != prob_idx && Some(i) != group_idx)
+        .collect();
+    Ok(CsvLayout {
+        header,
+        prob_idx,
+        group_idx,
+        data_columns,
+    })
+}
 
-    // Collect records first so column types can be inferred over the whole
-    // file.
+/// Parses the data records of a CSV text once (header skipped, blank lines
+/// ignored), validating field counts against the layout. Returned as
+/// `(line number, fields)` pairs so both the type-inference and the loading
+/// pass run over the same parse.
+fn parse_records(text: &str, layout: &CsvLayout) -> Result<Vec<(usize, Vec<String>)>> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty());
+    lines.next(); // The header.
     let mut records = Vec::new();
     for (i, line) in lines {
         let record = split_record(line, i + 1)?;
-        if record.len() != header.len() {
+        if record.len() != layout.header.len() {
             return Err(PdbError::CsvError {
                 line: i + 1,
-                message: format!("expected {} fields, got {}", header.len(), record.len()),
+                message: format!(
+                    "expected {} fields, got {}",
+                    layout.header.len(),
+                    record.len()
+                ),
             });
         }
         records.push((i + 1, record));
     }
+    Ok(records)
+}
 
-    let data_columns: Vec<usize> = (0..header.len())
-        .filter(|&i| i != prob_idx && Some(i) != group_idx)
-        .collect();
-    let mut columns = Vec::new();
-    for &col in &data_columns {
-        let mut ty = DataType::Integer;
-        for (_, record) in &records {
-            match Value::infer_from_str(&record[col]) {
-                Value::Integer(_) | Value::Null => {}
-                Value::Float(_) => {
-                    if ty == DataType::Integer {
-                        ty = DataType::Float;
-                    }
-                }
-                Value::Boolean(_) => {
-                    if ty == DataType::Integer {
-                        ty = DataType::Boolean;
-                    } else if ty != DataType::Boolean {
-                        ty = DataType::Text;
-                    }
-                }
-                Value::Text(_) => ty = DataType::Text,
+/// Widens a column type to accommodate one more inferred value.
+fn merge_type(ty: DataType, value: &Value) -> DataType {
+    match value {
+        Value::Integer(_) | Value::Null => ty,
+        Value::Float(_) => {
+            if ty == DataType::Integer {
+                DataType::Float
+            } else {
+                ty
             }
         }
-        columns.push(Column::new(header[col].trim(), ty));
+        Value::Boolean(_) => {
+            if ty == DataType::Integer {
+                DataType::Boolean
+            } else if ty != DataType::Boolean {
+                DataType::Text
+            } else {
+                ty
+            }
+        }
+        Value::Text(_) => DataType::Text,
     }
-    let schema = Schema::new(columns)?;
+}
+
+/// Infers the relational schema of the data columns over the parsed records.
+fn infer_schema(records: &[(usize, Vec<String>)], layout: &CsvLayout) -> Result<Schema> {
+    let mut types = vec![DataType::Integer; layout.data_columns.len()];
+    for (_, record) in records {
+        for (slot, &col) in layout.data_columns.iter().enumerate() {
+            types[slot] = merge_type(types[slot], &Value::infer_from_str(&record[col]));
+        }
+    }
+    let columns = layout
+        .data_columns
+        .iter()
+        .zip(&types)
+        .map(|(&col, &ty)| Column::new(layout.header[col].trim(), ty))
+        .collect();
+    Schema::new(columns)
+}
+
+fn parse_probability(record: &[String], layout: &CsvLayout, line_no: usize) -> Result<f64> {
+    record[layout.prob_idx]
+        .trim()
+        .parse()
+        .map_err(|_| PdbError::CsvError {
+            line: line_no,
+            message: format!("invalid probability `{}`", record[layout.prob_idx]),
+        })
+}
+
+fn group_key<'a>(record: &'a [String], layout: &CsvLayout) -> Option<&'a str> {
+    layout.group_idx.and_then(|g| {
+        let key = record[g].trim();
+        (!key.is_empty()).then_some(key)
+    })
+}
+
+/// Parses CSV text into a probabilistic table.
+///
+/// # Errors
+///
+/// Returns [`PdbError::CsvError`] for malformed input (missing header,
+/// missing probability column, ragged rows, unparsable probabilities) and
+/// propagates schema/probability validation errors from [`PTable::insert`].
+pub fn table_from_csv(name: &str, text: &str, options: &CsvOptions) -> Result<PTable> {
+    let layout = parse_layout(text, options)?;
+    let records = parse_records(text, &layout)?;
+    let schema = infer_schema(&records, &layout)?;
     let mut table = PTable::new(name, schema);
-    for (line_no, record) in records {
-        let probability: f64 =
-            record[prob_idx]
-                .trim()
-                .parse()
-                .map_err(|_| PdbError::CsvError {
-                    line: line_no,
-                    message: format!("invalid probability `{}`", record[prob_idx]),
-                })?;
-        let group = group_idx.and_then(|g| {
-            let key = record[g].trim();
-            (!key.is_empty()).then(|| key.to_string())
-        });
-        let values: Vec<Value> = data_columns
+    for (line_no, record) in &records {
+        let probability = parse_probability(record, &layout, *line_no)?;
+        let values: Vec<Value> = layout
+            .data_columns
             .iter()
             .map(|&c| Value::infer_from_str(&record[c]))
             .collect();
-        table.insert(values, probability, group.as_deref())?;
+        table.insert(values, probability, group_key(record, &layout))?;
     }
     Ok(table)
+}
+
+/// Parses CSV text straight into a rank-ordered
+/// [`TupleSource`](ttk_uncertain::TupleSource), scoring each row with the
+/// given expression as it is read.
+///
+/// Unlike [`table_from_csv`] + [`PTable::to_tuple_source`], no relational
+/// table is built: after one parsing pass only the `(row index, score,
+/// probability, group)` quadruple of each record is retained, so the
+/// resulting source's footprint is independent of the relation's width.
+/// Tuple ids are 0-based data-record indexes, matching the row indexes a
+/// [`table_from_csv`] import would assign.
+///
+/// # Errors
+///
+/// Returns [`PdbError::CsvError`] for malformed input, expression
+/// validation/evaluation errors, and tuple validation errors.
+pub fn tuple_source_from_csv(text: &str, options: &CsvOptions, score: &Expr) -> Result<VecSource> {
+    let layout = parse_layout(text, options)?;
+    let records = parse_records(text, &layout)?;
+    let schema = infer_schema(&records, &layout)?;
+    score.validate(&schema)?;
+    let mut key_of_group: HashMap<String, u64> = HashMap::new();
+    let mut tuples = Vec::with_capacity(records.len());
+    let mut row_values = Vec::with_capacity(layout.data_columns.len());
+    for (line_no, record) in &records {
+        let probability = parse_probability(record, &layout, *line_no)?;
+        row_values.clear();
+        row_values.extend(
+            layout
+                .data_columns
+                .iter()
+                .map(|&c| Value::infer_from_str(&record[c])),
+        );
+        let score_value = score.evaluate(&schema, &row_values)?;
+        let tuple = UncertainTuple::new(tuples.len() as u64, score_value, probability)
+            .map_err(PdbError::Core)?;
+        tuples.push(match group_key(record, &layout) {
+            Some(g) => {
+                let next_key = key_of_group.len() as u64;
+                let key = *key_of_group.entry(g.to_string()).or_insert(next_key);
+                SourceTuple::grouped(tuple, key)
+            }
+            None => SourceTuple::independent(tuple),
+        });
+    }
+    Ok(VecSource::new(tuples))
 }
 
 /// Serialises a probabilistic table back to CSV (probability and group
@@ -270,6 +380,41 @@ segment_id,speed_limit,length,delay,probability,group_key
             table_from_csv("x", unterminated, &CsvOptions::default()),
             Err(PdbError::CsvError { .. })
         ));
+    }
+
+    #[test]
+    fn tuple_source_matches_the_table_route() {
+        use ttk_uncertain::TupleSource;
+
+        let csv = "\
+speed_limit,length,delay,probability,group_key
+50,1000,120,0.6,seg-1
+50,1000,300,0.4,seg-1
+30,500,90,1.0,seg-2
+60,900,240,0.5,
+";
+        let expr = crate::parser::parse_expression("speed_limit / (length / delay)").unwrap();
+        let mut direct = tuple_source_from_csv(csv, &CsvOptions::default(), &expr).unwrap();
+        let table = table_from_csv("area", csv, &CsvOptions::default()).unwrap();
+        let mut via_table = table.to_tuple_source(&expr).unwrap();
+        loop {
+            let a = direct.next_tuple().unwrap();
+            let b = via_table.next_tuple().unwrap();
+            match (a, b) {
+                (None, None) => break,
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.tuple.id(), b.tuple.id());
+                    assert_eq!(a.tuple.score(), b.tuple.score());
+                    assert_eq!(a.tuple.prob(), b.tuple.prob());
+                    // Group keys are source-local; only the partition must
+                    // match, which the id pairing above implies per stream.
+                }
+                (a, b) => panic!("stream length mismatch: {a:?} vs {b:?}"),
+            }
+        }
+        // Expression referencing an unknown column fails up front.
+        let bad = crate::parser::parse_expression("nope + 1").unwrap();
+        assert!(tuple_source_from_csv(csv, &CsvOptions::default(), &bad).is_err());
     }
 
     #[test]

@@ -54,13 +54,18 @@ impl fmt::Display for PdbError {
                 expected,
                 found,
                 context,
-            } => write!(f, "type mismatch in {context}: expected {expected}, found {found}"),
+            } => write!(
+                f,
+                "type mismatch in {context}: expected {expected}, found {found}"
+            ),
             PdbError::ParseError { position, message } => {
                 write!(f, "parse error at byte {position}: {message}")
             }
             PdbError::DivisionByZero => write!(f, "division by zero"),
             PdbError::SchemaMismatch(msg) => write!(f, "row does not match schema: {msg}"),
-            PdbError::CsvError { line, message } => write!(f, "CSV error on line {line}: {message}"),
+            PdbError::CsvError { line, message } => {
+                write!(f, "CSV error on line {line}: {message}")
+            }
             PdbError::UnknownTable(name) => write!(f, "unknown table `{name}`"),
             PdbError::DuplicateTable(name) => write!(f, "table `{name}` already exists"),
             PdbError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),

@@ -178,7 +178,11 @@ mod tests {
 
     #[test]
     fn evaluates_the_congestion_score() {
-        let values = vec![Value::Float(50.0), Value::Float(1000.0), Value::Float(200.0)];
+        let values = vec![
+            Value::Float(50.0),
+            Value::Float(1000.0),
+            Value::Float(200.0),
+        ];
         let score = congestion().evaluate(&schema(), &values).unwrap();
         assert!((score - 50.0 / (1000.0 / 200.0)).abs() < 1e-12);
     }
@@ -204,7 +208,10 @@ mod tests {
             .with("label", DataType::Text);
         let values = vec![Value::Float(1.0), Value::from("road")];
         let div = Expr::column("x").binary(BinaryOp::Div, Expr::literal(0.0));
-        assert!(matches!(div.evaluate(&s, &values), Err(PdbError::DivisionByZero)));
+        assert!(matches!(
+            div.evaluate(&s, &values),
+            Err(PdbError::DivisionByZero)
+        ));
         let text = Expr::column("label").binary(BinaryOp::Add, Expr::literal(1.0));
         assert!(matches!(
             text.evaluate(&s, &values),
@@ -230,9 +237,6 @@ mod tests {
 
     #[test]
     fn display_round_trips_visually() {
-        assert_eq!(
-            congestion().to_string(),
-            "(speed_limit / (length / delay))"
-        );
+        assert_eq!(congestion().to_string(), "(speed_limit / (length / delay))");
     }
 }

@@ -48,11 +48,13 @@ pub mod table;
 pub mod value;
 
 pub use catalog::Database;
-pub use csv::{table_from_csv, table_to_csv, CsvOptions};
+pub use csv::{table_from_csv, table_to_csv, tuple_source_from_csv, CsvOptions};
 pub use error::{PdbError, Result};
 pub use expr::{BinaryOp, Expr};
 pub use parser::parse_expression;
-pub use query::{run_distribution_query, DistributionQuery, QueryResult};
+pub use query::{
+    run_distribution_query, run_distribution_query_streamed, DistributionQuery, QueryResult,
+};
 pub use schema::{Column, Schema};
 pub use table::{PTable, UncertainRow};
 pub use value::{DataType, Value};

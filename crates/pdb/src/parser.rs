@@ -135,8 +135,8 @@ impl Parser<'_> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.input[start..self.pos])
-            .expect("ASCII slice is valid UTF-8");
+        let text =
+            std::str::from_utf8(&self.input[start..self.pos]).expect("ASCII slice is valid UTF-8");
         text.parse::<f64>()
             .map(Expr::Literal)
             .map_err(|_| PdbError::ParseError {
@@ -150,8 +150,8 @@ impl Parser<'_> {
         while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || c == b'_') {
             self.pos += 1;
         }
-        let text = std::str::from_utf8(&self.input[start..self.pos])
-            .expect("ASCII slice is valid UTF-8");
+        let text =
+            std::str::from_utf8(&self.input[start..self.pos]).expect("ASCII slice is valid UTF-8");
         Ok(Expr::Column(text.to_string()))
     }
 }
@@ -185,7 +185,10 @@ mod tests {
         for (text, expected) in cases {
             let e = parse_expression(text).unwrap();
             let got = e.evaluate(&s, &v).unwrap();
-            assert!((got - expected).abs() < 1e-12, "{text}: {got} vs {expected}");
+            assert!(
+                (got - expected).abs() < 1e-12,
+                "{text}: {got} vs {expected}"
+            );
         }
     }
 

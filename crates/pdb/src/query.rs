@@ -78,10 +78,7 @@ impl QueryResult {
 
     /// Row indexes of the U-Topk vector, when it was computed.
     pub fn u_topk_rows(&self) -> Option<Vec<usize>> {
-        self.answer
-            .u_topk
-            .as_ref()
-            .map(|u| self.rows_of(&u.vector))
+        self.answer.u_topk.as_ref().map(|u| self.rows_of(&u.vector))
     }
 }
 
@@ -96,6 +93,29 @@ pub fn run_distribution_query(table: &PTable, query: &DistributionQuery) -> Resu
     let score_expression = parse_expression(&query.score)?;
     let uncertain = table.to_uncertain_table(&score_expression)?;
     let answer = ttk_core::execute(&uncertain, &query.topk)?;
+    Ok(QueryResult {
+        score_expression,
+        answer,
+    })
+}
+
+/// Streaming variant of [`run_distribution_query`]: the rows are scored into
+/// a rank-ordered tuple source and pulled through the Theorem-2 scan gate, so
+/// only the scanned prefix is materialized as an uncertain table for the
+/// distribution. When the U-Topk comparison answer is requested the rest of
+/// the stream is drained for it (U-Topk has no probability threshold);
+/// disable it via the query's `with_u_topk(false)` to keep the scan bounded.
+///
+/// # Errors
+///
+/// As [`run_distribution_query`].
+pub fn run_distribution_query_streamed(
+    table: &PTable,
+    query: &DistributionQuery,
+) -> Result<QueryResult> {
+    let score_expression = parse_expression(&query.score)?;
+    let mut source = table.to_tuple_source(&score_expression)?;
+    let answer = ttk_core::Executor::new().execute_source(&mut source, &query.topk)?;
     Ok(QueryResult {
         score_expression,
         answer,
@@ -124,7 +144,8 @@ mod tests {
             (2, 125.0, 0.3, Some("soldier-2")),
         ];
         for (soldier, score, p, group) in rows {
-            t.insert(vec![soldier.into(), score.into()], p, group).unwrap();
+            t.insert(vec![soldier.into(), score.into()], p, group)
+                .unwrap();
         }
         t
     }
@@ -160,6 +181,26 @@ mod tests {
         let mode = result.answer.distribution.mode().unwrap();
         assert!((mode.score - 9.0).abs() < 1e-9);
         assert!((mode.probability - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn streamed_query_matches_the_materialized_route() {
+        let table = soldier_ptable();
+        let query = DistributionQuery::new("medical_score", 2)
+            .with_topk(TopkQuery::new(2).with_p_tau(1e-9).with_max_lines(0));
+        let materialized = run_distribution_query(&table, &query).unwrap();
+        let streamed = run_distribution_query_streamed(&table, &query).unwrap();
+        assert_eq!(
+            materialized.answer.distribution,
+            streamed.answer.distribution
+        );
+        assert_eq!(
+            materialized.answer.typical.scores(),
+            streamed.answer.typical.scores()
+        );
+        // The toy table is scanned in full, so even the prefix-based U-Topk
+        // search sees the same input.
+        assert_eq!(materialized.u_topk_rows(), streamed.u_topk_rows());
     }
 
     #[test]

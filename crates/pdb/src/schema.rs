@@ -138,7 +138,11 @@ mod tests {
     fn row_checking_coerces_and_validates() {
         let s = schema();
         let row = s
-            .check_row(&[Value::Integer(1), Value::Integer(120), Value::from("elm st")])
+            .check_row(&[
+                Value::Integer(1),
+                Value::Integer(120),
+                Value::from("elm st"),
+            ])
             .unwrap();
         assert_eq!(row[1], Value::Float(120.0));
         assert!(s.check_row(&[Value::Integer(1)]).is_err());

@@ -3,7 +3,7 @@
 
 use std::collections::HashMap;
 
-use ttk_uncertain::{TupleId, UncertainTable, UncertainTuple};
+use ttk_uncertain::{SourceTuple, TupleId, UncertainTable, UncertainTuple, VecSource};
 
 use crate::error::{PdbError, Result};
 use crate::expr::Expr;
@@ -132,8 +132,7 @@ impl PTable {
             let score_value = score.evaluate(&self.schema, &row.values)?;
             let id = TupleId(idx as u64);
             tuples.push(
-                UncertainTuple::new(id, score_value, row.probability)
-                    .map_err(PdbError::Core)?,
+                UncertainTuple::new(id, score_value, row.probability).map_err(PdbError::Core)?,
             );
             if let Some(g) = &row.group {
                 groups.entry(g.as_str()).or_default().push(id);
@@ -144,6 +143,43 @@ impl PTable {
             .filter(|members| members.len() > 1)
             .collect();
         UncertainTable::new(tuples, rules).map_err(PdbError::Core)
+    }
+
+    /// Scores every row and returns a rank-ordered
+    /// [`TupleSource`](ttk_uncertain::TupleSource) over the result — the
+    /// streaming entry point of the probabilistic-database layer. Only the
+    /// `(row index, score, probability, group)` quadruples are retained;
+    /// downstream consumers stop at the Theorem-2 bound without ever
+    /// materializing an [`UncertainTable`] of the whole relation.
+    ///
+    /// # Errors
+    ///
+    /// Returns expression validation/evaluation errors and tuple validation
+    /// errors (non-finite scores, out-of-range probabilities).
+    pub fn to_tuple_source(&self, score: &Expr) -> Result<VecSource> {
+        if self.rows.is_empty() {
+            return Err(PdbError::InvalidQuery(format!(
+                "table `{}` is empty",
+                self.name
+            )));
+        }
+        score.validate(&self.schema)?;
+        let mut key_of_group: HashMap<&str, u64> = HashMap::new();
+        let mut tuples = Vec::with_capacity(self.rows.len());
+        for (idx, row) in self.rows.iter().enumerate() {
+            let score_value = score.evaluate(&self.schema, &row.values)?;
+            let tuple = UncertainTuple::new(idx as u64, score_value, row.probability)
+                .map_err(PdbError::Core)?;
+            tuples.push(match &row.group {
+                Some(g) => {
+                    let next_key = key_of_group.len() as u64;
+                    let key = *key_of_group.entry(g.as_str()).or_insert(next_key);
+                    SourceTuple::grouped(tuple, key)
+                }
+                None => SourceTuple::independent(tuple),
+            });
+        }
+        Ok(VecSource::new(tuples))
     }
 }
 
@@ -189,11 +225,13 @@ mod tests {
         assert_eq!(t.len(), 3);
         assert!(!t.is_empty());
         assert!(t
-            .insert(vec![3.into(), 1.0.into(), 1.0.into(), 1.0.into()], 0.0, None)
+            .insert(
+                vec![3.into(), 1.0.into(), 1.0.into(), 1.0.into()],
+                0.0,
+                None
+            )
             .is_err());
-        assert!(t
-            .insert(vec![3.into(), 1.0.into()], 0.5, None)
-            .is_err());
+        assert!(t.insert(vec![3.into(), 1.0.into()], 0.5, None).is_err());
         assert_eq!(t.row(0).unwrap().probability, 0.6);
         assert!(t.row(99).is_none());
         assert_eq!(t.name(), "area");

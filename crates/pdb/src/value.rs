@@ -179,7 +179,10 @@ mod tests {
         assert_eq!(Value::infer_from_str("4.5"), Value::Float(4.5));
         assert_eq!(Value::infer_from_str("true"), Value::Boolean(true));
         assert_eq!(Value::infer_from_str("  "), Value::Null);
-        assert_eq!(Value::infer_from_str("main st"), Value::Text("main st".into()));
+        assert_eq!(
+            Value::infer_from_str("main st"),
+            Value::Text("main st".into())
+        );
     }
 
     #[test]

@@ -97,7 +97,10 @@ mod tests {
         assert!(e.to_string().contains("1.5"));
         assert!(e.to_string().contains("tuple 7"));
 
-        let e = Error::GroupProbabilityExceedsOne { group: 3, sum: 1.25 };
+        let e = Error::GroupProbabilityExceedsOne {
+            group: 3,
+            sum: 1.25,
+        };
         assert!(e.to_string().contains("#3"));
 
         let e = Error::TooManyWorlds {

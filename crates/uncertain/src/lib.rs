@@ -18,6 +18,9 @@
 //!   quantiles and distance measures.
 //! * [`TopkVector`] — a concrete k-tuple answer with its total score and
 //!   probability.
+//! * [`TupleSource`] — a rank-ordered streaming view of uncertain tuples
+//!   (with ME-group metadata) that lets the `ttk-core` scan executor stop at
+//!   the Theorem-2 bound without ever materializing a full table.
 //!
 //! The production algorithms that *compute* score distributions and
 //! c-Typical-Topk answers live in the `ttk-core` crate; this crate is the
@@ -48,6 +51,7 @@
 pub mod error;
 pub mod pmf;
 pub mod probability;
+pub mod source;
 pub mod table;
 pub mod tuple;
 pub mod vector;
@@ -58,6 +62,7 @@ pub use pmf::{
     scores_equal, CoalescePolicy, DistributionPoint, Histogram, ScoreDistribution, VectorWitness,
 };
 pub use probability::{Probability, PROBABILITY_EPSILON};
+pub use source::{CountingSource, GroupKey, SourceTuple, TableSource, TupleSource, VecSource};
 pub use table::{UncertainTable, UncertainTableBuilder};
 pub use tuple::{TupleId, UncertainTuple};
 pub use vector::TopkVector;

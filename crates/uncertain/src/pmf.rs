@@ -177,10 +177,7 @@ impl ScoreDistribution {
         if probability <= 0.0 {
             return;
         }
-        match self
-            .points
-            .binary_search_by(|p| p.score.total_cmp(&score))
-        {
+        match self.points.binary_search_by(|p| p.score.total_cmp(&score)) {
             Ok(i) => {
                 self.points[i].probability += probability;
                 Self::keep_better_witness(&mut self.points[i].witness, witness);
@@ -521,11 +518,9 @@ impl ScoreDistribution {
 
     /// The point whose score is closest to `score`.
     pub fn nearest_point(&self, score: f64) -> Option<&DistributionPoint> {
-        self.points.iter().min_by(|a, b| {
-            (a.score - score)
-                .abs()
-                .total_cmp(&(b.score - score).abs())
-        })
+        self.points
+            .iter()
+            .min_by(|a, b| (a.score - score).abs().total_cmp(&(b.score - score).abs()))
     }
 }
 
@@ -607,7 +602,7 @@ mod tests {
         assert!((a.total_probability() - 0.7).abs() < 1e-12);
         let probs: Vec<f64> = a.pairs().map(|(_, p)| p).collect();
         assert!((probs[2] - 0.3).abs() < 1e-12); // 0.2 + 0.1 at score 3
-        // Merging an empty distribution is a no-op; merging into empty copies.
+                                                 // Merging an empty distribution is a no-op; merging into empty copies.
         let mut e = ScoreDistribution::empty();
         e.merge_from(&a);
         assert_eq!(e.len(), 3);

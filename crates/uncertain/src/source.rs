@@ -1,0 +1,436 @@
+//! Rank-ordered tuple sources: the streaming input abstraction of the
+//! workspace.
+//!
+//! The paper's algorithms all consume uncertain tuples *in rank order* (score
+//! descending, probability descending, id ascending — §3.4) and, by
+//! Theorem 2, only ever need a *prefix* of that order. A [`TupleSource`] is a
+//! pull-based stream of rank-ordered tuples carrying their mutual-exclusion
+//! metadata as a [`GroupKey`]; the scan executor in `ttk-core` pulls from a
+//! source tuple by tuple and stops the moment the Theorem-2 gate closes, so
+//! no algorithm ever materializes (or even reads) the tuples past the bound.
+//!
+//! Three adapters live here:
+//!
+//! * [`TableSource`] — borrows an in-memory [`UncertainTable`];
+//! * [`VecSource`] — owns a batch of [`SourceTuple`]s (sorted into rank order
+//!   at construction), the adapter of choice for generators and file imports;
+//! * [`CountingSource`] — wraps any source and counts the tuples pulled,
+//!   used to *assert* that consumers respect the scan bound.
+
+use crate::error::{Error, Result};
+use crate::table::UncertainTable;
+use crate::tuple::UncertainTuple;
+
+/// Mutual-exclusion metadata of a streamed tuple.
+///
+/// Keys are assigned by the source; any two tuples of one stream carrying the
+/// same `Shared` key are mutually exclusive (at most one of them exists in a
+/// possible world). Keys have no meaning across streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GroupKey {
+    /// The tuple is independent of every other tuple of the stream.
+    Independent,
+    /// The tuple belongs to the mutual-exclusion group with this key.
+    Shared(u64),
+}
+
+/// One streamed tuple: the payload plus its ME-group key.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SourceTuple {
+    /// The uncertain tuple (id, score, membership probability).
+    pub tuple: UncertainTuple,
+    /// The tuple's mutual-exclusion group.
+    pub group: GroupKey,
+}
+
+impl SourceTuple {
+    /// A tuple independent of all others.
+    pub fn independent(tuple: UncertainTuple) -> Self {
+        SourceTuple {
+            tuple,
+            group: GroupKey::Independent,
+        }
+    }
+
+    /// A tuple belonging to the ME group `key`.
+    pub fn grouped(tuple: UncertainTuple, key: u64) -> Self {
+        SourceTuple {
+            tuple,
+            group: GroupKey::Shared(key),
+        }
+    }
+}
+
+/// A pull-based stream of uncertain tuples in rank order.
+///
+/// Implementations must yield tuples in the workspace rank order (score
+/// descending, then probability descending, then id ascending); consumers may
+/// validate this and fail otherwise. Sources are single-pass: once a tuple
+/// has been pulled it is gone, which is exactly what lets adapters stream
+/// from disk or from a network without retaining history.
+pub trait TupleSource {
+    /// Pulls the next tuple, or `Ok(None)` at the end of the stream.
+    fn next_tuple(&mut self) -> Result<Option<SourceTuple>>;
+
+    /// An optional hint of how many tuples remain (used to presize buffers).
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// A [`TupleSource`] borrowing an in-memory [`UncertainTable`].
+#[derive(Debug, Clone)]
+pub struct TableSource<'a> {
+    table: &'a UncertainTable,
+    next: usize,
+}
+
+impl<'a> TableSource<'a> {
+    /// Streams the table's tuples in rank order.
+    pub fn new(table: &'a UncertainTable) -> Self {
+        TableSource { table, next: 0 }
+    }
+}
+
+impl TupleSource for TableSource<'_> {
+    fn next_tuple(&mut self) -> Result<Option<SourceTuple>> {
+        if self.next >= self.table.len() {
+            return Ok(None);
+        }
+        let pos = self.next;
+        self.next += 1;
+        let tuple = *self.table.tuple(pos);
+        let group = if self.table.group_members(pos).len() > 1 {
+            GroupKey::Shared(self.table.group_index(pos) as u64)
+        } else {
+            GroupKey::Independent
+        };
+        Ok(Some(SourceTuple { tuple, group }))
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.table.len() - self.next)
+    }
+}
+
+/// A [`TupleSource`] owning its tuples, sorted into rank order at
+/// construction.
+///
+/// This is the adapter generators and importers use: produce
+/// `(tuple, group key)` pairs in any order, hand them to [`VecSource::new`],
+/// and stream. Only the `(id, score, probability, group)` quadruple is
+/// retained — the originating rows can be dropped, which is what keeps
+/// file-backed scans memory-lean.
+#[derive(Debug, Clone, Default)]
+pub struct VecSource {
+    tuples: Vec<SourceTuple>,
+    next: usize,
+}
+
+impl VecSource {
+    /// Builds a source from tuples in any order; they are sorted into rank
+    /// order here.
+    pub fn new(mut tuples: Vec<SourceTuple>) -> Self {
+        tuples.sort_by_key(|t| t.tuple.rank_key());
+        VecSource { tuples, next: 0 }
+    }
+
+    /// Number of tuples not yet pulled.
+    pub fn remaining(&self) -> usize {
+        self.tuples.len() - self.next
+    }
+
+    /// Rewinds the source to the beginning of the stream.
+    pub fn rewind(&mut self) {
+        self.next = 0;
+    }
+}
+
+impl TupleSource for VecSource {
+    fn next_tuple(&mut self) -> Result<Option<SourceTuple>> {
+        if self.next >= self.tuples.len() {
+            return Ok(None);
+        }
+        let t = self.tuples[self.next];
+        self.next += 1;
+        Ok(Some(t))
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.remaining())
+    }
+}
+
+impl UncertainTable {
+    /// Copies the table into an owning [`VecSource`] (the tuples are `Copy`,
+    /// so this is cheap; use [`TableSource`] to avoid even that copy).
+    pub fn to_source(&self) -> VecSource {
+        let tuples = (0..self.len())
+            .map(|pos| SourceTuple {
+                tuple: *self.tuple(pos),
+                group: if self.group_members(pos).len() > 1 {
+                    GroupKey::Shared(self.group_index(pos) as u64)
+                } else {
+                    GroupKey::Independent
+                },
+            })
+            .collect();
+        // Already rank ordered; VecSource's sort is a stable no-op.
+        VecSource::new(tuples)
+    }
+}
+
+/// A [`TupleSource`] decorator counting how many tuples the consumer pulled.
+///
+/// The streaming executor promises to read at most one tuple past the
+/// Theorem-2 prefix (the single look-ahead needed to observe a tie-group
+/// boundary); wrapping a source in a `CountingSource` turns that promise into
+/// a testable assertion.
+#[derive(Debug)]
+pub struct CountingSource<S> {
+    inner: S,
+    pulled: usize,
+}
+
+impl<S: TupleSource> CountingSource<S> {
+    /// Wraps `inner`.
+    pub fn new(inner: S) -> Self {
+        CountingSource { inner, pulled: 0 }
+    }
+
+    /// Number of tuples pulled from the underlying source so far.
+    pub fn pulled(&self) -> usize {
+        self.pulled
+    }
+
+    /// Unwraps the decorator.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: TupleSource> TupleSource for CountingSource<S> {
+    fn next_tuple(&mut self) -> Result<Option<SourceTuple>> {
+        let t = self.inner.next_tuple()?;
+        if t.is_some() {
+            self.pulled += 1;
+        }
+        Ok(t)
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        self.inner.size_hint()
+    }
+}
+
+impl UncertainTable {
+    /// Builds a table from tuples **already in rank order** with per-tuple
+    /// group keys — the constructor the streaming scan uses to assemble a
+    /// Theorem-2 prefix without re-sorting or re-deriving rules.
+    ///
+    /// Tuples sharing a [`GroupKey::Shared`] key form one mutual-exclusion
+    /// group; [`GroupKey::Independent`] tuples form singleton groups. The
+    /// resulting table is indistinguishable from building the same prefix via
+    /// [`UncertainTable::new`] + [`UncertainTable::truncate`]: positions,
+    /// group memberships and all derived quantities agree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] when `keys.len() != tuples.len()`
+    /// or the tuples are not in rank order, [`Error::DuplicateTupleId`] on a
+    /// repeated id, and [`Error::GroupProbabilityExceedsOne`] when a shared
+    /// group's probabilities sum to more than one.
+    pub fn from_rank_ordered(
+        tuples: Vec<UncertainTuple>,
+        keys: &[crate::source::GroupKey],
+    ) -> Result<Self> {
+        use std::collections::HashMap;
+
+        if tuples.len() != keys.len() {
+            return Err(Error::InvalidParameter(format!(
+                "{} tuples but {} group keys",
+                tuples.len(),
+                keys.len()
+            )));
+        }
+        for pair in tuples.windows(2) {
+            if pair[0].rank_key() > pair[1].rank_key() {
+                return Err(Error::InvalidParameter(format!(
+                    "tuples are not in rank order: {} precedes {}",
+                    pair[0].id(),
+                    pair[1].id()
+                )));
+            }
+        }
+        let mut id_to_pos = HashMap::with_capacity(tuples.len());
+        for (pos, t) in tuples.iter().enumerate() {
+            if id_to_pos.insert(t.id().raw(), pos).is_some() {
+                return Err(Error::DuplicateTupleId(t.id().raw()));
+            }
+        }
+
+        // Shared groups in order of first appearance, then singletons.
+        let mut group_of = vec![usize::MAX; tuples.len()];
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        let mut slot_of_key: HashMap<u64, usize> = HashMap::new();
+        for (pos, key) in keys.iter().enumerate() {
+            if let crate::source::GroupKey::Shared(k) = key {
+                let slot = *slot_of_key.entry(*k).or_insert_with(|| {
+                    groups.push(Vec::new());
+                    groups.len() - 1
+                });
+                groups[slot].push(pos);
+                group_of[pos] = slot;
+            }
+        }
+        for (slot, members) in groups.iter().enumerate() {
+            let sum: f64 = members.iter().map(|&p| tuples[p].prob()).sum();
+            if sum > 1.0 + 1e-6 {
+                return Err(Error::GroupProbabilityExceedsOne { group: slot, sum });
+            }
+        }
+        for (pos, slot) in group_of.iter_mut().enumerate() {
+            if *slot == usize::MAX {
+                *slot = groups.len();
+                groups.push(vec![pos]);
+            }
+        }
+        Ok(UncertainTable::from_parts(
+            tuples, group_of, groups, id_to_pos,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn soldier_table() -> UncertainTable {
+        UncertainTable::builder()
+            .tuple(1u64, 49.0, 0.4)
+            .unwrap()
+            .tuple(2u64, 60.0, 0.4)
+            .unwrap()
+            .tuple(3u64, 110.0, 0.4)
+            .unwrap()
+            .tuple(4u64, 80.0, 0.3)
+            .unwrap()
+            .tuple(5u64, 56.0, 1.0)
+            .unwrap()
+            .tuple(6u64, 58.0, 0.5)
+            .unwrap()
+            .tuple(7u64, 125.0, 0.3)
+            .unwrap()
+            .me_rule([2u64, 4, 7])
+            .me_rule([3u64, 6])
+            .build()
+            .unwrap()
+    }
+
+    fn drain(source: &mut dyn TupleSource) -> Vec<SourceTuple> {
+        let mut out = Vec::new();
+        while let Some(t) = source.next_tuple().unwrap() {
+            out.push(t);
+        }
+        out
+    }
+
+    #[test]
+    fn table_source_streams_in_rank_order_with_groups() {
+        let table = soldier_table();
+        let mut source = TableSource::new(&table);
+        assert_eq!(source.size_hint(), Some(7));
+        let tuples = drain(&mut source);
+        let ids: Vec<u64> = tuples.iter().map(|t| t.tuple.id().raw()).collect();
+        assert_eq!(ids, vec![7, 3, 4, 2, 6, 5, 1]);
+        // T7, T4, T2 share one group; T3, T6 share another; T5, T1 independent.
+        assert_eq!(tuples[0].group, tuples[2].group);
+        assert_eq!(tuples[0].group, tuples[3].group);
+        assert_eq!(tuples[1].group, tuples[4].group);
+        assert_ne!(tuples[0].group, tuples[1].group);
+        assert_eq!(tuples[5].group, GroupKey::Independent);
+        assert_eq!(tuples[6].group, GroupKey::Independent);
+        assert_eq!(source.size_hint(), Some(0));
+        assert!(source.next_tuple().unwrap().is_none());
+    }
+
+    #[test]
+    fn vec_source_sorts_into_rank_order() {
+        let mut source = VecSource::new(vec![
+            SourceTuple::independent(UncertainTuple::new(1u64, 5.0, 0.5).unwrap()),
+            SourceTuple::grouped(UncertainTuple::new(2u64, 9.0, 0.4).unwrap(), 7),
+            SourceTuple::independent(UncertainTuple::new(3u64, 9.0, 0.8).unwrap()),
+        ]);
+        let tuples = drain(&mut source);
+        let ids: Vec<u64> = tuples.iter().map(|t| t.tuple.id().raw()).collect();
+        // Score desc, then probability desc.
+        assert_eq!(ids, vec![3, 2, 1]);
+        source.rewind();
+        assert_eq!(source.remaining(), 3);
+    }
+
+    #[test]
+    fn to_source_round_trips_through_from_rank_ordered() {
+        let table = soldier_table();
+        let mut source = table.to_source();
+        let streamed = drain(&mut source);
+        let tuples: Vec<UncertainTuple> = streamed.iter().map(|t| t.tuple).collect();
+        let keys: Vec<GroupKey> = streamed.iter().map(|t| t.group).collect();
+        let rebuilt = UncertainTable::from_rank_ordered(tuples, &keys).unwrap();
+        assert_eq!(rebuilt.len(), table.len());
+        for pos in 0..table.len() {
+            assert_eq!(rebuilt.tuple(pos), table.tuple(pos));
+            assert_eq!(rebuilt.is_lead(pos), table.is_lead(pos));
+            let a: Vec<usize> = rebuilt.group_members(pos).to_vec();
+            let b: Vec<usize> = table.group_members(pos).to_vec();
+            assert_eq!(a, b, "group members at position {pos}");
+        }
+        assert_eq!(rebuilt.lead_regions(), table.lead_regions());
+        assert_eq!(rebuilt.tie_groups(), table.tie_groups());
+    }
+
+    #[test]
+    fn from_rank_ordered_validates_input() {
+        let a = UncertainTuple::new(1u64, 5.0, 0.5).unwrap();
+        let b = UncertainTuple::new(2u64, 9.0, 0.5).unwrap();
+        // Out of order.
+        let err = UncertainTable::from_rank_ordered(
+            vec![a, b],
+            &[GroupKey::Independent, GroupKey::Independent],
+        );
+        assert!(matches!(err, Err(Error::InvalidParameter(_))));
+        // Key count mismatch.
+        let err = UncertainTable::from_rank_ordered(vec![b, a], &[GroupKey::Independent]);
+        assert!(matches!(err, Err(Error::InvalidParameter(_))));
+        // Duplicate ids.
+        let dup = UncertainTuple::new(2u64, 5.0, 0.5).unwrap();
+        let err = UncertainTable::from_rank_ordered(
+            vec![b, dup],
+            &[GroupKey::Independent, GroupKey::Independent],
+        );
+        assert!(matches!(err, Err(Error::DuplicateTupleId(2))));
+        // Overweight shared group.
+        let c = UncertainTuple::new(3u64, 9.0, 0.4).unwrap();
+        let d = UncertainTuple::new(4u64, 5.0, 0.7).unwrap();
+        let err = UncertainTable::from_rank_ordered(
+            vec![c, d],
+            &[GroupKey::Shared(1), GroupKey::Shared(1)],
+        );
+        assert!(matches!(err, Err(Error::GroupProbabilityExceedsOne { .. })));
+    }
+
+    #[test]
+    fn counting_source_tracks_pulls() {
+        let table = soldier_table();
+        let mut source = CountingSource::new(TableSource::new(&table));
+        assert_eq!(source.pulled(), 0);
+        source.next_tuple().unwrap();
+        source.next_tuple().unwrap();
+        assert_eq!(source.pulled(), 2);
+        drain(&mut source);
+        assert_eq!(source.pulled(), 7);
+        // Pulling at the end does not inflate the count.
+        assert!(source.next_tuple().unwrap().is_none());
+        assert_eq!(source.pulled(), 7);
+    }
+}

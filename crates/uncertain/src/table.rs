@@ -47,7 +47,8 @@ impl UncertainTableBuilder {
 
     /// Adds one uncertain tuple.
     pub fn tuple(mut self, id: impl Into<TupleId>, score: f64, probability: f64) -> Result<Self> {
-        self.tuples.push(UncertainTuple::new(id, score, probability)?);
+        self.tuples
+            .push(UncertainTuple::new(id, score, probability)?);
         Ok(self)
     }
 
@@ -164,6 +165,24 @@ impl UncertainTable {
             groups,
             id_to_pos,
         })
+    }
+
+    /// Assembles a table whose invariants (rank order, consistent group
+    /// indexes, id map) have already been established by the caller — used by
+    /// the streaming-prefix constructor in [`crate::source`].
+    pub(crate) fn from_parts(
+        tuples: Vec<UncertainTuple>,
+        group_of: Vec<usize>,
+        groups: Vec<Vec<usize>>,
+        id_to_pos: HashMap<u64, usize>,
+    ) -> Self {
+        debug_assert_eq!(tuples.len(), group_of.len());
+        UncertainTable {
+            tuples,
+            group_of,
+            groups,
+            id_to_pos,
+        }
     }
 
     /// Number of tuples in the table.
@@ -328,7 +347,12 @@ impl UncertainTable {
         if k == 0 || k > self.len() {
             return None;
         }
-        Some(self.tuples[self.len() - k..].iter().map(|t| t.score()).sum())
+        Some(
+            self.tuples[self.len() - k..]
+                .iter()
+                .map(|t| t.score())
+                .sum(),
+        )
     }
 
     /// Returns a new table containing only the `n` highest-ranked tuples.
@@ -516,7 +540,7 @@ mod tests {
         let tr2 = t.truncate(2); // keeps T7 T3 only
         assert_eq!(tr2.len(), 2);
         assert_eq!(tr2.group_members(0), &[0]); // T7 group truncated to itself
-        // Truncating beyond the length is a no-op.
+                                                // Truncating beyond the length is a no-op.
         assert_eq!(t.truncate(100).len(), 7);
     }
 
@@ -529,6 +553,8 @@ mod tests {
         .unwrap();
         assert_eq!(t.group_count(), 2);
         assert_eq!(t.me_tuple_count(), 0);
-        assert!(t.lead_regions() == vec![0..2]);
+        let regions = t.lead_regions();
+        assert_eq!(regions.len(), 1);
+        assert_eq!(regions[0], 0..2);
     }
 }

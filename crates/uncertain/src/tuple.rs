@@ -148,7 +148,7 @@ mod tests {
         let a = UncertainTuple::new(1u64, 10.0, 0.4).unwrap();
         let b = UncertainTuple::new(2u64, 8.0, 0.9).unwrap();
         let c = UncertainTuple::new(3u64, 8.0, 0.3).unwrap();
-        let mut v = vec![c, a, b];
+        let mut v = [c, a, b];
         v.sort_by_key(|t| t.rank_key());
         let ids: Vec<u64> = v.iter().map(|t| t.id().raw()).collect();
         assert_eq!(ids, vec![1, 2, 3]);
@@ -158,7 +158,7 @@ mod tests {
     fn rank_key_breaks_full_ties_by_id() {
         let a = UncertainTuple::new(9u64, 8.0, 0.3).unwrap();
         let b = UncertainTuple::new(2u64, 8.0, 0.3).unwrap();
-        let mut v = vec![a, b];
+        let mut v = [a, b];
         v.sort_by_key(|t| t.rank_key());
         assert_eq!(v[0].id().raw(), 2);
     }

@@ -257,7 +257,10 @@ mod tests {
         let t = soldier_table();
         assert!(matches!(
             PossibleWorlds::new(&t, 10),
-            Err(Error::TooManyWorlds { worlds: 18, limit: 10 })
+            Err(Error::TooManyWorlds {
+                worlds: 18,
+                limit: 10
+            })
         ));
     }
 

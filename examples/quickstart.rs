@@ -42,7 +42,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (s, label) in &typical_markers {
         all_markers.push((*s, label.as_str()));
     }
-    print!("{}", render_histogram(&answer.distribution, 12, &all_markers));
+    print!(
+        "{}",
+        render_histogram(&answer.distribution, 12, &all_markers)
+    );
 
     println!();
     println!(
@@ -61,11 +64,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         match &typical.vector {
             Some(v) => println!(
                 "  score {:7.2}  probability {:6.4}  vector {}",
-                typical.score,
-                typical.probability,
-                v
+                typical.score, typical.probability, v
             ),
-            None => println!("  score {:7.2}  probability {:6.4}", typical.score, typical.probability),
+            None => println!(
+                "  score {:7.2}  probability {:6.4}",
+                typical.score, typical.probability
+            ),
         }
     }
     println!(

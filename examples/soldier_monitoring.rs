@@ -5,7 +5,7 @@
 //!
 //! Run with `cargo run -p ttk-examples --bin soldier_monitoring`.
 
-use ttk_core::baselines::{u_kranks, pt_k};
+use ttk_core::baselines::{pt_k, u_kranks};
 use ttk_core::{execute, TopkQuery};
 use ttk_datagen::soldier;
 use ttk_examples::{percent, render_histogram};

@@ -10,7 +10,11 @@ use ttk_datagen::synthetic::{generate, IntRange, MePolicy, SyntheticConfig};
 use ttk_examples::percent;
 use ttk_uncertain::UncertainTable;
 
-fn summarize(label: &str, table: &UncertainTable, k: usize) -> Result<(), Box<dyn std::error::Error>> {
+fn summarize(
+    label: &str,
+    table: &UncertainTable,
+    k: usize,
+) -> Result<(), Box<dyn std::error::Error>> {
     let answer = execute(
         table,
         &TopkQuery::new(k)
@@ -64,7 +68,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
 
     println!("== Figure 15: gaps between ME-group members ==");
-    for (label, gap) in [("gaps 1-8", IntRange::new(1, 8)), ("gaps 1-40", IntRange::new(1, 40))] {
+    for (label, gap) in [
+        ("gaps 1-8", IntRange::new(1, 8)),
+        ("gaps 1-40", IntRange::new(1, 40)),
+    ] {
         let table = generate(&SyntheticConfig {
             me_policy: MePolicy {
                 gap,

@@ -70,7 +70,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         markers.push((*s, format!("typical #{}", i + 1)));
     }
     let marker_refs: Vec<(f64, &str)> = markers.iter().map(|(v, l)| (*v, l.as_str())).collect();
-    print!("{}", render_histogram(&answer.distribution, 16, &marker_refs));
+    print!(
+        "{}",
+        render_histogram(&answer.distribution, 16, &marker_refs)
+    );
 
     println!();
     println!("scan depth (Theorem 2)    : {}", answer.scan_depth);
@@ -82,18 +85,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
 
     println!("== Typical answers mapped back to road segments ==");
-    for (typical, rows) in answer
-        .typical
-        .answers
-        .iter()
-        .zip(result.typical_rows())
-    {
+    for (typical, rows) in answer.typical.answers.iter().zip(result.typical_rows()) {
         let segments: Vec<String> = rows
             .iter()
             .map(|&row| {
-                relation.row(row).map_or("?".to_string(), |r| {
-                    format!("{}", r.values[0])
-                })
+                relation
+                    .row(row)
+                    .map_or("?".to_string(), |r| format!("{}", r.values[0]))
             })
             .collect();
         println!(
@@ -107,7 +105,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let rows = result.u_topk_rows().unwrap_or_default();
         let segments: Vec<String> = rows
             .iter()
-            .map(|&row| relation.row(row).map_or("?".into(), |r| format!("{}", r.values[0])))
+            .map(|&row| {
+                relation
+                    .row(row)
+                    .map_or("?".into(), |r| format!("{}", r.values[0]))
+            })
             .collect();
         println!();
         println!(

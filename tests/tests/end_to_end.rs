@@ -113,7 +113,10 @@ fn csv_round_trip_preserves_query_results() {
     let a = run_distribution_query(&relation, &query).unwrap();
     let b = run_distribution_query(&reloaded, &query).unwrap();
     assert!((a.answer.expected_score() - b.answer.expected_score()).abs() < 1e-6);
-    assert_eq!(a.answer.typical.scores().len(), b.answer.typical.scores().len());
+    assert_eq!(
+        a.answer.typical.scores().len(),
+        b.answer.typical.scores().len()
+    );
 }
 
 #[test]
@@ -177,9 +180,7 @@ fn typicality_improves_with_more_typical_answers() {
     for c in [1usize, 2, 3, 5, 8] {
         let answer = execute(
             table,
-            &TopkQuery::new(5)
-                .with_typical_count(c)
-                .with_u_topk(false),
+            &TopkQuery::new(5).with_typical_count(c).with_u_topk(false),
         )
         .unwrap();
         let distance = answer.typical.expected_distance;

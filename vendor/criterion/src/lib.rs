@@ -1,0 +1,290 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! the benchmark-facing API subset the workspace uses (`criterion_group!`,
+//! `criterion_main!`, [`Criterion::benchmark_group`], `bench_with_input`,
+//! `bench_function`, [`Bencher::iter`], [`black_box`], [`BenchmarkId`])
+//! backed by a plain wall-clock harness: a short warm-up, a bounded
+//! measurement window, and a `mean ± spread over N iterations` report line.
+//! No statistics beyond that — the point is that `cargo bench` runs and
+//! produces comparable numbers without the real dependency.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{}/{}", name.into(), parameter))
+    }
+
+    /// An id made of a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly, recording one sample per call, until the
+    /// sample budget or the measurement window is exhausted.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let window = Instant::now();
+        self.samples.clear();
+        while self.samples.len() < self.sample_size
+            && (self.samples.is_empty() || window.elapsed() < self.measurement_time)
+        {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Like [`Bencher::iter`], but with an untimed per-iteration setup
+    /// producing the routine's input.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let window = Instant::now();
+        self.samples.clear();
+        while self.samples.len() < self.sample_size
+            && (self.samples.is_empty() || window.elapsed() < self.measurement_time)
+        {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn report(&self, label: &str) {
+        if self.samples.is_empty() {
+            println!("{label:<40} (no samples)");
+            return;
+        }
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / self.samples.len() as u32;
+        let min = self.samples.iter().min().copied().unwrap_or_default();
+        let max = self.samples.iter().max().copied().unwrap_or_default();
+        println!(
+            "{label:<40} mean {mean:>12.3?}  [{min:.3?} .. {max:.3?}]  ({} iters)",
+            self.samples.len()
+        );
+    }
+}
+
+/// Settings shared by the benchmarks of one group.
+#[derive(Debug, Clone, Copy)]
+struct GroupSettings {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for GroupSettings {
+    fn default() -> Self {
+        GroupSettings {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    settings: GroupSettings,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark sample budget.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the measurement window per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up window per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.warm_up_time = d;
+        self
+    }
+
+    /// Sets the reported throughput (accepted and ignored).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs one parameterized benchmark.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&self.settings, &label, |b| routine(b, input));
+        self
+    }
+
+    /// Runs one unparameterized benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&self.settings, &label, |b| routine(b));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`]; accepted for API
+/// compatibility (the stand-in always sets up one input per iteration).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup call per iteration.
+    PerIteration,
+}
+
+/// Units for [`BenchmarkGroup::throughput`]; accepted for API compatibility.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+fn run_one(settings: &GroupSettings, label: &str, mut routine: impl FnMut(&mut Bencher)) {
+    // Warm-up: run the routine in a throwaway bencher for the warm-up window.
+    let mut warm = Bencher {
+        samples: Vec::new(),
+        sample_size: usize::MAX,
+        measurement_time: settings.warm_up_time,
+    };
+    routine(&mut warm);
+    // Measurement.
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        sample_size: settings.sample_size,
+        measurement_time: settings.measurement_time,
+    };
+    routine(&mut bencher);
+    bencher.report(label);
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            settings: GroupSettings::default(),
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark with default settings.
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&GroupSettings::default(), name, |b| routine(b));
+        self
+    }
+}
+
+/// Declares a benchmark group function calling each listed benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $( $group(&mut criterion); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples_and_reports() {
+        let settings = GroupSettings {
+            sample_size: 5,
+            measurement_time: Duration::from_millis(50),
+            warm_up_time: Duration::from_millis(1),
+        };
+        let mut ran = 0u32;
+        run_one(&settings, "test/label", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+        assert_eq!(BenchmarkId::new("scan", 7).to_string(), "scan/7");
+    }
+}
