@@ -5,7 +5,10 @@
 //!   full table, then *truncate* (re-sort, re-group) to the prefix;
 //! * `streamed` — the rank-scan executor: pull tuples through the
 //!   incremental `ScanGate` and assemble the prefix directly, never touching
-//!   the tuples past the bound.
+//!   the tuples past the bound;
+//! * `sharded/S` — the same streamed scan over an S-shard round-robin
+//!   partition fused under the loser-tree `MergeSource`, quantifying the
+//!   per-tuple cost of the k-way merge on top of the single stream.
 //!
 //! The `materialized`/`streamed` pair quantifies what fusing the stopping
 //! condition into the scan saves before any algorithm even runs.
@@ -13,7 +16,7 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use ttk_bench::{evaluation_area, P_TAU};
 use ttk_core::{scan_depth, RankScan, ScanGate};
-use ttk_uncertain::TableSource;
+use ttk_uncertain::{MergeSource, TableSource};
 
 fn bench_scan_depth(c: &mut Criterion) {
     let area = evaluation_area(400, 9);
@@ -56,5 +59,41 @@ fn bench_streamed_vs_materialized(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_scan_depth, bench_streamed_vs_materialized);
+fn bench_sharded_merge(c: &mut Criterion) {
+    let area = evaluation_area(400, 9);
+    let k = 20usize;
+    let mut group = c.benchmark_group("fig09_sharded_scan");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for shards in [2usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("sharded", shards),
+            &shards,
+            |b, &shards| {
+                // Partition once; each iteration rewinds the shard streams and
+                // merges by `&mut` reference, so only the loser-tree merge and
+                // the gated prefix are inside the timed region.
+                let mut parts = area.shard_sources(shards).unwrap();
+                let mut scan = RankScan::new();
+                b.iter(|| {
+                    for part in parts.iter_mut() {
+                        part.rewind();
+                    }
+                    let mut merged = MergeSource::new(parts.iter_mut().collect());
+                    let mut gate = ScanGate::new(k, P_TAU).unwrap();
+                    black_box(scan.collect_prefix(&mut merged, &mut gate).unwrap())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_scan_depth,
+    bench_streamed_vs_materialized,
+    bench_sharded_merge
+);
 criterion_main!(benches);

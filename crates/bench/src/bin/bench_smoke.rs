@@ -1,0 +1,135 @@
+//! CI bench smoke: a fast, deterministic slice of the fig09 scan benchmarks
+//! on a tiny dataset, emitted as machine-readable JSON so the CI pipeline can
+//! archive a perf trajectory per commit.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p ttk-bench --bin bench_smoke -- --out BENCH_ci.json
+//! ```
+//!
+//! Without `--out` the JSON goes to stdout. The measurements cover the three
+//! scan variants of `fig09_scan_depth` (depth only, streamed single-source
+//! prefix, sharded merge prefix) plus one end-to-end main-algorithm query —
+//! enough signal to catch a hot-path regression without turning CI into a
+//! benchmark farm.
+
+use std::time::Instant;
+
+use ttk_bench::{evaluation_area, P_TAU};
+use ttk_core::{execute, scan_depth, RankScan, ScanGate, TopkQuery};
+use ttk_uncertain::{MergeSource, TableSource};
+
+/// Segments of the smoke dataset — an order of magnitude below the paper's
+/// evaluation area so a CI leg finishes in seconds.
+const SEGMENTS: usize = 60;
+const SEED: u64 = 9;
+const ITERS: usize = 30;
+
+struct Sample {
+    name: String,
+    mean_ns: u128,
+    min_ns: u128,
+    iters: usize,
+}
+
+/// Times `routine` over `iters` iterations (after one warm-up call).
+fn measure<O>(name: &str, iters: usize, mut routine: impl FnMut() -> O) -> Sample {
+    std::hint::black_box(routine());
+    let mut total = 0u128;
+    let mut min = u128::MAX;
+    for _ in 0..iters {
+        let start = Instant::now();
+        std::hint::black_box(routine());
+        let ns = start.elapsed().as_nanos();
+        total += ns;
+        min = min.min(ns);
+    }
+    Sample {
+        name: name.to_string(),
+        mean_ns: total / iters as u128,
+        min_ns: min,
+        iters,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let area = evaluation_area(SEGMENTS, SEED);
+    let table = area.table();
+    let mut samples = Vec::new();
+    let mut depths = Vec::new();
+
+    for k in [5usize, 10, 20] {
+        let depth = scan_depth(table, k, P_TAU).expect("valid parameters");
+        depths.push((k, depth));
+        samples.push(measure(&format!("fig09/depth/k{k}"), ITERS, || {
+            scan_depth(table, k, P_TAU).unwrap()
+        }));
+        samples.push(measure(&format!("fig09/streamed/k{k}"), ITERS, || {
+            let mut source = TableSource::new(table);
+            let mut gate = ScanGate::new(k, P_TAU).unwrap();
+            RankScan::new()
+                .collect_prefix(&mut source, &mut gate)
+                .unwrap()
+        }));
+        // Partitioned once up front; the timed region rewinds and merges by
+        // `&mut` reference so it measures the loser-tree merge, not the
+        // partitioning setup.
+        let mut parts = area.shard_sources(4).unwrap();
+        samples.push(measure(&format!("fig09/sharded4/k{k}"), ITERS, || {
+            for part in parts.iter_mut() {
+                part.rewind();
+            }
+            let mut merged = MergeSource::new(parts.iter_mut().collect());
+            let mut gate = ScanGate::new(k, P_TAU).unwrap();
+            RankScan::new()
+                .collect_prefix(&mut merged, &mut gate)
+                .unwrap()
+        }));
+    }
+    // The end-to-end query costs seconds per run — a handful of iterations
+    // is plenty for trend tracking.
+    samples.push(measure("query/main/k5", 3, || {
+        execute(table, &TopkQuery::new(5).with_u_topk(false)).unwrap()
+    }));
+
+    // Hand-rolled JSON: the workspace has no serde (offline build).
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"dataset\": {{\"generator\": \"cartel\", \"segments\": {SEGMENTS}, \"seed\": {SEED}, \"tuples\": {}}},\n",
+        table.len()
+    ));
+    json.push_str("  \"scan_depths\": {");
+    let depth_fields: Vec<String> = depths
+        .iter()
+        .map(|(k, d)| format!("\"k{k}\": {d}"))
+        .collect();
+    json.push_str(&depth_fields.join(", "));
+    json.push_str("},\n  \"results\": [\n");
+    let rows: Vec<String> = samples
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{\"name\": \"{}\", \"mean_ns\": {}, \"min_ns\": {}, \"iters\": {}}}",
+                s.name, s.mean_ns, s.min_ns, s.iters
+            )
+        })
+        .collect();
+    json.push_str(&rows.join(",\n"));
+    json.push_str("\n  ]\n}\n");
+
+    match out {
+        Some(path) => {
+            std::fs::write(&path, &json).expect("write benchmark JSON");
+            eprintln!("wrote {} samples to {path}", samples.len());
+        }
+        None => print!("{json}"),
+    }
+}

@@ -13,15 +13,19 @@
 use std::collections::HashMap;
 use std::process::ExitCode;
 
-use ttk_core::{execute, execute_batch, Algorithm, BatchJob, TopkQuery};
+use ttk_core::{
+    execute, execute_batch, execute_batch_sources, Algorithm, BatchJob, Executor, SourceBatchJob,
+    TopkQuery,
+};
 use ttk_datagen::cartel::{generate_area, CartelConfig};
 use ttk_datagen::soldier;
 use ttk_datagen::synthetic::{generate, IntRange, MePolicy, SyntheticConfig};
 use ttk_pdb::{
-    parse_expression, run_distribution_query, table_from_csv, table_to_csv, CsvOptions, DataType,
-    DistributionQuery, PTable, Schema,
+    parse_expression, run_distribution_query, shard_sources_from_csv, table_from_csv, table_to_csv,
+    tuple_source_from_csv_path, CsvOptions, DataType, DistributionQuery, PTable, Schema,
+    SpillOptions,
 };
-use ttk_uncertain::ScoreDistribution;
+use ttk_uncertain::{ScoreDistribution, TupleSource};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -39,22 +43,30 @@ fn main() -> ExitCode {
 fn usage() -> &'static str {
     "usage:
   ttk soldier
-  ttk generate cartel   [--segments N] [--seed S] [--out FILE]
-  ttk generate synthetic [--tuples N] [--rho R] [--sigma S] [--me-size LO:HI] [--me-gap LO:HI] [--seed S] [--out FILE]
-  ttk query --file data.csv --score EXPR --k K
+  ttk generate cartel   [--segments N] [--seed S] [--out FILE] [--shards N]
+  ttk generate synthetic [--tuples N] [--rho R] [--sigma S] [--me-size LO:HI] [--me-gap LO:HI] [--seed S] [--out FILE] [--shards N]
+  ttk query (--file data.csv | --shard s0.csv --shard s1.csv ...) --score EXPR --k K
             [--c C] [--p-tau P] [--max-lines N] [--algorithm main|per-ending|state-expansion|k-combo]
             [--prob-column NAME] [--group-column NAME] [--buckets N]
-            [--batch KS] [--threads N]
+            [--batch KS] [--threads N] [--spill-buffer TUPLES]
 
   --batch KS runs one query per k in KS (comma list `1,5,10` or range
   `LO:HI`) through the parallel batch executor and prints a summary table;
-  --k is ignored when --batch is given."
+  --k is ignored when --batch is given.
+
+  generate --shards N writes one CSV per shard (FILE.shardI.csv); query
+  --shard (repeatable) scans the shard files as one logical relation under a
+  k-way merge; query --spill-buffer T external-sorts a --file through runs
+  of at most T tuples spilled to temp files (out-of-core scan)."
 }
 
+/// Parsed `--key value` flags; repeated flags accumulate in order.
+type Flags = HashMap<String, Vec<String>>;
+
 /// Parses `--key value` style flags into a map; bare words are positional.
-fn parse_flags(args: &[String]) -> Result<(Vec<String>, HashMap<String, String>), String> {
+fn parse_flags(args: &[String]) -> Result<(Vec<String>, Flags), String> {
     let mut positional = Vec::new();
-    let mut flags = HashMap::new();
+    let mut flags: Flags = HashMap::new();
     let mut i = 0;
     while i < args.len() {
         let arg = &args[i];
@@ -62,7 +74,10 @@ fn parse_flags(args: &[String]) -> Result<(Vec<String>, HashMap<String, String>)
             let value = args
                 .get(i + 1)
                 .ok_or_else(|| format!("flag --{name} needs a value"))?;
-            flags.insert(name.to_string(), value.clone());
+            flags
+                .entry(name.to_string())
+                .or_default()
+                .push(value.clone());
             i += 2;
         } else {
             positional.push(arg.clone());
@@ -72,12 +87,13 @@ fn parse_flags(args: &[String]) -> Result<(Vec<String>, HashMap<String, String>)
     Ok((positional, flags))
 }
 
-fn get_parse<T: std::str::FromStr>(
-    flags: &HashMap<String, String>,
-    name: &str,
-    default: T,
-) -> Result<T, String> {
-    match flags.get(name) {
+/// The value of a single-valued flag (the last occurrence wins).
+fn get<'a>(flags: &'a Flags, name: &str) -> Option<&'a str> {
+    flags.get(name).and_then(|v| v.last()).map(String::as_str)
+}
+
+fn get_parse<T: std::str::FromStr>(flags: &Flags, name: &str, default: T) -> Result<T, String> {
+    match get(flags, name) {
         None => Ok(default),
         Some(raw) => raw
             .parse()
@@ -130,7 +146,7 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
         .first()
         .ok_or("generate needs a dataset kind: cartel or synthetic")?;
     let seed = get_parse(&flags, "seed", 42u64)?;
-    let csv = match kind.as_str() {
+    let table = match kind.as_str() {
         "cartel" => {
             let segments = get_parse(&flags, "segments", 60usize)?;
             let area = generate_area(&CartelConfig {
@@ -161,17 +177,17 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
                         .map_err(|e| e.to_string())?;
                 }
             }
-            table_to_csv(&table, &CsvOptions::default())
+            table
         }
         "synthetic" => {
             let tuples = get_parse(&flags, "tuples", 300usize)?;
             let rho = get_parse(&flags, "rho", 0.0f64)?;
             let sigma = get_parse(&flags, "sigma", 60.0f64)?;
-            let group_size = match flags.get("me-size") {
+            let group_size = match get(&flags, "me-size") {
                 Some(raw) => parse_range(raw)?,
                 None => IntRange::new(2, 3),
             };
-            let gap = match flags.get("me-gap") {
+            let gap = match get(&flags, "me-gap") {
                 Some(raw) => parse_range(raw)?,
                 None => IntRange::new(1, 8),
             };
@@ -200,15 +216,64 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
                 out.insert(vec![t.score().into()], t.prob(), group_label.as_deref())
                     .map_err(|e| e.to_string())?;
             }
-            table_to_csv(&out, &CsvOptions::default())
+            out
         }
         other => return Err(format!("unknown dataset kind `{other}`")),
     };
-    match flags.get("out") {
+    let shards = get_parse(&flags, "shards", 1usize)?;
+    if shards > 1 {
+        let out = get(&flags, "out")
+            .ok_or("--shards needs --out FILE (used as the shard file name template)")?;
+        for (index, part) in split_rows_round_robin(&table, shards)?.iter().enumerate() {
+            let path = shard_path(out, index);
+            std::fs::write(&path, table_to_csv(part, &CsvOptions::default()))
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+        }
+        println!(
+            "wrote {} rows as {shards} shard files: {} .. {}",
+            table.len(),
+            shard_path(out, 0),
+            shard_path(out, shards - 1)
+        );
+        return Ok(());
+    }
+    let csv = table_to_csv(&table, &CsvOptions::default());
+    match get(&flags, "out") {
         Some(path) => std::fs::write(path, csv).map_err(|e| e.to_string())?,
         None => print!("{csv}"),
     }
     Ok(())
+}
+
+/// Partitions a table's rows round-robin into `shards` tables sharing its
+/// schema (and therefore its global group-key strings).
+fn split_rows_round_robin(table: &PTable, shards: usize) -> Result<Vec<PTable>, String> {
+    let mut parts: Vec<PTable> = (0..shards)
+        .map(|i| PTable::new(format!("{}_shard{i}", table.name()), table.schema().clone()))
+        .collect();
+    for (i, row) in table.rows().iter().enumerate() {
+        parts[i % shards]
+            .insert(row.values.clone(), row.probability, row.group.as_deref())
+            .map_err(|e| e.to_string())?;
+    }
+    Ok(parts)
+}
+
+/// Names shard file `index` after the `--out` template: `area.csv` becomes
+/// `area.shard0.csv`, an extension-less name gets `.shard0` appended. Only
+/// the file-name component is rewritten, so dots in directory names are left
+/// alone.
+fn shard_path(out: &str, index: usize) -> String {
+    let path = std::path::Path::new(out);
+    let file = path
+        .file_name()
+        .map(|f| f.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    let sharded = match file.rsplit_once('.') {
+        Some((stem, ext)) if !stem.is_empty() => format!("{stem}.shard{index}.{ext}"),
+        _ => format!("{file}.shard{index}"),
+    };
+    path.with_file_name(sharded).to_string_lossy().into_owned()
 }
 
 /// Parses a `--batch` specification: `1,5,10` or `LO:HI` (inclusive).
@@ -238,10 +303,14 @@ fn parse_k_list(raw: &str) -> Result<Vec<usize>, String> {
 
 fn cmd_query(args: &[String]) -> Result<(), String> {
     let (_, flags) = parse_flags(args)?;
-    let file = flags.get("file").ok_or("--file is required")?;
-    let score = flags.get("score").ok_or("--score is required")?;
+    let shard_files: Vec<String> = flags.get("shard").cloned().unwrap_or_default();
+    let file = get(&flags, "file");
+    if file.is_some() != shard_files.is_empty() {
+        return Err("exactly one of --file or --shard (repeatable) is required".to_string());
+    }
+    let score = get(&flags, "score").ok_or("--score is required")?;
     let k = get_parse(&flags, "k", 0usize)?;
-    let batch_ks = match flags.get("batch") {
+    let batch_ks = match get(&flags, "batch") {
         Some(raw) => Some(parse_k_list(raw)?),
         None => None,
     };
@@ -252,105 +321,141 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     let p_tau = get_parse(&flags, "p-tau", 1e-3f64)?;
     let max_lines = get_parse(&flags, "max-lines", 200usize)?;
     let buckets = get_parse(&flags, "buckets", 16usize)?;
-    let algorithm = match flags.get("algorithm").map(String::as_str) {
+    let threads = get_parse(&flags, "threads", 0usize)?;
+    let spill_buffer = get_parse(&flags, "spill-buffer", 0usize)?;
+    let algorithm = match get(&flags, "algorithm") {
         None | Some("main") => Algorithm::Main,
         Some("per-ending") => Algorithm::MainPerEnding,
         Some("state-expansion") => Algorithm::StateExpansion,
         Some("k-combo") => Algorithm::KCombo,
         Some(other) => return Err(format!("unknown algorithm `{other}`")),
     };
+    let topk = |k: usize| {
+        TopkQuery::new(k)
+            .with_typical_count(c)
+            .with_p_tau(p_tau)
+            .with_max_lines(max_lines)
+            .with_algorithm(algorithm)
+    };
     let csv_options = CsvOptions {
-        probability_column: flags
-            .get("prob-column")
-            .cloned()
-            .unwrap_or_else(|| "probability".to_string()),
+        probability_column: get(&flags, "prob-column")
+            .unwrap_or("probability")
+            .to_string(),
         group_column: Some(
-            flags
-                .get("group-column")
-                .cloned()
-                .unwrap_or_else(|| "group_key".to_string()),
+            get(&flags, "group-column")
+                .unwrap_or("group_key")
+                .to_string(),
         ),
     };
+
+    // Sharded inputs: per-shard rank-ordered sources under a k-way merge.
+    if !shard_files.is_empty() {
+        if spill_buffer > 0 {
+            return Err(
+                "--spill-buffer applies to a single --file scan; --shard files are loaded \
+                 as in-memory shard streams (split larger inputs into more shards instead)"
+                    .to_string(),
+            );
+        }
+        let expression = parse_expression(score).map_err(|e| e.to_string())?;
+        let texts: Vec<String> = shard_files
+            .iter()
+            .map(|f| std::fs::read_to_string(f).map_err(|e| format!("cannot read {f}: {e}")))
+            .collect::<Result<_, _>>()?;
+        let shard_texts: Vec<&str> = texts.iter().map(String::as_str).collect();
+        let shards = shard_sources_from_csv(&shard_texts, &csv_options, &expression)
+            .map_err(|e| e.to_string())?;
+        let rows: usize = shards.iter().map(|s| s.remaining()).sum();
+        println!(
+            "{rows} rows loaded from {} shard files; scoring expression: {expression}",
+            shards.len()
+        );
+        if let Some(ks) = batch_ks {
+            // Sources are single-pass, so every batch job gets its own clone
+            // of the shard streams.
+            let jobs: Vec<SourceBatchJob> = ks
+                .iter()
+                .map(|&batch_k| {
+                    SourceBatchJob::new(
+                        shards
+                            .iter()
+                            .cloned()
+                            .map(|s| Box::new(s) as Box<dyn TupleSource + Send>)
+                            .collect(),
+                        topk(batch_k),
+                    )
+                })
+                .collect();
+            let started = std::time::Instant::now();
+            let answers = execute_batch_sources(jobs, threads);
+            print_batch_summary(&ks, &answers, started.elapsed(), threads);
+        } else {
+            let answer = Executor::new()
+                .execute_shards(shards, &topk(k))
+                .map_err(|e| e.to_string())?;
+            print_histogram(&answer.distribution, buckets, &markers(&answer));
+            print_answer_summary(&answer);
+        }
+        return Ok(());
+    }
+
+    let file = file.expect("checked above");
+
+    // Out-of-core single file: external-sort runs under a k-way merge.
+    if spill_buffer > 0 {
+        if batch_ks.is_some() {
+            return Err(
+                "--spill-buffer streams its input once and cannot drive --batch; \
+                 split the file with `generate --shards` and use --shard instead"
+                    .to_string(),
+            );
+        }
+        let expression = parse_expression(score).map_err(|e| e.to_string())?;
+        let mut source = tuple_source_from_csv_path(
+            std::path::Path::new(file),
+            &csv_options,
+            &expression,
+            &SpillOptions::with_run_buffer(spill_buffer),
+        )
+        .map_err(|e| e.to_string())?;
+        println!(
+            "{} rows external-sorted from {file} into {} runs ({} spilled to disk); \
+             scoring expression: {expression}",
+            source.len(),
+            source.run_count(),
+            source.spilled_run_count()
+        );
+        let answer = Executor::new()
+            .execute_source(&mut source, &topk(k))
+            .map_err(|e| e.to_string())?;
+        print_histogram(&answer.distribution, buckets, &markers(&answer));
+        print_answer_summary(&answer);
+        return Ok(());
+    }
 
     let text = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
     let table = table_from_csv("data", &text, &csv_options).map_err(|e| e.to_string())?;
 
     if let Some(ks) = batch_ks {
-        let threads = get_parse(&flags, "threads", 0usize)?;
         let expression = parse_expression(score).map_err(|e| e.to_string())?;
         let uncertain = table
             .to_uncertain_table(&expression)
             .map_err(|e| e.to_string())?;
         let jobs: Vec<BatchJob> = ks
             .iter()
-            .map(|&batch_k| {
-                BatchJob::new(
-                    &uncertain,
-                    TopkQuery::new(batch_k)
-                        .with_typical_count(c)
-                        .with_p_tau(p_tau)
-                        .with_max_lines(max_lines)
-                        .with_algorithm(algorithm),
-                )
-            })
+            .map(|&batch_k| BatchJob::new(&uncertain, topk(batch_k)))
             .collect();
         let started = std::time::Instant::now();
         let answers = execute_batch(&jobs, threads);
-        let elapsed = started.elapsed();
         println!(
             "{} rows loaded from {file}; scoring expression: {expression}",
             table.len()
         );
-        println!(
-            "batch of {} queries executed in {:.3} s ({} worker threads)",
-            jobs.len(),
-            elapsed.as_secs_f64(),
-            if threads == 0 {
-                "auto".to_string()
-            } else {
-                // The executor never spawns more workers than jobs.
-                threads.min(jobs.len()).to_string()
-            }
-        );
-        println!(
-            "{:>4}  {:>10}  {:>9}  {:>6}  {:>10}  typical scores",
-            "k", "E[score]", "std dev", "depth", "U-Topk"
-        );
-        for (batch_k, answer) in ks.iter().zip(&answers) {
-            match answer {
-                Ok(a) => {
-                    let u = a
-                        .u_topk
-                        .as_ref()
-                        .map(|u| format!("{:.2}", u.vector.total_score()))
-                        .unwrap_or_else(|| "-".to_string());
-                    let typical: Vec<String> = a
-                        .typical
-                        .scores()
-                        .iter()
-                        .map(|s| format!("{s:.2}"))
-                        .collect();
-                    println!(
-                        "{batch_k:>4}  {:>10.2}  {:>9.2}  {:>6}  {u:>10}  [{}]",
-                        a.expected_score(),
-                        a.distribution.std_dev(),
-                        a.scan_depth,
-                        typical.join(", ")
-                    );
-                }
-                Err(e) => println!("{batch_k:>4}  error: {e}"),
-            }
-        }
+        print_batch_summary(&ks, &answers, started.elapsed(), threads);
         return Ok(());
     }
 
-    let query = DistributionQuery::new(score.clone(), k).with_topk(
-        TopkQuery::new(k)
-            .with_typical_count(c)
-            .with_p_tau(p_tau)
-            .with_max_lines(max_lines)
-            .with_algorithm(algorithm),
-    );
+    let query = DistributionQuery::new(score, k).with_topk(topk(k));
     let result = run_distribution_query(&table, &query).map_err(|e| e.to_string())?;
     println!(
         "{} rows loaded from {file}; scoring expression: {}",
@@ -364,6 +469,55 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     );
     print_answer_summary(&result.answer);
     Ok(())
+}
+
+/// Prints the per-k summary table of a batch run.
+fn print_batch_summary(
+    ks: &[usize],
+    answers: &[ttk_uncertain::Result<ttk_core::QueryAnswer>],
+    elapsed: std::time::Duration,
+    threads: usize,
+) {
+    println!(
+        "batch of {} queries executed in {:.3} s ({} worker threads)",
+        ks.len(),
+        elapsed.as_secs_f64(),
+        if threads == 0 {
+            "auto".to_string()
+        } else {
+            // The executor never spawns more workers than jobs.
+            threads.min(ks.len()).to_string()
+        }
+    );
+    println!(
+        "{:>4}  {:>10}  {:>9}  {:>6}  {:>10}  typical scores",
+        "k", "E[score]", "std dev", "depth", "U-Topk"
+    );
+    for (batch_k, answer) in ks.iter().zip(answers) {
+        match answer {
+            Ok(a) => {
+                let u = a
+                    .u_topk
+                    .as_ref()
+                    .map(|u| format!("{:.2}", u.vector.total_score()))
+                    .unwrap_or_else(|| "-".to_string());
+                let typical: Vec<String> = a
+                    .typical
+                    .scores()
+                    .iter()
+                    .map(|s| format!("{s:.2}"))
+                    .collect();
+                println!(
+                    "{batch_k:>4}  {:>10.2}  {:>9.2}  {:>6}  {u:>10}  [{}]",
+                    a.expected_score(),
+                    a.distribution.std_dev(),
+                    a.scan_depth,
+                    typical.join(", ")
+                );
+            }
+            Err(e) => println!("{batch_k:>4}  error: {e}"),
+        }
+    }
 }
 
 fn markers(answer: &ttk_core::QueryAnswer) -> Vec<(f64, String)> {
@@ -456,9 +610,27 @@ mod tests {
     fn flag_parsing_separates_positionals_and_flags() {
         let (pos, flags) = parse_flags(&s(&["cartel", "--segments", "40", "--seed", "7"])).unwrap();
         assert_eq!(pos, vec!["cartel"]);
-        assert_eq!(flags.get("segments").unwrap(), "40");
-        assert_eq!(flags.get("seed").unwrap(), "7");
+        assert_eq!(get(&flags, "segments"), Some("40"));
+        assert_eq!(get(&flags, "seed"), Some("7"));
         assert!(parse_flags(&s(&["--oops"])).is_err());
+        // Repeated flags accumulate in order; `get` returns the last value.
+        let (_, flags) = parse_flags(&s(&[
+            "--shard", "a.csv", "--shard", "b.csv", "--k", "1", "--k", "2",
+        ]))
+        .unwrap();
+        assert_eq!(flags.get("shard").unwrap(), &vec!["a.csv", "b.csv"]);
+        assert_eq!(get(&flags, "k"), Some("2"));
+    }
+
+    #[test]
+    fn shard_paths_are_derived_from_the_out_template() {
+        assert_eq!(shard_path("area.csv", 0), "area.shard0.csv");
+        assert_eq!(shard_path("area.csv", 11), "area.shard11.csv");
+        assert_eq!(shard_path("area", 2), "area.shard2");
+        assert_eq!(shard_path(".hidden", 1), ".hidden.shard1");
+        // Dots in directory components never attract the shard suffix.
+        assert_eq!(shard_path("results.d/area", 0), "results.d/area.shard0");
+        assert_eq!(shard_path("data/v1.2/a.csv", 3), "data/v1.2/a.shard3.csv");
     }
 
     #[test]
@@ -522,6 +694,99 @@ mod tests {
         // A bad batch spec is rejected.
         assert!(run(&s(&[
             "query", "--file", &path, "--score", "delay", "--batch", "4:1",
+        ]))
+        .is_err());
+        std::fs::remove_file(&data).ok();
+    }
+
+    #[test]
+    fn sharded_generate_and_query_round_trip() {
+        let dir = std::env::temp_dir();
+        let data = dir.join("ttk_cli_test_shards.csv");
+        let path = data.to_string_lossy().to_string();
+        run(&s(&[
+            "generate",
+            "cartel",
+            "--segments",
+            "20",
+            "--seed",
+            "5",
+            "--shards",
+            "3",
+            "--out",
+            &path,
+        ]))
+        .unwrap();
+        let shard_paths: Vec<String> = (0..3).map(|i| shard_path(&path, i)).collect();
+        for p in &shard_paths {
+            assert!(std::path::Path::new(p).exists(), "{p} missing");
+        }
+        // Single query and a batch, both over the shard files.
+        let mut query_args = s(&["query", "--score", "speed_limit / (length / delay)"]);
+        for p in &shard_paths {
+            query_args.extend(s(&["--shard", p]));
+        }
+        let mut single = query_args.clone();
+        single.extend(s(&["--k", "3"]));
+        run(&single).unwrap();
+        let mut batch = query_args.clone();
+        batch.extend(s(&["--batch", "1:4", "--threads", "2"]));
+        run(&batch).unwrap();
+        // --file and --shard are mutually exclusive; neither is an error too.
+        let mut both = single.clone();
+        both.extend(s(&["--file", &path]));
+        assert!(run(&both).is_err());
+        // --spill-buffer applies to --file only, never silently ignored.
+        let mut spill = single.clone();
+        spill.extend(s(&["--spill-buffer", "64"]));
+        assert!(run(&spill).is_err());
+        assert!(run(&s(&["query", "--score", "delay", "--k", "2"])).is_err());
+        // --shards without --out is rejected.
+        assert!(run(&s(&["generate", "cartel", "--shards", "2"])).is_err());
+        for p in &shard_paths {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn spill_buffer_query_runs_out_of_core() {
+        let dir = std::env::temp_dir();
+        let data = dir.join("ttk_cli_test_spill.csv");
+        let path = data.to_string_lossy().to_string();
+        run(&s(&[
+            "generate",
+            "cartel",
+            "--segments",
+            "25",
+            "--seed",
+            "13",
+            "--out",
+            &path,
+        ]))
+        .unwrap();
+        run(&s(&[
+            "query",
+            "--file",
+            &path,
+            "--score",
+            "speed_limit / (length / delay)",
+            "--k",
+            "3",
+            "--spill-buffer",
+            "16",
+        ]))
+        .unwrap();
+        // The spilled scan is single-pass: --batch is rejected with guidance.
+        assert!(run(&s(&[
+            "query",
+            "--file",
+            &path,
+            "--score",
+            "delay",
+            "--batch",
+            "1:3",
+            "--spill-buffer",
+            "16",
         ]))
         .is_err());
         std::fs::remove_file(&data).ok();

@@ -1,6 +1,6 @@
 //! Comparator semantics and ground-truth baselines.
 //!
-//! * [`u_topk`] — the category-(1) U-Topk semantics the paper argues against
+//! * [`mod@u_topk`] — the category-(1) U-Topk semantics the paper argues against
 //!   (highest-probability vector, regardless of how typical its score is).
 //! * [`ranks`] — the category-(2) semantics U-kRanks and PT-k, provided for
 //!   completeness of the comparison discussion in §1 and §6.

@@ -1,7 +1,7 @@
 //! Category-(2) comparator semantics: U-kRanks and PT-k.
 //!
 //! The paper classifies existing top-k semantics into two categories. U-Topk
-//! (category 1) is implemented in [`super::u_topk`]; this module implements
+//! (category 1) is implemented in [`mod@super::u_topk`]; this module implements
 //! the two best known category-(2) semantics so the workspace can reproduce
 //! the paper's discussion of why they are unsuitable for applications that
 //! need mutually compatible answers:

@@ -11,7 +11,7 @@
 //! processed tuples appear, and states are expanded in order of decreasing
 //! probability. Because extending a state can only lower its probability,
 //! the first state that reaches `k` appearing tuples is the optimal answer
-//! (the "optimal number of accessed tuples" property of [18]).
+//! (the "optimal number of accessed tuples" property of \[18\]).
 
 use std::collections::{BinaryHeap, HashMap};
 

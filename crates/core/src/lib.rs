@@ -4,7 +4,7 @@
 //! On Score Distribution and Typical Answers* (Ge, Zdonik, Madden — SIGMOD
 //! 2009) on top of the [`ttk_uncertain`] data model:
 //!
-//! * [`scan_depth`] — the Theorem-2 stopping condition bounding how many
+//! * [`mod@scan_depth`] — the Theorem-2 stopping condition bounding how many
 //!   rank-ordered tuples any algorithm must read, both as a batch formula
 //!   and as the incremental [`ScanGate`] consulted per streamed tuple.
 //! * [`scan`] — the streaming rank-scan executor: pulls a
@@ -13,7 +13,7 @@
 //! * [`dp`] — the main dynamic-programming algorithm for the top-k score
 //!   distribution, with line coalescing (§3.2.1), mutual-exclusion handling
 //!   via rule tuples and lead-tuple regions (§3.3), and score ties (§3.4).
-//! * [`state_expansion`] / [`k_combo`] — the two naive baselines of §3.1.
+//! * [`mod@state_expansion`] / [`mod@k_combo`] — the two naive baselines of §3.1.
 //! * [`typical`] — the c-Typical-Topk selection dynamic program of §4.
 //! * [`baselines`] — the comparator semantics U-Topk, U-kRanks and PT-k, and
 //!   exhaustive possible-world ground truth.
@@ -66,7 +66,10 @@ pub use dp::{
     topk_score_distribution_streamed, MainConfig, MainOutput, MeStrategy,
 };
 pub use k_combo::{k_combo, k_combo_streamed};
-pub use query::{execute, execute_batch, Algorithm, BatchJob, Executor, QueryAnswer, TopkQuery};
+pub use query::{
+    execute, execute_batch, execute_batch_sources, Algorithm, BatchJob, Executor, QueryAnswer,
+    SourceBatchJob, TopkQuery,
+};
 pub use scan::{RankScan, ScanPrefix};
 pub use scan_depth::{scan_depth, stopping_threshold, ScanGate};
 pub use state_expansion::{state_expansion, state_expansion_streamed, BaselineOutput, NaiveConfig};

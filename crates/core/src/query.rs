@@ -20,7 +20,8 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use ttk_uncertain::{
-    CoalescePolicy, Error, Result, ScoreDistribution, TableSource, TupleSource, UncertainTable,
+    CoalescePolicy, Error, MergeSource, Result, ScoreDistribution, TableSource, TupleSource,
+    UncertainTable,
 };
 
 use crate::baselines::exhaustive::exhaustive_topk_distribution;
@@ -230,6 +231,29 @@ impl Executor {
         self.execute_inner(source, query, None)
     }
 
+    /// Executes a query against the shards of a **partitioned relation**:
+    /// per-shard rank-ordered sources sharing one group-key namespace, as
+    /// produced by `shard_sources_from_csv`, `partition_round_robin` or the
+    /// `--shards` generators.
+    ///
+    /// The shards are fused under a loser-tree [`MergeSource`], so the answer
+    /// is bit-identical to executing the unpartitioned stream, and each shard
+    /// is read at most one tuple past its contribution to the Theorem-2
+    /// prefix (the merge buffers a single look-ahead head per shard).
+    ///
+    /// # Errors
+    ///
+    /// As [`Executor::execute_source`], plus order-validation errors when a
+    /// shard stream is not rank-ordered.
+    pub fn execute_shards<S: TupleSource>(
+        &mut self,
+        shards: Vec<S>,
+        query: &TopkQuery,
+    ) -> Result<QueryAnswer> {
+        let mut merged = MergeSource::new(shards);
+        self.execute_inner(&mut merged, query, None)
+    }
+
     fn execute_inner(
         &mut self,
         source: &mut dyn TupleSource,
@@ -364,14 +388,7 @@ impl<'a> BatchJob<'a> {
 /// vector — indexed like `jobs` — is identical to running every job
 /// sequentially, regardless of how the workers interleave.
 pub fn execute_batch(jobs: &[BatchJob<'_>], threads: usize) -> Vec<Result<QueryAnswer>> {
-    let threads = if threads == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    } else {
-        threads
-    }
-    .min(jobs.len().max(1));
+    let threads = resolve_threads(threads, jobs.len());
 
     if threads <= 1 || jobs.len() <= 1 {
         let mut executor = Executor::new();
@@ -392,6 +409,104 @@ pub fn execute_batch(jobs: &[BatchJob<'_>], threads: usize) -> Vec<Result<QueryA
                     let index = next.fetch_add(1, Ordering::Relaxed);
                     let Some(job) = jobs.get(index) else { break };
                     let answer = executor.execute(job.table, &job.query);
+                    *slots[index].lock().expect("result slot poisoned") = Some(answer);
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every batch job is claimed by exactly one worker")
+        })
+        .collect()
+}
+
+/// Resolves a thread-count request (`0` = one per available CPU) against the
+/// number of jobs.
+fn resolve_threads(threads: usize, jobs: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+    .min(jobs.max(1))
+}
+
+/// One independent query of a source-based batch: the shard streams it
+/// consumes (single-element vector for an unsharded stream) plus its
+/// parameters. Unlike [`BatchJob`], the job **owns** its input — sources are
+/// single-pass, so every job needs fresh streams.
+pub struct SourceBatchJob {
+    /// Per-shard rank-ordered streams sharing one group-key namespace.
+    pub shards: Vec<Box<dyn TupleSource + Send>>,
+    /// The query parameters.
+    pub query: TopkQuery,
+}
+
+impl SourceBatchJob {
+    /// Bundles shard streams and a query.
+    pub fn new(shards: Vec<Box<dyn TupleSource + Send>>, query: TopkQuery) -> Self {
+        SourceBatchJob { shards, query }
+    }
+}
+
+impl std::fmt::Debug for SourceBatchJob {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SourceBatchJob")
+            .field("shards", &self.shards.len())
+            .field("query", &self.query)
+            .finish()
+    }
+}
+
+/// Executes a batch of independent **source-based** queries — each job owns
+/// its (possibly sharded) input streams — fanning them out over `threads`
+/// worker threads (`0` = one per available CPU).
+///
+/// The sharded counterpart of [`execute_batch`]: every job's shards are fused
+/// under one loser-tree merge (see [`Executor::execute_shards`]) and each
+/// worker reuses one [`Executor`]. Jobs are deterministic and independent, so
+/// the result vector — indexed like `jobs` — is identical to sequential
+/// execution regardless of worker interleaving.
+pub fn execute_batch_sources(
+    jobs: Vec<SourceBatchJob>,
+    threads: usize,
+) -> Vec<Result<QueryAnswer>> {
+    let threads = resolve_threads(threads, jobs.len());
+
+    if threads <= 1 || jobs.len() <= 1 {
+        let mut executor = Executor::new();
+        return jobs
+            .into_iter()
+            .map(|job| executor.execute_shards(job.shards, &job.query))
+            .collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let job_slots: Vec<Mutex<Option<SourceBatchJob>>> =
+        jobs.into_iter().map(|job| Mutex::new(Some(job))).collect();
+    let slots: Vec<Mutex<Option<Result<QueryAnswer>>>> =
+        job_slots.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut executor = Executor::new();
+                loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(slot) = job_slots.get(index) else {
+                        break;
+                    };
+                    let job = slot
+                        .lock()
+                        .expect("job slot poisoned")
+                        .take()
+                        .expect("every job slot is claimed by exactly one worker");
+                    let answer = executor.execute_shards(job.shards, &job.query);
                     *slots[index].lock().expect("result slot poisoned") = Some(answer);
                 }
             });

@@ -7,7 +7,7 @@
 //! problem restricted to the support. The c-Typical-Topk *tuples* are, for
 //! each chosen score, the most probable top-k vector attaining it
 //! (Definition 2); those witnesses are carried by the
-//! [`ScoreDistribution`](ttk_uncertain::ScoreDistribution) produced by the
+//! [`ScoreDistribution`] produced by the
 //! algorithms of this crate.
 //!
 //! The solver is the two-function dynamic program of Figure 7 (after Hassin &

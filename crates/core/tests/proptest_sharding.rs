@@ -1,0 +1,159 @@
+//! Property-based validation of the sharded scan path: for **any** table and
+//! **any** partitioning of its rank-ordered stream into R shards, executing
+//! through `MergeSource` must produce a **bit-identical** top-k score
+//! distribution to the single-source path — including adversarial inputs
+//! where every tuple ties on score and mutual-exclusion groups straddle
+//! every shard boundary.
+
+use proptest::prelude::*;
+use ttk_core::{Executor, TopkQuery};
+use ttk_uncertain::{SourceTuple, TupleSource, UncertainTable, UncertainTuple, VecSource};
+
+/// Random table with score ties and greedy ME grouping; `score_span` controls
+/// how adversarial the ties are (1 = every tuple ties on score).
+fn table_with(score_span: i32) -> impl Strategy<Value = UncertainTable> {
+    let tuple = (0u64..100_000, 0i32..score_span, 1u32..=10)
+        .prop_map(|(id, score, p)| (id, score as f64, p as f64 / 10.0));
+    proptest::collection::vec(tuple, 20..120).prop_map(|mut raw| {
+        raw.sort_by_key(|r| r.0);
+        raw.dedup_by_key(|r| r.0);
+        let tuples: Vec<UncertainTuple> = raw
+            .iter()
+            .map(|&(id, s, p)| UncertainTuple::new(id, s, p).unwrap())
+            .collect();
+        let mut rules: Vec<Vec<u64>> = Vec::new();
+        let mut current: Vec<u64> = Vec::new();
+        let mut current_sum = 0.0;
+        for t in &tuples {
+            if current.len() < 4 && current_sum + t.prob() <= 1.0 {
+                current.push(t.id().raw());
+                current_sum += t.prob();
+            } else {
+                if current.len() > 1 {
+                    rules.push(current.clone());
+                }
+                current = vec![t.id().raw()];
+                current_sum = t.prob();
+            }
+        }
+        if current.len() > 1 {
+            rules.push(current);
+        }
+        UncertainTable::new(
+            tuples,
+            rules
+                .into_iter()
+                .map(|r| r.into_iter().map(Into::into).collect())
+                .collect(),
+        )
+        .unwrap()
+    })
+}
+
+/// Splits the table's rank-ordered stream into `shards` shard streams using
+/// the given assignment policy. All policies preserve per-shard rank order
+/// (each shard is a subsequence of the rank-ordered stream) and the global
+/// group-key namespace.
+fn partition(table: &UncertainTable, shards: usize, policy: u8, salt: u64) -> Vec<VecSource> {
+    let mut parts: Vec<Vec<SourceTuple>> = (0..shards).map(|_| Vec::new()).collect();
+    let mut source = table.to_source();
+    let total = table.len();
+    let mut index = 0usize;
+    while let Some(t) = source.next_tuple().unwrap() {
+        let shard = match policy {
+            // Round robin: ME groups and tie groups straddle every boundary.
+            0 => index % shards,
+            // Contiguous blocks.
+            1 => (index * shards) / total.max(1),
+            // Deterministic pseudo-random scatter.
+            _ => {
+                let mut h = (index as u64)
+                    .wrapping_add(salt)
+                    .wrapping_mul(0x9E3779B97F4A7C15);
+                h ^= h >> 29;
+                (h % shards as u64) as usize
+            }
+        };
+        parts[shard.min(shards - 1)].push(t);
+        index += 1;
+    }
+    parts.into_iter().map(VecSource::new).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// The acceptance property: any R-shard partition of any table yields a
+    /// bit-identical distribution to the single-source path.
+    #[test]
+    fn sharded_equals_single_source(
+        table in table_with(8),
+        shards in 1usize..6,
+        policy in 0u8..3,
+        salt in 0u64..1_000_000,
+        k in 1usize..5,
+    ) {
+        let query = TopkQuery::new(k).with_p_tau(1e-3).with_u_topk(false);
+        let mut single = table.to_source();
+        let single_answer = Executor::new().execute_source(&mut single, &query);
+        let sharded_answer =
+            Executor::new().execute_shards(partition(&table, shards, policy, salt), &query);
+        match (single_answer, sharded_answer) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a.distribution, b.distribution);
+                prop_assert_eq!(a.scan_depth, b.scan_depth);
+                prop_assert_eq!(a.typical.scores(), b.typical.scores());
+            }
+            // Degenerate tables (fewer than k compatible tuples) must fail
+            // identically on both paths.
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(false, "paths disagree: {:?} vs {:?}", a, b),
+        }
+    }
+
+    /// The adversarial tie case: every tuple has the same score, so the whole
+    /// table is one tie group crossing every shard boundary.
+    #[test]
+    fn all_ties_at_every_boundary(
+        table in table_with(1),
+        shards in 2usize..6,
+        policy in 0u8..3,
+        k in 1usize..4,
+    ) {
+        let query = TopkQuery::new(k).with_p_tau(1e-3).with_u_topk(false);
+        let mut single = table.to_source();
+        let single_answer = Executor::new().execute_source(&mut single, &query);
+        let sharded_answer =
+            Executor::new().execute_shards(partition(&table, shards, policy, 7), &query);
+        match (single_answer, sharded_answer) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a.distribution, b.distribution);
+                prop_assert_eq!(a.scan_depth, b.scan_depth);
+            }
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(false, "paths disagree: {:?} vs {:?}", a, b),
+        }
+    }
+
+    /// U-Topk keeps full-stream semantics on the sharded path too: the
+    /// drain-the-remainder fallback sees the identical merged stream.
+    #[test]
+    fn u_topk_agrees_across_sharding(
+        table in table_with(6),
+        shards in 1usize..5,
+    ) {
+        let query = TopkQuery::new(2).with_p_tau(1e-2);
+        let mut single = table.to_source();
+        let single_answer = Executor::new().execute_source(&mut single, &query);
+        let sharded_answer =
+            Executor::new().execute_shards(partition(&table, shards, 0, 0), &query);
+        match (single_answer, sharded_answer) {
+            (Ok(a), Ok(b)) => {
+                let (ua, ub) = (a.u_topk.map(|u| u.vector), b.u_topk.map(|u| u.vector));
+                prop_assert_eq!(ua, ub);
+            }
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(false, "paths disagree: {:?} vs {:?}", a, b),
+        }
+    }
+}

@@ -6,10 +6,15 @@
 //! * a batch of ≥ 100 independent queries executed in parallel produces
 //!   results identical to sequential execution.
 
-use ttk_core::{execute, execute_batch, scan_depth, Algorithm, BatchJob, Executor, TopkQuery};
+use ttk_core::{
+    execute, execute_batch, execute_batch_sources, scan_depth, Algorithm, BatchJob, Executor,
+    SourceBatchJob, TopkQuery,
+};
 use ttk_datagen::cartel::{generate_area, CartelConfig};
 use ttk_datagen::synthetic::{generate, MePolicy, SyntheticConfig};
-use ttk_uncertain::{CountingSource, TableSource, UncertainTable};
+use ttk_uncertain::{
+    partition_round_robin, CountingSource, TableSource, TupleSource, UncertainTable, VecSource,
+};
 
 /// A large workload whose top tuples carry high confidence (ρ = +0.8), so
 /// even the combination-enumerating baselines keep answers above pτ.
@@ -233,4 +238,92 @@ fn executor_scratch_reuse_does_not_leak_state_between_queries() {
         .execute(&big, &TopkQuery::new(8).with_u_topk(false))
         .unwrap();
     assert_eq!(first.distribution, fresh.distribution);
+}
+
+#[test]
+fn sharded_scan_reads_at_most_one_past_the_bound_per_shard() {
+    let table = confident_synthetic_table();
+    let k = 4;
+    let p_tau = 1e-3;
+    let shards = 4usize;
+    let depth = scan_depth(&table, k, p_tau).unwrap();
+    assert!(depth + 1 < table.len(), "workload must stop early");
+
+    let parts = partition_round_robin(TableSource::new(&table), shards).unwrap();
+    let counted: Vec<CountingSource<VecSource>> =
+        parts.into_iter().map(CountingSource::new).collect();
+    let counters: Vec<_> = counted.iter().map(|c| c.counter()).collect();
+    let query = TopkQuery::new(k).with_p_tau(p_tau).with_u_topk(false);
+    let answer = Executor::new().execute_shards(counted, &query).unwrap();
+    assert_eq!(answer.scan_depth, depth);
+
+    // The merged scan emits depth + 1 tuples (the single look-ahead); round
+    // robin deals global rank position p to shard p % shards, so shard i
+    // contributed ceil((depth + 1 - i) / shards) of them and may hold one
+    // buffered merge head on top — the per-shard ≤ 1-past-bound guarantee.
+    let mut emitted_total = 0usize;
+    for (i, counter) in counters.iter().enumerate() {
+        let emitted = (depth + 1).saturating_sub(i).div_ceil(shards);
+        emitted_total += emitted;
+        assert!(
+            counter.get() <= emitted + 1,
+            "shard {i}: pulled {} for {emitted} emitted tuples",
+            counter.get()
+        );
+    }
+    assert_eq!(emitted_total, depth + 1);
+    let pulled_total: usize = counters.iter().map(|c| c.get()).sum();
+    assert!(
+        pulled_total <= depth + 1 + shards,
+        "total reads {pulled_total} exceed depth {depth} + 1 + {shards} heads"
+    );
+}
+
+#[test]
+fn sharded_execution_matches_single_source_end_to_end() {
+    let table = confident_synthetic_table();
+    for shards in [1usize, 2, 3, 7] {
+        let query = TopkQuery::new(5).with_p_tau(1e-3).with_u_topk(false);
+        let single = execute(&table, &query).unwrap();
+        let parts = partition_round_robin(TableSource::new(&table), shards).unwrap();
+        let sharded = Executor::new().execute_shards(parts, &query).unwrap();
+        assert_eq!(single.distribution, sharded.distribution, "{shards} shards");
+        assert_eq!(single.scan_depth, sharded.scan_depth);
+        assert_eq!(single.typical.scores(), sharded.typical.scores());
+    }
+}
+
+#[test]
+fn source_batch_matches_table_batch() {
+    // The source-based batch executor (owning per-job shard streams) agrees
+    // with the table-based one, in parallel and sequentially.
+    let table = confident_synthetic_table();
+    let ks: Vec<usize> = (1..=8).collect();
+    let table_jobs: Vec<BatchJob> = ks
+        .iter()
+        .map(|&k| BatchJob::new(&table, TopkQuery::new(k).with_p_tau(1e-3)))
+        .collect();
+    let expected = execute_batch(&table_jobs, 1);
+
+    for threads in [1usize, 3] {
+        let source_jobs: Vec<SourceBatchJob> = ks
+            .iter()
+            .map(|&k| {
+                let shards = partition_round_robin(TableSource::new(&table), 3)
+                    .unwrap()
+                    .into_iter()
+                    .map(|s| Box::new(s) as Box<dyn TupleSource + Send>)
+                    .collect();
+                SourceBatchJob::new(shards, TopkQuery::new(k).with_p_tau(1e-3))
+            })
+            .collect();
+        let answers = execute_batch_sources(source_jobs, threads);
+        assert_eq!(answers.len(), expected.len());
+        for ((k, a), e) in ks.iter().zip(&answers).zip(&expected) {
+            let (a, e) = (a.as_ref().unwrap(), e.as_ref().unwrap());
+            assert_eq!(a.distribution, e.distribution, "k={k} threads={threads}");
+            let (ua, ue) = (a.u_topk.as_ref().unwrap(), e.u_topk.as_ref().unwrap());
+            assert_eq!(ua.vector.ids(), ue.vector.ids(), "k={k}");
+        }
+    }
 }

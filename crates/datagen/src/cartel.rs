@@ -114,6 +114,19 @@ impl Area {
             .collect();
         VecSource::new(tuples)
     }
+
+    /// The area's measurement bins as `shards` rank-ordered shard streams
+    /// (round-robin over the rank order, shared segment-group namespace) —
+    /// the partitioned counterpart of [`Area::tuple_source`]. Merging the
+    /// shards with [`ttk_uncertain::MergeSource::new`] reproduces the
+    /// single-stream source exactly.
+    ///
+    /// # Errors
+    ///
+    /// `shards == 0` is rejected.
+    pub fn shard_sources(&self, shards: usize) -> Result<Vec<VecSource>> {
+        ttk_uncertain::partition_round_robin(self.tuple_source(), shards)
+    }
 }
 
 /// Configuration of the CarTel-like simulator.

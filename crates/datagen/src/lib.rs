@@ -29,4 +29,6 @@ pub use cartel::{
     area_source, area_table, generate_area, Area, CartelConfig, DelayBin, RoadSegment,
 };
 pub use rng::DataRng;
-pub use synthetic::{generate, generate_source, IntRange, MePolicy, SyntheticConfig};
+pub use synthetic::{
+    generate, generate_shard_sources, generate_source, IntRange, MePolicy, SyntheticConfig,
+};

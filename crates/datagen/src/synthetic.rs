@@ -187,6 +187,19 @@ pub fn generate_source(config: &SyntheticConfig) -> Result<VecSource> {
     Ok(generate(config)?.to_source())
 }
 
+/// Generates a synthetic workload **partitioned into `shards` rank-ordered
+/// shard streams** (round-robin over the rank order), sharing one group-key
+/// namespace — the benchmark input for the sharded scan path. Merging the
+/// shards with [`ttk_uncertain::MergeSource::new`] reproduces
+/// [`generate_source`] of the same configuration exactly.
+///
+/// # Errors
+///
+/// As [`generate`]; `shards == 0` is rejected.
+pub fn generate_shard_sources(config: &SyntheticConfig, shards: usize) -> Result<Vec<VecSource>> {
+    ttk_uncertain::partition_round_robin(generate(config)?.to_source(), shards)
+}
+
 /// Builds ME rules over rank-ordered tuples according to the policy.
 fn assign_groups(
     tuples: &[UncertainTuple],

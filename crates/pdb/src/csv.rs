@@ -11,8 +11,12 @@
 //! columns are type-inferred (integer → float → boolean → text).
 
 use std::collections::HashMap;
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
-use ttk_uncertain::{SourceTuple, UncertainTuple, VecSource};
+use ttk_uncertain::{GroupKey, MergeSource, SourceTuple, TupleSource, UncertainTuple, VecSource};
 
 use crate::error::{PdbError, Result};
 use crate::expr::Expr;
@@ -96,6 +100,11 @@ fn parse_layout(text: &str, options: &CsvOptions) -> Result<CsvLayout> {
             line: 1,
             message: "missing header row".into(),
         })?;
+    layout_from_header(header_line, options)
+}
+
+/// Builds a layout from an already-extracted header line.
+fn layout_from_header(header_line: &str, options: &CsvOptions) -> Result<CsvLayout> {
     let header = split_record(header_line, 1)?;
     let prob_idx = header
         .iter()
@@ -125,28 +134,14 @@ fn parse_layout(text: &str, options: &CsvOptions) -> Result<CsvLayout> {
 /// Parses the data records of a CSV text once (header skipped, blank lines
 /// ignored), validating field counts against the layout. Returned as
 /// `(line number, fields)` pairs so both the type-inference and the loading
-/// pass run over the same parse.
+/// pass run over the same parse. Thin collecting wrapper over
+/// [`for_each_record`], which the out-of-core paths stream through instead.
 fn parse_records(text: &str, layout: &CsvLayout) -> Result<Vec<(usize, Vec<String>)>> {
-    let mut lines = text
-        .lines()
-        .enumerate()
-        .filter(|(_, l)| !l.trim().is_empty());
-    lines.next(); // The header.
     let mut records = Vec::new();
-    for (i, line) in lines {
-        let record = split_record(line, i + 1)?;
-        if record.len() != layout.header.len() {
-            return Err(PdbError::CsvError {
-                line: i + 1,
-                message: format!(
-                    "expected {} fields, got {}",
-                    layout.header.len(),
-                    record.len()
-                ),
-            });
-        }
-        records.push((i + 1, record));
-    }
+    for_each_record(text.as_bytes(), layout, |line_no, record| {
+        records.push((line_no, record));
+        Ok(())
+    })?;
     Ok(records)
 }
 
@@ -182,10 +177,15 @@ fn infer_schema(records: &[(usize, Vec<String>)], layout: &CsvLayout) -> Result<
             types[slot] = merge_type(types[slot], &Value::infer_from_str(&record[col]));
         }
     }
+    schema_from_types(layout, &types)
+}
+
+/// Assembles the schema of the data columns from their inferred types.
+fn schema_from_types(layout: &CsvLayout, types: &[DataType]) -> Result<Schema> {
     let columns = layout
         .data_columns
         .iter()
-        .zip(&types)
+        .zip(types)
         .map(|(&col, &ty)| Column::new(layout.header[col].trim(), ty))
         .collect();
     Schema::new(columns)
@@ -233,7 +233,7 @@ pub fn table_from_csv(name: &str, text: &str, options: &CsvOptions) -> Result<PT
 }
 
 /// Parses CSV text straight into a rank-ordered
-/// [`TupleSource`](ttk_uncertain::TupleSource), scoring each row with the
+/// [`TupleSource`], scoring each row with the
 /// given expression as it is read.
 ///
 /// Unlike [`table_from_csv`] + [`PTable::to_tuple_source`], no relational
@@ -252,31 +252,457 @@ pub fn tuple_source_from_csv(text: &str, options: &CsvOptions, score: &Expr) -> 
     let records = parse_records(text, &layout)?;
     let schema = infer_schema(&records, &layout)?;
     score.validate(&schema)?;
-    let mut key_of_group: HashMap<String, u64> = HashMap::new();
+    let mut state = ScoreState::new();
     let mut tuples = Vec::with_capacity(records.len());
-    let mut row_values = Vec::with_capacity(layout.data_columns.len());
     for (line_no, record) in &records {
-        let probability = parse_probability(record, &layout, *line_no)?;
-        row_values.clear();
-        row_values.extend(
+        tuples.push(state.score_record(record, &layout, &schema, score, *line_no)?);
+    }
+    Ok(VecSource::new(tuples))
+}
+
+/// The cross-record state of a scoring pass: the group-key namespace and the
+/// tuple-id counter (both of which persist **across shard files**, giving
+/// every shard of a partition one id space and one ME-group namespace), plus
+/// a row-value scratch buffer reused across records so the bulk-import hot
+/// path does not allocate per row.
+struct ScoreState {
+    key_of_group: HashMap<String, u64>,
+    next_id: u64,
+    row_values: Vec<Value>,
+}
+
+impl ScoreState {
+    fn new() -> Self {
+        ScoreState {
+            key_of_group: HashMap::new(),
+            next_id: 0,
+            row_values: Vec::new(),
+        }
+    }
+
+    /// Scores one parsed record into a [`SourceTuple`], assigning the next
+    /// tuple id and the record's group key from the shared namespace.
+    fn score_record(
+        &mut self,
+        record: &[String],
+        layout: &CsvLayout,
+        schema: &Schema,
+        score: &Expr,
+        line_no: usize,
+    ) -> Result<SourceTuple> {
+        let probability = parse_probability(record, layout, line_no)?;
+        self.row_values.clear();
+        self.row_values.extend(
             layout
                 .data_columns
                 .iter()
                 .map(|&c| Value::infer_from_str(&record[c])),
         );
-        let score_value = score.evaluate(&schema, &row_values)?;
-        let tuple = UncertainTuple::new(tuples.len() as u64, score_value, probability)
-            .map_err(PdbError::Core)?;
-        tuples.push(match group_key(record, &layout) {
+        let score_value = score.evaluate(schema, &self.row_values)?;
+        let tuple =
+            UncertainTuple::new(self.next_id, score_value, probability).map_err(PdbError::Core)?;
+        self.next_id += 1;
+        Ok(match group_key(record, layout) {
             Some(g) => {
-                let next_key = key_of_group.len() as u64;
-                let key = *key_of_group.entry(g.to_string()).or_insert(next_key);
+                let next_key = self.key_of_group.len() as u64;
+                let key = *self.key_of_group.entry(g.to_string()).or_insert(next_key);
                 SourceTuple::grouped(tuple, key)
             }
             None => SourceTuple::independent(tuple),
-        });
+        })
     }
-    Ok(VecSource::new(tuples))
+}
+
+/// Parses several CSV texts — the **shards of one partitioned relation** —
+/// into one rank-ordered [`VecSource`] per shard.
+///
+/// The shards share a tuple-id space (ids keep counting across shards in the
+/// order given) and a group-key namespace (equal group-column strings in
+/// different shards name the **same** mutual-exclusion group), so merging the
+/// returned sources with [`MergeSource::new`] behaves exactly like importing
+/// the concatenation of the shards through [`tuple_source_from_csv`]. Each
+/// shard may carry its own column order; every shard's schema must satisfy
+/// the scoring expression.
+///
+/// # Errors
+///
+/// As [`tuple_source_from_csv`], per shard.
+pub fn shard_sources_from_csv(
+    texts: &[&str],
+    options: &CsvOptions,
+    score: &Expr,
+) -> Result<Vec<VecSource>> {
+    let mut state = ScoreState::new();
+    let mut shards = Vec::with_capacity(texts.len());
+    for text in texts {
+        let layout = parse_layout(text, options)?;
+        let records = parse_records(text, &layout)?;
+        let schema = infer_schema(&records, &layout)?;
+        score.validate(&schema)?;
+        let mut tuples = Vec::with_capacity(records.len());
+        for (line_no, record) in &records {
+            tuples.push(state.score_record(record, &layout, &schema, score, *line_no)?);
+        }
+        shards.push(VecSource::new(tuples));
+    }
+    Ok(shards)
+}
+
+/// Options of the external-sort (out-of-core) CSV scan.
+#[derive(Debug, Clone)]
+pub struct SpillOptions {
+    /// Maximum number of scored tuples buffered in memory at once. When the
+    /// buffer fills, it is sorted into rank order and spilled to a temporary
+    /// run file; the runs are then replayed as shard streams under a k-way
+    /// merge. Memory use is `O(run_buffer_tuples + runs)`, independent of the
+    /// relation size.
+    pub run_buffer_tuples: usize,
+    /// Directory for run files; defaults to [`std::env::temp_dir`].
+    pub temp_dir: Option<PathBuf>,
+}
+
+impl Default for SpillOptions {
+    fn default() -> Self {
+        SpillOptions {
+            run_buffer_tuples: 64 * 1024,
+            temp_dir: None,
+        }
+    }
+}
+
+impl SpillOptions {
+    /// A spill configuration buffering at most `run_buffer_tuples` tuples.
+    pub fn with_run_buffer(run_buffer_tuples: usize) -> Self {
+        SpillOptions {
+            run_buffer_tuples: run_buffer_tuples.max(1),
+            ..SpillOptions::default()
+        }
+    }
+}
+
+/// Distinguishes run files of concurrent imports within one process.
+static SPILL_SEQUENCE: AtomicU64 = AtomicU64::new(0);
+
+/// Owns the temporary run files of one spilled import; removes them on drop
+/// (including the error paths of a partially-completed import).
+#[derive(Debug, Default)]
+struct RunFiles {
+    paths: Vec<PathBuf>,
+    dir: PathBuf,
+}
+
+impl RunFiles {
+    fn new(dir: Option<PathBuf>) -> Self {
+        RunFiles {
+            paths: Vec::new(),
+            dir: dir.unwrap_or_else(std::env::temp_dir),
+        }
+    }
+
+    /// Sorts `buffer` into rank order and writes it as a new run file.
+    fn spill(&mut self, buffer: &mut Vec<SourceTuple>) -> Result<()> {
+        buffer.sort_by_key(|t| t.tuple.rank_key());
+        let sequence = SPILL_SEQUENCE.fetch_add(1, Ordering::Relaxed);
+        let path = self
+            .dir
+            .join(format!("ttk-spill-{}-{sequence}.run", std::process::id()));
+        let mut writer = BufWriter::new(File::create(&path)?);
+        // Register before writing so a failed write still gets cleaned up.
+        self.paths.push(path);
+        for t in buffer.iter() {
+            let group = match t.group {
+                GroupKey::Independent => "i".to_string(),
+                GroupKey::Shared(k) => format!("s{k}"),
+            };
+            // Scores and probabilities are stored as raw IEEE-754 bits so the
+            // replayed run is bit-identical to the in-memory path.
+            writeln!(
+                writer,
+                "{} {:016x} {:016x} {group}",
+                t.tuple.id().raw(),
+                t.tuple.score().to_bits(),
+                t.tuple.prob().to_bits()
+            )?;
+        }
+        writer.flush()?;
+        buffer.clear();
+        Ok(())
+    }
+}
+
+impl Drop for RunFiles {
+    fn drop(&mut self) {
+        for path in &self.paths {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// One sorted run of a spilled import: either a run file replayed from disk
+/// or the final in-memory buffer that never needed spilling.
+#[derive(Debug)]
+enum Run {
+    File(std::io::Lines<BufReader<File>>),
+    Memory(std::vec::IntoIter<SourceTuple>),
+}
+
+/// A rank-ordered stream over one external-sort run.
+#[derive(Debug)]
+struct RunSource {
+    run: Run,
+    remaining: usize,
+}
+
+impl RunSource {
+    fn file(path: &Path, tuples: usize) -> Result<Self> {
+        Ok(RunSource {
+            run: Run::File(BufReader::new(File::open(path)?).lines()),
+            remaining: tuples,
+        })
+    }
+
+    fn memory(mut tuples: Vec<SourceTuple>) -> Self {
+        tuples.sort_by_key(|t| t.tuple.rank_key());
+        RunSource {
+            remaining: tuples.len(),
+            run: Run::Memory(tuples.into_iter()),
+        }
+    }
+}
+
+/// Decodes one run-file line back into a [`SourceTuple`]. Stream-time
+/// failures surface as [`ttk_uncertain::Error::Source`], the error channel of
+/// the [`TupleSource`] trait.
+fn decode_run_line(line: &str) -> ttk_uncertain::Result<SourceTuple> {
+    let corrupt = || ttk_uncertain::Error::Source(format!("corrupt spill run record `{line}`"));
+    let mut fields = line.split_ascii_whitespace();
+    let id: u64 = fields
+        .next()
+        .and_then(|f| f.parse().ok())
+        .ok_or_else(corrupt)?;
+    let score_bits = fields
+        .next()
+        .and_then(|f| u64::from_str_radix(f, 16).ok())
+        .ok_or_else(corrupt)?;
+    let prob_bits = fields
+        .next()
+        .and_then(|f| u64::from_str_radix(f, 16).ok())
+        .ok_or_else(corrupt)?;
+    let group = fields.next().ok_or_else(corrupt)?;
+    let tuple = UncertainTuple::new(id, f64::from_bits(score_bits), f64::from_bits(prob_bits))?;
+    Ok(match group.strip_prefix('s') {
+        Some(key) => SourceTuple::grouped(tuple, key.parse().map_err(|_| corrupt())?),
+        None => SourceTuple::independent(tuple),
+    })
+}
+
+impl TupleSource for RunSource {
+    fn next_tuple(&mut self) -> ttk_uncertain::Result<Option<SourceTuple>> {
+        let next = match &mut self.run {
+            Run::Memory(iter) => iter.next(),
+            Run::File(lines) => match lines.next() {
+                None => None,
+                Some(line) => {
+                    let line = line.map_err(|e| {
+                        ttk_uncertain::Error::Source(format!("reading spill run: {e}"))
+                    })?;
+                    Some(decode_run_line(&line)?)
+                }
+            },
+        };
+        if next.is_some() {
+            self.remaining = self.remaining.saturating_sub(1);
+        }
+        Ok(next)
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.remaining)
+    }
+}
+
+/// A rank-ordered [`TupleSource`] over a CSV relation larger than memory:
+/// sorted runs spilled to temporary files, replayed under a loser-tree k-way
+/// merge. Produced by [`tuple_source_from_csv_spilled`] and
+/// [`tuple_source_from_csv_path`]; the run files are deleted when the source
+/// is dropped.
+#[derive(Debug)]
+pub struct SpilledSource {
+    merge: MergeSource<RunSource>,
+    runs: RunFiles,
+    total_tuples: usize,
+}
+
+impl SpilledSource {
+    /// Total number of runs under the merge (spilled files plus the final
+    /// in-memory buffer, when non-empty).
+    pub fn run_count(&self) -> usize {
+        self.merge.shard_count()
+    }
+
+    /// Number of runs that were spilled to disk.
+    pub fn spilled_run_count(&self) -> usize {
+        self.runs.paths.len()
+    }
+
+    /// Number of data records imported.
+    pub fn len(&self) -> usize {
+        self.total_tuples
+    }
+
+    /// True when the relation had no data records.
+    pub fn is_empty(&self) -> bool {
+        self.total_tuples == 0
+    }
+}
+
+impl TupleSource for SpilledSource {
+    fn next_tuple(&mut self) -> ttk_uncertain::Result<Option<SourceTuple>> {
+        self.merge.next_tuple()
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        self.merge.size_hint()
+    }
+}
+
+/// Streams the data records of a CSV reader (header skipped, blank lines
+/// ignored, field counts validated) through `visit` without retaining them.
+fn for_each_record<R: BufRead>(
+    reader: R,
+    layout: &CsvLayout,
+    mut visit: impl FnMut(usize, Vec<String>) -> Result<()>,
+) -> Result<()> {
+    let mut header_seen = false;
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        if !header_seen {
+            header_seen = true;
+            continue;
+        }
+        let record = split_record(&line, i + 1)?;
+        if record.len() != layout.header.len() {
+            return Err(PdbError::CsvError {
+                line: i + 1,
+                message: format!(
+                    "expected {} fields, got {}",
+                    layout.header.len(),
+                    record.len()
+                ),
+            });
+        }
+        visit(i + 1, record)?;
+    }
+    Ok(())
+}
+
+/// Reads the header line (the first non-blank line) of a CSV reader.
+fn read_header<R: BufRead>(reader: R) -> Result<String> {
+    for line in reader.lines() {
+        let line = line?;
+        if !line.trim().is_empty() {
+            return Ok(line);
+        }
+    }
+    Err(PdbError::CsvError {
+        line: 1,
+        message: "missing header row".into(),
+    })
+}
+
+/// The generic two-pass external-sort import: pass 1 infers the schema, pass
+/// 2 scores each record and spills sorted runs. `open` must yield a fresh
+/// reader over the same bytes for each pass.
+fn spilled_source_from_reader<R: BufRead>(
+    open: impl Fn() -> Result<R>,
+    options: &CsvOptions,
+    score: &Expr,
+    spill: &SpillOptions,
+) -> Result<SpilledSource> {
+    let layout = layout_from_header(&read_header(open()?)?, options)?;
+
+    // Pass 1: type inference only — nothing is retained per record.
+    let mut types = vec![DataType::Integer; layout.data_columns.len()];
+    for_each_record(open()?, &layout, |_, record| {
+        for (slot, &col) in layout.data_columns.iter().enumerate() {
+            types[slot] = merge_type(types[slot], &Value::infer_from_str(&record[col]));
+        }
+        Ok(())
+    })?;
+    let schema = schema_from_types(&layout, &types)?;
+    score.validate(&schema)?;
+
+    // Pass 2: score records into a bounded buffer, spilling sorted runs.
+    let capacity = spill.run_buffer_tuples.max(1);
+    let mut runs = RunFiles::new(spill.temp_dir.clone());
+    let mut buffer: Vec<SourceTuple> = Vec::with_capacity(capacity.min(64 * 1024));
+    let mut run_sizes: Vec<usize> = Vec::new();
+    let mut state = ScoreState::new();
+    for_each_record(open()?, &layout, |line_no, record| {
+        buffer.push(state.score_record(&record, &layout, &schema, score, line_no)?);
+        if buffer.len() >= capacity {
+            run_sizes.push(buffer.len());
+            runs.spill(&mut buffer)?;
+        }
+        Ok(())
+    })?;
+    let total_tuples = state.next_id as usize;
+
+    let mut sources = Vec::with_capacity(runs.paths.len() + 1);
+    for (path, &tuples) in runs.paths.iter().zip(&run_sizes) {
+        sources.push(RunSource::file(path, tuples)?);
+    }
+    if !buffer.is_empty() {
+        sources.push(RunSource::memory(buffer));
+    }
+    Ok(SpilledSource {
+        merge: MergeSource::new(sources),
+        runs,
+        total_tuples,
+    })
+}
+
+/// Out-of-core variant of [`tuple_source_from_csv`]: scores CSV text into
+/// rank-ordered runs of at most `spill.run_buffer_tuples` tuples, spilling
+/// full runs to temporary files, and returns the k-way merge over the runs.
+///
+/// The merged stream is **bit-identical** to what [`tuple_source_from_csv`]
+/// produces for the same input, while peak memory stays bounded by the run
+/// buffer — the path that lets `ttk query` scan relations larger than RAM.
+///
+/// # Errors
+///
+/// As [`tuple_source_from_csv`], plus [`PdbError::Io`] for run-file failures.
+pub fn tuple_source_from_csv_spilled(
+    text: &str,
+    options: &CsvOptions,
+    score: &Expr,
+    spill: &SpillOptions,
+) -> Result<SpilledSource> {
+    spilled_source_from_reader(|| Ok(text.as_bytes()), options, score, spill)
+}
+
+/// [`tuple_source_from_csv_spilled`] reading straight from a file path, so
+/// the raw CSV text never needs to fit in memory either.
+///
+/// # Errors
+///
+/// As [`tuple_source_from_csv_spilled`].
+pub fn tuple_source_from_csv_path(
+    path: &Path,
+    options: &CsvOptions,
+    score: &Expr,
+    spill: &SpillOptions,
+) -> Result<SpilledSource> {
+    spilled_source_from_reader(
+        || Ok(BufReader::new(File::open(path)?)),
+        options,
+        score,
+        spill,
+    )
 }
 
 /// Serialises a probabilistic table back to CSV (probability and group
@@ -415,6 +841,146 @@ speed_limit,length,delay,probability,group_key
         // Expression referencing an unknown column fails up front.
         let bad = crate::parser::parse_expression("nope + 1").unwrap();
         assert!(tuple_source_from_csv(csv, &CsvOptions::default(), &bad).is_err());
+    }
+
+    fn drain(source: &mut dyn TupleSource) -> Vec<SourceTuple> {
+        let mut out = Vec::new();
+        while let Some(t) = source.next_tuple().unwrap() {
+            out.push(t);
+        }
+        out
+    }
+
+    /// A CSV with many rows, score ties and ME groups straddling arbitrary
+    /// run boundaries.
+    fn big_csv(rows: usize) -> String {
+        let mut csv = String::from("score,probability,group_key\n");
+        for i in 0..rows {
+            let score = (i * 13) % 37;
+            let prob = 0.05 + 0.01 * ((i % 30) as f64);
+            let group = if i % 4 == 0 {
+                format!("g{}", i / 8)
+            } else {
+                String::new()
+            };
+            csv.push_str(&format!("{score},{prob},{group}\n"));
+        }
+        csv
+    }
+
+    #[test]
+    fn spilled_source_is_bit_identical_to_the_in_memory_path() {
+        let csv = big_csv(500);
+        let expr = crate::parser::parse_expression("score").unwrap();
+        let in_memory =
+            drain(&mut tuple_source_from_csv(&csv, &CsvOptions::default(), &expr).unwrap());
+        for run_buffer in [7usize, 64, 499, 500, 10_000] {
+            let mut spilled = tuple_source_from_csv_spilled(
+                &csv,
+                &CsvOptions::default(),
+                &expr,
+                &SpillOptions::with_run_buffer(run_buffer),
+            )
+            .unwrap();
+            assert_eq!(spilled.len(), 500);
+            if run_buffer <= 500 {
+                assert!(
+                    spilled.spilled_run_count() >= 500 / run_buffer.max(1),
+                    "run buffer {run_buffer} must spill"
+                );
+            } else {
+                assert_eq!(spilled.spilled_run_count(), 0);
+            }
+            assert_eq!(spilled.size_hint(), Some(500));
+            let streamed = drain(&mut spilled);
+            assert_eq!(streamed, in_memory, "run buffer {run_buffer}");
+        }
+    }
+
+    #[test]
+    fn spilled_run_files_are_removed_on_drop() {
+        let dir = std::env::temp_dir().join(format!("ttk-spill-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = big_csv(100);
+        let expr = crate::parser::parse_expression("score").unwrap();
+        let spill = SpillOptions {
+            run_buffer_tuples: 10,
+            temp_dir: Some(dir.clone()),
+        };
+        let source =
+            tuple_source_from_csv_spilled(&csv, &CsvOptions::default(), &expr, &spill).unwrap();
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 10);
+        drop(source);
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 0);
+        std::fs::remove_dir(&dir).ok();
+    }
+
+    #[test]
+    fn spilled_path_from_file_and_error_reporting() {
+        let path = std::env::temp_dir().join(format!("ttk-spill-input-{}.csv", std::process::id()));
+        std::fs::write(&path, big_csv(120)).unwrap();
+        let expr = crate::parser::parse_expression("score").unwrap();
+        let mut from_path = tuple_source_from_csv_path(
+            &path,
+            &CsvOptions::default(),
+            &expr,
+            &SpillOptions::with_run_buffer(16),
+        )
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let in_memory =
+            drain(&mut tuple_source_from_csv(&text, &CsvOptions::default(), &expr).unwrap());
+        assert_eq!(drain(&mut from_path), in_memory);
+        std::fs::remove_file(&path).unwrap();
+
+        // Missing files and malformed input surface as errors.
+        assert!(matches!(
+            tuple_source_from_csv_path(
+                Path::new("/nonexistent/ttk.csv"),
+                &CsvOptions::default(),
+                &expr,
+                &SpillOptions::default()
+            ),
+            Err(PdbError::Io(_))
+        ));
+        assert!(tuple_source_from_csv_spilled(
+            "score,probability\n1,huh\n",
+            &CsvOptions::default(),
+            &expr,
+            &SpillOptions::default()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn shard_sources_share_ids_and_group_namespaces() {
+        let expr = crate::parser::parse_expression("score").unwrap();
+        // One relation split across two shard files; group "g1" spans both.
+        let shard_a = "score,probability,group_key\n10,0.4,g1\n5,0.5,\n";
+        let shard_b = "score,probability,group_key\n8,0.5,g1\n7,0.9,g2\n";
+        let shards =
+            shard_sources_from_csv(&[shard_a, shard_b], &CsvOptions::default(), &expr).unwrap();
+        assert_eq!(shards.len(), 2);
+        let merged = drain(&mut MergeSource::new(shards));
+        // Ids count across shards: 0,1 in shard A; 2,3 in shard B.
+        let ids: Vec<u64> = merged.iter().map(|t| t.tuple.id().raw()).collect();
+        assert_eq!(ids, vec![0, 2, 3, 1]);
+        // The g1 rows of both shards share one group key.
+        assert_eq!(merged[0].group, merged[1].group);
+        assert!(matches!(merged[0].group, GroupKey::Shared(_)));
+        assert_ne!(merged[2].group, merged[0].group);
+        // Equals the single-file import of the concatenation.
+        let combined = "score,probability,group_key\n10,0.4,g1\n5,0.5,\n8,0.5,g1\n7,0.9,g2\n";
+        let single =
+            drain(&mut tuple_source_from_csv(combined, &CsvOptions::default(), &expr).unwrap());
+        assert_eq!(merged, single);
+        // A shard whose schema misses the scored column fails validation.
+        assert!(shard_sources_from_csv(
+            &[shard_a, "other,probability\n1,0.5\n"],
+            &CsvOptions::default(),
+            &expr
+        )
+        .is_err());
     }
 
     #[test]

@@ -42,6 +42,8 @@ pub enum PdbError {
     DuplicateTable(String),
     /// The requested query was invalid (empty table, bad parameters, …).
     InvalidQuery(String),
+    /// An I/O failure while reading input or spilling external-sort runs.
+    Io(String),
     /// An error bubbled up from the underlying top-k machinery.
     Core(ttk_uncertain::Error),
 }
@@ -69,6 +71,7 @@ impl fmt::Display for PdbError {
             PdbError::UnknownTable(name) => write!(f, "unknown table `{name}`"),
             PdbError::DuplicateTable(name) => write!(f, "table `{name}` already exists"),
             PdbError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+            PdbError::Io(msg) => write!(f, "I/O error: {msg}"),
             PdbError::Core(e) => write!(f, "top-k engine error: {e}"),
         }
     }
@@ -79,6 +82,12 @@ impl std::error::Error for PdbError {}
 impl From<ttk_uncertain::Error> for PdbError {
     fn from(e: ttk_uncertain::Error) -> Self {
         PdbError::Core(e)
+    }
+}
+
+impl From<std::io::Error> for PdbError {
+    fn from(e: std::io::Error) -> Self {
+        PdbError::Io(e.to_string())
     }
 }
 

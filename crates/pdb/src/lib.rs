@@ -48,7 +48,11 @@ pub mod table;
 pub mod value;
 
 pub use catalog::Database;
-pub use csv::{table_from_csv, table_to_csv, tuple_source_from_csv, CsvOptions};
+pub use csv::{
+    shard_sources_from_csv, table_from_csv, table_to_csv, tuple_source_from_csv,
+    tuple_source_from_csv_path, tuple_source_from_csv_spilled, CsvOptions, SpillOptions,
+    SpilledSource,
+};
 pub use error::{PdbError, Result};
 pub use expr::{BinaryOp, Expr};
 pub use parser::parse_expression;

@@ -48,6 +48,9 @@ pub enum Error {
     },
     /// A query or algorithm parameter was invalid (for example `k = 0`).
     InvalidParameter(String),
+    /// A streaming [`TupleSource`](crate::TupleSource) failed to produce its
+    /// next tuple (I/O failure, corrupt spill run, broken connection, …).
+    Source(String),
 }
 
 impl fmt::Display for Error {
@@ -75,6 +78,7 @@ impl fmt::Display for Error {
                 "possible-world enumeration would produce {worlds} worlds, more than the limit {limit}"
             ),
             Error::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            Error::Source(msg) => write!(f, "tuple source error: {msg}"),
         }
     }
 }

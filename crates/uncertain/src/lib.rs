@@ -21,6 +21,10 @@
 //! * [`TupleSource`] — a rank-ordered streaming view of uncertain tuples
 //!   (with ME-group metadata) that lets the `ttk-core` scan executor stop at
 //!   the Theorem-2 bound without ever materializing a full table.
+//! * [`MergeSource`] — a loser-tree k-way merge fusing per-shard rank-ordered
+//!   sources into one stream, so a scan can span partitions (shard files,
+//!   external-sort spill runs) while reading at most one look-ahead tuple
+//!   per shard.
 //!
 //! The production algorithms that *compute* score distributions and
 //! c-Typical-Topk answers live in the `ttk-core` crate; this crate is the
@@ -49,6 +53,7 @@
 #![forbid(unsafe_code)]
 
 pub mod error;
+pub mod merge;
 pub mod pmf;
 pub mod probability;
 pub mod source;
@@ -58,11 +63,14 @@ pub mod vector;
 pub mod worlds;
 
 pub use error::{Error, Result};
+pub use merge::{partition_round_robin, MergeSource};
 pub use pmf::{
     scores_equal, CoalescePolicy, DistributionPoint, Histogram, ScoreDistribution, VectorWitness,
 };
 pub use probability::{Probability, PROBABILITY_EPSILON};
-pub use source::{CountingSource, GroupKey, SourceTuple, TableSource, TupleSource, VecSource};
+pub use source::{
+    CountingSource, GroupKey, PullCounter, SourceTuple, TableSource, TupleSource, VecSource,
+};
 pub use table::{UncertainTable, UncertainTableBuilder};
 pub use tuple::{TupleId, UncertainTuple};
 pub use vector::TopkVector;

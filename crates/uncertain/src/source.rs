@@ -78,6 +78,26 @@ pub trait TupleSource {
     }
 }
 
+impl<T: TupleSource + ?Sized> TupleSource for Box<T> {
+    fn next_tuple(&mut self) -> Result<Option<SourceTuple>> {
+        (**self).next_tuple()
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        (**self).size_hint()
+    }
+}
+
+impl<T: TupleSource + ?Sized> TupleSource for &mut T {
+    fn next_tuple(&mut self) -> Result<Option<SourceTuple>> {
+        (**self).next_tuple()
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        (**self).size_hint()
+    }
+}
+
 /// A [`TupleSource`] borrowing an in-memory [`UncertainTable`].
 #[derive(Debug, Clone)]
 pub struct TableSource<'a> {
@@ -180,27 +200,61 @@ impl UncertainTable {
     }
 }
 
+/// A shareable pull counter: a cloneable handle onto the number of tuples a
+/// [`CountingSource`] has served.
+///
+/// Sharded scans hand their per-shard [`CountingSource`]s to a
+/// [`MergeSource`](crate::merge::MergeSource), which takes ownership — so the
+/// counts must be observable from *outside* the source. Cloning the handle
+/// (via [`CountingSource::counter`]) before the source is consumed keeps the
+/// per-shard read-bound assertion (≤ 1 tuple past each shard's contribution
+/// to the Theorem-2 prefix) testable.
+#[derive(Debug, Clone, Default)]
+pub struct PullCounter(std::sync::Arc<std::sync::atomic::AtomicUsize>);
+
+impl PullCounter {
+    /// Number of tuples pulled so far.
+    pub fn get(&self) -> usize {
+        self.0.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    fn increment(&self) {
+        self.0.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+}
+
 /// A [`TupleSource`] decorator counting how many tuples the consumer pulled.
 ///
 /// The streaming executor promises to read at most one tuple past the
 /// Theorem-2 prefix (the single look-ahead needed to observe a tie-group
 /// boundary); wrapping a source in a `CountingSource` turns that promise into
-/// a testable assertion.
+/// a testable assertion. Under a sharded scan each shard gets its own
+/// `CountingSource`, and the shared [`PullCounter`] handle keeps the count
+/// observable after the merge takes ownership of the source.
 #[derive(Debug)]
 pub struct CountingSource<S> {
     inner: S,
-    pulled: usize,
+    counter: PullCounter,
 }
 
 impl<S: TupleSource> CountingSource<S> {
     /// Wraps `inner`.
     pub fn new(inner: S) -> Self {
-        CountingSource { inner, pulled: 0 }
+        CountingSource {
+            inner,
+            counter: PullCounter::default(),
+        }
     }
 
     /// Number of tuples pulled from the underlying source so far.
     pub fn pulled(&self) -> usize {
-        self.pulled
+        self.counter.get()
+    }
+
+    /// A cloneable handle onto the pull count, usable after this source has
+    /// been moved into a merge or an executor.
+    pub fn counter(&self) -> PullCounter {
+        self.counter.clone()
     }
 
     /// Unwraps the decorator.
@@ -213,7 +267,7 @@ impl<S: TupleSource> TupleSource for CountingSource<S> {
     fn next_tuple(&mut self) -> Result<Option<SourceTuple>> {
         let t = self.inner.next_tuple()?;
         if t.is_some() {
-            self.pulled += 1;
+            self.counter.increment();
         }
         Ok(t)
     }
