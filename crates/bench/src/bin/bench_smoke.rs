@@ -17,7 +17,7 @@
 use std::time::Instant;
 
 use ttk_bench::{evaluation_area, P_TAU};
-use ttk_core::{execute, scan_depth, RankScan, ScanGate, TopkQuery};
+use ttk_core::{scan_depth, Dataset, RankScan, ScanGate, Session, TopkQuery};
 use ttk_uncertain::{MergeSource, TableSource};
 
 /// Segments of the smoke dataset — an order of magnitude below the paper's
@@ -96,8 +96,12 @@ fn main() {
     }
     // The end-to-end query costs seconds per run — a handful of iterations
     // is plenty for trend tracking.
+    let dataset = Dataset::table(table.clone());
+    let mut session = Session::new();
     samples.push(measure("query/main/k5", 3, || {
-        execute(table, &TopkQuery::new(5).with_u_topk(false)).unwrap()
+        session
+            .execute(&dataset, &TopkQuery::new(5).with_u_topk(false))
+            .unwrap()
     }));
 
     // Hand-rolled JSON: the workspace has no serde (offline build).

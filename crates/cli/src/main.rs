@@ -5,27 +5,28 @@
 //!
 //! * `ttk generate cartel|synthetic [options]` — write a CSV dataset to
 //!   stdout (or `--out FILE`).
-//! * `ttk query --file data.csv --score EXPR --k K [options]` — run a top-k
-//!   distribution query over a CSV file and print the histogram, the typical
-//!   answers and the U-Topk comparison point.
+//! * `ttk query DATA.csv --score EXPR --k K [options]` — run a top-k
+//!   distribution query over a CSV relation and print the histogram, the
+//!   typical answers and the U-Topk comparison point. Every input form
+//!   (positional/`--file` single file, repeatable `--shard`, out-of-core
+//!   `--spill-buffer`) resolves to one `Dataset` served by one `Session`.
+//! * `ttk explain DATA.csv --score EXPR [--k K]` — print the execution plan
+//!   (chosen scan path, row/depth/cost estimates) without running the query.
 //! * `ttk soldier` — print the paper's toy example end to end.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
 
 use ttk_core::{
-    execute, execute_batch, execute_batch_sources, Algorithm, BatchJob, Executor, SourceBatchJob,
-    TopkQuery,
+    Algorithm, BatchOptions, Dataset, PlanDescription, QueryJob, ScanPath, Session, TopkQuery,
 };
 use ttk_datagen::cartel::{generate_area, CartelConfig};
 use ttk_datagen::soldier;
 use ttk_datagen::synthetic::{generate, IntRange, MePolicy, SyntheticConfig};
 use ttk_pdb::{
-    parse_expression, run_distribution_query, shard_sources_from_csv, table_from_csv, table_to_csv,
-    tuple_source_from_csv_path, CsvOptions, DataType, DistributionQuery, PTable, Schema,
-    SpillOptions,
+    parse_expression, table_to_csv, CsvDataset, CsvOptions, DataType, PTable, Schema, SpillOptions,
 };
-use ttk_uncertain::{ScoreDistribution, TupleSource};
+use ttk_uncertain::ScoreDistribution;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -45,19 +46,29 @@ fn usage() -> &'static str {
   ttk soldier
   ttk generate cartel   [--segments N] [--seed S] [--out FILE] [--shards N]
   ttk generate synthetic [--tuples N] [--rho R] [--sigma S] [--me-size LO:HI] [--me-gap LO:HI] [--seed S] [--out FILE] [--shards N]
-  ttk query (--file data.csv | --shard s0.csv --shard s1.csv ...) --score EXPR --k K
-            [--c C] [--p-tau P] [--max-lines N] [--algorithm main|per-ending|state-expansion|k-combo]
-            [--prob-column NAME] [--group-column NAME] [--buckets N]
-            [--batch KS] [--threads N] [--spill-buffer TUPLES]
+  ttk query   (DATA.csv | --file DATA.csv | --shard s0.csv --shard s1.csv ...)
+              --score EXPR --k K
+              [--c C] [--p-tau P] [--max-lines N] [--algorithm main|per-ending|state-expansion|k-combo]
+              [--prob-column NAME] [--group-column NAME] [--buckets N]
+              [--batch KS] [--threads N] [--spill-buffer TUPLES]
+  ttk explain (DATA.csv | --file DATA.csv | --shard ...) --score EXPR [--k K]
+              [--p-tau P] [--algorithm ...] [--spill-buffer TUPLES]
+
+  Every input form resolves to one dataset: a single CSV file (positional or
+  --file), the shard files of one partitioned relation (--shard, repeatable;
+  scanned under a k-way merge), or an out-of-core scan (--spill-buffer T
+  external-sorts a single file through runs of at most T tuples spilled to
+  temp files). Exactly one form may be given.
 
   --batch KS runs one query per k in KS (comma list `1,5,10` or range
-  `LO:HI`) through the parallel batch executor and prints a summary table;
-  --k is ignored when --batch is given.
+  `LO:HI`) through the cost-ordered parallel batch executor and prints a
+  summary table; --k is ignored when --batch is given. Batches work on every
+  dataset kind — a spilled file is sorted once and its runs are replayed per
+  job.
 
-  generate --shards N writes one CSV per shard (FILE.shardI.csv); query
-  --shard (repeatable) scans the shard files as one logical relation under a
-  k-way merge; query --spill-buffer T external-sorts a --file through runs
-  of at most T tuples spilled to temp files (out-of-core scan)."
+  explain prints the chosen scan path and the scheduler's row/depth/cost
+  estimates without executing; generate --shards N writes one CSV per shard
+  (FILE.shardI.csv)."
 }
 
 /// Parsed `--key value` flags; repeated flags accumulate in order.
@@ -122,6 +133,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "soldier" => cmd_soldier(),
         "generate" => cmd_generate(rest),
         "query" => cmd_query(rest),
+        "explain" => cmd_explain(rest),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
@@ -132,8 +144,11 @@ fn run(args: &[String]) -> Result<(), String> {
 
 fn cmd_soldier() -> Result<(), String> {
     let table = soldier::table().map_err(|e| e.to_string())?;
+    let dataset = Dataset::table(table).with_label("soldier (Figure 1)");
     let query = TopkQuery::new(2).with_p_tau(1e-9).with_max_lines(0);
-    let answer = execute(&table, &query).map_err(|e| e.to_string())?;
+    let answer = Session::new()
+        .execute(&dataset, &query)
+        .map_err(|e| e.to_string())?;
     println!("The soldier-monitoring example of the paper (k = 2):");
     print_histogram(&answer.distribution, 14, &markers(&answer));
     print_answer_summary(&answer);
@@ -301,14 +316,153 @@ fn parse_k_list(raw: &str) -> Result<Vec<usize>, String> {
     Ok(ks)
 }
 
-fn cmd_query(args: &[String]) -> Result<(), String> {
-    let (_, flags) = parse_flags(args)?;
-    let shard_files: Vec<String> = flags.get("shard").cloned().unwrap_or_default();
-    let file = get(&flags, "file");
-    if file.is_some() != shard_files.is_empty() {
-        return Err("exactly one of --file or --shard (repeatable) is required".to_string());
+/// The query-shape flags shared by `ttk query` and `ttk explain`.
+struct QuerySpec {
+    topk: TopkQuery,
+    expression_text: String,
+}
+
+/// Parses the query-parameter flags (everything except the input form).
+fn parse_query_spec(flags: &Flags, k: usize) -> Result<QuerySpec, String> {
+    let score = get(flags, "score").ok_or("--score is required")?;
+    let c = get_parse(flags, "c", 3usize)?;
+    let p_tau = get_parse(flags, "p-tau", 1e-3f64)?;
+    let max_lines = get_parse(flags, "max-lines", 200usize)?;
+    let algorithm = match get(flags, "algorithm") {
+        None | Some("main") => Algorithm::Main,
+        Some("per-ending") => Algorithm::MainPerEnding,
+        Some("state-expansion") => Algorithm::StateExpansion,
+        Some("k-combo") => Algorithm::KCombo,
+        Some(other) => return Err(format!("unknown algorithm `{other}`")),
+    };
+    Ok(QuerySpec {
+        topk: TopkQuery::new(k)
+            .with_typical_count(c)
+            .with_p_tau(p_tau)
+            .with_max_lines(max_lines)
+            .with_algorithm(algorithm),
+        expression_text: score.to_string(),
+    })
+}
+
+/// The CSV metadata-column options from the shared flags.
+fn parse_csv_options(flags: &Flags) -> CsvOptions {
+    CsvOptions {
+        probability_column: get(flags, "prob-column")
+            .unwrap_or("probability")
+            .to_string(),
+        group_column: Some(
+            get(flags, "group-column")
+                .unwrap_or("group_key")
+                .to_string(),
+        ),
     }
-    let score = get(&flags, "score").ok_or("--score is required")?;
+}
+
+/// Resolves the input flags of `query`/`explain` to exactly one [`Dataset`].
+///
+/// The three input forms — a single CSV file (positional or `--file`), a
+/// shard set (repeatable `--shard`), and the out-of-core scan of a single
+/// file (`--spill-buffer`) — are mutually constrained; any conflicting
+/// combination is rejected with one error naming the dataset kind each flag
+/// resolves to.
+fn resolve_dataset(
+    positional: &[String],
+    flags: &Flags,
+    csv_options: &CsvOptions,
+    score: &str,
+) -> Result<Dataset, String> {
+    let shard_files: Vec<String> = flags.get("shard").cloned().unwrap_or_default();
+    let flag_file = get(flags, "file");
+    if positional.len() > 1 {
+        return Err(format!(
+            "unexpected extra positional arguments {:?}: a query scans one dataset — pass a \
+             single CSV file, or use --shard (repeatable) for the shard files of one \
+             partitioned relation",
+            &positional[1..]
+        ));
+    }
+    let positional_file = positional.first().map(String::as_str);
+    let spill_buffer = get_parse(flags, "spill-buffer", 0usize)?;
+    let expression = parse_expression(score).map_err(|e| e.to_string())?;
+
+    if let (Some(p), Some(f)) = (positional_file, flag_file) {
+        return Err(format!(
+            "conflicting input flags: the positional argument `{p}` and --file `{f}` both \
+             resolve to a single-file CSV dataset; pass the file once"
+        ));
+    }
+    let file = flag_file.or(positional_file);
+    match (file, shard_files.is_empty()) {
+        (Some(file), false) => Err(format!(
+            "conflicting input flags: `{file}` resolves to a single-file CSV dataset, but \
+             --shard was also given ({} shard files resolving to a sharded CSV dataset); \
+             pass exactly one input form",
+            shard_files.len()
+        )),
+        (None, true) => {
+            Err("no input: pass a CSV file (positional or --file) or --shard files".to_string())
+        }
+        (Some(file), true) => {
+            let dataset = CsvDataset::from_path(file, csv_options.clone(), expression);
+            Ok(if spill_buffer > 0 {
+                dataset
+                    .with_spill(SpillOptions::with_run_buffer(spill_buffer))
+                    .map_err(|e| e.to_string())?
+                    .into_dataset()
+            } else {
+                dataset.into_dataset()
+            })
+        }
+        (None, false) => {
+            if spill_buffer > 0 {
+                return Err(format!(
+                    "conflicting input flags: --spill-buffer configures the external sort of \
+                     a single-file CSV dataset, but the input resolved to a sharded CSV \
+                     dataset ({} --shard files, loaded as in-memory shard streams); drop \
+                     --spill-buffer or pass a single file",
+                    shard_files.len()
+                ));
+            }
+            Ok(
+                CsvDataset::from_shard_paths(shard_files, csv_options.clone(), expression)
+                    .into_dataset(),
+            )
+        }
+    }
+}
+
+/// One line summarising what was scanned, from the post-execution plan.
+fn describe_scan(plan: &PlanDescription) -> String {
+    let rows = plan
+        .rows
+        .map(|r| r.to_string())
+        .unwrap_or_else(|| "?".to_string());
+    match plan.path {
+        ScanPath::InMemory => format!("{rows} rows (in-memory table) from {}", plan.dataset),
+        ScanPath::Stream => format!("{rows} rows loaded from {}", plan.dataset),
+        ScanPath::MergedShards { shards } => {
+            format!(
+                "{rows} rows loaded from {} ({shards} shard streams)",
+                plan.dataset
+            )
+        }
+        ScanPath::SpilledRuns {
+            runs: Some(runs),
+            spilled: Some(spilled),
+            ..
+        } => format!(
+            "{rows} rows external-sorted from {} into {runs} runs ({spilled} spilled to disk)",
+            plan.dataset
+        ),
+        ScanPath::SpilledRuns { .. } => {
+            format!("{rows} rows from {} (external sort pending)", plan.dataset)
+        }
+    }
+}
+
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let (positional, flags) = parse_flags(args)?;
     let k = get_parse(&flags, "k", 0usize)?;
     let batch_ks = match get(&flags, "batch") {
         Some(raw) => Some(parse_k_list(raw)?),
@@ -317,157 +471,55 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     if k == 0 && batch_ks.is_none() {
         return Err("--k (or --batch) is required and must be at least 1".to_string());
     }
-    let c = get_parse(&flags, "c", 3usize)?;
-    let p_tau = get_parse(&flags, "p-tau", 1e-3f64)?;
-    let max_lines = get_parse(&flags, "max-lines", 200usize)?;
+    let spec = parse_query_spec(&flags, k.max(1))?;
     let buckets = get_parse(&flags, "buckets", 16usize)?;
     let threads = get_parse(&flags, "threads", 0usize)?;
-    let spill_buffer = get_parse(&flags, "spill-buffer", 0usize)?;
-    let algorithm = match get(&flags, "algorithm") {
-        None | Some("main") => Algorithm::Main,
-        Some("per-ending") => Algorithm::MainPerEnding,
-        Some("state-expansion") => Algorithm::StateExpansion,
-        Some("k-combo") => Algorithm::KCombo,
-        Some(other) => return Err(format!("unknown algorithm `{other}`")),
-    };
-    let topk = |k: usize| {
-        TopkQuery::new(k)
-            .with_typical_count(c)
-            .with_p_tau(p_tau)
-            .with_max_lines(max_lines)
-            .with_algorithm(algorithm)
-    };
-    let csv_options = CsvOptions {
-        probability_column: get(&flags, "prob-column")
-            .unwrap_or("probability")
-            .to_string(),
-        group_column: Some(
-            get(&flags, "group-column")
-                .unwrap_or("group_key")
-                .to_string(),
-        ),
-    };
-
-    // Sharded inputs: per-shard rank-ordered sources under a k-way merge.
-    if !shard_files.is_empty() {
-        if spill_buffer > 0 {
-            return Err(
-                "--spill-buffer applies to a single --file scan; --shard files are loaded \
-                 as in-memory shard streams (split larger inputs into more shards instead)"
-                    .to_string(),
-            );
-        }
-        let expression = parse_expression(score).map_err(|e| e.to_string())?;
-        let texts: Vec<String> = shard_files
-            .iter()
-            .map(|f| std::fs::read_to_string(f).map_err(|e| format!("cannot read {f}: {e}")))
-            .collect::<Result<_, _>>()?;
-        let shard_texts: Vec<&str> = texts.iter().map(String::as_str).collect();
-        let shards = shard_sources_from_csv(&shard_texts, &csv_options, &expression)
-            .map_err(|e| e.to_string())?;
-        let rows: usize = shards.iter().map(|s| s.remaining()).sum();
-        println!(
-            "{rows} rows loaded from {} shard files; scoring expression: {expression}",
-            shards.len()
-        );
-        if let Some(ks) = batch_ks {
-            // Sources are single-pass, so every batch job gets its own clone
-            // of the shard streams.
-            let jobs: Vec<SourceBatchJob> = ks
-                .iter()
-                .map(|&batch_k| {
-                    SourceBatchJob::new(
-                        shards
-                            .iter()
-                            .cloned()
-                            .map(|s| Box::new(s) as Box<dyn TupleSource + Send>)
-                            .collect(),
-                        topk(batch_k),
-                    )
-                })
-                .collect();
-            let started = std::time::Instant::now();
-            let answers = execute_batch_sources(jobs, threads);
-            print_batch_summary(&ks, &answers, started.elapsed(), threads);
-        } else {
-            let answer = Executor::new()
-                .execute_shards(shards, &topk(k))
-                .map_err(|e| e.to_string())?;
-            print_histogram(&answer.distribution, buckets, &markers(&answer));
-            print_answer_summary(&answer);
-        }
-        return Ok(());
-    }
-
-    let file = file.expect("checked above");
-
-    // Out-of-core single file: external-sort runs under a k-way merge.
-    if spill_buffer > 0 {
-        if batch_ks.is_some() {
-            return Err(
-                "--spill-buffer streams its input once and cannot drive --batch; \
-                 split the file with `generate --shards` and use --shard instead"
-                    .to_string(),
-            );
-        }
-        let expression = parse_expression(score).map_err(|e| e.to_string())?;
-        let mut source = tuple_source_from_csv_path(
-            std::path::Path::new(file),
-            &csv_options,
-            &expression,
-            &SpillOptions::with_run_buffer(spill_buffer),
-        )
-        .map_err(|e| e.to_string())?;
-        println!(
-            "{} rows external-sorted from {file} into {} runs ({} spilled to disk); \
-             scoring expression: {expression}",
-            source.len(),
-            source.run_count(),
-            source.spilled_run_count()
-        );
-        let answer = Executor::new()
-            .execute_source(&mut source, &topk(k))
-            .map_err(|e| e.to_string())?;
-        print_histogram(&answer.distribution, buckets, &markers(&answer));
-        print_answer_summary(&answer);
-        return Ok(());
-    }
-
-    let text = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
-    let table = table_from_csv("data", &text, &csv_options).map_err(|e| e.to_string())?;
+    let csv_options = parse_csv_options(&flags);
+    let dataset = resolve_dataset(&positional, &flags, &csv_options, &spec.expression_text)?;
+    let mut session = Session::new();
 
     if let Some(ks) = batch_ks {
-        let expression = parse_expression(score).map_err(|e| e.to_string())?;
-        let uncertain = table
-            .to_uncertain_table(&expression)
-            .map_err(|e| e.to_string())?;
-        let jobs: Vec<BatchJob> = ks
+        let jobs: Vec<QueryJob> = ks
             .iter()
-            .map(|&batch_k| BatchJob::new(&uncertain, topk(batch_k)))
+            .map(|&batch_k| QueryJob::new(&dataset, spec.topk.with_k(batch_k)))
             .collect();
         let started = std::time::Instant::now();
-        let answers = execute_batch(&jobs, threads);
+        let answers = session.execute_batch(&jobs, &BatchOptions::new().with_threads(threads));
+        let plan = session.explain(&dataset, &spec.topk);
         println!(
-            "{} rows loaded from {file}; scoring expression: {expression}",
-            table.len()
+            "{}; scoring expression: {}",
+            describe_scan(&plan),
+            spec.expression_text
         );
         print_batch_summary(&ks, &answers, started.elapsed(), threads);
         return Ok(());
     }
 
-    let query = DistributionQuery::new(score, k).with_topk(topk(k));
-    let result = run_distribution_query(&table, &query).map_err(|e| e.to_string())?;
+    let answer = session
+        .execute(&dataset, &spec.topk)
+        .map_err(|e| e.to_string())?;
+    let plan = session.explain(&dataset, &spec.topk);
     println!(
-        "{} rows loaded from {file}; scoring expression: {}",
-        table.len(),
-        result.score_expression
+        "{}; scoring expression: {}",
+        describe_scan(&plan),
+        spec.expression_text
     );
-    print_histogram(
-        &result.answer.distribution,
-        buckets,
-        &markers(&result.answer),
-    );
-    print_answer_summary(&result.answer);
+    print_histogram(&answer.distribution, buckets, &markers(&answer));
+    print_answer_summary(&answer);
+    Ok(())
+}
+
+fn cmd_explain(args: &[String]) -> Result<(), String> {
+    let (positional, flags) = parse_flags(args)?;
+    let k = get_parse(&flags, "k", 1usize)?;
+    if k == 0 {
+        return Err("--k must be at least 1".to_string());
+    }
+    let spec = parse_query_spec(&flags, k)?;
+    let csv_options = parse_csv_options(&flags);
+    let dataset = resolve_dataset(&positional, &flags, &csv_options, &spec.expression_text)?;
+    let plan = Session::new().explain(&dataset, &spec.topk);
+    println!("{plan}");
     Ok(())
 }
 
@@ -732,17 +784,32 @@ mod tests {
         let mut batch = query_args.clone();
         batch.extend(s(&["--batch", "1:4", "--threads", "2"]));
         run(&batch).unwrap();
-        // --file and --shard are mutually exclusive; neither is an error too.
+        // --file and --shard conflict, with an error naming both dataset kinds.
         let mut both = single.clone();
         both.extend(s(&["--file", &path]));
-        assert!(run(&both).is_err());
-        // --spill-buffer applies to --file only, never silently ignored.
+        let err = run(&both).unwrap_err();
+        assert!(err.contains("single-file CSV dataset"), "{err}");
+        assert!(err.contains("sharded CSV dataset"), "{err}");
+        // --spill-buffer applies to a single file only, never silently ignored.
         let mut spill = single.clone();
         spill.extend(s(&["--spill-buffer", "64"]));
-        assert!(run(&spill).is_err());
+        let err = run(&spill).unwrap_err();
+        assert!(err.contains("sharded CSV dataset"), "{err}");
+        // A positional file and --file together are ambiguous.
+        let err = run(&s(&[
+            "query", &path, "--file", &path, "--score", "delay", "--k", "2",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("pass the file once"), "{err}");
         assert!(run(&s(&["query", "--score", "delay", "--k", "2"])).is_err());
         // --shards without --out is rejected.
         assert!(run(&s(&["generate", "cartel", "--shards", "2"])).is_err());
+        // explain works over the shard set without executing.
+        let mut explain = s(&["explain", "--score", "speed_limit / (length / delay)"]);
+        for p in &shard_paths {
+            explain.extend(s(&["--shard", p]));
+        }
+        run(&explain).unwrap();
         for p in &shard_paths {
             std::fs::remove_file(p).ok();
         }
@@ -776,8 +843,9 @@ mod tests {
             "16",
         ]))
         .unwrap();
-        // The spilled scan is single-pass: --batch is rejected with guidance.
-        assert!(run(&s(&[
+        // The spill index is replayable, so --batch works over a spilled
+        // file: the external sort runs once and every job replays the runs.
+        run(&s(&[
             "query",
             "--file",
             &path,
@@ -788,7 +856,19 @@ mod tests {
             "--spill-buffer",
             "16",
         ]))
-        .is_err());
+        .unwrap();
+        // explain over the spilled dataset reports the external-sort path.
+        run(&s(&[
+            "explain",
+            &path,
+            "--score",
+            "delay",
+            "--k",
+            "3",
+            "--spill-buffer",
+            "16",
+        ]))
+        .unwrap();
         std::fs::remove_file(&data).ok();
     }
 
@@ -818,6 +898,19 @@ mod tests {
             "3",
         ]))
         .unwrap();
+        // The positional input form resolves to the same single-file dataset.
+        run(&s(&[
+            "query",
+            &path,
+            "--score",
+            "speed_limit / (length / delay)",
+            "--k",
+            "3",
+        ]))
+        .unwrap();
+        // explain prints the plan without executing.
+        run(&s(&["explain", &path, "--score", "delay", "--k", "3"])).unwrap();
+        assert!(run(&s(&["explain", &path, "--score", "delay", "--k", "0"])).is_err());
         // Missing required flags are reported as errors.
         assert!(run(&s(&["query", "--file", &path])).is_err());
         assert!(run(&s(&["query", "--file", &path, "--score", "delay"])).is_err());

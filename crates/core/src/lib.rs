@@ -17,15 +17,19 @@
 //! * [`typical`] — the c-Typical-Topk selection dynamic program of §4.
 //! * [`baselines`] — the comparator semantics U-Topk, U-kRanks and PT-k, and
 //!   exhaustive possible-world ground truth.
-//! * [`query`] — a high-level API ([`TopkQuery`] / [`execute`]) running the
-//!   complete pipeline, used by the examples, the CLI and `ttk-pdb`; the
-//!   reusable [`Executor`] and the parallel [`execute_batch`] serve many
-//!   queries without per-query allocation.
+//! * [`session`] — the unified execution API: a [`Dataset`] abstracts every
+//!   physical input (in-memory table, owned stream, shard set, CSV via
+//!   `ttk-pdb`, generator closure) behind one `open()`, and a [`Session`]
+//!   exposes exactly three verbs — `execute`, `execute_batch` (cost-ordered,
+//!   optionally bounded-result-memory) and `explain`.
+//! * [`query`] — the query model ([`TopkQuery`], [`QueryAnswer`]) and the
+//!   reusable [`Executor`] engine the session drives; the per-shape entry
+//!   points of earlier releases survive here as thin deprecated wrappers.
 //!
 //! ## Quick start
 //!
 //! ```
-//! use ttk_core::{execute, TopkQuery};
+//! use ttk_core::{Dataset, Session, TopkQuery};
 //! use ttk_uncertain::UncertainTable;
 //!
 //! // The soldier-monitoring example of the paper (Figure 1).
@@ -41,7 +45,10 @@
 //!     .me_rule([3u64, 6])
 //!     .build()?;
 //!
-//! let answer = execute(&table, &TopkQuery::new(2).with_p_tau(1e-9).with_max_lines(0))?;
+//! let dataset = Dataset::table(table);
+//! let mut session = Session::new();
+//! let query = TopkQuery::new(2).with_p_tau(1e-9).with_max_lines(0);
+//! let answer = session.execute(&dataset, &query)?;
 //! // The U-Top2 answer has score 118, far below the expected top-2 score.
 //! assert!((answer.expected_score() - 164.1).abs() < 0.05);
 //! assert_eq!(answer.typical.scores(), vec![118.0, 183.0, 235.0]);
@@ -57,6 +64,7 @@ pub mod k_combo;
 pub mod query;
 pub mod scan;
 pub mod scan_depth;
+pub mod session;
 pub mod state_expansion;
 pub mod typical;
 
@@ -66,12 +74,17 @@ pub use dp::{
     topk_score_distribution_streamed, MainConfig, MainOutput, MeStrategy,
 };
 pub use k_combo::{k_combo, k_combo_streamed};
+#[allow(deprecated)]
 pub use query::{
     execute, execute_batch, execute_batch_sources, Algorithm, BatchJob, Executor, QueryAnswer,
     SourceBatchJob, TopkQuery,
 };
 pub use scan::{RankScan, ScanPrefix};
 pub use scan_depth::{scan_depth, stopping_threshold, ScanGate};
+pub use session::{
+    cost_descending_order, estimated_cost, estimated_scan_depth, BatchOptions, BatchOrdering,
+    Dataset, DatasetPlan, DatasetProvider, PlanDescription, QueryJob, ScanPath, Session,
+};
 pub use state_expansion::{state_expansion, state_expansion_streamed, BaselineOutput, NaiveConfig};
 pub use typical::{typical_topk, typical_topk_brute_force, TypicalAnswer, TypicalSelection};
 

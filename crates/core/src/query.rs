@@ -11,11 +11,16 @@
 //! input — an in-memory table or any [`TupleSource`] — is pulled through a
 //! Theorem-2 [`ScanGate`] by the rank-scan executor, and only the admitted
 //! prefix reaches the algorithm. The [`Executor`] owns the scan's scratch
-//! buffers so serving many queries does not reallocate per query, and
-//! [`execute_batch`] fans a batch of independent queries out across threads
-//! with results identical to sequential execution.
+//! buffers so serving many queries does not reallocate per query.
+//!
+//! **Use the unified API.** The per-shape entry points of earlier releases
+//! (the free [`execute`], [`Executor::execute_source`],
+//! [`Executor::execute_shards`], [`execute_batch`],
+//! [`execute_batch_sources`]) are deprecated thin wrappers kept for one
+//! release: wrap the input in a [`Dataset`] and run it through a
+//! [`Session`] instead — one seam for every physical input, with
+//! plan-once/run-many caching, cost-ordered batches and `explain`.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -30,8 +35,13 @@ use crate::dp::{topk_from_prefix, MainConfig, MeStrategy};
 use crate::k_combo::k_combo_on_prefix;
 use crate::scan::RankScan;
 use crate::scan_depth::ScanGate;
+use crate::session::fan_out;
 use crate::state_expansion::{state_expansion_on_prefix, NaiveConfig};
 use crate::typical::{typical_topk, TypicalSelection};
+
+// The unified execution API lives in [`crate::session`]; re-exported here so
+// the successor types sit next to the entry points they replace.
+pub use crate::session::{Dataset, Session};
 
 /// Which algorithm computes the score distribution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -88,6 +98,13 @@ impl TopkQuery {
             compute_u_topk: true,
             world_limit: 1 << 22,
         }
+    }
+
+    /// Sets the query size k (handy for fanning one parameter set across a
+    /// batch of k values).
+    pub fn with_k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
     }
 
     /// Sets the number of typical answers.
@@ -208,7 +225,7 @@ impl Executor {
     /// worlds for the exhaustive algorithm, …).
     pub fn execute(&mut self, table: &UncertainTable, query: &TopkQuery) -> Result<QueryAnswer> {
         let mut source = TableSource::new(table);
-        self.execute_inner(&mut source, query, Some(table))
+        self.run_source(&mut source, query, Some(table))
     }
 
     /// Executes a query against a rank-ordered [`TupleSource`].
@@ -223,12 +240,16 @@ impl Executor {
     /// # Errors
     ///
     /// As [`Executor::execute`], plus any error the source reports.
+    #[deprecated(
+        since = "0.2.0",
+        note = "wrap the source in `Dataset::stream` and use `Session::execute`"
+    )]
     pub fn execute_source(
         &mut self,
         source: &mut dyn TupleSource,
         query: &TopkQuery,
     ) -> Result<QueryAnswer> {
-        self.execute_inner(source, query, None)
+        self.run_source(source, query, None)
     }
 
     /// Executes a query against the shards of a **partitioned relation**:
@@ -245,16 +266,34 @@ impl Executor {
     ///
     /// As [`Executor::execute_source`], plus order-validation errors when a
     /// shard stream is not rank-ordered.
+    #[deprecated(
+        since = "0.2.0",
+        note = "wrap the shards in `Dataset::shards` and use `Session::execute`"
+    )]
     pub fn execute_shards<S: TupleSource>(
         &mut self,
         shards: Vec<S>,
         query: &TopkQuery,
     ) -> Result<QueryAnswer> {
-        let mut merged = MergeSource::new(shards);
-        self.execute_inner(&mut merged, query, None)
+        self.run_shards(shards, query)
     }
 
-    fn execute_inner(
+    /// Non-deprecated kernel of [`Executor::execute_shards`], shared with the
+    /// session and batch paths.
+    pub(crate) fn run_shards<S: TupleSource>(
+        &mut self,
+        shards: Vec<S>,
+        query: &TopkQuery,
+    ) -> Result<QueryAnswer> {
+        let mut merged = MergeSource::new(shards);
+        self.run_source(&mut merged, query, None)
+    }
+
+    /// Non-deprecated kernel of the streaming execution path: pulls `source`
+    /// through the Theorem-2 gate and runs the selected algorithm on the
+    /// admitted prefix. `full_table` enables the direct U-Topk search when
+    /// the caller holds the materialized table.
+    pub(crate) fn run_source(
         &mut self,
         source: &mut dyn TupleSource,
         query: &TopkQuery,
@@ -353,13 +392,17 @@ impl Executor {
 /// Executes a [`TopkQuery`] against an uncertain table.
 ///
 /// One-shot convenience over [`Executor::execute`]; long-lived callers should
-/// hold an [`Executor`] to reuse its scratch buffers.
+/// hold a [`Session`] (or an [`Executor`]) to reuse its scratch buffers.
 ///
 /// # Errors
 ///
 /// Propagates parameter validation errors from the underlying algorithms
 /// (`k == 0`, pτ out of range, `typical_count == 0`, too many possible
 /// worlds for the exhaustive algorithm, …).
+#[deprecated(
+    since = "0.2.0",
+    note = "wrap the table in `Dataset::table` and use `Session::execute`"
+)]
 pub fn execute(table: &UncertainTable, query: &TopkQuery) -> Result<QueryAnswer> {
     Executor::new().execute(table, query)
 }
@@ -387,46 +430,31 @@ impl<'a> BatchJob<'a> {
 /// the jobs it claims. Jobs are deterministic and independent, so the result
 /// vector — indexed like `jobs` — is identical to running every job
 /// sequentially, regardless of how the workers interleave.
+#[deprecated(
+    since = "0.2.0",
+    note = "build `QueryJob`s over a shared `Dataset::table` and use `Session::execute_batch` \
+            (cost-ordered, with an optional bounded-result-memory sink)"
+)]
 pub fn execute_batch(jobs: &[BatchJob<'_>], threads: usize) -> Vec<Result<QueryAnswer>> {
-    let threads = resolve_threads(threads, jobs.len());
-
-    if threads <= 1 || jobs.len() <= 1 {
-        let mut executor = Executor::new();
-        return jobs
-            .iter()
-            .map(|job| executor.execute(job.table, &job.query))
-            .collect();
-    }
-
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<Result<QueryAnswer>>>> =
-        jobs.iter().map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| {
-                let mut executor = Executor::new();
-                loop {
-                    let index = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(job) = jobs.get(index) else { break };
-                    let answer = executor.execute(job.table, &job.query);
-                    *slots[index].lock().expect("result slot poisoned") = Some(answer);
-                }
-            });
-        }
-    });
+    let mut slots: Vec<Option<Result<QueryAnswer>>> = jobs.iter().map(|_| None).collect();
+    fan_out(
+        jobs.len(),
+        threads,
+        (0..jobs.len()).collect(),
+        jobs.len(),
+        &mut Executor::new(),
+        |index, executor| executor.execute(jobs[index].table, &jobs[index].query),
+        |index, answer| slots[index] = Some(answer),
+    );
     slots
         .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot poisoned")
-                .expect("every batch job is claimed by exactly one worker")
-        })
+        .map(|slot| slot.expect("every batch job is claimed by exactly one worker"))
         .collect()
 }
 
 /// Resolves a thread-count request (`0` = one per available CPU) against the
 /// number of jobs.
-fn resolve_threads(threads: usize, jobs: usize) -> usize {
+pub(crate) fn resolve_threads(threads: usize, jobs: usize) -> usize {
     if threads == 0 {
         std::thread::available_parallelism()
             .map(|n| n.get())
@@ -473,56 +501,45 @@ impl std::fmt::Debug for SourceBatchJob {
 /// worker reuses one [`Executor`]. Jobs are deterministic and independent, so
 /// the result vector — indexed like `jobs` — is identical to sequential
 /// execution regardless of worker interleaving.
+#[deprecated(
+    since = "0.2.0",
+    note = "wrap each job's shards in `Dataset::shards` (or a replayable CSV/generator \
+            dataset) and use `Session::execute_batch`"
+)]
 pub fn execute_batch_sources(
     jobs: Vec<SourceBatchJob>,
     threads: usize,
 ) -> Vec<Result<QueryAnswer>> {
-    let threads = resolve_threads(threads, jobs.len());
-
-    if threads <= 1 || jobs.len() <= 1 {
-        let mut executor = Executor::new();
-        return jobs
-            .into_iter()
-            .map(|job| executor.execute_shards(job.shards, &job.query))
-            .collect();
-    }
-
-    let next = AtomicUsize::new(0);
+    let total = jobs.len();
     let job_slots: Vec<Mutex<Option<SourceBatchJob>>> =
         jobs.into_iter().map(|job| Mutex::new(Some(job))).collect();
-    let slots: Vec<Mutex<Option<Result<QueryAnswer>>>> =
-        job_slots.iter().map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| {
-                let mut executor = Executor::new();
-                loop {
-                    let index = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(slot) = job_slots.get(index) else {
-                        break;
-                    };
-                    let job = slot
-                        .lock()
-                        .expect("job slot poisoned")
-                        .take()
-                        .expect("every job slot is claimed by exactly one worker");
-                    let answer = executor.execute_shards(job.shards, &job.query);
-                    *slots[index].lock().expect("result slot poisoned") = Some(answer);
-                }
-            });
-        }
-    });
+    let mut slots: Vec<Option<Result<QueryAnswer>>> = job_slots.iter().map(|_| None).collect();
+    fan_out(
+        total,
+        threads,
+        (0..total).collect(),
+        total,
+        &mut Executor::new(),
+        |index, executor| {
+            let job = job_slots[index]
+                .lock()
+                .expect("job slot poisoned")
+                .take()
+                .expect("every job slot is claimed by exactly one worker");
+            executor.run_shards(job.shards, &job.query)
+        },
+        |index, answer| slots[index] = Some(answer),
+    );
     slots
         .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot poisoned")
-                .expect("every batch job is claimed by exactly one worker")
-        })
+        .map(|slot| slot.expect("every batch job is claimed by exactly one worker"))
         .collect()
 }
 
 #[cfg(test)]
+// The tests below pin the behaviour of the deprecated wrappers until their
+// removal; the session parity proptests compare the new path against them.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use ttk_uncertain::TupleId;

@@ -4,51 +4,17 @@
 //! distribution to the single-source path — including adversarial inputs
 //! where every tuple ties on score and mutual-exclusion groups straddle
 //! every shard boundary.
+//!
+//! Drives the deprecated `execute_source`/`execute_shards` wrappers on
+//! purpose: they must stay bit-identical until their removal.
+#![allow(deprecated)]
 
 use proptest::prelude::*;
 use ttk_core::{Executor, TopkQuery};
-use ttk_uncertain::{SourceTuple, TupleSource, UncertainTable, UncertainTuple, VecSource};
+use ttk_uncertain::{SourceTuple, TupleSource, UncertainTable, VecSource};
 
-/// Random table with score ties and greedy ME grouping; `score_span` controls
-/// how adversarial the ties are (1 = every tuple ties on score).
-fn table_with(score_span: i32) -> impl Strategy<Value = UncertainTable> {
-    let tuple = (0u64..100_000, 0i32..score_span, 1u32..=10)
-        .prop_map(|(id, score, p)| (id, score as f64, p as f64 / 10.0));
-    proptest::collection::vec(tuple, 20..120).prop_map(|mut raw| {
-        raw.sort_by_key(|r| r.0);
-        raw.dedup_by_key(|r| r.0);
-        let tuples: Vec<UncertainTuple> = raw
-            .iter()
-            .map(|&(id, s, p)| UncertainTuple::new(id, s, p).unwrap())
-            .collect();
-        let mut rules: Vec<Vec<u64>> = Vec::new();
-        let mut current: Vec<u64> = Vec::new();
-        let mut current_sum = 0.0;
-        for t in &tuples {
-            if current.len() < 4 && current_sum + t.prob() <= 1.0 {
-                current.push(t.id().raw());
-                current_sum += t.prob();
-            } else {
-                if current.len() > 1 {
-                    rules.push(current.clone());
-                }
-                current = vec![t.id().raw()];
-                current_sum = t.prob();
-            }
-        }
-        if current.len() > 1 {
-            rules.push(current);
-        }
-        UncertainTable::new(
-            tuples,
-            rules
-                .into_iter()
-                .map(|r| r.into_iter().map(Into::into).collect())
-                .collect(),
-        )
-        .unwrap()
-    })
-}
+mod support;
+use support::table_with;
 
 /// Splits the table's rank-ordered stream into `shards` shard streams using
 /// the given assignment policy. All policies preserve per-shard rank order

@@ -1,0 +1,254 @@
+//! Parity of the unified `Dataset`/`Session` API with the legacy per-shape
+//! entry points it replaces: for **any** random table, executing through
+//! `Session::execute` over each `Dataset` kind must be **bit-identical** to
+//! the corresponding deprecated entry point, and `Session::execute_batch`
+//! must match the legacy batch executors and sequential execution under
+//! every ordering and delivery mode.
+#![allow(deprecated)] // the whole point of this suite is to compare against them
+
+use proptest::prelude::*;
+use ttk_core::{
+    cost_descending_order, estimated_cost, execute, execute_batch, execute_batch_sources, BatchJob,
+    BatchOptions, BatchOrdering, Dataset, Executor, QueryAnswer, QueryJob, Session, SourceBatchJob,
+    TopkQuery,
+};
+use ttk_uncertain::{
+    partition_round_robin, Result, TupleSource, UncertainTable, UncertainTuple, VecSource,
+};
+
+mod support;
+
+/// The shared adversarial table generator (score ties, greedy ME grouping).
+fn random_table() -> impl Strategy<Value = UncertainTable> {
+    support::table_with(8)
+}
+
+/// Asserts two execution results are bit-identical (or fail together).
+fn assert_identical(
+    a: Result<QueryAnswer>,
+    b: Result<QueryAnswer>,
+) -> std::result::Result<(), TestCaseError> {
+    match (a, b) {
+        (Ok(a), Ok(b)) => {
+            prop_assert_eq!(a.distribution, b.distribution);
+            prop_assert_eq!(a.scan_depth, b.scan_depth);
+            prop_assert_eq!(a.typical.scores(), b.typical.scores());
+            let (ua, ub) = (a.u_topk.map(|u| u.vector), b.u_topk.map(|u| u.vector));
+            prop_assert_eq!(ua, ub);
+        }
+        (Err(_), Err(_)) => {}
+        (a, b) => prop_assert!(false, "paths disagree: {:?} vs {:?}", a, b),
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `Dataset::table` ≡ the legacy free `execute` (full-table U-Topk path).
+    #[test]
+    fn table_dataset_matches_legacy_execute(
+        table in random_table(),
+        k in 1usize..5,
+        u_topk in any::<bool>(),
+    ) {
+        let query = TopkQuery::new(k).with_p_tau(1e-3).with_u_topk(u_topk);
+        let legacy = execute(&table, &query);
+        let dataset = Dataset::table(table);
+        let session = Session::new().execute(&dataset, &query);
+        assert_identical(legacy, session)?;
+    }
+
+    /// `Dataset::stream` ≡ the legacy `Executor::execute_source`.
+    #[test]
+    fn stream_dataset_matches_legacy_execute_source(
+        table in random_table(),
+        k in 1usize..5,
+        u_topk in any::<bool>(),
+    ) {
+        let query = TopkQuery::new(k).with_p_tau(1e-3).with_u_topk(u_topk);
+        let mut source = table.to_source();
+        let legacy = Executor::new().execute_source(&mut source, &query);
+        let dataset = Dataset::stream(table.to_source());
+        let session = Session::new().execute(&dataset, &query);
+        assert_identical(legacy, session)?;
+    }
+
+    /// `Dataset::shards` ≡ the legacy `Executor::execute_shards` for any
+    /// round-robin partition.
+    #[test]
+    fn shards_dataset_matches_legacy_execute_shards(
+        table in random_table(),
+        shards in 1usize..5,
+        k in 1usize..5,
+    ) {
+        let query = TopkQuery::new(k).with_p_tau(1e-3).with_u_topk(false);
+        let legacy = Executor::new()
+            .execute_shards(partition_round_robin(table.to_source(), shards).unwrap(), &query);
+        let dataset =
+            Dataset::shards(partition_round_robin(table.to_source(), shards).unwrap());
+        let session = Session::new().execute(&dataset, &query);
+        assert_identical(legacy, session)?;
+    }
+
+    /// `Dataset::generator` ≡ the legacy source path, and replays identically.
+    #[test]
+    fn generator_dataset_matches_legacy_and_replays(
+        table in random_table(),
+        k in 1usize..4,
+    ) {
+        let query = TopkQuery::new(k).with_p_tau(1e-3).with_u_topk(false);
+        let mut source = table.to_source();
+        let legacy = Executor::new().execute_source(&mut source, &query);
+        let template: VecSource = table.to_source();
+        let dataset = Dataset::generator(move || Ok(template.clone()));
+        let mut session = Session::new();
+        let first = session.execute(&dataset, &query);
+        let second = session.execute(&dataset, &query);
+        assert_identical(legacy, first)?;
+        match (session.execute(&dataset, &query), second) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a.distribution, b.distribution),
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(false, "replays disagree: {:?} vs {:?}", a, b),
+        }
+    }
+
+    /// `Session::execute_batch` ≡ the legacy `execute_batch` over a shared
+    /// table, for both orderings and any thread count.
+    #[test]
+    fn session_batch_matches_legacy_batch(
+        table in random_table(),
+        threads in 0usize..4,
+        ordering_cost in any::<bool>(),
+    ) {
+        let ks: Vec<usize> = (1..=6).collect();
+        let legacy_jobs: Vec<BatchJob> = ks
+            .iter()
+            .map(|&k| BatchJob::new(&table, TopkQuery::new(k).with_u_topk(false)))
+            .collect();
+        let legacy = execute_batch(&legacy_jobs, threads);
+
+        let dataset = Dataset::table(table.clone());
+        let jobs: Vec<QueryJob> = ks
+            .iter()
+            .map(|&k| QueryJob::new(&dataset, TopkQuery::new(k).with_u_topk(false)))
+            .collect();
+        let ordering = if ordering_cost {
+            BatchOrdering::CostDescending
+        } else {
+            BatchOrdering::Submission
+        };
+        let session = Session::new().execute_batch(
+            &jobs,
+            &BatchOptions::new().with_threads(threads).with_ordering(ordering),
+        );
+        prop_assert_eq!(legacy.len(), session.len());
+        for (a, b) in legacy.into_iter().zip(session) {
+            assert_identical(a, b)?;
+        }
+    }
+
+    /// `Session::execute_batch` over per-job shard datasets ≡ the legacy
+    /// `execute_batch_sources` (each job owning its shard streams).
+    #[test]
+    fn session_batch_matches_legacy_batch_sources(
+        table in random_table(),
+        shards in 1usize..4,
+        threads in 0usize..4,
+    ) {
+        let ks: Vec<usize> = (1..=5).collect();
+        let boxed_shards = |table: &UncertainTable| -> Vec<Box<dyn TupleSource + Send>> {
+            partition_round_robin(table.to_source(), shards)
+                .unwrap()
+                .into_iter()
+                .map(|s| Box::new(s) as Box<dyn TupleSource + Send>)
+                .collect()
+        };
+        let legacy_jobs: Vec<SourceBatchJob> = ks
+            .iter()
+            .map(|&k| {
+                SourceBatchJob::new(boxed_shards(&table), TopkQuery::new(k).with_u_topk(false))
+            })
+            .collect();
+        let legacy = execute_batch_sources(legacy_jobs, threads);
+
+        let datasets: Vec<Dataset> = ks
+            .iter()
+            .map(|_| Dataset::shards(partition_round_robin(table.to_source(), shards).unwrap()))
+            .collect();
+        let jobs: Vec<QueryJob> = datasets
+            .iter()
+            .zip(&ks)
+            .map(|(dataset, &k)| QueryJob::new(dataset, TopkQuery::new(k).with_u_topk(false)))
+            .collect();
+        let session =
+            Session::new().execute_batch(&jobs, &BatchOptions::new().with_threads(threads));
+        prop_assert_eq!(legacy.len(), session.len());
+        for (a, b) in legacy.into_iter().zip(session) {
+            assert_identical(a, b)?;
+        }
+    }
+}
+
+/// The pathological big-last schedule: under cost ordering the expensive job
+/// runs first instead of serializing the tail of the batch.
+#[test]
+fn big_last_job_is_scheduled_first() {
+    let small = TopkQuery::new(1).with_p_tau(0.5).with_u_topk(false);
+    // Huge k, tiny pτ, and a full U-Topk drain: by far the biggest job.
+    let big = TopkQuery::new(40).with_p_tau(1e-9);
+    let queries = [small, small, small, big];
+    let costs: Vec<f64> = queries
+        .iter()
+        .map(|q| estimated_cost(q, Some(10_000)))
+        .collect();
+    let order = cost_descending_order(&costs);
+    assert_eq!(
+        order[0], 3,
+        "the big job submitted last must run first: {costs:?}"
+    );
+    // Equal-cost jobs keep submission order behind it.
+    assert_eq!(&order[1..], &[0, 1, 2]);
+}
+
+/// Bounded result-memory mode: a >100-job batch delivered through the
+/// callback sink with at most 4 resident results matches sequential
+/// execution exactly.
+#[test]
+fn bounded_memory_batch_matches_sequential_for_many_jobs() {
+    let table = UncertainTable::new(
+        (0..60)
+            .map(|i| {
+                UncertainTuple::new(i as u64, (60 - i) as f64, 0.5 + 0.4 * ((i % 2) as f64))
+                    .unwrap()
+            })
+            .collect(),
+        Vec::new(),
+    )
+    .unwrap();
+    let dataset = Dataset::table(table.clone());
+    let jobs: Vec<QueryJob> = (0..120)
+        .map(|i| QueryJob::new(&dataset, TopkQuery::new(1 + i % 7).with_u_topk(false)))
+        .collect();
+
+    let mut delivered: Vec<Option<QueryAnswer>> = (0..jobs.len()).map(|_| None).collect();
+    let mut deliveries = 0usize;
+    Session::new().execute_batch_with(
+        &jobs,
+        &BatchOptions::new().with_threads(4).max_resident_results(4),
+        |index, answer| {
+            assert!(delivered[index].is_none(), "job {index} delivered twice");
+            delivered[index] = Some(answer.expect("jobs are valid"));
+            deliveries += 1;
+        },
+    );
+    assert_eq!(deliveries, jobs.len());
+
+    let mut executor = Executor::new();
+    for (i, job) in jobs.iter().enumerate() {
+        let sequential = executor.execute(&table, &job.query).unwrap();
+        let batched = delivered[i].as_ref().expect("every job delivered");
+        assert_eq!(sequential.distribution, batched.distribution, "job {i}");
+        assert_eq!(sequential.scan_depth, batched.scan_depth, "job {i}");
+    }
+}

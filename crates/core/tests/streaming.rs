@@ -5,6 +5,11 @@
 //!   with a counting source);
 //! * a batch of ≥ 100 independent queries executed in parallel produces
 //!   results identical to sequential execution.
+//!
+//! This suite intentionally drives the deprecated per-shape entry points:
+//! they must stay bit-identical to the `Session` path until their removal
+//! (the session parity proptests compare the two).
+#![allow(deprecated)]
 
 use ttk_core::{
     execute, execute_batch, execute_batch_sources, scan_depth, Algorithm, BatchJob, Executor,

@@ -15,6 +15,7 @@ use std::fs::File;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use ttk_uncertain::{GroupKey, MergeSource, SourceTuple, TupleSource, UncertainTuple, VecSource};
 
@@ -248,16 +249,10 @@ pub fn table_from_csv(name: &str, text: &str, options: &CsvOptions) -> Result<PT
 /// Returns [`PdbError::CsvError`] for malformed input, expression
 /// validation/evaluation errors, and tuple validation errors.
 pub fn tuple_source_from_csv(text: &str, options: &CsvOptions, score: &Expr) -> Result<VecSource> {
-    let layout = parse_layout(text, options)?;
-    let records = parse_records(text, &layout)?;
-    let schema = infer_schema(&records, &layout)?;
-    score.validate(&schema)?;
-    let mut state = ScoreState::new();
-    let mut tuples = Vec::with_capacity(records.len());
-    for (line_no, record) in &records {
-        tuples.push(state.score_record(record, &layout, &schema, score, *line_no)?);
-    }
-    Ok(VecSource::new(tuples))
+    // Exactly the 1-shard case of the sharded import: one parsing pass, one
+    // fresh id space and group-key namespace.
+    let mut shards = shard_sources_from_csv(&[text], options, score)?;
+    Ok(shards.pop().expect("one shard per input text"))
 }
 
 /// The cross-record state of a scoring pass: the group-key namespace and the
@@ -461,8 +456,15 @@ impl RunSource {
         })
     }
 
-    fn memory(mut tuples: Vec<SourceTuple>) -> Self {
-        tuples.sort_by_key(|t| t.tuple.rank_key());
+    /// Wraps a run that is **already rank-sorted** ([`SpillIndex`] stores
+    /// its in-memory tail sorted, so replays skip the comparison pass).
+    fn memory(tuples: Vec<SourceTuple>) -> Self {
+        debug_assert!(
+            tuples
+                .windows(2)
+                .all(|w| w[0].tuple.rank_key() <= w[1].tuple.rank_key()),
+            "in-memory runs must be rank-sorted"
+        );
         RunSource {
             remaining: tuples.len(),
             run: Run::Memory(tuples.into_iter()),
@@ -521,23 +523,136 @@ impl TupleSource for RunSource {
     }
 }
 
-/// A rank-ordered [`TupleSource`] over a CSV relation larger than memory:
-/// sorted runs spilled to temporary files, replayed under a loser-tree k-way
-/// merge. Produced by [`tuple_source_from_csv_spilled`] and
-/// [`tuple_source_from_csv_path`]; the run files are deleted when the source
-/// is dropped.
+/// The reusable artifact of one external-sort pass over a CSV relation: the
+/// rank-sorted run files on disk, the final in-memory run, the inferred
+/// schema and the record count.
+///
+/// Building an index is the expensive part of an out-of-core scan (two
+/// passes over the CSV plus the sort of every run); **replaying** it is
+/// cheap — [`SpillIndex::replay`] just reopens the run files as fresh
+/// cursors under a new k-way merge. Holding the index (for example inside a
+/// `CsvDataset`) therefore turns the external sort into a plan-once artifact:
+/// every query after the first skips the sort pass entirely. The run files
+/// are deleted when the last [`Arc`] holding the index drops.
 #[derive(Debug)]
-pub struct SpilledSource {
-    merge: MergeSource<RunSource>,
+pub struct SpillIndex {
     runs: RunFiles,
+    run_sizes: Vec<usize>,
+    /// The final buffer that never needed spilling, already rank-sorted.
+    tail: Vec<SourceTuple>,
     total_tuples: usize,
+    schema: Schema,
 }
 
-impl SpilledSource {
-    /// Total number of runs under the merge (spilled files plus the final
-    /// in-memory buffer, when non-empty).
+impl SpillIndex {
+    /// Runs the external sort over CSV text and keeps the runs as a reusable
+    /// index.
+    ///
+    /// # Errors
+    ///
+    /// As [`tuple_source_from_csv`], plus [`PdbError::Io`] for run-file
+    /// failures.
+    pub fn from_csv_text(
+        text: &str,
+        options: &CsvOptions,
+        score: &Expr,
+        spill: &SpillOptions,
+    ) -> Result<Self> {
+        SpillIndex::build(|| Ok(text.as_bytes()), options, score, spill)
+    }
+
+    /// Runs the external sort reading straight from a file path, so the raw
+    /// CSV text never needs to fit in memory either.
+    ///
+    /// # Errors
+    ///
+    /// As [`SpillIndex::from_csv_text`].
+    pub fn from_csv_path(
+        path: &Path,
+        options: &CsvOptions,
+        score: &Expr,
+        spill: &SpillOptions,
+    ) -> Result<Self> {
+        SpillIndex::build(
+            || Ok(BufReader::new(File::open(path)?)),
+            options,
+            score,
+            spill,
+        )
+    }
+
+    /// The generic two-pass external-sort import: pass 1 infers the schema,
+    /// pass 2 scores each record and spills sorted runs. `open` must yield a
+    /// fresh reader over the same bytes for each pass.
+    fn build<R: BufRead>(
+        open: impl Fn() -> Result<R>,
+        options: &CsvOptions,
+        score: &Expr,
+        spill: &SpillOptions,
+    ) -> Result<Self> {
+        let layout = layout_from_header(&read_header(open()?)?, options)?;
+
+        // Pass 1: type inference only — nothing is retained per record.
+        let mut types = vec![DataType::Integer; layout.data_columns.len()];
+        for_each_record(open()?, &layout, |_, record| {
+            for (slot, &col) in layout.data_columns.iter().enumerate() {
+                types[slot] = merge_type(types[slot], &Value::infer_from_str(&record[col]));
+            }
+            Ok(())
+        })?;
+        let schema = schema_from_types(&layout, &types)?;
+        score.validate(&schema)?;
+
+        // Pass 2: score records into a bounded buffer, spilling sorted runs.
+        let capacity = spill.run_buffer_tuples.max(1);
+        let mut runs = RunFiles::new(spill.temp_dir.clone());
+        let mut buffer: Vec<SourceTuple> = Vec::with_capacity(capacity.min(64 * 1024));
+        let mut run_sizes: Vec<usize> = Vec::new();
+        let mut state = ScoreState::new();
+        for_each_record(open()?, &layout, |line_no, record| {
+            buffer.push(state.score_record(&record, &layout, &schema, score, line_no)?);
+            if buffer.len() >= capacity {
+                run_sizes.push(buffer.len());
+                runs.spill(&mut buffer)?;
+            }
+            Ok(())
+        })?;
+        buffer.sort_by_key(|t| t.tuple.rank_key());
+        Ok(SpillIndex {
+            runs,
+            run_sizes,
+            tail: buffer,
+            total_tuples: state.next_id as usize,
+            schema,
+        })
+    }
+
+    /// Opens fresh cursors over every run and fuses them under a new k-way
+    /// merge — a complete re-scan of the relation **without re-reading or
+    /// re-sorting the CSV**. The returned stream is bit-identical to the one
+    /// the original import produced.
+    ///
+    /// # Errors
+    ///
+    /// [`PdbError::Io`] when a run file can no longer be opened.
+    pub fn replay(self: &Arc<Self>) -> Result<SpilledSource> {
+        let mut sources = Vec::with_capacity(self.runs.paths.len() + 1);
+        for (path, &tuples) in self.runs.paths.iter().zip(&self.run_sizes) {
+            sources.push(RunSource::file(path, tuples)?);
+        }
+        if !self.tail.is_empty() {
+            sources.push(RunSource::memory(self.tail.clone()));
+        }
+        Ok(SpilledSource {
+            merge: MergeSource::new(sources),
+            index: Arc::clone(self),
+        })
+    }
+
+    /// Total number of runs under a replayed merge (spilled files plus the
+    /// final in-memory buffer, when non-empty).
     pub fn run_count(&self) -> usize {
-        self.merge.shard_count()
+        self.runs.paths.len() + usize::from(!self.tail.is_empty())
     }
 
     /// Number of runs that were spilled to disk.
@@ -553,6 +668,52 @@ impl SpilledSource {
     /// True when the relation had no data records.
     pub fn is_empty(&self) -> bool {
         self.total_tuples == 0
+    }
+
+    /// The relational schema inferred during the import's first pass.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+}
+
+/// A rank-ordered [`TupleSource`] over a CSV relation larger than memory:
+/// sorted runs spilled to temporary files, replayed under a loser-tree k-way
+/// merge. Produced by [`tuple_source_from_csv_spilled`],
+/// [`tuple_source_from_csv_path`] and [`SpillIndex::replay`]; the run files
+/// live as long as any replayed source (or other holder) keeps the shared
+/// [`SpillIndex`] alive.
+#[derive(Debug)]
+pub struct SpilledSource {
+    merge: MergeSource<RunSource>,
+    index: Arc<SpillIndex>,
+}
+
+impl SpilledSource {
+    /// Total number of runs under the merge (spilled files plus the final
+    /// in-memory buffer, when non-empty).
+    pub fn run_count(&self) -> usize {
+        self.merge.shard_count()
+    }
+
+    /// Number of runs that were spilled to disk.
+    pub fn spilled_run_count(&self) -> usize {
+        self.index.spilled_run_count()
+    }
+
+    /// Number of data records imported.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True when the relation had no data records.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// The shared external-sort index backing this source; clone it to
+    /// replay the relation again without re-sorting.
+    pub fn index(&self) -> &Arc<SpillIndex> {
+        &self.index
     }
 }
 
@@ -613,58 +774,6 @@ fn read_header<R: BufRead>(reader: R) -> Result<String> {
     })
 }
 
-/// The generic two-pass external-sort import: pass 1 infers the schema, pass
-/// 2 scores each record and spills sorted runs. `open` must yield a fresh
-/// reader over the same bytes for each pass.
-fn spilled_source_from_reader<R: BufRead>(
-    open: impl Fn() -> Result<R>,
-    options: &CsvOptions,
-    score: &Expr,
-    spill: &SpillOptions,
-) -> Result<SpilledSource> {
-    let layout = layout_from_header(&read_header(open()?)?, options)?;
-
-    // Pass 1: type inference only — nothing is retained per record.
-    let mut types = vec![DataType::Integer; layout.data_columns.len()];
-    for_each_record(open()?, &layout, |_, record| {
-        for (slot, &col) in layout.data_columns.iter().enumerate() {
-            types[slot] = merge_type(types[slot], &Value::infer_from_str(&record[col]));
-        }
-        Ok(())
-    })?;
-    let schema = schema_from_types(&layout, &types)?;
-    score.validate(&schema)?;
-
-    // Pass 2: score records into a bounded buffer, spilling sorted runs.
-    let capacity = spill.run_buffer_tuples.max(1);
-    let mut runs = RunFiles::new(spill.temp_dir.clone());
-    let mut buffer: Vec<SourceTuple> = Vec::with_capacity(capacity.min(64 * 1024));
-    let mut run_sizes: Vec<usize> = Vec::new();
-    let mut state = ScoreState::new();
-    for_each_record(open()?, &layout, |line_no, record| {
-        buffer.push(state.score_record(&record, &layout, &schema, score, line_no)?);
-        if buffer.len() >= capacity {
-            run_sizes.push(buffer.len());
-            runs.spill(&mut buffer)?;
-        }
-        Ok(())
-    })?;
-    let total_tuples = state.next_id as usize;
-
-    let mut sources = Vec::with_capacity(runs.paths.len() + 1);
-    for (path, &tuples) in runs.paths.iter().zip(&run_sizes) {
-        sources.push(RunSource::file(path, tuples)?);
-    }
-    if !buffer.is_empty() {
-        sources.push(RunSource::memory(buffer));
-    }
-    Ok(SpilledSource {
-        merge: MergeSource::new(sources),
-        runs,
-        total_tuples,
-    })
-}
-
 /// Out-of-core variant of [`tuple_source_from_csv`]: scores CSV text into
 /// rank-ordered runs of at most `spill.run_buffer_tuples` tuples, spilling
 /// full runs to temporary files, and returns the k-way merge over the runs.
@@ -672,6 +781,8 @@ fn spilled_source_from_reader<R: BufRead>(
 /// The merged stream is **bit-identical** to what [`tuple_source_from_csv`]
 /// produces for the same input, while peak memory stays bounded by the run
 /// buffer — the path that lets `ttk query` scan relations larger than RAM.
+/// One-shot convenience over [`SpillIndex::from_csv_text`] + replay; hold
+/// the [`SpilledSource::index`] to re-scan without re-sorting.
 ///
 /// # Errors
 ///
@@ -682,7 +793,7 @@ pub fn tuple_source_from_csv_spilled(
     score: &Expr,
     spill: &SpillOptions,
 ) -> Result<SpilledSource> {
-    spilled_source_from_reader(|| Ok(text.as_bytes()), options, score, spill)
+    Arc::new(SpillIndex::from_csv_text(text, options, score, spill)?).replay()
 }
 
 /// [`tuple_source_from_csv_spilled`] reading straight from a file path, so
@@ -697,12 +808,7 @@ pub fn tuple_source_from_csv_path(
     score: &Expr,
     spill: &SpillOptions,
 ) -> Result<SpilledSource> {
-    spilled_source_from_reader(
-        || Ok(BufReader::new(File::open(path)?)),
-        options,
-        score,
-        spill,
-    )
+    Arc::new(SpillIndex::from_csv_path(path, options, score, spill)?).replay()
 }
 
 /// Serialises a probabilistic table back to CSV (probability and group
@@ -895,6 +1001,54 @@ speed_limit,length,delay,probability,group_key
             let streamed = drain(&mut spilled);
             assert_eq!(streamed, in_memory, "run buffer {run_buffer}");
         }
+    }
+
+    #[test]
+    fn spill_index_replays_without_recreating_runs() {
+        let dir = std::env::temp_dir().join(format!("ttk-spill-replay-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = big_csv(300);
+        let expr = crate::parser::parse_expression("score").unwrap();
+        let spill = SpillOptions {
+            run_buffer_tuples: 64,
+            temp_dir: Some(dir.clone()),
+        };
+        let index = Arc::new(
+            SpillIndex::from_csv_text(&csv, &CsvOptions::default(), &expr, &spill).unwrap(),
+        );
+        assert_eq!(index.len(), 300);
+        assert_eq!(index.spilled_run_count(), 300 / 64);
+        assert_eq!(index.run_count(), 300 / 64 + 1);
+        assert!(index.schema().index_of("score").is_ok());
+        let files_after_build: Vec<String> = {
+            let mut names: Vec<String> = std::fs::read_dir(&dir)
+                .unwrap()
+                .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+                .collect();
+            names.sort();
+            names
+        };
+        let first = drain(&mut index.replay().unwrap());
+        let second = drain(&mut index.replay().unwrap());
+        assert_eq!(first, second);
+        assert_eq!(first.len(), 300);
+        // Replaying reopened the existing run files; no new ones appeared.
+        let files_after_replays: Vec<String> = {
+            let mut names: Vec<String> = std::fs::read_dir(&dir)
+                .unwrap()
+                .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+                .collect();
+            names.sort();
+            names
+        };
+        assert_eq!(files_after_build, files_after_replays);
+        // A replayed source keeps the index (and its files) alive.
+        let survivor = index.replay().unwrap();
+        drop(index);
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 300 / 64);
+        drop(survivor);
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 0);
+        std::fs::remove_dir(&dir).ok();
     }
 
     #[test]

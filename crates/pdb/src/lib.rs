@@ -12,7 +12,11 @@
 //!   x-tuple (mutual-exclusion) group keys;
 //! * [`expr`] / [`parser`] — the scoring-expression language used in
 //!   `ORDER BY <expr> DESC LIMIT k`;
-//! * [`csv`] — CSV import/export with probability and group columns;
+//! * [`csv`] — CSV import/export with probability and group columns,
+//!   including the external-sort [`SpillIndex`] for out-of-core scans;
+//! * [`dataset`] — [`CsvDataset`]: CSV relations as replayable `Dataset`s
+//!   for the unified `Session` API of `ttk-core`, with cached scoring passes
+//!   and spill-index reuse;
 //! * [`query`] — execution of [`DistributionQuery`]s through the `ttk-core`
 //!   pipeline, with results mapped back to rows;
 //! * [`catalog`] — a trivial named-table catalog.
@@ -39,6 +43,7 @@
 
 pub mod catalog;
 pub mod csv;
+pub mod dataset;
 pub mod error;
 pub mod expr;
 pub mod parser;
@@ -50,9 +55,10 @@ pub mod value;
 pub use catalog::Database;
 pub use csv::{
     shard_sources_from_csv, table_from_csv, table_to_csv, tuple_source_from_csv,
-    tuple_source_from_csv_path, tuple_source_from_csv_spilled, CsvOptions, SpillOptions,
-    SpilledSource,
+    tuple_source_from_csv_path, tuple_source_from_csv_spilled, CsvOptions, SpillIndex,
+    SpillOptions, SpilledSource,
 };
+pub use dataset::CsvDataset;
 pub use error::{PdbError, Result};
 pub use expr::{BinaryOp, Expr};
 pub use parser::parse_expression;

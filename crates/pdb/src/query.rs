@@ -14,7 +14,7 @@
 //! the rows, assembles the uncertain table, runs the core pipeline and maps
 //! the answers back to row indexes of the probabilistic table.
 
-use ttk_core::{QueryAnswer, TopkQuery};
+use ttk_core::{Dataset, QueryAnswer, Session, TopkQuery};
 use ttk_uncertain::TopkVector;
 
 use crate::error::Result;
@@ -92,7 +92,8 @@ impl QueryResult {
 pub fn run_distribution_query(table: &PTable, query: &DistributionQuery) -> Result<QueryResult> {
     let score_expression = parse_expression(&query.score)?;
     let uncertain = table.to_uncertain_table(&score_expression)?;
-    let answer = ttk_core::execute(&uncertain, &query.topk)?;
+    let dataset = Dataset::table(uncertain).with_label(table.name().to_string());
+    let answer = Session::new().execute(&dataset, &query.topk)?;
     Ok(QueryResult {
         score_expression,
         answer,
@@ -114,8 +115,9 @@ pub fn run_distribution_query_streamed(
     query: &DistributionQuery,
 ) -> Result<QueryResult> {
     let score_expression = parse_expression(&query.score)?;
-    let mut source = table.to_tuple_source(&score_expression)?;
-    let answer = ttk_core::Executor::new().execute_source(&mut source, &query.topk)?;
+    let source = table.to_tuple_source(&score_expression)?;
+    let dataset = Dataset::stream(source).with_label(table.name().to_string());
+    let answer = Session::new().execute(&dataset, &query.topk)?;
     Ok(QueryResult {
         score_expression,
         answer,

@@ -25,6 +25,9 @@
 //!   sources into one stream, so a scan can span partitions (shard files,
 //!   external-sort spill runs) while reading at most one look-ahead tuple
 //!   per shard.
+//! * [`ScanHandle`] — the uniform opened-input type: a single stream or a
+//!   merged shard set behind one owned [`TupleSource`], produced by the
+//!   `Dataset` abstraction in `ttk-core` and by custom dataset providers.
 //!
 //! The production algorithms that *compute* score distributions and
 //! c-Typical-Topk answers live in the `ttk-core` crate; this crate is the
@@ -53,6 +56,7 @@
 #![forbid(unsafe_code)]
 
 pub mod error;
+pub mod handle;
 pub mod merge;
 pub mod pmf;
 pub mod probability;
@@ -63,6 +67,7 @@ pub mod vector;
 pub mod worlds;
 
 pub use error::{Error, Result};
+pub use handle::ScanHandle;
 pub use merge::{partition_round_robin, MergeSource};
 pub use pmf::{
     scores_equal, CoalescePolicy, DistributionPoint, Histogram, ScoreDistribution, VectorWitness,

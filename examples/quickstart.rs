@@ -3,7 +3,7 @@
 //!
 //! Run with `cargo run -p ttk-examples --bin quickstart`.
 
-use ttk_core::{execute, TopkQuery};
+use ttk_core::{Dataset, Session, TopkQuery};
 use ttk_examples::{percent, render_histogram};
 use ttk_uncertain::UncertainTable;
 
@@ -25,7 +25,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .with_typical_count(3)
         .with_p_tau(1e-9)
         .with_max_lines(0);
-    let answer = execute(&table, &query)?;
+    let dataset = Dataset::table(table);
+    let answer = Session::new().execute(&dataset, &query)?;
 
     println!("== Top-3 total score distribution ==");
     let mut markers: Vec<(f64, &str)> = Vec::new();

@@ -6,7 +6,7 @@
 //! Run with `cargo run -p ttk-examples --bin soldier_monitoring`.
 
 use ttk_core::baselines::{pt_k, u_kranks};
-use ttk_core::{execute, TopkQuery};
+use ttk_core::{Dataset, Session, TopkQuery};
 use ttk_datagen::soldier;
 use ttk_examples::{percent, render_histogram};
 use ttk_uncertain::PossibleWorlds;
@@ -59,8 +59,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
 
     // The full pipeline at k = 2 with exact settings.
-    let answer = execute(
-        &table,
+    let answer = Session::new().execute(
+        &Dataset::table(table.clone()),
         &TopkQuery::new(2).with_p_tau(1e-9).with_max_lines(0),
     )?;
 

@@ -1,19 +1,19 @@
-//! The streaming rank-scan executor and the parallel batch API.
+//! The unified `Dataset`/`Session` API, shown end to end:
 //!
-//! Two capabilities the PR's refactor unlocks, shown end to end:
-//!
-//! 1. **Streaming**: a query runs against a rank-ordered `TupleSource`
-//!    instead of a materialized table. The Theorem-2 scan gate stops the
-//!    scan at the bound, and a counting decorator proves how few of the
-//!    generated tuples were ever read.
-//! 2. **Batched serving**: one `Executor` answers a whole grid of queries
-//!    through `execute_batch`, reusing scratch buffers per worker thread.
+//! 1. **Streaming**: a query runs against a generator-backed `Dataset`. The
+//!    Theorem-2 scan gate stops the scan at the bound, and a counting
+//!    decorator proves how few of the generated tuples were ever read.
+//! 2. **Explain**: the session reports the chosen scan path and its cost
+//!    estimates before anything executes.
+//! 3. **Batched serving**: one `Session` answers a whole grid of queries
+//!    through `execute_batch` — cost-ordered (big jobs first) and, for very
+//!    large batches, delivered through a bounded-result-memory sink.
 //!
 //! Run with `cargo run -p ttk-examples --bin streaming_batch`.
 
 use std::time::Instant;
 
-use ttk_core::{execute_batch, BatchJob, Executor, TopkQuery};
+use ttk_core::{BatchOptions, Dataset, QueryJob, Session, TopkQuery};
 use ttk_datagen::cartel::{generate_area, CartelConfig};
 use ttk_uncertain::CountingSource;
 
@@ -27,15 +27,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let area = generate_area(&config)?;
     let total_bins: usize = area.segments.iter().map(|s| s.bins.len()).sum();
 
-    let mut source = CountingSource::new(area.tuple_source());
-    let query = TopkQuery::new(10).with_p_tau(1e-3);
-    let answer = Executor::new().execute_source(&mut source, &query)?;
+    // Each open wraps the stream in a counting decorator and publishes its
+    // pull-counter handle, so the bound stays observable from outside.
+    let pulls = std::sync::Arc::new(std::sync::Mutex::new(ttk_uncertain::PullCounter::default()));
+    let dataset = {
+        let pulls = std::sync::Arc::clone(&pulls);
+        Dataset::generator(move || {
+            let source = CountingSource::new(area.tuple_source());
+            *pulls.lock().unwrap() = source.counter();
+            Ok(source)
+        })
+        .with_label("cartel generator (2000 segments)")
+    };
 
+    let mut session = Session::new();
+    let query = TopkQuery::new(10).with_p_tau(1e-3).with_u_topk(false);
+
+    println!("== Explain ==");
+    println!("{}", session.explain(&dataset, &query));
+    println!();
+
+    let answer = session.execute(&dataset, &query)?;
     println!("== Streaming ==");
     println!("generated measurement bins : {total_bins}");
     println!(
         "tuples read by the scan    : {} (Theorem-2 depth {} + 1 look-ahead)",
-        source.pulled(),
+        pulls.lock().unwrap().get(),
         answer.scan_depth
     );
     println!(
@@ -54,31 +71,48 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // A serving-style batch: distributions for every k from 1 to 10 over a
     // smaller area, twice — sequentially and through the parallel executor.
-    let serving_area = generate_area(&CartelConfig {
-        segments: 25,
-        seed: 100,
-        ..CartelConfig::default()
-    })?;
-    let table = serving_area.table();
-    let jobs: Vec<BatchJob> = (1..=10)
-        .map(|k| BatchJob::new(table, TopkQuery::new(k).with_u_topk(false)))
+    let serving = Dataset::table(
+        generate_area(&CartelConfig {
+            segments: 25,
+            seed: 100,
+            ..CartelConfig::default()
+        })?
+        .into_table(),
+    )
+    .with_label("cartel area (25 segments)");
+    let jobs: Vec<QueryJob> = (1..=10)
+        .map(|k| QueryJob::new(&serving, TopkQuery::new(k).with_u_topk(false)))
         .collect();
 
     let started = Instant::now();
-    let sequential = execute_batch(&jobs, 1);
+    let sequential = session.execute_batch(&jobs, &BatchOptions::new().with_threads(1));
     let sequential_time = started.elapsed();
     let started = Instant::now();
-    let parallel = execute_batch(&jobs, 0); // one worker per CPU
+    // Cost-ordered (big k first) on one worker per CPU, delivering through a
+    // bounded sink: at most 3 undelivered answers in flight.
+    let mut parallel: Vec<Option<_>> = (0..jobs.len()).map(|_| None).collect();
+    session.execute_batch_with(
+        &jobs,
+        &BatchOptions::new().max_resident_results(3),
+        |index, answer| parallel[index] = Some(answer),
+    );
     let parallel_time = started.elapsed();
 
     println!();
     println!("== Batched serving ({} queries) ==", jobs.len());
     println!("sequential : {:.3} s", sequential_time.as_secs_f64());
-    println!("parallel   : {:.3} s", parallel_time.as_secs_f64());
-    let identical = sequential.iter().zip(&parallel).all(|(a, b)| match (a, b) {
-        (Ok(a), Ok(b)) => a.distribution == b.distribution,
-        _ => false,
-    });
+    println!(
+        "parallel   : {:.3} s (cost-ordered, ≤ 3 resident results)",
+        parallel_time.as_secs_f64()
+    );
+    let identical =
+        sequential
+            .iter()
+            .zip(&parallel)
+            .all(|(a, b)| match (a, b.as_ref().expect("delivered")) {
+                (Ok(a), Ok(b)) => a.distribution == b.distribution,
+                _ => false,
+            });
     println!("results identical to sequential execution: {identical}");
     Ok(())
 }

@@ -5,7 +5,7 @@
 //!
 //! Run with `cargo run -p ttk-examples --bin synthetic_correlation`.
 
-use ttk_core::{execute, TopkQuery};
+use ttk_core::{Dataset, Session, TopkQuery};
 use ttk_datagen::synthetic::{generate, IntRange, MePolicy, SyntheticConfig};
 use ttk_examples::percent;
 use ttk_uncertain::UncertainTable;
@@ -15,8 +15,8 @@ fn summarize(
     table: &UncertainTable,
     k: usize,
 ) -> Result<(), Box<dyn std::error::Error>> {
-    let answer = execute(
-        table,
+    let answer = Session::new().execute(
+        &Dataset::table(table.clone()),
         &TopkQuery::new(k)
             .with_typical_count(3)
             .with_p_tau(1e-3)

@@ -3,7 +3,7 @@
 //! CLI use them.
 
 use ttk_core::baselines::{exhaustive_topk_distribution, u_topk, UTopkConfig};
-use ttk_core::{execute, Algorithm, TopkQuery};
+use ttk_core::{Algorithm, Dataset, Session, TopkQuery};
 use ttk_datagen::synthetic::{generate, MePolicy, SyntheticConfig};
 use ttk_integration_tests::{small_area, soldier_table};
 use ttk_pdb::{
@@ -13,12 +13,13 @@ use ttk_pdb::{
 
 #[test]
 fn soldier_example_reproduces_every_published_number() {
-    let table = soldier_table();
-    let answer = execute(
-        &table,
-        &TopkQuery::new(2).with_p_tau(1e-9).with_max_lines(0),
-    )
-    .unwrap();
+    let dataset = Dataset::table(soldier_table());
+    let answer = Session::new()
+        .execute(
+            &dataset,
+            &TopkQuery::new(2).with_p_tau(1e-9).with_max_lines(0),
+        )
+        .unwrap();
 
     // Figure 3 / §1 numbers.
     assert!((answer.expected_score() - 164.1).abs() < 0.05);
@@ -131,21 +132,25 @@ fn all_algorithms_agree_on_a_generated_workload() {
     .unwrap();
     let k = 3;
     let exact = exhaustive_topk_distribution(&table, k, 1 << 24).unwrap();
+    // One dataset, one session, four algorithm runs: plan once, run many.
+    let dataset = Dataset::table(table);
+    let mut session = Session::new();
     for algorithm in [
         Algorithm::Main,
         Algorithm::MainPerEnding,
         Algorithm::StateExpansion,
         Algorithm::KCombo,
     ] {
-        let answer = execute(
-            &table,
-            &TopkQuery::new(k)
-                .with_p_tau(1e-12)
-                .with_max_lines(0)
-                .with_algorithm(algorithm)
-                .with_u_topk(false),
-        )
-        .unwrap();
+        let answer = session
+            .execute(
+                &dataset,
+                &TopkQuery::new(k)
+                    .with_p_tau(1e-12)
+                    .with_max_lines(0)
+                    .with_algorithm(algorithm)
+                    .with_u_topk(false),
+            )
+            .unwrap();
         assert_eq!(answer.distribution.len(), exact.len(), "{algorithm:?}");
         assert!(
             (answer.expected_score() - exact.expected_score()).abs() < 1e-9,
@@ -175,14 +180,16 @@ fn u_topk_answer_is_compatible_with_me_rules() {
 #[test]
 fn typicality_improves_with_more_typical_answers() {
     let area = small_area();
-    let table = area.table();
+    let dataset = Dataset::table(area.table().clone());
+    let mut session = Session::new();
     let mut previous = f64::INFINITY;
     for c in [1usize, 2, 3, 5, 8] {
-        let answer = execute(
-            table,
-            &TopkQuery::new(5).with_typical_count(c).with_u_topk(false),
-        )
-        .unwrap();
+        let answer = session
+            .execute(
+                &dataset,
+                &TopkQuery::new(5).with_typical_count(c).with_u_topk(false),
+            )
+            .unwrap();
         let distance = answer.typical.expected_distance;
         assert!(
             distance <= previous + 1e-9,
