@@ -10,15 +10,18 @@
 //!
 //! Without `--out` the JSON goes to stdout. The measurements cover the three
 //! scan variants of `fig09_scan_depth` (depth only, streamed single-source
-//! prefix, sharded merge prefix) plus one end-to-end main-algorithm query —
-//! enough signal to catch a hot-path regression without turning CI into a
-//! benchmark farm.
+//! prefix, sharded merge prefix), a sharded **spill** scan with per-run
+//! prefetching on and off (tracking the I/O-overlap win of the transport
+//! layer), plus one end-to-end main-algorithm query — enough signal to catch
+//! a hot-path regression without turning CI into a benchmark farm.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use ttk_bench::{evaluation_area, P_TAU};
 use ttk_core::{scan_depth, Dataset, RankScan, ScanGate, Session, TopkQuery};
-use ttk_uncertain::{MergeSource, TableSource};
+use ttk_pdb::{CsvOptions, SpillIndex, SpillOptions};
+use ttk_uncertain::{MergeSource, PrefetchPolicy, TableSource, TupleSource};
 
 /// Segments of the smoke dataset — an order of magnitude below the paper's
 /// evaluation area so a CI leg finishes in seconds.
@@ -94,6 +97,56 @@ fn main() {
                 .unwrap()
         }));
     }
+    // The sharded spill scan, prefetch off vs on: the external sort runs
+    // once over a relation big enough that run-file decoding is real work;
+    // each timed iteration replays the run files under the loser-tree merge
+    // and drains the stream. With `PrefetchPolicy::per_shard`, decoding and
+    // disk reads happen on one producer thread per run and overlap with the
+    // merge (and each other) — the artifact tracks that overlap win per
+    // commit. (On a single-core machine the two variants collapse to parity
+    // — there is nothing to overlap with — so the pair also serves as a
+    // regression guard on the feed's channel overhead.)
+    const SPILL_ROWS: usize = 60_000;
+    const SPILL_RUNS: usize = 10;
+    let mut csv = String::with_capacity(SPILL_ROWS * 24);
+    csv.push_str("score,probability,group_key\n");
+    for i in 0..SPILL_ROWS {
+        let score = ((i * 2_654_435_761) % 1_000_003) as f64 / 7.0;
+        let prob = 0.05 + ((i % 89) as f64) / 100.0;
+        if i % 5 == 0 {
+            csv.push_str(&format!("{score},{prob},g{}\n", i / 10));
+        } else {
+            csv.push_str(&format!("{score},{prob},\n"));
+        }
+    }
+    let expr = ttk_pdb::parse_expression("score").expect("valid expression");
+    let index = Arc::new(
+        SpillIndex::from_csv_text(
+            &csv,
+            &CsvOptions::default(),
+            &expr,
+            &SpillOptions::with_run_buffer(SPILL_ROWS / SPILL_RUNS),
+        )
+        .expect("spill import succeeds"),
+    );
+    for (name, prefetch) in [
+        ("fig09/spill-drain/prefetch-off", PrefetchPolicy::Off),
+        (
+            "fig09/spill-drain/prefetch-8192",
+            PrefetchPolicy::per_shard(8192),
+        ),
+    ] {
+        samples.push(measure(name, 10, || {
+            let mut replay = index.replay_with(prefetch).expect("replay succeeds");
+            let mut drained = 0usize;
+            while replay.next_tuple().expect("replay streams").is_some() {
+                drained += 1;
+            }
+            assert_eq!(drained, SPILL_ROWS);
+            drained
+        }));
+    }
+
     // The end-to-end query costs seconds per run — a handful of iterations
     // is plenty for trend tracking.
     let dataset = Dataset::table(table.clone());

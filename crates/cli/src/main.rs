@@ -11,22 +11,33 @@
 //!   (positional/`--file` single file, repeatable `--shard`, out-of-core
 //!   `--spill-buffer`) resolves to one `Dataset` served by one `Session`.
 //! * `ttk explain DATA.csv --score EXPR [--k K]` — print the execution plan
-//!   (chosen scan path, row/depth/cost estimates) without running the query.
+//!   (chosen scan path, row/depth/cost estimates) without running the query;
+//!   `--after` executes the query first so the plan also reports the
+//!   observed scan depth and the cost model's drift.
+//! * `ttk serve-shard <input> --score EXPR --listen ADDR` — serve the
+//!   resolved dataset as a rank-ordered tuple stream over TCP (the wire
+//!   protocol of `ttk-uncertain`), one replay per connection. A `ttk query
+//!   --remote-shard ADDR` (repeatable, mixable with local `--shard`) scans
+//!   the served shards as one relation.
 //! * `ttk soldier` — print the paper's toy example end to end.
 
 use std::collections::HashMap;
+use std::io::BufWriter;
+use std::net::TcpListener;
 use std::process::ExitCode;
 
 use ttk_core::{
-    Algorithm, BatchOptions, Dataset, PlanDescription, QueryJob, ScanPath, Session, TopkQuery,
+    Algorithm, BatchOptions, Dataset, DatasetProvider, PlanDescription, QueryJob,
+    RemoteShardDataset, ScanPath, Session, TopkQuery,
 };
 use ttk_datagen::cartel::{generate_area, CartelConfig};
 use ttk_datagen::soldier;
 use ttk_datagen::synthetic::{generate, IntRange, MePolicy, SyntheticConfig};
 use ttk_pdb::{
-    parse_expression, table_to_csv, CsvDataset, CsvOptions, DataType, PTable, Schema, SpillOptions,
+    parse_expression, table_to_csv, CsvDataset, CsvOptions, DataType, PTable, Schema,
+    ShardImportOptions, SpillOptions,
 };
-use ttk_uncertain::ScoreDistribution;
+use ttk_uncertain::{PrefetchPolicy, ScoreDistribution, TupleSource, WireWriter};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -46,33 +57,54 @@ fn usage() -> &'static str {
   ttk soldier
   ttk generate cartel   [--segments N] [--seed S] [--out FILE] [--shards N]
   ttk generate synthetic [--tuples N] [--rho R] [--sigma S] [--me-size LO:HI] [--me-gap LO:HI] [--seed S] [--out FILE] [--shards N]
-  ttk query   (DATA.csv | --file DATA.csv | --shard s0.csv --shard s1.csv ...)
+  ttk query   (DATA.csv | --file DATA.csv | --shard s0.csv --shard s1.csv ...
+               | --remote-shard HOST:PORT ... [--shard s.csv ...])
               --score EXPR --k K
               [--c C] [--p-tau P] [--max-lines N] [--algorithm main|per-ending|state-expansion|k-combo]
               [--prob-column NAME] [--group-column NAME] [--buckets N]
               [--batch KS] [--threads N] [--spill-buffer TUPLES]
-  ttk explain (DATA.csv | --file DATA.csv | --shard ...) --score EXPR [--k K]
-              [--p-tau P] [--algorithm ...] [--spill-buffer TUPLES]
+              [--prefetch TUPLES] [--id-base N]
+  ttk explain (DATA.csv | --file DATA.csv | --shard ... | --remote-shard ...)
+              --score EXPR [--k K] [--p-tau P] [--algorithm ...]
+              [--spill-buffer TUPLES] [--prefetch TUPLES] [--after]
+  ttk serve-shard (DATA.csv | --file DATA.csv | --shard ...) --score EXPR
+              --listen HOST:PORT [--id-base N] [--spill-buffer TUPLES]
+              [--max-conns N] [--port-file FILE]
+              [--prob-column NAME] [--group-column NAME]
 
   Every input form resolves to one dataset: a single CSV file (positional or
   --file), the shard files of one partitioned relation (--shard, repeatable;
-  scanned under a k-way merge), or an out-of-core scan (--spill-buffer T
+  scanned under a k-way merge), an out-of-core scan (--spill-buffer T
   external-sorts a single file through runs of at most T tuples spilled to
-  temp files). Exactly one form may be given.
+  temp files), or remote shard servers (--remote-shard, repeatable, mixable
+  with local --shard files). --prefetch B reads every shard of a merged scan
+  ahead through a B-tuple channel on its own thread.
+
+  serve-shard scores its input once and then serves it as a rank-ordered
+  binary tuple stream, one full replay per connection, until --max-conns
+  connections were served (0 or absent = forever). --id-base places the
+  served rows in the relation's shared tuple-id space (pass the total row
+  count of the shards before this one); group keys are hashed from the group
+  label so independently-served shards agree on ME groups. --port-file
+  writes the actually-bound address (useful with --listen 127.0.0.1:0).
 
   --batch KS runs one query per k in KS (comma list `1,5,10` or range
   `LO:HI`) through the cost-ordered parallel batch executor and prints a
   summary table; --k is ignored when --batch is given. Batches work on every
   dataset kind — a spilled file is sorted once and its runs are replayed per
-  job.
+  job; remote shards are re-connected per job.
 
   explain prints the chosen scan path and the scheduler's row/depth/cost
-  estimates without executing; generate --shards N writes one CSV per shard
-  (FILE.shardI.csv)."
+  estimates without executing (with --after it executes once and reports the
+  observed scan depth next to the estimate); generate --shards N writes one
+  CSV per shard (FILE.shardI.csv)."
 }
 
 /// Parsed `--key value` flags; repeated flags accumulate in order.
 type Flags = HashMap<String, Vec<String>>;
+
+/// Flags that take no value (their presence means `true`).
+const BOOLEAN_FLAGS: &[&str] = &["after"];
 
 /// Parses `--key value` style flags into a map; bare words are positional.
 fn parse_flags(args: &[String]) -> Result<(Vec<String>, Flags), String> {
@@ -82,6 +114,14 @@ fn parse_flags(args: &[String]) -> Result<(Vec<String>, Flags), String> {
     while i < args.len() {
         let arg = &args[i];
         if let Some(name) = arg.strip_prefix("--") {
+            if BOOLEAN_FLAGS.contains(&name) {
+                flags
+                    .entry(name.to_string())
+                    .or_default()
+                    .push("true".to_string());
+                i += 1;
+                continue;
+            }
             let value = args
                 .get(i + 1)
                 .ok_or_else(|| format!("flag --{name} needs a value"))?;
@@ -134,6 +174,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "generate" => cmd_generate(rest),
         "query" => cmd_query(rest),
         "explain" => cmd_explain(rest),
+        "serve-shard" => cmd_serve_shard(rest),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
@@ -359,20 +400,26 @@ fn parse_csv_options(flags: &Flags) -> CsvOptions {
     }
 }
 
-/// Resolves the input flags of `query`/`explain` to exactly one [`Dataset`].
+/// Resolves the input flags of `query`/`explain`/`serve-shard` to exactly
+/// one [`Dataset`].
 ///
-/// The three input forms — a single CSV file (positional or `--file`), a
-/// shard set (repeatable `--shard`), and the out-of-core scan of a single
-/// file (`--spill-buffer`) — are mutually constrained; any conflicting
+/// The input forms — a single CSV file (positional or `--file`), a shard
+/// set (repeatable `--shard`), the out-of-core scan of a single file
+/// (`--spill-buffer`) and remote shard servers (repeatable `--remote-shard`,
+/// mixable with `--shard`) — are mutually constrained; any conflicting
 /// combination is rejected with one error naming the dataset kind each flag
-/// resolves to.
+/// resolves to. `serving` marks the serve-shard mode: remote inputs are
+/// rejected and group keys are hashed so independently-served shards agree
+/// on ME groups without coordination.
 fn resolve_dataset(
     positional: &[String],
     flags: &Flags,
     csv_options: &CsvOptions,
     score: &str,
+    serving: bool,
 ) -> Result<Dataset, String> {
     let shard_files: Vec<String> = flags.get("shard").cloned().unwrap_or_default();
+    let remote_shards: Vec<String> = flags.get("remote-shard").cloned().unwrap_or_default();
     let flag_file = get(flags, "file");
     if positional.len() > 1 {
         return Err(format!(
@@ -384,6 +431,13 @@ fn resolve_dataset(
     }
     let positional_file = positional.first().map(String::as_str);
     let spill_buffer = get_parse(flags, "spill-buffer", 0usize)?;
+    let prefetch_buffer = get_parse(flags, "prefetch", 0usize)?;
+    let prefetch = if prefetch_buffer > 0 {
+        PrefetchPolicy::per_shard(prefetch_buffer)
+    } else {
+        PrefetchPolicy::Off
+    };
+    let id_base = get_parse(flags, "id-base", 0u64)?;
     let expression = parse_expression(score).map_err(|e| e.to_string())?;
 
     if let (Some(p), Some(f)) = (positional_file, flag_file) {
@@ -393,6 +447,54 @@ fn resolve_dataset(
         ));
     }
     let file = flag_file.or(positional_file);
+
+    if !remote_shards.is_empty() {
+        if serving {
+            return Err(
+                "serve-shard serves local data; --remote-shard only applies to query/explain"
+                    .to_string(),
+            );
+        }
+        if let Some(file) = file {
+            return Err(format!(
+                "conflicting input flags: `{file}` resolves to a single-file CSV dataset, \
+                 but --remote-shard was also given ({} servers resolving to a remote shard \
+                 dataset); use --shard for local shards merged with remote ones",
+                remote_shards.len()
+            ));
+        }
+        if spill_buffer > 0 {
+            return Err(
+                "conflicting input flags: --spill-buffer configures the external sort of a \
+                 single-file CSV dataset, but the input resolved to a remote shard dataset; \
+                 spill on the serving side (ttk serve-shard --spill-buffer) instead"
+                    .to_string(),
+            );
+        }
+        let mut dataset = RemoteShardDataset::new(remote_shards).with_prefetch(prefetch);
+        if !shard_files.is_empty() {
+            // Local shards merged into the same relation: hashed group keys
+            // (matching the serving side) and the caller-provided id base.
+            // Wrapped in a CsvDataset so the scoring pass is cached — every
+            // open (e.g. each job of a --batch) replays the cached sources
+            // as one pre-merged stream instead of re-reading the files.
+            let count = shard_files.len();
+            let local = CsvDataset::from_shard_paths(shard_files, csv_options.clone(), expression)
+                .with_import(ShardImportOptions {
+                    first_tuple_id: id_base,
+                    hashed_group_keys: true,
+                });
+            dataset = dataset.with_local_shards(count, move || {
+                Ok(vec![Box::new(local.open()?) as Box<dyn TupleSource + Send>])
+            });
+        }
+        return Ok(dataset.into_dataset());
+    }
+
+    let import = ShardImportOptions {
+        first_tuple_id: id_base,
+        hashed_group_keys: serving,
+    };
     match (file, shard_files.is_empty()) {
         (Some(file), false) => Err(format!(
             "conflicting input flags: `{file}` resolves to a single-file CSV dataset, but \
@@ -400,11 +502,15 @@ fn resolve_dataset(
              pass exactly one input form",
             shard_files.len()
         )),
-        (None, true) => {
-            Err("no input: pass a CSV file (positional or --file) or --shard files".to_string())
-        }
+        (None, true) => Err(
+            "no input: pass a CSV file (positional or --file), --shard files, or \
+             --remote-shard servers"
+                .to_string(),
+        ),
         (Some(file), true) => {
-            let dataset = CsvDataset::from_path(file, csv_options.clone(), expression);
+            let dataset = CsvDataset::from_path(file, csv_options.clone(), expression)
+                .with_prefetch(prefetch)
+                .with_import(import);
             Ok(if spill_buffer > 0 {
                 dataset
                     .with_spill(SpillOptions::with_run_buffer(spill_buffer))
@@ -426,10 +532,78 @@ fn resolve_dataset(
             }
             Ok(
                 CsvDataset::from_shard_paths(shard_files, csv_options.clone(), expression)
+                    .with_prefetch(prefetch)
+                    .with_import(import)
                     .into_dataset(),
             )
         }
     }
+}
+
+/// `ttk serve-shard`: score the resolved dataset once, then serve it as a
+/// framed binary tuple stream over TCP — one full replay per accepted
+/// connection (replayable datasets cache their scoring pass / spill index,
+/// so replays are cheap).
+fn cmd_serve_shard(args: &[String]) -> Result<(), String> {
+    let (positional, flags) = parse_flags(args)?;
+    let score = get(&flags, "score")
+        .ok_or("--score is required")?
+        .to_string();
+    let listen = get(&flags, "listen").ok_or("--listen HOST:PORT is required")?;
+    let max_conns = get_parse(&flags, "max-conns", 0usize)?;
+    let csv_options = parse_csv_options(&flags);
+    let dataset = resolve_dataset(&positional, &flags, &csv_options, &score, true)?;
+
+    let listener =
+        TcpListener::bind(listen).map_err(|e| format!("cannot listen on {listen}: {e}"))?;
+    let bound = listener
+        .local_addr()
+        .map_err(|e| e.to_string())?
+        .to_string();
+    if let Some(path) = get(&flags, "port-file") {
+        std::fs::write(path, &bound).map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    eprintln!(
+        "serving dataset `{}` on {bound}{}",
+        dataset.label(),
+        if max_conns > 0 {
+            format!(" for {max_conns} connection(s)")
+        } else {
+            String::new()
+        }
+    );
+
+    let mut served_conns = 0usize;
+    for stream in listener.incoming() {
+        // Transient accept failures (aborted handshakes, fd pressure) must
+        // not take the server down; log and keep accepting.
+        let stream = match stream {
+            Ok(stream) => stream,
+            Err(e) => {
+                eprintln!("accepting connection: {e}");
+                continue;
+            }
+        };
+        let peer = stream
+            .peer_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| "<unknown>".to_string());
+        let result = dataset.open().and_then(|mut handle| {
+            let hint = handle.remaining_hint();
+            WireWriter::new(BufWriter::new(stream), hint)?.serve(&mut handle)
+        });
+        match result {
+            Ok(tuples) => eprintln!("served {tuples} tuples to {peer}"),
+            // A peer hanging up early (its scan gate closed) is normal
+            // operation for a streaming server, not a reason to exit.
+            Err(e) => eprintln!("connection {peer}: {e}"),
+        }
+        served_conns += 1;
+        if max_conns > 0 && served_conns >= max_conns {
+            break;
+        }
+    }
+    Ok(())
 }
 
 /// One line summarising what was scanned, from the post-execution plan.
@@ -458,6 +632,25 @@ fn describe_scan(plan: &PlanDescription) -> String {
         ScanPath::SpilledRuns { .. } => {
             format!("{rows} rows from {} (external sort pending)", plan.dataset)
         }
+        ScanPath::Remote { remote, local } => {
+            if local > 0 {
+                format!(
+                    "{rows} rows merged from {remote} remote shard streams and {local} local \
+                     shards ({})",
+                    plan.dataset
+                )
+            } else {
+                format!(
+                    "{rows} rows streamed from {remote} remote shards ({})",
+                    plan.dataset
+                )
+            }
+        }
+        ScanPath::Prefetched { shards, buffer } => format!(
+            "{rows} rows loaded from {} ({shards} shard streams, each prefetched through a \
+             {buffer}-tuple channel)",
+            plan.dataset
+        ),
     }
 }
 
@@ -475,7 +668,13 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     let buckets = get_parse(&flags, "buckets", 16usize)?;
     let threads = get_parse(&flags, "threads", 0usize)?;
     let csv_options = parse_csv_options(&flags);
-    let dataset = resolve_dataset(&positional, &flags, &csv_options, &spec.expression_text)?;
+    let dataset = resolve_dataset(
+        &positional,
+        &flags,
+        &csv_options,
+        &spec.expression_text,
+        false,
+    )?;
     let mut session = Session::new();
 
     if let Some(ks) = batch_ks {
@@ -517,9 +716,26 @@ fn cmd_explain(args: &[String]) -> Result<(), String> {
     }
     let spec = parse_query_spec(&flags, k)?;
     let csv_options = parse_csv_options(&flags);
-    let dataset = resolve_dataset(&positional, &flags, &csv_options, &spec.expression_text)?;
-    let plan = Session::new().explain(&dataset, &spec.topk);
+    let dataset = resolve_dataset(
+        &positional,
+        &flags,
+        &csv_options,
+        &spec.expression_text,
+        false,
+    )?;
+    let mut session = Session::new();
+    if get(&flags, "after").is_some() {
+        // Execute once so the plan can report the observed scan depth (and
+        // the cost model's drift) next to the estimate.
+        session
+            .execute(&dataset, &spec.topk)
+            .map_err(|e| e.to_string())?;
+    }
+    let plan = session.explain(&dataset, &spec.topk);
     println!("{plan}");
+    if let Some(drift) = plan.observed_vs_estimated() {
+        println!("cost-model drift (observed / estimated scan depth): {drift:.3}");
+    }
     Ok(())
 }
 
@@ -867,6 +1083,195 @@ mod tests {
             "3",
             "--spill-buffer",
             "16",
+        ]))
+        .unwrap();
+        std::fs::remove_file(&data).ok();
+    }
+
+    #[test]
+    fn serve_shard_and_remote_query_round_trip() {
+        let dir = std::env::temp_dir();
+        let data = dir.join("ttk_cli_test_remote.csv");
+        let path = data.to_string_lossy().to_string();
+        run(&s(&[
+            "generate",
+            "cartel",
+            "--segments",
+            "18",
+            "--seed",
+            "21",
+            "--shards",
+            "2",
+            "--out",
+            &path,
+        ]))
+        .unwrap();
+        let shard_paths: Vec<String> = (0..2).map(|i| shard_path(&path, i)).collect();
+        // Row count of shard 0 = the id base of shard 1 in the shared space.
+        let shard0_rows = std::fs::read_to_string(&shard_paths[0])
+            .unwrap()
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .count()
+            - 1; // header
+        let expr = "speed_limit / (length / delay)";
+
+        // Serve both shards on ephemeral ports. Shard 0 serves two
+        // connections (the pure-remote query and the mixed query below);
+        // shard 1 serves one — the servers exit once those are done.
+        let mut port_files = Vec::new();
+        let mut servers = Vec::new();
+        for (i, shard) in shard_paths.iter().enumerate() {
+            let port_file = dir.join(format!("ttk_cli_test_remote_port{i}"));
+            std::fs::remove_file(&port_file).ok();
+            let args = s(&[
+                "serve-shard",
+                shard,
+                "--score",
+                expr,
+                "--listen",
+                "127.0.0.1:0",
+                "--port-file",
+                &port_file.to_string_lossy(),
+                "--max-conns",
+                if i == 0 { "2" } else { "1" },
+                "--id-base",
+                &if i == 0 { 0 } else { shard0_rows }.to_string(),
+            ]);
+            servers.push(std::thread::spawn(move || run(&args)));
+            port_files.push(port_file);
+        }
+        let addrs: Vec<String> = port_files
+            .iter()
+            .map(|pf| {
+                for _ in 0..200 {
+                    if let Ok(addr) = std::fs::read_to_string(pf) {
+                        if !addr.is_empty() {
+                            return addr;
+                        }
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                }
+                panic!("server did not write {pf:?}");
+            })
+            .collect();
+
+        // Pure remote: both shards over loopback, single query and explain.
+        run(&s(&[
+            "query",
+            "--remote-shard",
+            &addrs[0],
+            "--remote-shard",
+            &addrs[1],
+            "--score",
+            expr,
+            "--k",
+            "3",
+            "--prefetch",
+            "64",
+        ]))
+        .unwrap();
+        run(&s(&[
+            "explain",
+            "--remote-shard",
+            &addrs[0],
+            "--remote-shard",
+            &addrs[1],
+            "--score",
+            expr,
+            "--k",
+            "3",
+        ]))
+        .unwrap();
+
+        // Mixed: shard 0 remote, shard 1 local (hashed keys + id base align
+        // the local shard with the served one).
+        run(&s(&[
+            "query",
+            "--remote-shard",
+            &addrs[0],
+            "--shard",
+            &shard_paths[1],
+            "--id-base",
+            &shard0_rows.to_string(),
+            "--score",
+            expr,
+            "--k",
+            "2",
+        ]))
+        .unwrap();
+
+        for server in servers {
+            server.join().unwrap().unwrap();
+        }
+
+        // Conflicting input forms are rejected with explanatory errors.
+        let err = run(&s(&[
+            "query",
+            "--remote-shard",
+            "127.0.0.1:1",
+            "--file",
+            &path,
+            "--score",
+            expr,
+            "--k",
+            "1",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("remote shard dataset"), "{err}");
+        let err = run(&s(&[
+            "query",
+            "--remote-shard",
+            "127.0.0.1:1",
+            "--spill-buffer",
+            "8",
+            "--score",
+            expr,
+            "--k",
+            "1",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("serving side"), "{err}");
+        // serve-shard refuses remote inputs and requires --listen.
+        assert!(run(&s(&[
+            "serve-shard",
+            "--remote-shard",
+            "127.0.0.1:1",
+            "--score",
+            expr,
+            "--listen",
+            "127.0.0.1:0"
+        ]))
+        .is_err());
+        assert!(run(&s(&["serve-shard", &path, "--score", expr])).is_err());
+
+        for p in shard_paths.iter().map(std::path::Path::new) {
+            std::fs::remove_file(p).ok();
+        }
+        for pf in &port_files {
+            std::fs::remove_file(pf).ok();
+        }
+        std::fs::remove_file(&data).ok();
+    }
+
+    #[test]
+    fn explain_after_reports_observed_depth() {
+        let dir = std::env::temp_dir();
+        let data = dir.join("ttk_cli_test_after.csv");
+        let path = data.to_string_lossy().to_string();
+        run(&s(&[
+            "generate",
+            "cartel",
+            "--segments",
+            "10",
+            "--seed",
+            "2",
+            "--out",
+            &path,
+        ]))
+        .unwrap();
+        run(&s(&[
+            "explain", &path, "--score", "delay", "--k", "2", "--after",
         ]))
         .unwrap();
         std::fs::remove_file(&data).ok();

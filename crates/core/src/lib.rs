@@ -19,12 +19,15 @@
 //!   exhaustive possible-world ground truth.
 //! * [`session`] — the unified execution API: a [`Dataset`] abstracts every
 //!   physical input (in-memory table, owned stream, shard set, CSV via
-//!   `ttk-pdb`, generator closure) behind one `open()`, and a [`Session`]
-//!   exposes exactly three verbs — `execute`, `execute_batch` (cost-ordered,
-//!   optionally bounded-result-memory) and `explain`.
+//!   `ttk-pdb`, generator closure, remote shard servers) behind one
+//!   `open()`, and a [`Session`] exposes exactly three verbs — `execute`,
+//!   `execute_batch` (cost-ordered, optionally bounded-result-memory) and
+//!   `explain` (now with observed-vs-estimated scan-depth drift).
+//! * [`remote`] — [`RemoteShardDataset`]: shard streams decoded from other
+//!   processes over the wire protocol of `ttk-uncertain`, merged (optionally
+//!   prefetched, optionally together with local shards) into one scan.
 //! * [`query`] — the query model ([`TopkQuery`], [`QueryAnswer`]) and the
-//!   reusable [`Executor`] engine the session drives; the per-shape entry
-//!   points of earlier releases survive here as thin deprecated wrappers.
+//!   reusable [`Executor`] engine the session drives.
 //!
 //! ## Quick start
 //!
@@ -62,6 +65,7 @@ pub mod baselines;
 pub mod dp;
 pub mod k_combo;
 pub mod query;
+pub mod remote;
 pub mod scan;
 pub mod scan_depth;
 pub mod session;
@@ -74,11 +78,8 @@ pub use dp::{
     topk_score_distribution_streamed, MainConfig, MainOutput, MeStrategy,
 };
 pub use k_combo::{k_combo, k_combo_streamed};
-#[allow(deprecated)]
-pub use query::{
-    execute, execute_batch, execute_batch_sources, Algorithm, BatchJob, Executor, QueryAnswer,
-    SourceBatchJob, TopkQuery,
-};
+pub use query::{Algorithm, Executor, QueryAnswer, TopkQuery};
+pub use remote::RemoteShardDataset;
 pub use scan::{RankScan, ScanPrefix};
 pub use scan_depth::{scan_depth, stopping_threshold, ScanGate};
 pub use session::{

@@ -2,10 +2,11 @@
 //!
 //! [`TopkQuery`] bundles every knob of the paper's proposal — the query size
 //! `k`, the number of typical answers `c`, the probability threshold pτ, the
-//! line-coalescing budget and the algorithm choice — and [`execute`] runs the
-//! whole pipeline: score distribution → c-Typical-Topk selection → U-Topk
-//! comparison point. This is the API the examples, the CLI and the
-//! probabilistic-database layer (`ttk-pdb`) build on.
+//! line-coalescing budget and the algorithm choice — and a [`Session`]
+//! (driving the [`Executor`] engine defined here) runs the whole pipeline:
+//! score distribution → c-Typical-Topk selection → U-Topk comparison point.
+//! This is the API the examples, the CLI and the probabilistic-database
+//! layer (`ttk-pdb`) build on.
 //!
 //! Every algorithm choice runs through the same streaming front end: the
 //! input — an in-memory table or any [`TupleSource`] — is pulled through a
@@ -14,19 +15,16 @@
 //! buffers so serving many queries does not reallocate per query.
 //!
 //! **Use the unified API.** The per-shape entry points of earlier releases
-//! (the free [`execute`], [`Executor::execute_source`],
-//! [`Executor::execute_shards`], [`execute_batch`],
-//! [`execute_batch_sources`]) are deprecated thin wrappers kept for one
-//! release: wrap the input in a [`Dataset`] and run it through a
-//! [`Session`] instead — one seam for every physical input, with
-//! plan-once/run-many caching, cost-ordered batches and `explain`.
+//! (`execute`, `execute_source`, `execute_shards`, `execute_batch`,
+//! `execute_batch_sources`) have been removed: wrap the input in a
+//! [`Dataset`] and run it through a [`Session`] instead — one seam for
+//! every physical input, with plan-once/run-many caching, cost-ordered
+//! batches and `explain`.
 
-use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use ttk_uncertain::{
-    CoalescePolicy, Error, MergeSource, Result, ScoreDistribution, TableSource, TupleSource,
-    UncertainTable,
+    CoalescePolicy, Error, Result, ScoreDistribution, TableSource, TupleSource, UncertainTable,
 };
 
 use crate::baselines::exhaustive::exhaustive_topk_distribution;
@@ -35,7 +33,6 @@ use crate::dp::{topk_from_prefix, MainConfig, MeStrategy};
 use crate::k_combo::k_combo_on_prefix;
 use crate::scan::RankScan;
 use crate::scan_depth::ScanGate;
-use crate::session::fan_out;
 use crate::state_expansion::{state_expansion_on_prefix, NaiveConfig};
 use crate::typical::{typical_topk, TypicalSelection};
 
@@ -228,68 +225,7 @@ impl Executor {
         self.run_source(&mut source, query, Some(table))
     }
 
-    /// Executes a query against a rank-ordered [`TupleSource`].
-    ///
-    /// The score distribution reads at most one tuple past the Theorem-2
-    /// bound (none past the end for the exhaustive algorithm). When the
-    /// U-Topk comparison answer is requested the **remainder of the stream
-    /// is drained** and the classical full-table search runs — U-Topk has no
-    /// probability threshold, so Theorem 2 provides no bound for it; disable
-    /// it with [`TopkQuery::with_u_topk`] to keep the scan bounded.
-    ///
-    /// # Errors
-    ///
-    /// As [`Executor::execute`], plus any error the source reports.
-    #[deprecated(
-        since = "0.2.0",
-        note = "wrap the source in `Dataset::stream` and use `Session::execute`"
-    )]
-    pub fn execute_source(
-        &mut self,
-        source: &mut dyn TupleSource,
-        query: &TopkQuery,
-    ) -> Result<QueryAnswer> {
-        self.run_source(source, query, None)
-    }
-
-    /// Executes a query against the shards of a **partitioned relation**:
-    /// per-shard rank-ordered sources sharing one group-key namespace, as
-    /// produced by `shard_sources_from_csv`, `partition_round_robin` or the
-    /// `--shards` generators.
-    ///
-    /// The shards are fused under a loser-tree [`MergeSource`], so the answer
-    /// is bit-identical to executing the unpartitioned stream, and each shard
-    /// is read at most one tuple past its contribution to the Theorem-2
-    /// prefix (the merge buffers a single look-ahead head per shard).
-    ///
-    /// # Errors
-    ///
-    /// As [`Executor::execute_source`], plus order-validation errors when a
-    /// shard stream is not rank-ordered.
-    #[deprecated(
-        since = "0.2.0",
-        note = "wrap the shards in `Dataset::shards` and use `Session::execute`"
-    )]
-    pub fn execute_shards<S: TupleSource>(
-        &mut self,
-        shards: Vec<S>,
-        query: &TopkQuery,
-    ) -> Result<QueryAnswer> {
-        self.run_shards(shards, query)
-    }
-
-    /// Non-deprecated kernel of [`Executor::execute_shards`], shared with the
-    /// session and batch paths.
-    pub(crate) fn run_shards<S: TupleSource>(
-        &mut self,
-        shards: Vec<S>,
-        query: &TopkQuery,
-    ) -> Result<QueryAnswer> {
-        let mut merged = MergeSource::new(shards);
-        self.run_source(&mut merged, query, None)
-    }
-
-    /// Non-deprecated kernel of the streaming execution path: pulls `source`
+    /// Kernel of the streaming execution path: pulls `source`
     /// through the Theorem-2 gate and runs the selected algorithm on the
     /// admitted prefix. `full_table` enables the direct U-Topk search when
     /// the caller holds the materialized table.
@@ -389,69 +325,6 @@ impl Executor {
     }
 }
 
-/// Executes a [`TopkQuery`] against an uncertain table.
-///
-/// One-shot convenience over [`Executor::execute`]; long-lived callers should
-/// hold a [`Session`] (or an [`Executor`]) to reuse its scratch buffers.
-///
-/// # Errors
-///
-/// Propagates parameter validation errors from the underlying algorithms
-/// (`k == 0`, pτ out of range, `typical_count == 0`, too many possible
-/// worlds for the exhaustive algorithm, …).
-#[deprecated(
-    since = "0.2.0",
-    note = "wrap the table in `Dataset::table` and use `Session::execute`"
-)]
-pub fn execute(table: &UncertainTable, query: &TopkQuery) -> Result<QueryAnswer> {
-    Executor::new().execute(table, query)
-}
-
-/// One independent query of a batch: a table reference plus its parameters.
-#[derive(Debug, Clone, Copy)]
-pub struct BatchJob<'a> {
-    /// The table the query runs against.
-    pub table: &'a UncertainTable,
-    /// The query parameters.
-    pub query: TopkQuery,
-}
-
-impl<'a> BatchJob<'a> {
-    /// Bundles a table and a query.
-    pub fn new(table: &'a UncertainTable, query: TopkQuery) -> Self {
-        BatchJob { table, query }
-    }
-}
-
-/// Executes a batch of independent queries, fanning them out over `threads`
-/// worker threads (`0` = one per available CPU).
-///
-/// Each worker owns one [`Executor`] whose scratch buffers are reused across
-/// the jobs it claims. Jobs are deterministic and independent, so the result
-/// vector — indexed like `jobs` — is identical to running every job
-/// sequentially, regardless of how the workers interleave.
-#[deprecated(
-    since = "0.2.0",
-    note = "build `QueryJob`s over a shared `Dataset::table` and use `Session::execute_batch` \
-            (cost-ordered, with an optional bounded-result-memory sink)"
-)]
-pub fn execute_batch(jobs: &[BatchJob<'_>], threads: usize) -> Vec<Result<QueryAnswer>> {
-    let mut slots: Vec<Option<Result<QueryAnswer>>> = jobs.iter().map(|_| None).collect();
-    fan_out(
-        jobs.len(),
-        threads,
-        (0..jobs.len()).collect(),
-        jobs.len(),
-        &mut Executor::new(),
-        |index, executor| executor.execute(jobs[index].table, &jobs[index].query),
-        |index, answer| slots[index] = Some(answer),
-    );
-    slots
-        .into_iter()
-        .map(|slot| slot.expect("every batch job is claimed by exactly one worker"))
-        .collect()
-}
-
 /// Resolves a thread-count request (`0` = one per available CPU) against the
 /// number of jobs.
 pub(crate) fn resolve_threads(threads: usize, jobs: usize) -> usize {
@@ -465,81 +338,7 @@ pub(crate) fn resolve_threads(threads: usize, jobs: usize) -> usize {
     .min(jobs.max(1))
 }
 
-/// One independent query of a source-based batch: the shard streams it
-/// consumes (single-element vector for an unsharded stream) plus its
-/// parameters. Unlike [`BatchJob`], the job **owns** its input — sources are
-/// single-pass, so every job needs fresh streams.
-pub struct SourceBatchJob {
-    /// Per-shard rank-ordered streams sharing one group-key namespace.
-    pub shards: Vec<Box<dyn TupleSource + Send>>,
-    /// The query parameters.
-    pub query: TopkQuery,
-}
-
-impl SourceBatchJob {
-    /// Bundles shard streams and a query.
-    pub fn new(shards: Vec<Box<dyn TupleSource + Send>>, query: TopkQuery) -> Self {
-        SourceBatchJob { shards, query }
-    }
-}
-
-impl std::fmt::Debug for SourceBatchJob {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SourceBatchJob")
-            .field("shards", &self.shards.len())
-            .field("query", &self.query)
-            .finish()
-    }
-}
-
-/// Executes a batch of independent **source-based** queries — each job owns
-/// its (possibly sharded) input streams — fanning them out over `threads`
-/// worker threads (`0` = one per available CPU).
-///
-/// The sharded counterpart of [`execute_batch`]: every job's shards are fused
-/// under one loser-tree merge (see [`Executor::execute_shards`]) and each
-/// worker reuses one [`Executor`]. Jobs are deterministic and independent, so
-/// the result vector — indexed like `jobs` — is identical to sequential
-/// execution regardless of worker interleaving.
-#[deprecated(
-    since = "0.2.0",
-    note = "wrap each job's shards in `Dataset::shards` (or a replayable CSV/generator \
-            dataset) and use `Session::execute_batch`"
-)]
-pub fn execute_batch_sources(
-    jobs: Vec<SourceBatchJob>,
-    threads: usize,
-) -> Vec<Result<QueryAnswer>> {
-    let total = jobs.len();
-    let job_slots: Vec<Mutex<Option<SourceBatchJob>>> =
-        jobs.into_iter().map(|job| Mutex::new(Some(job))).collect();
-    let mut slots: Vec<Option<Result<QueryAnswer>>> = job_slots.iter().map(|_| None).collect();
-    fan_out(
-        total,
-        threads,
-        (0..total).collect(),
-        total,
-        &mut Executor::new(),
-        |index, executor| {
-            let job = job_slots[index]
-                .lock()
-                .expect("job slot poisoned")
-                .take()
-                .expect("every job slot is claimed by exactly one worker");
-            executor.run_shards(job.shards, &job.query)
-        },
-        |index, answer| slots[index] = Some(answer),
-    );
-    slots
-        .into_iter()
-        .map(|slot| slot.expect("every batch job is claimed by exactly one worker"))
-        .collect()
-}
-
 #[cfg(test)]
-// The tests below pin the behaviour of the deprecated wrappers until their
-// removal; the session parity proptests compare the new path against them.
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use ttk_uncertain::TupleId;
@@ -570,7 +369,7 @@ mod tests {
     fn end_to_end_soldier_query() {
         let table = soldier_table();
         let query = TopkQuery::new(2).with_p_tau(1e-9).with_max_lines(0);
-        let answer = execute(&table, &query).unwrap();
+        let answer = Executor::new().execute(&table, &query).unwrap();
         assert!((answer.expected_score() - 164.1).abs() < 0.05);
         assert_eq!(answer.typical.scores(), vec![118.0, 183.0, 235.0]);
         let u = answer.u_topk.as_ref().unwrap();
@@ -597,7 +396,7 @@ mod tests {
                 .with_max_lines(0)
                 .with_algorithm(algorithm)
                 .with_u_topk(false);
-            let answer = execute(&table, &query).unwrap();
+            let answer = Executor::new().execute(&table, &query).unwrap();
             expected.push(answer.expected_score());
         }
         for pair in expected.windows(2) {
@@ -626,16 +425,20 @@ mod tests {
     #[test]
     fn invalid_parameters_are_rejected() {
         let table = soldier_table();
-        assert!(execute(&table, &TopkQuery::new(0)).is_err());
-        assert!(execute(&table, &TopkQuery::new(2).with_typical_count(0)).is_err());
+        assert!(Executor::new().execute(&table, &TopkQuery::new(0)).is_err());
+        assert!(Executor::new()
+            .execute(&table, &TopkQuery::new(2).with_typical_count(0))
+            .is_err());
         // k larger than the table can support.
-        assert!(execute(&table, &TopkQuery::new(10)).is_err());
+        assert!(Executor::new()
+            .execute(&table, &TopkQuery::new(10))
+            .is_err());
     }
 
     #[test]
     fn typical_answers_lie_inside_the_distribution_span() {
         let table = soldier_table();
-        let answer = execute(&table, &TopkQuery::new(3)).unwrap();
+        let answer = Executor::new().execute(&table, &TopkQuery::new(3)).unwrap();
         let lo = answer.distribution.min_score().unwrap();
         let hi = answer.distribution.max_score().unwrap();
         for score in answer.typical.scores() {

@@ -1,0 +1,250 @@
+//! Remote shard serving: one scan spanning processes and machines.
+//!
+//! A [`RemoteShardDataset`] is the [`DatasetProvider`] of the transport
+//! layer: each configured address is a shard server speaking the
+//! [`wire`](ttk_uncertain::wire) protocol (`ttk serve-shard` on the CLI, or
+//! any program driving a [`WireWriter`](ttk_uncertain::WireWriter)), and
+//! opening the dataset connects to every server and fuses the decoded
+//! streams — optionally together with locally-opened shard streams — under
+//! the loser-tree k-way merge. Because the wire format carries raw IEEE-754
+//! bits, the merged stream is **bit-identical** to scanning the same shards
+//! in-process, and every [`Session`](crate::Session) verb (`execute`,
+//! `execute_batch`, `explain`) works unchanged.
+//!
+//! Two knobs shape the scan:
+//!
+//! * [`RemoteShardDataset::with_local_shards`] mixes local shard streams
+//!   into the same merge (the `--shard` + `--remote-shard` combination of
+//!   the CLI). Remote and local shards must partition one relation and
+//!   share a group-key namespace — servers derive stable keys by hashing
+//!   the group label, see `shard_import` in `ttk-pdb`.
+//! * [`RemoteShardDataset::with_prefetch`] reads each shard ahead through a
+//!   bounded [`TupleFeed`](ttk_uncertain::TupleFeed) channel, overlapping
+//!   network latency with the merge.
+//!
+//! Connection failures, mid-stream disconnects and server-side errors all
+//! surface as [`Error::Source`] on the pulling thread — a remote scan never
+//! hangs on a dead peer and never silently truncates.
+
+use std::io::BufReader;
+use std::net::TcpStream;
+
+use ttk_uncertain::{Error, PrefetchPolicy, Result, ScanHandle, TupleSource, WireReader};
+
+use crate::session::{Dataset, DatasetPlan, DatasetProvider, ScanPath};
+
+/// Opens the local shard streams merged alongside the remote connections.
+type LocalShardOpener = Box<dyn Fn() -> Result<Vec<Box<dyn TupleSource + Send>>> + Send + Sync>;
+
+/// A relation whose shards are served by remote processes over the wire
+/// protocol. See the [module documentation](self).
+pub struct RemoteShardDataset {
+    addrs: Vec<String>,
+    local: Option<LocalShardOpener>,
+    local_count: usize,
+    prefetch: PrefetchPolicy,
+}
+
+impl std::fmt::Debug for RemoteShardDataset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteShardDataset")
+            .field("addrs", &self.addrs)
+            .field("local_shards", &self.local_count)
+            .field("prefetch", &self.prefetch)
+            .finish()
+    }
+}
+
+impl RemoteShardDataset {
+    /// A dataset over the shard servers at `addrs` (`host:port`, one shard
+    /// stream per address). Nothing is connected until the first open.
+    pub fn new(addrs: impl IntoIterator<Item = impl Into<String>>) -> Self {
+        RemoteShardDataset {
+            addrs: addrs.into_iter().map(Into::into).collect(),
+            local: None,
+            local_count: 0,
+            prefetch: PrefetchPolicy::Off,
+        }
+    }
+
+    /// Merges `count` locally-opened shard streams alongside the remote
+    /// ones; `open` is called once per query for fresh streams (sources are
+    /// single-pass) and must yield exactly `count` shards of the same
+    /// partitioned relation, in a group-key namespace shared with the
+    /// servers.
+    pub fn with_local_shards(
+        mut self,
+        count: usize,
+        open: impl Fn() -> Result<Vec<Box<dyn TupleSource + Send>>> + Send + Sync + 'static,
+    ) -> Self {
+        self.local = Some(Box::new(open));
+        self.local_count = count;
+        self
+    }
+
+    /// Reads every shard (remote and local) ahead through a bounded feed
+    /// channel, overlapping per-shard I/O with the merge.
+    pub fn with_prefetch(mut self, prefetch: PrefetchPolicy) -> Self {
+        self.prefetch = prefetch;
+        self
+    }
+
+    /// Wraps the provider into the unified [`Dataset`] type consumed by
+    /// [`Session`](crate::Session).
+    pub fn into_dataset(self) -> Dataset {
+        let mut label = format!("remote({})", self.addrs.join(", "));
+        if self.local_count > 0 {
+            label.push_str(&format!(" + {} local shards", self.local_count));
+        }
+        Dataset::from_provider(self).with_label(label)
+    }
+}
+
+impl DatasetProvider for RemoteShardDataset {
+    fn open(&self) -> Result<ScanHandle> {
+        let mut shards: Vec<Box<dyn TupleSource + Send>> =
+            Vec::with_capacity(self.addrs.len() + self.local_count);
+        for addr in &self.addrs {
+            let stream = TcpStream::connect(addr)
+                .map_err(|e| Error::Source(format!("connecting to shard server {addr}: {e}")))?;
+            shards.push(Box::new(WireReader::new(BufReader::new(stream))));
+        }
+        if let Some(open) = &self.local {
+            shards.extend(open()?);
+        }
+        Ok(ScanHandle::merged_prefetched(shards, self.prefetch))
+    }
+
+    fn plan(&self) -> DatasetPlan {
+        DatasetPlan {
+            path: ScanPath::Remote {
+                remote: self.addrs.len(),
+                local: self.local_count,
+            },
+            // Row counts arrive with each connection's hello frame; the plan
+            // never connects, so they are unknown here.
+            rows: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Session, TopkQuery};
+    use std::net::TcpListener;
+    use ttk_uncertain::{SourceTuple, UncertainTuple, VecSource, WireWriter};
+
+    fn tuples(n: u64) -> Vec<SourceTuple> {
+        (0..n)
+            .map(|i| {
+                let t = UncertainTuple::new(i, (n - i) as f64, 0.6).unwrap();
+                if i % 4 == 0 {
+                    SourceTuple::grouped(t, i / 4)
+                } else {
+                    SourceTuple::independent(t)
+                }
+            })
+            .collect()
+    }
+
+    /// Serves each shard once over a loopback listener; returns the
+    /// addresses.
+    fn serve_once(shards: Vec<Vec<SourceTuple>>) -> Vec<String> {
+        shards
+            .into_iter()
+            .map(|shard| {
+                let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+                let addr = listener.local_addr().unwrap().to_string();
+                std::thread::spawn(move || {
+                    let (stream, _) = listener.accept().unwrap();
+                    let hint = Some(shard.len());
+                    // The client may hang up early (gate closed): a write
+                    // failure here is expected, not a test failure.
+                    if let Ok(writer) = WireWriter::new(std::io::BufWriter::new(stream), hint) {
+                        let _ = writer.serve(&mut VecSource::new(shard));
+                    }
+                });
+                addr
+            })
+            .collect()
+    }
+
+    #[test]
+    fn remote_scan_matches_the_local_scan() {
+        let all = tuples(60);
+        let shards: Vec<Vec<SourceTuple>> = (0..3)
+            .map(|s| {
+                all.iter()
+                    .enumerate()
+                    .filter(|(i, _)| i % 3 == s)
+                    .map(|(_, t)| *t)
+                    .collect()
+            })
+            .collect();
+        let query = TopkQuery::new(3).with_p_tau(1e-3).with_u_topk(false);
+        let mut session = Session::new();
+        let local = session
+            .execute(&Dataset::stream(VecSource::new(all)), &query)
+            .unwrap();
+
+        let dataset = RemoteShardDataset::new(serve_once(shards)).into_dataset();
+        let plan = session.explain(&dataset, &query);
+        assert_eq!(
+            plan.path,
+            ScanPath::Remote {
+                remote: 3,
+                local: 0
+            }
+        );
+        let remote = session.execute(&dataset, &query).unwrap();
+        assert_eq!(remote.distribution, local.distribution);
+        assert_eq!(remote.scan_depth, local.scan_depth);
+        assert_eq!(remote.typical.scores(), local.typical.scores());
+    }
+
+    #[test]
+    fn mixed_local_and_remote_shards_merge_into_one_relation() {
+        let all = tuples(40);
+        let remote_shard: Vec<SourceTuple> = all.iter().step_by(2).copied().collect();
+        let local_shard: Vec<SourceTuple> = all.iter().skip(1).step_by(2).copied().collect();
+        let query = TopkQuery::new(2).with_p_tau(1e-3).with_u_topk(false);
+        let mut session = Session::new();
+        let single = session
+            .execute(&Dataset::stream(VecSource::new(all)), &query)
+            .unwrap();
+
+        let dataset = RemoteShardDataset::new(serve_once(vec![remote_shard]))
+            .with_local_shards(1, move || {
+                Ok(vec![
+                    Box::new(VecSource::new(local_shard.clone())) as Box<dyn TupleSource + Send>
+                ])
+            })
+            .with_prefetch(PrefetchPolicy::per_shard(8))
+            .into_dataset();
+        assert_eq!(
+            session.explain(&dataset, &query).path,
+            ScanPath::Remote {
+                remote: 1,
+                local: 1
+            }
+        );
+        let mixed = session.execute(&dataset, &query).unwrap();
+        assert_eq!(mixed.distribution, single.distribution);
+        assert_eq!(mixed.scan_depth, single.scan_depth);
+    }
+
+    #[test]
+    fn unreachable_server_is_a_source_error() {
+        // A bound-then-dropped listener leaves a port nothing listens on.
+        let addr = {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap().to_string()
+        };
+        let dataset = RemoteShardDataset::new([addr]).into_dataset();
+        let err = Session::new()
+            .execute(&dataset, &TopkQuery::new(1))
+            .unwrap_err();
+        assert!(matches!(err, Error::Source(_)), "{err:?}");
+    }
+}

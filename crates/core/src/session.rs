@@ -42,7 +42,7 @@
 //! # Ok::<(), ttk_uncertain::Error>(())
 //! ```
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::sync_channel;
 use std::sync::{Arc, Mutex};
 
@@ -74,6 +74,24 @@ pub enum ScanPath {
         /// sort pass is skipped entirely.
         reused: bool,
     },
+    /// Shard streams decoded from remote processes over the wire protocol,
+    /// optionally merged with local shard streams — one scan spanning
+    /// machines.
+    Remote {
+        /// Number of remote shard connections.
+        remote: usize,
+        /// Number of local shard streams merged alongside them.
+        local: usize,
+    },
+    /// Per-shard streams feeding the loser-tree merge through bounded
+    /// prefetch channels (each shard on its own producer thread), so
+    /// per-shard I/O overlaps with the merge.
+    Prefetched {
+        /// Number of physical shard streams.
+        shards: usize,
+        /// Per-shard channel capacity in tuples.
+        buffer: usize,
+    },
 }
 
 impl std::fmt::Display for ScanPath {
@@ -101,6 +119,18 @@ impl std::fmt::Display for ScanPath {
                 }
                 Ok(())
             }
+            ScanPath::Remote { remote, local } => {
+                write!(f, "k-way merge over {remote} remote shard streams")?;
+                if *local > 0 {
+                    write!(f, " and {local} local shard streams")?;
+                }
+                Ok(())
+            }
+            ScanPath::Prefetched { shards, buffer } => write!(
+                f,
+                "k-way merge over {shards} shard streams, each prefetched \
+                 through a {buffer}-tuple channel"
+            ),
         }
     }
 }
@@ -189,6 +219,15 @@ enum Inner {
 pub struct Dataset {
     inner: Inner,
     label: String,
+    /// Process-unique identity, used to key per-dataset state (observed
+    /// scan depths) without relying on labels, which need not be unique.
+    id: u64,
+}
+
+/// Allocates the next process-unique dataset id.
+fn next_dataset_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    NEXT.fetch_add(1, Ordering::Relaxed)
 }
 
 impl std::fmt::Debug for Dataset {
@@ -232,6 +271,7 @@ impl Dataset {
         Dataset {
             inner: Inner::Table(table),
             label: "table".to_string(),
+            id: next_dataset_id(),
         }
     }
 
@@ -261,6 +301,7 @@ impl Dataset {
         Dataset {
             inner: Inner::Stream(Mutex::new(Some(Box::new(source)))),
             label: "stream".to_string(),
+            id: next_dataset_id(),
         }
     }
 
@@ -298,6 +339,7 @@ impl Dataset {
                 count,
             },
             label: format!("shards({count})"),
+            id: next_dataset_id(),
         }
     }
 
@@ -330,6 +372,7 @@ impl Dataset {
         Dataset {
             inner: Inner::Provider(Box::new(FnProvider { open })),
             label: "generator".to_string(),
+            id: next_dataset_id(),
         }
     }
 
@@ -339,6 +382,7 @@ impl Dataset {
         Dataset {
             inner: Inner::Provider(Box::new(provider)),
             label: "provider".to_string(),
+            id: next_dataset_id(),
         }
     }
 
@@ -454,12 +498,28 @@ pub struct PlanDescription {
     /// Heuristic estimate of the Theorem-2 scan depth (`None` when even an
     /// estimate is meaningless, e.g. an exhaustive scan of unknown size).
     pub estimated_depth: Option<usize>,
+    /// The scan depth the session *observed* the last time it executed this
+    /// `(dataset, k, pτ)` combination — the calibration signal for the cost
+    /// model. `None` until the session has executed the query once.
+    pub observed_depth: Option<usize>,
     /// Relative cost estimate used by the batch scheduler (bigger = run
     /// earlier under cost ordering).
     pub estimated_cost: f64,
     /// True when the query drains the full stream regardless of Theorem 2
     /// (U-Topk comparison requested, or the exhaustive algorithm).
     pub drains_stream: bool,
+}
+
+impl PlanDescription {
+    /// The cost model's drift for this plan: observed over estimated scan
+    /// depth (1.0 = perfectly calibrated, above 1 = the heuristic
+    /// underestimates). `None` until the session has both an estimate and an
+    /// observation.
+    pub fn observed_vs_estimated(&self) -> Option<f64> {
+        let estimated = self.estimated_depth?;
+        let observed = self.observed_depth?;
+        Some(observed as f64 / estimated.max(1) as f64)
+    }
 }
 
 impl std::fmt::Display for PlanDescription {
@@ -477,6 +537,15 @@ impl std::fmt::Display for PlanDescription {
         match self.estimated_depth {
             Some(depth) => writeln!(f, "  estimated scan depth: {depth} tuples")?,
             None => writeln!(f, "  estimated scan depth: unknown")?,
+        }
+        if let Some(observed) = self.observed_depth {
+            match self.observed_vs_estimated() {
+                Some(drift) => writeln!(
+                    f,
+                    "  observed scan depth: {observed} tuples ({drift:.2}x estimated)"
+                )?,
+                None => writeln!(f, "  observed scan depth: {observed} tuples")?,
+            }
         }
         writeln!(f, "  estimated cost: {:.0}", self.estimated_cost)?;
         write!(
@@ -638,6 +707,17 @@ impl<'a> QueryJob<'a> {
 #[derive(Debug, Default)]
 pub struct Session {
     executor: Executor,
+    /// Observed Theorem-2 scan depths keyed by `(dataset id, k, pτ bits)`
+    /// — the calibration data [`Session::explain`] reports back as
+    /// [`PlanDescription::observed_depth`]. Keyed by the dataset's
+    /// process-unique id (not its label, which need not be unique), so two
+    /// same-kind datasets never read each other's observations.
+    observations: std::collections::HashMap<(u64, usize, u64), usize>,
+}
+
+/// The observation key of one `(dataset, query)` combination.
+fn observation_key(dataset: &Dataset, query: &TopkQuery) -> (u64, usize, u64) {
+    (dataset.id, query.k, query.p_tau.to_bits())
 }
 
 impl Session {
@@ -653,12 +733,19 @@ impl Session {
     /// through the Theorem-2 gate. Both are bit-identical to the legacy
     /// per-shape entry points.
     ///
+    /// The observed scan depth is recorded per `(dataset, k, pτ)`, so a
+    /// later [`Session::explain`] can report the cost model's drift
+    /// ([`PlanDescription::observed_vs_estimated`]).
+    ///
     /// # Errors
     ///
     /// Propagates parameter validation errors, dataset open failures
     /// (consumed single-pass datasets, provider I/O) and stream errors.
     pub fn execute(&mut self, dataset: &Dataset, query: &TopkQuery) -> Result<QueryAnswer> {
-        execute_on(&mut self.executor, dataset, query)
+        let answer = execute_on(&mut self.executor, dataset, query)?;
+        self.observations
+            .insert(observation_key(dataset, query), answer.scan_depth);
+        Ok(answer)
     }
 
     /// Describes how [`Session::execute`] would run `query` against
@@ -679,6 +766,10 @@ impl Session {
             k: query.k,
             p_tau: query.p_tau,
             estimated_depth,
+            observed_depth: self
+                .observations
+                .get(&observation_key(dataset, query))
+                .copied(),
             estimated_cost: estimated_cost(query, plan.rows),
             drains_stream: query.compute_u_topk || query.algorithm == Algorithm::Exhaustive,
         }
@@ -731,14 +822,27 @@ impl Session {
             }
         };
         let capacity = options.max_resident.unwrap_or(jobs.len());
+        let Session {
+            executor,
+            observations,
+        } = self;
+        let mut sink = sink;
         fan_out(
             jobs.len(),
             options.threads,
             order,
             capacity,
-            &mut self.executor,
+            executor,
             |index, executor| execute_on(executor, jobs[index].dataset, &jobs[index].query),
-            sink,
+            |index, answer| {
+                if let Ok(answer) = &answer {
+                    observations.insert(
+                        observation_key(jobs[index].dataset, &jobs[index].query),
+                        answer.scan_depth,
+                    );
+                }
+                sink(index, answer);
+            },
         );
     }
 }

@@ -5,12 +5,10 @@
 //! where every tuple ties on score and mutual-exclusion groups straddle
 //! every shard boundary.
 //!
-//! Drives the deprecated `execute_source`/`execute_shards` wrappers on
-//! purpose: they must stay bit-identical until their removal.
-#![allow(deprecated)]
+//! Runs through the unified `Dataset`/`Session` API.
 
 use proptest::prelude::*;
-use ttk_core::{Executor, TopkQuery};
+use ttk_core::{Dataset, Session, TopkQuery};
 use ttk_uncertain::{SourceTuple, TupleSource, UncertainTable, VecSource};
 
 mod support;
@@ -60,10 +58,10 @@ proptest! {
         k in 1usize..5,
     ) {
         let query = TopkQuery::new(k).with_p_tau(1e-3).with_u_topk(false);
-        let mut single = table.to_source();
-        let single_answer = Executor::new().execute_source(&mut single, &query);
+        let mut session = Session::new();
+        let single_answer = session.execute(&Dataset::stream(table.to_source()), &query);
         let sharded_answer =
-            Executor::new().execute_shards(partition(&table, shards, policy, salt), &query);
+            session.execute(&Dataset::shards(partition(&table, shards, policy, salt)), &query);
         match (single_answer, sharded_answer) {
             (Ok(a), Ok(b)) => {
                 prop_assert_eq!(a.distribution, b.distribution);
@@ -87,10 +85,10 @@ proptest! {
         k in 1usize..4,
     ) {
         let query = TopkQuery::new(k).with_p_tau(1e-3).with_u_topk(false);
-        let mut single = table.to_source();
-        let single_answer = Executor::new().execute_source(&mut single, &query);
+        let mut session = Session::new();
+        let single_answer = session.execute(&Dataset::stream(table.to_source()), &query);
         let sharded_answer =
-            Executor::new().execute_shards(partition(&table, shards, policy, 7), &query);
+            session.execute(&Dataset::shards(partition(&table, shards, policy, 7)), &query);
         match (single_answer, sharded_answer) {
             (Ok(a), Ok(b)) => {
                 prop_assert_eq!(a.distribution, b.distribution);
@@ -109,10 +107,10 @@ proptest! {
         shards in 1usize..5,
     ) {
         let query = TopkQuery::new(2).with_p_tau(1e-2);
-        let mut single = table.to_source();
-        let single_answer = Executor::new().execute_source(&mut single, &query);
+        let mut session = Session::new();
+        let single_answer = session.execute(&Dataset::stream(table.to_source()), &query);
         let sharded_answer =
-            Executor::new().execute_shards(partition(&table, shards, 0, 0), &query);
+            session.execute(&Dataset::shards(partition(&table, shards, 0, 0)), &query);
         match (single_answer, sharded_answer) {
             (Ok(a), Ok(b)) => {
                 let (ua, ub) = (a.u_topk.map(|u| u.vector), b.u_topk.map(|u| u.vector));

@@ -1,20 +1,16 @@
-//! Parity of the unified `Dataset`/`Session` API with the legacy per-shape
-//! entry points it replaces: for **any** random table, executing through
-//! `Session::execute` over each `Dataset` kind must be **bit-identical** to
-//! the corresponding deprecated entry point, and `Session::execute_batch`
-//! must match the legacy batch executors and sequential execution under
-//! every ordering and delivery mode.
-#![allow(deprecated)] // the whole point of this suite is to compare against them
+//! Cross-kind parity of the unified `Dataset`/`Session` API: for **any**
+//! random table, executing through `Session::execute` must be
+//! **bit-identical** across every `Dataset` kind wrapping the same relation
+//! (in-memory table, owned stream, shard set, generator closure), and
+//! `Session::execute_batch` must match sequential execution under every
+//! ordering and delivery mode.
 
 use proptest::prelude::*;
 use ttk_core::{
-    cost_descending_order, estimated_cost, execute, execute_batch, execute_batch_sources, BatchJob,
-    BatchOptions, BatchOrdering, Dataset, Executor, QueryAnswer, QueryJob, Session, SourceBatchJob,
-    TopkQuery,
+    cost_descending_order, estimated_cost, BatchOptions, BatchOrdering, Dataset, Executor,
+    QueryAnswer, QueryJob, Session, TopkQuery,
 };
-use ttk_uncertain::{
-    partition_round_robin, Result, TupleSource, UncertainTable, UncertainTuple, VecSource,
-};
+use ttk_uncertain::{partition_round_robin, Result, UncertainTable, UncertainTuple, VecSource};
 
 mod support;
 
@@ -45,67 +41,51 @@ fn assert_identical(
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
-    /// `Dataset::table` ≡ the legacy free `execute` (full-table U-Topk path).
+    /// `Dataset::stream` ≡ `Dataset::table` (full-table U-Topk path
+    /// included: the stream path drains the remainder for it).
     #[test]
-    fn table_dataset_matches_legacy_execute(
+    fn stream_dataset_matches_table_dataset(
         table in random_table(),
         k in 1usize..5,
         u_topk in any::<bool>(),
     ) {
         let query = TopkQuery::new(k).with_p_tau(1e-3).with_u_topk(u_topk);
-        let legacy = execute(&table, &query);
-        let dataset = Dataset::table(table);
-        let session = Session::new().execute(&dataset, &query);
-        assert_identical(legacy, session)?;
+        let mut session = Session::new();
+        let stream = session.execute(&Dataset::stream(table.to_source()), &query);
+        let via_table = session.execute(&Dataset::table(table), &query);
+        assert_identical(via_table, stream)?;
     }
 
-    /// `Dataset::stream` ≡ the legacy `Executor::execute_source`.
+    /// `Dataset::shards` ≡ `Dataset::stream` for any round-robin partition.
     #[test]
-    fn stream_dataset_matches_legacy_execute_source(
-        table in random_table(),
-        k in 1usize..5,
-        u_topk in any::<bool>(),
-    ) {
-        let query = TopkQuery::new(k).with_p_tau(1e-3).with_u_topk(u_topk);
-        let mut source = table.to_source();
-        let legacy = Executor::new().execute_source(&mut source, &query);
-        let dataset = Dataset::stream(table.to_source());
-        let session = Session::new().execute(&dataset, &query);
-        assert_identical(legacy, session)?;
-    }
-
-    /// `Dataset::shards` ≡ the legacy `Executor::execute_shards` for any
-    /// round-robin partition.
-    #[test]
-    fn shards_dataset_matches_legacy_execute_shards(
+    fn shards_dataset_matches_stream_dataset(
         table in random_table(),
         shards in 1usize..5,
         k in 1usize..5,
     ) {
         let query = TopkQuery::new(k).with_p_tau(1e-3).with_u_topk(false);
-        let legacy = Executor::new()
-            .execute_shards(partition_round_robin(table.to_source(), shards).unwrap(), &query);
+        let mut session = Session::new();
+        let single = session.execute(&Dataset::stream(table.to_source()), &query);
         let dataset =
             Dataset::shards(partition_round_robin(table.to_source(), shards).unwrap());
-        let session = Session::new().execute(&dataset, &query);
-        assert_identical(legacy, session)?;
+        let sharded = session.execute(&dataset, &query);
+        assert_identical(single, sharded)?;
     }
 
-    /// `Dataset::generator` ≡ the legacy source path, and replays identically.
+    /// `Dataset::generator` ≡ the stream path, and replays identically.
     #[test]
-    fn generator_dataset_matches_legacy_and_replays(
+    fn generator_dataset_matches_stream_and_replays(
         table in random_table(),
         k in 1usize..4,
     ) {
         let query = TopkQuery::new(k).with_p_tau(1e-3).with_u_topk(false);
-        let mut source = table.to_source();
-        let legacy = Executor::new().execute_source(&mut source, &query);
+        let mut session = Session::new();
+        let single = session.execute(&Dataset::stream(table.to_source()), &query);
         let template: VecSource = table.to_source();
         let dataset = Dataset::generator(move || Ok(template.clone()));
-        let mut session = Session::new();
         let first = session.execute(&dataset, &query);
         let second = session.execute(&dataset, &query);
-        assert_identical(legacy, first)?;
+        assert_identical(single, first)?;
         match (session.execute(&dataset, &query), second) {
             (Ok(a), Ok(b)) => prop_assert_eq!(a.distribution, b.distribution),
             (Err(_), Err(_)) => {}
@@ -113,64 +93,58 @@ proptest! {
         }
     }
 
-    /// `Session::execute_batch` ≡ the legacy `execute_batch` over a shared
+    /// `Session::execute_batch` ≡ per-job `Session::execute` over a shared
     /// table, for both orderings and any thread count.
     #[test]
-    fn session_batch_matches_legacy_batch(
+    fn session_batch_matches_per_job_execution(
         table in random_table(),
         threads in 0usize..4,
         ordering_cost in any::<bool>(),
     ) {
         let ks: Vec<usize> = (1..=6).collect();
-        let legacy_jobs: Vec<BatchJob> = ks
-            .iter()
-            .map(|&k| BatchJob::new(&table, TopkQuery::new(k).with_u_topk(false)))
-            .collect();
-        let legacy = execute_batch(&legacy_jobs, threads);
-
-        let dataset = Dataset::table(table.clone());
+        let dataset = Dataset::table(table);
         let jobs: Vec<QueryJob> = ks
             .iter()
             .map(|&k| QueryJob::new(&dataset, TopkQuery::new(k).with_u_topk(false)))
             .collect();
+        let mut session = Session::new();
+        let sequential: Vec<Result<QueryAnswer>> = jobs
+            .iter()
+            .map(|job| session.execute(job.dataset, &job.query))
+            .collect();
+
         let ordering = if ordering_cost {
             BatchOrdering::CostDescending
         } else {
             BatchOrdering::Submission
         };
-        let session = Session::new().execute_batch(
+        let batch = session.execute_batch(
             &jobs,
             &BatchOptions::new().with_threads(threads).with_ordering(ordering),
         );
-        prop_assert_eq!(legacy.len(), session.len());
-        for (a, b) in legacy.into_iter().zip(session) {
+        prop_assert_eq!(sequential.len(), batch.len());
+        for (a, b) in sequential.into_iter().zip(batch) {
             assert_identical(a, b)?;
         }
     }
 
-    /// `Session::execute_batch` over per-job shard datasets ≡ the legacy
-    /// `execute_batch_sources` (each job owning its shard streams).
+    /// Per-job shard datasets under the batch executor ≡ the shared-table
+    /// batch (each job owning its single-pass shard streams).
     #[test]
-    fn session_batch_matches_legacy_batch_sources(
+    fn per_job_shard_batch_matches_table_batch(
         table in random_table(),
         shards in 1usize..4,
         threads in 0usize..4,
     ) {
         let ks: Vec<usize> = (1..=5).collect();
-        let boxed_shards = |table: &UncertainTable| -> Vec<Box<dyn TupleSource + Send>> {
-            partition_round_robin(table.to_source(), shards)
-                .unwrap()
-                .into_iter()
-                .map(|s| Box::new(s) as Box<dyn TupleSource + Send>)
-                .collect()
-        };
-        let legacy_jobs: Vec<SourceBatchJob> = ks
+        let mut session = Session::new();
+        let shared = Dataset::table(table.clone());
+        let table_jobs: Vec<QueryJob> = ks
             .iter()
-            .map(|&k| {
-                SourceBatchJob::new(boxed_shards(&table), TopkQuery::new(k).with_u_topk(false))
-            })
+            .map(|&k| QueryJob::new(&shared, TopkQuery::new(k).with_u_topk(false)))
             .collect();
-        let legacy = execute_batch_sources(legacy_jobs, threads);
+        let expected =
+            session.execute_batch(&table_jobs, &BatchOptions::new().with_threads(1));
 
         let datasets: Vec<Dataset> = ks
             .iter()
@@ -181,10 +155,10 @@ proptest! {
             .zip(&ks)
             .map(|(dataset, &k)| QueryJob::new(dataset, TopkQuery::new(k).with_u_topk(false)))
             .collect();
-        let session =
-            Session::new().execute_batch(&jobs, &BatchOptions::new().with_threads(threads));
-        prop_assert_eq!(legacy.len(), session.len());
-        for (a, b) in legacy.into_iter().zip(session) {
+        let sharded =
+            session.execute_batch(&jobs, &BatchOptions::new().with_threads(threads));
+        prop_assert_eq!(expected.len(), sharded.len());
+        for (a, b) in expected.into_iter().zip(sharded) {
             assert_identical(a, b)?;
         }
     }
@@ -251,4 +225,60 @@ fn bounded_memory_batch_matches_sequential_for_many_jobs() {
         assert_eq!(sequential.distribution, batched.distribution, "job {i}");
         assert_eq!(sequential.scan_depth, batched.scan_depth, "job {i}");
     }
+}
+
+/// The cost-model drift hook: after an execution, `explain` reports the
+/// observed scan depth and the observed/estimated ratio.
+#[test]
+fn explain_reports_observed_depth_after_execution() {
+    let table = UncertainTable::new(
+        (0..200)
+            .map(|i| UncertainTuple::new(i as u64, (200 - i) as f64, 0.9).unwrap())
+            .collect(),
+        Vec::new(),
+    )
+    .unwrap();
+    let dataset = Dataset::table(table).with_label("calibration-demo");
+    let query = TopkQuery::new(3).with_p_tau(1e-3).with_u_topk(false);
+    let mut session = Session::new();
+
+    // Before execution there is an estimate but no observation.
+    let before = session.explain(&dataset, &query);
+    assert!(before.estimated_depth.is_some());
+    assert_eq!(before.observed_depth, None);
+    assert_eq!(before.observed_vs_estimated(), None);
+
+    let answer = session.execute(&dataset, &query).unwrap();
+    let after = session.explain(&dataset, &query);
+    assert_eq!(after.observed_depth, Some(answer.scan_depth));
+    let drift = after.observed_vs_estimated().expect("both sides known");
+    assert!(drift > 0.0);
+    assert!(
+        (drift - answer.scan_depth as f64 / after.estimated_depth.unwrap() as f64).abs() < 1e-12
+    );
+    let text = after.to_string();
+    assert!(text.contains("observed scan depth"), "{text}");
+
+    // A different (k, pτ) has its own observation slot.
+    let other = TopkQuery::new(4).with_p_tau(1e-3).with_u_topk(false);
+    assert_eq!(session.explain(&dataset, &other).observed_depth, None);
+
+    // A *different* dataset — even with an identical label — never reads
+    // this dataset's observations (keys are per dataset identity).
+    let twin = Dataset::table(
+        UncertainTable::new(
+            (0..10)
+                .map(|i| UncertainTuple::new(i as u64, (10 - i) as f64, 0.9).unwrap())
+                .collect(),
+            Vec::new(),
+        )
+        .unwrap(),
+    )
+    .with_label("calibration-demo");
+    assert_eq!(session.explain(&twin, &query).observed_depth, None);
+
+    // Batches record observations too.
+    let jobs = [QueryJob::new(&dataset, other)];
+    session.execute_batch(&jobs, &BatchOptions::new());
+    assert!(session.explain(&dataset, &other).observed_depth.is_some());
 }

@@ -6,19 +6,16 @@
 //! * a batch of ≥ 100 independent queries executed in parallel produces
 //!   results identical to sequential execution.
 //!
-//! This suite intentionally drives the deprecated per-shape entry points:
-//! they must stay bit-identical to the `Session` path until their removal
-//! (the session parity proptests compare the two).
-#![allow(deprecated)]
+//! Everything runs through the unified `Dataset`/`Session` API — the
+//! per-shape entry points of earlier releases are gone.
 
 use ttk_core::{
-    execute, execute_batch, execute_batch_sources, scan_depth, Algorithm, BatchJob, Executor,
-    SourceBatchJob, TopkQuery,
+    scan_depth, Algorithm, BatchOptions, Dataset, Executor, QueryJob, Session, TopkQuery,
 };
 use ttk_datagen::cartel::{generate_area, CartelConfig};
 use ttk_datagen::synthetic::{generate, MePolicy, SyntheticConfig};
 use ttk_uncertain::{
-    partition_round_robin, CountingSource, TableSource, TupleSource, UncertainTable, VecSource,
+    partition_round_robin, CountingSource, TableSource, UncertainTable, VecSource,
 };
 
 /// A large workload whose top tuples carry high confidence (ρ = +0.8), so
@@ -46,23 +43,26 @@ fn bounded_algorithms_never_read_past_the_theorem_2_bound() {
         table.len()
     );
 
+    let mut session = Session::new();
     for algorithm in [
         Algorithm::Main,
         Algorithm::MainPerEnding,
         Algorithm::StateExpansion,
         Algorithm::KCombo,
     ] {
-        let mut source = CountingSource::new(TableSource::new(&table));
+        let source = CountingSource::new(table.to_source());
+        let counter = source.counter();
+        let dataset = Dataset::stream(source);
         let query = TopkQuery::new(k)
             .with_p_tau(p_tau)
             .with_algorithm(algorithm)
             .with_u_topk(false);
-        let answer = Executor::new()
-            .execute_source(&mut source, &query)
+        let answer = session
+            .execute(&dataset, &query)
             .unwrap_or_else(|e| panic!("{algorithm:?}: {e}"));
         assert_eq!(answer.scan_depth, depth, "{algorithm:?}");
         assert_eq!(
-            source.pulled(),
+            counter.get(),
             depth + 1,
             "{algorithm:?} must read exactly the bound plus one look-ahead tuple"
         );
@@ -80,9 +80,11 @@ fn source_path_u_topk_keeps_full_table_semantics() {
     let table = confident_synthetic_table();
     let query = TopkQuery::new(3).with_p_tau(1e-3); // U-Topk on by default.
 
-    let mut source = CountingSource::new(TableSource::new(&table));
-    let streamed = Executor::new().execute_source(&mut source, &query).unwrap();
-    let materialized = execute(&table, &query).unwrap();
+    let source = CountingSource::new(table.to_source());
+    let counter = source.counter();
+    let mut session = Session::new();
+    let streamed = session.execute(&Dataset::stream(source), &query).unwrap();
+    let materialized = Executor::new().execute(&table, &query).unwrap();
 
     let (a, b) = (
         streamed.u_topk.as_ref().unwrap(),
@@ -93,7 +95,7 @@ fn source_path_u_topk_keeps_full_table_semantics() {
     assert_eq!(streamed.distribution, materialized.distribution);
     // Draining for U-Topk reads the whole stream — the bound only holds when
     // the comparison answer is disabled.
-    assert_eq!(source.pulled(), table.len());
+    assert_eq!(counter.get(), table.len());
 }
 
 #[test]
@@ -113,11 +115,14 @@ fn exhaustive_variant_runs_through_the_source_too() {
         .with_algorithm(Algorithm::Exhaustive)
         .with_u_topk(false);
 
-    let mut source = CountingSource::new(TableSource::new(&table));
-    let streamed = Executor::new().execute_source(&mut source, &query).unwrap();
-    assert_eq!(source.pulled(), table.len());
+    let source = CountingSource::new(table.to_source());
+    let counter = source.counter();
+    let streamed = Session::new()
+        .execute(&Dataset::stream(source), &query)
+        .unwrap();
+    assert_eq!(counter.get(), table.len());
 
-    let materialized = execute(&table, &query).unwrap();
+    let materialized = Executor::new().execute(&table, &query).unwrap();
     assert_eq!(streamed.distribution, materialized.distribution);
 }
 
@@ -137,51 +142,54 @@ fn parallel_batch_matches_sequential_execution() {
             .into_table()
         })
         .collect();
+    let datasets: Vec<Dataset> = tables.iter().map(|t| Dataset::table(t.clone())).collect();
     let mut jobs = Vec::new();
-    for table in &tables {
+    let mut job_tables = Vec::new(); // table index per job, for spot-checks
+    for (table_index, dataset) in datasets.iter().enumerate() {
+        let mut push = |query: TopkQuery| {
+            jobs.push(QueryJob::new(dataset, query));
+            job_tables.push(table_index);
+        };
         for k in 1..=10usize {
             for p_tau in [1e-3, 1e-2] {
-                jobs.push(BatchJob::new(
-                    table,
+                push(
                     TopkQuery::new(k)
                         .with_p_tau(p_tau)
                         .with_algorithm(Algorithm::Main)
                         .with_u_topk(k % 2 == 0 && k <= 4),
-                ));
+                );
             }
             if k <= 8 {
-                jobs.push(BatchJob::new(
-                    table,
+                push(
                     TopkQuery::new(k)
                         .with_p_tau(1e-3)
                         .with_algorithm(Algorithm::MainPerEnding)
                         .with_u_topk(false),
-                ));
+                );
             }
             if k <= 4 {
-                jobs.push(BatchJob::new(
-                    table,
+                push(
                     TopkQuery::new(k)
                         .with_p_tau(5e-2)
                         .with_algorithm(Algorithm::StateExpansion)
                         .with_u_topk(false),
-                ));
+                );
             }
             if k <= 2 {
-                jobs.push(BatchJob::new(
-                    table,
+                push(
                     TopkQuery::new(k)
                         .with_p_tau(1e-2)
                         .with_algorithm(Algorithm::KCombo)
                         .with_u_topk(false),
-                ));
+                );
             }
         }
     }
     assert!(jobs.len() >= 100, "{} jobs", jobs.len());
 
-    let parallel = execute_batch(&jobs, 4);
-    let sequential = execute_batch(&jobs, 1);
+    let mut session = Session::new();
+    let parallel = session.execute_batch(&jobs, &BatchOptions::new().with_threads(4));
+    let sequential = session.execute_batch(&jobs, &BatchOptions::new().with_threads(1));
     assert_eq!(parallel.len(), jobs.len());
 
     for (index, (p, s)) in parallel.iter().zip(&sequential).enumerate() {
@@ -204,9 +212,11 @@ fn parallel_batch_matches_sequential_execution() {
                     }
                     other => panic!("job {index}: U-Topk presence mismatch {other:?}"),
                 }
-                // Spot-check against the plain one-shot API.
+                // Spot-check against the plain one-executor API.
                 if index % 10 == 0 {
-                    let direct = execute(jobs[index].table, &jobs[index].query).unwrap();
+                    let direct = Executor::new()
+                        .execute(&tables[job_tables[index]], &jobs[index].query)
+                        .unwrap();
                     assert_eq!(p.distribution, direct.distribution, "job {index}");
                 }
             }
@@ -259,7 +269,9 @@ fn sharded_scan_reads_at_most_one_past_the_bound_per_shard() {
         parts.into_iter().map(CountingSource::new).collect();
     let counters: Vec<_> = counted.iter().map(|c| c.counter()).collect();
     let query = TopkQuery::new(k).with_p_tau(p_tau).with_u_topk(false);
-    let answer = Executor::new().execute_shards(counted, &query).unwrap();
+    let answer = Session::new()
+        .execute(&Dataset::shards(counted), &query)
+        .unwrap();
     assert_eq!(answer.scan_depth, depth);
 
     // The merged scan emits depth + 1 tuples (the single look-ahead); round
@@ -287,11 +299,12 @@ fn sharded_scan_reads_at_most_one_past_the_bound_per_shard() {
 #[test]
 fn sharded_execution_matches_single_source_end_to_end() {
     let table = confident_synthetic_table();
+    let mut session = Session::new();
     for shards in [1usize, 2, 3, 7] {
         let query = TopkQuery::new(5).with_p_tau(1e-3).with_u_topk(false);
-        let single = execute(&table, &query).unwrap();
+        let single = Executor::new().execute(&table, &query).unwrap();
         let parts = partition_round_robin(TableSource::new(&table), shards).unwrap();
-        let sharded = Executor::new().execute_shards(parts, &query).unwrap();
+        let sharded = session.execute(&Dataset::shards(parts), &query).unwrap();
         assert_eq!(single.distribution, sharded.distribution, "{shards} shards");
         assert_eq!(single.scan_depth, sharded.scan_depth);
         assert_eq!(single.typical.scores(), sharded.typical.scores());
@@ -300,29 +313,30 @@ fn sharded_execution_matches_single_source_end_to_end() {
 
 #[test]
 fn source_batch_matches_table_batch() {
-    // The source-based batch executor (owning per-job shard streams) agrees
-    // with the table-based one, in parallel and sequentially.
+    // Per-job shard datasets (each job owning its single-pass streams) agree
+    // with the shared-table batch, in parallel and sequentially.
     let table = confident_synthetic_table();
     let ks: Vec<usize> = (1..=8).collect();
-    let table_jobs: Vec<BatchJob> = ks
+    let shared = Dataset::table(table.clone());
+    let table_jobs: Vec<QueryJob> = ks
         .iter()
-        .map(|&k| BatchJob::new(&table, TopkQuery::new(k).with_p_tau(1e-3)))
+        .map(|&k| QueryJob::new(&shared, TopkQuery::new(k).with_p_tau(1e-3)))
         .collect();
-    let expected = execute_batch(&table_jobs, 1);
+    let mut session = Session::new();
+    let expected = session.execute_batch(&table_jobs, &BatchOptions::new().with_threads(1));
 
     for threads in [1usize, 3] {
-        let source_jobs: Vec<SourceBatchJob> = ks
+        let datasets: Vec<Dataset> = ks
             .iter()
-            .map(|&k| {
-                let shards = partition_round_robin(TableSource::new(&table), 3)
-                    .unwrap()
-                    .into_iter()
-                    .map(|s| Box::new(s) as Box<dyn TupleSource + Send>)
-                    .collect();
-                SourceBatchJob::new(shards, TopkQuery::new(k).with_p_tau(1e-3))
-            })
+            .map(|_| Dataset::shards(partition_round_robin(TableSource::new(&table), 3).unwrap()))
             .collect();
-        let answers = execute_batch_sources(source_jobs, threads);
+        let source_jobs: Vec<QueryJob> = datasets
+            .iter()
+            .zip(&ks)
+            .map(|(dataset, &k)| QueryJob::new(dataset, TopkQuery::new(k).with_p_tau(1e-3)))
+            .collect();
+        let answers =
+            session.execute_batch(&source_jobs, &BatchOptions::new().with_threads(threads));
         assert_eq!(answers.len(), expected.len());
         for ((k, a), e) in ks.iter().zip(&answers).zip(&expected) {
             let (a, e) = (a.as_ref().unwrap(), e.as_ref().unwrap());

@@ -1,0 +1,289 @@
+//! Property-based validation of the transport layer: for **any** table and
+//! **any** partitioning, a scan whose shards run behind `TupleFeed`
+//! channels, per-shard prefetch threads, or loopback-TCP wire connections
+//! must be **bit-identical** — distribution, scan depth, typical answers,
+//! U-Topk — to the in-process single-source path, including the adversarial
+//! all-ties case where one tie group crosses every shard (and machine)
+//! boundary. A producer that errors mid-stream must surface as
+//! `Error::Source` on the consumer, never hang or truncate.
+
+use std::net::TcpListener;
+
+use proptest::prelude::*;
+use ttk_core::{Dataset, QueryAnswer, RemoteShardDataset, ScanPath, Session, TopkQuery};
+use ttk_uncertain::{
+    Error, PrefetchPolicy, Result, ScanHandle, SourceTuple, TupleFeed, TupleSource, UncertainTable,
+    UncertainTuple, VecSource, WireWriter,
+};
+
+mod support;
+use support::table_with;
+
+/// Round-robin partition of the table's rank-ordered stream (global group
+/// keys preserved), as `Vec<SourceTuple>` shards.
+fn partition(table: &UncertainTable, shards: usize) -> Vec<Vec<SourceTuple>> {
+    let mut parts: Vec<Vec<SourceTuple>> = (0..shards).map(|_| Vec::new()).collect();
+    let mut source = table.to_source();
+    let mut index = 0usize;
+    while let Some(t) = source.next_tuple().unwrap() {
+        parts[index % shards].push(t);
+        index += 1;
+    }
+    parts
+}
+
+/// Serves each shard over its own loopback listener (one connection) and
+/// returns the addresses.
+fn serve_shards(shards: Vec<Vec<SourceTuple>>) -> Vec<String> {
+    shards
+        .into_iter()
+        .map(|shard| {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let addr = listener.local_addr().unwrap().to_string();
+            std::thread::spawn(move || {
+                let (stream, _) = listener.accept().unwrap();
+                // The client may hang up early (gate closed) — expected.
+                if let Ok(writer) =
+                    WireWriter::new(std::io::BufWriter::new(stream), Some(shard.len()))
+                {
+                    let _ = writer.serve(&mut VecSource::new(shard));
+                }
+            });
+            addr
+        })
+        .collect()
+}
+
+fn assert_identical(
+    a: Result<QueryAnswer>,
+    b: Result<QueryAnswer>,
+) -> std::result::Result<(), TestCaseError> {
+    match (a, b) {
+        (Ok(a), Ok(b)) => {
+            prop_assert_eq!(a.distribution, b.distribution);
+            prop_assert_eq!(a.scan_depth, b.scan_depth);
+            prop_assert_eq!(a.typical.scores(), b.typical.scores());
+            let (ua, ub) = (a.u_topk.map(|u| u.vector), b.u_topk.map(|u| u.vector));
+            prop_assert_eq!(ua, ub);
+        }
+        (Err(_), Err(_)) => {}
+        (a, b) => prop_assert!(false, "paths disagree: {:?} vs {:?}", a, b),
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A feed-wrapped source (producer thread + bounded channel) is
+    /// bit-identical to the direct pull, for any channel capacity.
+    #[test]
+    fn feed_wrapped_scan_matches_direct_scan(
+        table in table_with(8),
+        buffer in 1usize..48,
+        k in 1usize..5,
+        u_topk in any::<bool>(),
+    ) {
+        let query = TopkQuery::new(k).with_p_tau(1e-3).with_u_topk(u_topk);
+        let mut session = Session::new();
+        let direct = session.execute(&Dataset::stream(table.to_source()), &query);
+        let feed = TupleFeed::spawn(table.to_source(), buffer);
+        let fed = session.execute(&Dataset::stream(feed), &query);
+        assert_identical(direct, fed)?;
+    }
+
+    /// A prefetched sharded merge (every shard on its own producer thread)
+    /// is bit-identical to the synchronous merge and to the single stream.
+    #[test]
+    fn prefetched_shards_match_single_source(
+        table in table_with(8),
+        shards in 1usize..5,
+        buffer in 1usize..32,
+        k in 1usize..5,
+    ) {
+        let query = TopkQuery::new(k).with_p_tau(1e-3).with_u_topk(false);
+        let mut session = Session::new();
+        let single = session.execute(&Dataset::stream(table.to_source()), &query);
+        let parts: Vec<VecSource> = partition(&table, shards)
+            .into_iter()
+            .map(VecSource::new)
+            .collect();
+        let handle = ScanHandle::merged_prefetched(parts, PrefetchPolicy::per_shard(buffer));
+        let prefetched = session.execute(&Dataset::stream(handle), &query);
+        assert_identical(single, prefetched)?;
+    }
+
+    /// Remote shards over loopback TCP are bit-identical to the in-process
+    /// scan — the acceptance property of the wire layer.
+    #[test]
+    fn remote_loopback_shards_match_single_source(
+        table in table_with(8),
+        shards in 1usize..4,
+        k in 1usize..4,
+        prefetch in 0usize..3,
+    ) {
+        let query = TopkQuery::new(k).with_p_tau(1e-3).with_u_topk(false);
+        let mut session = Session::new();
+        let single = session.execute(&Dataset::stream(table.to_source()), &query);
+        let addrs = serve_shards(partition(&table, shards));
+        let mut remote = RemoteShardDataset::new(addrs);
+        if prefetch > 0 {
+            remote = remote.with_prefetch(PrefetchPolicy::per_shard(prefetch * 8));
+        }
+        let dataset = remote.into_dataset();
+        prop_assert_eq!(
+            session.explain(&dataset, &query).path,
+            ScanPath::Remote { remote: shards, local: 0 }
+        );
+        let served = session.execute(&dataset, &query);
+        assert_identical(single, served)?;
+    }
+
+    /// The adversarial all-ties case (one tie group across every shard and
+    /// machine boundary) stays bit-identical through every transport.
+    #[test]
+    fn all_ties_partitions_survive_every_transport(
+        table in table_with(1),
+        shards in 2usize..5,
+        k in 1usize..4,
+    ) {
+        let query = TopkQuery::new(k).with_p_tau(1e-3).with_u_topk(false);
+        let mut session = Session::new();
+        let single = session.execute(&Dataset::stream(table.to_source()), &query);
+
+        // Prefetched merge.
+        let parts: Vec<VecSource> = partition(&table, shards)
+            .into_iter()
+            .map(VecSource::new)
+            .collect();
+        let handle = ScanHandle::merged_prefetched(parts, PrefetchPolicy::per_shard(2));
+        let prefetched = session.execute(&Dataset::stream(handle), &query);
+        assert_identical(single.clone(), prefetched)?;
+
+        // Remote loopback.
+        let addrs = serve_shards(partition(&table, shards));
+        let served = session.execute(&RemoteShardDataset::new(addrs).into_dataset(), &query);
+        assert_identical(single, served)?;
+    }
+
+    /// Mixing remote and local shards of one partition is bit-identical to
+    /// the in-process scan.
+    #[test]
+    fn mixed_remote_and_local_shards_match(
+        table in table_with(4),
+        shards in 2usize..5,
+        k in 1usize..4,
+    ) {
+        let query = TopkQuery::new(k).with_p_tau(1e-3).with_u_topk(false);
+        let mut session = Session::new();
+        let single = session.execute(&Dataset::stream(table.to_source()), &query);
+        let mut parts = partition(&table, shards);
+        let local: Vec<Vec<SourceTuple>> = parts.split_off(shards / 2);
+        let local_count = local.len();
+        let addrs = serve_shards(parts);
+        let dataset = RemoteShardDataset::new(addrs)
+            .with_local_shards(local_count, move || {
+                Ok(local
+                    .iter()
+                    .map(|shard| {
+                        Box::new(VecSource::new(shard.clone())) as Box<dyn TupleSource + Send>
+                    })
+                    .collect())
+            })
+            .into_dataset();
+        let mixed = session.execute(&dataset, &query);
+        assert_identical(single, mixed)?;
+    }
+}
+
+/// A source that yields `good` tuples, then fails.
+struct FailsAfter {
+    tuples: Vec<SourceTuple>,
+    served: usize,
+}
+
+impl TupleSource for FailsAfter {
+    fn next_tuple(&mut self) -> Result<Option<SourceTuple>> {
+        if self.served >= self.tuples.len() {
+            return Err(Error::Source("shard backend failed mid-stream".into()));
+        }
+        self.served += 1;
+        Ok(Some(self.tuples[self.served - 1]))
+    }
+}
+
+fn descending_tuples(n: u64) -> Vec<SourceTuple> {
+    (0..n)
+        .map(|i| SourceTuple::independent(UncertainTuple::new(i, (n - i) as f64, 0.9).unwrap()))
+        .collect()
+}
+
+/// A producer that errors mid-stream surfaces as `Error::Source` through a
+/// feed, never as a hang or a silently short stream.
+#[test]
+fn feed_producer_error_surfaces_as_source_error() {
+    let feed = TupleFeed::spawn(
+        FailsAfter {
+            tuples: descending_tuples(5),
+            served: 0,
+        },
+        2,
+    );
+    // A draining query (U-Topk on) must hit the failure.
+    let err = Session::new()
+        .execute(&Dataset::stream(feed), &TopkQuery::new(2))
+        .unwrap_err();
+    assert!(
+        matches!(&err, Error::Source(m) if m.contains("mid-stream")),
+        "{err:?}"
+    );
+}
+
+/// A server that dies mid-stream (socket closed without the end frame)
+/// surfaces as `Error::Source` on the querying side.
+#[test]
+fn remote_server_dying_mid_stream_is_a_source_error() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    std::thread::spawn(move || {
+        let (stream, _) = listener.accept().unwrap();
+        let mut writer = WireWriter::new(std::io::BufWriter::new(stream), Some(100)).unwrap();
+        for t in descending_tuples(3) {
+            writer.write_tuple(&t).unwrap();
+        }
+        // Drop without the end frame: the connection just dies.
+    });
+    let err = Session::new()
+        .execute(
+            &RemoteShardDataset::new([addr]).into_dataset(),
+            &TopkQuery::new(2),
+        )
+        .unwrap_err();
+    assert!(matches!(err, Error::Source(_)), "{err:?}");
+}
+
+/// A server that forwards its own source failure delivers that failure (as
+/// `Error::Source`) to the querying side through the error frame.
+#[test]
+fn remote_source_failure_is_forwarded_through_the_wire() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    std::thread::spawn(move || {
+        let (stream, _) = listener.accept().unwrap();
+        let writer = WireWriter::new(std::io::BufWriter::new(stream), None).unwrap();
+        let _ = writer.serve(&mut FailsAfter {
+            tuples: descending_tuples(4),
+            served: 0,
+        });
+    });
+    let err = Session::new()
+        .execute(
+            &RemoteShardDataset::new([addr]).into_dataset(),
+            &TopkQuery::new(2),
+        )
+        .unwrap_err();
+    assert!(
+        matches!(&err, Error::Source(m) if m.contains("shard backend failed")),
+        "{err:?}"
+    );
+}

@@ -17,7 +17,10 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use ttk_uncertain::{GroupKey, MergeSource, SourceTuple, TupleSource, UncertainTuple, VecSource};
+use ttk_uncertain::{
+    GroupKey, MergeSource, PrefetchPolicy, SourceTuple, TupleFeed, TupleSource, UncertainTuple,
+    VecSource,
+};
 
 use crate::error::{PdbError, Result};
 use crate::expr::Expr;
@@ -255,6 +258,37 @@ pub fn tuple_source_from_csv(text: &str, options: &CsvOptions, score: &Expr) -> 
     Ok(shards.pop().expect("one shard per input text"))
 }
 
+/// Options shaping how the shards of one partitioned relation are scored
+/// when the shard files are imported by **independent processes** (the
+/// `ttk serve-shard` scenario): each process must place its rows in the
+/// shared tuple-id space and derive group keys every other process agrees
+/// on without any shared state.
+#[derive(Debug, Clone, Default)]
+pub struct ShardImportOptions {
+    /// The tuple id assigned to the first data record; ids count up from
+    /// here. A server handed shard `i` of a partition passes the total row
+    /// count of shards `0..i` so the global id space matches a single-process
+    /// import of the concatenation.
+    pub first_tuple_id: u64,
+    /// Derive each group key by **hashing the group label** (64-bit FNV-1a)
+    /// instead of first-sight sequential numbering. Hashed keys are stable
+    /// across processes: two servers scoring the same label emit the same
+    /// key, so an ME group split across remotely-served shards is reunified
+    /// by the merge without any coordination.
+    pub hashed_group_keys: bool,
+}
+
+/// 64-bit FNV-1a over a group label — the stable cross-process group key of
+/// [`ShardImportOptions::hashed_group_keys`].
+fn stable_group_key(label: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in label.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
 /// The cross-record state of a scoring pass: the group-key namespace and the
 /// tuple-id counter (both of which persist **across shard files**, giving
 /// every shard of a partition one id space and one ME-group namespace), plus
@@ -262,15 +296,17 @@ pub fn tuple_source_from_csv(text: &str, options: &CsvOptions, score: &Expr) -> 
 /// path does not allocate per row.
 struct ScoreState {
     key_of_group: HashMap<String, u64>,
+    hashed_keys: bool,
     next_id: u64,
     row_values: Vec<Value>,
 }
 
 impl ScoreState {
-    fn new() -> Self {
+    fn with_import(import: &ShardImportOptions) -> Self {
         ScoreState {
             key_of_group: HashMap::new(),
-            next_id: 0,
+            hashed_keys: import.hashed_group_keys,
+            next_id: import.first_tuple_id,
             row_values: Vec::new(),
         }
     }
@@ -298,6 +334,7 @@ impl ScoreState {
             UncertainTuple::new(self.next_id, score_value, probability).map_err(PdbError::Core)?;
         self.next_id += 1;
         Ok(match group_key(record, layout) {
+            Some(g) if self.hashed_keys => SourceTuple::grouped(tuple, stable_group_key(g)),
             Some(g) => {
                 let next_key = self.key_of_group.len() as u64;
                 let key = *self.key_of_group.entry(g.to_string()).or_insert(next_key);
@@ -327,7 +364,25 @@ pub fn shard_sources_from_csv(
     options: &CsvOptions,
     score: &Expr,
 ) -> Result<Vec<VecSource>> {
-    let mut state = ScoreState::new();
+    shard_sources_from_csv_with(texts, options, score, &ShardImportOptions::default())
+}
+
+/// [`shard_sources_from_csv`] with explicit [`ShardImportOptions`] — the
+/// entry point for processes importing **some** shards of a relation whose
+/// other shards live elsewhere (`ttk serve-shard`, `--shard` mixed with
+/// `--remote-shard`): `first_tuple_id` places the rows in the shared id
+/// space and `hashed_group_keys` derives group keys every process agrees on.
+///
+/// # Errors
+///
+/// As [`tuple_source_from_csv`], per shard.
+pub fn shard_sources_from_csv_with(
+    texts: &[&str],
+    options: &CsvOptions,
+    score: &Expr,
+    import: &ShardImportOptions,
+) -> Result<Vec<VecSource>> {
+    let mut state = ScoreState::with_import(import);
     let mut shards = Vec::with_capacity(texts.len());
     for text in texts {
         let layout = parse_layout(text, options)?;
@@ -354,6 +409,13 @@ pub struct SpillOptions {
     pub run_buffer_tuples: usize,
     /// Directory for run files; defaults to [`std::env::temp_dir`].
     pub temp_dir: Option<PathBuf>,
+    /// Upper bound on the number of run files the final merge fans in. When
+    /// an import spills more runs than this (a tiny buffer over a huge
+    /// relation), intermediate merge passes fold batches of `max_fan_in`
+    /// runs into larger runs first, so the per-tuple cost of the final merge
+    /// stays `O(log max_fan_in)` and its open-file count bounded. Clamped to
+    /// at least 2.
+    pub max_fan_in: usize,
 }
 
 impl Default for SpillOptions {
@@ -361,6 +423,7 @@ impl Default for SpillOptions {
         SpillOptions {
             run_buffer_tuples: 64 * 1024,
             temp_dir: None,
+            max_fan_in: 64,
         }
     }
 }
@@ -372,6 +435,12 @@ impl SpillOptions {
             run_buffer_tuples: run_buffer_tuples.max(1),
             ..SpillOptions::default()
         }
+    }
+
+    /// Sets the final-merge fan-in bound (clamped to at least 2).
+    pub fn with_max_fan_in(mut self, max_fan_in: usize) -> Self {
+        self.max_fan_in = max_fan_in.max(2);
+        self
     }
 }
 
@@ -386,6 +455,23 @@ struct RunFiles {
     dir: PathBuf,
 }
 
+/// Encodes one tuple as a run-file line. Scores and probabilities are stored
+/// as raw IEEE-754 bits so the replayed run is bit-identical to the
+/// in-memory path.
+fn write_run_line(writer: &mut impl Write, t: &SourceTuple) -> std::io::Result<()> {
+    let group = match t.group {
+        GroupKey::Independent => "i".to_string(),
+        GroupKey::Shared(k) => format!("s{k}"),
+    };
+    writeln!(
+        writer,
+        "{} {:016x} {:016x} {group}",
+        t.tuple.id().raw(),
+        t.tuple.score().to_bits(),
+        t.tuple.prob().to_bits()
+    )
+}
+
 impl RunFiles {
     fn new(dir: Option<PathBuf>) -> Self {
         RunFiles {
@@ -394,34 +480,37 @@ impl RunFiles {
         }
     }
 
-    /// Sorts `buffer` into rank order and writes it as a new run file.
-    fn spill(&mut self, buffer: &mut Vec<SourceTuple>) -> Result<()> {
-        buffer.sort_by_key(|t| t.tuple.rank_key());
+    /// Creates (and registers for cleanup) the next run file, returning its
+    /// writer. Registration happens before writing so a failed write still
+    /// gets cleaned up.
+    fn create_run(&mut self) -> Result<BufWriter<File>> {
         let sequence = SPILL_SEQUENCE.fetch_add(1, Ordering::Relaxed);
         let path = self
             .dir
             .join(format!("ttk-spill-{}-{sequence}.run", std::process::id()));
-        let mut writer = BufWriter::new(File::create(&path)?);
-        // Register before writing so a failed write still gets cleaned up.
+        let writer = BufWriter::new(File::create(&path)?);
         self.paths.push(path);
+        Ok(writer)
+    }
+
+    /// Sorts `buffer` into rank order and writes it as a new run file.
+    fn spill(&mut self, buffer: &mut Vec<SourceTuple>) -> Result<()> {
+        buffer.sort_by_key(|t| t.tuple.rank_key());
+        let mut writer = self.create_run()?;
         for t in buffer.iter() {
-            let group = match t.group {
-                GroupKey::Independent => "i".to_string(),
-                GroupKey::Shared(k) => format!("s{k}"),
-            };
-            // Scores and probabilities are stored as raw IEEE-754 bits so the
-            // replayed run is bit-identical to the in-memory path.
-            writeln!(
-                writer,
-                "{} {:016x} {:016x} {group}",
-                t.tuple.id().raw(),
-                t.tuple.score().to_bits(),
-                t.tuple.prob().to_bits()
-            )?;
+            write_run_line(&mut writer, t)?;
         }
         writer.flush()?;
         buffer.clear();
         Ok(())
+    }
+
+    /// Deletes the first `n` run files (after an intermediate merge pass has
+    /// folded them into a larger run appended at the end).
+    fn remove_first(&mut self, n: usize) {
+        for path in self.paths.drain(..n) {
+            let _ = std::fs::remove_file(path);
+        }
     }
 }
 
@@ -431,6 +520,36 @@ impl Drop for RunFiles {
             let _ = std::fs::remove_file(path);
         }
     }
+}
+
+/// Fan-in control: while more than `max_fan_in` run files exist, merge the
+/// oldest `max_fan_in` of them — streamed through the loser tree, never
+/// buffered — into one larger run, so the final merge (and every replay)
+/// fans in a bounded number of files regardless of how many runs a tiny
+/// buffer produced. Each pass reduces the run count by `max_fan_in - 1`;
+/// every intermediate run stays rank-sorted, so the final merged stream is
+/// unchanged.
+fn compact_runs(runs: &mut RunFiles, run_sizes: &mut Vec<usize>, max_fan_in: usize) -> Result<()> {
+    while runs.paths.len() > max_fan_in {
+        let take = max_fan_in.min(runs.paths.len());
+        let mut sources = Vec::with_capacity(take);
+        for (path, &tuples) in runs.paths[..take].iter().zip(run_sizes.iter()) {
+            sources.push(RunSource::file(path, tuples)?);
+        }
+        let mut merge = MergeSource::new(sources);
+        let mut writer = runs.create_run()?;
+        let mut merged_tuples = 0usize;
+        while let Some(t) = merge.next_tuple().map_err(PdbError::Core)? {
+            write_run_line(&mut writer, &t)?;
+            merged_tuples += 1;
+        }
+        writer.flush()?;
+        drop(merge); // close the input cursors before deleting their files
+        runs.remove_first(take);
+        run_sizes.drain(..take);
+        run_sizes.push(merged_tuples);
+    }
+    Ok(())
 }
 
 /// One sorted run of a spilled import: either a run file replayed from disk
@@ -558,7 +677,24 @@ impl SpillIndex {
         score: &Expr,
         spill: &SpillOptions,
     ) -> Result<Self> {
-        SpillIndex::build(|| Ok(text.as_bytes()), options, score, spill)
+        SpillIndex::from_csv_text_with(text, options, score, spill, &ShardImportOptions::default())
+    }
+
+    /// [`SpillIndex::from_csv_text`] with explicit [`ShardImportOptions`]
+    /// (id base, hashed group keys) for serving one shard of a relation
+    /// whose other shards live in other processes.
+    ///
+    /// # Errors
+    ///
+    /// As [`SpillIndex::from_csv_text`].
+    pub fn from_csv_text_with(
+        text: &str,
+        options: &CsvOptions,
+        score: &Expr,
+        spill: &SpillOptions,
+        import: &ShardImportOptions,
+    ) -> Result<Self> {
+        SpillIndex::build(|| Ok(text.as_bytes()), options, score, spill, import)
     }
 
     /// Runs the external sort reading straight from a file path, so the raw
@@ -573,11 +709,27 @@ impl SpillIndex {
         score: &Expr,
         spill: &SpillOptions,
     ) -> Result<Self> {
+        SpillIndex::from_csv_path_with(path, options, score, spill, &ShardImportOptions::default())
+    }
+
+    /// [`SpillIndex::from_csv_path`] with explicit [`ShardImportOptions`].
+    ///
+    /// # Errors
+    ///
+    /// As [`SpillIndex::from_csv_text`].
+    pub fn from_csv_path_with(
+        path: &Path,
+        options: &CsvOptions,
+        score: &Expr,
+        spill: &SpillOptions,
+        import: &ShardImportOptions,
+    ) -> Result<Self> {
         SpillIndex::build(
             || Ok(BufReader::new(File::open(path)?)),
             options,
             score,
             spill,
+            import,
         )
     }
 
@@ -589,6 +741,7 @@ impl SpillIndex {
         options: &CsvOptions,
         score: &Expr,
         spill: &SpillOptions,
+        import: &ShardImportOptions,
     ) -> Result<Self> {
         let layout = layout_from_header(&read_header(open()?)?, options)?;
 
@@ -608,7 +761,7 @@ impl SpillIndex {
         let mut runs = RunFiles::new(spill.temp_dir.clone());
         let mut buffer: Vec<SourceTuple> = Vec::with_capacity(capacity.min(64 * 1024));
         let mut run_sizes: Vec<usize> = Vec::new();
-        let mut state = ScoreState::new();
+        let mut state = ScoreState::with_import(import);
         for_each_record(open()?, &layout, |line_no, record| {
             buffer.push(state.score_record(&record, &layout, &schema, score, line_no)?);
             if buffer.len() >= capacity {
@@ -618,11 +771,12 @@ impl SpillIndex {
             Ok(())
         })?;
         buffer.sort_by_key(|t| t.tuple.rank_key());
+        compact_runs(&mut runs, &mut run_sizes, spill.max_fan_in.max(2))?;
         Ok(SpillIndex {
             runs,
             run_sizes,
             tail: buffer,
-            total_tuples: state.next_id as usize,
+            total_tuples: (state.next_id - import.first_tuple_id) as usize,
             schema,
         })
     }
@@ -636,12 +790,33 @@ impl SpillIndex {
     ///
     /// [`PdbError::Io`] when a run file can no longer be opened.
     pub fn replay(self: &Arc<Self>) -> Result<SpilledSource> {
-        let mut sources = Vec::with_capacity(self.runs.paths.len() + 1);
+        self.replay_with(PrefetchPolicy::Off)
+    }
+
+    /// [`SpillIndex::replay`] with a per-run prefetch: under
+    /// [`PrefetchPolicy::PerShard`], every run cursor is moved onto its own
+    /// producer thread behind a bounded [`TupleFeed`], so run-file decoding
+    /// and disk reads overlap with the loser-tree merge (and with the
+    /// consumer's scan). The merged stream is bit-identical either way.
+    ///
+    /// # Errors
+    ///
+    /// [`PdbError::Io`] when a run file can no longer be opened.
+    pub fn replay_with(self: &Arc<Self>, prefetch: PrefetchPolicy) -> Result<SpilledSource> {
+        let mut sources: Vec<Box<dyn TupleSource + Send>> =
+            Vec::with_capacity(self.runs.paths.len() + 1);
+        let mut push = |run: RunSource| {
+            let boxed: Box<dyn TupleSource + Send> = match prefetch.buffer() {
+                None => Box::new(run),
+                Some(buffer) => Box::new(TupleFeed::spawn(run, buffer)),
+            };
+            sources.push(boxed)
+        };
         for (path, &tuples) in self.runs.paths.iter().zip(&self.run_sizes) {
-            sources.push(RunSource::file(path, tuples)?);
+            push(RunSource::file(path, tuples)?);
         }
         if !self.tail.is_empty() {
-            sources.push(RunSource::memory(self.tail.clone()));
+            push(RunSource::memory(self.tail.clone()));
         }
         Ok(SpilledSource {
             merge: MergeSource::new(sources),
@@ -682,10 +857,18 @@ impl SpillIndex {
 /// [`tuple_source_from_csv_path`] and [`SpillIndex::replay`]; the run files
 /// live as long as any replayed source (or other holder) keeps the shared
 /// [`SpillIndex`] alive.
-#[derive(Debug)]
 pub struct SpilledSource {
-    merge: MergeSource<RunSource>,
+    merge: MergeSource<Box<dyn TupleSource + Send>>,
     index: Arc<SpillIndex>,
+}
+
+impl std::fmt::Debug for SpilledSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpilledSource")
+            .field("runs", &self.merge.shard_count())
+            .field("index", &self.index)
+            .finish()
+    }
 }
 
 impl SpilledSource {
@@ -990,10 +1173,23 @@ speed_limit,length,delay,probability,group_key
             .unwrap();
             assert_eq!(spilled.len(), 500);
             if run_buffer <= 500 {
-                assert!(
-                    spilled.spilled_run_count() >= 500 / run_buffer.max(1),
-                    "run buffer {run_buffer} must spill"
-                );
+                // The import spills; fan-in control then folds the runs into
+                // at most `max_fan_in` (default 64) larger runs.
+                let initial_runs = 500 / run_buffer.max(1);
+                let max_fan_in = SpillOptions::default().max_fan_in;
+                if initial_runs <= max_fan_in {
+                    assert_eq!(
+                        spilled.spilled_run_count(),
+                        initial_runs,
+                        "run buffer {run_buffer} must spill"
+                    );
+                } else {
+                    let count = spilled.spilled_run_count();
+                    assert!(
+                        count >= 2 && count <= max_fan_in,
+                        "fan-in bound violated for run buffer {run_buffer}: {count} runs"
+                    );
+                }
             } else {
                 assert_eq!(spilled.spilled_run_count(), 0);
             }
@@ -1012,6 +1208,7 @@ speed_limit,length,delay,probability,group_key
         let spill = SpillOptions {
             run_buffer_tuples: 64,
             temp_dir: Some(dir.clone()),
+            ..SpillOptions::default()
         };
         let index = Arc::new(
             SpillIndex::from_csv_text(&csv, &CsvOptions::default(), &expr, &spill).unwrap(),
@@ -1060,6 +1257,7 @@ speed_limit,length,delay,probability,group_key
         let spill = SpillOptions {
             run_buffer_tuples: 10,
             temp_dir: Some(dir.clone()),
+            ..SpillOptions::default()
         };
         let source =
             tuple_source_from_csv_spilled(&csv, &CsvOptions::default(), &expr, &spill).unwrap();
@@ -1135,6 +1333,150 @@ speed_limit,length,delay,probability,group_key
             &expr
         )
         .is_err());
+    }
+
+    #[test]
+    fn fan_in_control_folds_hundreds_of_runs_and_stays_bit_identical() {
+        let dir = std::env::temp_dir().join(format!("ttk-fan-in-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = big_csv(400);
+        let expr = crate::parser::parse_expression("score").unwrap();
+        let in_memory =
+            drain(&mut tuple_source_from_csv(&csv, &CsvOptions::default(), &expr).unwrap());
+
+        // A 3-tuple buffer forces 133 runs — well past the fan-in bound of 8,
+        // so several intermediate merge passes must run.
+        let spill = SpillOptions {
+            run_buffer_tuples: 3,
+            temp_dir: Some(dir.clone()),
+            max_fan_in: 8,
+        };
+        let index = Arc::new(
+            SpillIndex::from_csv_text(&csv, &CsvOptions::default(), &expr, &spill).unwrap(),
+        );
+        let initial_runs = 400usize.div_ceil(spill.run_buffer_tuples);
+        assert!(
+            initial_runs > 100,
+            "the workload must force 100+ initial runs, got {initial_runs}"
+        );
+        assert!(
+            index.spilled_run_count() <= 8,
+            "{} runs survive a max_fan_in of 8",
+            index.spilled_run_count()
+        );
+        assert!(index.spilled_run_count() >= 2);
+        assert_eq!(index.len(), 400);
+        // The files on disk match the bookkeeping (intermediate inputs were
+        // deleted as they were folded).
+        assert_eq!(
+            std::fs::read_dir(&dir).unwrap().count(),
+            index.spilled_run_count()
+        );
+
+        // Replays are bit-identical to the in-memory import, with and
+        // without per-run prefetching.
+        for prefetch in [PrefetchPolicy::Off, PrefetchPolicy::per_shard(4)] {
+            let streamed = drain(&mut index.replay_with(prefetch).unwrap());
+            assert_eq!(streamed, in_memory, "{prefetch:?}");
+        }
+
+        drop(index);
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 0);
+        std::fs::remove_dir(&dir).ok();
+    }
+
+    #[test]
+    fn prefetched_replay_is_bit_identical_and_surfaces_errors() {
+        let csv = big_csv(200);
+        let expr = crate::parser::parse_expression("score").unwrap();
+        let index = Arc::new(
+            SpillIndex::from_csv_text(
+                &csv,
+                &CsvOptions::default(),
+                &expr,
+                &SpillOptions::with_run_buffer(16),
+            )
+            .unwrap(),
+        );
+        let plain = drain(&mut index.replay().unwrap());
+        let prefetched = drain(&mut index.replay_with(PrefetchPolicy::per_shard(2)).unwrap());
+        assert_eq!(plain, prefetched);
+
+        // Corrupt a run file behind the index's back: the prefetched replay
+        // must surface the decode failure as an error, not hang or truncate.
+        let victim = index.runs.paths[0].clone();
+        let bytes = std::fs::read(&victim).unwrap();
+        std::fs::write(&victim, "these are not tuple bits\n").unwrap();
+        let mut broken = index.replay_with(PrefetchPolicy::per_shard(2)).unwrap();
+        let mut result = Ok(());
+        loop {
+            match broken.next_tuple() {
+                Ok(Some(_)) => continue,
+                Ok(None) => break,
+                Err(e) => {
+                    result = Err(e);
+                    break;
+                }
+            }
+        }
+        assert!(
+            matches!(result, Err(ttk_uncertain::Error::Source(_))),
+            "{result:?}"
+        );
+        std::fs::write(&victim, bytes).unwrap(); // restore for clean drop
+    }
+
+    #[test]
+    fn hashed_group_keys_unify_across_independent_imports() {
+        let expr = crate::parser::parse_expression("score").unwrap();
+        // One relation split across two shard files; group "g1" spans both,
+        // but each shard is imported by an *independent* ScoreState (as two
+        // serve-shard processes would).
+        let shard_a = "score,probability,group_key\n10,0.4,g1\n5,0.5,\n";
+        let shard_b = "score,probability,group_key\n8,0.5,g1\n7,0.9,g2\n";
+        let a = shard_sources_from_csv_with(
+            &[shard_a],
+            &CsvOptions::default(),
+            &expr,
+            &ShardImportOptions {
+                first_tuple_id: 0,
+                hashed_group_keys: true,
+            },
+        )
+        .unwrap()
+        .pop()
+        .unwrap();
+        let b = shard_sources_from_csv_with(
+            &[shard_b],
+            &CsvOptions::default(),
+            &expr,
+            &ShardImportOptions {
+                first_tuple_id: 2, // shard A holds rows 0..2
+                hashed_group_keys: true,
+            },
+        )
+        .unwrap()
+        .pop()
+        .unwrap();
+        let merged = drain(&mut MergeSource::new(vec![a, b]));
+        // Same ids as the coordinated single-process import of both shards.
+        let ids: Vec<u64> = merged.iter().map(|t| t.tuple.id().raw()).collect();
+        assert_eq!(ids, vec![0, 2, 3, 1]);
+        // The g1 rows of both shards share one (hashed) key; g2 differs.
+        assert_eq!(merged[0].group, merged[1].group);
+        assert!(matches!(merged[0].group, GroupKey::Shared(_)));
+        assert_ne!(merged[2].group, merged[0].group);
+        // The group *partition* matches the coordinated import exactly.
+        let coordinated = drain(&mut MergeSource::new(
+            shard_sources_from_csv(&[shard_a, shard_b], &CsvOptions::default(), &expr).unwrap(),
+        ));
+        for (x, y) in merged.iter().zip(&coordinated) {
+            assert_eq!(x.tuple, y.tuple);
+            assert_eq!(
+                matches!(x.group, GroupKey::Shared(_)),
+                matches!(y.group, GroupKey::Shared(_))
+            );
+        }
     }
 
     #[test]

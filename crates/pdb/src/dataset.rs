@@ -36,10 +36,10 @@ use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 
 use ttk_core::{Dataset, DatasetPlan, DatasetProvider, ScanPath};
-use ttk_uncertain::{ScanHandle, TupleSource, VecSource};
+use ttk_uncertain::{PrefetchPolicy, ScanHandle, TupleSource, VecSource};
 
 use crate::csv::{
-    shard_sources_from_csv, tuple_source_from_csv, CsvOptions, SpillIndex, SpillOptions,
+    shard_sources_from_csv_with, CsvOptions, ShardImportOptions, SpillIndex, SpillOptions,
 };
 use crate::error::{PdbError, Result};
 use crate::expr::Expr;
@@ -93,6 +93,8 @@ pub struct CsvDataset {
     options: CsvOptions,
     score: Expr,
     spill: Option<SpillOptions>,
+    prefetch: PrefetchPolicy,
+    import: ShardImportOptions,
     cache: Mutex<Cache>,
     label: String,
 }
@@ -103,6 +105,7 @@ impl std::fmt::Debug for CsvDataset {
             .field("label", &self.label)
             .field("input", &self.input)
             .field("spill", &self.spill)
+            .field("prefetch", &self.prefetch)
             .finish()
     }
 }
@@ -114,6 +117,8 @@ impl CsvDataset {
             options,
             score,
             spill: None,
+            prefetch: PrefetchPolicy::Off,
+            import: ShardImportOptions::default(),
             cache: Mutex::new(Cache::Empty),
             label,
         }
@@ -189,6 +194,25 @@ impl CsvDataset {
         Ok(self)
     }
 
+    /// Enables per-shard prefetching: every shard stream (or replayed spill
+    /// run) of a merged open is moved onto its own producer thread behind a
+    /// bounded channel, overlapping per-shard I/O and decoding with the
+    /// merge. Single-stream opens are unaffected; the scanned stream is
+    /// bit-identical either way.
+    pub fn with_prefetch(mut self, prefetch: PrefetchPolicy) -> Self {
+        self.prefetch = prefetch;
+        self
+    }
+
+    /// Sets the [`ShardImportOptions`] of the scoring pass — the id base and
+    /// stable hashed group keys a `ttk serve-shard` process uses so the
+    /// shard it serves slots into the relation's shared id space and
+    /// group-key namespace without coordinating with its peers.
+    pub fn with_import(mut self, import: ShardImportOptions) -> Self {
+        self.import = import;
+        self
+    }
+
     /// Wraps the dataset into the unified [`Dataset`] type consumed by
     /// [`Session`](ttk_core::Session).
     pub fn into_dataset(self) -> Dataset {
@@ -214,12 +238,20 @@ impl CsvDataset {
                     // `with_spill` rejects sharded inputs, so only the
                     // single-file kinds can reach this arm.
                     let built = match &self.input {
-                        CsvInput::Path(path) => {
-                            SpillIndex::from_csv_path(path, &self.options, &self.score, spill)?
-                        }
-                        CsvInput::Text(text) => {
-                            SpillIndex::from_csv_text(text, &self.options, &self.score, spill)?
-                        }
+                        CsvInput::Path(path) => SpillIndex::from_csv_path_with(
+                            path,
+                            &self.options,
+                            &self.score,
+                            spill,
+                            &self.import,
+                        )?,
+                        CsvInput::Text(text) => SpillIndex::from_csv_text_with(
+                            text,
+                            &self.options,
+                            &self.score,
+                            spill,
+                            &self.import,
+                        )?,
                         CsvInput::ShardPaths(_) | CsvInput::ShardTexts(_) => {
                             unreachable!("with_spill rejects sharded inputs")
                         }
@@ -229,7 +261,7 @@ impl CsvDataset {
                     index
                 }
             };
-            return Ok(ScanHandle::single(index.replay()?));
+            return Ok(ScanHandle::single(index.replay_with(self.prefetch)?));
         }
 
         let sources = match &*cache {
@@ -238,22 +270,40 @@ impl CsvDataset {
                 let scored = match &self.input {
                     CsvInput::Path(path) => {
                         let text = std::fs::read_to_string(path)?;
-                        vec![tuple_source_from_csv(&text, &self.options, &self.score)?]
+                        shard_sources_from_csv_with(
+                            &[text.as_str()],
+                            &self.options,
+                            &self.score,
+                            &self.import,
+                        )?
                     }
-                    CsvInput::Text(text) => {
-                        vec![tuple_source_from_csv(text, &self.options, &self.score)?]
-                    }
+                    CsvInput::Text(text) => shard_sources_from_csv_with(
+                        &[text.as_str()],
+                        &self.options,
+                        &self.score,
+                        &self.import,
+                    )?,
                     CsvInput::ShardPaths(paths) => {
                         let texts: Vec<String> = paths
                             .iter()
                             .map(std::fs::read_to_string)
                             .collect::<std::io::Result<_>>()?;
                         let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
-                        shard_sources_from_csv(&refs, &self.options, &self.score)?
+                        shard_sources_from_csv_with(
+                            &refs,
+                            &self.options,
+                            &self.score,
+                            &self.import,
+                        )?
                     }
                     CsvInput::ShardTexts(texts) => {
                         let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
-                        shard_sources_from_csv(&refs, &self.options, &self.score)?
+                        shard_sources_from_csv_with(
+                            &refs,
+                            &self.options,
+                            &self.score,
+                            &self.import,
+                        )?
                     }
                 };
                 *cache = Cache::Scored(scored.clone());
@@ -264,7 +314,7 @@ impl CsvDataset {
             let source = sources.into_iter().next().expect("one source");
             ScanHandle::single(source)
         } else {
-            ScanHandle::merged(sources)
+            ScanHandle::merged_prefetched(sources, self.prefetch)
         })
     }
 }
@@ -286,10 +336,16 @@ impl DatasetProvider for CsvDataset {
         if self.spill.is_some() {
             return match &*cache {
                 Cache::Spilled(index) => DatasetPlan {
-                    path: ScanPath::SpilledRuns {
-                        runs: Some(index.run_count()),
-                        spilled: Some(index.spilled_run_count()),
-                        reused: true,
+                    path: match self.prefetch.buffer() {
+                        Some(buffer) => ScanPath::Prefetched {
+                            shards: index.run_count(),
+                            buffer,
+                        },
+                        None => ScanPath::SpilledRuns {
+                            runs: Some(index.run_count()),
+                            spilled: Some(index.spilled_run_count()),
+                            reused: true,
+                        },
                     },
                     rows: Some(index.len()),
                 },
@@ -312,7 +368,10 @@ impl DatasetProvider for CsvDataset {
             path: if shards == 1 {
                 ScanPath::Stream
             } else {
-                ScanPath::MergedShards { shards }
+                match self.prefetch.buffer() {
+                    Some(buffer) => ScanPath::Prefetched { shards, buffer },
+                    None => ScanPath::MergedShards { shards },
+                }
             },
             rows,
         }
@@ -397,6 +456,7 @@ score,probability,group_key
         let spill = SpillOptions {
             run_buffer_tuples: 32,
             temp_dir: Some(dir.clone()),
+            ..SpillOptions::default()
         };
         let dataset = CsvDataset::from_text(
             "spilled",

@@ -1,0 +1,374 @@
+//! Channel-fed sources: decoupling tuple *production* from *consumption*.
+//!
+//! Every source in the workspace used to be a synchronous in-process pull —
+//! the consumer's thread paid for parsing, disk reads, or network waits
+//! inline with the Theorem-2 scan. A [`TupleFeed`] breaks that coupling: it
+//! is the consumer side of a **bounded channel** of rank-ordered tuples, and
+//! it implements plain [`TupleSource`], so everything downstream (the scan
+//! gate, the loser-tree merge, a `Session`) works unchanged while the
+//! producer runs wherever it likes — another thread, another process behind
+//! a socket (see [`wire`](crate::wire)), or an ingestion pipeline pushing
+//! tuples as they arrive.
+//!
+//! Two ways to produce:
+//!
+//! * [`TupleFeed::spawn`] — run any existing `TupleSource` on its own
+//!   thread; the thread pulls the source and pushes into the channel,
+//!   overlapping the source's I/O with the consumer's work. This is the
+//!   engine behind [`PrefetchPolicy::PerShard`]: each shard of a merge reads
+//!   ahead up to `buffer` tuples while the merge is busy elsewhere.
+//! * [`TupleFeed::channel`] — a raw (producer handle, feed) pair for custom
+//!   producers (async ingestion adapters, servers pushing decoded wire
+//!   frames).
+//!
+//! Ordering and bounds are preserved exactly: the channel is FIFO, so the
+//! feed replays the producer's rank order bit-identically, and the gate's
+//! single-tuple look-ahead still holds — tuples of one tie group are simply
+//! buffered inside the channel (never more than its capacity) instead of
+//! inside the consumer. Error discipline: a producer failure travels down
+//! the channel as the original [`Error`]; a producer that *vanishes*
+//! mid-stream (panic, killed process) surfaces as [`Error::Source`] on the
+//! consumer's very next pull — never a hang, because dropping the producer
+//! handle disconnects the channel.
+
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+
+use crate::error::{Error, Result};
+use crate::source::{SourceTuple, TupleSource};
+
+/// Whether (and how deeply) the shards of a merge read ahead through
+/// [`TupleFeed`]s.
+///
+/// With `PerShard(buffer)`, every shard source is moved onto its own
+/// producer thread and the merge pulls from the feeds' channels: per-shard
+/// I/O (spill-run replay, socket reads, CSV decoding) overlaps with the
+/// loser-tree merge instead of serializing behind it. `Off` keeps the
+/// classic synchronous pull.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PrefetchPolicy {
+    /// Shards are pulled synchronously on the consumer's thread.
+    #[default]
+    Off,
+    /// Each shard runs on its own producer thread behind a bounded channel
+    /// holding at most this many tuples.
+    PerShard(usize),
+}
+
+impl PrefetchPolicy {
+    /// Per-shard prefetching through a channel of `buffer` tuples
+    /// (`buffer` is clamped to at least 1).
+    pub fn per_shard(buffer: usize) -> Self {
+        PrefetchPolicy::PerShard(buffer.max(1))
+    }
+
+    /// The per-shard channel capacity, or `None` when prefetching is off.
+    pub fn buffer(&self) -> Option<usize> {
+        match self {
+            PrefetchPolicy::Off => None,
+            PrefetchPolicy::PerShard(buffer) => Some((*buffer).max(1)),
+        }
+    }
+}
+
+/// What travels down a feed's channel.
+enum FeedMessage {
+    /// One rank-ordered tuple.
+    Tuple(SourceTuple),
+    /// A rank-ordered batch — the amortized path of [`TupleFeed::spawn`]:
+    /// one channel synchronization pays for a whole chunk of tuples, which
+    /// is what lets a producer thread outrun per-tuple channel overhead.
+    Batch(Vec<SourceTuple>),
+    /// Clean end of stream.
+    End,
+    /// The producer failed; the error is delivered to the consumer.
+    Failed(Error),
+}
+
+/// The producer handle of a [`TupleFeed`]: push tuples, then either
+/// [`finish`](FeedSender::finish) or [`fail`](FeedSender::fail).
+///
+/// Dropping the handle without finishing disconnects the channel, which the
+/// consumer reports as [`Error::Source`] — an abnormal end is never silently
+/// truncated into a short stream.
+pub struct FeedSender {
+    tx: SyncSender<FeedMessage>,
+}
+
+impl std::fmt::Debug for FeedSender {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FeedSender").finish()
+    }
+}
+
+impl FeedSender {
+    /// Pushes one tuple, blocking while the channel is full. Returns `false`
+    /// when the consumer has hung up (the producer should stop — nothing it
+    /// sends can be observed anymore).
+    pub fn send(&self, tuple: SourceTuple) -> bool {
+        self.tx.send(FeedMessage::Tuple(tuple)).is_ok()
+    }
+
+    /// Marks a clean end of stream and consumes the handle.
+    pub fn finish(self) {
+        let _ = self.tx.send(FeedMessage::End);
+    }
+
+    /// Delivers a producer-side failure to the consumer and consumes the
+    /// handle; the consumer's next pull returns exactly this error.
+    pub fn fail(self, error: Error) {
+        let _ = self.tx.send(FeedMessage::Failed(error));
+    }
+}
+
+/// The consumer side of a bounded tuple channel — a plain [`TupleSource`]
+/// whose producer runs elsewhere. See the [module documentation](self).
+pub struct TupleFeed {
+    rx: Receiver<FeedMessage>,
+    /// Tuples of the current batch not yet handed to the consumer.
+    pending: std::vec::IntoIter<SourceTuple>,
+    done: bool,
+    hint: Option<usize>,
+}
+
+impl std::fmt::Debug for TupleFeed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TupleFeed")
+            .field("done", &self.done)
+            .field("hint", &self.hint)
+            .finish()
+    }
+}
+
+impl TupleFeed {
+    /// A raw (producer handle, feed) pair over a channel holding at most
+    /// `buffer` tuples (clamped to at least 1). Manual producers deliver one
+    /// tuple per [`FeedSender::send`] — no batching, so every tuple is
+    /// visible to the consumer as soon as it is sent.
+    pub fn channel(buffer: usize) -> (FeedSender, TupleFeed) {
+        let (tx, rx) = sync_channel(buffer.max(1));
+        (
+            FeedSender { tx },
+            TupleFeed {
+                rx,
+                pending: Vec::new().into_iter(),
+                done: false,
+                hint: None,
+            },
+        )
+    }
+
+    /// Moves `source` onto its own producer thread and returns the feed the
+    /// consumer pulls from.
+    ///
+    /// The thread pulls `source` eagerly, accumulating tuples into chunks
+    /// and sending each chunk as one channel message (one synchronization
+    /// pays for a whole chunk — the consumer iterates the received batch
+    /// locally). At most ~`buffer` tuples are in flight; the thread blocks
+    /// when the consumer falls behind, forwards a clean end of stream,
+    /// forwards the source's error if it fails, and exits as soon as the
+    /// consumer hangs up. The source's initial
+    /// [`size_hint`](TupleSource::size_hint) is preserved on the feed, so
+    /// planners still see the row count.
+    pub fn spawn(source: impl TupleSource + Send + 'static, buffer: usize) -> TupleFeed {
+        let buffer = buffer.max(1);
+        // Chunks amortize channel overhead; the channel depth in chunks
+        // keeps the total in-flight tuple count near `buffer`.
+        let chunk = (buffer / 4).clamp(1, 512);
+        let depth = (buffer / chunk).max(1);
+        let hint = source.size_hint();
+        let (tx, rx) = sync_channel(depth);
+        let feed = TupleFeed {
+            rx,
+            pending: Vec::new().into_iter(),
+            done: false,
+            hint,
+        };
+        std::thread::Builder::new()
+            .name("ttk-tuple-feed".to_string())
+            .spawn(move || run_producer(source, tx, chunk))
+            .expect("spawning a tuple-feed producer thread");
+        feed
+    }
+}
+
+/// The producer loop of [`TupleFeed::spawn`]: pull, chunk, send.
+fn run_producer(mut source: impl TupleSource, tx: SyncSender<FeedMessage>, chunk: usize) {
+    let mut batch: Vec<SourceTuple> = Vec::with_capacity(chunk);
+    loop {
+        match source.next_tuple() {
+            Ok(Some(tuple)) => {
+                batch.push(tuple);
+                if batch.len() >= chunk {
+                    let full = std::mem::replace(&mut batch, Vec::with_capacity(chunk));
+                    if tx.send(FeedMessage::Batch(full)).is_err() {
+                        return; // Consumer hung up; stop producing.
+                    }
+                }
+            }
+            Ok(None) => {
+                if !batch.is_empty() && tx.send(FeedMessage::Batch(batch)).is_err() {
+                    return;
+                }
+                let _ = tx.send(FeedMessage::End);
+                return;
+            }
+            Err(error) => {
+                // Deliver the tuples that preceded the failure, then the
+                // failure itself, in order.
+                if !batch.is_empty() && tx.send(FeedMessage::Batch(batch)).is_err() {
+                    return;
+                }
+                let _ = tx.send(FeedMessage::Failed(error));
+                return;
+            }
+        }
+    }
+}
+
+impl TupleSource for TupleFeed {
+    fn next_tuple(&mut self) -> Result<Option<SourceTuple>> {
+        loop {
+            if let Some(tuple) = self.pending.next() {
+                if let Some(hint) = &mut self.hint {
+                    *hint = hint.saturating_sub(1);
+                }
+                return Ok(Some(tuple));
+            }
+            if self.done {
+                return Ok(None);
+            }
+            match self.rx.recv() {
+                Ok(FeedMessage::Tuple(tuple)) => {
+                    if let Some(hint) = &mut self.hint {
+                        *hint = hint.saturating_sub(1);
+                    }
+                    return Ok(Some(tuple));
+                }
+                Ok(FeedMessage::Batch(batch)) => {
+                    self.pending = batch.into_iter();
+                }
+                Ok(FeedMessage::End) => {
+                    self.done = true;
+                    return Ok(None);
+                }
+                Ok(FeedMessage::Failed(error)) => {
+                    self.done = true;
+                    return Err(error);
+                }
+                // The producer handle was dropped without `finish`/`fail`:
+                // the producer died. Surface it, don't truncate the stream.
+                Err(_) => {
+                    self.done = true;
+                    return Err(Error::Source(
+                        "tuple feed producer disconnected mid-stream".into(),
+                    ));
+                }
+            }
+        }
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        if self.done && self.pending.len() == 0 {
+            return Some(0);
+        }
+        self.hint
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::VecSource;
+    use crate::tuple::UncertainTuple;
+
+    fn tuples(n: u64) -> Vec<SourceTuple> {
+        (0..n)
+            .map(|i| SourceTuple::independent(UncertainTuple::new(i, (n - i) as f64, 0.5).unwrap()))
+            .collect()
+    }
+
+    fn drain(source: &mut dyn TupleSource) -> Result<Vec<SourceTuple>> {
+        let mut out = Vec::new();
+        while let Some(t) = source.next_tuple()? {
+            out.push(t);
+        }
+        Ok(out)
+    }
+
+    #[test]
+    fn spawned_feed_replays_the_source_bit_identically() {
+        let all = tuples(300);
+        let direct = drain(&mut VecSource::new(all.clone())).unwrap();
+        for buffer in [1usize, 2, 16, 1024] {
+            let mut feed = TupleFeed::spawn(VecSource::new(all.clone()), buffer);
+            assert_eq!(feed.size_hint(), Some(300), "buffer {buffer}");
+            let streamed = drain(&mut feed).unwrap();
+            assert_eq!(streamed, direct, "buffer {buffer}");
+            // Exhausted feeds stay exhausted (and report zero remaining).
+            assert!(feed.next_tuple().unwrap().is_none());
+            assert_eq!(feed.size_hint(), Some(0));
+        }
+    }
+
+    #[test]
+    fn manual_channel_delivers_tuples_then_clean_end() {
+        let (sender, mut feed) = TupleFeed::channel(4);
+        let ts = tuples(3);
+        let expected = ts.clone();
+        let producer = std::thread::spawn(move || {
+            for t in ts {
+                assert!(sender.send(t));
+            }
+            sender.finish();
+        });
+        assert_eq!(drain(&mut feed).unwrap(), expected);
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn producer_failure_surfaces_as_the_original_error() {
+        struct FailsAfter(u64);
+        impl TupleSource for FailsAfter {
+            fn next_tuple(&mut self) -> Result<Option<SourceTuple>> {
+                if self.0 == 0 {
+                    return Err(Error::Source("disk on fire".into()));
+                }
+                self.0 -= 1;
+                Ok(Some(SourceTuple::independent(
+                    UncertainTuple::new(self.0, self.0 as f64, 0.5).unwrap(),
+                )))
+            }
+        }
+        let mut feed = TupleFeed::spawn(FailsAfter(5), 2);
+        let err = drain(&mut feed).unwrap_err();
+        assert!(matches!(&err, Error::Source(m) if m.contains("disk on fire")));
+        // After the failure the feed is terminated, not wedged.
+        assert!(feed.next_tuple().unwrap().is_none());
+    }
+
+    #[test]
+    fn dropped_producer_is_an_error_not_a_short_stream() {
+        let (sender, mut feed) = TupleFeed::channel(4);
+        assert!(sender.send(tuples(1)[0]));
+        drop(sender); // Died without finish(): abnormal end.
+        assert!(feed.next_tuple().unwrap().is_some());
+        let err = feed.next_tuple().unwrap_err();
+        assert!(matches!(&err, Error::Source(m) if m.contains("disconnected")));
+    }
+
+    #[test]
+    fn producer_stops_when_the_consumer_hangs_up() {
+        let (sender, feed) = TupleFeed::channel(1);
+        drop(feed);
+        // The channel is disconnected: send reports it instead of blocking.
+        assert!(!sender.send(tuples(1)[0]));
+    }
+
+    #[test]
+    fn prefetch_policy_reports_its_buffer() {
+        assert_eq!(PrefetchPolicy::Off.buffer(), None);
+        assert_eq!(PrefetchPolicy::per_shard(8).buffer(), Some(8));
+        assert_eq!(PrefetchPolicy::per_shard(0).buffer(), Some(1));
+        assert_eq!(PrefetchPolicy::default(), PrefetchPolicy::Off);
+    }
+}

@@ -15,6 +15,7 @@
 //! one with [`ScanHandle::single`] or [`ScanHandle::merged`].
 
 use crate::error::Result;
+use crate::feed::{PrefetchPolicy, TupleFeed};
 use crate::merge::MergeSource;
 use crate::source::{SourceTuple, TupleSource};
 
@@ -28,6 +29,7 @@ use crate::source::{SourceTuple, TupleSource};
 pub struct ScanHandle {
     source: Box<dyn TupleSource + Send>,
     shards: usize,
+    prefetch: Option<usize>,
 }
 
 impl ScanHandle {
@@ -36,12 +38,17 @@ impl ScanHandle {
         ScanHandle {
             source: Box::new(source),
             shards: 1,
+            prefetch: None,
         }
     }
 
     /// Wraps an already-boxed single stream without double boxing.
     pub fn from_boxed(source: Box<dyn TupleSource + Send>) -> Self {
-        ScanHandle { source, shards: 1 }
+        ScanHandle {
+            source,
+            shards: 1,
+            prefetch: None,
+        }
     }
 
     /// Fuses the shards of **one partitioned relation** (shared group-key
@@ -49,10 +56,37 @@ impl ScanHandle {
     /// executor path does — the merged stream is bit-identical to the
     /// unpartitioned stream.
     pub fn merged<S: TupleSource + Send + 'static>(shards: Vec<S>) -> Self {
+        ScanHandle::merged_prefetched(shards, PrefetchPolicy::Off)
+    }
+
+    /// [`ScanHandle::merged`] with an optional per-shard prefetch: under
+    /// [`PrefetchPolicy::PerShard`], every shard is moved onto its own
+    /// producer thread behind a bounded [`TupleFeed`], so per-shard I/O
+    /// (spill-run replay, socket reads) overlaps with the loser-tree merge.
+    /// The merged stream is bit-identical either way — prefetching changes
+    /// *when* tuples are pulled from the shards, never their order.
+    pub fn merged_prefetched<S: TupleSource + Send + 'static>(
+        shards: Vec<S>,
+        prefetch: PrefetchPolicy,
+    ) -> Self {
         let shard_count = shards.len().max(1);
-        ScanHandle {
-            source: Box::new(MergeSource::new(shards)),
-            shards: shard_count,
+        match prefetch.buffer() {
+            None => ScanHandle {
+                source: Box::new(MergeSource::new(shards)),
+                shards: shard_count,
+                prefetch: None,
+            },
+            Some(buffer) => {
+                let feeds: Vec<TupleFeed> = shards
+                    .into_iter()
+                    .map(|shard| TupleFeed::spawn(shard, buffer))
+                    .collect();
+                ScanHandle {
+                    source: Box::new(MergeSource::new(feeds)),
+                    shards: shard_count,
+                    prefetch: Some(buffer),
+                }
+            }
         }
     }
 
@@ -60,6 +94,12 @@ impl ScanHandle {
     /// stream).
     pub fn shard_count(&self) -> usize {
         self.shards
+    }
+
+    /// The per-shard prefetch buffer, when the shards feed the merge through
+    /// producer threads (`None` for synchronous pulls).
+    pub fn prefetch_buffer(&self) -> Option<usize> {
+        self.prefetch
     }
 
     /// An optional hint of how many tuples remain (delegates to the
@@ -73,6 +113,7 @@ impl std::fmt::Debug for ScanHandle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ScanHandle")
             .field("shards", &self.shards)
+            .field("prefetch", &self.prefetch)
             .field("remaining", &self.source.size_hint())
             .finish()
     }
@@ -126,7 +167,40 @@ mod tests {
         let b = VecSource::new(vec![all[1], all[3]]);
         let merged = ScanHandle::merged(vec![a, b]);
         assert_eq!(merged.shard_count(), 2);
+        assert_eq!(merged.prefetch_buffer(), None);
         assert_eq!(drain(merged), single);
+    }
+
+    #[test]
+    fn prefetched_merge_is_bit_identical_to_the_synchronous_merge() {
+        let all: Vec<_> = (0..200u64)
+            .map(|i| {
+                SourceTuple::independent(
+                    UncertainTuple::new(i, ((i * 7) % 23) as f64, 0.5).unwrap(),
+                )
+            })
+            .collect();
+        let single = drain(ScanHandle::single(VecSource::new(all.clone())));
+        for buffer in [1usize, 4, 64] {
+            let shards: Vec<VecSource> = (0..3)
+                .map(|s| {
+                    VecSource::new(
+                        all.iter()
+                            .enumerate()
+                            .filter(|(i, _)| i % 3 == s)
+                            .map(|(_, t)| *t)
+                            .collect(),
+                    )
+                })
+                .collect();
+            let handle = ScanHandle::merged_prefetched(
+                shards,
+                crate::feed::PrefetchPolicy::per_shard(buffer),
+            );
+            assert_eq!(handle.shard_count(), 3);
+            assert_eq!(handle.prefetch_buffer(), Some(buffer));
+            assert_eq!(drain(handle), single, "buffer {buffer}");
+        }
     }
 
     #[test]

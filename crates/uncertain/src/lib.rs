@@ -25,9 +25,17 @@
 //!   sources into one stream, so a scan can span partitions (shard files,
 //!   external-sort spill runs) while reading at most one look-ahead tuple
 //!   per shard.
+//! * [`TupleFeed`] — the consumer side of a bounded tuple channel: any
+//!   source can run on its own producer thread (or process) while the
+//!   consumer still pulls a plain [`TupleSource`]; [`PrefetchPolicy`] uses
+//!   it to overlap per-shard I/O with the merge.
+//! * [`wire`] — a framed binary codec for [`SourceTuple`] streams over any
+//!   `Read`/`Write` (raw IEEE-754 bits, length-prefixed frames), so one
+//!   scan can span processes and machines.
 //! * [`ScanHandle`] — the uniform opened-input type: a single stream or a
-//!   merged shard set behind one owned [`TupleSource`], produced by the
-//!   `Dataset` abstraction in `ttk-core` and by custom dataset providers.
+//!   merged shard set (optionally prefetched per shard) behind one owned
+//!   [`TupleSource`], produced by the `Dataset` abstraction in `ttk-core`
+//!   and by custom dataset providers.
 //!
 //! The production algorithms that *compute* score distributions and
 //! c-Typical-Topk answers live in the `ttk-core` crate; this crate is the
@@ -56,6 +64,7 @@
 #![forbid(unsafe_code)]
 
 pub mod error;
+pub mod feed;
 pub mod handle;
 pub mod merge;
 pub mod pmf;
@@ -64,9 +73,11 @@ pub mod source;
 pub mod table;
 pub mod tuple;
 pub mod vector;
+pub mod wire;
 pub mod worlds;
 
 pub use error::{Error, Result};
+pub use feed::{FeedSender, PrefetchPolicy, TupleFeed};
 pub use handle::ScanHandle;
 pub use merge::{partition_round_robin, MergeSource};
 pub use pmf::{
@@ -79,4 +90,5 @@ pub use source::{
 pub use table::{UncertainTable, UncertainTableBuilder};
 pub use tuple::{TupleId, UncertainTuple};
 pub use vector::TopkVector;
+pub use wire::{WireReader, WireWriter};
 pub use worlds::{exact_topk_score_distribution, world_count, PossibleWorld, PossibleWorlds};

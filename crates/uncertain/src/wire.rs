@@ -1,0 +1,413 @@
+//! The wire layer: a framed binary codec for [`SourceTuple`] streams.
+//!
+//! A shard served from another process (or machine) is just a rank-ordered
+//! tuple stream, so the wire format is deliberately minimal: a blocking,
+//! **length-prefixed** frame protocol over any [`Read`]/[`Write`] pair —
+//! a `TcpStream`, a Unix pipe, an in-memory buffer in tests. Scores and
+//! probabilities travel as raw IEEE-754 bits (the same encoding discipline
+//! as the spill-run files of `ttk-pdb`), so a stream decoded from the wire
+//! is **bit-identical** to the stream the server pulled locally.
+//!
+//! Every frame is `u32` little-endian body length followed by the body; the
+//! body's first byte is the frame kind:
+//!
+//! | kind | meaning | payload |
+//! |---|---|---|
+//! | `0` | end of stream | none |
+//! | `1` | tuple | id `u64`, score bits `u64`, prob bits `u64`, group flag `u8` (+ key `u64` when shared) |
+//! | `2` | producer error | UTF-8 message |
+//! | `3` | hello (first frame) | version `u8`, size hint `u64` (`u64::MAX` = unknown) |
+//!
+//! All integers are little-endian. A [`WireWriter`] emits the hello frame at
+//! construction and exactly one terminal frame (`end` or `error`); a
+//! [`WireReader`] implements [`TupleSource`], decoding tuples until the
+//! terminal frame and surfacing *every* abnormality — I/O failure, corrupt
+//! frame, connection lost before the end frame, server-side error — as
+//! [`Error::Source`], never as a silently truncated stream.
+
+use std::io::{Read, Write};
+
+use crate::error::{Error, Result};
+use crate::source::{GroupKey, SourceTuple, TupleSource};
+use crate::tuple::UncertainTuple;
+
+/// Protocol version emitted in the hello frame.
+const WIRE_VERSION: u8 = 1;
+
+/// Frame kinds (first byte of every frame body).
+const FRAME_END: u8 = 0;
+const FRAME_TUPLE: u8 = 1;
+const FRAME_ERROR: u8 = 2;
+const FRAME_HELLO: u8 = 3;
+
+/// Largest frame body a reader will accept (an error message, at most; tuple
+/// frames are 34 bytes). Guards against garbage length prefixes allocating
+/// gigabytes.
+const MAX_FRAME_BODY: usize = 64 * 1024;
+
+fn io_err(context: &str, e: std::io::Error) -> Error {
+    Error::Source(format!("wire {context}: {e}"))
+}
+
+/// The sending half of the codec: frames a rank-ordered tuple stream onto
+/// any blocking [`Write`].
+///
+/// Construction writes the hello frame (protocol version plus an optional
+/// tuple-count hint the receiving planner can surface). Call
+/// [`write_tuple`](WireWriter::write_tuple) per tuple, then exactly one of
+/// [`finish`](WireWriter::finish) or [`fail`](WireWriter::fail);
+/// [`serve`](WireWriter::serve) drives all three from a [`TupleSource`].
+#[derive(Debug)]
+pub struct WireWriter<W: Write> {
+    writer: W,
+}
+
+impl<W: Write> WireWriter<W> {
+    /// Wraps `writer` and sends the hello frame carrying `size_hint`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Source`] when the hello frame cannot be written.
+    pub fn new(writer: W, size_hint: Option<usize>) -> Result<Self> {
+        let mut body = Vec::with_capacity(10);
+        body.push(FRAME_HELLO);
+        body.push(WIRE_VERSION);
+        let hint = size_hint.map(|n| n as u64).unwrap_or(u64::MAX);
+        body.extend_from_slice(&hint.to_le_bytes());
+        let mut this = WireWriter { writer };
+        this.frame(&body)?;
+        Ok(this)
+    }
+
+    fn frame(&mut self, body: &[u8]) -> Result<()> {
+        let len = body.len() as u32;
+        self.writer
+            .write_all(&len.to_le_bytes())
+            .and_then(|_| self.writer.write_all(body))
+            .map_err(|e| io_err("write", e))
+    }
+
+    /// Frames one tuple.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Source`] on I/O failure.
+    pub fn write_tuple(&mut self, tuple: &SourceTuple) -> Result<()> {
+        let mut body = Vec::with_capacity(34);
+        body.push(FRAME_TUPLE);
+        body.extend_from_slice(&tuple.tuple.id().raw().to_le_bytes());
+        body.extend_from_slice(&tuple.tuple.score().to_bits().to_le_bytes());
+        body.extend_from_slice(&tuple.tuple.prob().to_bits().to_le_bytes());
+        match tuple.group {
+            GroupKey::Independent => body.push(0),
+            GroupKey::Shared(key) => {
+                body.push(1);
+                body.extend_from_slice(&key.to_le_bytes());
+            }
+        }
+        self.frame(&body)
+    }
+
+    /// Sends the end-of-stream frame and flushes.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Source`] on I/O failure.
+    pub fn finish(mut self) -> Result<()> {
+        self.frame(&[FRAME_END])?;
+        self.writer.flush().map_err(|e| io_err("flush", e))
+    }
+
+    /// Sends an error frame (delivered to the peer as [`Error::Source`])
+    /// and flushes.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Source`] on I/O failure.
+    pub fn fail(mut self, message: &str) -> Result<()> {
+        let mut body = Vec::with_capacity(1 + message.len());
+        body.push(FRAME_ERROR);
+        body.extend_from_slice(message.as_bytes());
+        self.frame(&body)?;
+        self.writer.flush().map_err(|e| io_err("flush", e))
+    }
+
+    /// Pulls `source` to exhaustion and frames every tuple, terminating the
+    /// stream correctly on both outcomes: a clean end sends the end frame, a
+    /// source failure is forwarded as an error frame (and returned).
+    ///
+    /// Returns the number of tuples served.
+    ///
+    /// # Errors
+    ///
+    /// The source's error (after forwarding it to the peer), or
+    /// [`Error::Source`] on I/O failure.
+    pub fn serve(mut self, source: &mut dyn TupleSource) -> Result<usize> {
+        let mut served = 0usize;
+        loop {
+            match source.next_tuple() {
+                Ok(Some(tuple)) => {
+                    self.write_tuple(&tuple)?;
+                    served += 1;
+                }
+                Ok(None) => {
+                    self.finish()?;
+                    return Ok(served);
+                }
+                Err(error) => {
+                    self.fail(&error.to_string())?;
+                    return Err(error);
+                }
+            }
+        }
+    }
+}
+
+/// The receiving half of the codec: a [`TupleSource`] decoding frames from
+/// any blocking [`Read`].
+///
+/// The hello frame is read lazily on the first pull, so constructing a
+/// reader never blocks. Wrap network streams in a `BufReader` — the decoder
+/// issues small reads.
+#[derive(Debug)]
+pub struct WireReader<R: Read> {
+    reader: R,
+    hello_seen: bool,
+    done: bool,
+    hint: Option<usize>,
+}
+
+impl<R: Read> WireReader<R> {
+    /// Wraps `reader`.
+    pub fn new(reader: R) -> Self {
+        WireReader {
+            reader,
+            hello_seen: false,
+            done: false,
+            hint: None,
+        }
+    }
+
+    fn read_frame(&mut self) -> Result<Vec<u8>> {
+        let mut len = [0u8; 4];
+        self.reader
+            .read_exact(&mut len)
+            .map_err(|e| io_err("read (stream ended before the end frame?)", e))?;
+        let len = u32::from_le_bytes(len) as usize;
+        if len == 0 || len > MAX_FRAME_BODY {
+            return Err(Error::Source(format!(
+                "wire frame of {len} bytes is outside the accepted range"
+            )));
+        }
+        let mut body = vec![0u8; len];
+        self.reader
+            .read_exact(&mut body)
+            .map_err(|e| io_err("read (truncated frame)", e))?;
+        Ok(body)
+    }
+
+    fn expect_hello(&mut self) -> Result<()> {
+        let body = self.read_frame()?;
+        if body.first() != Some(&FRAME_HELLO) || body.len() != 10 {
+            return Err(Error::Source(
+                "wire stream does not start with a hello frame".into(),
+            ));
+        }
+        if body[1] != WIRE_VERSION {
+            return Err(Error::Source(format!(
+                "unsupported wire protocol version {}",
+                body[1]
+            )));
+        }
+        let hint = u64::from_le_bytes(body[2..10].try_into().expect("8 bytes"));
+        self.hint = (hint != u64::MAX).then_some(hint as usize);
+        self.hello_seen = true;
+        Ok(())
+    }
+
+    fn decode_tuple(body: &[u8]) -> Result<SourceTuple> {
+        let corrupt = || Error::Source("corrupt wire tuple frame".into());
+        if body.len() != 26 && body.len() != 34 {
+            return Err(corrupt());
+        }
+        let id = u64::from_le_bytes(body[1..9].try_into().expect("8 bytes"));
+        let score = f64::from_bits(u64::from_le_bytes(body[9..17].try_into().expect("8 bytes")));
+        let prob = f64::from_bits(u64::from_le_bytes(
+            body[17..25].try_into().expect("8 bytes"),
+        ));
+        let tuple = UncertainTuple::new(id, score, prob)?;
+        match (body[25], body.len()) {
+            (0, 26) => Ok(SourceTuple::independent(tuple)),
+            (1, 34) => Ok(SourceTuple::grouped(
+                tuple,
+                u64::from_le_bytes(body[26..34].try_into().expect("8 bytes")),
+            )),
+            _ => Err(corrupt()),
+        }
+    }
+}
+
+impl<R: Read> TupleSource for WireReader<R> {
+    fn next_tuple(&mut self) -> Result<Option<SourceTuple>> {
+        if self.done {
+            return Ok(None);
+        }
+        if !self.hello_seen {
+            if let Err(e) = self.expect_hello() {
+                self.done = true;
+                return Err(e);
+            }
+        }
+        let body = match self.read_frame() {
+            Ok(body) => body,
+            Err(e) => {
+                self.done = true;
+                return Err(e);
+            }
+        };
+        match body[0] {
+            FRAME_TUPLE => match Self::decode_tuple(&body) {
+                Ok(tuple) => {
+                    if let Some(hint) = &mut self.hint {
+                        *hint = hint.saturating_sub(1);
+                    }
+                    Ok(Some(tuple))
+                }
+                Err(e) => {
+                    self.done = true;
+                    Err(e)
+                }
+            },
+            FRAME_END => {
+                self.done = true;
+                Ok(None)
+            }
+            FRAME_ERROR => {
+                self.done = true;
+                Err(Error::Source(format!(
+                    "remote source failed: {}",
+                    String::from_utf8_lossy(&body[1..])
+                )))
+            }
+            other => {
+                self.done = true;
+                Err(Error::Source(format!("unknown wire frame kind {other}")))
+            }
+        }
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        if self.done {
+            return Some(0);
+        }
+        // Unknown until the hello frame has been decoded.
+        self.hint.filter(|_| self.hello_seen)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::VecSource;
+
+    fn tuples(n: u64) -> Vec<SourceTuple> {
+        (0..n)
+            .map(|i| {
+                let t = UncertainTuple::new(i, (n - i) as f64 + 0.125, 0.5).unwrap();
+                if i % 3 == 0 {
+                    SourceTuple::grouped(t, i / 3)
+                } else {
+                    SourceTuple::independent(t)
+                }
+            })
+            .collect()
+    }
+
+    fn drain(source: &mut dyn TupleSource) -> Result<Vec<SourceTuple>> {
+        let mut out = Vec::new();
+        while let Some(t) = source.next_tuple()? {
+            out.push(t);
+        }
+        Ok(out)
+    }
+
+    #[test]
+    fn round_trip_is_bit_identical() {
+        let all = tuples(50);
+        let mut buf = Vec::new();
+        let writer = WireWriter::new(&mut buf, Some(all.len())).unwrap();
+        let served = writer.serve(&mut VecSource::new(all.clone())).unwrap();
+        assert_eq!(served, 50);
+        let mut reader = WireReader::new(buf.as_slice());
+        assert_eq!(reader.size_hint(), None, "hint unknown before hello");
+        let decoded = drain(&mut reader).unwrap();
+        assert_eq!(decoded, all);
+        assert_eq!(reader.size_hint(), Some(0));
+        assert!(reader.next_tuple().unwrap().is_none());
+    }
+
+    #[test]
+    fn size_hint_counts_down_after_hello() {
+        let all = tuples(4);
+        let mut buf = Vec::new();
+        WireWriter::new(&mut buf, Some(4))
+            .unwrap()
+            .serve(&mut VecSource::new(all))
+            .unwrap();
+        let mut reader = WireReader::new(buf.as_slice());
+        reader.next_tuple().unwrap().unwrap();
+        assert_eq!(reader.size_hint(), Some(3));
+    }
+
+    #[test]
+    fn server_side_error_is_forwarded_as_source_error() {
+        struct Fails;
+        impl TupleSource for Fails {
+            fn next_tuple(&mut self) -> Result<Option<SourceTuple>> {
+                Err(Error::Source("backing store gone".into()))
+            }
+        }
+        let mut buf = Vec::new();
+        let err = WireWriter::new(&mut buf, None)
+            .unwrap()
+            .serve(&mut Fails)
+            .unwrap_err();
+        assert!(matches!(err, Error::Source(_)));
+        let err = drain(&mut WireReader::new(buf.as_slice())).unwrap_err();
+        assert!(
+            matches!(&err, Error::Source(m) if m.contains("backing store gone")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn truncation_and_corruption_surface_as_errors() {
+        let mut buf = Vec::new();
+        WireWriter::new(&mut buf, None)
+            .unwrap()
+            .serve(&mut VecSource::new(tuples(5)))
+            .unwrap();
+
+        // Cut the stream before the end frame: every prefix fails, none hang
+        // and none pretend the stream ended cleanly.
+        for cut in [3usize, 11, buf.len() - 2] {
+            let err = drain(&mut WireReader::new(&buf[..cut])).unwrap_err();
+            assert!(matches!(err, Error::Source(_)), "cut at {cut}");
+        }
+
+        // A garbage length prefix is rejected instead of allocated.
+        let mut garbage = buf.clone();
+        garbage[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            drain(&mut WireReader::new(garbage.as_slice())),
+            Err(Error::Source(_))
+        ));
+
+        // A stream that does not open with hello is rejected.
+        let headless = &buf[14..]; // skip the 4+10 byte hello frame
+        assert!(matches!(
+            drain(&mut WireReader::new(headless)),
+            Err(Error::Source(_))
+        ));
+    }
+}

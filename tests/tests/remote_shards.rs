@@ -1,0 +1,144 @@
+//! The acceptance property of the transport layer, end to end at the
+//! database level: a relation split into shard CSV files, each served by an
+//! independent "process" (its own scoring pass, its own wire stream over a
+//! loopback socket), queried through `RemoteShardDataset`, must produce
+//! **bit-identical** results to the equivalent local `--shard` scan of the
+//! same files — distribution, scan depth, typical answers and U-Topk ids.
+
+use std::net::TcpListener;
+
+use ttk_core::{RemoteShardDataset, Session, TopkQuery};
+use ttk_integration_tests::small_area;
+use ttk_pdb::{
+    shard_sources_from_csv_with, table_to_csv, CsvDataset, CsvOptions, ShardImportOptions,
+};
+use ttk_uncertain::{PrefetchPolicy, TupleSource, WireWriter};
+
+/// Exports the small CarTel area as `shards` CSV texts (round-robin rows,
+/// shared schema and group-key strings), returning the texts.
+fn shard_texts(shards: usize) -> Vec<String> {
+    let area = small_area();
+    let schema = ttk_pdb::Schema::default()
+        .with("delay", ttk_pdb::DataType::Float)
+        .with("speed_limit", ttk_pdb::DataType::Float)
+        .with("length", ttk_pdb::DataType::Float);
+    let mut parts: Vec<ttk_pdb::PTable> = (0..shards)
+        .map(|i| ttk_pdb::PTable::new(format!("shard{i}"), schema.clone()))
+        .collect();
+    let mut row = 0usize;
+    for segment in &area.segments {
+        for bin in &segment.bins {
+            parts[row % shards]
+                .insert(
+                    vec![
+                        bin.delay_seconds.into(),
+                        segment.speed_limit_kmh.into(),
+                        segment.length_m.into(),
+                    ],
+                    bin.probability.clamp(1e-6, 1.0),
+                    Some(&format!("segment-{}", segment.segment_id)),
+                )
+                .unwrap();
+            row += 1;
+        }
+    }
+    parts
+        .iter()
+        .map(|p| table_to_csv(p, &CsvOptions::default()))
+        .collect()
+}
+
+/// Serves one shard text the way `ttk serve-shard` does: scored with hashed
+/// group keys and an explicit id base, streamed over the wire once per
+/// accepted connection, `conns` times.
+fn serve(text: String, id_base: u64, conns: usize) -> String {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    std::thread::spawn(move || {
+        let expr = ttk_pdb::parse_expression("speed_limit / (length / delay)").unwrap();
+        for _ in 0..conns {
+            let (stream, _) = listener.accept().unwrap();
+            let mut source = shard_sources_from_csv_with(
+                &[text.as_str()],
+                &CsvOptions::default(),
+                &expr,
+                &ShardImportOptions {
+                    first_tuple_id: id_base,
+                    hashed_group_keys: true,
+                },
+            )
+            .unwrap()
+            .pop()
+            .unwrap();
+            let hint = source.size_hint();
+            if let Ok(writer) = WireWriter::new(std::io::BufWriter::new(stream), hint) {
+                let _ = writer.serve(&mut source);
+            }
+        }
+    });
+    addr
+}
+
+#[test]
+fn remote_shard_scan_is_bit_identical_to_the_local_shard_scan() {
+    let shards = 3usize;
+    let texts = shard_texts(shards);
+    let expr = || ttk_pdb::parse_expression("speed_limit / (length / delay)").unwrap();
+
+    // The local reference: the same shard files scanned in-process with the
+    // same import discipline (hashed keys, cumulative id bases).
+    let local =
+        CsvDataset::from_shard_texts("local-shards", texts.clone(), CsvOptions::default(), expr())
+            .with_import(ShardImportOptions {
+                first_tuple_id: 0,
+                hashed_group_keys: true,
+            })
+            .into_dataset();
+
+    // Serve each shard "process"-style; four connections each — one per
+    // (k, prefetch) combination the loop below issues.
+    let mut id_base = 0u64;
+    let addrs: Vec<String> = texts
+        .iter()
+        .map(|text| {
+            let rows = text.lines().filter(|l| !l.trim().is_empty()).count() as u64 - 1;
+            let addr = serve(text.clone(), id_base, 4);
+            id_base += rows;
+            addr
+        })
+        .collect();
+
+    let mut session = Session::new();
+    for k in [1usize, 3, 5] {
+        let query = TopkQuery::new(k).with_p_tau(1e-3);
+        let reference = session.execute(&local, &query).unwrap();
+        for prefetch in [PrefetchPolicy::Off, PrefetchPolicy::per_shard(32)] {
+            if k != 3 && prefetch != PrefetchPolicy::Off {
+                continue; // the prefetched client connects once, on k == 3
+            }
+            let remote = RemoteShardDataset::new(addrs.clone())
+                .with_prefetch(prefetch)
+                .into_dataset();
+            let answer = session.execute(&remote, &query).unwrap();
+            assert_eq!(answer.distribution, reference.distribution, "k={k}");
+            assert_eq!(answer.scan_depth, reference.scan_depth, "k={k}");
+            assert_eq!(answer.typical.scores(), reference.typical.scores(), "k={k}");
+            let (ua, ub) = (
+                answer.u_topk.as_ref().unwrap(),
+                reference.u_topk.as_ref().unwrap(),
+            );
+            assert_eq!(ua.vector.ids(), ub.vector.ids(), "k={k}");
+        }
+    }
+
+    // The hashed-key import is itself bit-identical (in distribution) to the
+    // classic coordinated import of the same shards.
+    let coordinated =
+        CsvDataset::from_shard_texts("coordinated", texts, CsvOptions::default(), expr())
+            .into_dataset();
+    let query = TopkQuery::new(4).with_p_tau(1e-3);
+    let a = session.execute(&coordinated, &query).unwrap();
+    let b = session.execute(&local, &query).unwrap();
+    assert_eq!(a.distribution, b.distribution);
+    assert_eq!(a.scan_depth, b.scan_depth);
+}
