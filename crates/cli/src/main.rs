@@ -14,30 +14,42 @@
 //!   (chosen scan path, row/depth/cost estimates) without running the query;
 //!   `--after` executes the query first so the plan also reports the
 //!   observed scan depth and the cost model's drift.
-//! * `ttk serve-shard <input> --score EXPR --listen ADDR` — serve the
-//!   resolved dataset as a rank-ordered tuple stream over TCP (the wire
-//!   protocol of `ttk-uncertain`), one replay per connection. A `ttk query
-//!   --remote-shard ADDR` (repeatable, mixable with local `--shard`) scans
-//!   the served shards as one relation.
+//! * `ttk serve-shard <input> --score EXPR --listen ADDR` — a long-lived
+//!   concurrent daemon serving the resolved dataset as a rank-ordered tuple
+//!   stream over TCP (the wire protocol of `ttk-uncertain`), one replay per
+//!   connection, with up to `--max-parallel` connections served at once. A
+//!   `ttk query --remote-shard ADDR` (repeatable, mixable with local
+//!   `--shard`) scans the served shards as one relation. With
+//!   `--coordinator ADDR` the daemon leases its tuple-id base and group-key
+//!   namespace instead of taking `--id-base` from the operator.
+//! * `ttk coordinator --listen ADDR` — hands out `(id base, namespace)`
+//!   leases to registering `serve-shard` daemons, so the shards of one
+//!   relation land in disjoint id ranges without operator arithmetic.
 //! * `ttk soldier` — print the paper's toy example end to end.
 
 use std::collections::HashMap;
 use std::io::BufWriter;
-use std::net::TcpListener;
+use std::net::{TcpListener, TcpStream};
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
 
 use ttk_core::{
-    Algorithm, BatchOptions, Dataset, DatasetProvider, PlanDescription, QueryJob,
+    Algorithm, BatchOptions, ConnectOptions, Dataset, DatasetProvider, PlanDescription, QueryJob,
     RemoteShardDataset, ScanPath, Session, TopkQuery,
 };
 use ttk_datagen::cartel::{generate_area, CartelConfig};
 use ttk_datagen::soldier;
 use ttk_datagen::synthetic::{generate, IntRange, MePolicy, SyntheticConfig};
 use ttk_pdb::{
-    parse_expression, table_to_csv, CsvDataset, CsvOptions, DataType, PTable, Schema,
-    ShardImportOptions, SpillOptions,
+    count_csv_records, parse_expression, table_to_csv, CsvDataset, CsvOptions, DataType, PTable,
+    Schema, ShardImportOptions, SpillOptions,
 };
-use ttk_uncertain::{PrefetchPolicy, ScoreDistribution, TupleSource, WireWriter};
+use ttk_uncertain::{
+    wire, LeaseRegistry, PrefetchPolicy, ScoreDistribution, ShardAssignment, TupleSource,
+    WireWriter,
+};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -64,13 +76,19 @@ fn usage() -> &'static str {
               [--prob-column NAME] [--group-column NAME] [--buckets N]
               [--batch KS] [--threads N] [--spill-buffer TUPLES]
               [--prefetch TUPLES] [--id-base N]
+              [--remote-timeout SECS] [--remote-retries N]
   ttk explain (DATA.csv | --file DATA.csv | --shard ... | --remote-shard ...)
               --score EXPR [--k K] [--p-tau P] [--algorithm ...]
               [--spill-buffer TUPLES] [--prefetch TUPLES] [--after]
+              [--remote-timeout SECS] [--remote-retries N]
   ttk serve-shard (DATA.csv | --file DATA.csv | --shard ...) --score EXPR
-              --listen HOST:PORT [--id-base N] [--spill-buffer TUPLES]
-              [--max-conns N] [--port-file FILE]
+              --listen HOST:PORT
+              [--id-base N [--namespace LABEL] | --coordinator HOST:PORT]
+              [--spill-buffer TUPLES]
+              [--max-conns N] [--max-parallel N] [--port-file FILE]
               [--prob-column NAME] [--group-column NAME]
+  ttk coordinator --listen HOST:PORT [--namespace LABEL] [--max-leases N]
+              [--port-file FILE]
 
   Every input form resolves to one dataset: a single CSV file (positional or
   --file), the shard files of one partitioned relation (--shard, repeatable;
@@ -78,15 +96,27 @@ fn usage() -> &'static str {
   external-sorts a single file through runs of at most T tuples spilled to
   temp files), or remote shard servers (--remote-shard, repeatable, mixable
   with local --shard files). --prefetch B reads every shard of a merged scan
-  ahead through a B-tuple channel on its own thread.
+  ahead through a B-tuple channel on its own thread. Remote dials connect
+  and read under --remote-timeout seconds (default 10/none) and retry
+  --remote-retries times (default 3) with exponential backoff, so a server
+  still starting up is retried instead of failing the query.
 
   serve-shard scores its input once and then serves it as a rank-ordered
-  binary tuple stream, one full replay per connection, until --max-conns
-  connections were served (0 or absent = forever). --id-base places the
-  served rows in the relation's shared tuple-id space (pass the total row
-  count of the shards before this one); group keys are hashed from the group
-  label so independently-served shards agree on ME groups. --port-file
-  writes the actually-bound address (useful with --listen 127.0.0.1:0).
+  binary tuple stream — a long-lived daemon handling up to --max-parallel
+  connections concurrently (default 8), one full replay per connection,
+  until --max-conns connections were served (0 or absent = forever) or
+  SIGINT/SIGTERM; both drain in-flight connections before exiting. A slow or
+  dead client only ever costs its own worker. --id-base places the served
+  rows in the relation's shared tuple-id space (pass the total row count of
+  the shards before this one); with --coordinator the daemon registers its
+  row count and is leased its id base and group-key namespace instead.
+  Group keys are hashed from the group label so independently-served shards
+  agree on ME groups. --port-file writes the actually-bound address
+  atomically (useful with --listen 127.0.0.1:0).
+
+  coordinator hands out non-overlapping id-base leases (and one shared
+  namespace label, --namespace, stamped into every served hello) to
+  registering serve-shard daemons; --max-leases N exits after N leases.
 
   --batch KS runs one query per k in KS (comma list `1,5,10` or range
   `LO:HI`) through the cost-ordered parallel batch executor and prints a
@@ -175,6 +205,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "query" => cmd_query(rest),
         "explain" => cmd_explain(rest),
         "serve-shard" => cmd_serve_shard(rest),
+        "coordinator" => cmd_coordinator(rest),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
@@ -386,6 +417,28 @@ fn parse_query_spec(flags: &Flags, k: usize) -> Result<QuerySpec, String> {
     })
 }
 
+/// The remote-dial options of `query`/`explain`: `--remote-timeout SECS`
+/// bounds both the connect and the per-read wait on every shard server
+/// connection, `--remote-retries N` sets how many times a failed dial or
+/// lost handshake is retried (exponential backoff between attempts).
+fn parse_connect_options(flags: &Flags) -> Result<ConnectOptions, String> {
+    let mut connect = ConnectOptions::default();
+    if let Some(raw) = get(flags, "remote-timeout") {
+        let secs: f64 = raw
+            .parse()
+            .map_err(|_| format!("invalid value `{raw}` for --remote-timeout"))?;
+        let timeout = Duration::try_from_secs_f64(secs)
+            .ok()
+            .filter(|t| !t.is_zero())
+            .ok_or_else(|| {
+                format!("--remote-timeout must be a positive number of seconds, got `{raw}`")
+            })?;
+        connect = connect.with_timeout(timeout);
+    }
+    connect.retries = get_parse(flags, "remote-retries", connect.retries)?;
+    Ok(connect)
+}
+
 /// The CSV metadata-column options from the shared flags.
 fn parse_csv_options(flags: &Flags) -> CsvOptions {
     CsvOptions {
@@ -471,7 +524,9 @@ fn resolve_dataset(
                     .to_string(),
             );
         }
-        let mut dataset = RemoteShardDataset::new(remote_shards).with_prefetch(prefetch);
+        let mut dataset = RemoteShardDataset::new(remote_shards)
+            .with_prefetch(prefetch)
+            .with_connect_options(parse_connect_options(flags)?);
         if !shard_files.is_empty() {
             // Local shards merged into the same relation: hashed group keys
             // (matching the serving side) and the caller-provided id base.
@@ -540,66 +595,498 @@ fn resolve_dataset(
     }
 }
 
+/// Set by the SIGINT/SIGTERM handler; the daemon accept loops poll it and
+/// drain in-flight connections instead of dying mid-stream.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// Installs the graceful-shutdown signal handler (SIGINT + SIGTERM). The
+/// first signal requests a drain (an async-signal-safe atomic store); a
+/// second signal exits immediately — the escape hatch when the drain is
+/// held up by a worker blocked on a client that will never read.
+#[cfg(unix)]
+fn install_shutdown_handler() {
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        fn _exit(status: i32) -> !;
+    }
+    extern "C" fn mark_shutdown(_signal: i32) {
+        if SHUTDOWN.swap(true, Ordering::SeqCst) {
+            // Second signal: the operator insists. `_exit` is
+            // async-signal-safe; 130 is the conventional fatal-signal code.
+            unsafe { _exit(130) }
+        }
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    // SAFETY: `signal`/`_exit` are provided by the C library std already
+    // links; the handler is async-signal-safe (atomic swap, `_exit`).
+    unsafe {
+        signal(SIGINT, mark_shutdown);
+        signal(SIGTERM, mark_shutdown);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_shutdown_handler() {}
+
+/// Writes `contents` to `path` atomically: the bytes land in a unique temp
+/// file in the same directory which is then renamed into place, so a
+/// concurrently-polling reader observes either no file or the complete
+/// contents — never a partial write.
+fn write_file_atomically(path: &str, contents: &str) -> Result<(), String> {
+    let target = std::path::Path::new(path);
+    let mut tmp_name = target.as_os_str().to_owned();
+    tmp_name.push(format!(".tmp-{}", std::process::id()));
+    let tmp = std::path::PathBuf::from(tmp_name);
+    std::fs::write(&tmp, contents).map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
+    std::fs::rename(&tmp, target)
+        .map_err(|e| format!("cannot move {} to {path}: {e}", tmp.display()))
+}
+
+/// True for accept-loop failures that concern one connection attempt (an
+/// aborted handshake, a reset before accept, fd pressure) rather than the
+/// listener itself. Fatal errors — the listener fd is dead, the address
+/// became invalid — must exit non-zero instead of spinning forever.
+fn accept_error_is_transient(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionRefused
+            | std::io::ErrorKind::Interrupted
+            | std::io::ErrorKind::TimedOut
+            | std::io::ErrorKind::WouldBlock
+    )
+}
+
+/// Even "transient" accept errors repeating back-to-back with no successful
+/// accept in between mean the listener is wedged; give up after this many.
+const MAX_CONSECUTIVE_ACCEPT_FAILURES: usize = 128;
+
+/// A bounded pool of connection workers: `acquire` blocks while `max`
+/// workers are live, so a connection flood queues in the listen backlog
+/// instead of spawning unbounded threads.
+struct WorkerGate {
+    active: Mutex<usize>,
+    freed: Condvar,
+}
+
+impl WorkerGate {
+    fn new() -> Arc<Self> {
+        Arc::new(WorkerGate {
+            active: Mutex::new(0),
+            freed: Condvar::new(),
+        })
+    }
+
+    /// Waits for a worker slot, polling the shutdown flag so a pool full of
+    /// stalled clients cannot pin the accept loop past a drain request.
+    /// Returns `false` when shutdown was requested instead of a slot.
+    fn acquire(&self, max: usize) -> bool {
+        let mut active = self.active.lock().expect("worker gate poisoned");
+        while *active >= max {
+            if SHUTDOWN.load(Ordering::SeqCst) {
+                return false;
+            }
+            let (guard, _) = self
+                .freed
+                .wait_timeout(active, Duration::from_millis(50))
+                .expect("worker gate poisoned");
+            active = guard;
+        }
+        *active += 1;
+        true
+    }
+
+    fn release(&self) {
+        *self.active.lock().expect("worker gate poisoned") -= 1;
+        self.freed.notify_one();
+    }
+}
+
+/// RAII handle for one acquired worker slot: released on drop, so a worker
+/// that panics mid-connection still returns its permit instead of
+/// permanently shrinking the pool.
+struct WorkerPermit(Arc<WorkerGate>);
+
+impl Drop for WorkerPermit {
+    fn drop(&mut self) {
+        self.0.release();
+    }
+}
+
+/// The accept-loop outcome of [`next_connection`].
+enum Accepted {
+    /// A connection is ready to serve.
+    Conn(TcpStream),
+    /// Graceful shutdown was requested (signal); drain and exit.
+    Drain,
+}
+
+/// Polls a non-blocking `listener` for the next connection, honouring the
+/// shutdown flag and distinguishing transient accept failures (logged,
+/// loop continues) from fatal listener errors (returned as `Err`, exiting
+/// the daemon non-zero). `idle` runs on every empty poll so callers can
+/// reap finished workers.
+fn next_connection(
+    listener: &TcpListener,
+    consecutive_failures: &mut usize,
+    mut idle: impl FnMut(),
+) -> Result<Accepted, String> {
+    loop {
+        if SHUTDOWN.load(Ordering::SeqCst) {
+            return Ok(Accepted::Drain);
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                *consecutive_failures = 0;
+                return Ok(Accepted::Conn(stream));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                idle();
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) if accept_error_is_transient(&e) => {
+                *consecutive_failures += 1;
+                if *consecutive_failures >= MAX_CONSECUTIVE_ACCEPT_FAILURES {
+                    return Err(format!(
+                        "accept failing persistently ({e} and {MAX_CONSECUTIVE_ACCEPT_FAILURES} \
+                         predecessors); the listener is presumed dead"
+                    ));
+                }
+                eprintln!("accepting connection: {e}");
+            }
+            Err(e) => return Err(format!("accept failed fatally: {e}")),
+        }
+    }
+}
+
+/// Counts the data records of the CSV files an input form resolves to — the
+/// row count a serve-shard daemon registers with the coordinator, obtained
+/// without scoring the relation. Delegates to
+/// [`ttk_pdb::count_csv_records`], which shares the record discipline of
+/// every import path, so the leased id range always covers exactly the rows
+/// the (leased) scoring pass then assigns.
+fn count_input_rows(positional: &[String], flags: &Flags) -> Result<u64, String> {
+    let mut paths: Vec<&str> = Vec::new();
+    if let Some(file) = get(flags, "file").or(positional.first().map(String::as_str)) {
+        paths.push(file);
+    }
+    if let Some(shards) = flags.get("shard") {
+        paths.extend(shards.iter().map(String::as_str));
+    }
+    if paths.is_empty() {
+        return Err("no input to count rows of".to_string());
+    }
+    let mut rows = 0u64;
+    for path in paths {
+        let file = std::fs::File::open(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        rows += count_csv_records(std::io::BufReader::new(file))
+            .map_err(|e| format!("cannot count rows of {path}: {e}"))?;
+    }
+    Ok(rows)
+}
+
+/// Registers with the coordinator at `coordinator` and returns the leased
+/// `(id base, namespace)`. The coordinator may still be starting (daemons
+/// and coordinator are typically launched together), so the registration
+/// dial retries briefly with exponential backoff.
+fn obtain_lease(coordinator: &str, rows: u64, label: &str) -> Result<ShardAssignment, String> {
+    let mut delay = Duration::from_millis(50);
+    let mut last = None;
+    for attempt in 0..6 {
+        if attempt > 0 {
+            std::thread::sleep(delay);
+            delay = delay.saturating_mul(2);
+        }
+        let result = TcpStream::connect(coordinator)
+            .map_err(|e| format!("dialing: {e}"))
+            .and_then(|stream| {
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(10)))
+                    .map_err(|e| e.to_string())?;
+                wire::write_register(&mut (&stream), rows, label).map_err(|e| e.to_string())?;
+                wire::read_lease(&mut (&stream)).map_err(|e| e.to_string())
+            });
+        match result {
+            Ok(lease) => return Ok(lease),
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(format!(
+        "registering with coordinator {coordinator}: {}",
+        last.expect("at least one attempt ran")
+    ))
+}
+
+/// Serves one accepted connection: a full replay of the dataset, framed
+/// onto the socket, with the daemon's assignment (when it holds one)
+/// advertised in a v2 hello. Failures — a peer hanging up early because its
+/// scan gate closed, a poisoned socket — are logged and isolated to this
+/// connection.
+fn serve_connection(stream: TcpStream, dataset: &Dataset, assignment: Option<&ShardAssignment>) {
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "<unknown>".to_string());
+    // Accepted sockets can inherit the listener's non-blocking mode on some
+    // platforms; the wire writer needs a blocking stream.
+    if let Err(e) = stream.set_nonblocking(false) {
+        eprintln!("connection {peer}: {e}");
+        return;
+    }
+    let result = dataset.open().and_then(|mut handle| {
+        let hint = handle.remaining_hint();
+        let writer = match assignment {
+            Some(assignment) => {
+                WireWriter::with_assignment(BufWriter::new(stream), hint, assignment)?
+            }
+            None => WireWriter::new(BufWriter::new(stream), hint)?,
+        };
+        writer.serve(&mut handle)
+    });
+    match result {
+        Ok(tuples) => eprintln!("served {tuples} tuples to {peer}"),
+        // A peer hanging up early (its scan gate closed) is normal
+        // operation for a streaming server, not a reason to exit.
+        Err(e) => eprintln!("connection {peer}: {e}"),
+    }
+}
+
 /// `ttk serve-shard`: score the resolved dataset once, then serve it as a
-/// framed binary tuple stream over TCP — one full replay per accepted
-/// connection (replayable datasets cache their scoring pass / spill index,
-/// so replays are cheap).
+/// long-lived concurrent daemon — a framed binary tuple stream over TCP,
+/// one full replay per accepted connection (replayable datasets cache their
+/// scoring pass / spill index, so replays are cheap), up to `--max-parallel`
+/// connections at once. Exits after `--max-conns` connections or on
+/// SIGINT/SIGTERM, joining in-flight connections first; a slow or dead
+/// client only ever costs its own worker thread.
 fn cmd_serve_shard(args: &[String]) -> Result<(), String> {
-    let (positional, flags) = parse_flags(args)?;
+    let (positional, mut flags) = parse_flags(args)?;
     let score = get(&flags, "score")
         .ok_or("--score is required")?
         .to_string();
-    let listen = get(&flags, "listen").ok_or("--listen HOST:PORT is required")?;
+    let listen = get(&flags, "listen")
+        .ok_or("--listen HOST:PORT is required")?
+        .to_string();
     let max_conns = get_parse(&flags, "max-conns", 0usize)?;
+    let max_parallel = get_parse(&flags, "max-parallel", 8usize)?;
+    if max_parallel == 0 {
+        return Err("--max-parallel must be at least 1".to_string());
+    }
     let csv_options = parse_csv_options(&flags);
-    let dataset = resolve_dataset(&positional, &flags, &csv_options, &score, true)?;
+
+    // The daemon's assignment: a coordinator lease (id base + namespace),
+    // or an operator-pinned namespace with the operator's --id-base. Served
+    // in a v2 hello so clients can cross-check their shard set; absent both,
+    // the daemon speaks plain v1 hellos that any client decodes.
+    let assignment: Option<ShardAssignment> = match get(&flags, "coordinator") {
+        Some(coordinator) => {
+            if get(&flags, "id-base").is_some() {
+                return Err(
+                    "conflicting flags: --coordinator leases the id base; drop --id-base"
+                        .to_string(),
+                );
+            }
+            if get(&flags, "namespace").is_some() {
+                return Err(
+                    "conflicting flags: --coordinator leases the namespace (set it on the \
+                     coordinator with `ttk coordinator --namespace`); drop --namespace"
+                        .to_string(),
+                );
+            }
+            let rows = count_input_rows(&positional, &flags)?;
+            let label = positional
+                .first()
+                .map(String::as_str)
+                .or_else(|| get(&flags, "file"))
+                .unwrap_or("shard set")
+                .to_string();
+            let lease = obtain_lease(coordinator, rows, &label)?;
+            eprintln!(
+                "leased id base {} in namespace `{}` from {coordinator} ({rows} rows)",
+                lease.id_base, lease.namespace
+            );
+            // The scoring pass below places rows at the leased id base.
+            flags.insert("id-base".to_string(), vec![lease.id_base.to_string()]);
+            Some(lease)
+        }
+        None => get(&flags, "namespace")
+            .map(|namespace| {
+                Ok::<_, String>(ShardAssignment {
+                    id_base: get_parse(&flags, "id-base", 0u64)?,
+                    namespace: namespace.to_string(),
+                })
+            })
+            .transpose()?,
+    };
+
+    let dataset = Arc::new(resolve_dataset(
+        &positional,
+        &flags,
+        &csv_options,
+        &score,
+        true,
+    )?);
 
     let listener =
-        TcpListener::bind(listen).map_err(|e| format!("cannot listen on {listen}: {e}"))?;
+        TcpListener::bind(&listen).map_err(|e| format!("cannot listen on {listen}: {e}"))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("cannot poll the listener: {e}"))?;
     let bound = listener
         .local_addr()
         .map_err(|e| e.to_string())?
         .to_string();
     if let Some(path) = get(&flags, "port-file") {
-        std::fs::write(path, &bound).map_err(|e| format!("cannot write {path}: {e}"))?;
+        write_file_atomically(path, &bound)?;
     }
+    install_shutdown_handler();
     eprintln!(
-        "serving dataset `{}` on {bound}{}",
+        "serving dataset `{}` on {bound} ({max_parallel} parallel connections{})",
         dataset.label(),
         if max_conns > 0 {
-            format!(" for {max_conns} connection(s)")
+            format!(", exiting after {max_conns}")
         } else {
             String::new()
         }
     );
 
+    let gate = WorkerGate::new();
+    let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
     let mut served_conns = 0usize;
-    for stream in listener.incoming() {
-        // Transient accept failures (aborted handshakes, fd pressure) must
-        // not take the server down; log and keep accepting.
-        let stream = match stream {
-            Ok(stream) => stream,
-            Err(e) => {
-                eprintln!("accepting connection: {e}");
-                continue;
+    let mut consecutive_failures = 0usize;
+    let drained = loop {
+        let accepted = next_connection(&listener, &mut consecutive_failures, || {
+            workers.retain(|w| !w.is_finished());
+        });
+        let stream = match accepted {
+            Ok(Accepted::Conn(stream)) => stream,
+            Ok(Accepted::Drain) => break true,
+            Err(fatal) => {
+                // The listener is gone; the in-flight connections still
+                // deserve their streams before the non-zero exit.
+                for worker in workers {
+                    let _ = worker.join();
+                }
+                return Err(fatal);
             }
+        };
+        if !gate.acquire(max_parallel) {
+            // Shutdown arrived while waiting for a slot; the connection just
+            // accepted is dropped unserved (its client sees a clean close
+            // before the hello) and the daemon drains.
+            break true;
+        }
+        // Reap finished handles on the accept path too — a continuously
+        // busy daemon may rarely hit the idle callback, and the handle list
+        // must not grow with total connections served.
+        workers.retain(|w| !w.is_finished());
+        let worker_dataset = Arc::clone(&dataset);
+        let permit = WorkerPermit(Arc::clone(&gate));
+        let worker_assignment = assignment.clone();
+        workers.push(std::thread::spawn(move || {
+            let _permit = permit;
+            serve_connection(stream, &worker_dataset, worker_assignment.as_ref());
+        }));
+        served_conns += 1;
+        if max_conns > 0 && served_conns >= max_conns {
+            break false;
+        }
+    };
+    let in_flight = workers.iter().filter(|w| !w.is_finished()).count();
+    if in_flight > 0 {
+        eprintln!(
+            "{}: joining {in_flight} in-flight connection(s)",
+            if drained {
+                "shutdown requested"
+            } else {
+                "--max-conns reached"
+            }
+        );
+    }
+    for worker in workers {
+        let _ = worker.join();
+    }
+    Ok(())
+}
+
+/// `ttk coordinator`: hands out `(id base, namespace)` leases to
+/// registering `serve-shard` daemons. Registrations are a two-frame
+/// exchange (register in, lease out) processed in arrival order, so the id
+/// ranges of the registered shards are contiguous and non-overlapping —
+/// exactly the arithmetic operators previously did by hand with --id-base.
+fn cmd_coordinator(args: &[String]) -> Result<(), String> {
+    let (positional, flags) = parse_flags(args)?;
+    if !positional.is_empty() {
+        return Err(format!(
+            "unexpected positional arguments {positional:?}: the coordinator serves leases, \
+             not data"
+        ));
+    }
+    let listen = get(&flags, "listen").ok_or("--listen HOST:PORT is required")?;
+    let namespace = get(&flags, "namespace")
+        .unwrap_or("ttk-coordinated")
+        .to_string();
+    let max_leases = get_parse(&flags, "max-leases", 0usize)?;
+
+    let listener =
+        TcpListener::bind(listen).map_err(|e| format!("cannot listen on {listen}: {e}"))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("cannot poll the listener: {e}"))?;
+    let bound = listener
+        .local_addr()
+        .map_err(|e| e.to_string())?
+        .to_string();
+    if let Some(path) = get(&flags, "port-file") {
+        write_file_atomically(path, &bound)?;
+    }
+    install_shutdown_handler();
+    eprintln!("coordinating namespace `{namespace}` on {bound}");
+
+    let mut registry = LeaseRegistry::new(namespace);
+    let mut consecutive_failures = 0usize;
+    // Leases *delivered* (lease frame written without error). A registrant
+    // dying mid-exchange advances the id watermark — re-leasing a range the
+    // peer may have received risks overlap, while a gap in the id space is
+    // harmless — but must not count toward --max-leases, or a failed
+    // delivery would exit the coordinator before every daemon got a lease.
+    let mut delivered = 0usize;
+    loop {
+        let stream = match next_connection(&listener, &mut consecutive_failures, || {})? {
+            Accepted::Conn(stream) => stream,
+            Accepted::Drain => break,
         };
         let peer = stream
             .peer_addr()
             .map(|a| a.to_string())
             .unwrap_or_else(|_| "<unknown>".to_string());
-        let result = dataset.open().and_then(|mut handle| {
-            let hint = handle.remaining_hint();
-            WireWriter::new(BufWriter::new(stream), hint)?.serve(&mut handle)
-        });
+        // Per-registration error isolation: a malformed or stalled
+        // registrant is logged and dropped; it never kills the lease loop
+        // (the read timeout bounds how long it can stall the line).
+        let result = stream
+            .set_nonblocking(false)
+            .and_then(|_| stream.set_read_timeout(Some(Duration::from_secs(10))))
+            .map_err(|e| e.to_string())
+            .and_then(|_| wire::read_register(&mut (&stream)).map_err(|e| e.to_string()))
+            .and_then(|(rows, label)| {
+                let lease = registry.register(rows);
+                wire::write_lease(&mut (&stream), &lease)
+                    .map_err(|e| e.to_string())
+                    .map(|_| (rows, label, lease))
+            });
         match result {
-            Ok(tuples) => eprintln!("served {tuples} tuples to {peer}"),
-            // A peer hanging up early (its scan gate closed) is normal
-            // operation for a streaming server, not a reason to exit.
-            Err(e) => eprintln!("connection {peer}: {e}"),
+            Ok((rows, label, lease)) => {
+                delivered += 1;
+                eprintln!(
+                    "leased id base {} to {peer} (`{label}`, {rows} rows)",
+                    lease.id_base
+                );
+            }
+            Err(e) => eprintln!("registration from {peer}: {e}"),
         }
-        served_conns += 1;
-        if max_conns > 0 && served_conns >= max_conns {
+        if max_leases > 0 && delivered >= max_leases {
+            eprintln!("--max-leases reached after {delivered} leases");
             break;
         }
     }
@@ -874,6 +1361,24 @@ mod tests {
         v.iter().map(|x| x.to_string()).collect()
     }
 
+    /// Polls for a `--port-file` until it appears. Port files are written
+    /// atomically (temp file + rename), so any successful non-empty read is
+    /// a complete address — the partial-read race of the non-atomic write
+    /// is gone, which the parse below asserts.
+    fn poll_port_file(pf: &std::path::Path) -> String {
+        for _ in 0..500 {
+            if let Ok(addr) = std::fs::read_to_string(pf) {
+                if !addr.is_empty() {
+                    addr.parse::<std::net::SocketAddr>()
+                        .expect("an atomically-written port file holds a complete address");
+                    return addr;
+                }
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        panic!("server did not write {pf:?}");
+    }
+
     #[test]
     fn flag_parsing_separates_positionals_and_flags() {
         let (pos, flags) = parse_flags(&s(&["cartel", "--segments", "40", "--seed", "7"])).unwrap();
@@ -1141,20 +1646,7 @@ mod tests {
             servers.push(std::thread::spawn(move || run(&args)));
             port_files.push(port_file);
         }
-        let addrs: Vec<String> = port_files
-            .iter()
-            .map(|pf| {
-                for _ in 0..200 {
-                    if let Ok(addr) = std::fs::read_to_string(pf) {
-                        if !addr.is_empty() {
-                            return addr;
-                        }
-                    }
-                    std::thread::sleep(std::time::Duration::from_millis(10));
-                }
-                panic!("server did not write {pf:?}");
-            })
-            .collect();
+        let addrs: Vec<String> = port_files.iter().map(|pf| poll_port_file(pf)).collect();
 
         // Pure remote: both shards over loopback, single query and explain.
         run(&s(&[
@@ -1249,6 +1741,333 @@ mod tests {
             std::fs::remove_file(p).ok();
         }
         for pf in &port_files {
+            std::fs::remove_file(pf).ok();
+        }
+        std::fs::remove_file(&data).ok();
+    }
+
+    #[test]
+    fn port_files_are_written_atomically() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("ttk_cli_test_atomic_{}", std::process::id()));
+        let path_str = path.to_string_lossy().to_string();
+        write_file_atomically(&path_str, "127.0.0.1:12345").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "127.0.0.1:12345");
+        // Re-writes land atomically too (rename replaces the target).
+        write_file_atomically(&path_str, "127.0.0.1:54321").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "127.0.0.1:54321");
+        // No temp droppings are left beside the target.
+        let stem = path.file_name().unwrap().to_string_lossy().into_owned();
+        let leftovers = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| {
+                let name = e
+                    .as_ref()
+                    .unwrap()
+                    .file_name()
+                    .to_string_lossy()
+                    .into_owned();
+                name.starts_with(&stem) && name != stem
+            })
+            .count();
+        assert_eq!(leftovers, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn accept_errors_are_classified() {
+        use std::io::{Error, ErrorKind};
+        for transient in [
+            ErrorKind::ConnectionAborted,
+            ErrorKind::ConnectionReset,
+            ErrorKind::Interrupted,
+            ErrorKind::TimedOut,
+            ErrorKind::WouldBlock,
+        ] {
+            assert!(
+                accept_error_is_transient(&Error::from(transient)),
+                "{transient:?} must not kill the daemon"
+            );
+        }
+        // A dead listener fd or an invalid address is fatal: the daemon must
+        // exit non-zero instead of spinning on a listener that can never
+        // accept again.
+        for fatal in [
+            ErrorKind::InvalidInput,
+            ErrorKind::NotFound,
+            ErrorKind::PermissionDenied,
+        ] {
+            assert!(
+                !accept_error_is_transient(&Error::from(fatal)),
+                "{fatal:?} must exit the accept loop"
+            );
+        }
+    }
+
+    #[test]
+    fn remote_flag_validation() {
+        let (_, flags) =
+            parse_flags(&s(&["--remote-timeout", "2.5", "--remote-retries", "7"])).unwrap();
+        let connect = parse_connect_options(&flags).unwrap();
+        assert_eq!(
+            connect.connect_timeout,
+            std::time::Duration::from_millis(2500)
+        );
+        assert_eq!(
+            connect.read_timeout,
+            Some(std::time::Duration::from_millis(2500))
+        );
+        assert_eq!(connect.retries, 7);
+        let (_, bad) = parse_flags(&s(&["--remote-timeout", "-1"])).unwrap();
+        assert!(parse_connect_options(&bad).is_err());
+        let (_, bad) = parse_flags(&s(&["--remote-timeout", "forever"])).unwrap();
+        assert!(parse_connect_options(&bad).is_err());
+    }
+
+    /// The acceptance property of the concurrent daemon: two clients query
+    /// one `serve-shard` process **concurrently** and both complete with
+    /// results bit-identical to the local scan, while a deliberately stalled
+    /// third connection stays open the whole time. Under the old sequential
+    /// accept loop the stalled connection (whose replay cannot fit in the
+    /// socket buffers) would block the daemon before the query connections
+    /// were ever accepted.
+    #[test]
+    fn concurrent_clients_complete_around_a_stalled_reader() {
+        let dir = std::env::temp_dir();
+        let data = dir.join("ttk_cli_test_concurrent.csv");
+        let path = data.to_string_lossy().to_string();
+        run(&s(&[
+            "generate",
+            "synthetic",
+            "--tuples",
+            "30000",
+            "--seed",
+            "9",
+            "--out",
+            &path,
+        ]))
+        .unwrap();
+        let port_file = dir.join("ttk_cli_test_concurrent_port");
+        std::fs::remove_file(&port_file).ok();
+        let server_args = s(&[
+            "serve-shard",
+            &path,
+            "--score",
+            "score",
+            "--listen",
+            "127.0.0.1:0",
+            "--port-file",
+            &port_file.to_string_lossy(),
+            "--max-conns",
+            "3",
+            "--max-parallel",
+            "4",
+        ]);
+        let server = std::thread::spawn(move || run(&server_args));
+        let addr = poll_port_file(&port_file);
+
+        // The stalled client: connects first, reads only the 14-byte hello
+        // frame, then holds the connection open without reading further —
+        // the replay of 30k tuples cannot fit the socket buffers, so its
+        // worker blocks mid-write until we hang up.
+        let mut stalled = std::net::TcpStream::connect(&addr).unwrap();
+        let mut hello = [0u8; 14];
+        std::io::Read::read_exact(&mut stalled, &mut hello).unwrap();
+
+        // The local reference: the same file imported exactly as the daemon
+        // imports it (hashed group keys, id base 0).
+        let query = TopkQuery::new(3).with_p_tau(1e-3).with_u_topk(false);
+        let local = CsvDataset::from_path(
+            &path,
+            CsvOptions::default(),
+            parse_expression("score").unwrap(),
+        )
+        .with_import(ShardImportOptions {
+            first_tuple_id: 0,
+            hashed_group_keys: true,
+        })
+        .into_dataset();
+        let reference = Session::new().execute(&local, &query).unwrap();
+
+        // Two full query clients, concurrently, while the third connection
+        // stalls.
+        let clients: Vec<_> = (0..2)
+            .map(|_| {
+                let addr = addr.clone();
+                std::thread::spawn(move || {
+                    Session::new().execute(&RemoteShardDataset::new([addr]).into_dataset(), &query)
+                })
+            })
+            .collect();
+        for client in clients {
+            let answer = client.join().unwrap().unwrap();
+            assert_eq!(answer.distribution, reference.distribution);
+            assert_eq!(answer.scan_depth, reference.scan_depth);
+            assert_eq!(answer.typical.scores(), reference.typical.scores());
+        }
+
+        // Only now release the stalled connection; the daemon drains its
+        // worker and exits cleanly at --max-conns.
+        drop(stalled);
+        server.join().unwrap().unwrap();
+        std::fs::remove_file(&port_file).ok();
+        std::fs::remove_file(&data).ok();
+    }
+
+    /// Three `serve-shard` daemons lease their id bases from one
+    /// `ttk coordinator` (no `--id-base` anywhere) and a query over all
+    /// three is bit-identical to the local `--shard` scan of the same files.
+    #[test]
+    fn coordinator_assigned_three_server_query_round_trip() {
+        let dir = std::env::temp_dir();
+        let data = dir.join("ttk_cli_test_coord.csv");
+        let path = data.to_string_lossy().to_string();
+        let expr = "speed_limit / (length / delay)";
+        run(&s(&[
+            "generate",
+            "cartel",
+            "--segments",
+            "18",
+            "--seed",
+            "33",
+            "--shards",
+            "3",
+            "--out",
+            &path,
+        ]))
+        .unwrap();
+        let shard_paths: Vec<String> = (0..3).map(|i| shard_path(&path, i)).collect();
+
+        // The coordinator on an ephemeral port, exiting after three leases.
+        let coord_port_file = dir.join("ttk_cli_test_coord_port");
+        std::fs::remove_file(&coord_port_file).ok();
+        let coord_args = s(&[
+            "coordinator",
+            "--listen",
+            "127.0.0.1:0",
+            "--namespace",
+            "cli-e2e",
+            "--max-leases",
+            "3",
+            "--port-file",
+            &coord_port_file.to_string_lossy(),
+        ]);
+        let coordinator = std::thread::spawn(move || run(&coord_args));
+        let coord_addr = poll_port_file(&coord_port_file);
+
+        // Start the shard daemons one at a time, waiting for each port file
+        // (written after the lease arrives), so the registration order is
+        // the shard order and the leased bases equal the operator
+        // arithmetic — making the comparison below bit-identical, ids
+        // included.
+        let mut servers = Vec::new();
+        let mut server_port_files = Vec::new();
+        let mut addrs = Vec::new();
+        for (i, shard) in shard_paths.iter().enumerate() {
+            let pf = dir.join(format!("ttk_cli_test_coord_s{i}"));
+            std::fs::remove_file(&pf).ok();
+            let args = s(&[
+                "serve-shard",
+                shard,
+                "--score",
+                expr,
+                "--listen",
+                "127.0.0.1:0",
+                "--port-file",
+                &pf.to_string_lossy(),
+                "--max-conns",
+                "2",
+                "--coordinator",
+                &coord_addr,
+            ]);
+            servers.push(std::thread::spawn(move || run(&args)));
+            addrs.push(poll_port_file(&pf));
+            server_port_files.push(pf);
+        }
+        coordinator.join().unwrap().unwrap();
+
+        // CLI query over the three coordinated servers (connection 1 each).
+        let mut query_args = s(&[
+            "query",
+            "--score",
+            expr,
+            "--k",
+            "3",
+            "--remote-timeout",
+            "10",
+        ]);
+        for addr in &addrs {
+            query_args.extend(s(&["--remote-shard", addr]));
+        }
+        run(&query_args).unwrap();
+
+        // Library-level parity (connection 2 each): bit-identical to the
+        // local shard scan with the same import discipline.
+        let query = TopkQuery::new(3).with_p_tau(1e-3);
+        let local = CsvDataset::from_shard_paths(
+            shard_paths.clone(),
+            CsvOptions::default(),
+            parse_expression(expr).unwrap(),
+        )
+        .with_import(ShardImportOptions {
+            first_tuple_id: 0,
+            hashed_group_keys: true,
+        })
+        .into_dataset();
+        let mut session = Session::new();
+        let reference = session.execute(&local, &query).unwrap();
+        let remote = session
+            .execute(&RemoteShardDataset::new(addrs).into_dataset(), &query)
+            .unwrap();
+        assert_eq!(remote.distribution, reference.distribution);
+        assert_eq!(remote.scan_depth, reference.scan_depth);
+        assert_eq!(
+            remote.u_topk.as_ref().unwrap().vector.ids(),
+            reference.u_topk.as_ref().unwrap().vector.ids()
+        );
+        for server in servers {
+            server.join().unwrap().unwrap();
+        }
+
+        // --coordinator and --id-base conflict (checked before any dial).
+        let err = run(&s(&[
+            "serve-shard",
+            &shard_paths[0],
+            "--score",
+            expr,
+            "--listen",
+            "127.0.0.1:0",
+            "--coordinator",
+            "127.0.0.1:1",
+            "--id-base",
+            "5",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--coordinator"), "{err}");
+        // ... and so do --coordinator and --namespace (the lease carries it).
+        let err = run(&s(&[
+            "serve-shard",
+            &shard_paths[0],
+            "--score",
+            expr,
+            "--listen",
+            "127.0.0.1:0",
+            "--coordinator",
+            "127.0.0.1:1",
+            "--namespace",
+            "mine",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--namespace"), "{err}");
+        // The coordinator serves leases, not data.
+        assert!(run(&s(&["coordinator", "data.csv", "--listen", "127.0.0.1:0"])).is_err());
+        assert!(run(&s(&["coordinator"])).is_err());
+
+        for p in &shard_paths {
+            std::fs::remove_file(p).ok();
+        }
+        std::fs::remove_file(&coord_port_file).ok();
+        for pf in &server_port_files {
             std::fs::remove_file(pf).ok();
         }
         std::fs::remove_file(&data).ok();

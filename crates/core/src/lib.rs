@@ -79,7 +79,7 @@ pub use dp::{
 };
 pub use k_combo::{k_combo, k_combo_streamed};
 pub use query::{Algorithm, Executor, QueryAnswer, TopkQuery};
-pub use remote::RemoteShardDataset;
+pub use remote::{ConnectOptions, RemoteShardDataset};
 pub use scan::{RankScan, ScanPrefix};
 pub use scan_depth::{scan_depth, stopping_threshold, ScanGate};
 pub use session::{

@@ -11,7 +11,7 @@
 //! in-process, and every [`Session`](crate::Session) verb (`execute`,
 //! `execute_batch`, `explain`) works unchanged.
 //!
-//! Two knobs shape the scan:
+//! Three knobs shape the scan:
 //!
 //! * [`RemoteShardDataset::with_local_shards`] mixes local shard streams
 //!   into the same merge (the `--shard` + `--remote-shard` combination of
@@ -21,17 +21,88 @@
 //! * [`RemoteShardDataset::with_prefetch`] reads each shard ahead through a
 //!   bounded [`TupleFeed`](ttk_uncertain::TupleFeed) channel, overlapping
 //!   network latency with the merge.
+//! * [`RemoteShardDataset::with_connect_options`] bounds and retries the
+//!   dial: every connection attempt runs under [`ConnectOptions`] —
+//!   per-attempt connect timeout, optional read timeout on the established
+//!   socket, and exponential-backoff retries covering both refused dials and
+//!   connections lost before the hello frame — so a server still starting up
+//!   (or briefly restarting) is retried instead of failing the query, and a
+//!   black-holed address fails after a bounded wait instead of hanging a
+//!   `Session` verb forever.
 //!
-//! Connection failures, mid-stream disconnects and server-side errors all
-//! surface as [`Error::Source`] on the pulling thread — a remote scan never
-//! hangs on a dead peer and never silently truncates.
+//! Opening the dataset reads each connection's hello frame **eagerly**: when
+//! servers attach a [`ShardAssignment`] (coordinator-leased id bases, see
+//! `ttk coordinator`), the per-connection hellos are cross-checked —
+//! conflicting group-key namespaces or overlapping tuple-id ranges fail the
+//! open with a message naming the offending servers, instead of silently
+//! merging shards that never partitioned one relation.
+//!
+//! Connection failures (after the retry budget), mid-stream disconnects and
+//! server-side errors all surface as [`Error::Source`] on the pulling thread
+//! — a remote scan never hangs on a dead peer and never silently truncates.
 
 use std::io::BufReader;
-use std::net::TcpStream;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
-use ttk_uncertain::{Error, PrefetchPolicy, Result, ScanHandle, TupleSource, WireReader};
+use ttk_uncertain::{
+    Error, PrefetchPolicy, Result, ScanHandle, ShardAssignment, TupleSource, WireReader,
+};
 
 use crate::session::{Dataset, DatasetPlan, DatasetProvider, ScanPath};
+
+/// Dial behaviour of a [`RemoteShardDataset`]: how long to wait, how often
+/// to retry, and how fast to back off.
+///
+/// A *retryable* failure is anything that happens before the peer's hello
+/// frame is decoded — name resolution, the TCP dial, a connection reset
+/// mid-handshake. Once the hello has arrived the stream belongs to the
+/// merge, and later failures surface as [`Error::Source`] without
+/// reconnecting (a resumed stream could silently skip tuples).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConnectOptions {
+    /// Upper bound on each individual TCP dial.
+    pub connect_timeout: Duration,
+    /// Read timeout armed on the established socket for the whole stream
+    /// (`None` = block forever on a silent peer).
+    pub read_timeout: Option<Duration>,
+    /// Additional attempts after the first failed dial/handshake.
+    pub retries: u32,
+    /// Sleep before the first retry; doubles on every further retry.
+    pub backoff: Duration,
+}
+
+impl Default for ConnectOptions {
+    fn default() -> Self {
+        ConnectOptions {
+            connect_timeout: Duration::from_secs(10),
+            read_timeout: None,
+            retries: 3,
+            backoff: Duration::from_millis(100),
+        }
+    }
+}
+
+impl ConnectOptions {
+    /// Sets both timeouts (connect and read) to `timeout`.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.connect_timeout = timeout;
+        self.read_timeout = Some(timeout);
+        self
+    }
+
+    /// Sets the retry budget.
+    pub fn with_retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// Sets the initial backoff (doubled per retry).
+    pub fn with_backoff(mut self, backoff: Duration) -> Self {
+        self.backoff = backoff;
+        self
+    }
+}
 
 /// Opens the local shard streams merged alongside the remote connections.
 type LocalShardOpener = Box<dyn Fn() -> Result<Vec<Box<dyn TupleSource + Send>>> + Send + Sync>;
@@ -43,6 +114,7 @@ pub struct RemoteShardDataset {
     local: Option<LocalShardOpener>,
     local_count: usize,
     prefetch: PrefetchPolicy,
+    connect: ConnectOptions,
 }
 
 impl std::fmt::Debug for RemoteShardDataset {
@@ -51,6 +123,7 @@ impl std::fmt::Debug for RemoteShardDataset {
             .field("addrs", &self.addrs)
             .field("local_shards", &self.local_count)
             .field("prefetch", &self.prefetch)
+            .field("connect", &self.connect)
             .finish()
     }
 }
@@ -64,7 +137,15 @@ impl RemoteShardDataset {
             local: None,
             local_count: 0,
             prefetch: PrefetchPolicy::Off,
+            connect: ConnectOptions::default(),
         }
+    }
+
+    /// Sets the dial behaviour (timeouts, retries, backoff) applied to every
+    /// connection of every open.
+    pub fn with_connect_options(mut self, connect: ConnectOptions) -> Self {
+        self.connect = connect;
+        self
     }
 
     /// Merges `count` locally-opened shard streams alongside the remote
@@ -100,15 +181,145 @@ impl RemoteShardDataset {
     }
 }
 
+/// One dial attempt: resolve, connect under the timeout, and decode the
+/// hello eagerly so handshake failures stay retryable.
+fn try_dial(addr: &str, options: &ConnectOptions) -> Result<WireReader<BufReader<TcpStream>>> {
+    let sock_addrs: Vec<_> = addr
+        .to_socket_addrs()
+        .map_err(|e| Error::Source(format!("resolving {addr}: {e}")))?
+        .collect();
+    let mut last = None;
+    let stream = sock_addrs
+        .iter()
+        .find_map(
+            |sock| match TcpStream::connect_timeout(sock, options.connect_timeout) {
+                Ok(stream) => Some(stream),
+                Err(e) => {
+                    last = Some(e);
+                    None
+                }
+            },
+        )
+        .ok_or_else(|| match last {
+            Some(e) => Error::Source(format!("dialing {addr}: {e}")),
+            None => Error::Source(format!("{addr} resolved to no addresses")),
+        })?;
+    stream
+        .set_read_timeout(options.read_timeout)
+        .map_err(|e| Error::Source(format!("arming read timeout on {addr}: {e}")))?;
+    let mut reader = WireReader::new(BufReader::new(stream));
+    reader.hello()?;
+    Ok(reader)
+}
+
+/// Dials with retries: transient dial failures and connections lost before
+/// the hello retry under exponential backoff until the budget is spent.
+fn dial(addr: &str, options: &ConnectOptions) -> Result<WireReader<BufReader<TcpStream>>> {
+    let mut delay = options.backoff;
+    let mut first = None;
+    let mut last = None;
+    for attempt in 0..=options.retries {
+        if attempt > 0 {
+            std::thread::sleep(delay);
+            delay = delay.saturating_mul(2);
+        }
+        match try_dial(addr, options) {
+            Ok(reader) => return Ok(reader),
+            Err(e) => {
+                // Unwrap the Error::Source shell so the final message does
+                // not nest its prefix per attempt.
+                let text = match e {
+                    Error::Source(m) => m,
+                    other => other.to_string(),
+                };
+                first.get_or_insert(text.clone());
+                last = Some(text);
+            }
+        }
+    }
+    let attempts = options.retries as usize + 1;
+    let first = first.expect("at least one attempt ran");
+    let last = last.expect("at least one attempt ran");
+    // When later attempts fail differently (a one-shot server consumed, a
+    // port recycled), the first failure is usually the diagnostic one — keep
+    // both.
+    let history = if last == first {
+        first
+    } else {
+        format!("{first}; finally: {last}")
+    };
+    Err(Error::Source(format!(
+        "connecting to shard server {addr}: {history} (after {attempts} attempt{})",
+        if attempts == 1 { "" } else { "s" }
+    )))
+}
+
+/// Cross-checks the hello assignments of every connection: all asserted
+/// namespaces must agree and no two asserted tuple-id ranges may overlap.
+/// Servers that asserted nothing (v1, or v2 without a lease) are skipped.
+fn validate_assignments(
+    assignments: &[(String, Option<ShardAssignment>, Option<usize>)],
+) -> Result<()> {
+    let asserted: Vec<(&String, &ShardAssignment, Option<usize>)> = assignments
+        .iter()
+        .filter_map(|(addr, a, hint)| a.as_ref().map(|a| (addr, a, *hint)))
+        .filter(|(_, a, _)| !a.namespace.is_empty())
+        .collect();
+    for window in asserted.windows(2) {
+        let ((addr_a, a, _), (addr_b, b, _)) = (&window[0], &window[1]);
+        if a.namespace != b.namespace {
+            return Err(Error::Source(format!(
+                "shard servers disagree on the group-key namespace: {addr_a} serves \
+                 `{}` but {addr_b} serves `{}` — these shards do not partition one \
+                 relation",
+                a.namespace, b.namespace
+            )));
+        }
+    }
+    // Overlapping id ranges mean two servers were leased (or configured) the
+    // same rows; merging them would double-count tuples.
+    let mut ranges: Vec<(&String, u64, Option<u64>)> = asserted
+        .iter()
+        // Saturating: base and hint are wire-controlled values, and a wrap
+        // here would silence the very overlap this check exists to catch.
+        .map(|(addr, a, hint)| {
+            (
+                *addr,
+                a.id_base,
+                hint.map(|h| a.id_base.saturating_add(h as u64)),
+            )
+        })
+        .collect();
+    ranges.sort_by_key(|(_, base, _)| *base);
+    for window in ranges.windows(2) {
+        let ((addr_a, base_a, end_a), (addr_b, base_b, _)) = (&window[0], &window[1]);
+        let collides = match end_a {
+            Some(end_a) => base_b < end_a,
+            // Without a size hint only an identical base is provably wrong.
+            None => base_b == base_a,
+        };
+        if collides {
+            return Err(Error::Source(format!(
+                "shard servers {addr_a} and {addr_b} serve overlapping tuple-id \
+                 ranges (bases {base_a} and {base_b}) — check the id-base leases"
+            )));
+        }
+    }
+    Ok(())
+}
+
 impl DatasetProvider for RemoteShardDataset {
     fn open(&self) -> Result<ScanHandle> {
         let mut shards: Vec<Box<dyn TupleSource + Send>> =
             Vec::with_capacity(self.addrs.len() + self.local_count);
+        let mut assignments = Vec::with_capacity(self.addrs.len());
         for addr in &self.addrs {
-            let stream = TcpStream::connect(addr)
-                .map_err(|e| Error::Source(format!("connecting to shard server {addr}: {e}")))?;
-            shards.push(Box::new(WireReader::new(BufReader::new(stream))));
+            let mut reader = dial(addr, &self.connect)?;
+            let hello = reader.hello().expect("hello decoded during dial").clone();
+            assignments.push((addr.clone(), hello.assignment, hello.size_hint));
+            shards.push(Box::new(reader));
         }
+        validate_assignments(&assignments)?;
         if let Some(open) = &self.local {
             shards.extend(open()?);
         }

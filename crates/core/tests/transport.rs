@@ -8,12 +8,15 @@
 //! `Error::Source` on the consumer, never hang or truncate.
 
 use std::net::TcpListener;
+use std::time::Duration;
 
 use proptest::prelude::*;
-use ttk_core::{Dataset, QueryAnswer, RemoteShardDataset, ScanPath, Session, TopkQuery};
+use ttk_core::{
+    ConnectOptions, Dataset, QueryAnswer, RemoteShardDataset, ScanPath, Session, TopkQuery,
+};
 use ttk_uncertain::{
-    Error, PrefetchPolicy, Result, ScanHandle, SourceTuple, TupleFeed, TupleSource, UncertainTable,
-    UncertainTuple, VecSource, WireWriter,
+    Error, LeaseRegistry, PrefetchPolicy, Result, ScanHandle, ShardAssignment, SourceTuple,
+    TupleFeed, TupleSource, UncertainTable, UncertainTuple, VecSource, WireWriter,
 };
 
 mod support;
@@ -194,6 +197,307 @@ proptest! {
         let mixed = session.execute(&dataset, &query);
         assert_identical(single, mixed)?;
     }
+}
+
+/// Serves each shard over its own loopback listener with a **v2 hello**
+/// advertising the given assignment, one connection each.
+fn serve_shards_with_assignments(shards: Vec<(Vec<SourceTuple>, ShardAssignment)>) -> Vec<String> {
+    shards
+        .into_iter()
+        .map(|(shard, assignment)| {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let addr = listener.local_addr().unwrap().to_string();
+            std::thread::spawn(move || {
+                let (stream, _) = listener.accept().unwrap();
+                if let Ok(writer) = WireWriter::with_assignment(
+                    std::io::BufWriter::new(stream),
+                    Some(shard.len()),
+                    &assignment,
+                ) {
+                    let _ = writer.serve(&mut VecSource::new(shard));
+                }
+            });
+            addr
+        })
+        .collect()
+}
+
+/// The bare rows of a shard before id assignment: `(score, prob, group)`.
+type RawShard = Vec<(f64, f64, Option<u64>)>;
+
+/// Assigns tuple ids `base..` to a raw shard, yielding its wire stream in
+/// rank order.
+fn materialize_shard(rows: &RawShard, base: u64) -> Vec<SourceTuple> {
+    let mut tuples: Vec<SourceTuple> = rows
+        .iter()
+        .enumerate()
+        .map(|(j, &(score, prob, group))| {
+            let tuple = UncertainTuple::new(base + j as u64, score, prob).unwrap();
+            match group {
+                Some(key) => SourceTuple::grouped(tuple, key),
+                None => SourceTuple::independent(tuple),
+            }
+        })
+        .collect();
+    tuples.sort_by_key(|t| t.tuple.rank_key());
+    tuples
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Coordinator-leased id bases — handed out by a [`LeaseRegistry`] in an
+    /// arbitrary registration order and advertised in v2 hellos — yield the
+    /// same distributions as the operator passing each shard's cumulative
+    /// row count by hand. Scores are distinct, so the rank order (and with
+    /// it the scan depth and typical answers) is id-independent.
+    #[test]
+    fn leased_id_bases_match_operator_passed_bases(
+        rows in 8usize..60,
+        shards in 2usize..5,
+        k in 1usize..4,
+        rotation in 0usize..5,
+    ) {
+        let raw: Vec<(f64, f64, Option<u64>)> = (0..rows)
+            .map(|i| (
+                (rows - i) as f64 + 0.25,
+                // Grouped rows stay small enough that no ME group's
+                // probabilities can sum past 1.
+                0.2 + 0.02 * ((i % 7) as f64),
+                (i % 3 == 0).then_some((i / 6) as u64),
+            ))
+            .collect();
+        let parts: Vec<RawShard> = (0..shards)
+            .map(|s| raw.iter().skip(s).step_by(shards).copied().collect())
+            .collect();
+
+        // Operator arithmetic: shard i starts at the total rows of 0..i.
+        let mut operator_bases = Vec::with_capacity(shards);
+        let mut base = 0u64;
+        for part in &parts {
+            operator_bases.push(base);
+            base += part.len() as u64;
+        }
+        // Coordinator: the same shards register in rotated (launch) order.
+        let mut registry = LeaseRegistry::new("coord-prop");
+        let mut leases: Vec<Option<ShardAssignment>> = vec![None; shards];
+        for offset in 0..shards {
+            let shard = (rotation + offset) % shards;
+            leases[shard] = Some(registry.register(parts[shard].len() as u64));
+        }
+
+        let query = TopkQuery::new(k).with_p_tau(1e-3).with_u_topk(false);
+        let mut session = Session::new();
+        let operator_addrs = serve_shards(
+            parts
+                .iter()
+                .zip(&operator_bases)
+                .map(|(part, &base)| materialize_shard(part, base))
+                .collect(),
+        );
+        let operator = session
+            .execute(&RemoteShardDataset::new(operator_addrs).into_dataset(), &query)
+            .unwrap();
+        let leased_addrs = serve_shards_with_assignments(
+            parts
+                .iter()
+                .zip(&leases)
+                .map(|(part, lease)| {
+                    let lease = lease.clone().expect("every shard leased");
+                    (materialize_shard(part, lease.id_base), lease)
+                })
+                .collect(),
+        );
+        let leased = session
+            .execute(&RemoteShardDataset::new(leased_addrs).into_dataset(), &query)
+            .unwrap();
+        // The id *assignment* differs when registration order differs, so
+        // witness ids may legitimately differ — the distribution's
+        // (score, probability) mass, the scan depth and the typical answers
+        // must not.
+        let mass = |answer: &QueryAnswer| -> Vec<(u64, u64)> {
+            answer
+                .distribution
+                .pairs()
+                .map(|(s, p)| (s.to_bits(), p.to_bits()))
+                .collect()
+        };
+        prop_assert_eq!(mass(&leased), mass(&operator));
+        prop_assert_eq!(leased.scan_depth, operator.scan_depth);
+        prop_assert_eq!(leased.typical.scores(), operator.typical.scores());
+    }
+}
+
+/// A server that comes up shortly **after** the first dial must be reached
+/// via the retry/backoff path — the "restarting server" scenario.
+#[test]
+fn late_server_is_reached_via_retry() {
+    let all = descending_tuples(30);
+    let addr = {
+        // Reserve an ephemeral port, then release it for the late server.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.local_addr().unwrap().to_string()
+    };
+    let server_addr = addr.clone();
+    let server_shard = all.clone();
+    std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(200));
+        let listener = TcpListener::bind(&server_addr).unwrap();
+        let (stream, _) = listener.accept().unwrap();
+        if let Ok(writer) =
+            WireWriter::new(std::io::BufWriter::new(stream), Some(server_shard.len()))
+        {
+            let _ = writer.serve(&mut VecSource::new(server_shard));
+        }
+    });
+    let query = TopkQuery::new(2).with_p_tau(1e-3).with_u_topk(false);
+    let mut session = Session::new();
+    let local = session
+        .execute(&Dataset::stream(VecSource::new(all)), &query)
+        .unwrap();
+    let dataset = RemoteShardDataset::new([addr])
+        .with_connect_options(
+            ConnectOptions::default()
+                .with_retries(20)
+                .with_backoff(Duration::from_millis(25)),
+        )
+        .into_dataset();
+    let remote = session.execute(&dataset, &query).unwrap();
+    assert_eq!(remote.distribution, local.distribution);
+    assert_eq!(remote.scan_depth, local.scan_depth);
+}
+
+/// A server that never comes back fails with a clean `Error::Source` after
+/// the retry budget — never a hang, and the message names the attempts.
+#[test]
+fn dead_server_fails_cleanly_after_retries() {
+    let addr = {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.local_addr().unwrap().to_string()
+    };
+    let dataset = RemoteShardDataset::new([addr])
+        .with_connect_options(
+            ConnectOptions::default()
+                .with_retries(2)
+                .with_backoff(Duration::from_millis(5)),
+        )
+        .into_dataset();
+    let started = std::time::Instant::now();
+    let err = Session::new()
+        .execute(&dataset, &TopkQuery::new(1))
+        .unwrap_err();
+    assert!(
+        matches!(&err, Error::Source(m) if m.contains("after 3 attempts")),
+        "{err:?}"
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "retry budget must bound the wait"
+    );
+}
+
+/// A connection dropped **mid-hello** (accepted, then closed before the
+/// hello frame) is retried like a failed dial: the stream has not started,
+/// so reconnecting cannot skip tuples.
+#[test]
+fn mid_hello_disconnects_are_retried() {
+    let all = descending_tuples(20);
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let server_shard = all.clone();
+    std::thread::spawn(move || {
+        // Two flaky accepts (dropped before the hello), then a real serve.
+        for _ in 0..2 {
+            let (stream, _) = listener.accept().unwrap();
+            drop(stream);
+        }
+        let (stream, _) = listener.accept().unwrap();
+        if let Ok(writer) =
+            WireWriter::new(std::io::BufWriter::new(stream), Some(server_shard.len()))
+        {
+            let _ = writer.serve(&mut VecSource::new(server_shard));
+        }
+    });
+    let query = TopkQuery::new(2).with_p_tau(1e-3).with_u_topk(false);
+    let mut session = Session::new();
+    let local = session
+        .execute(&Dataset::stream(VecSource::new(all)), &query)
+        .unwrap();
+    let dataset = RemoteShardDataset::new([addr])
+        .with_connect_options(
+            ConnectOptions::default()
+                .with_retries(5)
+                .with_backoff(Duration::from_millis(10)),
+        )
+        .into_dataset();
+    let remote = session.execute(&dataset, &query).unwrap();
+    assert_eq!(remote.distribution, local.distribution);
+}
+
+/// Servers advertising conflicting assignments — different group-key
+/// namespaces, or overlapping tuple-id ranges — fail the open with a
+/// diagnostic instead of silently merging shards that never partitioned one
+/// relation.
+#[test]
+fn conflicting_hello_assignments_are_rejected() {
+    let shard_a = descending_tuples(10);
+    let shard_b: Vec<SourceTuple> = (10u64..20)
+        .map(|i| SourceTuple::independent(UncertainTuple::new(i, (30 - i) as f64, 0.5).unwrap()))
+        .collect();
+    // Namespace conflict.
+    let addrs = serve_shards_with_assignments(vec![
+        (
+            shard_a.clone(),
+            ShardAssignment {
+                id_base: 0,
+                namespace: "coord-A".into(),
+            },
+        ),
+        (
+            shard_b.clone(),
+            ShardAssignment {
+                id_base: 10,
+                namespace: "coord-B".into(),
+            },
+        ),
+    ]);
+    let err = Session::new()
+        .execute(
+            &RemoteShardDataset::new(addrs).into_dataset(),
+            &TopkQuery::new(1),
+        )
+        .unwrap_err();
+    assert!(
+        matches!(&err, Error::Source(m) if m.contains("namespace")),
+        "{err:?}"
+    );
+    // Overlapping id ranges (both shards claim base 0 over 10 rows).
+    let addrs = serve_shards_with_assignments(vec![
+        (
+            shard_a,
+            ShardAssignment {
+                id_base: 0,
+                namespace: "coord-A".into(),
+            },
+        ),
+        (
+            shard_b,
+            ShardAssignment {
+                id_base: 5,
+                namespace: "coord-A".into(),
+            },
+        ),
+    ]);
+    let err = Session::new()
+        .execute(
+            &RemoteShardDataset::new(addrs).into_dataset(),
+            &TopkQuery::new(1),
+        )
+        .unwrap_err();
+    assert!(
+        matches!(&err, Error::Source(m) if m.contains("overlapping")),
+        "{err:?}"
+    );
 }
 
 /// A source that yields `good` tuples, then fails.

@@ -196,13 +196,27 @@ fn schema_from_types(layout: &CsvLayout, types: &[DataType]) -> Result<Schema> {
 }
 
 fn parse_probability(record: &[String], layout: &CsvLayout, line_no: usize) -> Result<f64> {
-    record[layout.prob_idx]
-        .trim()
-        .parse()
-        .map_err(|_| PdbError::CsvError {
+    let probability: f64 =
+        record[layout.prob_idx]
+            .trim()
+            .parse()
+            .map_err(|_| PdbError::CsvError {
+                line: line_no,
+                message: format!("invalid probability `{}`", record[layout.prob_idx]),
+            })?;
+    // A NaN would poison every probability sum downstream; reject it here
+    // where the row and column can still be named.
+    if !probability.is_finite() {
+        return Err(PdbError::CsvError {
             line: line_no,
-            message: format!("invalid probability `{}`", record[layout.prob_idx]),
-        })
+            message: format!(
+                "non-finite probability `{}` in column `{}`",
+                record[layout.prob_idx].trim(),
+                layout.header[layout.prob_idx].trim()
+            ),
+        });
+    }
+    Ok(probability)
 }
 
 fn group_key<'a>(record: &'a [String], layout: &CsvLayout) -> Option<&'a str> {
@@ -278,6 +292,18 @@ pub struct ShardImportOptions {
     pub hashed_group_keys: bool,
 }
 
+impl From<&ttk_uncertain::ShardAssignment> for ShardImportOptions {
+    /// Import options matching a coordinator lease (or a server-advertised
+    /// hello assignment): the leased id base, with hashed group keys — the
+    /// only key discipline independently-scoring processes can agree on.
+    fn from(lease: &ttk_uncertain::ShardAssignment) -> Self {
+        ShardImportOptions {
+            first_tuple_id: lease.id_base,
+            hashed_group_keys: true,
+        }
+    }
+}
+
 /// 64-bit FNV-1a over a group label — the stable cross-process group key of
 /// [`ShardImportOptions::hashed_group_keys`].
 fn stable_group_key(label: &str) -> u64 {
@@ -330,6 +356,19 @@ impl ScoreState {
                 .map(|&c| Value::infer_from_str(&record[c])),
         );
         let score_value = score.evaluate(schema, &self.row_values)?;
+        // A NaN (or infinite) score would silently violate the total rank
+        // order the loser-tree merge and the scan gate depend on — reject it
+        // at parse time, naming the row and the columns that produced it.
+        if !score_value.is_finite() {
+            return Err(PdbError::CsvError {
+                line: line_no,
+                message: format!(
+                    "non-finite score `{score_value}` evaluated from the scoring expression \
+                     over column(s) {:?}",
+                    score.referenced_columns()
+                ),
+            });
+        }
         let tuple =
             UncertainTuple::new(self.next_id, score_value, probability).map_err(PdbError::Core)?;
         self.next_id += 1;
@@ -910,12 +949,13 @@ impl TupleSource for SpilledSource {
     }
 }
 
-/// Streams the data records of a CSV reader (header skipped, blank lines
-/// ignored, field counts validated) through `visit` without retaining them.
-fn for_each_record<R: BufRead>(
+/// Streams the raw data lines of a CSV reader — the record discipline every
+/// import path (and [`count_csv_records`]) shares: the header is the first
+/// non-blank line, blank lines are skipped, everything else is a data line,
+/// delivered with its 1-based line number.
+fn for_each_data_line<R: BufRead>(
     reader: R,
-    layout: &CsvLayout,
-    mut visit: impl FnMut(usize, Vec<String>) -> Result<()>,
+    mut visit: impl FnMut(usize, String) -> Result<()>,
 ) -> Result<()> {
     let mut header_seen = false;
     for (i, line) in reader.lines().enumerate() {
@@ -927,10 +967,41 @@ fn for_each_record<R: BufRead>(
             header_seen = true;
             continue;
         }
-        let record = split_record(&line, i + 1)?;
+        visit(i + 1, line)?;
+    }
+    Ok(())
+}
+
+/// Counts the data records a CSV import of `reader` would score, without
+/// parsing fields — the row count a `serve-shard` daemon registers with a
+/// coordinator *before* the (leased) scoring pass runs. Shares the record
+/// discipline of [`for_each_data_line`] with every import path, so the
+/// leased id range always covers exactly the rows the import then assigns.
+///
+/// # Errors
+///
+/// [`PdbError::Io`] when the reader fails.
+pub fn count_csv_records<R: BufRead>(reader: R) -> Result<u64> {
+    let mut rows = 0u64;
+    for_each_data_line(reader, |_, _| {
+        rows += 1;
+        Ok(())
+    })?;
+    Ok(rows)
+}
+
+/// Streams the data records of a CSV reader (header skipped, blank lines
+/// ignored, field counts validated) through `visit` without retaining them.
+fn for_each_record<R: BufRead>(
+    reader: R,
+    layout: &CsvLayout,
+    mut visit: impl FnMut(usize, Vec<String>) -> Result<()>,
+) -> Result<()> {
+    for_each_data_line(reader, |line_no, line| {
+        let record = split_record(&line, line_no)?;
         if record.len() != layout.header.len() {
             return Err(PdbError::CsvError {
-                line: i + 1,
+                line: line_no,
                 message: format!(
                     "expected {} fields, got {}",
                     layout.header.len(),
@@ -938,9 +1009,8 @@ fn for_each_record<R: BufRead>(
                 ),
             });
         }
-        visit(i + 1, record)?;
-    }
-    Ok(())
+        visit(line_no, record)
+    })
 }
 
 /// Reads the header line (the first non-blank line) of a CSV reader.
@@ -1477,6 +1547,89 @@ speed_limit,length,delay,probability,group_key
                 matches!(y.group, GroupKey::Shared(_))
             );
         }
+    }
+
+    #[test]
+    fn non_finite_scores_and_probabilities_are_rejected_at_parse_time() {
+        let expr = crate::parser::parse_expression("score").unwrap();
+        // `nan` parses as an f64 but would corrupt the total rank order the
+        // loser-tree merge and scan gate rely on; the error names row and
+        // column.
+        let nan_score = "score,probability\n1.5,0.5\nnan,0.5\n";
+        let err = tuple_source_from_csv(nan_score, &CsvOptions::default(), &expr).unwrap_err();
+        match &err {
+            PdbError::CsvError { line, message } => {
+                assert_eq!(*line, 3);
+                assert!(message.contains("non-finite score"), "{message}");
+                assert!(message.contains("score"), "{message}");
+            }
+            other => panic!("expected CsvError, got {other:?}"),
+        }
+        // The spilled (out-of-core) import runs the same validation.
+        assert!(matches!(
+            tuple_source_from_csv_spilled(
+                nan_score,
+                &CsvOptions::default(),
+                &expr,
+                &SpillOptions::with_run_buffer(1)
+            ),
+            Err(PdbError::CsvError { line: 3, .. })
+        ));
+        // An infinite score is just as rank-hostile as a NaN.
+        let inf_score = "score,probability\ninf,0.5\n";
+        assert!(matches!(
+            tuple_source_from_csv(inf_score, &CsvOptions::default(), &expr),
+            Err(PdbError::CsvError { line: 2, .. })
+        ));
+        // Non-finite probabilities are rejected naming the metadata column.
+        let nan_prob = "score,probability\n1.0,NaN\n";
+        let err = table_from_csv("x", nan_prob, &CsvOptions::default()).unwrap_err();
+        match &err {
+            PdbError::CsvError { line, message } => {
+                assert_eq!(*line, 2);
+                assert!(message.contains("non-finite probability"), "{message}");
+                assert!(message.contains("`probability`"), "{message}");
+            }
+            other => panic!("expected CsvError, got {other:?}"),
+        }
+        assert!(matches!(
+            tuple_source_from_csv(
+                "score,probability\n1.0,inf\n",
+                &CsvOptions::default(),
+                &expr
+            ),
+            Err(PdbError::CsvError { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn record_counting_matches_the_import_discipline() {
+        let csv = "\n\nscore,probability\n1,0.5\n\n2,0.25\n   \n3,0.125\n";
+        assert_eq!(count_csv_records(csv.as_bytes()).unwrap(), 3);
+        let expr = crate::parser::parse_expression("score").unwrap();
+        let imported = tuple_source_from_csv(csv, &CsvOptions::default(), &expr).unwrap();
+        assert_eq!(
+            count_csv_records(csv.as_bytes()).unwrap(),
+            imported.size_hint().unwrap() as u64,
+            "the count a coordinator leases must equal the rows the import scores"
+        );
+        // Headers-only and empty inputs count zero records.
+        assert_eq!(
+            count_csv_records("score,probability\n".as_bytes()).unwrap(),
+            0
+        );
+        assert_eq!(count_csv_records("".as_bytes()).unwrap(), 0);
+    }
+
+    #[test]
+    fn import_options_follow_a_lease() {
+        let lease = ttk_uncertain::ShardAssignment {
+            id_base: 77,
+            namespace: "coord-1".into(),
+        };
+        let import = ShardImportOptions::from(&lease);
+        assert_eq!(import.first_tuple_id, 77);
+        assert!(import.hashed_group_keys);
     }
 
     #[test]

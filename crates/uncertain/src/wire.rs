@@ -16,7 +16,9 @@
 //! | `0` | end of stream | none |
 //! | `1` | tuple | id `u64`, score bits `u64`, prob bits `u64`, group flag `u8` (+ key `u64` when shared) |
 //! | `2` | producer error | UTF-8 message |
-//! | `3` | hello (first frame) | version `u8`, size hint `u64` (`u64::MAX` = unknown) |
+//! | `3` | hello (first frame) | version `u8`, size hint `u64` (`u64::MAX` = unknown); v2 appends id base `u64`, namespace length `u16`, namespace bytes |
+//! | `5` | coordinator register | version `u8`, row count `u64`, label length `u16`, label bytes |
+//! | `6` | coordinator lease | version `u8`, id base `u64`, namespace length `u16`, namespace bytes |
 //!
 //! All integers are little-endian. A [`WireWriter`] emits the hello frame at
 //! construction and exactly one terminal frame (`end` or `error`); a
@@ -24,6 +26,31 @@
 //! terminal frame and surfacing *every* abnormality — I/O failure, corrupt
 //! frame, connection lost before the end frame, server-side error — as
 //! [`Error::Source`], never as a silently truncated stream.
+//!
+//! # Protocol versions
+//!
+//! **v1** is the original one-way stream: the server speaks first and the
+//! hello frame carries only the version byte and a size hint. **v2** adds
+//! coordination: the hello may also carry a [`ShardAssignment`] — the tuple-id
+//! base and group-key namespace label the serving process imported its shard
+//! under — so the consumer can check that independently-served shards really
+//! partition one relation instead of trusting operator-passed `--id-base`
+//! flags.
+//!
+//! The stream stays strictly one-way (the server speaks, the client only
+//! reads — a client that wrote bytes a v1 server never drains would turn the
+//! server's close into a connection reset), so the hello version is chosen by
+//! the **server's configuration**: [`WireWriter::new`] emits the v1 layout
+//! every reader since protocol v1 decodes, and a server emits the extended
+//! v2 layout ([`WireWriter::with_assignment`]) only when it actually holds an
+//! assignment to advertise (a coordinator lease or an operator-pinned
+//! namespace). A v2 reader accepts both layouts; a v1 client keeps decoding
+//! any server that has no assignment to announce.
+//!
+//! The register/lease frames are the coordinator handshake: a shard server
+//! connects to the coordinator, frames its row count and a display label
+//! ([`write_register`]), and receives the `(id base, namespace)` lease the
+//! coordinator allotted from its [`LeaseRegistry`] ([`read_lease`]).
 
 use std::io::{Read, Write};
 
@@ -31,14 +58,20 @@ use crate::error::{Error, Result};
 use crate::source::{GroupKey, SourceTuple, TupleSource};
 use crate::tuple::UncertainTuple;
 
-/// Protocol version emitted in the hello frame.
-const WIRE_VERSION: u8 = 1;
+/// Highest protocol version this build speaks.
+pub const WIRE_VERSION: u8 = 2;
+
+/// The original protocol version: a 10-byte hello, no assignment metadata.
+const WIRE_VERSION_V1: u8 = 1;
 
 /// Frame kinds (first byte of every frame body).
 const FRAME_END: u8 = 0;
 const FRAME_TUPLE: u8 = 1;
 const FRAME_ERROR: u8 = 2;
 const FRAME_HELLO: u8 = 3;
+// Frame kind 4 is reserved (an abandoned client-hello design; never shipped).
+const FRAME_REGISTER: u8 = 5;
+const FRAME_LEASE: u8 = 6;
 
 /// Largest frame body a reader will accept (an error message, at most; tuple
 /// frames are 34 bytes). Guards against garbage length prefixes allocating
@@ -47,6 +80,224 @@ const MAX_FRAME_BODY: usize = 64 * 1024;
 
 fn io_err(context: &str, e: std::io::Error) -> Error {
     Error::Source(format!("wire {context}: {e}"))
+}
+
+/// The coordination metadata a v2 hello (or a coordinator lease) carries:
+/// where the served shard's rows live in the relation's shared tuple-id
+/// space, and which group-key namespace the shard was imported under.
+///
+/// Two shards whose servers report the **same namespace** were scored with
+/// the same group-key discipline (hashed labels under one coordinator), so a
+/// consumer may merge them as one relation; shards reporting **different**
+/// namespaces were never meant to be merged and the consumer should refuse.
+/// An empty namespace means the server asserted nothing (an operator-managed
+/// `--id-base` setup), which consumers accept for backwards compatibility.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardAssignment {
+    /// Tuple id of the shard's first row in the shared id space.
+    pub id_base: u64,
+    /// Group-key namespace label all shards of the relation share.
+    pub namespace: String,
+}
+
+/// Everything a decoded hello frame carried.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hello {
+    /// Protocol version the server spoke (1 or 2).
+    pub version: u8,
+    /// Tuple-count hint, when the server knew it.
+    pub size_hint: Option<usize>,
+    /// The shard's id-base/namespace assignment (v2 hellos only).
+    pub assignment: Option<ShardAssignment>,
+}
+
+/// Reads one length-prefixed frame body from `reader`.
+fn read_frame_from(reader: &mut impl Read) -> Result<Vec<u8>> {
+    let mut len = [0u8; 4];
+    reader
+        .read_exact(&mut len)
+        .map_err(|e| io_err("read (stream ended before the end frame?)", e))?;
+    let len = u32::from_le_bytes(len) as usize;
+    if len == 0 || len > MAX_FRAME_BODY {
+        return Err(Error::Source(format!(
+            "wire frame of {len} bytes is outside the accepted range"
+        )));
+    }
+    let mut body = vec![0u8; len];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| io_err("read (truncated frame)", e))?;
+    Ok(body)
+}
+
+/// Frames `body` onto `writer`.
+fn write_frame_to(writer: &mut impl Write, body: &[u8]) -> Result<()> {
+    let len = body.len() as u32;
+    writer
+        .write_all(&len.to_le_bytes())
+        .and_then(|_| writer.write_all(body))
+        .map_err(|e| io_err("write", e))
+}
+
+/// Longest label/namespace accepted in a frame. Bounded well under
+/// [`MAX_FRAME_BODY`] (with margin for the fixed fields) so a frame that
+/// writes successfully is always readable — an over-long label must fail
+/// here, where the error can name it, not as a corrupt-frame error on every
+/// peer.
+const MAX_LABEL: usize = MAX_FRAME_BODY - 64;
+
+/// Appends a length-prefixed UTF-8 label (`u16` length) to a frame body.
+fn push_label(body: &mut Vec<u8>, label: &str) -> Result<()> {
+    if label.len() > MAX_LABEL {
+        return Err(Error::Source(format!(
+            "wire label of {} bytes exceeds the {MAX_LABEL}-byte limit",
+            label.len()
+        )));
+    }
+    body.extend_from_slice(&(label.len() as u16).to_le_bytes());
+    body.extend_from_slice(label.as_bytes());
+    Ok(())
+}
+
+/// Decodes the `u16`-length-prefixed label starting at `body[at..]`,
+/// requiring it to end exactly at the frame boundary.
+fn pop_label(body: &[u8], at: usize, what: &str) -> Result<String> {
+    let corrupt = || Error::Source(format!("corrupt wire {what} frame"));
+    if body.len() < at + 2 {
+        return Err(corrupt());
+    }
+    let len = u16::from_le_bytes(body[at..at + 2].try_into().expect("2 bytes")) as usize;
+    if body.len() != at + 2 + len {
+        return Err(corrupt());
+    }
+    String::from_utf8(body[at + 2..].to_vec()).map_err(|_| corrupt())
+}
+
+/// Registers a shard server with a coordinator: frames the shard's row count
+/// and a display label, then flushes. The coordinator answers with a lease
+/// frame ([`read_lease`]).
+///
+/// # Errors
+///
+/// [`Error::Source`] on I/O failure or an over-long label.
+pub fn write_register(writer: &mut impl Write, rows: u64, label: &str) -> Result<()> {
+    let mut body = Vec::with_capacity(12 + label.len());
+    body.push(FRAME_REGISTER);
+    body.push(WIRE_VERSION);
+    body.extend_from_slice(&rows.to_le_bytes());
+    push_label(&mut body, label)?;
+    write_frame_to(writer, &body)?;
+    writer.flush().map_err(|e| io_err("flush", e))
+}
+
+/// Coordinator-side decode of a [`write_register`] frame; returns the
+/// registering shard's `(row count, label)`.
+///
+/// # Errors
+///
+/// [`Error::Source`] on I/O failure or a malformed frame.
+pub fn read_register(reader: &mut impl Read) -> Result<(u64, String)> {
+    let body = read_frame_from(reader)?;
+    let corrupt = || Error::Source("corrupt wire register frame".into());
+    if body.first() != Some(&FRAME_REGISTER) || body.len() < 12 {
+        return Err(corrupt());
+    }
+    if body[1] < 2 {
+        return Err(Error::Source(format!(
+            "register frame speaks protocol version {} (coordination needs v2)",
+            body[1]
+        )));
+    }
+    let rows = u64::from_le_bytes(body[2..10].try_into().expect("8 bytes"));
+    Ok((rows, pop_label(&body, 10, "register")?))
+}
+
+/// Coordinator-side reply to a registration: frames the allotted lease and
+/// flushes.
+///
+/// # Errors
+///
+/// [`Error::Source`] on I/O failure or an over-long namespace.
+pub fn write_lease(writer: &mut impl Write, lease: &ShardAssignment) -> Result<()> {
+    let mut body = Vec::with_capacity(12 + lease.namespace.len());
+    body.push(FRAME_LEASE);
+    body.push(WIRE_VERSION);
+    body.extend_from_slice(&lease.id_base.to_le_bytes());
+    push_label(&mut body, &lease.namespace)?;
+    write_frame_to(writer, &body)?;
+    writer.flush().map_err(|e| io_err("flush", e))
+}
+
+/// Shard-server-side decode of the coordinator's [`write_lease`] reply.
+///
+/// # Errors
+///
+/// [`Error::Source`] on I/O failure or a malformed frame.
+pub fn read_lease(reader: &mut impl Read) -> Result<ShardAssignment> {
+    let body = read_frame_from(reader)?;
+    let corrupt = || Error::Source("corrupt wire lease frame".into());
+    if body.first() != Some(&FRAME_LEASE) || body.len() < 12 {
+        return Err(corrupt());
+    }
+    let id_base = u64::from_le_bytes(body[2..10].try_into().expect("8 bytes"));
+    Ok(ShardAssignment {
+        id_base,
+        namespace: pop_label(&body, 10, "lease")?,
+    })
+}
+
+/// The coordinator's allocation state: hands out contiguous, non-overlapping
+/// tuple-id ranges (and one shared namespace label) to registering shard
+/// servers, replacing operator-passed `--id-base` arithmetic.
+///
+/// Pure bookkeeping — the TCP accept loop around it lives in the CLI — so
+/// the allocation discipline is testable without sockets: the `i`-th
+/// registration receives an id base equal to the total row count of the
+/// `0..i` registrations, exactly what an operator would have passed by hand
+/// for shards imported in that order.
+#[derive(Debug, Clone)]
+pub struct LeaseRegistry {
+    namespace: String,
+    next_id_base: u64,
+    leases: usize,
+}
+
+impl LeaseRegistry {
+    /// A registry whose leases all carry `namespace`.
+    pub fn new(namespace: impl Into<String>) -> Self {
+        LeaseRegistry {
+            namespace: namespace.into(),
+            next_id_base: 0,
+            leases: 0,
+        }
+    }
+
+    /// Allots the next lease to a shard of `rows` rows: the current id-base
+    /// watermark plus the shared namespace. The watermark advances by `rows`.
+    pub fn register(&mut self, rows: u64) -> ShardAssignment {
+        let lease = ShardAssignment {
+            id_base: self.next_id_base,
+            namespace: self.namespace.clone(),
+        };
+        self.next_id_base = self.next_id_base.saturating_add(rows);
+        self.leases += 1;
+        lease
+    }
+
+    /// Number of leases handed out so far.
+    pub fn lease_count(&self) -> usize {
+        self.leases
+    }
+
+    /// The id base the next registration would receive (= total rows leased).
+    pub fn next_id_base(&self) -> u64 {
+        self.next_id_base
+    }
+
+    /// The namespace label stamped on every lease.
+    pub fn namespace(&self) -> &str {
+        &self.namespace
+    }
 }
 
 /// The sending half of the codec: frames a rank-ordered tuple stream onto
@@ -63,7 +314,10 @@ pub struct WireWriter<W: Write> {
 }
 
 impl<W: Write> WireWriter<W> {
-    /// Wraps `writer` and sends the hello frame carrying `size_hint`.
+    /// Wraps `writer` and sends the **v1** hello frame carrying `size_hint` —
+    /// the layout every reader since protocol v1 decodes. Use
+    /// [`with_assignment`](WireWriter::with_assignment) to speak v2 to a
+    /// client that announced it.
     ///
     /// # Errors
     ///
@@ -71,7 +325,7 @@ impl<W: Write> WireWriter<W> {
     pub fn new(writer: W, size_hint: Option<usize>) -> Result<Self> {
         let mut body = Vec::with_capacity(10);
         body.push(FRAME_HELLO);
-        body.push(WIRE_VERSION);
+        body.push(WIRE_VERSION_V1);
         let hint = size_hint.map(|n| n as u64).unwrap_or(u64::MAX);
         body.extend_from_slice(&hint.to_le_bytes());
         let mut this = WireWriter { writer };
@@ -79,12 +333,35 @@ impl<W: Write> WireWriter<W> {
         Ok(this)
     }
 
+    /// Wraps `writer` and sends the **v2** hello frame: `size_hint` plus the
+    /// shard's id-base/namespace assignment. Serve this layout only when the
+    /// server actually holds an assignment to advertise (a coordinator lease
+    /// or an operator-pinned namespace) — a v1 reader rejects it, which is
+    /// the intended contract: coordinated serving requires v2 consumers.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Source`] when the hello frame cannot be written or the
+    /// namespace label is over-long.
+    pub fn with_assignment(
+        writer: W,
+        size_hint: Option<usize>,
+        assignment: &ShardAssignment,
+    ) -> Result<Self> {
+        let mut body = Vec::with_capacity(20 + assignment.namespace.len());
+        body.push(FRAME_HELLO);
+        body.push(WIRE_VERSION);
+        let hint = size_hint.map(|n| n as u64).unwrap_or(u64::MAX);
+        body.extend_from_slice(&hint.to_le_bytes());
+        body.extend_from_slice(&assignment.id_base.to_le_bytes());
+        push_label(&mut body, &assignment.namespace)?;
+        let mut this = WireWriter { writer };
+        this.frame(&body)?;
+        Ok(this)
+    }
+
     fn frame(&mut self, body: &[u8]) -> Result<()> {
-        let len = body.len() as u32;
-        self.writer
-            .write_all(&len.to_le_bytes())
-            .and_then(|_| self.writer.write_all(body))
-            .map_err(|e| io_err("write", e))
+        write_frame_to(&mut self.writer, body)
     }
 
     /// Frames one tuple.
@@ -172,7 +449,7 @@ impl<W: Write> WireWriter<W> {
 #[derive(Debug)]
 pub struct WireReader<R: Read> {
     reader: R,
-    hello_seen: bool,
+    hello: Option<Hello>,
     done: bool,
     hint: Option<usize>,
 }
@@ -182,47 +459,78 @@ impl<R: Read> WireReader<R> {
     pub fn new(reader: R) -> Self {
         WireReader {
             reader,
-            hello_seen: false,
+            hello: None,
             done: false,
             hint: None,
         }
     }
 
     fn read_frame(&mut self) -> Result<Vec<u8>> {
-        let mut len = [0u8; 4];
-        self.reader
-            .read_exact(&mut len)
-            .map_err(|e| io_err("read (stream ended before the end frame?)", e))?;
-        let len = u32::from_le_bytes(len) as usize;
-        if len == 0 || len > MAX_FRAME_BODY {
-            return Err(Error::Source(format!(
-                "wire frame of {len} bytes is outside the accepted range"
-            )));
-        }
-        let mut body = vec![0u8; len];
-        self.reader
-            .read_exact(&mut body)
-            .map_err(|e| io_err("read (truncated frame)", e))?;
-        Ok(body)
+        read_frame_from(&mut self.reader)
     }
 
     fn expect_hello(&mut self) -> Result<()> {
         let body = self.read_frame()?;
-        if body.first() != Some(&FRAME_HELLO) || body.len() != 10 {
+        if body.first() != Some(&FRAME_HELLO) || body.len() < 10 {
             return Err(Error::Source(
                 "wire stream does not start with a hello frame".into(),
             ));
         }
-        if body[1] != WIRE_VERSION {
-            return Err(Error::Source(format!(
-                "unsupported wire protocol version {}",
-                body[1]
-            )));
-        }
+        let version = body[1];
+        let assignment = match version {
+            WIRE_VERSION_V1 => {
+                if body.len() != 10 {
+                    return Err(Error::Source("corrupt v1 wire hello frame".into()));
+                }
+                None
+            }
+            WIRE_VERSION => Some(ShardAssignment {
+                id_base: u64::from_le_bytes(
+                    body.get(10..18)
+                        .ok_or_else(|| Error::Source("corrupt v2 wire hello frame".into()))?
+                        .try_into()
+                        .expect("8 bytes"),
+                ),
+                namespace: pop_label(&body, 18, "hello")?,
+            }),
+            other => {
+                return Err(Error::Source(format!(
+                    "unsupported wire protocol version {other}"
+                )))
+            }
+        };
         let hint = u64::from_le_bytes(body[2..10].try_into().expect("8 bytes"));
         self.hint = (hint != u64::MAX).then_some(hint as usize);
-        self.hello_seen = true;
+        self.hello = Some(Hello {
+            version,
+            size_hint: self.hint,
+            assignment,
+        });
         Ok(())
+    }
+
+    /// Forces the hello frame to be read (a no-op if already decoded) and
+    /// returns it. Lets a connection manager validate version and
+    /// [`ShardAssignment`] **before** handing the reader to a merge — a dead
+    /// or misconfigured peer then fails at connection time, where it can be
+    /// retried, instead of mid-scan.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Source`] when the stream does not open with a valid hello.
+    pub fn hello(&mut self) -> Result<&Hello> {
+        if self.hello.is_none() {
+            if let Err(e) = self.expect_hello() {
+                self.done = true;
+                return Err(e);
+            }
+        }
+        Ok(self.hello.as_ref().expect("hello decoded above"))
+    }
+
+    /// The shard assignment the hello carried, when one was decoded.
+    pub fn assignment(&self) -> Option<&ShardAssignment> {
+        self.hello.as_ref().and_then(|h| h.assignment.as_ref())
     }
 
     fn decode_tuple(body: &[u8]) -> Result<SourceTuple> {
@@ -252,11 +560,8 @@ impl<R: Read> TupleSource for WireReader<R> {
         if self.done {
             return Ok(None);
         }
-        if !self.hello_seen {
-            if let Err(e) = self.expect_hello() {
-                self.done = true;
-                return Err(e);
-            }
+        if self.hello.is_none() {
+            self.hello()?;
         }
         let body = match self.read_frame() {
             Ok(body) => body,
@@ -301,7 +606,7 @@ impl<R: Read> TupleSource for WireReader<R> {
             return Some(0);
         }
         // Unknown until the hello frame has been decoded.
-        self.hint.filter(|_| self.hello_seen)
+        self.hint.filter(|_| self.hello.is_some())
     }
 }
 
@@ -409,5 +714,125 @@ mod tests {
             drain(&mut WireReader::new(headless)),
             Err(Error::Source(_))
         ));
+    }
+
+    #[test]
+    fn v2_hello_round_trips_the_assignment() {
+        let all = tuples(10);
+        let assignment = ShardAssignment {
+            id_base: 40,
+            namespace: "coord-7".into(),
+        };
+        let mut buf = Vec::new();
+        WireWriter::with_assignment(&mut buf, Some(all.len()), &assignment)
+            .unwrap()
+            .serve(&mut VecSource::new(all.clone()))
+            .unwrap();
+        let mut reader = WireReader::new(buf.as_slice());
+        let hello = reader.hello().unwrap();
+        assert_eq!(hello.version, WIRE_VERSION);
+        assert_eq!(hello.size_hint, Some(10));
+        assert_eq!(hello.assignment.as_ref(), Some(&assignment));
+        assert_eq!(reader.size_hint(), Some(10), "hint known right after hello");
+        assert_eq!(drain(&mut reader).unwrap(), all);
+        assert_eq!(reader.assignment(), Some(&assignment));
+    }
+
+    #[test]
+    fn v1_hello_still_decodes_and_carries_no_assignment() {
+        // A v1 server (today's `WireWriter::new`) against the v2 reader.
+        let all = tuples(6);
+        let mut buf = Vec::new();
+        WireWriter::new(&mut buf, Some(6))
+            .unwrap()
+            .serve(&mut VecSource::new(all.clone()))
+            .unwrap();
+        let mut reader = WireReader::new(buf.as_slice());
+        let hello = reader.hello().unwrap();
+        assert_eq!(hello.version, 1);
+        assert_eq!(hello.assignment, None);
+        assert_eq!(drain(&mut reader).unwrap(), all);
+        // And the v1 decode rules (10-byte hello, version byte 1) accept what
+        // `WireWriter::new` emits — a v1-era client decodes a v2 server that
+        // answered its silence with the v1 hello.
+        assert_eq!(buf[4], FRAME_HELLO);
+        assert_eq!(u32::from_le_bytes(buf[0..4].try_into().unwrap()), 10);
+        assert_eq!(buf[5], WIRE_VERSION_V1);
+    }
+
+    #[test]
+    fn future_versions_and_corrupt_v2_hellos_are_rejected() {
+        let mut buf = Vec::new();
+        WireWriter::with_assignment(
+            &mut buf,
+            None,
+            &ShardAssignment {
+                id_base: 0,
+                namespace: "ns".into(),
+            },
+        )
+        .unwrap()
+        .finish()
+        .unwrap();
+        // Bump the version byte past what this build speaks.
+        let mut future = buf.clone();
+        future[5] = WIRE_VERSION + 1;
+        let err = drain(&mut WireReader::new(future.as_slice())).unwrap_err();
+        assert!(
+            matches!(&err, Error::Source(m) if m.contains("version")),
+            "{err}"
+        );
+        // Truncate the namespace out of the v2 hello: corrupt, not a panic.
+        let mut short = buf.clone();
+        short[0..4].copy_from_slice(&18u32.to_le_bytes());
+        short.truncate(4 + 18);
+        assert!(drain(&mut WireReader::new(short.as_slice())).is_err());
+    }
+
+    #[test]
+    fn register_and_lease_frames_round_trip() {
+        let mut registry = LeaseRegistry::new("coord-A");
+        assert_eq!(registry.next_id_base(), 0);
+        let mut buf = Vec::new();
+        write_register(&mut buf, 120, "area.shard0.csv").unwrap();
+        let (rows, label) = read_register(&mut buf.as_slice()).unwrap();
+        assert_eq!((rows, label.as_str()), (120, "area.shard0.csv"));
+        let lease = registry.register(rows);
+        assert_eq!(lease.id_base, 0);
+        let mut reply = Vec::new();
+        write_lease(&mut reply, &lease).unwrap();
+        assert_eq!(read_lease(&mut reply.as_slice()).unwrap(), lease);
+        // The next registration starts where the previous shard ended.
+        let second = registry.register(30);
+        assert_eq!(second.id_base, 120);
+        assert_eq!(second.namespace, "coord-A");
+        assert_eq!(registry.next_id_base(), 150);
+        assert_eq!(registry.lease_count(), 2);
+        // An over-long label is rejected at write time (a frame larger than
+        // MAX_FRAME_BODY would write fine but fail on every reader).
+        let huge = "x".repeat(MAX_FRAME_BODY);
+        assert!(write_register(&mut Vec::new(), 1, &huge).is_err());
+        assert!(write_lease(
+            &mut Vec::new(),
+            &ShardAssignment {
+                id_base: 0,
+                namespace: huge,
+            }
+        )
+        .is_err());
+        // Malformed register/lease frames are errors, not panics.
+        assert!(read_register(&mut [0u8; 3].as_slice()).is_err());
+        let mut v1_register = Vec::new();
+        write_frame_to(
+            &mut v1_register,
+            &[&[FRAME_REGISTER, 1][..], &[0u8; 10][..]].concat(),
+        )
+        .unwrap();
+        let err = read_register(&mut v1_register.as_slice()).unwrap_err();
+        assert!(
+            matches!(&err, Error::Source(m) if m.contains("needs v2")),
+            "{err}"
+        );
+        assert!(read_lease(&mut buf.as_slice()).is_err(), "kind mismatch");
     }
 }

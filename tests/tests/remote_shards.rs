@@ -12,7 +12,7 @@ use ttk_integration_tests::small_area;
 use ttk_pdb::{
     shard_sources_from_csv_with, table_to_csv, CsvDataset, CsvOptions, ShardImportOptions,
 };
-use ttk_uncertain::{PrefetchPolicy, TupleSource, WireWriter};
+use ttk_uncertain::{PrefetchPolicy, ShardAssignment, TupleSource, WireWriter};
 
 /// Exports the small CarTel area as `shards` CSV texts (round-robin rows,
 /// shared schema and group-key strings), returning the texts.
@@ -50,33 +50,54 @@ fn shard_texts(shards: usize) -> Vec<String> {
 
 /// Serves one shard text the way `ttk serve-shard` does: scored with hashed
 /// group keys and an explicit id base, streamed over the wire once per
-/// accepted connection, `conns` times.
-fn serve(text: String, id_base: u64, conns: usize) -> String {
+/// accepted connection, `conns` times. With an `assignment`, each stream
+/// opens with a v2 hello advertising it (the coordinator-leased daemon);
+/// without, the plain v1 hello (the operator-managed daemon).
+fn serve_as(
+    text: String,
+    id_base: u64,
+    conns: usize,
+    assignment: Option<ShardAssignment>,
+) -> String {
     let listener = TcpListener::bind("127.0.0.1:0").unwrap();
     let addr = listener.local_addr().unwrap().to_string();
     std::thread::spawn(move || {
         let expr = ttk_pdb::parse_expression("speed_limit / (length / delay)").unwrap();
         for _ in 0..conns {
             let (stream, _) = listener.accept().unwrap();
+            let import = match &assignment {
+                Some(lease) => ShardImportOptions::from(lease),
+                None => ShardImportOptions {
+                    first_tuple_id: id_base,
+                    hashed_group_keys: true,
+                },
+            };
             let mut source = shard_sources_from_csv_with(
                 &[text.as_str()],
                 &CsvOptions::default(),
                 &expr,
-                &ShardImportOptions {
-                    first_tuple_id: id_base,
-                    hashed_group_keys: true,
-                },
+                &import,
             )
             .unwrap()
             .pop()
             .unwrap();
             let hint = source.size_hint();
-            if let Ok(writer) = WireWriter::new(std::io::BufWriter::new(stream), hint) {
+            let buffered = std::io::BufWriter::new(stream);
+            let writer = match &assignment {
+                Some(lease) => WireWriter::with_assignment(buffered, hint, lease),
+                None => WireWriter::new(buffered, hint),
+            };
+            if let Ok(writer) = writer {
                 let _ = writer.serve(&mut source);
             }
         }
     });
     addr
+}
+
+/// [`serve_as`] without an assignment — the v1-hello serving path.
+fn serve(text: String, id_base: u64, conns: usize) -> String {
+    serve_as(text, id_base, conns, None)
 }
 
 #[test]
@@ -141,4 +162,48 @@ fn remote_shard_scan_is_bit_identical_to_the_local_shard_scan() {
     let b = session.execute(&local, &query).unwrap();
     assert_eq!(a.distribution, b.distribution);
     assert_eq!(a.scan_depth, b.scan_depth);
+}
+
+/// Shards imported under coordinator leases ([`ShardImportOptions::from`])
+/// and served with v2 hellos advertising those leases are bit-identical to
+/// the local `--shard` scan — and the client accepts the consistent
+/// namespace assertions without complaint.
+#[test]
+fn lease_driven_v2_serving_matches_the_local_shard_scan() {
+    let shards = 3usize;
+    let texts = shard_texts(shards);
+    let expr = || ttk_pdb::parse_expression("speed_limit / (length / delay)").unwrap();
+
+    let local =
+        CsvDataset::from_shard_texts("local-shards", texts.clone(), CsvOptions::default(), expr())
+            .with_import(ShardImportOptions {
+                first_tuple_id: 0,
+                hashed_group_keys: true,
+            })
+            .into_dataset();
+
+    // Lease each shard its id base in shard order (the registration order a
+    // sequential daemon launch produces) under one namespace.
+    let mut registry = ttk_uncertain::LeaseRegistry::new("pdb-e2e");
+    let addrs: Vec<String> = texts
+        .iter()
+        .map(|text| {
+            let rows = text.lines().filter(|l| !l.trim().is_empty()).count() as u64 - 1;
+            let lease = registry.register(rows);
+            serve_as(text.clone(), lease.id_base, 1, Some(lease))
+        })
+        .collect();
+
+    let mut session = Session::new();
+    let query = TopkQuery::new(3).with_p_tau(1e-3);
+    let reference = session.execute(&local, &query).unwrap();
+    let answer = session
+        .execute(&RemoteShardDataset::new(addrs).into_dataset(), &query)
+        .unwrap();
+    assert_eq!(answer.distribution, reference.distribution);
+    assert_eq!(answer.scan_depth, reference.scan_depth);
+    assert_eq!(
+        answer.u_topk.as_ref().unwrap().vector.ids(),
+        reference.u_topk.as_ref().unwrap().vector.ids()
+    );
 }
