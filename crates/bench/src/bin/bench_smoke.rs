@@ -12,14 +12,21 @@
 //! scan variants of `fig09_scan_depth` (depth only, streamed single-source
 //! prefix, sharded merge prefix), a sharded **spill** scan with per-run
 //! prefetching on and off (tracking the I/O-overlap win of the transport
-//! layer), plus one end-to-end main-algorithm query — enough signal to catch
-//! a hot-path regression without turning CI into a benchmark farm.
+//! layer), one end-to-end main-algorithm query, and a loopback remote-shard
+//! pair — scan-gate pushdown vs forced full replay — whose `remote_pushdown`
+//! summary records the tuples actually shipped per query each way. Enough
+//! signal to catch a hot-path regression without turning CI into a benchmark
+//! farm.
 
-use std::sync::Arc;
-use std::time::Instant;
+use std::net::TcpListener;
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
 
 use ttk_bench::{evaluation_area, P_TAU};
-use ttk_core::{scan_depth, Dataset, RankScan, ScanGate, Session, TopkQuery};
+use ttk_core::{
+    scan_depth, serve_stream, Dataset, RankScan, RemoteShardDataset, ScanGate, ServeOptions,
+    Session, ShardScanGate, TopkQuery,
+};
 use ttk_pdb::{CsvOptions, SpillIndex, SpillOptions};
 use ttk_uncertain::{MergeSource, PrefetchPolicy, TableSource, TupleSource};
 
@@ -157,6 +164,98 @@ fn main() {
             .unwrap()
     }));
 
+    // Scan-gate pushdown over the wire: a gated query against four loopback
+    // serve-shard daemons, once with pushdown on (each server stops at its
+    // conservative per-shard Theorem-2 bound) and once forced to full
+    // replay. Besides the timings, the artifact records the tuples actually
+    // shipped per query each way — the evidence that pushdown turns
+    // per-query network cost into O(scan depth) instead of O(n). The relation
+    // is an order of magnitude bigger than the smoke table so the depth/n gap
+    // is visible: the Theorem-2 depth grows with k and the probability mix,
+    // not with n, while full replay ships every row.
+    const PUSHDOWN_SEGMENTS: usize = 600;
+    const PUSHDOWN_SHARDS: usize = 4;
+    const PUSHDOWN_K: usize = 5;
+    const PUSHDOWN_RUNS: usize = 5;
+    let pushdown_area = evaluation_area(PUSHDOWN_SEGMENTS, SEED);
+    let pushdown_rows = pushdown_area.table().len();
+    let pushdown_depth = scan_depth(pushdown_area.table(), PUSHDOWN_K, P_TAU).unwrap();
+    let pushdown_query = TopkQuery::new(PUSHDOWN_K)
+        .with_p_tau(P_TAU)
+        .with_u_topk(false);
+    // The deterministic local-only bound: what each shard's gate admits with
+    // no remote tightening. Live servers never ship more than this.
+    let shard_bound_total: u64 = pushdown_area
+        .shard_sources(PUSHDOWN_SHARDS)
+        .unwrap()
+        .into_iter()
+        .map(|mut source| {
+            let mut gate = ShardScanGate::new(PUSHDOWN_K, P_TAU).unwrap();
+            let mut admitted = 0u64;
+            while let Some(t) = source.next_tuple().unwrap() {
+                if !gate.admit(t.tuple.score(), t.tuple.prob(), t.group) {
+                    break;
+                }
+                admitted += 1;
+            }
+            admitted
+        })
+        .sum();
+    let (shipped_sender, shipped_counts) = mpsc::channel();
+    let addrs: Vec<String> = pushdown_area
+        .shard_sources(PUSHDOWN_SHARDS)
+        .unwrap()
+        .into_iter()
+        .map(|mut source| {
+            let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+            let addr = listener.local_addr().unwrap().to_string();
+            let sender = shipped_sender.clone();
+            let options = ServeOptions {
+                pushdown_wait: Duration::from_millis(2),
+                ..ServeOptions::default()
+            };
+            std::thread::spawn(move || loop {
+                let Ok((stream, _)) = listener.accept() else {
+                    return;
+                };
+                source.rewind();
+                match serve_stream(stream, &mut source, None, &options) {
+                    Ok(summary) => {
+                        let _ = sender.send(summary.shipped);
+                    }
+                    Err(_) => return,
+                }
+            });
+            addr
+        })
+        .collect();
+    let mut mean_shipped = [0u64; 2];
+    for (slot, (name, pushdown)) in [
+        ("remote/pushdown/k5", true),
+        ("remote/full-replay/k5", false),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let remote = RemoteShardDataset::new(addrs.clone())
+            .with_pushdown(pushdown)
+            .into_dataset();
+        samples.push(measure(name, PUSHDOWN_RUNS, || {
+            session.execute(&remote, &pushdown_query).unwrap()
+        }));
+        // One warm-up plus the measured runs, one connection per shard; the
+        // servers report every connection's shipped count on the channel.
+        let connections = (PUSHDOWN_RUNS + 1) * PUSHDOWN_SHARDS;
+        let total: u64 = (0..connections)
+            .map(|_| {
+                shipped_counts
+                    .recv_timeout(Duration::from_secs(10))
+                    .expect("per-connection serve summary")
+            })
+            .sum();
+        mean_shipped[slot] = total / (PUSHDOWN_RUNS as u64 + 1);
+    }
+
     // Hand-rolled JSON: the workspace has no serde (offline build).
     let mut json = String::from("{\n");
     json.push_str(&format!(
@@ -169,7 +268,13 @@ fn main() {
         .map(|(k, d)| format!("\"k{k}\": {d}"))
         .collect();
     json.push_str(&depth_fields.join(", "));
-    json.push_str("},\n  \"results\": [\n");
+    json.push_str("},\n");
+    json.push_str(&format!(
+        "  \"remote_pushdown\": {{\"shards\": {PUSHDOWN_SHARDS}, \"k\": {PUSHDOWN_K}, \"rows\": {pushdown_rows}, \"scan_depth\": {pushdown_depth}, \"shard_bound_total\": {shard_bound_total}, \"mean_tuples_shipped_pushdown\": {}, \"mean_tuples_shipped_full_replay\": {}}},\n",
+        mean_shipped[0],
+        mean_shipped[1]
+    ));
+    json.push_str("  \"results\": [\n");
     let rows: Vec<String> = samples
         .iter()
         .map(|s| {

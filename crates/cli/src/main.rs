@@ -28,7 +28,6 @@
 //! * `ttk soldier` — print the paper's toy example end to end.
 
 use std::collections::HashMap;
-use std::io::BufWriter;
 use std::net::{TcpListener, TcpStream};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -36,8 +35,8 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
 use ttk_core::{
-    Algorithm, BatchOptions, ConnectOptions, Dataset, DatasetProvider, PlanDescription, QueryJob,
-    RemoteShardDataset, ScanPath, Session, TopkQuery,
+    serve_stream, Algorithm, BatchOptions, ConnectOptions, Dataset, DatasetProvider,
+    PlanDescription, QueryJob, RemoteShardDataset, ScanPath, ServeOptions, Session, TopkQuery,
 };
 use ttk_datagen::cartel::{generate_area, CartelConfig};
 use ttk_datagen::soldier;
@@ -48,7 +47,6 @@ use ttk_pdb::{
 };
 use ttk_uncertain::{
     wire, LeaseRegistry, PrefetchPolicy, ScoreDistribution, ShardAssignment, TupleSource,
-    WireWriter,
 };
 
 fn main() -> ExitCode {
@@ -77,6 +75,7 @@ fn usage() -> &'static str {
               [--batch KS] [--threads N] [--spill-buffer TUPLES]
               [--prefetch TUPLES] [--id-base N]
               [--remote-timeout SECS] [--remote-retries N]
+              [--no-pushdown] [--bound-update-every TUPLES]
   ttk explain (DATA.csv | --file DATA.csv | --shard ... | --remote-shard ...)
               --score EXPR [--k K] [--p-tau P] [--algorithm ...]
               [--spill-buffer TUPLES] [--prefetch TUPLES] [--after]
@@ -86,6 +85,7 @@ fn usage() -> &'static str {
               [--id-base N [--namespace LABEL] | --coordinator HOST:PORT]
               [--spill-buffer TUPLES]
               [--max-conns N] [--max-parallel N] [--port-file FILE]
+              [--pushdown-wait-ms MS]
               [--prob-column NAME] [--group-column NAME]
   ttk coordinator --listen HOST:PORT [--namespace LABEL] [--max-leases N]
               [--port-file FILE]
@@ -101,6 +101,14 @@ fn usage() -> &'static str {
   --remote-retries times (default 3) with exponential backoff, so a server
   still starting up is retried instead of failing the query.
 
+  Remote scans push the Theorem-2 scan gate down to the servers by default:
+  the query's (k, p-tau) is announced on connect, v3 servers stop at a
+  conservative per-shard bound instead of draining the shard, and the client
+  refreshes each server's bound every --bound-update-every tuples pulled
+  (default 64) as its merge-side gate tightens. --no-pushdown forces the
+  full replay; pre-v3 servers get it automatically. Results are
+  bit-identical either way.
+
   serve-shard scores its input once and then serves it as a rank-ordered
   binary tuple stream — a long-lived daemon handling up to --max-parallel
   connections concurrently (default 8), one full replay per connection,
@@ -112,7 +120,10 @@ fn usage() -> &'static str {
   row count and is leased its id base and group-key namespace instead.
   Group keys are hashed from the group label so independently-served shards
   agree on ME groups. --port-file writes the actually-bound address
-  atomically (useful with --listen 127.0.0.1:0).
+  atomically (useful with --listen 127.0.0.1:0). Each connection waits
+  --pushdown-wait-ms (default 25) for a pushdown query announcement before
+  falling back to the full v1/v2 replay, and logs one summary line (rows
+  scanned, tuples shipped, stop reason: gate/exhausted/client-gone).
 
   coordinator hands out non-overlapping id-base leases (and one shared
   namespace label, --namespace, stamped into every served hello) to
@@ -134,7 +145,7 @@ fn usage() -> &'static str {
 type Flags = HashMap<String, Vec<String>>;
 
 /// Flags that take no value (their presence means `true`).
-const BOOLEAN_FLAGS: &[&str] = &["after"];
+const BOOLEAN_FLAGS: &[&str] = &["after", "no-pushdown"];
 
 /// Parses `--key value` style flags into a map; bare words are positional.
 fn parse_flags(args: &[String]) -> Result<(Vec<String>, Flags), String> {
@@ -526,7 +537,9 @@ fn resolve_dataset(
         }
         let mut dataset = RemoteShardDataset::new(remote_shards)
             .with_prefetch(prefetch)
-            .with_connect_options(parse_connect_options(flags)?);
+            .with_connect_options(parse_connect_options(flags)?)
+            .with_pushdown(!flags.contains_key("no-pushdown"))
+            .with_bound_update_every(get_parse(flags, "bound-update-every", 64u64)?.max(1));
         if !shard_files.is_empty() {
             // Local shards merged into the same relation: hashed group keys
             // (matching the serving side) and the caller-provided id base.
@@ -819,35 +832,39 @@ fn obtain_lease(coordinator: &str, rows: u64, label: &str) -> Result<ShardAssign
     ))
 }
 
-/// Serves one accepted connection: a full replay of the dataset, framed
-/// onto the socket, with the daemon's assignment (when it holds one)
-/// advertised in a v2 hello. Failures — a peer hanging up early because its
-/// scan gate closed, a poisoned socket — are logged and isolated to this
-/// connection.
-fn serve_connection(stream: TcpStream, dataset: &Dataset, assignment: Option<&ShardAssignment>) {
+/// Serves one accepted connection through the version-negotiating
+/// [`serve_stream`]: a pushdown client announcing the query gets the
+/// gate-bounded replay over a v3 session, anything else the full replay
+/// behind the daemon's v1/v2 hello (with the assignment advertised when the
+/// daemon holds one). Failures — a poisoned socket, a dataset open error —
+/// are logged and isolated to this connection; the outcome is logged as one
+/// summary line either way.
+fn serve_connection(
+    stream: TcpStream,
+    dataset: &Dataset,
+    assignment: Option<&ShardAssignment>,
+    options: &ServeOptions,
+) {
     let peer = stream
         .peer_addr()
         .map(|a| a.to_string())
         .unwrap_or_else(|_| "<unknown>".to_string());
-    // Accepted sockets can inherit the listener's non-blocking mode on some
-    // platforms; the wire writer needs a blocking stream.
-    if let Err(e) = stream.set_nonblocking(false) {
-        eprintln!("connection {peer}: {e}");
-        return;
-    }
-    let result = dataset.open().and_then(|mut handle| {
-        let hint = handle.remaining_hint();
-        let writer = match assignment {
-            Some(assignment) => {
-                WireWriter::with_assignment(BufWriter::new(stream), hint, assignment)?
-            }
-            None => WireWriter::new(BufWriter::new(stream), hint)?,
-        };
-        writer.serve(&mut handle)
-    });
+    let result = dataset
+        .open()
+        .and_then(|mut handle| serve_stream(stream, &mut handle, assignment, options));
     match result {
-        Ok(tuples) => eprintln!("served {tuples} tuples to {peer}"),
-        // A peer hanging up early (its scan gate closed) is normal
+        Ok(summary) => eprintln!(
+            "connection {peer}: scanned {} rows, shipped {} tuples, stopped: {} ({})",
+            summary.scanned,
+            summary.shipped,
+            summary.reason,
+            if summary.pushdown {
+                "scan-gate pushdown"
+            } else {
+                "full replay"
+            }
+        ),
+        // A failing replay (or a peer violating the protocol) is normal
         // operation for a streaming server, not a reason to exit.
         Err(e) => eprintln!("connection {peer}: {e}"),
     }
@@ -873,6 +890,10 @@ fn cmd_serve_shard(args: &[String]) -> Result<(), String> {
     if max_parallel == 0 {
         return Err("--max-parallel must be at least 1".to_string());
     }
+    let serve_options = ServeOptions {
+        pushdown_wait: Duration::from_millis(get_parse(&flags, "pushdown-wait-ms", 25u64)?.max(1)),
+        ..ServeOptions::default()
+    };
     let csv_options = parse_csv_options(&flags);
 
     // The daemon's assignment: a coordinator lease (id base + namespace),
@@ -986,7 +1007,12 @@ fn cmd_serve_shard(args: &[String]) -> Result<(), String> {
         let worker_assignment = assignment.clone();
         workers.push(std::thread::spawn(move || {
             let _permit = permit;
-            serve_connection(stream, &worker_dataset, worker_assignment.as_ref());
+            serve_connection(
+                stream,
+                &worker_dataset,
+                worker_assignment.as_ref(),
+                &serve_options,
+            );
         }));
         served_conns += 1;
         if max_conns > 0 && served_conns >= max_conns {
@@ -1129,6 +1155,25 @@ fn describe_scan(plan: &PlanDescription) -> String {
             } else {
                 format!(
                     "{rows} rows streamed from {remote} remote shards ({})",
+                    plan.dataset
+                )
+            }
+        }
+        ScanPath::RemotePushdown { remote, local } => {
+            let wire = plan
+                .observed_wire_tuples
+                .map(|n| format!(", {n} tuples observed over the wire"))
+                .unwrap_or_default();
+            if local > 0 {
+                format!(
+                    "{rows} rows merged from {remote} remote shard streams (scan-gate \
+                     pushdown{wire}) and {local} local shards ({})",
+                    plan.dataset
+                )
+            } else {
+                format!(
+                    "{rows} rows streamed from {remote} remote shards (scan-gate \
+                     pushdown{wire}) ({})",
                     plan.dataset
                 )
             }

@@ -25,7 +25,11 @@
 //!   `explain` (now with observed-vs-estimated scan-depth drift).
 //! * [`remote`] — [`RemoteShardDataset`]: shard streams decoded from other
 //!   processes over the wire protocol of `ttk-uncertain`, merged (optionally
-//!   prefetched, optionally together with local shards) into one scan.
+//!   prefetched, optionally together with local shards) into one scan; opens
+//!   connections in v3 query mode so servers ship only the Theorem-2 prefix.
+//! * [`serve`] — the server side of scan-gate pushdown: [`serve_stream`]
+//!   negotiates v1/v2/v3 per connection and replays a shard through the
+//!   conservative [`ShardScanGate`] bound.
 //! * [`query`] — the query model ([`TopkQuery`], [`QueryAnswer`]) and the
 //!   reusable [`Executor`] engine the session drives.
 //!
@@ -68,6 +72,7 @@ pub mod query;
 pub mod remote;
 pub mod scan;
 pub mod scan_depth;
+pub mod serve;
 pub mod session;
 pub mod state_expansion;
 pub mod typical;
@@ -81,10 +86,11 @@ pub use k_combo::{k_combo, k_combo_streamed};
 pub use query::{Algorithm, Executor, QueryAnswer, TopkQuery};
 pub use remote::{ConnectOptions, RemoteShardDataset};
 pub use scan::{RankScan, ScanPrefix};
-pub use scan_depth::{scan_depth, stopping_threshold, ScanGate};
+pub use scan_depth::{scan_depth, stopping_threshold, GateMeter, ScanGate, ShardScanGate};
+pub use serve::{serve_stream, ServeOptions, ServeSummary, StopReason};
 pub use session::{
     cost_descending_order, estimated_cost, estimated_scan_depth, BatchOptions, BatchOrdering,
-    Dataset, DatasetPlan, DatasetProvider, PlanDescription, QueryJob, ScanPath, Session,
+    Dataset, DatasetPlan, DatasetProvider, PlanDescription, QueryJob, ScanPath, ScanSpec, Session,
 };
 pub use state_expansion::{state_expansion, state_expansion_streamed, BaselineOutput, NaiveConfig};
 pub use typical::{typical_topk, typical_topk_brute_force, TypicalAnswer, TypicalSelection};

@@ -32,7 +32,7 @@ use crate::baselines::u_topk::{u_topk, UTopkAnswer, UTopkConfig};
 use crate::dp::{topk_from_prefix, MainConfig, MeStrategy};
 use crate::k_combo::k_combo_on_prefix;
 use crate::scan::RankScan;
-use crate::scan_depth::ScanGate;
+use crate::scan_depth::{GateMeter, ScanGate};
 use crate::state_expansion::{state_expansion_on_prefix, NaiveConfig};
 use crate::typical::{typical_topk, TypicalSelection};
 
@@ -235,6 +235,20 @@ impl Executor {
         query: &TopkQuery,
         full_table: Option<&UncertainTable>,
     ) -> Result<QueryAnswer> {
+        self.run_source_metered(source, query, full_table, None)
+    }
+
+    /// [`Executor::run_source`] with an optional [`GateMeter`] attached to
+    /// the Theorem-2 gate for the duration of the scan, so a concurrent
+    /// observer (the remote pushdown plumbing) can watch the accumulated
+    /// probability mass tighten as tuples are admitted.
+    pub(crate) fn run_source_metered(
+        &mut self,
+        source: &mut dyn TupleSource,
+        query: &TopkQuery,
+        full_table: Option<&UncertainTable>,
+        meter: Option<GateMeter>,
+    ) -> Result<QueryAnswer> {
         if query.typical_count == 0 {
             return Err(Error::InvalidParameter(
                 "the number of typical answers c must be at least 1".into(),
@@ -248,6 +262,7 @@ impl Executor {
             Algorithm::Exhaustive => self.gate.reset_open(),
             _ => self.gate.reset(query.k, query.p_tau)?,
         }
+        self.gate.set_meter(meter);
         let prefix = self.scan.collect_prefix(source, &mut self.gate)?;
         let (distribution, scan_depth) = match query.algorithm {
             Algorithm::Main | Algorithm::MainPerEnding => {

@@ -43,13 +43,18 @@
 
 use std::io::BufReader;
 use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::Arc;
 use std::time::Duration;
 
+use ttk_uncertain::wire::{self, PushdownQuery, WIRE_VERSION_V3};
 use ttk_uncertain::{
-    Error, PrefetchPolicy, Result, ScanHandle, ShardAssignment, TupleSource, WireReader,
+    Error, PrefetchPolicy, Result, ScanHandle, ShardAssignment, SourceTuple, TupleSource,
+    WireReader, WireScanStats,
 };
 
-use crate::session::{Dataset, DatasetPlan, DatasetProvider, ScanPath};
+use crate::scan_depth::GateMeter;
+use crate::serve::pushdown_query;
+use crate::session::{Dataset, DatasetPlan, DatasetProvider, ScanPath, ScanSpec};
 
 /// Dial behaviour of a [`RemoteShardDataset`]: how long to wait, how often
 /// to retry, and how fast to back off.
@@ -115,6 +120,8 @@ pub struct RemoteShardDataset {
     local_count: usize,
     prefetch: PrefetchPolicy,
     connect: ConnectOptions,
+    pushdown: bool,
+    bound_update_every: u64,
 }
 
 impl std::fmt::Debug for RemoteShardDataset {
@@ -124,6 +131,8 @@ impl std::fmt::Debug for RemoteShardDataset {
             .field("local_shards", &self.local_count)
             .field("prefetch", &self.prefetch)
             .field("connect", &self.connect)
+            .field("pushdown", &self.pushdown)
+            .field("bound_update_every", &self.bound_update_every)
             .finish()
     }
 }
@@ -138,7 +147,29 @@ impl RemoteShardDataset {
             local_count: 0,
             prefetch: PrefetchPolicy::Off,
             connect: ConnectOptions::default(),
+            pushdown: true,
+            bound_update_every: 64,
         }
+    }
+
+    /// Enables or disables scan-gate pushdown (on by default): when enabled,
+    /// every connection opened through a [`Session`](crate::Session)
+    /// announces the query's Theorem-2 parameters up front, so v3 servers
+    /// ship only their conservative prefix instead of the whole shard. v1/v2
+    /// servers ignore the announcement and stream the full replay — results
+    /// are bit-identical either way.
+    pub fn with_pushdown(mut self, pushdown: bool) -> Self {
+        self.pushdown = pushdown;
+        self
+    }
+
+    /// Sets how often (in tuples pulled off each connection) the client
+    /// re-sends the merge-side gate's accumulated probability mass to v3
+    /// servers, letting their shard gates stop even earlier. Clamped to at
+    /// least 1; default 64.
+    pub fn with_bound_update_every(mut self, every: u64) -> Self {
+        self.bound_update_every = every.max(1);
+        self
     }
 
     /// Sets the dial behaviour (timeouts, retries, backoff) applied to every
@@ -181,9 +212,19 @@ impl RemoteShardDataset {
     }
 }
 
-/// One dial attempt: resolve, connect under the timeout, and decode the
-/// hello eagerly so handshake failures stay retryable.
-fn try_dial(addr: &str, options: &ConnectOptions) -> Result<WireReader<BufReader<TcpStream>>> {
+/// One dial attempt: resolve, connect under the timeout, optionally announce
+/// the query (pushdown mode — the client speaks first, see
+/// [`ttk_uncertain::wire`]), and decode the hello eagerly so handshake
+/// failures stay retryable. In pushdown mode the connection's write half is
+/// returned alongside the reader **iff** the server answered with a v3
+/// hello; v1/v2 servers never read from the socket, so the write half is
+/// dropped and the stale query frame rots harmlessly in their receive
+/// buffer.
+fn try_dial_query(
+    addr: &str,
+    options: &ConnectOptions,
+    query: Option<&PushdownQuery>,
+) -> Result<(WireReader<BufReader<TcpStream>>, Option<TcpStream>)> {
     let sock_addrs: Vec<_> = addr
         .to_socket_addrs()
         .map_err(|e| Error::Source(format!("resolving {addr}: {e}")))?
@@ -207,14 +248,44 @@ fn try_dial(addr: &str, options: &ConnectOptions) -> Result<WireReader<BufReader
     stream
         .set_read_timeout(options.read_timeout)
         .map_err(|e| Error::Source(format!("arming read timeout on {addr}: {e}")))?;
+    let mut write_half = match query {
+        Some(query) => {
+            let mut write_half = stream
+                .try_clone()
+                .map_err(|e| Error::Source(format!("cloning the socket to {addr}: {e}")))?;
+            // Announce before reading the hello: the server's protocol
+            // decision is "did the client speak first?". The announcement is
+            // best-effort — a pre-v3 server that served its replay and
+            // closed before our frame landed answers it with a reset, which
+            // surfaces here as a write error while the hello and tuples stay
+            // readable in our receive queue. Downgrade to the legacy replay
+            // and let the hello read decide whether the connection is alive.
+            match wire::write_query(&mut write_half, query) {
+                Ok(()) => Some(write_half),
+                Err(_) => None,
+            }
+        }
+        None => None,
+    };
     let mut reader = WireReader::new(BufReader::new(stream));
-    reader.hello()?;
-    Ok(reader)
+    let hello = reader.hello()?;
+    if hello.version != WIRE_VERSION_V3 {
+        // A pre-v3 server: it will stream the full shard and never read our
+        // bound updates, so stop sending them.
+        write_half = None;
+    }
+    Ok((reader, write_half))
 }
 
 /// Dials with retries: transient dial failures and connections lost before
 /// the hello retry under exponential backoff until the budget is spent.
-fn dial(addr: &str, options: &ConnectOptions) -> Result<WireReader<BufReader<TcpStream>>> {
+/// Each attempt re-announces `query` on a fresh connection, so a retry never
+/// resumes a half-spoken handshake.
+fn dial(
+    addr: &str,
+    options: &ConnectOptions,
+    query: Option<&PushdownQuery>,
+) -> Result<(WireReader<BufReader<TcpStream>>, Option<TcpStream>)> {
     let mut delay = options.backoff;
     let mut first = None;
     let mut last = None;
@@ -223,8 +294,8 @@ fn dial(addr: &str, options: &ConnectOptions) -> Result<WireReader<BufReader<Tcp
             std::thread::sleep(delay);
             delay = delay.saturating_mul(2);
         }
-        match try_dial(addr, options) {
-            Ok(reader) => return Ok(reader),
+        match try_dial_query(addr, options, query) {
+            Ok(connection) => return Ok(connection),
             Err(e) => {
                 // Unwrap the Error::Source shell so the final message does
                 // not nest its prefix per attempt.
@@ -308,22 +379,109 @@ fn validate_assignments(
     Ok(())
 }
 
-impl DatasetProvider for RemoteShardDataset {
-    fn open(&self) -> Result<ScanHandle> {
+/// One remote connection as the merge sees it: decoded tuples counted into
+/// the shared [`WireScanStats`], with the merge-side gate's mass pushed back
+/// to the server every `cadence` pulls while the write half lives (v3
+/// pushdown connections only — plain and pre-v3 connections carry
+/// `write: None` and just count).
+struct BoundSource {
+    reader: WireReader<BufReader<TcpStream>>,
+    write: Option<TcpStream>,
+    meter: GateMeter,
+    last_sent: f64,
+    pulls: u64,
+    cadence: u64,
+    stats: Arc<WireScanStats>,
+    finished: bool,
+}
+
+impl TupleSource for BoundSource {
+    fn next_tuple(&mut self) -> Result<Option<SourceTuple>> {
+        self.pulls += 1;
+        if self.write.is_some() && self.pulls.is_multiple_of(self.cadence) {
+            let mass = self.meter.current();
+            // Only growth is worth a frame: the server keeps the max anyway.
+            if mass > self.last_sent {
+                match wire::write_bound(self.write.as_mut().expect("checked above"), mass) {
+                    Ok(()) => self.last_sent = mass,
+                    // A dead write half ends the updates, not the scan — the
+                    // server falls back to its local-only bound.
+                    Err(_) => self.write = None,
+                }
+            }
+        }
+        match self.reader.next_tuple() {
+            Ok(Some(tuple)) => {
+                self.stats.record_tuple();
+                Ok(Some(tuple))
+            }
+            Ok(None) => {
+                if !self.finished {
+                    self.finished = true;
+                    if let Some(stopped) = self.reader.stopped_at() {
+                        self.stats.record_stopped(stopped);
+                    }
+                }
+                Ok(None)
+            }
+            Err(error) => Err(error),
+        }
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        self.reader.size_hint()
+    }
+}
+
+impl RemoteShardDataset {
+    /// The shared open path: dials every address (announcing `query` when in
+    /// pushdown mode), cross-checks the hellos, and fuses the connections —
+    /// wrapped in counting/bounding [`BoundSource`]s — with any local shards.
+    fn open_connections(
+        &self,
+        query: Option<&PushdownQuery>,
+        meter: &GateMeter,
+    ) -> Result<ScanHandle> {
+        let stats = Arc::new(WireScanStats::default());
         let mut shards: Vec<Box<dyn TupleSource + Send>> =
             Vec::with_capacity(self.addrs.len() + self.local_count);
         let mut assignments = Vec::with_capacity(self.addrs.len());
         for addr in &self.addrs {
-            let mut reader = dial(addr, &self.connect)?;
+            let (mut reader, write) = dial(addr, &self.connect, query)?;
             let hello = reader.hello().expect("hello decoded during dial").clone();
+            stats.record_connection(write.is_some());
             assignments.push((addr.clone(), hello.assignment, hello.size_hint));
-            shards.push(Box::new(reader));
+            shards.push(Box::new(BoundSource {
+                reader,
+                write,
+                meter: meter.clone(),
+                last_sent: 0.0,
+                pulls: 0,
+                cadence: self.bound_update_every.max(1),
+                stats: Arc::clone(&stats),
+                finished: false,
+            }));
         }
         validate_assignments(&assignments)?;
         if let Some(open) = &self.local {
             shards.extend(open()?);
         }
-        Ok(ScanHandle::merged_prefetched(shards, self.prefetch))
+        Ok(ScanHandle::merged_prefetched(shards, self.prefetch).with_wire_stats(stats))
+    }
+}
+
+impl DatasetProvider for RemoteShardDataset {
+    fn open(&self) -> Result<ScanHandle> {
+        // The compatibility path (no query context): full replay, counted
+        // but never gated server-side.
+        self.open_connections(None, &GateMeter::new())
+    }
+
+    fn open_for(&self, spec: &ScanSpec) -> Result<ScanHandle> {
+        let query = self
+            .pushdown
+            .then(|| pushdown_query(spec.k, spec.p_tau, spec.full_stream));
+        self.open_connections(query.as_ref(), &spec.meter)
     }
 
     fn plan(&self) -> DatasetPlan {
@@ -336,6 +494,21 @@ impl DatasetProvider for RemoteShardDataset {
             // never connects, so they are unknown here.
             rows: None,
         }
+    }
+
+    fn plan_for(&self, full_stream: bool) -> DatasetPlan {
+        let path = if self.pushdown && !full_stream {
+            ScanPath::RemotePushdown {
+                remote: self.addrs.len(),
+                local: self.local_count,
+            }
+        } else {
+            ScanPath::Remote {
+                remote: self.addrs.len(),
+                local: self.local_count,
+            }
+        };
+        DatasetPlan { path, rows: None }
     }
 }
 
@@ -401,9 +574,11 @@ mod tests {
 
         let dataset = RemoteShardDataset::new(serve_once(shards)).into_dataset();
         let plan = session.explain(&dataset, &query);
+        // The plan optimistically assumes pushdown; the v1 test servers
+        // decline it at open time, which changes nothing about the results.
         assert_eq!(
             plan.path,
-            ScanPath::Remote {
+            ScanPath::RemotePushdown {
                 remote: 3,
                 local: 0
             }
@@ -435,7 +610,7 @@ mod tests {
             .into_dataset();
         assert_eq!(
             session.explain(&dataset, &query).path,
-            ScanPath::Remote {
+            ScanPath::RemotePushdown {
                 remote: 1,
                 local: 1
             }

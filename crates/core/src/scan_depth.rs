@@ -61,6 +61,32 @@ pub struct ScanGate {
     stop_after_tie_group: bool,
     closed: bool,
     admitted: usize,
+    meter: Option<GateMeter>,
+}
+
+/// A shared, lock-free view of a [`ScanGate`]'s accumulated mass: the gate
+/// publishes after every admitted tuple, and any number of clones — one per
+/// remote connection, possibly on prefetch producer threads — read the
+/// latest value to push bound updates to shard servers.
+#[derive(Debug, Clone, Default)]
+pub struct GateMeter(std::sync::Arc<std::sync::atomic::AtomicU64>);
+
+impl GateMeter {
+    /// A meter reading `0.0` until a gate publishes into it.
+    pub fn new() -> Self {
+        GateMeter::default()
+    }
+
+    /// Publishes the gate's accumulated mass.
+    pub fn publish(&self, mass: f64) {
+        self.0
+            .store(mass.to_bits(), std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// The most recently published accumulated mass.
+    pub fn current(&self) -> f64 {
+        f64::from_bits(self.0.load(std::sync::atomic::Ordering::Relaxed))
+    }
 }
 
 impl ScanGate {
@@ -93,7 +119,19 @@ impl ScanGate {
             stop_after_tie_group: false,
             closed: false,
             admitted: 0,
+            meter: None,
         }
+    }
+
+    /// Attaches (or, with `None`, detaches) the meter the gate publishes its
+    /// accumulated mass into after every admitted tuple. Resetting the gate
+    /// detaches any meter, so a long-lived executor never publishes one
+    /// query's mass into another query's meter.
+    pub fn set_meter(&mut self, meter: Option<GateMeter>) {
+        if let Some(meter) = &meter {
+            meter.publish(self.total_mass);
+        }
+        self.meter = meter;
     }
 
     /// Re-arms the gate for a fresh scan with the given parameters, keeping
@@ -129,6 +167,7 @@ impl ScanGate {
         self.stop_after_tie_group = false;
         self.closed = false;
         self.admitted = 0;
+        self.meter = None;
     }
 
     /// Decides whether the next rank-ordered tuple is part of the Theorem-2
@@ -163,6 +202,9 @@ impl ScanGate {
         }
         self.last_score = Some(score);
         self.admitted += 1;
+        if let Some(meter) = &self.meter {
+            meter.publish(self.total_mass);
+        }
         true
     }
 
@@ -179,6 +221,129 @@ impl ScanGate {
     /// The accumulated membership mass of the admitted tuples.
     pub fn accumulated_mass(&self) -> f64 {
         self.total_mass
+    }
+}
+
+/// The **server-side** conservative stopping bound for scan-gate pushdown:
+/// a shard server that sees only its own rank-ordered shard decides when no
+/// later local tuple can possibly be inside the merge-side Theorem-2 prefix,
+/// and stops shipping.
+///
+/// Two triggers feed the decision, both checked per offered tuple:
+///
+/// * **local mass** — the shard's own accumulated μ (total mass minus the
+///   tuple's own ME-group share) already reaches the global threshold. Since
+///   the global rank-ordered prefix above any tuple is a superset of the
+///   local one, global μ ≥ local μ, so the merge-side gate's condition holds
+///   wherever the local one does;
+/// * **remote mass** — the client's latest bound update carries the
+///   merge-side gate's accumulated mass `M` ([`GateMeter`]); the merge-side
+///   μ of any not-yet-shipped tuple is at least `M − 1` (an ME group holds
+///   at most total mass 1), so `M − 1 ≥ threshold` proves the condition for
+///   everything still unshipped.
+///
+/// On either trigger the gate stays **deliberately one tie group behind**
+/// the client gate: it admits the triggering tuple *and the remainder of its
+/// local score group*, closing only at the next score change. This is what
+/// makes the bound conservative at group boundaries — the merge-side gate
+/// may trigger mid-group at a score level that spans shards, in which case
+/// the whole global tie group (including this shard's share of it) is still
+/// needed. Every unshipped tuple then sits strictly below the score level at
+/// which the client gate provably closes, so the pushdown stream contains
+/// the full Theorem-2 prefix and the merged result is bit-identical to a
+/// full replay.
+#[derive(Debug, Clone)]
+pub struct ShardScanGate {
+    threshold: f64,
+    total_mass: f64,
+    group_mass: HashMap<u64, f64>,
+    last_score: Option<f64>,
+    finish_tie_group: bool,
+    closed: bool,
+    admitted: usize,
+    remote_mass: f64,
+}
+
+impl ShardScanGate {
+    /// A gate enforcing the conservative per-shard bound for query size `k`
+    /// and probability threshold `p_tau` (the same global threshold the
+    /// merge-side [`ScanGate`] uses).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] when `k == 0` or `p_tau` is not
+    /// in `(0, 1)`.
+    pub fn new(k: usize, p_tau: f64) -> Result<Self> {
+        if k == 0 {
+            return Err(Error::InvalidParameter("k must be at least 1".into()));
+        }
+        if !(p_tau > 0.0 && p_tau < 1.0) {
+            return Err(Error::InvalidParameter(format!(
+                "probability threshold pτ must be in (0, 1), got {p_tau}"
+            )));
+        }
+        Ok(ShardScanGate {
+            threshold: stopping_threshold(k, p_tau),
+            total_mass: 0.0,
+            group_mass: HashMap::new(),
+            last_score: None,
+            finish_tie_group: false,
+            closed: false,
+            admitted: 0,
+            remote_mass: 0.0,
+        })
+    }
+
+    /// Folds in the latest client bound update (the merge-side gate's
+    /// accumulated mass). Stale or out-of-order updates are harmless: the
+    /// mass only ever grows, so the gate keeps the largest value seen.
+    pub fn update_remote_mass(&mut self, mass: f64) {
+        if mass > self.remote_mass {
+            self.remote_mass = mass;
+        }
+    }
+
+    /// Decides whether the next rank-ordered shard tuple can still be part
+    /// of the merge-side Theorem-2 prefix. Returns `false` once the gate has
+    /// closed; from then on every call returns `false`.
+    pub fn admit(&mut self, score: f64, prob: f64, group: GroupKey) -> bool {
+        if self.closed {
+            return false;
+        }
+        let starts_tie_group = self.last_score != Some(score);
+        if starts_tie_group && self.finish_tie_group {
+            self.closed = true;
+            return false;
+        }
+        if !self.finish_tie_group {
+            let own_mass = match group {
+                GroupKey::Shared(key) => self.group_mass.get(&key).copied().unwrap_or(0.0),
+                GroupKey::Independent => 0.0,
+            };
+            let local_mu = self.total_mass - own_mass;
+            if local_mu >= self.threshold || self.remote_mass - 1.0 >= self.threshold {
+                // Admit this tuple and the rest of its score group, then
+                // close at the next score change (see the type-level doc).
+                self.finish_tie_group = true;
+            }
+        }
+        self.total_mass += prob;
+        if let GroupKey::Shared(key) = group {
+            *self.group_mass.entry(key).or_insert(0.0) += prob;
+        }
+        self.last_score = Some(score);
+        self.admitted += 1;
+        true
+    }
+
+    /// True once the gate has rejected a tuple.
+    pub fn is_closed(&self) -> bool {
+        self.closed
+    }
+
+    /// Number of tuples admitted so far.
+    pub fn admitted(&self) -> usize {
+        self.admitted
     }
 }
 
@@ -392,6 +557,81 @@ mod tests {
         assert!(!gate.is_closed());
         assert_eq!(gate.admitted(), 500);
         assert!((gate.accumulated_mass() - 500.0).abs() < 1e-9);
+    }
+
+    /// Runs a [`ShardScanGate`] over a whole table (as if it were one shard)
+    /// with no remote updates and returns the admitted count — the
+    /// deterministic local conservative bound the pushdown tests assert
+    /// against.
+    fn shard_bound(table: &UncertainTable, k: usize, p_tau: f64) -> usize {
+        let mut gate = ShardScanGate::new(k, p_tau).unwrap();
+        for pos in 0..table.len() {
+            let tuple = table.tuple(pos);
+            let group = if table.group_members(pos).len() > 1 {
+                GroupKey::Shared(table.group_index(pos) as u64)
+            } else {
+                GroupKey::Independent
+            };
+            if !gate.admit(tuple.score(), tuple.prob(), group) {
+                break;
+            }
+        }
+        gate.admitted()
+    }
+
+    #[test]
+    fn shard_gate_ships_a_superset_of_the_client_prefix() {
+        let t = uniform_table(2000, 0.5);
+        for k in [1usize, 5, 20] {
+            for p_tau in [0.05, 1e-3] {
+                let depth = scan_depth(&t, k, p_tau).unwrap();
+                let bound = shard_bound(&t, k, p_tau);
+                // Conservative, but bounded: at most one extra tie group
+                // (here all scores are distinct, so at most one tuple).
+                assert!(bound >= depth, "k={k} pτ={p_tau}: {bound} < {depth}");
+                assert!(bound <= depth + 1, "k={k} pτ={p_tau}: {bound} vs {depth}");
+                assert!(bound < t.len());
+            }
+        }
+        assert!(ShardScanGate::new(0, 0.5).is_err());
+        assert!(ShardScanGate::new(3, 1.0).is_err());
+    }
+
+    #[test]
+    fn remote_mass_closes_the_shard_gate_after_the_current_tie_group() {
+        // Low-probability local tuples never trigger locally, but a client
+        // bound update above threshold + 1 stops the replay at the end of
+        // the score group it lands in.
+        let mut gate = ShardScanGate::new(2, 0.01).unwrap();
+        assert!(gate.admit(10.0, 0.01, GroupKey::Independent));
+        assert!(gate.admit(9.0, 0.01, GroupKey::Independent));
+        gate.update_remote_mass(stopping_threshold(2, 0.01) + 1.5);
+        // Trigger lands mid-stream: the 8.0 group is finished, 7.0 is not.
+        assert!(gate.admit(8.0, 0.01, GroupKey::Independent));
+        assert!(gate.admit(8.0, 0.01, GroupKey::Independent));
+        assert!(!gate.admit(7.0, 0.01, GroupKey::Independent));
+        assert!(gate.is_closed());
+        assert_eq!(gate.admitted(), 4);
+        // A stale (smaller) update never reopens anything.
+        gate.update_remote_mass(0.5);
+        assert!(!gate.admit(6.0, 0.01, GroupKey::Independent));
+    }
+
+    #[test]
+    fn gate_meter_tracks_the_accumulated_mass() {
+        let meter = GateMeter::new();
+        assert_eq!(meter.current(), 0.0);
+        let mut gate = ScanGate::new(3, 0.01).unwrap();
+        gate.set_meter(Some(meter.clone()));
+        assert!(gate.admit(5.0, 0.25, GroupKey::Independent));
+        assert!(gate.admit(4.0, 0.5, GroupKey::Independent));
+        assert!((meter.current() - 0.75).abs() < 1e-12);
+        assert!((meter.current() - gate.accumulated_mass()).abs() < 1e-12);
+        // Resetting the gate detaches the meter: the old reading survives,
+        // but the next query's masses are not published into it.
+        gate.reset(2, 0.5).unwrap();
+        assert!(gate.admit(9.0, 1.0, GroupKey::Independent));
+        assert!((meter.current() - 0.75).abs() < 1e-12);
     }
 
     #[test]

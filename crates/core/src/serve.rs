@@ -1,0 +1,329 @@
+//! The server side of scan-gate pushdown: one accepted `serve-shard`
+//! connection, negotiated and driven end to end.
+//!
+//! [`serve_stream`] owns the protocol decision the wire layer documents: a
+//! v3 pushdown client speaks first (a query frame right after connecting),
+//! so the server peeks the socket under a short grace window. Data waiting
+//! → read the query, answer with a v3 hello and stream only the
+//! [`ShardScanGate`]-bounded prefix, draining client bound updates
+//! mid-replay and closing with a stopped-at trailer. Silence → the peer is
+//! a v1/v2 client; serve the full replay exactly as previous releases did.
+//!
+//! The function is transport-specific (`TcpStream`) because the negotiation
+//! is: it needs `peek`, read timeouts, and an independently readable clone
+//! of the write half. Everything protocol-level (frames, gates) lives in
+//! `ttk_uncertain::wire` and [`crate::scan_depth`].
+
+use std::io::{BufWriter, Read};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use ttk_uncertain::wire::{self, ControlFrame, ControlParser, PushdownQuery, StoppedAt};
+use ttk_uncertain::{Error, Result, ShardAssignment, TupleSource, WireWriter};
+
+use crate::scan_depth::ShardScanGate;
+
+/// How a [`serve_stream`] replay ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The shard source was drained to its end.
+    Exhausted,
+    /// The server-side [`ShardScanGate`] proved no later tuple can be in the
+    /// merge-side Theorem-2 prefix.
+    Gate,
+    /// The client hung up (or its socket died) before the replay finished.
+    ClientGone,
+}
+
+impl std::fmt::Display for StopReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            StopReason::Exhausted => "exhausted",
+            StopReason::Gate => "gate",
+            StopReason::ClientGone => "client-gone",
+        })
+    }
+}
+
+/// What one connection's replay amounted to — the per-connection summary
+/// the `serve-shard` daemon logs, and what the pushdown tests assert on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Rows pulled from the shard source.
+    pub scanned: u64,
+    /// Tuples framed onto the wire.
+    pub shipped: u64,
+    /// Why the replay stopped.
+    pub reason: StopReason,
+    /// Whether the connection negotiated v3 pushdown.
+    pub pushdown: bool,
+}
+
+/// Knobs for [`serve_stream`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServeOptions {
+    /// How long to wait for a client query frame before falling back to the
+    /// full v1/v2 replay.
+    pub pushdown_wait: Duration,
+    /// Drain client bound updates every this many shipped tuples.
+    pub drain_every: u64,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            pushdown_wait: Duration::from_millis(25),
+            drain_every: 64,
+        }
+    }
+}
+
+/// Serves one accepted shard connection: negotiates the protocol version as
+/// described in the module doc, replays `source` (fully, or up to the
+/// conservative per-shard Theorem-2 bound), and reports what happened.
+///
+/// A vanished client is a normal outcome ([`StopReason::ClientGone`]), not
+/// an error; errors are reserved for a failing `source` (forwarded to the
+/// peer as an error frame first) and for protocol violations.
+///
+/// # Errors
+///
+/// [`Error::Source`] on a source failure, a malformed query frame, or local
+/// socket configuration failures.
+pub fn serve_stream(
+    stream: TcpStream,
+    source: &mut dyn TupleSource,
+    assignment: Option<&ShardAssignment>,
+    options: &ServeOptions,
+) -> Result<ServeSummary> {
+    stream.set_nonblocking(false).map_err(|e| io_config(&e))?;
+    stream
+        .set_read_timeout(Some(options.pushdown_wait.max(Duration::from_millis(1))))
+        .map_err(|e| io_config(&e))?;
+    let mut peek = [0u8; 1];
+    match stream.peek(&mut peek) {
+        // The client connected and hung up before saying anything.
+        Ok(0) => Ok(ServeSummary {
+            scanned: 0,
+            shipped: 0,
+            reason: StopReason::ClientGone,
+            pushdown: false,
+        }),
+        Ok(_) => serve_pushdown(stream, source, assignment, options),
+        Err(e) if would_block(&e) => serve_legacy(stream, source, assignment),
+        Err(_) => Ok(ServeSummary {
+            scanned: 0,
+            shipped: 0,
+            reason: StopReason::ClientGone,
+            pushdown: false,
+        }),
+    }
+}
+
+fn io_config(e: &std::io::Error) -> Error {
+    Error::Source(format!("serve-stream socket configuration: {e}"))
+}
+
+fn would_block(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// The pre-v3 serving path: full replay behind the v1/v2 hello, bit-exactly
+/// what previous releases sent. A peer write failure means the client went
+/// away, which is a summary, not an error.
+fn serve_legacy(
+    stream: TcpStream,
+    source: &mut dyn TupleSource,
+    assignment: Option<&ShardAssignment>,
+) -> Result<ServeSummary> {
+    stream.set_read_timeout(None).map_err(|e| io_config(&e))?;
+    let hint = source.size_hint();
+    let buffered = BufWriter::new(stream);
+    let writer = match assignment {
+        Some(assignment) => WireWriter::with_assignment(buffered, hint, assignment),
+        None => WireWriter::new(buffered, hint),
+    };
+    let mut writer = match writer {
+        Ok(writer) => writer,
+        Err(_) => {
+            return Ok(ServeSummary {
+                scanned: 0,
+                shipped: 0,
+                reason: StopReason::ClientGone,
+                pushdown: false,
+            })
+        }
+    };
+    let mut shipped = 0u64;
+    loop {
+        match source.next_tuple() {
+            Ok(Some(tuple)) => {
+                if writer.write_tuple(&tuple).is_err() {
+                    return Ok(ServeSummary {
+                        scanned: shipped + 1,
+                        shipped,
+                        reason: StopReason::ClientGone,
+                        pushdown: false,
+                    });
+                }
+                shipped += 1;
+            }
+            Ok(None) => {
+                let reason = match writer.finish() {
+                    Ok(()) => StopReason::Exhausted,
+                    Err(_) => StopReason::ClientGone,
+                };
+                return Ok(ServeSummary {
+                    scanned: shipped,
+                    shipped,
+                    reason,
+                    pushdown: false,
+                });
+            }
+            Err(error) => {
+                let _ = writer.fail(&error.to_string());
+                return Err(error);
+            }
+        }
+    }
+}
+
+/// The v3 query-mode path: read the query frame, answer with the v3 hello,
+/// replay through a [`ShardScanGate`] while draining bound updates off the
+/// client half of the socket, and close with the stopped-at trailer.
+fn serve_pushdown(
+    stream: TcpStream,
+    source: &mut dyn TupleSource,
+    assignment: Option<&ShardAssignment>,
+    options: &ServeOptions,
+) -> Result<ServeSummary> {
+    // The query frame is already (at least partially) in the receive buffer;
+    // keep the grace-window timeout for the remainder rather than blocking
+    // forever on a half-written frame from a dying client.
+    let query = wire::read_query(&mut (&stream))?;
+    let mut gate = match query.k {
+        0 => None,
+        k => Some(ShardScanGate::new(k as usize, query.p_tau)?),
+    };
+
+    // Bound updates are drained with tiny timed reads mid-replay.
+    stream
+        .set_read_timeout(Some(Duration::from_millis(1)))
+        .map_err(|e| io_config(&e))?;
+    let read_half = stream.try_clone().map_err(|e| io_config(&e))?;
+    let writer = WireWriter::v3(BufWriter::new(stream), source.size_hint(), assignment);
+    let mut writer = match writer {
+        Ok(writer) => writer,
+        Err(_) => {
+            return Ok(ServeSummary {
+                scanned: 0,
+                shipped: 0,
+                reason: StopReason::ClientGone,
+                pushdown: true,
+            })
+        }
+    };
+
+    let mut parser = ControlParser::new();
+    let mut updates_dead = false;
+    let mut scanned = 0u64;
+    let mut shipped = 0u64;
+    let reason = loop {
+        let tuple = match source.next_tuple() {
+            Ok(Some(tuple)) => tuple,
+            Ok(None) => break StopReason::Exhausted,
+            Err(error) => {
+                let _ = writer.fail(&error.to_string());
+                return Err(error);
+            }
+        };
+        scanned += 1;
+        if let Some(gate) = &mut gate {
+            if !gate.admit(tuple.tuple.score(), tuple.tuple.prob(), tuple.group) {
+                break StopReason::Gate;
+            }
+        }
+        if writer.write_tuple(&tuple).is_err() {
+            break StopReason::ClientGone;
+        }
+        shipped += 1;
+        if !updates_dead && shipped.is_multiple_of(options.drain_every) {
+            match drain_bounds(&read_half, &mut parser, gate.as_mut()) {
+                Ok(false) => {}
+                Ok(true) => break StopReason::ClientGone,
+                Err(_) => updates_dead = true,
+            }
+        }
+    };
+
+    if reason != StopReason::ClientGone {
+        let trailer = StoppedAt {
+            scanned,
+            shipped,
+            gate_limited: reason == StopReason::Gate,
+        };
+        if writer.write_stopped(&trailer).is_err() || writer.finish().is_err() {
+            return Ok(ServeSummary {
+                scanned,
+                shipped,
+                reason: StopReason::ClientGone,
+                pushdown: true,
+            });
+        }
+    }
+    Ok(ServeSummary {
+        scanned,
+        shipped,
+        reason,
+        pushdown: true,
+    })
+}
+
+/// Reads whatever control bytes are waiting (bounded by the 1 ms read
+/// timeout), feeds complete bound frames into the gate, and reports whether
+/// the client closed its half of the socket.
+fn drain_bounds(
+    read_half: &TcpStream,
+    parser: &mut ControlParser,
+    mut gate: Option<&mut ShardScanGate>,
+) -> Result<bool> {
+    let mut buf = [0u8; 256];
+    loop {
+        match (&mut (&*read_half)).read(&mut buf) {
+            Ok(0) => return Ok(true),
+            Ok(n) => {
+                parser.extend(&buf[..n]);
+                if n < buf.len() {
+                    break;
+                }
+            }
+            Err(e) if would_block(&e) => break,
+            Err(e) => return Err(Error::Source(format!("draining bound updates: {e}"))),
+        }
+    }
+    while let Some(frame) = parser.next_frame()? {
+        match frame {
+            ControlFrame::Bound(mass) => {
+                if let Some(gate) = gate.as_deref_mut() {
+                    gate.update_remote_mass(mass);
+                }
+            }
+        }
+    }
+    Ok(false)
+}
+
+/// The [`PushdownQuery`] a client announces for a given query shape:
+/// `k == 0` (stream everything) when the consumer needs the full stream
+/// (U-Topk witnesses, exhaustive enumeration), the real Theorem-2
+/// parameters otherwise.
+pub fn pushdown_query(k: usize, p_tau: f64, full_stream: bool) -> PushdownQuery {
+    if full_stream {
+        PushdownQuery { k: 0, p_tau: 0.0 }
+    } else {
+        PushdownQuery { k: k as u64, p_tau }
+    }
+}

@@ -49,6 +49,7 @@ use std::sync::{Arc, Mutex};
 use ttk_uncertain::{Error, Result, ScanHandle, TupleSource, UncertainTable};
 
 use crate::query::{resolve_threads, Algorithm, Executor, QueryAnswer, TopkQuery};
+use crate::scan_depth::GateMeter;
 
 /// How a dataset will be scanned, as chosen by [`Dataset::plan`] /
 /// [`Session::explain`].
@@ -78,6 +79,17 @@ pub enum ScanPath {
     /// optionally merged with local shard streams — one scan spanning
     /// machines.
     Remote {
+        /// Number of remote shard connections.
+        remote: usize,
+        /// Number of local shard streams merged alongside them.
+        local: usize,
+    },
+    /// Remote shard streams opened in v3 query mode: each server evaluates
+    /// the conservative per-shard Theorem-2 bound and ships only the gated
+    /// prefix, with the merge-side gate pushing bound updates back. Servers
+    /// that only speak v1/v2 silently fall back to full replay on their
+    /// connection.
+    RemotePushdown {
         /// Number of remote shard connections.
         remote: usize,
         /// Number of local shard streams merged alongside them.
@@ -126,6 +138,17 @@ impl std::fmt::Display for ScanPath {
                 }
                 Ok(())
             }
+            ScanPath::RemotePushdown { remote, local } => {
+                write!(
+                    f,
+                    "k-way merge over {remote} remote shard streams \
+                     (scan-gate pushdown: servers ship the Theorem-2 prefix)"
+                )?;
+                if *local > 0 {
+                    write!(f, " and {local} local shard streams")?;
+                }
+                Ok(())
+            }
             ScanPath::Prefetched { shards, buffer } => write!(
                 f,
                 "k-way merge over {shards} shard streams, each prefetched \
@@ -142,6 +165,37 @@ pub struct DatasetPlan {
     pub path: ScanPath,
     /// Number of tuples the scan could read, when known without opening.
     pub rows: Option<usize>,
+}
+
+/// What the executor is about to do with a scan — handed to
+/// [`DatasetProvider::open_for`] so query-aware providers (remote shard
+/// datasets) can negotiate pushdown with their servers. Providers that
+/// ignore it behave exactly as before.
+#[derive(Debug, Clone)]
+pub struct ScanSpec {
+    /// The query size k.
+    pub k: usize,
+    /// The probability threshold pτ driving the Theorem-2 bound.
+    pub p_tau: f64,
+    /// True when the consumer will drain the full stream regardless of
+    /// Theorem 2 (U-Topk comparison, exhaustive algorithm) — pushdown must
+    /// not truncate anything.
+    pub full_stream: bool,
+    /// The merge-side gate's accumulated-mass meter; network-backed
+    /// providers read it to push bound updates to their servers.
+    pub meter: GateMeter,
+}
+
+impl ScanSpec {
+    /// The spec [`Session::execute`] derives from a query.
+    pub fn for_query(query: &TopkQuery) -> Self {
+        ScanSpec {
+            k: query.k,
+            p_tau: query.p_tau,
+            full_stream: query.compute_u_topk || query.algorithm == Algorithm::Exhaustive,
+            meter: GateMeter::new(),
+        }
+    }
 }
 
 /// A pluggable physical input: anything that can open into a
@@ -168,6 +222,27 @@ pub trait DatasetProvider: Send + Sync {
 
     /// Describes how [`DatasetProvider::open`] will scan, without opening.
     fn plan(&self) -> DatasetPlan;
+
+    /// Opens a fresh scan *for a specific query*. Query-aware providers
+    /// (remote shard datasets negotiating scan-gate pushdown) override this;
+    /// the default ignores the spec and delegates to
+    /// [`DatasetProvider::open`].
+    ///
+    /// # Errors
+    ///
+    /// As [`DatasetProvider::open`].
+    fn open_for(&self, spec: &ScanSpec) -> Result<ScanHandle> {
+        let _ = spec;
+        self.open()
+    }
+
+    /// Describes how [`DatasetProvider::open_for`] will scan a query that
+    /// does (or does not) drain the full stream. The default delegates to
+    /// [`DatasetProvider::plan`].
+    fn plan_for(&self, full_stream: bool) -> DatasetPlan {
+        let _ = full_stream;
+        self.plan()
+    }
 }
 
 /// Adapts a replayable closure (generators are seeded and deterministic) to
@@ -433,6 +508,20 @@ impl Dataset {
         }
     }
 
+    /// Opens a fresh scan for a specific query: provider datasets receive
+    /// the [`ScanSpec`] (remote datasets negotiate pushdown from it), every
+    /// other kind behaves exactly like [`Dataset::open`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Dataset::open`].
+    pub fn open_for(&self, spec: &ScanSpec) -> Result<ScanHandle> {
+        match &self.inner {
+            Inner::Provider(provider) => provider.open_for(spec),
+            _ => self.open(),
+        }
+    }
+
     fn consumed_error(&self) -> Error {
         Error::InvalidParameter(format!(
             "dataset `{}` ({}) was already consumed; single-pass datasets serve exactly \
@@ -466,6 +555,15 @@ impl Dataset {
                     .and_then(|shards| shards.iter().map(|s| s.size_hint()).sum()),
             },
             Inner::Provider(provider) => provider.plan(),
+        }
+    }
+
+    /// Describes how [`Dataset::open_for`] will scan a query that does (or
+    /// does not) drain the full stream, without opening.
+    pub fn plan_for(&self, full_stream: bool) -> DatasetPlan {
+        match &self.inner {
+            Inner::Provider(provider) => provider.plan_for(full_stream),
+            _ => self.plan(),
         }
     }
 
@@ -508,6 +606,11 @@ pub struct PlanDescription {
     /// True when the query drains the full stream regardless of Theorem 2
     /// (U-Topk comparison requested, or the exhaustive algorithm).
     pub drains_stream: bool,
+    /// Tuples that actually crossed the network the last time the session
+    /// executed this `(dataset, k, pτ)` combination — the shipped-vs-scanned
+    /// evidence for scan-gate pushdown. `None` for local datasets or before
+    /// the first execution.
+    pub observed_wire_tuples: Option<u64>,
 }
 
 impl PlanDescription {
@@ -546,6 +649,9 @@ impl std::fmt::Display for PlanDescription {
                 )?,
                 None => writeln!(f, "  observed scan depth: {observed} tuples")?,
             }
+        }
+        if let Some(wire) = self.observed_wire_tuples {
+            writeln!(f, "  observed wire tuples: {wire}")?;
         }
         writeln!(f, "  estimated cost: {:.0}", self.estimated_cost)?;
         write!(
@@ -713,6 +819,10 @@ pub struct Session {
     /// process-unique id (not its label, which need not be unique), so two
     /// same-kind datasets never read each other's observations.
     observations: std::collections::HashMap<(u64, usize, u64), usize>,
+    /// Observed wire-tuple counts (same key), recorded when a dataset's scan
+    /// crossed the network — reported back as
+    /// [`PlanDescription::observed_wire_tuples`].
+    wire_observations: std::collections::HashMap<(u64, usize, u64), u64>,
 }
 
 /// The observation key of one `(dataset, query)` combination.
@@ -742,9 +852,12 @@ impl Session {
     /// Propagates parameter validation errors, dataset open failures
     /// (consumed single-pass datasets, provider I/O) and stream errors.
     pub fn execute(&mut self, dataset: &Dataset, query: &TopkQuery) -> Result<QueryAnswer> {
-        let answer = execute_on(&mut self.executor, dataset, query)?;
-        self.observations
-            .insert(observation_key(dataset, query), answer.scan_depth);
+        let (answer, wire) = execute_on(&mut self.executor, dataset, query)?;
+        let key = observation_key(dataset, query);
+        self.observations.insert(key, answer.scan_depth);
+        if let Some(wire) = wire {
+            self.wire_observations.insert(key, wire);
+        }
         Ok(answer)
     }
 
@@ -753,11 +866,13 @@ impl Session {
     /// scheduler's depth/cost estimates — without opening or scanning
     /// anything.
     pub fn explain(&self, dataset: &Dataset, query: &TopkQuery) -> PlanDescription {
-        let plan = dataset.plan();
+        let drains_stream = query.compute_u_topk || query.algorithm == Algorithm::Exhaustive;
+        let plan = dataset.plan_for(drains_stream);
         let estimated_depth = match query.algorithm {
             Algorithm::Exhaustive => plan.rows,
             _ => Some(estimated_scan_depth(query.k, query.p_tau, plan.rows)),
         };
+        let key = observation_key(dataset, query);
         PlanDescription {
             dataset: dataset.label().to_string(),
             path: plan.path,
@@ -766,12 +881,10 @@ impl Session {
             k: query.k,
             p_tau: query.p_tau,
             estimated_depth,
-            observed_depth: self
-                .observations
-                .get(&observation_key(dataset, query))
-                .copied(),
+            observed_depth: self.observations.get(&key).copied(),
             estimated_cost: estimated_cost(query, plan.rows),
-            drains_stream: query.compute_u_topk || query.algorithm == Algorithm::Exhaustive,
+            drains_stream,
+            observed_wire_tuples: self.wire_observations.get(&key).copied(),
         }
     }
 
@@ -825,6 +938,7 @@ impl Session {
         let Session {
             executor,
             observations,
+            wire_observations,
         } = self;
         let mut sink = sink;
         fan_out(
@@ -834,13 +948,15 @@ impl Session {
             capacity,
             executor,
             |index, executor| execute_on(executor, jobs[index].dataset, &jobs[index].query),
-            |index, answer| {
-                if let Ok(answer) = &answer {
-                    observations.insert(
-                        observation_key(jobs[index].dataset, &jobs[index].query),
-                        answer.scan_depth,
-                    );
-                }
+            |index, answer: Result<(QueryAnswer, Option<u64>)>| {
+                let answer = answer.map(|(answer, wire)| {
+                    let key = observation_key(jobs[index].dataset, &jobs[index].query);
+                    observations.insert(key, answer.scan_depth);
+                    if let Some(wire) = wire {
+                        wire_observations.insert(key, wire);
+                    }
+                    answer
+                });
                 sink(index, answer);
             },
         );
@@ -848,17 +964,23 @@ impl Session {
 }
 
 /// Runs one query against a dataset with the given executor — the shared
-/// kernel of [`Session::execute`] and the batch workers.
+/// kernel of [`Session::execute`] and the batch workers. Alongside the
+/// answer it reports how many tuples crossed the network (`None` for local
+/// datasets), so callers can record the pushdown evidence.
 fn execute_on(
     executor: &mut Executor,
     dataset: &Dataset,
     query: &TopkQuery,
-) -> Result<QueryAnswer> {
+) -> Result<(QueryAnswer, Option<u64>)> {
     match dataset.as_table() {
-        Some(table) => executor.execute(table, query),
+        Some(table) => executor.execute(table, query).map(|answer| (answer, None)),
         None => {
-            let mut handle = dataset.open()?;
-            executor.run_source(&mut handle, query, None)
+            let spec = ScanSpec::for_query(query);
+            let mut handle = dataset.open_for(&spec)?;
+            let stats = handle.wire_stats().cloned();
+            let answer =
+                executor.run_source_metered(&mut handle, query, None, Some(spec.meter.clone()))?;
+            Ok((answer, stats.map(|stats| stats.tuples_received())))
         }
     }
 }
@@ -873,7 +995,7 @@ fn execute_on(
 /// warm scratch buffers. Used by [`Session::execute_batch`] and by the
 /// deprecated legacy batch wrappers, so all batch paths share one scheduling
 /// and delivery implementation.
-pub(crate) fn fan_out<W, S>(
+pub(crate) fn fan_out<A, W, S>(
     total: usize,
     threads: usize,
     order: Vec<usize>,
@@ -882,8 +1004,9 @@ pub(crate) fn fan_out<W, S>(
     work: W,
     mut sink: S,
 ) where
-    W: Fn(usize, &mut Executor) -> Result<QueryAnswer> + Sync,
-    S: FnMut(usize, Result<QueryAnswer>),
+    A: Send,
+    W: Fn(usize, &mut Executor) -> Result<A> + Sync,
+    S: FnMut(usize, Result<A>),
 {
     let threads = resolve_threads(threads, total);
     if threads <= 1 || total <= 1 {
@@ -895,7 +1018,7 @@ pub(crate) fn fan_out<W, S>(
     }
 
     let cursor = AtomicUsize::new(0);
-    let (sender, receiver) = sync_channel::<(usize, Result<QueryAnswer>)>(capacity.max(1));
+    let (sender, receiver) = sync_channel::<(usize, Result<A>)>(capacity.max(1));
     std::thread::scope(|scope| {
         for _ in 0..threads {
             let sender = sender.clone();

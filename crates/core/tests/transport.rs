@@ -8,11 +8,13 @@
 //! `Error::Source` on the consumer, never hang or truncate.
 
 use std::net::TcpListener;
+use std::sync::mpsc;
 use std::time::Duration;
 
 use proptest::prelude::*;
 use ttk_core::{
-    ConnectOptions, Dataset, QueryAnswer, RemoteShardDataset, ScanPath, Session, TopkQuery,
+    serve_stream, ConnectOptions, Dataset, QueryAnswer, RemoteShardDataset, ScanPath, ServeOptions,
+    ServeSummary, Session, ShardScanGate, TopkQuery,
 };
 use ttk_uncertain::{
     Error, LeaseRegistry, PrefetchPolicy, Result, ScanHandle, ShardAssignment, SourceTuple,
@@ -134,9 +136,11 @@ proptest! {
             remote = remote.with_prefetch(PrefetchPolicy::per_shard(prefetch * 8));
         }
         let dataset = remote.into_dataset();
+        // The session plans for pushdown; the v1 servers of this test
+        // decline it at the handshake, changing nothing about the results.
         prop_assert_eq!(
             session.explain(&dataset, &query).path,
-            ScanPath::Remote { remote: shards, local: 0 }
+            ScanPath::RemotePushdown { remote: shards, local: 0 }
         );
         let served = session.execute(&dataset, &query);
         assert_identical(single, served)?;
@@ -498,6 +502,229 @@ fn conflicting_hello_assignments_are_rejected() {
         matches!(&err, Error::Source(m) if m.contains("overlapping")),
         "{err:?}"
     );
+}
+
+/// Serves each shard through [`serve_stream`] — the v3 negotiating server of
+/// the `serve-shard` daemon — one connection each, reporting every
+/// connection's [`ServeSummary`] through the returned channel. A short
+/// pushdown grace keeps the non-announcing (legacy-client) cases fast.
+fn serve_shards_v3(
+    shards: Vec<Vec<SourceTuple>>,
+) -> (Vec<String>, mpsc::Receiver<(usize, ServeSummary)>) {
+    let (sender, receiver) = mpsc::channel();
+    let addrs = shards
+        .into_iter()
+        .enumerate()
+        .map(|(index, shard)| {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let addr = listener.local_addr().unwrap().to_string();
+            let sender = sender.clone();
+            std::thread::spawn(move || {
+                let (stream, _) = listener.accept().unwrap();
+                let options = ServeOptions {
+                    pushdown_wait: Duration::from_millis(5),
+                    drain_every: 4,
+                };
+                // A vanished client is a summary, not an error; a source
+                // error cannot happen with a VecSource.
+                let summary =
+                    serve_stream(stream, &mut VecSource::new(shard), None, &options).unwrap();
+                let _ = sender.send((index, summary));
+            });
+            addr
+        })
+        .collect();
+    (addrs, receiver)
+}
+
+/// The deterministic local-only pushdown bound of one shard: what a
+/// [`ShardScanGate`] admits over the shard with **no** remote updates. With
+/// updates the server can only stop earlier, so tuples shipped by any v3
+/// connection must stay ≤ this.
+fn shard_pushdown_bound(shard: &[SourceTuple], k: usize, p_tau: f64) -> u64 {
+    let mut gate = ShardScanGate::new(k, p_tau).unwrap();
+    let mut admitted = 0u64;
+    for t in shard {
+        if !gate.admit(t.tuple.score(), t.tuple.prob(), t.group) {
+            break;
+        }
+        admitted += 1;
+    }
+    admitted
+}
+
+/// Runs `query` against pushdown servers over `shards` and checks the
+/// tentpole properties: bit-identity with `single`, and — for gated queries
+/// — every server's shipped count within its conservative local bound.
+fn check_pushdown_case(
+    session: &mut Session,
+    single: Result<QueryAnswer>,
+    shards: Vec<Vec<SourceTuple>>,
+    query: &TopkQuery,
+) -> std::result::Result<(), TestCaseError> {
+    let shard_count = shards.len();
+    let bounds: Vec<u64> = shards
+        .iter()
+        .map(|shard| shard_pushdown_bound(shard, query.k, query.p_tau))
+        .collect();
+    let rows: Vec<u64> = shards.iter().map(|s| s.len() as u64).collect();
+    let (addrs, summaries) = serve_shards_v3(shards);
+    let dataset = RemoteShardDataset::new(addrs).into_dataset();
+    let pushed = session.execute(&dataset, query);
+    let succeeded = pushed.is_ok();
+    assert_identical(single, pushed)?;
+    if !succeeded {
+        return Ok(());
+    }
+    let drains = query.compute_u_topk;
+    let mut shipped_total = 0u64;
+    for _ in 0..shard_count {
+        let (index, summary) = summaries
+            .recv_timeout(Duration::from_secs(10))
+            .expect("every server reports a summary");
+        prop_assert!(
+            summary.pushdown,
+            "v3 negotiation must engage: {:?}",
+            summary
+        );
+        shipped_total += summary.shipped;
+        prop_assert!(summary.scanned <= rows[index]);
+        if !drains {
+            // The acceptance bound of the PR: tuples over the wire never
+            // exceed the conservative per-shard Theorem-2 bound (remote
+            // updates and early client hangups can only lower it).
+            prop_assert!(
+                summary.shipped <= bounds[index],
+                "shard {} shipped {} over its bound {}",
+                index,
+                summary.shipped,
+                bounds[index]
+            );
+        }
+    }
+    if drains {
+        // Full-stream mode (`k = 0` announced): every row crosses the wire.
+        prop_assert_eq!(shipped_total, rows.iter().sum::<u64>());
+    }
+    // The session records the client-side observed wire traffic for
+    // `explain`; the client never decodes more than the servers shipped.
+    let plan = session.explain(&dataset, query);
+    let observed = plan.observed_wire_tuples.expect("remote scan was observed");
+    prop_assert!(
+        observed <= shipped_total,
+        "{} > {}",
+        observed,
+        shipped_total
+    );
+    if drains {
+        prop_assert_eq!(observed, shipped_total);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// **Tentpole property.** For any table, partitioning and k, the
+    /// pushdown scan is bit-identical to the single-source scan (including
+    /// U-Topk witness ids), and every v3 server ships at most its
+    /// conservative local Theorem-2 bound — never the whole shard by
+    /// default.
+    #[test]
+    fn pushdown_scans_are_bit_identical_and_bounded(
+        table in table_with(8),
+        shards in 1usize..4,
+        k in 1usize..4,
+        u_topk in any::<bool>(),
+    ) {
+        let query = TopkQuery::new(k).with_p_tau(1e-3).with_u_topk(u_topk);
+        let mut session = Session::new();
+        let single = session.execute(&Dataset::stream(table.to_source()), &query);
+        check_pushdown_case(&mut session, single, partition(&table, shards), &query)?;
+    }
+
+    /// The adversarial all-ties case — one tie group spanning every shard —
+    /// through the pushdown path: the per-shard gates must finish their tie
+    /// groups before closing, keeping the merge bit-identical.
+    #[test]
+    fn all_ties_pushdown_stays_bit_identical(
+        table in table_with(1),
+        shards in 2usize..5,
+        k in 1usize..4,
+        u_topk in any::<bool>(),
+    ) {
+        let query = TopkQuery::new(k).with_p_tau(1e-3).with_u_topk(u_topk);
+        let mut session = Session::new();
+        let single = session.execute(&Dataset::stream(table.to_source()), &query);
+        check_pushdown_case(&mut session, single, partition(&table, shards), &query)?;
+    }
+
+    /// Back-compat, client side: a legacy (non-announcing) client against v3
+    /// servers gets the full replay with bit-identical results — pushdown
+    /// silently disabled.
+    #[test]
+    fn v3_servers_serve_legacy_clients_unchanged(
+        table in table_with(6),
+        shards in 1usize..4,
+        k in 1usize..4,
+    ) {
+        let query = TopkQuery::new(k).with_p_tau(1e-3).with_u_topk(false);
+        let mut session = Session::new();
+        let single = session.execute(&Dataset::stream(table.to_source()), &query);
+        let (addrs, summaries) = serve_shards_v3(partition(&table, shards));
+        let dataset = RemoteShardDataset::new(addrs)
+            .with_pushdown(false)
+            .into_dataset();
+        prop_assert_eq!(
+            session.explain(&dataset, &query).path,
+            ScanPath::Remote { remote: shards, local: 0 }
+        );
+        let served = session.execute(&dataset, &query);
+        let succeeded = served.is_ok();
+        assert_identical(single, served)?;
+        if succeeded {
+            for _ in 0..shards {
+                let (_, summary) = summaries
+                    .recv_timeout(Duration::from_secs(10))
+                    .expect("every server reports a summary");
+                prop_assert!(!summary.pushdown, "grace window must expire: {:?}", summary);
+            }
+        }
+    }
+
+    /// Back-compat, server side: a v3 (announcing) client against pre-v3
+    /// servers — both the v1 and the v2-hello flavour — gets the full replay
+    /// with bit-identical results.
+    #[test]
+    fn v3_clients_degrade_against_pre_v3_servers(
+        table in table_with(6),
+        shards in 1usize..4,
+        k in 1usize..4,
+        v2_hello in any::<bool>(),
+    ) {
+        let query = TopkQuery::new(k).with_p_tau(1e-3).with_u_topk(false);
+        let mut session = Session::new();
+        let single = session.execute(&Dataset::stream(table.to_source()), &query);
+        let parts = partition(&table, shards);
+        let addrs = if v2_hello {
+            let mut registry = LeaseRegistry::new("compat-matrix");
+            serve_shards_with_assignments(
+                parts
+                    .into_iter()
+                    .map(|part| {
+                        let lease = registry.register(part.len() as u64);
+                        // Re-keep the shard's own ids: only the hello labels
+                        // change, the rows do not.
+                        (part, lease)
+                    })
+                    .collect(),
+            )
+        } else {
+            serve_shards(parts)
+        };
+        let served = session.execute(&RemoteShardDataset::new(addrs).into_dataset(), &query);
+        assert_identical(single, served)?;
+    }
 }
 
 /// A source that yields `good` tuples, then fails.

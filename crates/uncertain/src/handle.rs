@@ -14,10 +14,13 @@
 //! providers (the CSV datasets of `ttk-pdb`, generator closures) construct
 //! one with [`ScanHandle::single`] or [`ScanHandle::merged`].
 
+use std::sync::Arc;
+
 use crate::error::Result;
 use crate::feed::{PrefetchPolicy, TupleFeed};
 use crate::merge::MergeSource;
 use crate::source::{SourceTuple, TupleSource};
+use crate::wire::WireScanStats;
 
 /// An opened, rank-ordered scan over one logical relation: either a single
 /// stream or a k-way merge over shard streams, behind one uniform
@@ -30,6 +33,7 @@ pub struct ScanHandle {
     source: Box<dyn TupleSource + Send>,
     shards: usize,
     prefetch: Option<usize>,
+    wire_stats: Option<Arc<WireScanStats>>,
 }
 
 impl ScanHandle {
@@ -39,6 +43,7 @@ impl ScanHandle {
             source: Box::new(source),
             shards: 1,
             prefetch: None,
+            wire_stats: None,
         }
     }
 
@@ -48,6 +53,7 @@ impl ScanHandle {
             source,
             shards: 1,
             prefetch: None,
+            wire_stats: None,
         }
     }
 
@@ -75,6 +81,7 @@ impl ScanHandle {
                 source: Box::new(MergeSource::new(shards)),
                 shards: shard_count,
                 prefetch: None,
+                wire_stats: None,
             },
             Some(buffer) => {
                 let feeds: Vec<TupleFeed> = shards
@@ -85,9 +92,25 @@ impl ScanHandle {
                     source: Box::new(MergeSource::new(feeds)),
                     shards: shard_count,
                     prefetch: Some(buffer),
+                    wire_stats: None,
                 }
             }
         }
+    }
+
+    /// Attaches the shared wire-scan counters the handle's network-backed
+    /// streams record into, so the planner can read them after the scan.
+    pub fn with_wire_stats(mut self, stats: Arc<WireScanStats>) -> Self {
+        self.wire_stats = Some(stats);
+        self
+    }
+
+    /// The wire-scan counters attached by [`with_wire_stats`]
+    /// (`None` for purely local scans).
+    ///
+    /// [`with_wire_stats`]: ScanHandle::with_wire_stats
+    pub fn wire_stats(&self) -> Option<&Arc<WireScanStats>> {
+        self.wire_stats.as_ref()
     }
 
     /// Number of physical shard streams feeding this handle (1 for a single

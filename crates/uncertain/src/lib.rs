@@ -90,5 +90,8 @@ pub use source::{
 pub use table::{UncertainTable, UncertainTableBuilder};
 pub use tuple::{TupleId, UncertainTuple};
 pub use vector::TopkVector;
-pub use wire::{Hello, LeaseRegistry, ShardAssignment, WireReader, WireWriter};
+pub use wire::{
+    Hello, LeaseRegistry, PushdownQuery, ShardAssignment, StoppedAt, WireReader, WireScanStats,
+    WireWriter,
+};
 pub use worlds::{exact_topk_score_distribution, world_count, PossibleWorld, PossibleWorlds};

@@ -16,9 +16,12 @@
 //! | `0` | end of stream | none |
 //! | `1` | tuple | id `u64`, score bits `u64`, prob bits `u64`, group flag `u8` (+ key `u64` when shared) |
 //! | `2` | producer error | UTF-8 message |
-//! | `3` | hello (first frame) | version `u8`, size hint `u64` (`u64::MAX` = unknown); v2 appends id base `u64`, namespace length `u16`, namespace bytes |
+//! | `3` | hello (first frame) | version `u8`, size hint `u64` (`u64::MAX` = unknown); v2 appends id base `u64`, namespace length `u16`, namespace bytes; v3 appends an assignment-present flag `u8` and, when set, the v2 assignment fields |
 //! | `5` | coordinator register | version `u8`, row count `u64`, label length `u16`, label bytes |
 //! | `6` | coordinator lease | version `u8`, id base `u64`, namespace length `u16`, namespace bytes |
+//! | `7` | query announcement (client→server, v3) | k `u64` (`0` = stream everything), pτ bits `u64` |
+//! | `8` | bound update (client→server, v3) | accumulated merge-side mass bits `u64` |
+//! | `9` | stopped-at trailer (server→client, v3, precedes `end`) | rows scanned `u64`, tuples shipped `u64`, gate-limited flag `u8` |
 //!
 //! All integers are little-endian. A [`WireWriter`] emits the hello frame at
 //! construction and exactly one terminal frame (`end` or `error`); a
@@ -37,15 +40,31 @@
 //! partition one relation instead of trusting operator-passed `--id-base`
 //! flags.
 //!
-//! The stream stays strictly one-way (the server speaks, the client only
-//! reads — a client that wrote bytes a v1 server never drains would turn the
-//! server's close into a connection reset), so the hello version is chosen by
-//! the **server's configuration**: [`WireWriter::new`] emits the v1 layout
-//! every reader since protocol v1 decodes, and a server emits the extended
-//! v2 layout ([`WireWriter::with_assignment`]) only when it actually holds an
+//! Through v2 the stream is strictly one-way (the server speaks, the client
+//! only reads), so the hello version is chosen by the **server's
+//! configuration**: [`WireWriter::new`] emits the v1 layout every reader
+//! since protocol v1 decodes, and a server emits the extended v2 layout
+//! ([`WireWriter::with_assignment`]) only when it actually holds an
 //! assignment to advertise (a coordinator lease or an operator-pinned
 //! namespace). A v2 reader accepts both layouts; a v1 client keeps decoding
 //! any server that has no assignment to announce.
+//!
+//! **v3** adds *scan-gate pushdown*: a client that wants the server to stop
+//! at a conservative per-shard Theorem-2 bound speaks **first**, sending a
+//! query frame ([`write_query`]) right after connecting. A v3 server waits a
+//! short grace window for that frame; when it arrives the server answers
+//! with a v3 hello, streams only the gated prefix, reads periodic
+//! bound-update frames ([`write_bound`]) off the same socket to tighten its
+//! gate with the merge-side accumulated mass, and closes the stream with a
+//! stopped-at trailer ([`StoppedAt`]) before the end frame. When no query
+//! frame arrives inside the grace window the server serves the full v1/v2
+//! replay exactly as before — so old clients keep working against v3
+//! servers, and a v3 client whose query frame lands on an old server simply
+//! gets the v1/v2 hello back and silently disables pushdown. (The old
+//! server never drains the query frame, which turns its close into a
+//! connection reset — harmless, because the kernel delivers the queued
+//! in-order stream before surfacing the reset and the reader stops at the
+//! end frame.)
 //!
 //! The register/lease frames are the coordinator handshake: a shard server
 //! connects to the coordinator, frames its row count and a display label
@@ -58,8 +77,12 @@ use crate::error::{Error, Result};
 use crate::source::{GroupKey, SourceTuple, TupleSource};
 use crate::tuple::UncertainTuple;
 
-/// Highest protocol version this build speaks.
+/// The v2 protocol version byte: the hello layout carrying a
+/// [`ShardAssignment`], and the version the coordinator frames speak.
 pub const WIRE_VERSION: u8 = 2;
+
+/// The v3 protocol version byte: the query-mode (scan-gate pushdown) hello.
+pub const WIRE_VERSION_V3: u8 = 3;
 
 /// The original protocol version: a 10-byte hello, no assignment metadata.
 const WIRE_VERSION_V1: u8 = 1;
@@ -72,6 +95,9 @@ const FRAME_HELLO: u8 = 3;
 // Frame kind 4 is reserved (an abandoned client-hello design; never shipped).
 const FRAME_REGISTER: u8 = 5;
 const FRAME_LEASE: u8 = 6;
+const FRAME_QUERY: u8 = 7;
+const FRAME_BOUND: u8 = 8;
+const FRAME_STOPPED: u8 = 9;
 
 /// Largest frame body a reader will accept (an error message, at most; tuple
 /// frames are 34 bytes). Guards against garbage length prefixes allocating
@@ -103,11 +129,11 @@ pub struct ShardAssignment {
 /// Everything a decoded hello frame carried.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Hello {
-    /// Protocol version the server spoke (1 or 2).
+    /// Protocol version the server spoke (1, 2 or 3).
     pub version: u8,
     /// Tuple-count hint, when the server knew it.
     pub size_hint: Option<usize>,
-    /// The shard's id-base/namespace assignment (v2 hellos only).
+    /// The shard's id-base/namespace assignment (v2/v3 hellos only).
     pub assignment: Option<ShardAssignment>,
 }
 
@@ -246,6 +272,144 @@ pub fn read_lease(reader: &mut impl Read) -> Result<ShardAssignment> {
     })
 }
 
+/// The query announcement a v3 pushdown client sends before reading the
+/// hello: the top-k parameters the server needs to evaluate the per-shard
+/// Theorem-2 stopping bound during replay.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PushdownQuery {
+    /// Number of answers requested; `0` asks the server to stream everything
+    /// (a full-replay query that still wants the v3 trailer accounting).
+    pub k: u64,
+    /// The paper's pτ stopping parameter (ignored when `k == 0`).
+    pub p_tau: f64,
+}
+
+/// Frames a v3 query announcement and flushes. The pushdown client sends
+/// this immediately after connecting, **before** reading the hello.
+///
+/// # Errors
+///
+/// [`Error::Source`] on I/O failure.
+pub fn write_query(writer: &mut impl Write, query: &PushdownQuery) -> Result<()> {
+    let mut body = Vec::with_capacity(17);
+    body.push(FRAME_QUERY);
+    body.extend_from_slice(&query.k.to_le_bytes());
+    body.extend_from_slice(&query.p_tau.to_bits().to_le_bytes());
+    write_frame_to(writer, &body)?;
+    writer.flush().map_err(|e| io_err("flush", e))
+}
+
+/// Server-side decode of a [`write_query`] frame.
+///
+/// # Errors
+///
+/// [`Error::Source`] on I/O failure, a malformed frame, or (for `k > 0`) a
+/// pτ outside `(0, 1)`.
+pub fn read_query(reader: &mut impl Read) -> Result<PushdownQuery> {
+    let body = read_frame_from(reader)?;
+    if body.first() != Some(&FRAME_QUERY) || body.len() != 17 {
+        return Err(Error::Source("corrupt wire query frame".into()));
+    }
+    let k = u64::from_le_bytes(body[1..9].try_into().expect("8 bytes"));
+    let p_tau = f64::from_bits(u64::from_le_bytes(body[9..17].try_into().expect("8 bytes")));
+    if k > 0 && !(p_tau > 0.0 && p_tau < 1.0) {
+        return Err(Error::Source(format!(
+            "wire query frame carries p_tau {p_tau} outside (0, 1)"
+        )));
+    }
+    Ok(PushdownQuery { k, p_tau })
+}
+
+/// Frames a v3 bound update — the merge-side gate's accumulated probability
+/// mass — and flushes. The client pushes these periodically while pulling
+/// tuples; the server folds the latest mass into its conservative stopping
+/// bound.
+///
+/// # Errors
+///
+/// [`Error::Source`] on I/O failure.
+pub fn write_bound(writer: &mut impl Write, mass: f64) -> Result<()> {
+    let mut body = Vec::with_capacity(9);
+    body.push(FRAME_BOUND);
+    body.extend_from_slice(&mass.to_bits().to_le_bytes());
+    write_frame_to(writer, &body)?;
+    writer.flush().map_err(|e| io_err("flush", e))
+}
+
+/// The v3 stopped-at trailer: how the server's replay ended, sent just
+/// before the end frame so the client can account shipped-vs-scanned tuples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoppedAt {
+    /// Rows the server pulled from its shard source.
+    pub scanned: u64,
+    /// Tuples the server actually framed onto the wire.
+    pub shipped: u64,
+    /// `true` when the server's conservative scan gate stopped the replay;
+    /// `false` when the shard was exhausted.
+    pub gate_limited: bool,
+}
+
+/// A control frame a v3 server drains off the client half of the socket
+/// mid-replay.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ControlFrame {
+    /// A [`write_bound`] update carrying the merge-side accumulated mass.
+    Bound(f64),
+}
+
+/// Incremental decoder for client→server control frames: the server reads
+/// whatever bytes are available without blocking, feeds them in with
+/// [`extend`](ControlParser::extend), and pops complete frames with
+/// [`next_frame`](ControlParser::next_frame) — partial frames stay buffered
+/// across reads.
+#[derive(Debug, Default)]
+pub struct ControlParser {
+    buf: Vec<u8>,
+}
+
+impl ControlParser {
+    /// An empty parser.
+    pub fn new() -> Self {
+        ControlParser::default()
+    }
+
+    /// Appends raw bytes read off the socket.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pops the next complete control frame, or `None` when only a partial
+    /// frame (or nothing) is buffered.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Source`] on a malformed or unexpected frame.
+    pub fn next_frame(&mut self) -> Result<Option<ControlFrame>> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(self.buf[..4].try_into().expect("4 bytes")) as usize;
+        if len == 0 || len > MAX_FRAME_BODY {
+            return Err(Error::Source(format!(
+                "wire control frame of {len} bytes is outside the accepted range"
+            )));
+        }
+        if self.buf.len() < 4 + len {
+            return Ok(None);
+        }
+        let body: Vec<u8> = self.buf.drain(..4 + len).skip(4).collect();
+        match body[0] {
+            FRAME_BOUND if body.len() == 9 => Ok(Some(ControlFrame::Bound(f64::from_bits(
+                u64::from_le_bytes(body[1..9].try_into().expect("8 bytes")),
+            )))),
+            FRAME_BOUND => Err(Error::Source("corrupt wire bound frame".into())),
+            other => Err(Error::Source(format!(
+                "unexpected wire control frame kind {other}"
+            ))),
+        }
+    }
+}
+
 /// The coordinator's allocation state: hands out contiguous, non-overlapping
 /// tuple-id ranges (and one shared namespace label) to registering shard
 /// servers, replacing operator-passed `--id-base` arithmetic.
@@ -360,6 +524,54 @@ impl<W: Write> WireWriter<W> {
         Ok(this)
     }
 
+    /// Wraps `writer` and sends the **v3** (query-mode) hello frame:
+    /// `size_hint`, an assignment-present flag, and the assignment fields
+    /// when the server holds one. Serve this layout only to a client that
+    /// announced itself with a query frame — old clients never see it.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Source`] when the hello frame cannot be written or the
+    /// namespace label is over-long.
+    pub fn v3(
+        writer: W,
+        size_hint: Option<usize>,
+        assignment: Option<&ShardAssignment>,
+    ) -> Result<Self> {
+        let mut body = Vec::with_capacity(19 + assignment.map_or(0, |a| 10 + a.namespace.len()));
+        body.push(FRAME_HELLO);
+        body.push(WIRE_VERSION_V3);
+        let hint = size_hint.map(|n| n as u64).unwrap_or(u64::MAX);
+        body.extend_from_slice(&hint.to_le_bytes());
+        match assignment {
+            None => body.push(0),
+            Some(assignment) => {
+                body.push(1);
+                body.extend_from_slice(&assignment.id_base.to_le_bytes());
+                push_label(&mut body, &assignment.namespace)?;
+            }
+        }
+        let mut this = WireWriter { writer };
+        this.frame(&body)?;
+        Ok(this)
+    }
+
+    /// Sends the v3 stopped-at trailer. Call exactly once, just before
+    /// [`finish`](WireWriter::finish), and only on streams opened with the
+    /// v3 hello.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Source`] on I/O failure.
+    pub fn write_stopped(&mut self, stopped: &StoppedAt) -> Result<()> {
+        let mut body = Vec::with_capacity(18);
+        body.push(FRAME_STOPPED);
+        body.extend_from_slice(&stopped.scanned.to_le_bytes());
+        body.extend_from_slice(&stopped.shipped.to_le_bytes());
+        body.push(u8::from(stopped.gate_limited));
+        self.frame(&body)
+    }
+
     fn frame(&mut self, body: &[u8]) -> Result<()> {
         write_frame_to(&mut self.writer, body)
     }
@@ -452,6 +664,7 @@ pub struct WireReader<R: Read> {
     hello: Option<Hello>,
     done: bool,
     hint: Option<usize>,
+    stopped: Option<StoppedAt>,
 }
 
 impl<R: Read> WireReader<R> {
@@ -462,6 +675,7 @@ impl<R: Read> WireReader<R> {
             hello: None,
             done: false,
             hint: None,
+            stopped: None,
         }
     }
 
@@ -493,6 +707,22 @@ impl<R: Read> WireReader<R> {
                 ),
                 namespace: pop_label(&body, 18, "hello")?,
             }),
+            WIRE_VERSION_V3 => {
+                let corrupt = || Error::Source("corrupt v3 wire hello frame".into());
+                match body.get(10) {
+                    Some(0) if body.len() == 11 => None,
+                    Some(1) => Some(ShardAssignment {
+                        id_base: u64::from_le_bytes(
+                            body.get(11..19)
+                                .ok_or_else(corrupt)?
+                                .try_into()
+                                .expect("8 bytes"),
+                        ),
+                        namespace: pop_label(&body, 19, "hello")?,
+                    }),
+                    _ => return Err(corrupt()),
+                }
+            }
             other => {
                 return Err(Error::Source(format!(
                     "unsupported wire protocol version {other}"
@@ -533,6 +763,12 @@ impl<R: Read> WireReader<R> {
         self.hello.as_ref().and_then(|h| h.assignment.as_ref())
     }
 
+    /// The v3 stopped-at trailer, once the stream has ended (always `None`
+    /// on v1/v2 streams, which carry no trailer).
+    pub fn stopped_at(&self) -> Option<&StoppedAt> {
+        self.stopped.as_ref()
+    }
+
     fn decode_tuple(body: &[u8]) -> Result<SourceTuple> {
         let corrupt = || Error::Source("corrupt wire tuple frame".into());
         if body.len() != 26 && body.len() != 34 {
@@ -563,41 +799,55 @@ impl<R: Read> TupleSource for WireReader<R> {
         if self.hello.is_none() {
             self.hello()?;
         }
-        let body = match self.read_frame() {
-            Ok(body) => body,
-            Err(e) => {
-                self.done = true;
-                return Err(e);
-            }
-        };
-        match body[0] {
-            FRAME_TUPLE => match Self::decode_tuple(&body) {
-                Ok(tuple) => {
-                    if let Some(hint) = &mut self.hint {
-                        *hint = hint.saturating_sub(1);
-                    }
-                    Ok(Some(tuple))
-                }
+        loop {
+            let body = match self.read_frame() {
+                Ok(body) => body,
                 Err(e) => {
                     self.done = true;
-                    Err(e)
+                    return Err(e);
                 }
-            },
-            FRAME_END => {
-                self.done = true;
-                Ok(None)
-            }
-            FRAME_ERROR => {
-                self.done = true;
-                Err(Error::Source(format!(
-                    "remote source failed: {}",
-                    String::from_utf8_lossy(&body[1..])
-                )))
-            }
-            other => {
-                self.done = true;
-                Err(Error::Source(format!("unknown wire frame kind {other}")))
-            }
+            };
+            return match body[0] {
+                FRAME_TUPLE => match Self::decode_tuple(&body) {
+                    Ok(tuple) => {
+                        if let Some(hint) = &mut self.hint {
+                            *hint = hint.saturating_sub(1);
+                        }
+                        Ok(Some(tuple))
+                    }
+                    Err(e) => {
+                        self.done = true;
+                        Err(e)
+                    }
+                },
+                FRAME_END => {
+                    self.done = true;
+                    Ok(None)
+                }
+                FRAME_STOPPED => {
+                    if body.len() != 18 || body[17] > 1 {
+                        self.done = true;
+                        return Err(Error::Source("corrupt wire stopped-at frame".into()));
+                    }
+                    self.stopped = Some(StoppedAt {
+                        scanned: u64::from_le_bytes(body[1..9].try_into().expect("8 bytes")),
+                        shipped: u64::from_le_bytes(body[9..17].try_into().expect("8 bytes")),
+                        gate_limited: body[17] == 1,
+                    });
+                    continue; // the end frame follows the trailer
+                }
+                FRAME_ERROR => {
+                    self.done = true;
+                    Err(Error::Source(format!(
+                        "remote source failed: {}",
+                        String::from_utf8_lossy(&body[1..])
+                    )))
+                }
+                other => {
+                    self.done = true;
+                    Err(Error::Source(format!("unknown wire frame kind {other}")))
+                }
+            };
         }
     }
 
@@ -607,6 +857,75 @@ impl<R: Read> TupleSource for WireReader<R> {
         }
         // Unknown until the hello frame has been decoded.
         self.hint.filter(|_| self.hello.is_some())
+    }
+}
+
+/// Shared observability for one remote scan: every wire-backed connection
+/// feeding the scan records what actually crossed the network, so the
+/// planner can report shipped-vs-scanned tuples per query. All counters are
+/// atomic — prefetched connections record from their producer threads.
+#[derive(Debug, Default)]
+pub struct WireScanStats {
+    tuples: std::sync::atomic::AtomicU64,
+    pushdown_conns: std::sync::atomic::AtomicU64,
+    plain_conns: std::sync::atomic::AtomicU64,
+    server_scanned: std::sync::atomic::AtomicU64,
+    server_shipped: std::sync::atomic::AtomicU64,
+    trailers: std::sync::atomic::AtomicU64,
+}
+
+impl WireScanStats {
+    const ORDER: std::sync::atomic::Ordering = std::sync::atomic::Ordering::Relaxed;
+
+    /// Records one tuple received over the wire.
+    pub fn record_tuple(&self) {
+        self.tuples.fetch_add(1, Self::ORDER);
+    }
+
+    /// Records one opened connection, pushdown-negotiated or plain.
+    pub fn record_connection(&self, pushdown: bool) {
+        if pushdown {
+            self.pushdown_conns.fetch_add(1, Self::ORDER);
+        } else {
+            self.plain_conns.fetch_add(1, Self::ORDER);
+        }
+    }
+
+    /// Folds in a server's stopped-at trailer.
+    pub fn record_stopped(&self, stopped: &StoppedAt) {
+        self.server_scanned.fetch_add(stopped.scanned, Self::ORDER);
+        self.server_shipped.fetch_add(stopped.shipped, Self::ORDER);
+        self.trailers.fetch_add(1, Self::ORDER);
+    }
+
+    /// Tuples received over the wire so far.
+    pub fn tuples_received(&self) -> u64 {
+        self.tuples.load(Self::ORDER)
+    }
+
+    /// Connections that negotiated v3 pushdown.
+    pub fn pushdown_connections(&self) -> u64 {
+        self.pushdown_conns.load(Self::ORDER)
+    }
+
+    /// Connections served over the plain v1/v2 protocol.
+    pub fn plain_connections(&self) -> u64 {
+        self.plain_conns.load(Self::ORDER)
+    }
+
+    /// Total rows the servers reported scanning (summed trailers).
+    pub fn server_scanned(&self) -> u64 {
+        self.server_scanned.load(Self::ORDER)
+    }
+
+    /// Total tuples the servers reported shipping (summed trailers).
+    pub fn server_shipped(&self) -> u64 {
+        self.server_shipped.load(Self::ORDER)
+    }
+
+    /// Number of stopped-at trailers received.
+    pub fn trailers(&self) -> u64 {
+        self.trailers.load(Self::ORDER)
     }
 }
 
@@ -774,9 +1093,11 @@ mod tests {
         .unwrap()
         .finish()
         .unwrap();
-        // Bump the version byte past what this build speaks.
+        // Bump the version byte past what this build speaks. (Version 3 is
+        // spoken since the pushdown release — but with its own hello layout,
+        // so the first genuinely-unknown version is 4.)
         let mut future = buf.clone();
-        future[5] = WIRE_VERSION + 1;
+        future[5] = WIRE_VERSION_V3 + 1;
         let err = drain(&mut WireReader::new(future.as_slice())).unwrap_err();
         assert!(
             matches!(&err, Error::Source(m) if m.contains("version")),
@@ -834,5 +1155,108 @@ mod tests {
             "{err}"
         );
         assert!(read_lease(&mut buf.as_slice()).is_err(), "kind mismatch");
+    }
+
+    #[test]
+    fn v3_hello_round_trips_with_and_without_an_assignment() {
+        let all = tuples(8);
+        for assignment in [
+            None,
+            Some(ShardAssignment {
+                id_base: 64,
+                namespace: "coord-9".into(),
+            }),
+        ] {
+            let mut buf = Vec::new();
+            let mut writer =
+                WireWriter::v3(&mut buf, Some(all.len()), assignment.as_ref()).unwrap();
+            for t in &all {
+                writer.write_tuple(t).unwrap();
+            }
+            writer
+                .write_stopped(&StoppedAt {
+                    scanned: 12,
+                    shipped: 8,
+                    gate_limited: true,
+                })
+                .unwrap();
+            writer.finish().unwrap();
+            let mut reader = WireReader::new(buf.as_slice());
+            let hello = reader.hello().unwrap();
+            assert_eq!(hello.version, WIRE_VERSION_V3);
+            assert_eq!(hello.size_hint, Some(8));
+            assert_eq!(hello.assignment, assignment);
+            assert_eq!(reader.stopped_at(), None, "no trailer before the end");
+            assert_eq!(drain(&mut reader).unwrap(), all);
+            assert_eq!(
+                reader.stopped_at(),
+                Some(&StoppedAt {
+                    scanned: 12,
+                    shipped: 8,
+                    gate_limited: true,
+                })
+            );
+        }
+    }
+
+    #[test]
+    fn query_and_bound_frames_round_trip() {
+        let query = PushdownQuery { k: 5, p_tau: 1e-3 };
+        let mut buf = Vec::new();
+        write_query(&mut buf, &query).unwrap();
+        assert_eq!(read_query(&mut buf.as_slice()).unwrap(), query);
+
+        // k == 0 announces a full replay and skips the pτ range check.
+        let full = PushdownQuery { k: 0, p_tau: 0.0 };
+        let mut buf = Vec::new();
+        write_query(&mut buf, &full).unwrap();
+        assert_eq!(read_query(&mut buf.as_slice()).unwrap(), full);
+
+        // A gated query with pτ outside (0, 1) is rejected server-side.
+        let mut bad = Vec::new();
+        write_query(&mut bad, &PushdownQuery { k: 3, p_tau: 1.5 }).unwrap();
+        assert!(read_query(&mut bad.as_slice()).is_err());
+
+        // Bound updates decode through the incremental control parser, even
+        // when they arrive split across reads or back to back.
+        let mut wire = Vec::new();
+        write_bound(&mut wire, 2.5).unwrap();
+        write_bound(&mut wire, 3.75).unwrap();
+        let mut parser = ControlParser::new();
+        parser.extend(&wire[..7]); // a partial first frame
+        assert_eq!(parser.next_frame().unwrap(), None);
+        parser.extend(&wire[7..]);
+        assert_eq!(parser.next_frame().unwrap(), Some(ControlFrame::Bound(2.5)));
+        assert_eq!(
+            parser.next_frame().unwrap(),
+            Some(ControlFrame::Bound(3.75))
+        );
+        assert_eq!(parser.next_frame().unwrap(), None);
+
+        // Garbage in the control stream is an error, not a hang.
+        let mut parser = ControlParser::new();
+        parser.extend(&9u32.to_le_bytes());
+        parser.extend(&[FRAME_TUPLE; 9]);
+        assert!(parser.next_frame().is_err());
+    }
+
+    #[test]
+    fn scan_stats_accumulate_across_connections() {
+        let stats = WireScanStats::default();
+        stats.record_connection(true);
+        stats.record_connection(false);
+        stats.record_tuple();
+        stats.record_tuple();
+        stats.record_stopped(&StoppedAt {
+            scanned: 10,
+            shipped: 2,
+            gate_limited: true,
+        });
+        assert_eq!(stats.tuples_received(), 2);
+        assert_eq!(stats.pushdown_connections(), 1);
+        assert_eq!(stats.plain_connections(), 1);
+        assert_eq!(stats.server_scanned(), 10);
+        assert_eq!(stats.server_shipped(), 2);
+        assert_eq!(stats.trailers(), 1);
     }
 }

@@ -6,8 +6,12 @@
 //! same files — distribution, scan depth, typical answers and U-Topk ids.
 
 use std::net::TcpListener;
+use std::sync::mpsc;
+use std::time::Duration;
 
-use ttk_core::{RemoteShardDataset, Session, TopkQuery};
+use ttk_core::{
+    serve_stream, RemoteShardDataset, ServeOptions, ServeSummary, Session, ShardScanGate, TopkQuery,
+};
 use ttk_integration_tests::small_area;
 use ttk_pdb::{
     shard_sources_from_csv_with, table_to_csv, CsvDataset, CsvOptions, ShardImportOptions,
@@ -162,6 +166,133 @@ fn remote_shard_scan_is_bit_identical_to_the_local_shard_scan() {
     let b = session.execute(&local, &query).unwrap();
     assert_eq!(a.distribution, b.distribution);
     assert_eq!(a.scan_depth, b.scan_depth);
+}
+
+/// Opens one shard text exactly as the serving side does (hashed group
+/// keys, explicit id base).
+fn open_shard(text: &str, id_base: u64) -> impl TupleSource {
+    let expr = ttk_pdb::parse_expression("speed_limit / (length / delay)").unwrap();
+    shard_sources_from_csv_with(
+        &[text],
+        &CsvOptions::default(),
+        &expr,
+        &ShardImportOptions {
+            first_tuple_id: id_base,
+            hashed_group_keys: true,
+        },
+    )
+    .unwrap()
+    .pop()
+    .unwrap()
+}
+
+/// [`serve_as`], but through the version-negotiating [`serve_stream`] of the
+/// v3 daemon; every connection's [`ServeSummary`] is reported through the
+/// returned channel.
+fn serve_v3(text: String, id_base: u64, conns: usize) -> (String, mpsc::Receiver<ServeSummary>) {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let (sender, receiver) = mpsc::channel();
+    std::thread::spawn(move || {
+        for _ in 0..conns {
+            let (stream, _) = listener.accept().unwrap();
+            let mut source = open_shard(&text, id_base);
+            let options = ServeOptions {
+                pushdown_wait: Duration::from_millis(10),
+                drain_every: 8,
+            };
+            let summary = serve_stream(stream, &mut source, None, &options).unwrap();
+            let _ = sender.send(summary);
+        }
+    });
+    (addr, receiver)
+}
+
+/// The deterministic local-only bound of one served shard: what its
+/// [`ShardScanGate`] admits with no remote updates — remote updates and
+/// early client hangups can only lower the shipped count below this.
+fn shard_bound(text: &str, id_base: u64, k: usize, p_tau: f64) -> u64 {
+    let mut source = open_shard(text, id_base);
+    let mut gate = ShardScanGate::new(k, p_tau).unwrap();
+    let mut admitted = 0u64;
+    while let Some(t) = source.next_tuple().unwrap() {
+        if !gate.admit(t.tuple.score(), t.tuple.prob(), t.group) {
+            break;
+        }
+        admitted += 1;
+    }
+    admitted
+}
+
+/// **The tentpole property at the database level.** Shard CSVs served by v3
+/// pushdown daemons produce bit-identical answers to the local `--shard`
+/// scan, while each server ships at most its conservative per-shard
+/// Theorem-2 bound for gated queries — and the full shard (exactly) when the
+/// client needs the whole stream for U-Topk witnesses.
+#[test]
+fn pushdown_serving_is_bit_identical_and_ships_within_the_shard_bound() {
+    let shards = 3usize;
+    let texts = shard_texts(shards);
+    let expr = || ttk_pdb::parse_expression("speed_limit / (length / delay)").unwrap();
+    let gated = TopkQuery::new(3).with_p_tau(1e-3).with_u_topk(false);
+    let draining = TopkQuery::new(3).with_p_tau(1e-3);
+
+    let local =
+        CsvDataset::from_shard_texts("local-shards", texts.clone(), CsvOptions::default(), expr())
+            .with_import(ShardImportOptions {
+                first_tuple_id: 0,
+                hashed_group_keys: true,
+            })
+            .into_dataset();
+
+    // Two connections per server: the gated query, then the draining one.
+    let mut id_base = 0u64;
+    let mut servers = Vec::new();
+    for text in &texts {
+        let rows = text.lines().filter(|l| !l.trim().is_empty()).count() as u64 - 1;
+        let bound = shard_bound(text, id_base, gated.k, gated.p_tau);
+        let (addr, summaries) = serve_v3(text.clone(), id_base, 2);
+        servers.push((addr, summaries, bound, rows));
+        id_base += rows;
+    }
+    let addrs: Vec<String> = servers.iter().map(|(addr, ..)| addr.clone()).collect();
+    let remote = RemoteShardDataset::new(addrs).into_dataset();
+    let mut session = Session::new();
+
+    let reference = session.execute(&local, &gated).unwrap();
+    let answer = session.execute(&remote, &gated).unwrap();
+    assert_eq!(answer.distribution, reference.distribution);
+    assert_eq!(answer.scan_depth, reference.scan_depth);
+    assert_eq!(answer.typical.scores(), reference.typical.scores());
+    for (_, summaries, bound, rows) in &servers {
+        let summary = summaries
+            .recv_timeout(Duration::from_secs(10))
+            .expect("gated-connection summary");
+        assert!(summary.pushdown, "{summary:?}");
+        assert!(summary.scanned <= *rows, "{summary:?}");
+        assert!(
+            summary.shipped <= *bound,
+            "shipped {} over the shard bound {bound}",
+            summary.shipped
+        );
+    }
+
+    let reference = session.execute(&local, &draining).unwrap();
+    let answer = session.execute(&remote, &draining).unwrap();
+    assert_eq!(answer.distribution, reference.distribution);
+    assert_eq!(
+        answer.u_topk.as_ref().unwrap().vector.ids(),
+        reference.u_topk.as_ref().unwrap().vector.ids()
+    );
+    for (_, summaries, _, rows) in &servers {
+        let summary = summaries
+            .recv_timeout(Duration::from_secs(10))
+            .expect("draining-connection summary");
+        // U-Topk needs the whole stream: the client announces `k = 0` and
+        // every row crosses the wire, still on a v3 session.
+        assert!(summary.pushdown, "{summary:?}");
+        assert_eq!(summary.shipped, *rows, "{summary:?}");
+    }
 }
 
 /// Shards imported under coordinator leases ([`ShardImportOptions::from`])
