@@ -1,0 +1,256 @@
+//! CI bench-regression gate: diff a fresh `bench_smoke` run against the
+//! committed baseline, per sample name, and fail the build on slowdowns.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p ttk-bench --bin bench_compare -- \
+//!     BENCH_baseline.json BENCH_ci.json [--threshold 1.25] [--noise-floor-ns 200000]
+//! ```
+//!
+//! A sample regresses when its `mean_ns` ratio (current / baseline) exceeds
+//! `--threshold` **and** the absolute slowdown exceeds `--noise-floor-ns` —
+//! the floor keeps microsecond-scale samples from failing the build on
+//! scheduler jitter. A sample present in the baseline but missing from the
+//! current run also fails (a silently dropped sample is a gate with a hole
+//! in it); a new sample with no baseline is reported but passes. Exit code 1
+//! on any failure, 0 otherwise.
+//!
+//! The parser reads exactly the hand-rolled JSON `bench_smoke` emits (the
+//! workspace builds offline, without serde): every `"name"` string is
+//! followed by that sample's `"mean_ns"` integer.
+
+use std::process::ExitCode;
+
+/// Default maximum allowed `current / baseline` mean ratio.
+const DEFAULT_THRESHOLD: f64 = 1.25;
+/// Default absolute slowdown (ns) a sample must exceed to count at all.
+const DEFAULT_NOISE_FLOOR_NS: u128 = 200_000;
+
+/// Extracts `(name, mean_ns)` pairs from `bench_smoke`-style JSON.
+fn parse_samples(json: &str) -> Vec<(String, u128)> {
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(pos) = rest.find("\"name\":") {
+        rest = &rest[pos + "\"name\":".len()..];
+        let Some(open) = rest.find('"') else { break };
+        rest = &rest[open + 1..];
+        let Some(close) = rest.find('"') else { break };
+        let name = rest[..close].to_string();
+        rest = &rest[close + 1..];
+        let Some(mpos) = rest.find("\"mean_ns\":") else {
+            break;
+        };
+        let digits: String = rest[mpos + "\"mean_ns\":".len()..]
+            .chars()
+            .skip_while(|c| c.is_whitespace())
+            .take_while(char::is_ascii_digit)
+            .collect();
+        if let Ok(mean) = digits.parse() {
+            out.push((name, mean));
+        }
+    }
+    out
+}
+
+/// One compared sample, ready to print.
+struct Row {
+    name: String,
+    detail: String,
+    failed: bool,
+}
+
+/// Diffs `current` against `baseline` under the gate parameters; the second
+/// return is true when any row fails the gate.
+fn compare(
+    baseline: &[(String, u128)],
+    current: &[(String, u128)],
+    threshold: f64,
+    noise_floor_ns: u128,
+) -> (Vec<Row>, bool) {
+    let mut rows = Vec::new();
+    let mut failed = false;
+    for (name, base_ns) in baseline {
+        let Some((_, cur_ns)) = current.iter().find(|(n, _)| n == name) else {
+            rows.push(Row {
+                name: name.clone(),
+                detail: "MISSING from the current run".to_string(),
+                failed: true,
+            });
+            failed = true;
+            continue;
+        };
+        let ratio = *cur_ns as f64 / (*base_ns).max(1) as f64;
+        let slowdown = cur_ns.saturating_sub(*base_ns);
+        let regressed = ratio > threshold && slowdown > noise_floor_ns;
+        failed |= regressed;
+        rows.push(Row {
+            name: name.clone(),
+            detail: format!(
+                "{base_ns} ns -> {cur_ns} ns ({ratio:.2}x){}",
+                if regressed {
+                    "  REGRESSION"
+                } else if ratio > threshold {
+                    "  (over threshold, under noise floor)"
+                } else {
+                    ""
+                }
+            ),
+            failed: regressed,
+        });
+    }
+    for (name, cur_ns) in current {
+        if !baseline.iter().any(|(n, _)| n == name) {
+            rows.push(Row {
+                name: name.clone(),
+                detail: format!("{cur_ns} ns (new sample, no baseline)"),
+                failed: false,
+            });
+        }
+    }
+    (rows, failed)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut threshold = DEFAULT_THRESHOLD;
+    let mut noise_floor_ns = DEFAULT_NOISE_FLOOR_NS;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threshold" => {
+                i += 1;
+                threshold = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threshold takes a ratio like 1.25");
+            }
+            "--noise-floor-ns" => {
+                i += 1;
+                noise_floor_ns = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .expect("--noise-floor-ns takes an integer nanosecond count");
+            }
+            path => paths.push(path.to_string()),
+        }
+        i += 1;
+    }
+    let [baseline_path, current_path] = paths.as_slice() else {
+        eprintln!(
+            "usage: bench_compare BASELINE.json CURRENT.json \
+             [--threshold {DEFAULT_THRESHOLD}] [--noise-floor-ns {DEFAULT_NOISE_FLOOR_NS}]"
+        );
+        return ExitCode::from(2);
+    };
+    let read = |path: &str| {
+        let text =
+            std::fs::read_to_string(path).unwrap_or_else(|err| panic!("reading {path}: {err}"));
+        let samples = parse_samples(&text);
+        assert!(!samples.is_empty(), "{path} holds no samples");
+        samples
+    };
+    let baseline = read(baseline_path);
+    let current = read(current_path);
+
+    let (rows, failed) = compare(&baseline, &current, threshold, noise_floor_ns);
+    let width = rows.iter().map(|r| r.name.len()).max().unwrap_or(0);
+    println!(
+        "bench gate: threshold {threshold}x, noise floor {noise_floor_ns} ns \
+         ({} baseline samples)",
+        baseline.len()
+    );
+    for row in &rows {
+        println!(
+            "  {} {:width$}  {}",
+            if row.failed { "FAIL" } else { "  ok" },
+            row.name,
+            row.detail
+        );
+    }
+    if failed {
+        eprintln!("bench gate FAILED");
+        ExitCode::FAILURE
+    } else {
+        println!("bench gate passed");
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SNIPPET: &str = r#"{
+  "dataset": {"generator": "cartel", "segments": 60},
+  "results": [
+    {"name": "fig09/depth/k5", "mean_ns": 1000, "min_ns": 900, "iters": 30},
+    {"name": "query/main/k5", "mean_ns": 5000000, "min_ns": 4000000, "iters": 3}
+  ]
+}"#;
+
+    #[test]
+    fn parses_names_and_means_from_smoke_json() {
+        let samples = parse_samples(SNIPPET);
+        assert_eq!(
+            samples,
+            vec![
+                ("fig09/depth/k5".to_string(), 1000),
+                ("query/main/k5".to_string(), 5_000_000),
+            ]
+        );
+    }
+
+    fn sample(name: &str, mean_ns: u128) -> (String, u128) {
+        (name.to_string(), mean_ns)
+    }
+
+    #[test]
+    fn within_threshold_passes() {
+        let baseline = [sample("a", 1_000_000)];
+        let current = [sample("a", 1_200_000)];
+        let (rows, failed) = compare(&baseline, &current, 1.25, 0);
+        assert!(!failed);
+        assert!(!rows[0].failed);
+    }
+
+    #[test]
+    fn over_threshold_but_under_noise_floor_passes() {
+        // 2x slower, but the absolute slowdown (1000 ns) is noise.
+        let baseline = [sample("a", 1_000)];
+        let current = [sample("a", 2_000)];
+        let (_, failed) = compare(&baseline, &current, 1.25, 200_000);
+        assert!(!failed);
+    }
+
+    #[test]
+    fn over_threshold_and_noise_floor_fails() {
+        let baseline = [sample("a", 1_000_000)];
+        let current = [sample("a", 2_000_000)];
+        let (rows, failed) = compare(&baseline, &current, 1.25, 200_000);
+        assert!(failed);
+        assert!(rows[0].failed);
+        assert!(rows[0].detail.contains("REGRESSION"));
+    }
+
+    #[test]
+    fn sample_missing_from_current_fails() {
+        let baseline = [sample("a", 1_000), sample("b", 1_000)];
+        let current = [sample("a", 1_000)];
+        let (rows, failed) = compare(&baseline, &current, 1.25, 0);
+        assert!(failed);
+        assert!(rows
+            .iter()
+            .any(|r| r.failed && r.detail.contains("MISSING")));
+    }
+
+    #[test]
+    fn new_sample_without_baseline_passes() {
+        let baseline = [sample("a", 1_000)];
+        let current = [sample("a", 1_000), sample("serve_cache/cached", 9_000)];
+        let (rows, failed) = compare(&baseline, &current, 1.25, 0);
+        assert!(!failed);
+        assert!(rows.iter().any(|r| r.detail.contains("new sample")));
+    }
+}

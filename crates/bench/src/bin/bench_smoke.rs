@@ -12,11 +12,16 @@
 //! scan variants of `fig09_scan_depth` (depth only, streamed single-source
 //! prefix, sharded merge prefix), a sharded **spill** scan with per-run
 //! prefetching on and off (tracking the I/O-overlap win of the transport
-//! layer), one end-to-end main-algorithm query, and a loopback remote-shard
-//! pair — scan-gate pushdown vs forced full replay — whose `remote_pushdown`
-//! summary records the tuples actually shipped per query each way. Enough
-//! signal to catch a hot-path regression without turning CI into a benchmark
-//! farm.
+//! layer), one end-to-end main-algorithm query, a loopback `ttk serve` pair —
+//! cold execution vs result-cache hit for the identical query — and a
+//! loopback remote-shard pair — scan-gate pushdown vs forced full replay —
+//! whose `remote_pushdown` summary records the tuples actually shipped per
+//! query each way. Enough signal to catch a hot-path regression without
+//! turning CI into a benchmark farm.
+//!
+//! The emitted JSON doubles as the CI regression gate's input: `bench_compare`
+//! diffs a fresh run against the committed `BENCH_baseline.json` per sample
+//! name and fails the build on slowdowns past its threshold.
 
 use std::net::TcpListener;
 use std::sync::{mpsc, Arc};
@@ -24,8 +29,9 @@ use std::time::{Duration, Instant};
 
 use ttk_bench::{evaluation_area, P_TAU};
 use ttk_core::{
-    scan_depth, serve_stream, Dataset, RankScan, RemoteShardDataset, ScanGate, ServeOptions,
-    Session, ShardScanGate, TopkQuery,
+    scan_depth, serve_query, serve_stream, Dataset, DatasetRegistry, QueryServeOptions, RankScan,
+    RemoteQueryClient, RemoteShardDataset, ResultCache, ScanGate, ServeOptions, Session,
+    ShardScanGate, TopkQuery,
 };
 use ttk_pdb::{CsvOptions, SpillIndex, SpillOptions};
 use ttk_uncertain::{MergeSource, PrefetchPolicy, TableSource, TupleSource};
@@ -163,6 +169,62 @@ fn main() {
             .execute(&dataset, &TopkQuery::new(5).with_u_topk(false))
             .unwrap()
     }));
+
+    // The query daemon's result cache, measured over a real loopback round
+    // trip: `serve_cache/cold` varies the cache key every iteration (a
+    // vanishing pτ perturbation — same work, different key) so each query
+    // executes on the server, while `serve_cache/cached` repeats one key so
+    // every measured iteration is a cache hit. The gap between the two is
+    // the daemon's win on repeated queries; the cached sample alone tracks
+    // the dial + frame + cache-lookup overhead.
+    const SERVE_COLD_ITERS: usize = 3;
+    const SERVE_CACHED_ITERS: usize = 30;
+    let serve_listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let serve_addr = serve_listener.local_addr().unwrap().to_string();
+    // One warm-up connection per sample on top of the measured iterations.
+    let serve_conns = (SERVE_COLD_ITERS + 1) + (SERVE_CACHED_ITERS + 1);
+    let serve_thread = std::thread::spawn({
+        let table = table.clone();
+        move || {
+            let mut registry = DatasetRegistry::new();
+            registry
+                .register("smoke", Dataset::table(table))
+                .expect("register resident dataset");
+            let cache = ResultCache::new(64);
+            let mut session = Session::new();
+            let options = QueryServeOptions::default();
+            for _ in 0..serve_conns {
+                let (stream, _) = serve_listener.accept().expect("accept");
+                serve_query(stream, &registry, &cache, &mut session, &options)
+                    .expect("serve query");
+            }
+        }
+    });
+    let serve_client = RemoteQueryClient::new(serve_addr);
+    let mut cold_seq = 0u32;
+    samples.push(measure("serve_cache/cold", SERVE_COLD_ITERS, || {
+        cold_seq += 1;
+        let query = TopkQuery::new(5)
+            .with_p_tau(P_TAU * (1.0 + f64::from(cold_seq) * 1e-9))
+            .with_u_topk(false);
+        let remote = serve_client.execute("smoke", &query).unwrap();
+        assert!(!remote.cache_hit, "a perturbed key must miss the cache");
+        remote
+    }));
+    let cached_query = TopkQuery::new(5).with_p_tau(P_TAU).with_u_topk(false);
+    let mut cached_hits = 0usize;
+    samples.push(measure("serve_cache/cached", SERVE_CACHED_ITERS, || {
+        let remote = serve_client.execute("smoke", &cached_query).unwrap();
+        cached_hits += usize::from(remote.cache_hit);
+        remote
+    }));
+    // The warm-up call primed the key (a miss); every measured iteration
+    // must have been served from the cache.
+    assert_eq!(
+        cached_hits, SERVE_CACHED_ITERS,
+        "every measured cached iteration must hit"
+    );
+    serve_thread.join().expect("serve thread");
 
     // Scan-gate pushdown over the wire: a gated query against four loopback
     // serve-shard daemons, once with pushdown on (each server stops at its

@@ -25,6 +25,15 @@
 //! * `ttk coordinator --listen ADDR` — hands out `(id base, namespace)`
 //!   leases to registering `serve-shard` daemons, so the shards of one
 //!   relation land in disjoint id ranges without operator arithmetic.
+//! * `ttk serve NAME=FILE.csv ... --score EXPR --listen ADDR` — a resident-
+//!   dataset query daemon: the named datasets are scored once and kept
+//!   resident, a bounded worker pool (each worker owning a plan-once/
+//!   run-many `Session`) answers whole queries over the wire, and a
+//!   concurrent LRU result cache short-circuits repeated (dataset,
+//!   algorithm, k, pτ) queries. `ttk query --server ADDR --dataset NAME`
+//!   ships a query instead of scanning tuples; `ttk explain --server ADDR
+//!   --dataset NAME --after` reports the server-observed scan depth and
+//!   cache outcome.
 //! * `ttk soldier` — print the paper's toy example end to end.
 
 use std::collections::HashMap;
@@ -35,8 +44,9 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
 use ttk_core::{
-    serve_stream, Algorithm, BatchOptions, ConnectOptions, Dataset, DatasetProvider,
-    PlanDescription, QueryJob, RemoteShardDataset, ScanPath, ServeOptions, Session, TopkQuery,
+    serve_query, serve_stream, Algorithm, BatchOptions, ConnectOptions, Dataset, DatasetProvider,
+    DatasetRegistry, PlanDescription, QueryJob, QueryServeOptions, RemoteQueryClient,
+    RemoteShardDataset, ResultCache, ScanPath, ServeOptions, Session, TopkQuery,
 };
 use ttk_datagen::cartel::{generate_area, CartelConfig};
 use ttk_datagen::soldier;
@@ -68,7 +78,8 @@ fn usage() -> &'static str {
   ttk generate cartel   [--segments N] [--seed S] [--out FILE] [--shards N]
   ttk generate synthetic [--tuples N] [--rho R] [--sigma S] [--me-size LO:HI] [--me-gap LO:HI] [--seed S] [--out FILE] [--shards N]
   ttk query   (DATA.csv | --file DATA.csv | --shard s0.csv --shard s1.csv ...
-               | --remote-shard HOST:PORT ... [--shard s.csv ...])
+               | --remote-shard HOST:PORT ... [--shard s.csv ...]
+               | --server HOST:PORT --dataset NAME)
               --score EXPR --k K
               [--c C] [--p-tau P] [--max-lines N] [--algorithm main|per-ending|state-expansion|k-combo]
               [--prob-column NAME] [--group-column NAME] [--buckets N]
@@ -76,10 +87,16 @@ fn usage() -> &'static str {
               [--prefetch TUPLES] [--id-base N]
               [--remote-timeout SECS] [--remote-retries N]
               [--no-pushdown] [--bound-update-every TUPLES]
-  ttk explain (DATA.csv | --file DATA.csv | --shard ... | --remote-shard ...)
+  ttk explain (DATA.csv | --file DATA.csv | --shard ... | --remote-shard ...
+               | --server HOST:PORT --dataset NAME --after)
               --score EXPR [--k K] [--p-tau P] [--algorithm ...]
               [--spill-buffer TUPLES] [--prefetch TUPLES] [--after]
               [--remote-timeout SECS] [--remote-retries N]
+  ttk serve   NAME=FILE.csv [NAME=FILE.csv ...] --score EXPR
+              --listen HOST:PORT
+              [--max-conns N] [--max-parallel N] [--cache-entries N]
+              [--request-wait-ms MS] [--port-file FILE]
+              [--prob-column NAME] [--group-column NAME]
   ttk serve-shard (DATA.csv | --file DATA.csv | --shard ...) --score EXPR
               --listen HOST:PORT
               [--id-base N [--namespace LABEL] | --coordinator HOST:PORT]
@@ -128,6 +145,22 @@ fn usage() -> &'static str {
   coordinator hands out non-overlapping id-base leases (and one shared
   namespace label, --namespace, stamped into every served hello) to
   registering serve-shard daemons; --max-leases N exits after N leases.
+
+  serve answers whole queries instead of replaying tuples: each NAME=FILE
+  positional is scored once at startup and kept resident, --max-parallel
+  workers (default 4) each own a reusable Session, and a shared result
+  cache of --cache-entries answers (default 64, 0 disables) returns
+  repeated (dataset, algorithm, k, p-tau) queries without executing —
+  bit-identical to the cold run. The accept loop hands connections to
+  workers over a rendezvous channel, so a flood queues in the listen
+  backlog instead of spawning threads; a client that connects but never
+  sends its request is dropped after --request-wait-ms (default 10000)
+  and only ever costs its own worker. --max-conns, --port-file and
+  SIGINT/SIGTERM draining behave as in serve-shard. On the client,
+  `ttk query --server HOST:PORT --dataset NAME --k K` ships the query
+  (no --score: the server's datasets are already scored; --batch works
+  and re-dials per k), and `ttk explain --server ... --after` prints the
+  plan with the server-observed scan depth and result-cache outcome.
 
   --batch KS runs one query per k in KS (comma list `1,5,10` or range
   `LO:HI`) through the cost-ordered parallel batch executor and prints a
@@ -216,6 +249,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "query" => cmd_query(rest),
         "explain" => cmd_explain(rest),
         "serve-shard" => cmd_serve_shard(rest),
+        "serve" => cmd_serve(rest),
         "coordinator" => cmd_coordinator(rest),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
@@ -405,9 +439,10 @@ struct QuerySpec {
     expression_text: String,
 }
 
-/// Parses the query-parameter flags (everything except the input form).
-fn parse_query_spec(flags: &Flags, k: usize) -> Result<QuerySpec, String> {
-    let score = get(flags, "score").ok_or("--score is required")?;
+/// Parses the query-shape flags alone (k, c, p-tau, max-lines, algorithm) —
+/// everything a `--server` query ships over the wire, where no local
+/// scoring expression applies.
+fn parse_topk_params(flags: &Flags, k: usize) -> Result<TopkQuery, String> {
     let c = get_parse(flags, "c", 3usize)?;
     let p_tau = get_parse(flags, "p-tau", 1e-3f64)?;
     let max_lines = get_parse(flags, "max-lines", 200usize)?;
@@ -418,14 +453,54 @@ fn parse_query_spec(flags: &Flags, k: usize) -> Result<QuerySpec, String> {
         Some("k-combo") => Algorithm::KCombo,
         Some(other) => return Err(format!("unknown algorithm `{other}`")),
     };
+    Ok(TopkQuery::new(k)
+        .with_typical_count(c)
+        .with_p_tau(p_tau)
+        .with_max_lines(max_lines)
+        .with_algorithm(algorithm))
+}
+
+/// Parses the query-parameter flags (everything except the input form).
+fn parse_query_spec(flags: &Flags, k: usize) -> Result<QuerySpec, String> {
+    let score = get(flags, "score").ok_or("--score is required")?;
     Ok(QuerySpec {
-        topk: TopkQuery::new(k)
-            .with_typical_count(c)
-            .with_p_tau(p_tau)
-            .with_max_lines(max_lines)
-            .with_algorithm(algorithm),
+        topk: parse_topk_params(flags, k)?,
         expression_text: score.to_string(),
     })
+}
+
+/// Rejects the local-input flags that conflict with `--server` mode, where
+/// the whole query ships to the daemon's resident, already-scored dataset.
+fn reject_local_input_flags(positional: &[String], flags: &Flags) -> Result<(), String> {
+    if !positional.is_empty()
+        || get(flags, "file").is_some()
+        || flags.contains_key("shard")
+        || flags.contains_key("remote-shard")
+        || get(flags, "spill-buffer").is_some()
+    {
+        return Err(
+            "--server ships the whole query to the daemon's resident dataset; drop the local \
+             input flags (positional file, --file, --shard, --remote-shard, --spill-buffer)"
+                .to_string(),
+        );
+    }
+    if get(flags, "score").is_some() {
+        return Err(
+            "--server queries run against the daemon's already-scored dataset; drop --score \
+             (the scoring expression was fixed when the server loaded the dataset)"
+                .to_string(),
+        );
+    }
+    Ok(())
+}
+
+/// The `--server`/`--dataset` client of `query`/`explain`.
+fn server_query_client(server: &str, flags: &Flags) -> Result<(RemoteQueryClient, String), String> {
+    let dataset = get(flags, "dataset")
+        .ok_or("--server queries name a resident dataset: add --dataset NAME")?
+        .to_string();
+    let client = RemoteQueryClient::new(server).with_connect_options(parse_connect_options(flags)?);
+    Ok((client, dataset))
 }
 
 /// The remote-dial options of `query`/`explain`: `--remote-timeout SECS`
@@ -1036,6 +1111,194 @@ fn cmd_serve_shard(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `ttk serve`: a resident-dataset query daemon. Each `NAME=FILE.csv`
+/// positional is scored once at startup (failing fast on bad inputs) and
+/// registered under its name; a bounded pool of workers — each owning one
+/// plan-once/run-many [`Session`] — answers whole queries over the wire,
+/// consulting a shared LRU result cache so repeated (dataset, algorithm,
+/// k, pτ) queries skip execution entirely. Connections are handed to
+/// workers over a rendezvous channel: when every worker is busy the accept
+/// loop stops accepting and the flood queues in the listen backlog
+/// (admission control), and a stalled client is dropped after
+/// `--request-wait-ms` so it only ever costs its own worker. Exits after
+/// `--max-conns` accepted connections or on SIGINT/SIGTERM, draining
+/// in-flight queries first.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let (positional, flags) = parse_flags(args)?;
+    let score = get(&flags, "score")
+        .ok_or("--score is required")?
+        .to_string();
+    let listen = get(&flags, "listen")
+        .ok_or("--listen HOST:PORT is required")?
+        .to_string();
+    if positional.is_empty() {
+        return Err(
+            "no datasets: pass NAME=FILE.csv positionals naming the datasets to keep resident"
+                .to_string(),
+        );
+    }
+    let max_conns = get_parse(&flags, "max-conns", 0usize)?;
+    let max_parallel = get_parse(&flags, "max-parallel", 4usize)?;
+    if max_parallel == 0 {
+        return Err("--max-parallel must be at least 1".to_string());
+    }
+    let cache_entries = get_parse(&flags, "cache-entries", 64usize)?;
+    let serve_options = QueryServeOptions {
+        request_wait: Duration::from_millis(get_parse(&flags, "request-wait-ms", 10_000u64)?),
+    };
+    let csv_options = parse_csv_options(&flags);
+    let expression = parse_expression(&score).map_err(|e| e.to_string())?;
+
+    let mut registry = DatasetRegistry::new();
+    for spec in &positional {
+        let (name, path) = spec.split_once('=').ok_or_else(|| {
+            format!("expected NAME=FILE.csv, got `{spec}` (name the dataset clients will query)")
+        })?;
+        if name.is_empty() || path.is_empty() {
+            return Err(format!("expected NAME=FILE.csv, got `{spec}`"));
+        }
+        let csv = CsvDataset::from_path(path, csv_options.clone(), expression.clone());
+        // Warm eagerly: a missing file or malformed CSV fails the daemon
+        // here, before it accepts a query, and the scoring pass is cached
+        // so the first query opens warm.
+        csv.warm()
+            .map_err(|e| format!("cannot load dataset `{name}` from {path}: {e}"))?;
+        let dataset = csv.into_dataset().with_label(name);
+        let id = registry
+            .register(name, dataset)
+            .map_err(|e| e.to_string())?;
+        eprintln!("dataset `{name}` resident from {path} (dataset id {id})");
+    }
+    let registry = Arc::new(registry);
+    let cache = Arc::new(ResultCache::new(cache_entries));
+
+    let listener =
+        TcpListener::bind(&listen).map_err(|e| format!("cannot listen on {listen}: {e}"))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("cannot poll the listener: {e}"))?;
+    let bound = listener
+        .local_addr()
+        .map_err(|e| e.to_string())?
+        .to_string();
+    if let Some(path) = get(&flags, "port-file") {
+        write_file_atomically(path, &bound)?;
+    }
+    install_shutdown_handler();
+    eprintln!(
+        "serving {} resident dataset(s) on {bound} ({max_parallel} workers, result cache of \
+         {cache_entries} entries{})",
+        registry.len(),
+        if max_conns > 0 {
+            format!(", exiting after {max_conns} connections")
+        } else {
+            String::new()
+        }
+    );
+
+    // The worker pool: a rendezvous channel (capacity 0) hands each
+    // accepted connection to exactly one worker; `try_send` only succeeds
+    // when a worker is actually waiting, so the accept loop backpressures
+    // instead of buffering connections nobody is ready to serve.
+    let (conn_tx, conn_rx) = std::sync::mpsc::sync_channel::<TcpStream>(0);
+    let conn_rx = Arc::new(Mutex::new(conn_rx));
+    let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    for worker_id in 0..max_parallel {
+        let conn_rx = Arc::clone(&conn_rx);
+        let registry = Arc::clone(&registry);
+        let cache = Arc::clone(&cache);
+        let options = serve_options.clone();
+        workers.push(std::thread::spawn(move || {
+            let mut session = Session::new();
+            loop {
+                // Take the receiver lock only to pull the next connection;
+                // serving happens outside it so workers run concurrently.
+                let next = conn_rx.lock().expect("connection channel poisoned").recv();
+                let Ok(stream) = next else {
+                    break; // Sender dropped: the daemon is draining.
+                };
+                let peer = stream
+                    .peer_addr()
+                    .map(|a| a.to_string())
+                    .unwrap_or_else(|_| "<unknown>".to_string());
+                // Per-connection error isolation: a stalled client, a
+                // garbled request or a failing execution is logged and the
+                // worker moves on.
+                match serve_query(stream, &registry, &cache, &mut session, &options) {
+                    Ok(summary) => eprintln!("connection {peer} (worker {worker_id}): {summary}"),
+                    Err(e) => eprintln!("connection {peer} (worker {worker_id}): {e}"),
+                }
+            }
+        }));
+    }
+    drop(conn_rx); // Workers hold the only receiver clones now.
+
+    let mut served_conns = 0usize;
+    let mut consecutive_failures = 0usize;
+    let drained = 'accept: loop {
+        let accepted = next_connection(&listener, &mut consecutive_failures, || {});
+        let stream = match accepted {
+            Ok(Accepted::Conn(stream)) => stream,
+            Ok(Accepted::Drain) => break 'accept true,
+            Err(fatal) => {
+                drop(conn_tx);
+                for worker in workers {
+                    let _ = worker.join();
+                }
+                return Err(fatal);
+            }
+        };
+        // Hand off under backpressure: wait for a free worker, still
+        // honouring a shutdown request (the connection just accepted is
+        // dropped unserved — its client sees a clean close).
+        let mut pending = stream;
+        loop {
+            if SHUTDOWN.load(Ordering::SeqCst) {
+                break 'accept true;
+            }
+            match conn_tx.try_send(pending) {
+                Ok(()) => break,
+                Err(std::sync::mpsc::TrySendError::Full(back)) => {
+                    pending = back;
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(std::sync::mpsc::TrySendError::Disconnected(_)) => {
+                    for worker in workers {
+                        let _ = worker.join();
+                    }
+                    return Err("every worker exited; the daemon cannot serve".to_string());
+                }
+            }
+        }
+        served_conns += 1;
+        if max_conns > 0 && served_conns >= max_conns {
+            break 'accept false;
+        }
+    };
+    drop(conn_tx); // Unblocks workers waiting in recv; in-flight queries finish.
+    let in_flight = workers.iter().filter(|w| !w.is_finished()).count();
+    if in_flight > 0 {
+        eprintln!(
+            "{}: joining {in_flight} worker(s)",
+            if drained {
+                "shutdown requested"
+            } else {
+                "--max-conns reached"
+            }
+        );
+    }
+    for worker in workers {
+        let _ = worker.join();
+    }
+    eprintln!(
+        "result cache: {} hits, {} misses, {} evictions",
+        cache.hits(),
+        cache.misses(),
+        cache.evictions()
+    );
+    Ok(())
+}
+
 /// `ttk coordinator`: hands out `(id base, namespace)` leases to
 /// registering `serve-shard` daemons. Registrations are a two-frame
 /// exchange (register in, lease out) processed in arrival order, so the id
@@ -1183,6 +1446,17 @@ fn describe_scan(plan: &PlanDescription) -> String {
              {buffer}-tuple channel)",
             plan.dataset
         ),
+        ScanPath::RemoteQuery => {
+            let cache = match plan.server_cache_hit {
+                Some(true) => ", server cache hit",
+                Some(false) => ", server cache miss",
+                None => "",
+            };
+            format!(
+                "whole query answered by the serving daemon ({}{cache})",
+                plan.dataset
+            )
+        }
     }
 }
 
@@ -1196,6 +1470,43 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     if k == 0 && batch_ks.is_none() {
         return Err("--k (or --batch) is required and must be at least 1".to_string());
     }
+
+    if let Some(server) = get(&flags, "server") {
+        reject_local_input_flags(&positional, &flags)?;
+        let (client, dataset) = server_query_client(server, &flags)?;
+        let topk = parse_topk_params(&flags, k.max(1))?;
+        let buckets = get_parse(&flags, "buckets", 16usize)?;
+        if let Some(ks) = batch_ks {
+            // The batch re-dials per k; repeated shapes land in the server's
+            // result cache, so a re-run of the batch is answered cache-hot.
+            let started = std::time::Instant::now();
+            let answers: Vec<ttk_uncertain::Result<ttk_core::QueryAnswer>> = ks
+                .iter()
+                .map(|&batch_k| {
+                    client
+                        .execute(&dataset, &topk.with_k(batch_k))
+                        .map(|remote| remote.answer)
+                })
+                .collect();
+            println!(
+                "batch served remotely from `{dataset}` on {}",
+                client.addr()
+            );
+            print_batch_summary(&ks, &answers, started.elapsed(), 1);
+            return Ok(());
+        }
+        let remote = client.execute(&dataset, &topk).map_err(|e| e.to_string())?;
+        let plan = client.plan(&dataset, &topk, &remote);
+        println!("{}", describe_scan(&plan));
+        print_histogram(
+            &remote.answer.distribution,
+            buckets,
+            &markers(&remote.answer),
+        );
+        print_answer_summary(&remote.answer);
+        return Ok(());
+    }
+
     let spec = parse_query_spec(&flags, k.max(1))?;
     let buckets = get_parse(&flags, "buckets", 16usize)?;
     let threads = get_parse(&flags, "threads", 0usize)?;
@@ -1246,6 +1557,28 @@ fn cmd_explain(args: &[String]) -> Result<(), String> {
     if k == 0 {
         return Err("--k must be at least 1".to_string());
     }
+
+    if let Some(server) = get(&flags, "server") {
+        reject_local_input_flags(&positional, &flags)?;
+        if get(&flags, "after").is_none() {
+            return Err(
+                "explain --server needs --after: the plan lives on the server, so the query \
+                 must execute once for the daemon to report its observed scan depth and \
+                 result-cache outcome"
+                    .to_string(),
+            );
+        }
+        let (client, dataset) = server_query_client(server, &flags)?;
+        let topk = parse_topk_params(&flags, k)?;
+        let remote = client.execute(&dataset, &topk).map_err(|e| e.to_string())?;
+        let plan = client.plan(&dataset, &topk, &remote);
+        println!("{plan}");
+        if let Some(drift) = plan.observed_vs_estimated() {
+            println!("cost-model drift (observed / estimated scan depth): {drift:.3}");
+        }
+        return Ok(());
+    }
+
     let spec = parse_query_spec(&flags, k)?;
     let csv_options = parse_csv_options(&flags);
     let dataset = resolve_dataset(
@@ -1955,6 +2288,264 @@ mod tests {
         // worker and exits cleanly at --max-conns.
         drop(stalled);
         server.join().unwrap().unwrap();
+        std::fs::remove_file(&port_file).ok();
+        std::fs::remove_file(&data).ok();
+    }
+
+    /// End-to-end `ttk serve` round trip over loopback: two resident
+    /// datasets, a cold query then the identical query again, asserting the
+    /// repeat is answered from the result cache (via the client's plan — the
+    /// explain surface) and that cold, cached and `run()`-driven answers are
+    /// all bit-identical to a local `Session::execute` of the same file.
+    #[test]
+    fn serve_query_round_trip_with_cache_parity_and_explain_surface() {
+        let dir = std::env::temp_dir();
+        let data_alpha = dir.join("ttk_cli_test_serve_alpha.csv");
+        let data_beta = dir.join("ttk_cli_test_serve_beta.csv");
+        let path_alpha = data_alpha.to_string_lossy().to_string();
+        let path_beta = data_beta.to_string_lossy().to_string();
+        let expr = "speed_limit / (length / delay)";
+        for (path, segments, seed) in [(&path_alpha, "20", "5"), (&path_beta, "12", "8")] {
+            run(&s(&[
+                "generate",
+                "cartel",
+                "--segments",
+                segments,
+                "--seed",
+                seed,
+                "--out",
+                path,
+            ]))
+            .unwrap();
+        }
+
+        let port_file = dir.join("ttk_cli_test_serve_port");
+        std::fs::remove_file(&port_file).ok();
+        let alpha_spec = format!("alpha={path_alpha}");
+        let beta_spec = format!("beta={path_beta}");
+        // Exactly six connections: cold, cached, beta, `run` query, `run`
+        // explain --after, unknown dataset.
+        let server_args = s(&[
+            "serve",
+            &alpha_spec,
+            &beta_spec,
+            "--score",
+            expr,
+            "--listen",
+            "127.0.0.1:0",
+            "--port-file",
+            &port_file.to_string_lossy(),
+            "--max-conns",
+            "6",
+            "--max-parallel",
+            "2",
+            "--cache-entries",
+            "8",
+        ]);
+        let server = std::thread::spawn(move || run(&server_args));
+        let addr = poll_port_file(&port_file);
+
+        // The local reference: the same file, scored the same way the
+        // daemon scores it at startup.
+        let query = TopkQuery::new(3);
+        let local = CsvDataset::from_path(
+            &path_alpha,
+            CsvOptions::default(),
+            parse_expression(expr).unwrap(),
+        )
+        .into_dataset();
+        let reference = Session::new().execute(&local, &query).unwrap();
+
+        let client = RemoteQueryClient::new(addr.as_str());
+        let cold = client.execute("alpha", &query).unwrap();
+        assert!(!cold.cache_hit, "first query must execute");
+        let cached = client.execute("alpha", &query).unwrap();
+        assert!(
+            cached.cache_hit,
+            "the repeat must be answered from the cache"
+        );
+        for remote in [&cold, &cached] {
+            assert_eq!(remote.answer.distribution, reference.distribution);
+            assert_eq!(remote.answer.typical, reference.typical);
+            assert_eq!(remote.answer.scan_depth, reference.scan_depth);
+            let u = remote.answer.u_topk.as_ref().expect("U-Topk requested");
+            let ru = reference.u_topk.as_ref().expect("U-Topk requested");
+            assert_eq!(u.vector, ru.vector);
+            assert_eq!(u.deepest_position, ru.deepest_position);
+        }
+
+        // The explain surface reports the cache outcome.
+        let plan_cold = client.plan("alpha", &query, &cold);
+        assert!(plan_cold.to_string().contains("server result cache: miss"));
+        let plan_cached = client.plan("alpha", &query, &cached);
+        assert!(plan_cached.to_string().contains("server result cache: hit"));
+        assert!(describe_scan(&plan_cached).contains("server cache hit"));
+
+        // The second resident dataset answers under its own cache key.
+        let beta = client.execute("beta", &query).unwrap();
+        assert!(!beta.cache_hit);
+        assert_ne!(beta.answer.distribution, reference.distribution);
+
+        // The CLI client paths work end to end.
+        run(&s(&[
+            "query",
+            "--server",
+            &addr,
+            "--dataset",
+            "alpha",
+            "--k",
+            "3",
+        ]))
+        .unwrap();
+        run(&s(&[
+            "explain",
+            "--server",
+            &addr,
+            "--dataset",
+            "alpha",
+            "--k",
+            "3",
+            "--after",
+        ]))
+        .unwrap();
+
+        // An unknown dataset is a clean error naming the resident ones.
+        let err = client.execute("missing", &query).unwrap_err().to_string();
+        assert!(err.contains("no such dataset"), "{err}");
+        assert!(err.contains("alpha"), "{err}");
+
+        server.join().unwrap().unwrap();
+
+        // Client-side flag validation (nothing dials).
+        let err = run(&s(&["query", "--server", &addr, "--k", "1"])).unwrap_err();
+        assert!(err.contains("--dataset"), "{err}");
+        let err = run(&s(&[
+            "query",
+            "--server",
+            &addr,
+            "--dataset",
+            "alpha",
+            "--score",
+            "x",
+            "--k",
+            "1",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("drop --score"), "{err}");
+        let err = run(&s(&[
+            "query",
+            "--server",
+            &addr,
+            "--dataset",
+            "alpha",
+            "--file",
+            "x.csv",
+            "--k",
+            "1",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("resident dataset"), "{err}");
+        let err = run(&s(&[
+            "explain",
+            "--server",
+            &addr,
+            "--dataset",
+            "alpha",
+            "--k",
+            "1",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--after"), "{err}");
+        // Serve-side validation: malformed NAME=FILE and missing datasets.
+        assert!(run(&s(&[
+            "serve",
+            "alpha",
+            "--score",
+            expr,
+            "--listen",
+            "127.0.0.1:0",
+        ]))
+        .is_err());
+        assert!(run(&s(&["serve", "--score", expr, "--listen", "127.0.0.1:0"])).is_err());
+
+        std::fs::remove_file(&port_file).ok();
+        std::fs::remove_file(&data_alpha).ok();
+        std::fs::remove_file(&data_beta).ok();
+    }
+
+    /// A client that connects to `ttk serve` and never sends its request
+    /// only costs its own worker: two full query clients complete (bit-
+    /// identically to a local run) while the stalled connection sits there,
+    /// and the daemon still drains cleanly at --max-conns.
+    #[test]
+    fn serve_concurrent_query_clients_complete_around_a_stalled_reader() {
+        let dir = std::env::temp_dir();
+        let data = dir.join("ttk_cli_test_serve_stall.csv");
+        let path = data.to_string_lossy().to_string();
+        run(&s(&[
+            "generate",
+            "synthetic",
+            "--tuples",
+            "20000",
+            "--seed",
+            "13",
+            "--out",
+            &path,
+        ]))
+        .unwrap();
+        let port_file = dir.join("ttk_cli_test_serve_stall_port");
+        std::fs::remove_file(&port_file).ok();
+        let dataset_spec = format!("data={path}");
+        let server_args = s(&[
+            "serve",
+            &dataset_spec,
+            "--score",
+            "score",
+            "--listen",
+            "127.0.0.1:0",
+            "--port-file",
+            &port_file.to_string_lossy(),
+            "--max-conns",
+            "3",
+            "--max-parallel",
+            "2",
+            "--request-wait-ms",
+            "400",
+        ]);
+        let server = std::thread::spawn(move || run(&server_args));
+        let addr = poll_port_file(&port_file);
+
+        // The stalled client: connects first (occupying one of the two
+        // workers) and never sends the request frame.
+        let stalled = std::net::TcpStream::connect(&addr).unwrap();
+
+        let query = TopkQuery::new(3).with_p_tau(1e-3).with_u_topk(false);
+        let local = CsvDataset::from_path(
+            &path,
+            CsvOptions::default(),
+            parse_expression("score").unwrap(),
+        )
+        .into_dataset();
+        let reference = Session::new().execute(&local, &query).unwrap();
+
+        // Two full query clients, concurrently, around the stalled one.
+        let clients: Vec<_> = (0..2)
+            .map(|_| {
+                let addr = addr.clone();
+                std::thread::spawn(move || RemoteQueryClient::new(addr).execute("data", &query))
+            })
+            .collect();
+        for client in clients {
+            let remote = client.join().unwrap().unwrap();
+            assert_eq!(remote.answer.distribution, reference.distribution);
+            assert_eq!(remote.answer.scan_depth, reference.scan_depth);
+            assert_eq!(remote.answer.typical.scores(), reference.typical.scores());
+        }
+
+        // The daemon reaches --max-conns and drains: the stalled worker is
+        // released by --request-wait-ms, no hang. Only then hang up.
+        server.join().unwrap().unwrap();
+        drop(stalled);
         std::fs::remove_file(&port_file).ok();
         std::fs::remove_file(&data).ok();
     }

@@ -30,6 +30,12 @@
 //! * [`serve`] — the server side of scan-gate pushdown: [`serve_stream`]
 //!   negotiates v1/v2/v3 per connection and replays a shard through the
 //!   conservative [`ShardScanGate`] bound.
+//! * [`registry`] — the state a query-serving daemon keeps resident: the
+//!   named, `Arc`-shared [`DatasetRegistry`] and the sharded LRU
+//!   [`ResultCache`] keyed on the full query shape ([`CacheKey`]).
+//! * [`mod@query_serve`] — query serving itself: [`serve_query`] answers one
+//!   connection from the registry/cache, [`RemoteQueryClient`] ships whole
+//!   queries to a `ttk serve` daemon and decodes bit-identical answers.
 //! * [`query`] — the query model ([`TopkQuery`], [`QueryAnswer`]) and the
 //!   reusable [`Executor`] engine the session drives.
 //!
@@ -69,6 +75,8 @@ pub mod baselines;
 pub mod dp;
 pub mod k_combo;
 pub mod query;
+pub mod query_serve;
+pub mod registry;
 pub mod remote;
 pub mod scan;
 pub mod scan_depth;
@@ -84,6 +92,11 @@ pub use dp::{
 };
 pub use k_combo::{k_combo, k_combo_streamed};
 pub use query::{Algorithm, Executor, QueryAnswer, TopkQuery};
+pub use query_serve::{
+    answer_from_wire, answer_to_wire, query_from_request, request_for, serve_query,
+    QueryServeOptions, QueryServeSummary, RemoteAnswer, RemoteQueryClient,
+};
+pub use registry::{CacheKey, DatasetRegistry, ResultCache};
 pub use remote::{ConnectOptions, RemoteShardDataset};
 pub use scan::{RankScan, ScanPrefix};
 pub use scan_depth::{scan_depth, stopping_threshold, GateMeter, ScanGate, ShardScanGate};

@@ -41,7 +41,7 @@ use crate::typical::{typical_topk, TypicalSelection};
 pub use crate::session::{Dataset, Session};
 
 /// Which algorithm computes the score distribution.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Algorithm {
     /// The main dynamic-programming algorithm (§3.2–3.4) with the lead-region
     /// refinement for ME groups. This is the default.

@@ -1,0 +1,701 @@
+//! The query-serving layer behind `ttk serve`: whole queries ship to a
+//! resident-dataset daemon, answers ship back.
+//!
+//! The shard fabric of [`serve`](crate::serve) / [`remote`](crate::remote)
+//! moves *tuples*: every remote query replays (a Theorem-2 prefix of) the
+//! shard stream and pays scan setup on the client. This module moves
+//! *queries*: a daemon keeps its datasets resident (a
+//! [`DatasetRegistry`]), reuses one [`Session`] per worker so cost
+//! observations accumulate across connections, and consults a shared
+//! [`ResultCache`] so repeated (dataset, algorithm, k, pτ) queries skip
+//! execution entirely.
+//!
+//! Three layers live here:
+//!
+//! * conversions between the engine types and the v4 wire structs —
+//!   [`request_for`] / [`query_from_request`] and [`answer_to_wire`] /
+//!   [`answer_from_wire`]. The wire codec preserves raw IEEE-754 bits and
+//!   per-line witnesses, so a decoded answer compares equal to the answer
+//!   the executor produced.
+//! * [`serve_query`] — one connection's server side: read the request
+//!   frame (bounded by [`QueryServeOptions::request_wait`] so a stalled
+//!   client cannot pin a worker forever), resolve the dataset, answer from
+//!   the cache or execute, ship the result. Every failure is answered with
+//!   an error frame on a best-effort basis and surfaced to the caller, which
+//!   isolates it to this connection.
+//! * [`RemoteQueryClient`] — the client side: dial with the same
+//!   retry/backoff discipline as the shard client, send the request, decode
+//!   the answer. [`RemoteQueryClient::plan`] folds the server-reported scan
+//!   depth and cache outcome into a [`PlanDescription`] for
+//!   `ttk explain --server --after`.
+//!
+//! Like the v3 pushdown handshake, the client speaks first. A v4 daemon
+//! answers anything that is not a query-request frame with an error frame
+//! and closes, so pre-v4 peers fail cleanly instead of hanging; a v4 client
+//! pointed at a shard server decodes the unexpected hello as a clean error.
+
+use std::fmt;
+use std::io::{BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+use std::time::Duration;
+
+use ttk_uncertain::wire::{self, QueryRequest, QueryResult, WireTypical, WireUTopk};
+use ttk_uncertain::{CoalescePolicy, Error, Result, ScoreDistribution};
+
+use crate::baselines::UTopkAnswer;
+use crate::query::{Algorithm, QueryAnswer, TopkQuery};
+use crate::registry::{CacheKey, DatasetRegistry, ResultCache};
+use crate::remote::ConnectOptions;
+use crate::session::{estimated_cost, estimated_scan_depth, PlanDescription, ScanPath, Session};
+use crate::typical::{TypicalAnswer, TypicalSelection};
+
+/// Wire code for an [`Algorithm`] (stable across releases — append only).
+pub fn algorithm_code(algorithm: Algorithm) -> u8 {
+    match algorithm {
+        Algorithm::Main => 0,
+        Algorithm::MainPerEnding => 1,
+        Algorithm::StateExpansion => 2,
+        Algorithm::KCombo => 3,
+        Algorithm::Exhaustive => 4,
+    }
+}
+
+/// Decodes an [`Algorithm`] wire code.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidParameter`] for an unknown code (a newer client
+/// speaking to an older server).
+pub fn algorithm_from_code(code: u8) -> Result<Algorithm> {
+    Ok(match code {
+        0 => Algorithm::Main,
+        1 => Algorithm::MainPerEnding,
+        2 => Algorithm::StateExpansion,
+        3 => Algorithm::KCombo,
+        4 => Algorithm::Exhaustive,
+        other => {
+            return Err(Error::InvalidParameter(format!(
+                "unknown algorithm code {other} (this server knows codes 0..=4)"
+            )))
+        }
+    })
+}
+
+/// Wire code for a [`CoalescePolicy`] (stable across releases).
+pub fn coalesce_code(policy: CoalescePolicy) -> u8 {
+    match policy {
+        CoalescePolicy::PaperMean => 0,
+        CoalescePolicy::WeightedMean => 1,
+    }
+}
+
+/// Decodes a [`CoalescePolicy`] wire code.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidParameter`] for an unknown code.
+pub fn coalesce_from_code(code: u8) -> Result<CoalescePolicy> {
+    Ok(match code {
+        0 => CoalescePolicy::PaperMean,
+        1 => CoalescePolicy::WeightedMean,
+        other => {
+            return Err(Error::InvalidParameter(format!(
+                "unknown coalesce-policy code {other} (this server knows codes 0 and 1)"
+            )))
+        }
+    })
+}
+
+/// The wire request for `query` against the resident dataset `dataset`.
+pub fn request_for(dataset: &str, query: &TopkQuery) -> QueryRequest {
+    QueryRequest {
+        dataset: dataset.to_string(),
+        k: query.k as u64,
+        p_tau: query.p_tau,
+        typical_count: query.typical_count as u64,
+        max_lines: query.max_lines as u64,
+        algorithm: algorithm_code(query.algorithm),
+        coalesce: coalesce_code(query.coalesce_policy),
+        u_topk: query.compute_u_topk,
+    }
+}
+
+/// Reconstructs the engine query a request describes.
+///
+/// The possible-world budget (`world_limit`) is *not* part of the wire
+/// request: the serving process enforces its own budget, so a remote client
+/// cannot ask an exhaustive enumeration past what the server allows.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidParameter`] for unknown algorithm or
+/// coalesce-policy codes (shape validation — k ≥ 1, pτ ∈ (0, 1) — already
+/// happened when the frame was decoded).
+pub fn query_from_request(request: &QueryRequest) -> Result<TopkQuery> {
+    Ok(TopkQuery::new(request.k as usize)
+        .with_p_tau(request.p_tau)
+        .with_typical_count(request.typical_count as usize)
+        .with_max_lines(request.max_lines as usize)
+        .with_algorithm(algorithm_from_code(request.algorithm)?)
+        .with_coalesce_policy(coalesce_from_code(request.coalesce)?)
+        .with_u_topk(request.u_topk))
+}
+
+/// Flattens a finished answer into the wire result, tagged with whether it
+/// came from the result cache.
+pub fn answer_to_wire(answer: &QueryAnswer, cache_hit: bool) -> QueryResult {
+    QueryResult {
+        cache_hit,
+        scan_depth: answer.scan_depth as u64,
+        distribution_time_ns: answer.distribution_time.as_nanos() as u64,
+        typical_time_ns: answer.typical_time.as_nanos() as u64,
+        expected_distance: answer.typical.expected_distance,
+        points: answer.distribution.points().to_vec(),
+        typical: answer
+            .typical
+            .answers
+            .iter()
+            .map(|typical| WireTypical {
+                score: typical.score,
+                probability: typical.probability,
+                vector: typical.vector.clone(),
+            })
+            .collect(),
+        u_topk: answer.u_topk.as_ref().map(|u_topk| WireUTopk {
+            vector: u_topk.vector.clone(),
+            expansions: u_topk.expansions,
+            deepest_position: u_topk.deepest_position as u64,
+        }),
+    }
+}
+
+/// Rebuilds the engine answer a wire result carries, plus the server's
+/// cache outcome.
+///
+/// The distribution is reconstructed verbatim
+/// ([`ScoreDistribution::from_points`]) — no re-coalescing — so the decoded
+/// answer is bit-identical to what the serving process computed.
+pub fn answer_from_wire(result: QueryResult) -> (QueryAnswer, bool) {
+    let cache_hit = result.cache_hit;
+    let answer = QueryAnswer {
+        distribution: ScoreDistribution::from_points(result.points),
+        typical: TypicalSelection {
+            answers: result
+                .typical
+                .into_iter()
+                .map(|typical| TypicalAnswer {
+                    score: typical.score,
+                    probability: typical.probability,
+                    vector: typical.vector,
+                })
+                .collect(),
+            expected_distance: result.expected_distance,
+        },
+        u_topk: result.u_topk.map(|u_topk| UTopkAnswer {
+            vector: u_topk.vector,
+            expansions: u_topk.expansions,
+            deepest_position: u_topk.deepest_position as usize,
+        }),
+        scan_depth: result.scan_depth as usize,
+        distribution_time: Duration::from_nanos(result.distribution_time_ns),
+        typical_time: Duration::from_nanos(result.typical_time_ns),
+    };
+    (answer, cache_hit)
+}
+
+/// Knobs of [`serve_query`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryServeOptions {
+    /// How long a worker waits for the connection's request frame before
+    /// giving up on the client (a stalled client holds its worker for at
+    /// most this long). `Duration::ZERO` waits forever.
+    pub request_wait: Duration,
+}
+
+impl Default for QueryServeOptions {
+    fn default() -> Self {
+        QueryServeOptions {
+            request_wait: Duration::from_secs(10),
+        }
+    }
+}
+
+/// What one served connection did — the daemon's per-connection log line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryServeSummary {
+    /// Registered name of the dataset queried.
+    pub dataset: String,
+    /// Process-unique id of that dataset (the cache-key component).
+    pub dataset_id: u64,
+    /// Algorithm the query selected.
+    pub algorithm: Algorithm,
+    /// Query size k.
+    pub k: usize,
+    /// Probability threshold pτ.
+    pub p_tau: f64,
+    /// True when the answer came from the result cache.
+    pub cache_hit: bool,
+    /// Scan depth of the answer that was shipped (the cold run's depth when
+    /// the cache answered).
+    pub scan_depth: usize,
+}
+
+impl fmt::Display for QueryServeSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "query `{}` (dataset id {}): algorithm {:?}, k = {}, p_tau = {:e} -> cache {}, scan depth {} tuples",
+            self.dataset,
+            self.dataset_id,
+            self.algorithm,
+            self.k,
+            self.p_tau,
+            if self.cache_hit { "hit" } else { "miss" },
+            self.scan_depth,
+        )
+    }
+}
+
+/// Serves one query connection: decode the request, resolve the dataset,
+/// answer from `cache` or execute on `session`, ship the result.
+///
+/// Every failure — a stalled or garbled client, an unknown dataset, an
+/// execution error — is answered with a best-effort error frame and returned
+/// as `Err`, so the daemon's accept loop can log it and move on without the
+/// connection poisoning anything shared.
+///
+/// # Errors
+///
+/// Returns [`Error::Source`] for connection-level failures and propagates
+/// dataset/execution errors as-is.
+pub fn serve_query(
+    stream: TcpStream,
+    registry: &DatasetRegistry,
+    cache: &ResultCache,
+    session: &mut Session,
+    options: &QueryServeOptions,
+) -> Result<QueryServeSummary> {
+    let wait = match options.request_wait {
+        Duration::ZERO => None,
+        wait => Some(wait),
+    };
+    stream
+        .set_read_timeout(wait)
+        .map_err(|e| Error::Source(format!("arming the request timeout: {e}")))?;
+
+    let mut read_half = &stream;
+    let request = match wire::read_query_request(&mut read_half) {
+        Ok(request) => request,
+        Err(e) => {
+            let _ = wire::write_query_error(&mut &stream, &e.to_string());
+            return Err(e);
+        }
+    };
+
+    match serve_decoded_query(&stream, &request, registry, cache, session) {
+        Ok(summary) => Ok(summary),
+        Err(e) => {
+            let _ = wire::write_query_error(&mut &stream, &e.to_string());
+            Err(e)
+        }
+    }
+}
+
+/// The post-decode half of [`serve_query`], split out so every error takes
+/// the same answer-with-an-error-frame exit path.
+fn serve_decoded_query(
+    stream: &TcpStream,
+    request: &QueryRequest,
+    registry: &DatasetRegistry,
+    cache: &ResultCache,
+    session: &mut Session,
+) -> Result<QueryServeSummary> {
+    let query = query_from_request(request)?;
+    let dataset = registry.get(&request.dataset).ok_or_else(|| {
+        let resident = registry.names().join(", ");
+        Error::InvalidParameter(if resident.is_empty() {
+            format!(
+                "no such dataset `{}` (no datasets are resident)",
+                request.dataset
+            )
+        } else {
+            format!(
+                "no such dataset `{}`; resident datasets: {resident}",
+                request.dataset
+            )
+        })
+    })?;
+
+    let key = CacheKey::new(dataset.id(), &query);
+    let (answer, cache_hit) = match cache.get(&key) {
+        Some(answer) => (answer, true),
+        None => {
+            let answer = Arc::new(session.execute(dataset, &query)?);
+            cache.insert(key, Arc::clone(&answer));
+            (answer, false)
+        }
+    };
+
+    let mut writer = BufWriter::new(stream);
+    wire::write_query_result(&mut writer, &answer_to_wire(&answer, cache_hit))?;
+
+    Ok(QueryServeSummary {
+        dataset: request.dataset.clone(),
+        dataset_id: dataset.id(),
+        algorithm: query.algorithm,
+        k: query.k,
+        p_tau: query.p_tau,
+        cache_hit,
+        scan_depth: answer.scan_depth,
+    })
+}
+
+/// A remote answer: the engine answer plus the server's cache outcome.
+#[derive(Debug, Clone)]
+pub struct RemoteAnswer {
+    /// The decoded answer, bit-identical to the serving process's run.
+    pub answer: QueryAnswer,
+    /// True when the server answered from its result cache.
+    pub cache_hit: bool,
+}
+
+/// The client side of query serving: dials a `ttk serve` daemon, ships the
+/// query, decodes the answer.
+///
+/// Dialing follows the shard client's retry discipline: transient failures
+/// (resolution, the TCP dial, a connection lost before the result header)
+/// retry under exponential backoff; an error frame *answered by the server*
+/// is a semantic failure and returns immediately — retrying "no such
+/// dataset" cannot help.
+#[derive(Debug, Clone)]
+pub struct RemoteQueryClient {
+    addr: String,
+    options: ConnectOptions,
+}
+
+impl RemoteQueryClient {
+    /// A client for the daemon at `addr` (`host:port`). Nothing connects
+    /// until the first [`execute`](Self::execute).
+    pub fn new(addr: impl Into<String>) -> Self {
+        RemoteQueryClient {
+            addr: addr.into(),
+            options: ConnectOptions::default(),
+        }
+    }
+
+    /// Overrides the dial behaviour (timeouts, retries, backoff).
+    pub fn with_connect_options(mut self, options: ConnectOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// The daemon address this client dials.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Ships `query` against the resident dataset `dataset` and decodes the
+    /// answer. Each attempt uses a fresh connection, so a retry never
+    /// resumes a half-spoken exchange.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Source`] with the dial history once the retry budget
+    /// is spent, or the server's own error immediately (unknown dataset,
+    /// invalid parameters, execution failure).
+    pub fn execute(&self, dataset: &str, query: &TopkQuery) -> Result<RemoteAnswer> {
+        let request = request_for(dataset, query);
+        let mut delay = self.options.backoff;
+        let mut first = None;
+        let mut last = None;
+        for attempt in 0..=self.options.retries {
+            if attempt > 0 {
+                std::thread::sleep(delay);
+                delay = delay.saturating_mul(2);
+            }
+            match self.try_query(&request) {
+                Ok(answer) => return Ok(answer),
+                // The server decoded our request and answered with an error
+                // frame: the connection works, the query is the problem.
+                Err(Error::Source(m)) if m.starts_with("remote query failed") => {
+                    return Err(Error::Source(m));
+                }
+                Err(e) => {
+                    let text = match e {
+                        Error::Source(m) => m,
+                        other => other.to_string(),
+                    };
+                    first.get_or_insert(text.clone());
+                    last = Some(text);
+                }
+            }
+        }
+        let attempts = self.options.retries as usize + 1;
+        let first = first.expect("at least one attempt ran");
+        let last = last.expect("at least one attempt ran");
+        let history = if last == first {
+            first
+        } else {
+            format!("{first}; finally: {last}")
+        };
+        Err(Error::Source(format!(
+            "querying server {}: {history} (after {attempts} attempt{})",
+            self.addr,
+            if attempts == 1 { "" } else { "s" }
+        )))
+    }
+
+    /// One attempt: resolve, connect, send the request, decode the result.
+    fn try_query(&self, request: &QueryRequest) -> Result<RemoteAnswer> {
+        let addr = &self.addr;
+        let sock_addrs: Vec<_> = addr
+            .to_socket_addrs()
+            .map_err(|e| Error::Source(format!("resolving {addr}: {e}")))?
+            .collect();
+        let mut last = None;
+        let stream = sock_addrs
+            .iter()
+            .find_map(
+                |sock| match TcpStream::connect_timeout(sock, self.options.connect_timeout) {
+                    Ok(stream) => Some(stream),
+                    Err(e) => {
+                        last = Some(e);
+                        None
+                    }
+                },
+            )
+            .ok_or_else(|| match last {
+                Some(e) => Error::Source(format!("dialing {addr}: {e}")),
+                None => Error::Source(format!("{addr} resolved to no addresses")),
+            })?;
+        stream
+            .set_read_timeout(self.options.read_timeout)
+            .map_err(|e| Error::Source(format!("arming read timeout on {addr}: {e}")))?;
+        wire::write_query_request(&mut &stream, request)?;
+        let mut reader = BufReader::new(&stream);
+        let result = wire::read_query_result(&mut reader)?;
+        let (answer, cache_hit) = answer_from_wire(result);
+        Ok(RemoteAnswer { answer, cache_hit })
+    }
+
+    /// The plan view of a remote execution, for `explain --server --after`:
+    /// the server's observed scan depth and cache outcome folded into a
+    /// [`PlanDescription`] whose path is [`ScanPath::RemoteQuery`].
+    pub fn plan(&self, dataset: &str, query: &TopkQuery, remote: &RemoteAnswer) -> PlanDescription {
+        PlanDescription {
+            dataset: format!("{dataset}@{}", self.addr),
+            path: ScanPath::RemoteQuery,
+            rows: None,
+            algorithm: query.algorithm,
+            k: query.k,
+            p_tau: query.p_tau,
+            estimated_depth: Some(estimated_scan_depth(query.k, query.p_tau, None)),
+            observed_depth: Some(remote.answer.scan_depth),
+            estimated_cost: estimated_cost(query, None),
+            drains_stream: query.compute_u_topk || query.algorithm == Algorithm::Exhaustive,
+            observed_wire_tuples: None,
+            server_cache_hit: Some(remote.cache_hit),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::Dataset;
+    use std::net::TcpListener;
+    use ttk_uncertain::UncertainTable;
+
+    fn soldier_table() -> UncertainTable {
+        UncertainTable::builder()
+            .tuple(1u64, 49.0, 0.4)
+            .expect("tuple")
+            .tuple(2u64, 60.0, 0.4)
+            .expect("tuple")
+            .tuple(3u64, 110.0, 0.4)
+            .expect("tuple")
+            .tuple(4u64, 80.0, 0.3)
+            .expect("tuple")
+            .tuple(5u64, 56.0, 1.0)
+            .expect("tuple")
+            .tuple(6u64, 58.0, 0.5)
+            .expect("tuple")
+            .tuple(7u64, 125.0, 0.3)
+            .expect("tuple")
+            .me_rule([2u64, 4, 7])
+            .me_rule([3u64, 6])
+            .build()
+            .expect("table")
+    }
+
+    #[test]
+    fn request_and_query_round_trip_preserves_every_knob() {
+        let query = TopkQuery::new(5)
+            .with_p_tau(1e-6)
+            .with_typical_count(7)
+            .with_max_lines(0)
+            .with_algorithm(Algorithm::StateExpansion)
+            .with_coalesce_policy(CoalescePolicy::WeightedMean)
+            .with_u_topk(false);
+        let request = request_for("sensors", &query);
+        assert_eq!(request.dataset, "sensors");
+        let back = query_from_request(&request).expect("valid request");
+        assert_eq!(back.k, query.k);
+        assert_eq!(back.p_tau.to_bits(), query.p_tau.to_bits());
+        assert_eq!(back.typical_count, query.typical_count);
+        assert_eq!(back.max_lines, query.max_lines);
+        assert_eq!(back.algorithm, query.algorithm);
+        assert_eq!(back.coalesce_policy, query.coalesce_policy);
+        assert_eq!(back.compute_u_topk, query.compute_u_topk);
+    }
+
+    #[test]
+    fn unknown_wire_codes_are_rejected() {
+        assert!(algorithm_from_code(99).is_err());
+        assert!(coalesce_from_code(99).is_err());
+        for algorithm in [
+            Algorithm::Main,
+            Algorithm::MainPerEnding,
+            Algorithm::StateExpansion,
+            Algorithm::KCombo,
+            Algorithm::Exhaustive,
+        ] {
+            assert_eq!(
+                algorithm_from_code(algorithm_code(algorithm)).expect("round trip"),
+                algorithm
+            );
+        }
+    }
+
+    #[test]
+    fn answer_conversion_is_bit_identical() {
+        let dataset = Dataset::table(soldier_table());
+        let mut session = Session::new();
+        let query = TopkQuery::new(2).with_p_tau(1e-9).with_max_lines(0);
+        let answer = session.execute(&dataset, &query).expect("executes");
+
+        let (decoded, cache_hit) = answer_from_wire(answer_to_wire(&answer, true));
+        assert!(cache_hit);
+        assert_eq!(decoded.distribution, answer.distribution);
+        assert_eq!(decoded.typical, answer.typical);
+        assert_eq!(decoded.scan_depth, answer.scan_depth);
+        let decoded_u = decoded.u_topk.expect("u-topk requested");
+        let cold_u = answer.u_topk.as_ref().expect("u-topk requested");
+        assert_eq!(decoded_u.vector, cold_u.vector);
+        assert_eq!(decoded_u.expansions, cold_u.expansions);
+        assert_eq!(decoded_u.deepest_position, cold_u.deepest_position);
+    }
+
+    #[test]
+    fn loopback_serve_query_misses_then_hits_bit_identically() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+
+        let server = std::thread::spawn(move || {
+            let mut registry = DatasetRegistry::new();
+            registry
+                .register("soldiers", Dataset::table(soldier_table()))
+                .expect("registers");
+            let cache = ResultCache::new(8);
+            let mut session = Session::new();
+            let options = QueryServeOptions::default();
+            let mut summaries = Vec::new();
+            for _ in 0..3 {
+                let (stream, _) = listener.accept().expect("accept");
+                summaries.push(serve_query(
+                    stream,
+                    &registry,
+                    &cache,
+                    &mut session,
+                    &options,
+                ));
+            }
+            summaries
+        });
+
+        let dataset = Dataset::table(soldier_table());
+        let mut session = Session::new();
+        let query = TopkQuery::new(2).with_p_tau(1e-9).with_max_lines(0);
+        let local = session.execute(&dataset, &query).expect("local run");
+
+        let client = RemoteQueryClient::new(addr.as_str());
+        let cold = client.execute("soldiers", &query).expect("cold query");
+        assert!(!cold.cache_hit);
+        let cached = client.execute("soldiers", &query).expect("cached query");
+        assert!(cached.cache_hit);
+
+        for remote in [&cold, &cached] {
+            assert_eq!(remote.answer.distribution, local.distribution);
+            assert_eq!(remote.answer.typical, local.typical);
+            assert_eq!(remote.answer.scan_depth, local.scan_depth);
+        }
+
+        let err = client
+            .execute("missing", &query)
+            .expect_err("unknown dataset");
+        let text = err.to_string();
+        assert!(text.contains("no such dataset"), "got: {text}");
+        assert!(text.contains("soldiers"), "got: {text}");
+
+        let summaries = server.join().expect("server thread");
+        let outcomes: Vec<bool> = summaries
+            .iter()
+            .take(2)
+            .map(|s| s.as_ref().expect("served").cache_hit)
+            .collect();
+        assert_eq!(outcomes, vec![false, true]);
+        let first = summaries[0].as_ref().expect("served");
+        let line = first.to_string();
+        assert!(line.contains("dataset id"), "got: {line}");
+        assert!(line.contains("cache miss"), "got: {line}");
+        assert!(summaries[2].is_err(), "unknown dataset must surface");
+    }
+
+    #[test]
+    fn stalled_client_releases_the_worker_after_request_wait() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+
+        // Connect and never send the request frame.
+        let _stalled = TcpStream::connect(addr).expect("connect");
+        let (stream, _) = listener.accept().expect("accept");
+
+        let registry = DatasetRegistry::new();
+        let cache = ResultCache::new(1);
+        let mut session = Session::new();
+        let options = QueryServeOptions {
+            request_wait: Duration::from_millis(50),
+        };
+        let started = std::time::Instant::now();
+        let outcome = serve_query(stream, &registry, &cache, &mut session, &options);
+        assert!(outcome.is_err(), "a stalled client cannot produce a query");
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "the worker must be released promptly"
+        );
+    }
+
+    #[test]
+    fn plan_reports_remote_path_and_server_cache_outcome() {
+        let client = RemoteQueryClient::new("example.invalid:4321");
+        let query = TopkQuery::new(3);
+        let dataset = Dataset::table(soldier_table());
+        let mut session = Session::new();
+        let answer = session.execute(&dataset, &query).expect("executes");
+        let remote = RemoteAnswer {
+            answer,
+            cache_hit: true,
+        };
+        let plan = client.plan("soldiers", &query, &remote);
+        assert_eq!(plan.path, ScanPath::RemoteQuery);
+        assert_eq!(plan.server_cache_hit, Some(true));
+        assert_eq!(plan.observed_depth, Some(remote.answer.scan_depth));
+        let text = plan.to_string();
+        assert!(text.contains("server result cache: hit"), "got: {text}");
+        assert!(
+            text.contains("soldiers@example.invalid:4321"),
+            "got: {text}"
+        );
+    }
+}

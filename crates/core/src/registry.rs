@@ -1,0 +1,398 @@
+//! Server-resident datasets and the concurrent result cache behind `ttk serve`.
+//!
+//! A long-lived query daemon keeps two pieces of shared state:
+//!
+//! * a [`DatasetRegistry`] — the named, `Arc`-shared [`Dataset`]s resident in
+//!   the process. Registering is a startup-time act (the daemon loads its
+//!   inputs once, warms them, then serves); lookups afterwards are
+//!   read-only, so the registry itself needs no interior locking — workers
+//!   share it behind one `Arc<DatasetRegistry>`.
+//! * a [`ResultCache`] — a sharded, LRU-bounded map from a query's full
+//!   shape ([`CacheKey`]) to its finished [`QueryAnswer`]. Repeated queries
+//!   skip execution entirely and ship the cached answer, bit-identical to
+//!   the cold run (the cache stores the answer the executor produced, it
+//!   never re-derives anything).
+//!
+//! ## Cache semantics
+//!
+//! The cache is *lossy by design*: a concurrent miss on the same key may run
+//! the query twice (both workers execute, both insert, last write wins).
+//! That is safe — execution is deterministic for a fixed dataset and query,
+//! so both answers are identical — and it keeps the fast path free of any
+//! per-key in-flight bookkeeping. The bound is enforced per shard: the
+//! per-shard capacities sum to exactly the configured capacity, and an
+//! insert into a full shard evicts that shard's least-recently-used entry.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use ttk_uncertain::{CoalescePolicy, Error, Result};
+
+use crate::query::{Algorithm, QueryAnswer, TopkQuery};
+use crate::session::Dataset;
+
+/// The named datasets resident in a serving process.
+///
+/// Insertion-ordered; names are unique. Built once at daemon startup and
+/// then shared read-only across workers.
+#[derive(Default)]
+pub struct DatasetRegistry {
+    entries: Vec<(String, Arc<Dataset>)>,
+}
+
+impl DatasetRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        DatasetRegistry::default()
+    }
+
+    /// Registers `dataset` under `name` and returns its process-unique
+    /// dataset id (the id cache keys are derived from).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] when a dataset with the same name
+    /// is already registered — silently shadowing a resident dataset would
+    /// leave stale cache entries answering for the wrong data.
+    pub fn register(&mut self, name: impl Into<String>, dataset: Dataset) -> Result<u64> {
+        let name = name.into();
+        if self.entries.iter().any(|(existing, _)| *existing == name) {
+            return Err(Error::InvalidParameter(format!(
+                "dataset `{name}` is already registered"
+            )));
+        }
+        let id = dataset.id();
+        self.entries.push((name, Arc::new(dataset)));
+        Ok(id)
+    }
+
+    /// Looks up a resident dataset by name.
+    pub fn get(&self, name: &str) -> Option<&Arc<Dataset>> {
+        self.entries
+            .iter()
+            .find(|(existing, _)| existing == name)
+            .map(|(_, dataset)| dataset)
+    }
+
+    /// The registered names, in registration order.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.iter().map(|(name, _)| name.as_str()).collect()
+    }
+
+    /// Number of resident datasets.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// The full query shape a cached answer is keyed on.
+///
+/// The issue's headline key is (dataset id, algorithm, k, pτ), but any query
+/// knob that changes the answer must participate — otherwise a `max_lines`
+/// or coalesce-policy change would be answered from stale state. Floats are
+/// keyed by their IEEE-754 bits, consistent with the wire codec's
+/// bit-identical discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Process-unique id of the resident dataset ([`Dataset::id`]).
+    pub dataset: u64,
+    /// Number of top tuples ranked.
+    pub k: usize,
+    /// Raw bits of the Theorem-2 tail mass bound pτ.
+    pub p_tau_bits: u64,
+    /// Number of typical answers selected.
+    pub typical_count: usize,
+    /// Line-coalescing budget (0 = exact).
+    pub max_lines: usize,
+    /// Distribution algorithm.
+    pub algorithm: Algorithm,
+    /// Line-coalescing combine rule.
+    pub coalesce: CoalescePolicy,
+    /// Whether the U-Top-k baseline answer was requested.
+    pub u_topk: bool,
+    /// Possible-world enumeration budget (exhaustive baseline only).
+    pub world_limit: u128,
+}
+
+impl CacheKey {
+    /// The key for `query` against the resident dataset `dataset_id`.
+    pub fn new(dataset_id: u64, query: &TopkQuery) -> Self {
+        CacheKey {
+            dataset: dataset_id,
+            k: query.k,
+            p_tau_bits: query.p_tau.to_bits(),
+            typical_count: query.typical_count,
+            max_lines: query.max_lines,
+            algorithm: query.algorithm,
+            coalesce: query.coalesce_policy,
+            u_topk: query.compute_u_topk,
+            world_limit: query.world_limit,
+        }
+    }
+}
+
+/// One cached answer plus its recency stamp.
+struct CacheEntry {
+    answer: Arc<QueryAnswer>,
+    last_used: u64,
+}
+
+/// A concurrent, LRU-bounded result cache shared by every serving worker.
+///
+/// Keys hash to one of up to eight shards, each an independently locked
+/// `HashMap`, so concurrent lookups on different keys rarely contend.
+/// Recency is a single shared atomic tick — cheap, monotonic, and precise
+/// enough for eviction. A capacity of `0` disables caching entirely
+/// (lookups always miss, inserts are dropped).
+pub struct ResultCache {
+    shards: Vec<Mutex<HashMap<CacheKey, CacheEntry>>>,
+    caps: Vec<usize>,
+    tick: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` answers across all shards.
+    pub fn new(capacity: usize) -> Self {
+        let shards = capacity.clamp(1, 8);
+        let caps: Vec<usize> = (0..shards)
+            .map(|i| capacity / shards + usize::from(i < capacity % shards))
+            .collect();
+        debug_assert_eq!(caps.iter().sum::<usize>(), capacity);
+        ResultCache {
+            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            caps,
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_of(&self, key: &CacheKey) -> usize {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        (hasher.finish() % self.shards.len() as u64) as usize
+    }
+
+    /// Looks up a cached answer, refreshing its recency on a hit. Counts a
+    /// hit or miss either way.
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<QueryAnswer>> {
+        let shard = self.shard_of(key);
+        let mut map = self.shards[shard].lock().expect("cache shard poisoned");
+        match map.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = self.tick.fetch_add(1, Ordering::Relaxed);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(&entry.answer))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) an answer, evicting the shard's
+    /// least-recently-used entry when the shard is full. A no-op when the
+    /// cache capacity is zero.
+    pub fn insert(&self, key: CacheKey, answer: Arc<QueryAnswer>) {
+        let shard = self.shard_of(&key);
+        let cap = self.caps[shard];
+        if cap == 0 {
+            return;
+        }
+        let mut map = self.shards[shard].lock().expect("cache shard poisoned");
+        let last_used = self.tick.fetch_add(1, Ordering::Relaxed);
+        if !map.contains_key(&key) && map.len() >= cap {
+            if let Some(victim) = map
+                .iter()
+                .min_by_key(|(_, entry)| entry.last_used)
+                .map(|(victim, _)| *victim)
+            {
+                map.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        map.insert(key, CacheEntry { answer, last_used });
+    }
+
+    /// Number of answers currently cached.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|shard| shard.lock().expect("cache shard poisoned").len())
+            .sum()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total capacity across shards (0 = caching disabled).
+    pub fn capacity(&self) -> usize {
+        self.caps.iter().sum()
+    }
+
+    /// Lookups answered from the cache so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that fell through to execution so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted to uphold the bound so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::typical::TypicalSelection;
+    use ttk_uncertain::{ScoreDistribution, UncertainTable};
+
+    fn answer(scan_depth: usize) -> Arc<QueryAnswer> {
+        Arc::new(QueryAnswer {
+            distribution: ScoreDistribution::from_points(Vec::new()),
+            typical: TypicalSelection {
+                answers: Vec::new(),
+                expected_distance: 0.0,
+            },
+            u_topk: None,
+            scan_depth,
+            distribution_time: std::time::Duration::ZERO,
+            typical_time: std::time::Duration::ZERO,
+        })
+    }
+
+    fn key(dataset: u64, k: usize, p_tau: f64) -> CacheKey {
+        CacheKey::new(dataset, &TopkQuery::new(k).with_p_tau(p_tau))
+    }
+
+    fn tiny_table() -> UncertainTable {
+        UncertainTable::builder()
+            .tuple(1u64, 10.0, 0.5)
+            .expect("valid tuple")
+            .build()
+            .expect("valid table")
+    }
+
+    #[test]
+    fn registry_rejects_duplicate_names_and_resolves_by_name() {
+        let mut registry = DatasetRegistry::new();
+        let first = registry
+            .register("sensors", Dataset::table(tiny_table()))
+            .expect("first registration");
+        let second = registry
+            .register("soldiers", Dataset::table(tiny_table()))
+            .expect("second registration");
+        assert_ne!(first, second);
+        assert_eq!(registry.names(), vec!["sensors", "soldiers"]);
+        assert_eq!(registry.len(), 2);
+
+        let err = registry
+            .register("sensors", Dataset::table(tiny_table()))
+            .expect_err("duplicate must be rejected");
+        assert!(err.to_string().contains("already registered"));
+
+        assert_eq!(registry.get("sensors").expect("resolves").id(), first);
+        assert!(registry.get("missing").is_none());
+    }
+
+    #[test]
+    fn cache_counts_hits_and_misses_and_returns_the_stored_answer() {
+        let cache = ResultCache::new(4);
+        let k = key(1, 3, 1e-3);
+        assert!(cache.get(&k).is_none());
+        cache.insert(k, answer(42));
+        let got = cache.get(&k).expect("cached");
+        assert_eq!(got.scan_depth, 42);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn cache_keys_differ_when_any_query_knob_differs() {
+        let base = TopkQuery::new(3);
+        let k0 = CacheKey::new(1, &base);
+        assert_ne!(k0, CacheKey::new(2, &base));
+        assert_ne!(k0, CacheKey::new(1, &TopkQuery::new(4)));
+        assert_ne!(k0, CacheKey::new(1, &base.with_p_tau(1e-6)));
+        assert_ne!(k0, CacheKey::new(1, &base.with_max_lines(0)));
+        assert_ne!(
+            k0,
+            CacheKey::new(1, &base.with_algorithm(Algorithm::KCombo))
+        );
+        assert_ne!(k0, CacheKey::new(1, &base.with_u_topk(false)));
+    }
+
+    #[test]
+    fn cache_evicts_least_recently_used_within_the_bound() {
+        // Capacity 1 ⇒ a single shard with capacity 1: any second key evicts.
+        let cache = ResultCache::new(1);
+        let first = key(1, 1, 1e-3);
+        let second = key(1, 2, 1e-3);
+        cache.insert(first, answer(1));
+        cache.insert(second, answer(2));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.evictions(), 1);
+        assert!(cache.get(&first).is_none());
+        assert_eq!(cache.get(&second).expect("survivor").scan_depth, 2);
+    }
+
+    #[test]
+    fn cache_recency_refresh_protects_hot_entries() {
+        let cache = ResultCache::new(1);
+        let hot = key(1, 1, 1e-3);
+        cache.insert(hot, answer(1));
+        // Touch the hot entry, then overwrite it via re-insert: the re-insert
+        // of an existing key must not evict (len stays within bound).
+        assert!(cache.get(&hot).is_some());
+        cache.insert(hot, answer(3));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.evictions(), 0);
+        assert_eq!(cache.get(&hot).expect("refreshed").scan_depth, 3);
+    }
+
+    #[test]
+    fn cache_size_bound_holds_across_many_inserts() {
+        let capacity = 16;
+        let cache = ResultCache::new(capacity);
+        assert_eq!(cache.capacity(), capacity);
+        for i in 0..200usize {
+            cache.insert(key(1, i + 1, 1e-3), answer(i));
+            assert!(cache.len() <= capacity, "bound violated at insert {i}");
+        }
+        assert_eq!(cache.len(), capacity);
+        assert!(cache.evictions() >= (200 - capacity) as u64);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = ResultCache::new(0);
+        assert_eq!(cache.capacity(), 0);
+        let k = key(1, 3, 1e-3);
+        cache.insert(k, answer(1));
+        assert!(cache.get(&k).is_none());
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.misses(), 1);
+    }
+}

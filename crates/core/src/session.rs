@@ -104,6 +104,10 @@ pub enum ScanPath {
         /// Per-shard channel capacity in tuples.
         buffer: usize,
     },
+    /// The whole query shipped to a query-serving daemon (`ttk serve`): the
+    /// server executes against its resident dataset and streams the answer
+    /// back, so no tuples cross the network at all.
+    RemoteQuery,
 }
 
 impl std::fmt::Display for ScanPath {
@@ -153,6 +157,11 @@ impl std::fmt::Display for ScanPath {
                 f,
                 "k-way merge over {shards} shard streams, each prefetched \
                  through a {buffer}-tuple channel"
+            ),
+            ScanPath::RemoteQuery => write!(
+                f,
+                "remote query execution on a serving daemon (the answer ships, \
+                 not the tuples)"
             ),
         }
     }
@@ -472,6 +481,14 @@ impl Dataset {
         &self.label
     }
 
+    /// The dataset's process-unique identity — what sessions key their
+    /// observed scan depths by, and what a query-serving daemon keys its
+    /// result cache by. Stable for the dataset's lifetime and never reused
+    /// within a process, but **not** stable across processes.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
     /// The dataset kind, for diagnostics.
     pub fn kind(&self) -> &'static str {
         match &self.inner {
@@ -611,6 +628,11 @@ pub struct PlanDescription {
     /// evidence for scan-gate pushdown. `None` for local datasets or before
     /// the first execution.
     pub observed_wire_tuples: Option<u64>,
+    /// Whether a query-serving daemon answered this query from its result
+    /// cache. `None` for local execution (there is no server-side cache);
+    /// populated by the remote-query client path, where the server reports
+    /// the outcome in its result header.
+    pub server_cache_hit: Option<bool>,
 }
 
 impl PlanDescription {
@@ -652,6 +674,13 @@ impl std::fmt::Display for PlanDescription {
         }
         if let Some(wire) = self.observed_wire_tuples {
             writeln!(f, "  observed wire tuples: {wire}")?;
+        }
+        if let Some(hit) = self.server_cache_hit {
+            writeln!(
+                f,
+                "  server result cache: {}",
+                if hit { "hit" } else { "miss" }
+            )?;
         }
         writeln!(f, "  estimated cost: {:.0}", self.estimated_cost)?;
         write!(
@@ -885,6 +914,7 @@ impl Session {
             estimated_cost: estimated_cost(query, plan.rows),
             drains_stream,
             observed_wire_tuples: self.wire_observations.get(&key).copied(),
+            server_cache_hit: None,
         }
     }
 

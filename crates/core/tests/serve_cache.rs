@@ -1,0 +1,161 @@
+//! Bustle-style stress test for the concurrent result cache behind
+//! `ttk serve`: N worker threads hammer one shared [`ResultCache`] with a
+//! mixed read/write load — a hot set of repeated (k, pτ) queries (mostly
+//! cache reads) interleaved with per-thread fresh queries (writes and
+//! evictions) — while the capacity stays deliberately smaller than the key
+//! space. Every answer any thread ever observes must be bit-identical to a
+//! fresh `Session::execute`, and the size bound must hold at the end.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread;
+
+use ttk_core::{CacheKey, Dataset, DatasetRegistry, ResultCache, Session, TopkQuery};
+use ttk_uncertain::UncertainTable;
+
+/// Deterministic synthetic relation: rank-ordered scores with dithered
+/// gaps, membership probabilities in (0, 0.45], and an ME pair every ten
+/// tuples (pair probability sum ≤ 0.9, so the x-relation model holds).
+fn synthetic_table(tuples: u64) -> UncertainTable {
+    let mut state = 0x9E37_79B9_7F4A_7C15_u64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        state
+    };
+    let mut builder = UncertainTable::builder();
+    for id in 0..tuples {
+        let r = next();
+        let score = 1_000.0 - id as f64 * 0.5 + ((r >> 32) % 100) as f64 / 1_000.0;
+        let prob = (((r % 9) + 1) as f64) / 20.0;
+        builder = builder.tuple(id, score, prob).expect("valid tuple");
+    }
+    for pair in (0..tuples.saturating_sub(1)).step_by(10) {
+        builder = builder.me_rule([pair, pair + 1]);
+    }
+    builder.build().expect("valid table")
+}
+
+/// The serving daemon's per-request logic, minus the socket: consult the
+/// cache, execute on a miss, publish the answer.
+fn serve_one(
+    cache: &ResultCache,
+    dataset: &Dataset,
+    session: &mut Session,
+    query: &TopkQuery,
+) -> Arc<ttk_core::QueryAnswer> {
+    let key = CacheKey::new(dataset.id(), query);
+    if let Some(answer) = cache.get(&key) {
+        return answer;
+    }
+    let answer = Arc::new(session.execute(dataset, query).expect("query executes"));
+    cache.insert(key, Arc::clone(&answer));
+    answer
+}
+
+#[test]
+fn mixed_read_write_stress_returns_bit_identical_answers_within_the_bound() {
+    const THREADS: usize = 4;
+    const OPS_PER_THREAD: usize = 24;
+    const CAPACITY: usize = 6;
+
+    let table = synthetic_table(300);
+    let mut registry = DatasetRegistry::new();
+    registry
+        .register("stress", Dataset::table(table.clone()))
+        .expect("registers");
+    let registry = Arc::new(registry);
+    let cache = Arc::new(ResultCache::new(CAPACITY));
+
+    // The workload: a hot set every thread repeats (reads after the first
+    // round) plus per-thread fresh queries (writes that force evictions —
+    // the key space is larger than the capacity).
+    let hot: Vec<TopkQuery> = (1..=3)
+        .map(|k| TopkQuery::new(k).with_p_tau(1e-3).with_u_topk(false))
+        .collect();
+    let fresh_for = |worker: usize, op: usize| {
+        TopkQuery::new(1 + (worker + op) % 5)
+            .with_p_tau(10f64.powi(-2 - ((worker * OPS_PER_THREAD + op) % 4) as i32))
+            .with_typical_count(1 + op % 3)
+            .with_u_topk(false)
+    };
+
+    // Ground truth, computed cold on a dedicated session before any
+    // concurrency starts.
+    let reference_dataset = Dataset::table(table);
+    let mut reference_session = Session::new();
+    let mut expected: HashMap<CacheKey, ttk_core::QueryAnswer> = HashMap::new();
+    let mut record = |query: &TopkQuery| {
+        // Key on the *served* dataset's id — that is what the workers use.
+        let key = CacheKey::new(registry.get("stress").expect("resident").id(), query);
+        expected.entry(key).or_insert_with(|| {
+            reference_session
+                .execute(&reference_dataset, query)
+                .expect("reference run")
+        });
+    };
+    for query in &hot {
+        record(query);
+    }
+    for worker in 0..THREADS {
+        for op in 0..OPS_PER_THREAD {
+            record(&fresh_for(worker, op));
+        }
+    }
+
+    let workers: Vec<_> = (0..THREADS)
+        .map(|worker| {
+            let registry = Arc::clone(&registry);
+            let cache = Arc::clone(&cache);
+            let hot = hot.clone();
+            thread::spawn(move || {
+                let dataset = Arc::clone(registry.get("stress").expect("resident"));
+                let mut session = Session::new();
+                let mut observed = Vec::new();
+                for op in 0..OPS_PER_THREAD {
+                    // Two reads of the hot set for every fresh write.
+                    let query = if op % 3 < 2 {
+                        hot[op % hot.len()]
+                    } else {
+                        fresh_for(worker, op)
+                    };
+                    let answer = serve_one(&cache, &dataset, &mut session, &query);
+                    observed.push((CacheKey::new(dataset.id(), &query), answer));
+                }
+                observed
+            })
+        })
+        .collect();
+
+    let mut checked = 0usize;
+    for worker in workers {
+        for (key, answer) in worker.join().expect("worker thread") {
+            let reference = expected.get(&key).expect("every key has a reference run");
+            assert_eq!(
+                answer.distribution, reference.distribution,
+                "distribution must be bit-identical to a fresh execute"
+            );
+            assert_eq!(answer.typical, reference.typical);
+            assert_eq!(answer.scan_depth, reference.scan_depth);
+            checked += 1;
+        }
+    }
+    assert_eq!(checked, THREADS * OPS_PER_THREAD);
+
+    // The bound held and the workload actually exercised both paths.
+    assert!(
+        cache.len() <= CAPACITY,
+        "cache holds {} answers, bound is {CAPACITY}",
+        cache.len()
+    );
+    assert!(cache.hits() > 0, "the hot set must produce cache hits");
+    assert!(
+        cache.evictions() > 0,
+        "fresh queries must overflow the bound and evict"
+    );
+    assert_eq!(
+        cache.hits() + cache.misses(),
+        (THREADS * OPS_PER_THREAD) as u64
+    );
+}

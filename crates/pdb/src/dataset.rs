@@ -213,6 +213,22 @@ impl CsvDataset {
         self
     }
 
+    /// Eagerly runs the first open — the scoring pass (or external sort)
+    /// that populates the reuse cache — and discards the stream.
+    ///
+    /// A long-lived serving process (`ttk serve`) calls this at startup so a
+    /// missing file or malformed CSV fails the daemon before it accepts its
+    /// first query, and that first query pays a warm open instead of the
+    /// cold scoring pass.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the first open would have returned: I/O failures, CSV or
+    /// expression errors, spill failures.
+    pub fn warm(&self) -> Result<()> {
+        self.open_impl().map(drop)
+    }
+
     /// Wraps the dataset into the unified [`Dataset`] type consumed by
     /// [`Session`](ttk_core::Session).
     pub fn into_dataset(self) -> Dataset {

@@ -23,7 +23,7 @@ pub fn scores_equal(a: f64, b: f64) -> bool {
 }
 
 /// How two coalesced lines combine into one (§3.2.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum CoalescePolicy {
     /// The paper's rule: the merged score is the plain average of the two
     /// scores and the probability is their sum.
@@ -146,6 +146,17 @@ impl ScoreDistribution {
             d.add_mass(s, p, None);
         }
         d
+    }
+
+    /// Reconstructs a distribution from score lines produced by
+    /// [`points`](Self::points) elsewhere (the wire codec) — **verbatim**, no
+    /// sorting and no coalescing, so the reconstruction is bit-identical to
+    /// the original. The caller asserts the points are in ascending score
+    /// order; routing arbitrary lines through [`add_mass`](Self::add_mass)
+    /// instead keeps the ordering invariant but may merge epsilon-close
+    /// scores, which is exactly what a bit-exact transport must not do.
+    pub fn from_points(points: Vec<DistributionPoint>) -> Self {
+        ScoreDistribution { points }
     }
 
     /// Number of distinct score lines.

@@ -22,6 +22,9 @@
 //! | `7` | query announcement (client→server, v3) | k `u64` (`0` = stream everything), pτ bits `u64` |
 //! | `8` | bound update (client→server, v3) | accumulated merge-side mass bits `u64` |
 //! | `9` | stopped-at trailer (server→client, v3, precedes `end`) | rows scanned `u64`, tuples shipped `u64`, gate-limited flag `u8` |
+//! | `10` | query request (client→server, v4) | version `u8`, k `u64`, pτ bits `u64`, typical count `u64`, max lines `u64`, algorithm `u8`, coalesce `u8`, flags `u8`, dataset length `u16`, dataset bytes |
+//! | `11` | query result header (server→client, v4) | version `u8`, flags `u8`, scan depth `u64`, phase times `u64`×2, point count `u64`, expected distance bits `u64`, typical answers, optional U-Top-k |
+//! | `12` | result chunk (server→client, v4, precedes `end`) | point count `u16`, encoded distribution points |
 //!
 //! All integers are little-endian. A [`WireWriter`] emits the hello frame at
 //! construction and exactly one terminal frame (`end` or `error`); a
@@ -66,6 +69,20 @@
 //! in-order stream before surfacing the reset and the reader stops at the
 //! end frame.)
 //!
+//! **v4** adds *query serving*: instead of replaying a shard, a server holds
+//! whole datasets resident and answers `(dataset, algorithm, k, pτ)` queries.
+//! The client again speaks first ([`write_query_request`]); the server
+//! answers with a result header frame, streams the score distribution in
+//! size-bounded chunks, and terminates with the usual end frame
+//! ([`write_query_result`] / [`read_query_result`]). The exchange replaces
+//! the hello entirely — there is no v4 hello layout — and every score and
+//! probability still travels as raw IEEE-754 bits, so a decoded answer is
+//! bit-identical to the one the server computed. A query-serving daemon that
+//! receives anything other than a request frame answers with an error frame
+//! and closes, so pre-v4 peers fail cleanly instead of hanging; a v4 client
+//! pointed at a shard-replay server gets a clean decode error off the
+//! server's hello in the same way.
+//!
 //! The register/lease frames are the coordinator handshake: a shard server
 //! connects to the coordinator, frames its row count and a display label
 //! ([`write_register`]), and receives the `(id base, namespace)` lease the
@@ -74,8 +91,10 @@
 use std::io::{Read, Write};
 
 use crate::error::{Error, Result};
+use crate::pmf::{DistributionPoint, VectorWitness};
 use crate::source::{GroupKey, SourceTuple, TupleSource};
-use crate::tuple::UncertainTuple;
+use crate::tuple::{TupleId, UncertainTuple};
+use crate::vector::TopkVector;
 
 /// The v2 protocol version byte: the hello layout carrying a
 /// [`ShardAssignment`], and the version the coordinator frames speak.
@@ -83,6 +102,12 @@ pub const WIRE_VERSION: u8 = 2;
 
 /// The v3 protocol version byte: the query-mode (scan-gate pushdown) hello.
 pub const WIRE_VERSION_V3: u8 = 3;
+
+/// The v4 protocol version byte: the query-serving request/result exchange.
+/// v4 defines no hello layout — the request and result frames carry their own
+/// version byte and replace the hello entirely, so hello decoding still
+/// rejects version bytes past v3.
+pub const WIRE_VERSION_V4: u8 = 4;
 
 /// The original protocol version: a 10-byte hello, no assignment metadata.
 const WIRE_VERSION_V1: u8 = 1;
@@ -98,6 +123,9 @@ const FRAME_LEASE: u8 = 6;
 const FRAME_QUERY: u8 = 7;
 const FRAME_BOUND: u8 = 8;
 const FRAME_STOPPED: u8 = 9;
+const FRAME_QUERY_REQUEST: u8 = 10;
+const FRAME_QUERY_RESULT: u8 = 11;
+const FRAME_RESULT_CHUNK: u8 = 12;
 
 /// Largest frame body a reader will accept (an error message, at most; tuple
 /// frames are 34 bytes). Guards against garbage length prefixes allocating
@@ -408,6 +436,497 @@ impl ControlParser {
             ))),
         }
     }
+}
+
+/// A v4 query request: the full query shape a client asks a query-serving
+/// daemon to execute against one of its resident datasets. Everything that
+/// influences the answer is on the wire — the serving side uses the same
+/// fields as its result-cache key, so two requests that encode identically
+/// are answered identically.
+///
+/// Algorithm and coalesce policy travel as raw code bytes: the wire layer
+/// cannot see the engine's enums, so the serving layer maps (and
+/// range-checks) the codes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryRequest {
+    /// Name of the server-resident dataset to query.
+    pub dataset: String,
+    /// Number of answers requested (`k >= 1`).
+    pub k: u64,
+    /// The paper's pτ stopping parameter, in `(0, 1)`.
+    pub p_tau: f64,
+    /// Number of typical answers to select.
+    pub typical_count: u64,
+    /// Line-coalescing budget for the distribution (`0` = unbounded).
+    pub max_lines: u64,
+    /// Engine algorithm code (mapped and validated by the serving layer).
+    pub algorithm: u8,
+    /// Line-coalescing policy code (mapped and validated by the serving
+    /// layer).
+    pub coalesce: u8,
+    /// Whether the server should also run the U-Top-k baseline.
+    pub u_topk: bool,
+}
+
+/// Frames a v4 query request and flushes. The client sends this immediately
+/// after connecting — the query-serving exchange has no hello.
+///
+/// # Errors
+///
+/// [`Error::Source`] on I/O failure or an over-long dataset name.
+pub fn write_query_request(writer: &mut impl Write, request: &QueryRequest) -> Result<()> {
+    let mut body = Vec::with_capacity(39 + request.dataset.len());
+    body.push(FRAME_QUERY_REQUEST);
+    body.push(WIRE_VERSION_V4);
+    body.extend_from_slice(&request.k.to_le_bytes());
+    body.extend_from_slice(&request.p_tau.to_bits().to_le_bytes());
+    body.extend_from_slice(&request.typical_count.to_le_bytes());
+    body.extend_from_slice(&request.max_lines.to_le_bytes());
+    body.push(request.algorithm);
+    body.push(request.coalesce);
+    body.push(u8::from(request.u_topk));
+    push_label(&mut body, &request.dataset)?;
+    write_frame_to(writer, &body)?;
+    writer.flush().map_err(|e| io_err("flush", e))
+}
+
+/// Server-side decode of a [`write_query_request`] frame.
+///
+/// # Errors
+///
+/// [`Error::Source`] on I/O failure, a malformed frame, a version other than
+/// v4, `k == 0`, or a pτ outside `(0, 1)`.
+pub fn read_query_request(reader: &mut impl Read) -> Result<QueryRequest> {
+    let body = read_frame_from(reader)?;
+    if body.first() != Some(&FRAME_QUERY_REQUEST) || body.len() < 39 {
+        return Err(Error::Source("corrupt wire query request frame".into()));
+    }
+    if body[1] != WIRE_VERSION_V4 {
+        return Err(Error::Source(format!(
+            "query request speaks protocol version {} (query serving needs v4)",
+            body[1]
+        )));
+    }
+    let k = u64::from_le_bytes(body[2..10].try_into().expect("8 bytes"));
+    let p_tau = f64::from_bits(u64::from_le_bytes(
+        body[10..18].try_into().expect("8 bytes"),
+    ));
+    let typical_count = u64::from_le_bytes(body[18..26].try_into().expect("8 bytes"));
+    let max_lines = u64::from_le_bytes(body[26..34].try_into().expect("8 bytes"));
+    let algorithm = body[34];
+    let coalesce = body[35];
+    let flags = body[36];
+    if flags > 1 {
+        return Err(Error::Source("corrupt wire query request frame".into()));
+    }
+    if k == 0 || !(p_tau > 0.0 && p_tau < 1.0) {
+        return Err(Error::Source(format!(
+            "query request carries k {k} / p_tau {p_tau} outside the accepted range"
+        )));
+    }
+    Ok(QueryRequest {
+        dataset: pop_label(&body, 37, "query request")?,
+        k,
+        p_tau,
+        typical_count,
+        max_lines,
+        algorithm,
+        coalesce,
+        u_topk: flags == 1,
+    })
+}
+
+/// One typical answer as it travels in a v4 result header: the score line it
+/// represents, the line's probability, and (when the engine tracked
+/// witnesses) the most probable vector attaining it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireTypical {
+    /// Total score of the answer's line.
+    pub score: f64,
+    /// Probability mass at that line.
+    pub probability: f64,
+    /// Most probable vector attaining the line, when tracked.
+    pub vector: Option<TopkVector>,
+}
+
+/// The U-Top-k baseline answer as it travels in a v4 result header.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireUTopk {
+    /// The most probable top-k vector.
+    pub vector: TopkVector,
+    /// State expansions the baseline spent finding it.
+    pub expansions: u64,
+    /// Deepest scan position the baseline touched (1-based).
+    pub deepest_position: u64,
+}
+
+/// A v4 query result: everything the server's answer carried. Scores and
+/// probabilities are raw IEEE-754 bits on the wire, so a decoded result is
+/// bit-identical to the server-side computation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// Whether the server answered from its result cache.
+    pub cache_hit: bool,
+    /// Scan depth the server-side execution observed.
+    pub scan_depth: u64,
+    /// Server-side distribution-phase wall time, in nanoseconds.
+    pub distribution_time_ns: u64,
+    /// Server-side typical-answer-phase wall time, in nanoseconds.
+    pub typical_time_ns: u64,
+    /// Expected distance of the typical-answer selection.
+    pub expected_distance: f64,
+    /// The full score distribution, in ascending score order.
+    pub points: Vec<DistributionPoint>,
+    /// The typical answers.
+    pub typical: Vec<WireTypical>,
+    /// The U-Top-k baseline answer, when the request asked for it.
+    pub u_topk: Option<WireUTopk>,
+}
+
+/// Incremental decoder over one frame body: every short read or trailing
+/// garbage is the same corrupt-frame error the label decoder reports.
+struct FrameCursor<'a> {
+    body: &'a [u8],
+    at: usize,
+    what: &'static str,
+}
+
+impl<'a> FrameCursor<'a> {
+    fn new(body: &'a [u8], at: usize, what: &'static str) -> Self {
+        FrameCursor { body, at, what }
+    }
+
+    fn corrupt(&self) -> Error {
+        Error::Source(format!("corrupt wire {} frame", self.what))
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self
+            .at
+            .checked_add(n)
+            .filter(|&end| end <= self.body.len())
+            .ok_or_else(|| self.corrupt())?;
+        let slice = &self.body[self.at..end];
+        self.at = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Requires the cursor to have consumed the body exactly.
+    fn finish(self) -> Result<()> {
+        if self.at == self.body.len() {
+            Ok(())
+        } else {
+            Err(self.corrupt())
+        }
+    }
+}
+
+fn push_ids(body: &mut Vec<u8>, ids: &[TupleId]) -> Result<()> {
+    if ids.len() > u16::MAX as usize {
+        return Err(Error::Source(format!(
+            "wire vector of {} ids exceeds the {}-id limit",
+            ids.len(),
+            u16::MAX
+        )));
+    }
+    body.extend_from_slice(&(ids.len() as u16).to_le_bytes());
+    for id in ids {
+        body.extend_from_slice(&id.raw().to_le_bytes());
+    }
+    Ok(())
+}
+
+fn pop_ids(cursor: &mut FrameCursor<'_>) -> Result<Vec<TupleId>> {
+    let count = cursor.u16()? as usize;
+    let mut ids = Vec::with_capacity(count);
+    for _ in 0..count {
+        ids.push(TupleId(cursor.u64()?));
+    }
+    Ok(ids)
+}
+
+fn push_vector(body: &mut Vec<u8>, vector: &TopkVector) -> Result<()> {
+    body.extend_from_slice(&vector.total_score().to_bits().to_le_bytes());
+    body.extend_from_slice(&vector.probability().to_bits().to_le_bytes());
+    push_ids(body, vector.ids())
+}
+
+fn pop_vector(cursor: &mut FrameCursor<'_>) -> Result<TopkVector> {
+    let total_score = cursor.f64()?;
+    let probability = cursor.f64()?;
+    Ok(TopkVector::new(pop_ids(cursor)?, total_score, probability))
+}
+
+fn push_point(body: &mut Vec<u8>, point: &DistributionPoint) -> Result<()> {
+    body.extend_from_slice(&point.score.to_bits().to_le_bytes());
+    body.extend_from_slice(&point.probability.to_bits().to_le_bytes());
+    match &point.witness {
+        None => body.push(0),
+        Some(witness) => {
+            body.push(1);
+            body.extend_from_slice(&witness.probability.to_bits().to_le_bytes());
+            push_ids(body, &witness.ids)?;
+        }
+    }
+    Ok(())
+}
+
+fn pop_point(cursor: &mut FrameCursor<'_>) -> Result<DistributionPoint> {
+    let score = cursor.f64()?;
+    let probability = cursor.f64()?;
+    let witness = match cursor.u8()? {
+        0 => None,
+        1 => {
+            let probability = cursor.f64()?;
+            Some(VectorWitness {
+                ids: pop_ids(cursor)?,
+                probability,
+            })
+        }
+        _ => return Err(cursor.corrupt()),
+    };
+    Ok(DistributionPoint {
+        score,
+        probability,
+        witness,
+    })
+}
+
+/// Bytes of a result-chunk frame spent on kind + point count.
+const CHUNK_HEADER: usize = 3;
+
+fn new_chunk() -> Vec<u8> {
+    vec![FRAME_RESULT_CHUNK, 0, 0]
+}
+
+fn flush_chunk(writer: &mut impl Write, chunk: &mut Vec<u8>, count: &mut u16) -> Result<()> {
+    chunk[1..CHUNK_HEADER].copy_from_slice(&count.to_le_bytes());
+    write_frame_to(writer, chunk)?;
+    *chunk = new_chunk();
+    *count = 0;
+    Ok(())
+}
+
+/// Frames a v4 query result — header, distribution chunks, end frame — and
+/// flushes. Chunks are packed up to the frame-body limit, so the full
+/// distribution streams regardless of its line count.
+///
+/// # Errors
+///
+/// [`Error::Source`] on I/O failure, or when a single header/point encoding
+/// exceeds the frame-body limit (vectors of more than `u16::MAX` ids, or a
+/// pathological typical-answer set).
+pub fn write_query_result(writer: &mut impl Write, result: &QueryResult) -> Result<()> {
+    let mut body = Vec::with_capacity(128);
+    body.push(FRAME_QUERY_RESULT);
+    body.push(WIRE_VERSION_V4);
+    let mut flags = 0u8;
+    if result.cache_hit {
+        flags |= 1;
+    }
+    if result.u_topk.is_some() {
+        flags |= 2;
+    }
+    body.push(flags);
+    body.extend_from_slice(&result.scan_depth.to_le_bytes());
+    body.extend_from_slice(&result.distribution_time_ns.to_le_bytes());
+    body.extend_from_slice(&result.typical_time_ns.to_le_bytes());
+    body.extend_from_slice(&(result.points.len() as u64).to_le_bytes());
+    body.extend_from_slice(&result.expected_distance.to_bits().to_le_bytes());
+    if result.typical.len() > u16::MAX as usize {
+        return Err(Error::Source(format!(
+            "query result carries {} typical answers (limit {})",
+            result.typical.len(),
+            u16::MAX
+        )));
+    }
+    body.extend_from_slice(&(result.typical.len() as u16).to_le_bytes());
+    for typical in &result.typical {
+        body.extend_from_slice(&typical.score.to_bits().to_le_bytes());
+        body.extend_from_slice(&typical.probability.to_bits().to_le_bytes());
+        match &typical.vector {
+            None => body.push(0),
+            Some(vector) => {
+                body.push(1);
+                push_vector(&mut body, vector)?;
+            }
+        }
+    }
+    if let Some(u_topk) = &result.u_topk {
+        push_vector(&mut body, &u_topk.vector)?;
+        body.extend_from_slice(&u_topk.expansions.to_le_bytes());
+        body.extend_from_slice(&u_topk.deepest_position.to_le_bytes());
+    }
+    if body.len() > MAX_FRAME_BODY {
+        return Err(Error::Source(format!(
+            "query result header of {} bytes exceeds the {MAX_FRAME_BODY}-byte frame limit",
+            body.len()
+        )));
+    }
+    write_frame_to(writer, &body)?;
+
+    let mut chunk = new_chunk();
+    let mut in_chunk: u16 = 0;
+    for point in &result.points {
+        let mut encoded = Vec::with_capacity(32);
+        push_point(&mut encoded, point)?;
+        if CHUNK_HEADER + encoded.len() > MAX_FRAME_BODY {
+            return Err(Error::Source(format!(
+                "a single distribution point of {} bytes exceeds the {MAX_FRAME_BODY}-byte frame limit",
+                encoded.len()
+            )));
+        }
+        if in_chunk > 0 && (chunk.len() + encoded.len() > MAX_FRAME_BODY || in_chunk == u16::MAX) {
+            flush_chunk(writer, &mut chunk, &mut in_chunk)?;
+        }
+        chunk.extend_from_slice(&encoded);
+        in_chunk += 1;
+    }
+    if in_chunk > 0 {
+        flush_chunk(writer, &mut chunk, &mut in_chunk)?;
+    }
+    write_frame_to(writer, &[FRAME_END])?;
+    writer.flush().map_err(|e| io_err("flush", e))
+}
+
+/// Client-side decode of a [`write_query_result`] stream: the header frame,
+/// every distribution chunk, and the end frame.
+///
+/// # Errors
+///
+/// [`Error::Source`] on I/O failure, a malformed frame, a point count that
+/// does not match the header's announcement, or a server-side failure (an
+/// error frame in place of the header or mid-stream).
+pub fn read_query_result(reader: &mut impl Read) -> Result<QueryResult> {
+    let remote_failed = |body: &[u8]| {
+        Error::Source(format!(
+            "remote query failed: {}",
+            String::from_utf8_lossy(body)
+        ))
+    };
+    let body = read_frame_from(reader)?;
+    match body.first() {
+        Some(&FRAME_QUERY_RESULT) => {}
+        Some(&FRAME_ERROR) => return Err(remote_failed(&body[1..])),
+        _ => return Err(Error::Source("corrupt wire query result frame".into())),
+    }
+    let mut cursor = FrameCursor::new(&body, 1, "query result");
+    let version = cursor.u8()?;
+    if version != WIRE_VERSION_V4 {
+        return Err(Error::Source(format!(
+            "unsupported query result protocol version {version}"
+        )));
+    }
+    let flags = cursor.u8()?;
+    if flags > 3 {
+        return Err(cursor.corrupt());
+    }
+    let scan_depth = cursor.u64()?;
+    let distribution_time_ns = cursor.u64()?;
+    let typical_time_ns = cursor.u64()?;
+    let point_count = cursor.u64()?;
+    let expected_distance = cursor.f64()?;
+    let typical_count = cursor.u16()?;
+    let mut typical = Vec::with_capacity(typical_count as usize);
+    for _ in 0..typical_count {
+        let score = cursor.f64()?;
+        let probability = cursor.f64()?;
+        let vector = match cursor.u8()? {
+            0 => None,
+            1 => Some(pop_vector(&mut cursor)?),
+            _ => return Err(cursor.corrupt()),
+        };
+        typical.push(WireTypical {
+            score,
+            probability,
+            vector,
+        });
+    }
+    let u_topk = if flags & 2 != 0 {
+        let vector = pop_vector(&mut cursor)?;
+        Some(WireUTopk {
+            vector,
+            expansions: cursor.u64()?,
+            deepest_position: cursor.u64()?,
+        })
+    } else {
+        None
+    };
+    cursor.finish()?;
+
+    // The announced count sizes the allocation only up to a clamp — the
+    // actual frames, not the header, decide how much memory is committed.
+    let mut points = Vec::with_capacity((point_count as usize).min(4096));
+    loop {
+        let body = read_frame_from(reader)?;
+        match body.first() {
+            Some(&FRAME_RESULT_CHUNK) => {
+                let mut cursor = FrameCursor::new(&body, 1, "result chunk");
+                let count = cursor.u16()?;
+                for _ in 0..count {
+                    points.push(pop_point(&mut cursor)?);
+                }
+                cursor.finish()?;
+            }
+            Some(&FRAME_END) if body.len() == 1 => break,
+            Some(&FRAME_ERROR) => return Err(remote_failed(&body[1..])),
+            Some(&other) => return Err(Error::Source(format!("unknown wire frame kind {other}"))),
+            None => return Err(Error::Source("corrupt wire result chunk frame".into())),
+        }
+    }
+    if points.len() as u64 != point_count {
+        return Err(Error::Source(format!(
+            "query result shipped {} distribution points but announced {point_count}",
+            points.len()
+        )));
+    }
+    Ok(QueryResult {
+        cache_hit: flags & 1 != 0,
+        scan_depth,
+        distribution_time_ns,
+        typical_time_ns,
+        expected_distance,
+        points,
+        typical,
+        u_topk,
+    })
+}
+
+/// Frames a server-side failure on a v4 query connection and flushes: sent in
+/// place of the result header (or mid-stream) so the client's
+/// [`read_query_result`] surfaces it as [`Error::Source`]. Also the
+/// query-serving daemon's answer to a peer that opened with anything other
+/// than a request frame — pre-v4 peers get a decodable refusal, not a hang.
+///
+/// # Errors
+///
+/// [`Error::Source`] on I/O failure.
+pub fn write_query_error(writer: &mut impl Write, message: &str) -> Result<()> {
+    let mut body = Vec::with_capacity(1 + message.len());
+    body.push(FRAME_ERROR);
+    body.extend_from_slice(message.as_bytes());
+    write_frame_to(writer, &body)?;
+    writer.flush().map_err(|e| io_err("flush", e))
 }
 
 /// The coordinator's allocation state: hands out contiguous, non-overlapping
@@ -1258,5 +1777,162 @@ mod tests {
         assert_eq!(stats.server_scanned(), 10);
         assert_eq!(stats.server_shipped(), 2);
         assert_eq!(stats.trailers(), 1);
+    }
+
+    fn sample_request() -> QueryRequest {
+        QueryRequest {
+            dataset: "area-60".into(),
+            k: 5,
+            p_tau: 1e-3,
+            typical_count: 3,
+            max_lines: 200,
+            algorithm: 2,
+            coalesce: 1,
+            u_topk: true,
+        }
+    }
+
+    fn sample_result(points: usize) -> QueryResult {
+        let witness = |seed: u64| VectorWitness {
+            ids: vec![TupleId(seed), TupleId(seed + 1), TupleId(seed + 2)],
+            probability: 0.25 + (seed % 7) as f64 / 100.0,
+        };
+        QueryResult {
+            cache_hit: true,
+            scan_depth: 69,
+            distribution_time_ns: 1_234_567,
+            typical_time_ns: 89_012,
+            expected_distance: 6.5,
+            points: (0..points as u64)
+                .map(|i| DistributionPoint {
+                    score: 100.0 + i as f64 / 8.0,
+                    probability: 1.0 / (i + 2) as f64,
+                    witness: (i % 3 != 0).then(|| witness(i)),
+                })
+                .collect(),
+            typical: vec![
+                WireTypical {
+                    score: 118.0,
+                    probability: 0.2,
+                    vector: Some(TopkVector::new(vec![TupleId(2), TupleId(6)], 118.0, 0.2)),
+                },
+                WireTypical {
+                    score: 183.0,
+                    probability: 0.1,
+                    vector: None,
+                },
+            ],
+            u_topk: Some(WireUTopk {
+                vector: TopkVector::new(vec![TupleId(2), TupleId(6)], 118.0, 0.2),
+                expansions: 42,
+                deepest_position: 7,
+            }),
+        }
+    }
+
+    #[test]
+    fn query_request_round_trips_and_rejects_bad_shapes() {
+        let request = sample_request();
+        let mut buf = Vec::new();
+        write_query_request(&mut buf, &request).unwrap();
+        assert_eq!(read_query_request(&mut buf.as_slice()).unwrap(), request);
+
+        // k == 0 and pτ outside (0, 1) are refused server-side.
+        for (k, p_tau) in [(0, 1e-3), (5, 0.0), (5, 1.0), (5, -0.5)] {
+            let mut bad = Vec::new();
+            write_query_request(
+                &mut bad,
+                &QueryRequest {
+                    k,
+                    p_tau,
+                    ..sample_request()
+                },
+            )
+            .unwrap();
+            let err = read_query_request(&mut bad.as_slice()).unwrap_err();
+            assert!(
+                matches!(&err, Error::Source(m) if m.contains("outside the accepted range")),
+                "{err}"
+            );
+        }
+
+        // A version bump is named in the refusal, and truncation is an error.
+        let mut future = buf.clone();
+        future[5] = WIRE_VERSION_V4 + 1;
+        let err = read_query_request(&mut future.as_slice()).unwrap_err();
+        assert!(
+            matches!(&err, Error::Source(m) if m.contains("needs v4")),
+            "{err}"
+        );
+        assert!(read_query_request(&mut buf[..buf.len() - 3].as_ref()).is_err());
+        // An over-long dataset name fails at write time, like every label.
+        assert!(write_query_request(
+            &mut Vec::new(),
+            &QueryRequest {
+                dataset: "x".repeat(MAX_FRAME_BODY),
+                ..sample_request()
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn query_result_round_trip_is_bit_identical() {
+        for (points, u_topk, cache_hit) in [(40, true, true), (0, false, false)] {
+            let mut result = sample_result(points);
+            if !u_topk {
+                result.u_topk = None;
+            }
+            result.cache_hit = cache_hit;
+            let mut buf = Vec::new();
+            write_query_result(&mut buf, &result).unwrap();
+            let decoded = read_query_result(&mut buf.as_slice()).unwrap();
+            assert_eq!(decoded, result);
+        }
+    }
+
+    #[test]
+    fn query_result_chunks_split_and_reassemble_large_distributions() {
+        // ~52 bytes per witnessed point: thousands of points span several
+        // 64 KiB chunk frames and must reassemble verbatim.
+        let result = sample_result(5_000);
+        let mut buf = Vec::new();
+        write_query_result(&mut buf, &result).unwrap();
+        let chunks = buf.iter().filter(|&&b| b == FRAME_RESULT_CHUNK).count();
+        assert!(chunks >= 2, "expected several chunk frames");
+        assert_eq!(read_query_result(&mut buf.as_slice()).unwrap(), result);
+    }
+
+    #[test]
+    fn query_result_corruption_and_server_errors_surface() {
+        let result = sample_result(10);
+        let mut buf = Vec::new();
+        write_query_result(&mut buf, &result).unwrap();
+
+        // Any truncation point fails instead of hanging or fabricating data.
+        for cut in [2usize, 20, buf.len() - 2] {
+            assert!(read_query_result(&mut buf[..cut].as_ref()).is_err());
+        }
+
+        // An error frame in place of the header decodes as Error::Source.
+        let mut refusal = Vec::new();
+        write_query_error(&mut refusal, "no such dataset `missing`").unwrap();
+        let err = read_query_result(&mut refusal.as_slice()).unwrap_err();
+        assert!(
+            matches!(&err, Error::Source(m) if m.contains("no such dataset")),
+            "{err}"
+        );
+
+        // A shipped-vs-announced point count mismatch is rejected: drop the
+        // final chunk + end frame and splice in a bare end frame.
+        let header_len = 4 + u32::from_le_bytes(buf[0..4].try_into().unwrap()) as usize;
+        let mut short = buf[..header_len].to_vec();
+        short.extend_from_slice(&1u32.to_le_bytes());
+        short.push(FRAME_END);
+        let err = read_query_result(&mut short.as_slice()).unwrap_err();
+        assert!(
+            matches!(&err, Error::Source(m) if m.contains("announced")),
+            "{err}"
+        );
     }
 }
