@@ -29,12 +29,14 @@ use std::time::{Duration, Instant};
 
 use ttk_bench::{evaluation_area, P_TAU};
 use ttk_core::{
-    scan_depth, serve_query, serve_stream, Dataset, DatasetRegistry, QueryServeOptions, RankScan,
-    RemoteQueryClient, RemoteShardDataset, ResultCache, ScanGate, ServeOptions, Session,
-    ShardScanGate, TopkQuery,
+    scan_depth, serve_query, serve_stream, AppendLog, Dataset, DatasetRegistry, LiveDataset,
+    QueryServeOptions, RankScan, RemoteQueryClient, RemoteShardDataset, ResultCache, ScanGate,
+    ServeOptions, Session, ShardScanGate, TopkQuery,
 };
 use ttk_pdb::{CsvOptions, SpillIndex, SpillOptions};
-use ttk_uncertain::{MergeSource, PrefetchPolicy, TableSource, TupleSource};
+use ttk_uncertain::{
+    MergeSource, PrefetchPolicy, SourceTuple, TableSource, TupleSource, UncertainTuple,
+};
 
 /// Segments of the smoke dataset — an order of magnitude below the paper's
 /// evaluation area so a CI leg finishes in seconds.
@@ -167,6 +169,37 @@ fn main() {
     samples.push(measure("query/main/k5", 3, || {
         session
             .execute(&dataset, &TopkQuery::new(5).with_u_topk(false))
+            .unwrap()
+    }));
+
+    // The live-dataset path: staging + sealing an append log (the sort into
+    // a rank-ordered segment dominates), and a query over the sealed
+    // snapshot's k-way merge — the per-epoch costs of a growing dataset.
+    const APPEND_ROWS: usize = 10_000;
+    const APPEND_CHUNK: usize = 500;
+    let append_rows: Vec<SourceTuple> = (0..APPEND_ROWS)
+        .map(|i| {
+            let score = ((i * 2_654_435_761) % 1_000_003) as f64 / 7.0;
+            let prob = 0.05 + ((i % 89) as f64) / 100.0;
+            SourceTuple::independent(UncertainTuple::new(i as u64, score, prob).unwrap())
+        })
+        .collect();
+    samples.push(measure("live/append-seal/10k", 10, || {
+        let log = AppendLog::new(usize::MAX >> 1);
+        for chunk in append_rows.chunks(APPEND_CHUNK) {
+            log.append(chunk.to_vec()).unwrap();
+        }
+        log.seal()
+    }));
+    let live_log = Arc::new(AppendLog::new(usize::MAX >> 1));
+    for chunk in append_rows.chunks(APPEND_ROWS / 10) {
+        live_log.append(chunk.to_vec()).unwrap();
+        live_log.seal();
+    }
+    let live_dataset = Dataset::from_provider(LiveDataset::new(live_log));
+    samples.push(measure("live/query-post-seal/k5", 5, || {
+        session
+            .execute(&live_dataset, &TopkQuery::new(5).with_u_topk(false))
             .unwrap()
     }));
 

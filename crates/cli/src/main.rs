@@ -34,6 +34,12 @@
 //!   ships a query instead of scanning tuples; `ttk explain --server ADDR
 //!   --dataset NAME --after` reports the server-observed scan depth and
 //!   cache outcome.
+//! * `ttk serve --live NAME` — growing datasets: the daemon keeps a named
+//!   append-only log whose sealed segments form epoch-numbered snapshots.
+//!   `ttk append --server ADDR --dataset NAME` stages rows into the log
+//!   (`--seal` publishes a new epoch), and `ttk watch` holds a standing
+//!   top-k subscription the daemon re-evaluates on every epoch advance,
+//!   pushing a fresh answer only when its distribution actually shifted.
 //! * `ttk soldier` — print the paper's toy example end to end.
 
 use std::collections::HashMap;
@@ -44,19 +50,20 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
 use ttk_core::{
-    serve_query, serve_stream, Algorithm, BatchOptions, ConnectOptions, Dataset, DatasetProvider,
-    DatasetRegistry, PlanDescription, QueryJob, QueryServeOptions, RemoteQueryClient,
-    RemoteShardDataset, ResultCache, ScanPath, ServeOptions, Session, TopkQuery,
+    serve_client, serve_stream, Algorithm, AppendLog, BatchOptions, ConnectOptions, Dataset,
+    DatasetProvider, DatasetRegistry, PlanDescription, QueryJob, QueryServeOptions,
+    RemoteQueryClient, RemoteShardDataset, ResultCache, ScanPath, ServeOptions, Session, TopkQuery,
 };
 use ttk_datagen::cartel::{generate_area, CartelConfig};
 use ttk_datagen::soldier;
 use ttk_datagen::synthetic::{generate, IntRange, MePolicy, SyntheticConfig};
 use ttk_pdb::{
-    count_csv_records, parse_expression, table_to_csv, CsvDataset, CsvOptions, DataType, PTable,
-    Schema, ShardImportOptions, SpillOptions,
+    count_csv_records, parse_expression, stable_group_key, table_to_csv, CsvDataset, CsvOptions,
+    DataType, PTable, Schema, ShardImportOptions, SpillOptions,
 };
 use ttk_uncertain::{
-    wire, LeaseRegistry, PrefetchPolicy, ScoreDistribution, ShardAssignment, TupleSource,
+    wire, LeaseRegistry, PrefetchPolicy, ScoreDistribution, ShardAssignment, SourceTuple,
+    TupleSource, UncertainTuple,
 };
 
 fn main() -> ExitCode {
@@ -92,11 +99,20 @@ fn usage() -> &'static str {
               --score EXPR [--k K] [--p-tau P] [--algorithm ...]
               [--spill-buffer TUPLES] [--prefetch TUPLES] [--after]
               [--remote-timeout SECS] [--remote-retries N]
-  ttk serve   NAME=FILE.csv [NAME=FILE.csv ...] --score EXPR
+  ttk serve   [NAME=FILE.csv ...] [--live NAME ...] [--score EXPR]
               --listen HOST:PORT
+              [--seal-every ROWS]
               [--max-conns N] [--max-parallel N] [--cache-entries N]
               [--request-wait-ms MS] [--port-file FILE]
               [--prob-column NAME] [--group-column NAME]
+  ttk append  --server HOST:PORT --dataset NAME
+              (--row ID:SCORE:PROB[:GROUP] ... | --file DATA.csv --score EXPR)
+              [--seal] [--prob-column NAME] [--group-column NAME]
+              [--remote-timeout SECS] [--remote-retries N]
+  ttk watch   --server HOST:PORT --dataset NAME --k K
+              [--c C] [--p-tau P] [--max-lines N] [--algorithm ...]
+              [--pushes N] [--buckets N]
+              [--remote-timeout SECS] [--remote-retries N]
   ttk serve-shard (DATA.csv | --file DATA.csv | --shard ...) --score EXPR
               --listen HOST:PORT
               [--id-base N [--namespace LABEL] | --coordinator HOST:PORT]
@@ -162,6 +178,24 @@ fn usage() -> &'static str {
   and re-dials per k), and `ttk explain --server ... --after` prints the
   plan with the server-observed scan depth and result-cache outcome.
 
+  serve --live NAME (repeatable, mixable with NAME=FILE positionals; --score
+  is only needed when CSV positionals are given) registers a growing dataset
+  backed by an append-only log. `ttk append` stages scored rows into it —
+  either literal --row ID:SCORE:PROB[:GROUP] flags (GROUP labels hash to the
+  same group keys a CSV import would derive) or a local CSV scored with
+  --score — and --seal publishes the staged rows as a new immutable sealed
+  segment under the next snapshot epoch (the log also auto-seals whenever
+  --seal-every staged rows accumulate, default 1024). Queries always scan
+  the latest sealed snapshot (staged rows stay invisible), the result cache
+  is keyed on the epoch so an advance is a structural cache miss, and
+  `ttk watch` holds a standing subscription: the daemon re-executes the
+  query on every epoch advance and pushes the answer only when its
+  distribution actually shifted (--pushes N closes the subscription after N
+  pushes; the baseline answer counts as the first push). When every worker
+  stays busy through the admission grace window, serve now sheds the
+  connection with a busy/retry-after frame instead of parking it — clients
+  retry with backoff, and shed connections do not count toward --max-conns.
+
   --batch KS runs one query per k in KS (comma list `1,5,10` or range
   `LO:HI`) through the cost-ordered parallel batch executor and prints a
   summary table; --k is ignored when --batch is given. Batches work on every
@@ -178,7 +212,7 @@ fn usage() -> &'static str {
 type Flags = HashMap<String, Vec<String>>;
 
 /// Flags that take no value (their presence means `true`).
-const BOOLEAN_FLAGS: &[&str] = &["after", "no-pushdown"];
+const BOOLEAN_FLAGS: &[&str] = &["after", "no-pushdown", "seal"];
 
 /// Parses `--key value` style flags into a map; bare words are positional.
 fn parse_flags(args: &[String]) -> Result<(Vec<String>, Flags), String> {
@@ -250,6 +284,8 @@ fn run(args: &[String]) -> Result<(), String> {
         "explain" => cmd_explain(rest),
         "serve-shard" => cmd_serve_shard(rest),
         "serve" => cmd_serve(rest),
+        "append" => cmd_append(rest),
+        "watch" => cmd_watch(rest),
         "coordinator" => cmd_coordinator(rest),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
@@ -1124,16 +1160,20 @@ fn cmd_serve_shard(args: &[String]) -> Result<(), String> {
 /// `--max-conns` accepted connections or on SIGINT/SIGTERM, draining
 /// in-flight queries first.
 fn cmd_serve(args: &[String]) -> Result<(), String> {
+    /// Handoff polls (5 ms apart) before a connection nobody can serve is
+    /// shed with a busy frame instead of waiting for a worker.
+    const BUSY_GRACE_POLLS: usize = 10;
+    /// The retry-after hint stamped into shed busy frames.
+    const BUSY_RETRY_AFTER_MS: u64 = 100;
     let (positional, flags) = parse_flags(args)?;
-    let score = get(&flags, "score")
-        .ok_or("--score is required")?
-        .to_string();
+    let live_names: Vec<String> = flags.get("live").cloned().unwrap_or_default();
     let listen = get(&flags, "listen")
         .ok_or("--listen HOST:PORT is required")?
         .to_string();
-    if positional.is_empty() {
+    if positional.is_empty() && live_names.is_empty() {
         return Err(
-            "no datasets: pass NAME=FILE.csv positionals naming the datasets to keep resident"
+            "no datasets: pass NAME=FILE.csv positionals naming the datasets to keep resident, \
+             or --live NAME for growing datasets fed by `ttk append`"
                 .to_string(),
         );
     }
@@ -1143,31 +1183,53 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         return Err("--max-parallel must be at least 1".to_string());
     }
     let cache_entries = get_parse(&flags, "cache-entries", 64usize)?;
+    let seal_every = get_parse(&flags, "seal-every", 1024usize)?;
+    if seal_every == 0 {
+        return Err("--seal-every must be at least 1".to_string());
+    }
     let serve_options = QueryServeOptions {
         request_wait: Duration::from_millis(get_parse(&flags, "request-wait-ms", 10_000u64)?),
+        ..QueryServeOptions::default()
     };
     let csv_options = parse_csv_options(&flags);
-    let expression = parse_expression(&score).map_err(|e| e.to_string())?;
 
     let mut registry = DatasetRegistry::new();
-    for spec in &positional {
-        let (name, path) = spec.split_once('=').ok_or_else(|| {
-            format!("expected NAME=FILE.csv, got `{spec}` (name the dataset clients will query)")
-        })?;
-        if name.is_empty() || path.is_empty() {
-            return Err(format!("expected NAME=FILE.csv, got `{spec}`"));
+    if !positional.is_empty() {
+        let score = get(&flags, "score")
+            .ok_or("--score is required to score the NAME=FILE.csv datasets")?
+            .to_string();
+        let expression = parse_expression(&score).map_err(|e| e.to_string())?;
+        for spec in &positional {
+            let (name, path) = spec.split_once('=').ok_or_else(|| {
+                format!(
+                    "expected NAME=FILE.csv, got `{spec}` (name the dataset clients will query)"
+                )
+            })?;
+            if name.is_empty() || path.is_empty() {
+                return Err(format!("expected NAME=FILE.csv, got `{spec}`"));
+            }
+            let csv = CsvDataset::from_path(path, csv_options.clone(), expression.clone());
+            // Warm eagerly: a missing file or malformed CSV fails the daemon
+            // here, before it accepts a query, and the scoring pass is cached
+            // so the first query opens warm.
+            csv.warm()
+                .map_err(|e| format!("cannot load dataset `{name}` from {path}: {e}"))?;
+            let dataset = csv.into_dataset().with_label(name);
+            let id = registry
+                .register(name, dataset)
+                .map_err(|e| e.to_string())?;
+            eprintln!("dataset `{name}` resident from {path} (dataset id {id})");
         }
-        let csv = CsvDataset::from_path(path, csv_options.clone(), expression.clone());
-        // Warm eagerly: a missing file or malformed CSV fails the daemon
-        // here, before it accepts a query, and the scoring pass is cached
-        // so the first query opens warm.
-        csv.warm()
-            .map_err(|e| format!("cannot load dataset `{name}` from {path}: {e}"))?;
-        let dataset = csv.into_dataset().with_label(name);
+    }
+    for name in &live_names {
+        let log = Arc::new(AppendLog::new(seal_every));
         let id = registry
-            .register(name, dataset)
+            .register_live(name, log)
             .map_err(|e| e.to_string())?;
-        eprintln!("dataset `{name}` resident from {path} (dataset id {id})");
+        eprintln!(
+            "dataset `{name}` live (append-only, auto-seals every {seal_every} staged rows, \
+             dataset id {id})"
+        );
     }
     let registry = Arc::new(registry);
     let cache = Arc::new(ResultCache::new(cache_entries));
@@ -1224,8 +1286,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 // Per-connection error isolation: a stalled client, a
                 // garbled request or a failing execution is logged and the
                 // worker moves on.
-                match serve_query(stream, &registry, &cache, &mut session, &options) {
-                    Ok(summary) => eprintln!("connection {peer} (worker {worker_id}): {summary}"),
+                match serve_client(stream, &registry, &cache, &mut session, &options, &SHUTDOWN) {
+                    Ok(outcome) => eprintln!("connection {peer} (worker {worker_id}): {outcome}"),
                     Err(e) => eprintln!("connection {peer} (worker {worker_id}): {e}"),
                 }
             }
@@ -1248,18 +1310,36 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 return Err(fatal);
             }
         };
-        // Hand off under backpressure: wait for a free worker, still
+        // Hand off under backpressure: wait briefly for a free worker, still
         // honouring a shutdown request (the connection just accepted is
-        // dropped unserved — its client sees a clean close).
+        // dropped unserved — its client sees a clean close). A pool that
+        // stays busy through the whole grace window sheds the connection
+        // with a busy/retry-after frame instead of parking it — the client
+        // retries with backoff, and the daemon never accumulates a queue of
+        // connections nobody is draining.
         let mut pending = stream;
-        loop {
+        let mut grace_polls = 0usize;
+        let handed_off = loop {
             if SHUTDOWN.load(Ordering::SeqCst) {
                 break 'accept true;
             }
             match conn_tx.try_send(pending) {
-                Ok(()) => break,
+                Ok(()) => break true,
                 Err(std::sync::mpsc::TrySendError::Full(back)) => {
                     pending = back;
+                    grace_polls += 1;
+                    if grace_polls >= BUSY_GRACE_POLLS {
+                        let peer = pending
+                            .peer_addr()
+                            .map(|a| a.to_string())
+                            .unwrap_or_else(|_| "<unknown>".to_string());
+                        let _ = wire::write_busy(&mut &pending, BUSY_RETRY_AFTER_MS);
+                        eprintln!(
+                            "connection {peer}: shed by admission control (every worker busy), \
+                             retry-after {BUSY_RETRY_AFTER_MS}ms"
+                        );
+                        break false;
+                    }
                     std::thread::sleep(Duration::from_millis(5));
                 }
                 Err(std::sync::mpsc::TrySendError::Disconnected(_)) => {
@@ -1269,6 +1349,11 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                     return Err("every worker exited; the daemon cannot serve".to_string());
                 }
             }
+        };
+        if !handed_off {
+            // Shed connections were never served: they do not count toward
+            // --max-conns, which bounds *served* connections.
+            continue;
         }
         served_conns += 1;
         if max_conns > 0 && served_conns >= max_conns {
@@ -1446,6 +1531,11 @@ fn describe_scan(plan: &PlanDescription) -> String {
              {buffer}-tuple channel)",
             plan.dataset
         ),
+        ScanPath::Live { segments, epoch } => format!(
+            "{rows} rows from the live snapshot at epoch {epoch} ({segments} sealed segments, \
+             {})",
+            plan.dataset
+        ),
         ScanPath::RemoteQuery => {
             let cache = match plan.server_cache_hit {
                 Some(true) => ", server cache hit",
@@ -1548,6 +1638,141 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     );
     print_histogram(&answer.distribution, buckets, &markers(&answer));
     print_answer_summary(&answer);
+    Ok(())
+}
+
+/// Parses one `--row ID:SCORE:PROB[:GROUP]` spec into a scored row. A GROUP
+/// label is hashed with the same FNV the CSV importer uses, so literal rows
+/// and CSV-file appends naming the same group land in the same ME group.
+fn parse_row_spec(raw: &str) -> Result<SourceTuple, String> {
+    let mut parts = raw.splitn(4, ':');
+    let bad = || format!("expected ID:SCORE:PROB[:GROUP], got `{raw}`");
+    let id: u64 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+    let score: f64 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+    let prob: f64 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+    let tuple = UncertainTuple::new(id, score, prob).map_err(|e| format!("row `{raw}`: {e}"))?;
+    Ok(match parts.next() {
+        Some(label) if !label.is_empty() => SourceTuple::grouped(tuple, stable_group_key(label)),
+        _ => SourceTuple::independent(tuple),
+    })
+}
+
+/// `ttk append`: ship scored rows to a live dataset of a `ttk serve` daemon.
+/// Rows come either from repeatable `--row ID:SCORE:PROB[:GROUP]` literals
+/// or from a local CSV scored with `--score` — exactly the scoring pass
+/// `ttk serve` itself would run. `--seal` publishes the staged rows as a new
+/// snapshot epoch in the same request.
+fn cmd_append(args: &[String]) -> Result<(), String> {
+    let (positional, flags) = parse_flags(args)?;
+    if !positional.is_empty() {
+        return Err(format!(
+            "unexpected positional arguments {positional:?}: appends name their input with \
+             --row or --file"
+        ));
+    }
+    let server = get(&flags, "server")
+        .ok_or("--server HOST:PORT is required (appends go to a ttk serve daemon)")?;
+    let dataset = get(&flags, "dataset")
+        .ok_or("--dataset NAME is required: name the live dataset to append to")?
+        .to_string();
+    let seal = get(&flags, "seal").is_some();
+
+    let row_specs: Vec<String> = flags.get("row").cloned().unwrap_or_default();
+    let file = get(&flags, "file");
+    let rows: Vec<SourceTuple> =
+        match (row_specs.is_empty(), file) {
+            (false, Some(_)) => return Err(
+                "conflicting input flags: pass either --row literals or one --file CSV, not both"
+                    .to_string(),
+            ),
+            (true, None) => {
+                return Err(
+                    "no rows: pass --row ID:SCORE:PROB[:GROUP] (repeatable) or --file DATA.csv \
+                 --score EXPR"
+                        .to_string(),
+                )
+            }
+            (false, None) => {
+                if get(&flags, "score").is_some() {
+                    return Err(
+                        "--score only applies to --file appends; --row literals carry their score"
+                            .to_string(),
+                    );
+                }
+                row_specs
+                    .iter()
+                    .map(|raw| parse_row_spec(raw))
+                    .collect::<Result<_, _>>()?
+            }
+            (true, Some(path)) => {
+                let score = get(&flags, "score")
+                    .ok_or("--score is required to score the --file CSV before appending")?;
+                let expression = parse_expression(score).map_err(|e| e.to_string())?;
+                CsvDataset::from_path(path, parse_csv_options(&flags), expression)
+                    .scored_rows()
+                    .map_err(|e| format!("cannot score {path}: {e}"))?
+            }
+        };
+
+    let accepted = rows.len();
+    let client =
+        RemoteQueryClient::new(server).with_connect_options(parse_connect_options(&flags)?);
+    let ack = client
+        .append(&dataset, rows, seal)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "appended {accepted} row(s) to `{dataset}` on {}: epoch {}, {} staged, {} rows visible{}",
+        client.addr(),
+        ack.epoch,
+        ack.staged,
+        ack.sealed_rows,
+        if ack.sealed_now { " (sealed now)" } else { "" }
+    );
+    Ok(())
+}
+
+/// `ttk watch`: hold a standing top-k subscription against a live dataset.
+/// The daemon pushes the answer once as a baseline and then again on every
+/// epoch advance that actually shifted its distribution; `--pushes N` asks
+/// the server to close the subscription after N pushes (0 = until either
+/// side disconnects).
+fn cmd_watch(args: &[String]) -> Result<(), String> {
+    let (positional, flags) = parse_flags(args)?;
+    reject_local_input_flags(&positional, &flags)?;
+    let server = get(&flags, "server")
+        .ok_or("--server HOST:PORT is required (watch subscribes to a ttk serve daemon)")?;
+    let k = get_parse(&flags, "k", 0usize)?;
+    if k == 0 {
+        return Err("--k is required and must be at least 1".to_string());
+    }
+    let (client, dataset) = server_query_client(server, &flags)?;
+    let topk = parse_topk_params(&flags, k)?;
+    let pushes = get_parse(&flags, "pushes", 0u64)?;
+    let buckets = get_parse(&flags, "buckets", 16usize)?;
+
+    let mut watch = client
+        .watch(&dataset, &topk, pushes)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "watching `{dataset}` on {} (k = {k}{})",
+        client.addr(),
+        if pushes > 0 {
+            format!(", closing after {pushes} push(es)")
+        } else {
+            String::new()
+        }
+    );
+    let mut received = 0u64;
+    while let Some(push) = watch.next_push().map_err(|e| e.to_string())? {
+        received += 1;
+        println!(
+            "push {received}: epoch {}, answer hash {:016x}",
+            push.epoch, push.answer_hash
+        );
+        print_histogram(&push.answer.distribution, buckets, &markers(&push.answer));
+        print_answer_summary(&push.answer);
+    }
+    println!("subscription closed by the server after {received} push(es)");
     Ok(())
 }
 
@@ -2544,6 +2769,271 @@ mod tests {
 
         // The daemon reaches --max-conns and drains: the stalled worker is
         // released by --request-wait-ms, no hang. Only then hang up.
+        server.join().unwrap().unwrap();
+        drop(stalled);
+        std::fs::remove_file(&port_file).ok();
+        std::fs::remove_file(&data).ok();
+    }
+
+    /// The whole live-dataset flow over the wire: `ttk append` feeds a
+    /// `--live` dataset, queries scan exactly the sealed snapshot (a seal is
+    /// an epoch-keyed cache miss on the next query), a standing `watch`
+    /// subscription is pushed only when the answer distribution actually
+    /// shifts, and the `ttk watch`/`ttk append --file` verbs work end to
+    /// end.
+    #[test]
+    fn serve_live_append_watch_round_trip() {
+        let dir = std::env::temp_dir();
+        let port_file = dir.join("ttk_cli_test_live_port");
+        std::fs::remove_file(&port_file).ok();
+        let extra_csv = dir.join("ttk_cli_test_live_extra.csv");
+        std::fs::write(&extra_csv, "score,probability,group_key\n5,0.5,\n").unwrap();
+        // Exactly nine connections: the append verb, cold query, cached
+        // requery, the standing subscription, the no-shift append, the
+        // shift append, the post-shift requery, the --file append, and the
+        // watch verb.
+        let server_args = s(&[
+            "serve",
+            "--live",
+            "feed",
+            "--seal-every",
+            "1000",
+            "--listen",
+            "127.0.0.1:0",
+            "--port-file",
+            &port_file.to_string_lossy(),
+            "--max-conns",
+            "9",
+            "--max-parallel",
+            "2",
+            "--cache-entries",
+            "8",
+        ]);
+        let server = std::thread::spawn(move || run(&server_args));
+        let addr = poll_port_file(&port_file);
+
+        // Seed the log through the CLI verb: three rows, sealed into epoch 1.
+        run(&s(&[
+            "append",
+            "--server",
+            &addr,
+            "--dataset",
+            "feed",
+            "--row",
+            "1:100:1.0",
+            "--row",
+            "2:50:0.5",
+            "--row",
+            "3:10:0.8",
+            "--seal",
+        ]))
+        .unwrap();
+
+        // Cold query at epoch 1: the certain score-100 tuple is the whole
+        // top-1 distribution. The repeat is a cache hit at the same epoch.
+        let query = TopkQuery::new(1).with_p_tau(1e-6).with_u_topk(false);
+        let client = RemoteQueryClient::new(addr.as_str());
+        let cold = client.execute("feed", &query).unwrap();
+        assert!(!cold.cache_hit, "first query must execute");
+        assert_eq!(cold.epoch, Some(1), "three sealed rows mean epoch 1");
+        assert_eq!(cold.answer.distribution.len(), 1);
+        let cached = client.execute("feed", &query).unwrap();
+        assert!(cached.cache_hit, "same epoch, same shape: cache hit");
+        assert_eq!(cached.answer.distribution, cold.answer.distribution);
+
+        // The standing subscription, on its own thread: the baseline answer
+        // is the first push, the distribution shift is the second (and
+        // last: max_pushes = 2 makes the server close the stream).
+        let (push_tx, push_rx) = std::sync::mpsc::channel();
+        let watch_addr = addr.clone();
+        let watch_query = query;
+        let watcher = std::thread::spawn(move || {
+            let mut watch = RemoteQueryClient::new(watch_addr)
+                .watch("feed", &watch_query, 2)
+                .unwrap();
+            let baseline = watch.next_push().unwrap().expect("baseline push");
+            push_tx.send(baseline).unwrap();
+            let shifted = watch.next_push().unwrap().expect("shift push");
+            push_tx.send(shifted).unwrap();
+            watch.next_push().unwrap()
+        });
+        let baseline = push_rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("the subscription pushes its baseline answer");
+        assert_eq!(baseline.epoch, 1);
+        assert_eq!(baseline.answer.distribution, cold.answer.distribution);
+
+        // A no-shift append: a low certain-loser row seals epoch 2, but the
+        // top-1 distribution is unchanged, so nothing may be pushed. Give
+        // the subscription ample time to have evaluated epoch 2.
+        let no_shift = vec![SourceTuple::independent(
+            UncertainTuple::new(4u64, 20.0, 0.5).unwrap(),
+        )];
+        let ack = client.append("feed", no_shift, true).unwrap();
+        assert_eq!(ack.epoch, 2);
+        assert!(ack.sealed_now);
+        std::thread::sleep(Duration::from_millis(400));
+        assert!(
+            push_rx.try_recv().is_err(),
+            "an epoch advance that does not shift the answer must push nothing"
+        );
+
+        // The shift: a score-200 maybe-tuple seals epoch 3 and changes the
+        // top-1 distribution. The push reports epoch 3 — epoch 2 was
+        // evaluated and skipped, not queued.
+        let shift = vec![SourceTuple::independent(
+            UncertainTuple::new(5u64, 200.0, 0.5).unwrap(),
+        )];
+        let ack = client.append("feed", shift, true).unwrap();
+        assert_eq!(ack.epoch, 3);
+        let shifted = push_rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("the shift must be pushed");
+        assert_eq!(shifted.epoch, 3, "the no-shift epoch is skipped");
+        assert_ne!(shifted.answer_hash, baseline.answer_hash);
+        assert_eq!(shifted.answer.distribution.len(), 2);
+        assert!(
+            watcher.join().unwrap().is_none(),
+            "after max_pushes the server closes the push stream cleanly"
+        );
+
+        // The sealed epoch is part of the cache key: the same query shape
+        // misses and sees the shifted distribution.
+        let reheated = client.execute("feed", &query).unwrap();
+        assert!(!reheated.cache_hit, "epoch 3 is a different cache key");
+        assert_eq!(reheated.epoch, Some(3));
+        assert_eq!(reheated.answer.distribution, shifted.answer.distribution);
+
+        // `ttk append --file` scores a CSV locally and stages it (no seal:
+        // the rows stay invisible, the epoch stays put).
+        run(&s(&[
+            "append",
+            "--server",
+            &addr,
+            "--dataset",
+            "feed",
+            "--file",
+            &extra_csv.to_string_lossy(),
+            "--score",
+            "score",
+        ]))
+        .unwrap();
+
+        // The `ttk watch` verb: the baseline push arrives and --pushes 1
+        // closes the subscription server-side.
+        run(&s(&[
+            "watch",
+            "--server",
+            &addr,
+            "--dataset",
+            "feed",
+            "--k",
+            "1",
+            "--pushes",
+            "1",
+        ]))
+        .unwrap();
+
+        server.join().unwrap().unwrap();
+
+        // Client-side validation (nothing dials).
+        let err = run(&s(&["append", "--server", &addr, "--dataset", "feed"])).unwrap_err();
+        assert!(err.contains("no rows"), "{err}");
+        let err = run(&s(&[
+            "append",
+            "--server",
+            &addr,
+            "--dataset",
+            "feed",
+            "--row",
+            "1:2:0.5",
+            "--file",
+            "x.csv",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("either --row literals or one --file"), "{err}");
+        let err = run(&s(&[
+            "append",
+            "--server",
+            &addr,
+            "--dataset",
+            "feed",
+            "--row",
+            "nope",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("ID:SCORE:PROB"), "{err}");
+        let err = run(&s(&["watch", "--server", &addr, "--dataset", "feed"])).unwrap_err();
+        assert!(err.contains("--k"), "{err}");
+        // Serve-side: --live without a score works, but no datasets at all
+        // is still an error.
+        assert!(run(&s(&["serve", "--listen", "127.0.0.1:0"])).is_err());
+
+        std::fs::remove_file(&port_file).ok();
+        std::fs::remove_file(&extra_csv).ok();
+    }
+
+    /// Admission control: when the only worker stays busy past the grace
+    /// window, new connections are shed with a busy/retry-after frame. The
+    /// client retries with backoff and completes once the worker frees, and
+    /// the shed attempts do not count toward --max-conns (the daemon exits
+    /// after exactly the two *served* connections).
+    #[test]
+    fn serve_sheds_busy_connections_and_clients_retry() {
+        let dir = std::env::temp_dir();
+        let data = dir.join("ttk_cli_test_shed.csv");
+        let path = data.to_string_lossy().to_string();
+        run(&s(&[
+            "generate",
+            "synthetic",
+            "--tuples",
+            "2000",
+            "--seed",
+            "21",
+            "--out",
+            &path,
+        ]))
+        .unwrap();
+        let port_file = dir.join("ttk_cli_test_shed_port");
+        std::fs::remove_file(&port_file).ok();
+        let dataset_spec = format!("data={path}");
+        let server_args = s(&[
+            "serve",
+            &dataset_spec,
+            "--score",
+            "score",
+            "--listen",
+            "127.0.0.1:0",
+            "--port-file",
+            &port_file.to_string_lossy(),
+            "--max-conns",
+            "2",
+            "--max-parallel",
+            "1",
+            "--request-wait-ms",
+            "400",
+        ]);
+        let server = std::thread::spawn(move || run(&server_args));
+        let addr = poll_port_file(&port_file);
+
+        // The stall: the sole worker sits on this connection until the
+        // request timeout fires at 400ms. Every dial in between must be
+        // shed, not queued.
+        let stalled = std::net::TcpStream::connect(&addr).unwrap();
+        // Let the handoff land before dialling the real client.
+        std::thread::sleep(Duration::from_millis(100));
+
+        let query = TopkQuery::new(2).with_p_tau(1e-3).with_u_topk(false);
+        let client = RemoteQueryClient::new(addr.as_str()).with_connect_options(ConnectOptions {
+            retries: 6,
+            ..ConnectOptions::default()
+        });
+        let remote = client.execute("data", &query).unwrap();
+        assert!(!remote.cache_hit);
+
+        // --max-conns 2 counts the stalled and the served connection only;
+        // if shed attempts counted, the daemon would have exited before the
+        // query was ever served and the execute above would have failed.
         server.join().unwrap().unwrap();
         drop(stalled);
         std::fs::remove_file(&port_file).ok();

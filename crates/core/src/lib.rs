@@ -32,10 +32,16 @@
 //!   conservative [`ShardScanGate`] bound.
 //! * [`registry`] — the state a query-serving daemon keeps resident: the
 //!   named, `Arc`-shared [`DatasetRegistry`] and the sharded LRU
-//!   [`ResultCache`] keyed on the full query shape ([`CacheKey`]).
-//! * [`mod@query_serve`] — query serving itself: [`serve_query`] answers one
-//!   connection from the registry/cache, [`RemoteQueryClient`] ships whole
-//!   queries to a `ttk serve` daemon and decodes bit-identical answers.
+//!   [`ResultCache`] keyed on the full query shape ([`CacheKey`]),
+//!   epoch-stamped so live appends invalidate cached answers.
+//! * [`mod@query_serve`] — query serving itself: [`serve_client`] answers one
+//!   connection from the registry/cache (queries, appends, standing
+//!   subscriptions), [`RemoteQueryClient`] ships whole queries to a
+//!   `ttk serve` daemon and decodes bit-identical answers.
+//! * [`live`] — growing datasets: an [`AppendLog`] staging out-of-order
+//!   appends and sealing them into immutable rank-ordered segments under
+//!   epoch-numbered watermarked snapshots; [`LiveDataset`] opens any
+//!   snapshot as a plain merged scan, so every other layer works unchanged.
 //! * [`query`] — the query model ([`TopkQuery`], [`QueryAnswer`]) and the
 //!   reusable [`Executor`] engine the session drives.
 //!
@@ -74,6 +80,7 @@
 pub mod baselines;
 pub mod dp;
 pub mod k_combo;
+pub mod live;
 pub mod query;
 pub mod query_serve;
 pub mod registry;
@@ -91,10 +98,12 @@ pub use dp::{
     topk_score_distribution_streamed, MainConfig, MainOutput, MeStrategy,
 };
 pub use k_combo::{k_combo, k_combo_streamed};
+pub use live::{AppendLog, AppendOutcome, LiveDataset, LiveSnapshot, SubscriberGuard};
 pub use query::{Algorithm, Executor, QueryAnswer, TopkQuery};
 pub use query_serve::{
-    answer_from_wire, answer_to_wire, query_from_request, request_for, serve_query,
-    QueryServeOptions, QueryServeSummary, RemoteAnswer, RemoteQueryClient,
+    answer_from_wire, answer_hash, answer_to_wire, query_from_request, request_for, serve_client,
+    serve_query, AppendServeSummary, QueryServeOptions, QueryServeSummary, RemoteAnswer,
+    RemoteQueryClient, ServeOutcome, SubscriptionSummary, WatchClient, WatchPush,
 };
 pub use registry::{CacheKey, DatasetRegistry, ResultCache};
 pub use remote::{ConnectOptions, RemoteShardDataset};

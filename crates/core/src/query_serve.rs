@@ -33,15 +33,38 @@
 //! answers anything that is not a query-request frame with an error frame
 //! and closes, so pre-v4 peers fail cleanly instead of hanging; a v4 client
 //! pointed at a shard server decodes the unexpected hello as a clean error.
+//!
+//! The v5 surface widens one connection's first frame to a [`ClientRequest`]
+//! — query, append, or subscribe — dispatched by [`serve_client`]:
+//!
+//! * appends land on a registry-resident live dataset's
+//!   [`AppendLog`](crate::live::AppendLog) (optionally sealing), bump the
+//!   cache generation when the epoch advances, and are acknowledged with the
+//!   new watermark;
+//! * subscriptions turn the connection into a push stream: the daemon
+//!   evaluates the standing query at the current epoch (the baseline push),
+//!   then re-evaluates whenever the epoch advances and pushes a
+//!   notification + full result **only when the answer distribution
+//!   actually shifted** ([`answer_hash`] compares distributions, not scan
+//!   bookkeeping);
+//! * results are epoch-stamped, and the daemon echoes the client's spoken
+//!   protocol version, so pre-v5 clients are served byte-identical v4
+//!   results.
 
+use std::collections::hash_map::DefaultHasher;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::io::{BufReader, BufWriter};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use ttk_uncertain::wire::{self, QueryRequest, QueryResult, WireTypical, WireUTopk};
-use ttk_uncertain::{CoalescePolicy, Error, Result, ScoreDistribution};
+use ttk_uncertain::wire::{
+    self, AppendAck, AppendRequest, ClientRequest, Notification, QueryRequest, QueryResult,
+    SubscribeRequest, WireTypical, WireUTopk, WIRE_VERSION_V5,
+};
+use ttk_uncertain::{CoalescePolicy, Error, Result, ScoreDistribution, SourceTuple};
 
 use crate::baselines::UTopkAnswer;
 use crate::query::{Algorithm, QueryAnswer, TopkQuery};
@@ -110,6 +133,7 @@ pub fn coalesce_from_code(code: u8) -> Result<CoalescePolicy> {
 /// The wire request for `query` against the resident dataset `dataset`.
 pub fn request_for(dataset: &str, query: &TopkQuery) -> QueryRequest {
     QueryRequest {
+        version: WIRE_VERSION_V5,
         dataset: dataset.to_string(),
         k: query.k as u64,
         p_tau: query.p_tau,
@@ -143,9 +167,14 @@ pub fn query_from_request(request: &QueryRequest) -> Result<TopkQuery> {
 }
 
 /// Flattens a finished answer into the wire result, tagged with whether it
-/// came from the result cache.
+/// came from the result cache. The result speaks v5 with a zero
+/// epoch/generation; the serving path overwrites all three (echoing the
+/// client's version, stamping the dataset epoch and cache generation).
 pub fn answer_to_wire(answer: &QueryAnswer, cache_hit: bool) -> QueryResult {
     QueryResult {
+        version: WIRE_VERSION_V5,
+        epoch: 0,
+        cache_generation: 0,
         cache_hit,
         scan_depth: answer.scan_depth as u64,
         distribution_time_ns: answer.distribution_time.as_nanos() as u64,
@@ -204,19 +233,25 @@ pub fn answer_from_wire(result: QueryResult) -> (QueryAnswer, bool) {
     (answer, cache_hit)
 }
 
-/// Knobs of [`serve_query`].
+/// Knobs of [`serve_query`] / [`serve_client`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QueryServeOptions {
     /// How long a worker waits for the connection's request frame before
     /// giving up on the client (a stalled client holds its worker for at
     /// most this long). `Duration::ZERO` waits forever.
     pub request_wait: Duration,
+    /// How long a subscription loop sleeps on the epoch condvar before
+    /// re-checking its stop conditions (daemon shutdown, client
+    /// disconnect). Purely a responsiveness/cost trade-off: an epoch
+    /// advance wakes the loop immediately regardless.
+    pub subscription_poll: Duration,
 }
 
 impl Default for QueryServeOptions {
     fn default() -> Self {
         QueryServeOptions {
             request_wait: Duration::from_secs(10),
+            subscription_poll: Duration::from_millis(50),
         }
     }
 }
@@ -239,19 +274,25 @@ pub struct QueryServeSummary {
     /// Scan depth of the answer that was shipped (the cold run's depth when
     /// the cache answered).
     pub scan_depth: usize,
+    /// The dataset epoch the answer is pinned to (0 for static datasets).
+    pub epoch: u64,
+    /// The result cache's generation when the answer shipped.
+    pub cache_generation: u64,
 }
 
 impl fmt::Display for QueryServeSummary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "query `{}` (dataset id {}): algorithm {:?}, k = {}, p_tau = {:e} -> cache {}, scan depth {} tuples",
+            "query `{}` (dataset id {}, epoch {}): algorithm {:?}, k = {}, p_tau = {:e} -> cache {} (generation {}), scan depth {} tuples",
             self.dataset,
             self.dataset_id,
+            self.epoch,
             self.algorithm,
             self.k,
             self.p_tau,
             if self.cache_hit { "hit" } else { "miss" },
+            self.cache_generation,
             self.scan_depth,
         )
     }
@@ -312,22 +353,12 @@ fn serve_decoded_query(
     session: &mut Session,
 ) -> Result<QueryServeSummary> {
     let query = query_from_request(request)?;
-    let dataset = registry.get(&request.dataset).ok_or_else(|| {
-        let resident = registry.names().join(", ");
-        Error::InvalidParameter(if resident.is_empty() {
-            format!(
-                "no such dataset `{}` (no datasets are resident)",
-                request.dataset
-            )
-        } else {
-            format!(
-                "no such dataset `{}`; resident datasets: {resident}",
-                request.dataset
-            )
-        })
-    })?;
+    let dataset = registry
+        .get(&request.dataset)
+        .ok_or_else(|| no_such_dataset(registry, &request.dataset))?;
 
-    let key = CacheKey::new(dataset.id(), &query);
+    let epoch = dataset.epoch();
+    let key = CacheKey::new(dataset.id(), epoch, &query);
     let (answer, cache_hit) = match cache.get(&key) {
         Some(answer) => (answer, true),
         None => {
@@ -337,8 +368,15 @@ fn serve_decoded_query(
         }
     };
 
+    let cache_generation = cache.generation();
+    let mut result = answer_to_wire(&answer, cache_hit);
+    // Echo the client's spoken version: a v4 client gets a byte-identical
+    // v4 result, a v5 client additionally gets the epoch/generation tail.
+    result.version = request.version;
+    result.epoch = epoch;
+    result.cache_generation = cache_generation;
     let mut writer = BufWriter::new(stream);
-    wire::write_query_result(&mut writer, &answer_to_wire(&answer, cache_hit))?;
+    wire::write_query_result(&mut writer, &result)?;
 
     Ok(QueryServeSummary {
         dataset: request.dataset.clone(),
@@ -348,6 +386,326 @@ fn serve_decoded_query(
         p_tau: query.p_tau,
         cache_hit,
         scan_depth: answer.scan_depth,
+        epoch,
+        cache_generation,
+    })
+}
+
+/// The "no such dataset" refusal every request kind answers with.
+fn no_such_dataset(registry: &DatasetRegistry, name: &str) -> Error {
+    let resident = registry.names().join(", ");
+    Error::InvalidParameter(if resident.is_empty() {
+        format!("no such dataset `{name}` (no datasets are resident)")
+    } else {
+        format!("no such dataset `{name}`; resident datasets: {resident}")
+    })
+}
+
+/// A stable fingerprint of *what a query answered* — the score
+/// distribution (raw IEEE-754 bits), the typical selection, and the U-Top-k
+/// vector when present.
+///
+/// Scan bookkeeping (scan depth, timings, per-line witnesses, U-Top-k
+/// search counters) is deliberately excluded: an append that does not
+/// change the top-k distribution may still change how deep the scan ran,
+/// and a standing subscription must stay silent for it.
+pub fn answer_hash(answer: &QueryAnswer) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    for point in answer.distribution.points() {
+        point.score.to_bits().hash(&mut hasher);
+        point.probability.to_bits().hash(&mut hasher);
+    }
+    answer.typical.expected_distance.to_bits().hash(&mut hasher);
+    for typical in &answer.typical.answers {
+        typical.score.to_bits().hash(&mut hasher);
+        typical.probability.to_bits().hash(&mut hasher);
+    }
+    if let Some(u_topk) = &answer.u_topk {
+        for id in u_topk.vector.ids() {
+            id.raw().hash(&mut hasher);
+        }
+    }
+    hasher.finish()
+}
+
+/// What one append connection did — the daemon's log line for it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppendServeSummary {
+    /// Registered name of the live dataset appended to.
+    pub dataset: String,
+    /// Rows the request carried (all accepted, or none).
+    pub rows: u64,
+    /// The acknowledgement shipped back: the watermark after the request.
+    pub ack: AppendAck,
+    /// The result cache's generation after the request (bumped when the
+    /// epoch advanced).
+    pub cache_generation: u64,
+}
+
+impl fmt::Display for AppendServeSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "append `{}`: {} rows accepted -> epoch {}, {} staged, {} visible{}, cache generation {}",
+            self.dataset,
+            self.rows,
+            self.ack.epoch,
+            self.ack.staged,
+            self.ack.sealed_rows,
+            if self.ack.sealed_now { " (sealed)" } else { "" },
+            self.cache_generation,
+        )
+    }
+}
+
+/// What one subscription connection did over its lifetime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubscriptionSummary {
+    /// Registered name of the live dataset watched.
+    pub dataset: String,
+    /// Standing-query evaluations (one per epoch advance, plus the
+    /// baseline).
+    pub evaluations: u64,
+    /// Pushes actually sent — evaluations whose answer distribution
+    /// differed from the previous push.
+    pub pushes: u64,
+    /// The last epoch the subscription evaluated at.
+    pub last_epoch: u64,
+}
+
+impl fmt::Display for SubscriptionSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "subscription `{}`: {} evaluations, {} pushes, last epoch {}",
+            self.dataset, self.evaluations, self.pushes, self.last_epoch,
+        )
+    }
+}
+
+/// What one served connection turned out to be, for the daemon's log.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeOutcome {
+    /// A one-shot query.
+    Query(QueryServeSummary),
+    /// An append (+ optional seal) to a live dataset.
+    Append(AppendServeSummary),
+    /// A standing-query subscription that has now ended.
+    Subscription(SubscriptionSummary),
+}
+
+impl fmt::Display for ServeOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeOutcome::Query(summary) => summary.fmt(f),
+            ServeOutcome::Append(summary) => summary.fmt(f),
+            ServeOutcome::Subscription(summary) => summary.fmt(f),
+        }
+    }
+}
+
+/// Serves one v5 connection, whatever its first frame asks for: a query
+/// (exactly [`serve_query`]'s behaviour), an append to a live dataset, or a
+/// standing-query subscription.
+///
+/// `stop` is the daemon's drain flag: a subscription loop re-checks it
+/// every [`QueryServeOptions::subscription_poll`] and closes its push
+/// stream cleanly when it flips, so workers can be joined.
+///
+/// # Errors
+///
+/// As [`serve_query`]: every failure is answered with a best-effort error
+/// frame and returned, isolated to this connection.
+pub fn serve_client(
+    stream: TcpStream,
+    registry: &DatasetRegistry,
+    cache: &ResultCache,
+    session: &mut Session,
+    options: &QueryServeOptions,
+    stop: &AtomicBool,
+) -> Result<ServeOutcome> {
+    let wait = match options.request_wait {
+        Duration::ZERO => None,
+        wait => Some(wait),
+    };
+    stream
+        .set_read_timeout(wait)
+        .map_err(|e| Error::Source(format!("arming the request timeout: {e}")))?;
+
+    let mut read_half = &stream;
+    let request = match wire::read_client_request(&mut read_half) {
+        Ok(request) => request,
+        Err(e) => {
+            let _ = wire::write_query_error(&mut &stream, &e.to_string());
+            return Err(e);
+        }
+    };
+
+    let outcome = match request {
+        ClientRequest::Query(request) => {
+            serve_decoded_query(&stream, &request, registry, cache, session)
+                .map(ServeOutcome::Query)
+        }
+        ClientRequest::Append(request) => {
+            serve_append(&stream, request, registry, cache).map(ServeOutcome::Append)
+        }
+        ClientRequest::Subscribe(request) => {
+            serve_subscription(&stream, &request, registry, cache, session, options, stop)
+                .map(ServeOutcome::Subscription)
+        }
+    };
+    match outcome {
+        Ok(outcome) => Ok(outcome),
+        Err(e) => {
+            let _ = wire::write_query_error(&mut &stream, &e.to_string());
+            Err(e)
+        }
+    }
+}
+
+/// One append connection: resolve the live dataset, apply the batch (and
+/// the optional seal), bump the cache generation when the watermark moved,
+/// acknowledge.
+fn serve_append(
+    stream: &TcpStream,
+    request: AppendRequest,
+    registry: &DatasetRegistry,
+    cache: &ResultCache,
+) -> Result<AppendServeSummary> {
+    let log = registry.live(&request.dataset).ok_or_else(|| {
+        if registry.get(&request.dataset).is_some() {
+            Error::InvalidParameter(format!(
+                "dataset `{}` is static; appends need a dataset served with --live",
+                request.dataset
+            ))
+        } else {
+            no_such_dataset(registry, &request.dataset)
+        }
+    })?;
+
+    let rows = request.rows.len() as u64;
+    let epoch_before = log.epoch();
+    let mut outcome = log.append(request.rows)?;
+    if request.seal {
+        let sealed = log.seal();
+        outcome = crate::live::AppendOutcome {
+            sealed_now: outcome.sealed_now || sealed.sealed_now,
+            ..sealed
+        };
+    }
+    if outcome.epoch > epoch_before {
+        cache.bump_generation();
+    }
+
+    let ack = AppendAck {
+        epoch: outcome.epoch,
+        staged: outcome.staged,
+        sealed_rows: outcome.sealed_rows,
+        sealed_now: outcome.sealed_now,
+    };
+    wire::write_append_ack(&mut &*stream, &ack)?;
+    Ok(AppendServeSummary {
+        dataset: request.dataset,
+        rows,
+        ack,
+        cache_generation: cache.generation(),
+    })
+}
+
+/// True when the subscribed client hung up (clean EOF or a dead socket).
+fn client_gone(stream: &TcpStream) -> bool {
+    if stream.set_nonblocking(true).is_err() {
+        return true;
+    }
+    let mut probe = [0u8; 1];
+    let gone = match stream.peek(&mut probe) {
+        Ok(0) => true,
+        Ok(_) => false,
+        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => false,
+        Err(_) => true,
+    };
+    let _ = stream.set_nonblocking(false);
+    gone
+}
+
+/// One subscription connection: evaluate the standing query at the current
+/// watermark (the baseline push), then re-evaluate on every epoch advance
+/// and push only when the answer distribution shifted.
+///
+/// Pushes bypass the result cache deliberately: the subscription's
+/// evaluations must not warm (or be warmed by) the one-shot query path, so
+/// a cold query after an append still demonstrates the epoch-keyed miss.
+fn serve_subscription(
+    stream: &TcpStream,
+    request: &SubscribeRequest,
+    registry: &DatasetRegistry,
+    cache: &ResultCache,
+    session: &mut Session,
+    options: &QueryServeOptions,
+    stop: &AtomicBool,
+) -> Result<SubscriptionSummary> {
+    let name = request.query.dataset.as_str();
+    let query = query_from_request(&request.query)?;
+    let dataset = registry
+        .get(name)
+        .ok_or_else(|| no_such_dataset(registry, name))?;
+    let log = registry.live(name).ok_or_else(|| {
+        Error::InvalidParameter(format!(
+            "dataset `{name}` is static; subscriptions need a dataset served with --live"
+        ))
+    })?;
+    let _guard = log.subscribe();
+
+    let mut evaluations = 0u64;
+    let mut pushes = 0u64;
+    let mut last_hash: Option<u64> = None;
+    let mut last_epoch = log.epoch();
+
+    'serve: loop {
+        evaluations += 1;
+        let answer = session.execute(dataset, &query)?;
+        let hash = answer_hash(&answer);
+        if last_hash != Some(hash) {
+            let mut result = answer_to_wire(&answer, false);
+            result.epoch = last_epoch;
+            result.cache_generation = cache.generation();
+            let mut writer = BufWriter::new(stream);
+            wire::write_notification(
+                &mut writer,
+                &Notification {
+                    epoch: last_epoch,
+                    answer_hash: hash,
+                },
+            )?;
+            wire::write_query_result(&mut writer, &result)?;
+            pushes += 1;
+            last_hash = Some(hash);
+            if request.max_pushes != 0 && pushes >= request.max_pushes {
+                wire::write_push_end(&mut &*stream)?;
+                break 'serve;
+            }
+        }
+        loop {
+            if stop.load(Ordering::Relaxed) {
+                let _ = wire::write_push_end(&mut &*stream);
+                break 'serve;
+            }
+            if client_gone(stream) {
+                break 'serve;
+            }
+            if let Some(snapshot) = log.wait_for_epoch_beyond(last_epoch, options.subscription_poll)
+            {
+                last_epoch = snapshot.epoch();
+                continue 'serve;
+            }
+        }
+    }
+
+    Ok(SubscriptionSummary {
+        dataset: name.to_string(),
+        evaluations,
+        pushes,
+        last_epoch,
     })
 }
 
@@ -358,6 +716,12 @@ pub struct RemoteAnswer {
     pub answer: QueryAnswer,
     /// True when the server answered from its result cache.
     pub cache_hit: bool,
+    /// The dataset epoch the answer is pinned to (`None` from a pre-v5
+    /// server).
+    pub epoch: Option<u64>,
+    /// The server's result-cache generation at answer time (`None` from a
+    /// pre-v5 server).
+    pub cache_generation: Option<u64>,
 }
 
 /// The client side of query serving: dials a `ttk serve` daemon, ships the
@@ -406,6 +770,72 @@ impl RemoteQueryClient {
     /// invalid parameters, execution failure).
     pub fn execute(&self, dataset: &str, query: &TopkQuery) -> Result<RemoteAnswer> {
         let request = request_for(dataset, query);
+        self.retry("remote query failed", "querying", || {
+            self.try_query(&request)
+        })
+    }
+
+    /// Appends `rows` to the server-resident **live** dataset `dataset`,
+    /// sealing the staging buffer afterwards when `seal` is set, and decodes
+    /// the server's watermark acknowledgement.
+    ///
+    /// Retries follow [`execute`](Self::execute)'s discipline. A retry after
+    /// a connection lost mid-exchange may find the first attempt's rows
+    /// already applied; the server then rejects the duplicate ids, which
+    /// surfaces as a semantic `remote append failed` error rather than a
+    /// silent double-append.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Source`] with the dial history once the retry budget
+    /// is spent, or the server's own refusal immediately (unknown or static
+    /// dataset, duplicate ids, ME-group mass overflow).
+    pub fn append(&self, dataset: &str, rows: Vec<SourceTuple>, seal: bool) -> Result<AppendAck> {
+        let request = AppendRequest {
+            dataset: dataset.to_string(),
+            seal,
+            rows,
+        };
+        self.retry("remote append failed", "appending to", || {
+            let stream = self.dial()?;
+            wire::write_append_request(&mut &stream, &request)?;
+            let mut reader = BufReader::new(&stream);
+            wire::read_append_ack(&mut reader)
+        })
+    }
+
+    /// Subscribes a standing `query` against the server-resident live
+    /// dataset `dataset` and returns the push stream. The server pushes a
+    /// baseline answer immediately, then again whenever the top-k answer
+    /// distribution shifts; after `max_pushes` pushes (0 = unlimited) it
+    /// ends the stream cleanly.
+    ///
+    /// Only the dial retries here — once the subscription is written, the
+    /// connection belongs to [`WatchClient`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Source`] with the dial history once the retry budget
+    /// is spent.
+    pub fn watch(&self, dataset: &str, query: &TopkQuery, max_pushes: u64) -> Result<WatchClient> {
+        let request = SubscribeRequest {
+            query: request_for(dataset, query),
+            max_pushes,
+        };
+        let stream = self.retry("remote subscription failed", "subscribing to", || {
+            let stream = self.dial()?;
+            wire::write_subscribe(&mut &stream, &request)?;
+            Ok(stream)
+        })?;
+        Ok(WatchClient {
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// The shared retry/backoff loop: transient failures retry, messages
+    /// starting with `semantic` (the server answered; retrying cannot help)
+    /// return immediately.
+    fn retry<T>(&self, semantic: &str, action: &str, run: impl Fn() -> Result<T>) -> Result<T> {
         let mut delay = self.options.backoff;
         let mut first = None;
         let mut last = None;
@@ -414,11 +844,11 @@ impl RemoteQueryClient {
                 std::thread::sleep(delay);
                 delay = delay.saturating_mul(2);
             }
-            match self.try_query(&request) {
-                Ok(answer) => return Ok(answer),
+            match run() {
+                Ok(value) => return Ok(value),
                 // The server decoded our request and answered with an error
-                // frame: the connection works, the query is the problem.
-                Err(Error::Source(m)) if m.starts_with("remote query failed") => {
+                // frame: the connection works, the request is the problem.
+                Err(Error::Source(m)) if m.starts_with(semantic) => {
                     return Err(Error::Source(m));
                 }
                 Err(e) => {
@@ -440,14 +870,14 @@ impl RemoteQueryClient {
             format!("{first}; finally: {last}")
         };
         Err(Error::Source(format!(
-            "querying server {}: {history} (after {attempts} attempt{})",
+            "{action} server {}: {history} (after {attempts} attempt{})",
             self.addr,
             if attempts == 1 { "" } else { "s" }
         )))
     }
 
-    /// One attempt: resolve, connect, send the request, decode the result.
-    fn try_query(&self, request: &QueryRequest) -> Result<RemoteAnswer> {
+    /// Resolves and connects one fresh stream, read timeout armed.
+    fn dial(&self) -> Result<TcpStream> {
         let addr = &self.addr;
         let sock_addrs: Vec<_> = addr
             .to_socket_addrs()
@@ -472,11 +902,27 @@ impl RemoteQueryClient {
         stream
             .set_read_timeout(self.options.read_timeout)
             .map_err(|e| Error::Source(format!("arming read timeout on {addr}: {e}")))?;
+        Ok(stream)
+    }
+
+    /// One attempt: resolve, connect, send the request, decode the result.
+    fn try_query(&self, request: &QueryRequest) -> Result<RemoteAnswer> {
+        let stream = self.dial()?;
         wire::write_query_request(&mut &stream, request)?;
         let mut reader = BufReader::new(&stream);
         let result = wire::read_query_result(&mut reader)?;
+        let (epoch, cache_generation) = if result.version >= WIRE_VERSION_V5 {
+            (Some(result.epoch), Some(result.cache_generation))
+        } else {
+            (None, None)
+        };
         let (answer, cache_hit) = answer_from_wire(result);
-        Ok(RemoteAnswer { answer, cache_hit })
+        Ok(RemoteAnswer {
+            answer,
+            cache_hit,
+            epoch,
+            cache_generation,
+        })
     }
 
     /// The plan view of a remote execution, for `explain --server --after`:
@@ -496,7 +942,52 @@ impl RemoteQueryClient {
             drains_stream: query.compute_u_topk || query.algorithm == Algorithm::Exhaustive,
             observed_wire_tuples: None,
             server_cache_hit: Some(remote.cache_hit),
+            dataset_epoch: remote.epoch,
+            server_cache_generation: remote.cache_generation,
         }
+    }
+}
+
+/// One pushed subscription event: the server's watermark and answer hash,
+/// plus the full decoded answer.
+#[derive(Debug, Clone)]
+pub struct WatchPush {
+    /// Epoch the pushed answer was computed at.
+    pub epoch: u64,
+    /// The server's [`answer_hash`] of the pushed answer.
+    pub answer_hash: u64,
+    /// The decoded answer, bit-identical to the server's evaluation.
+    pub answer: QueryAnswer,
+}
+
+/// The client side of a standing subscription: a connection the server
+/// pushes on. Obtained from [`RemoteQueryClient::watch`]; dropping it
+/// cancels the subscription (the server notices the hang-up on its next
+/// poll tick).
+#[derive(Debug)]
+pub struct WatchClient {
+    reader: BufReader<TcpStream>,
+}
+
+impl WatchClient {
+    /// Blocks for the next push. `Ok(None)` means the server ended the
+    /// stream cleanly (push budget reached, or the daemon is draining).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Source`] on a lost connection, a malformed frame, or
+    /// a server-side subscription failure.
+    pub fn next_push(&mut self) -> Result<Option<WatchPush>> {
+        let Some(notification) = wire::read_push(&mut self.reader)? else {
+            return Ok(None);
+        };
+        let result = wire::read_query_result(&mut self.reader)?;
+        let (answer, _) = answer_from_wire(result);
+        Ok(Some(WatchPush {
+            epoch: notification.epoch,
+            answer_hash: notification.answer_hash,
+            answer,
+        }))
     }
 }
 
@@ -666,6 +1157,7 @@ mod tests {
         let mut session = Session::new();
         let options = QueryServeOptions {
             request_wait: Duration::from_millis(50),
+            ..QueryServeOptions::default()
         };
         let started = std::time::Instant::now();
         let outcome = serve_query(stream, &registry, &cache, &mut session, &options);
@@ -686,10 +1178,14 @@ mod tests {
         let remote = RemoteAnswer {
             answer,
             cache_hit: true,
+            epoch: Some(3),
+            cache_generation: Some(2),
         };
         let plan = client.plan("soldiers", &query, &remote);
         assert_eq!(plan.path, ScanPath::RemoteQuery);
         assert_eq!(plan.server_cache_hit, Some(true));
+        assert_eq!(plan.dataset_epoch, Some(3));
+        assert_eq!(plan.server_cache_generation, Some(2));
         assert_eq!(plan.observed_depth, Some(remote.answer.scan_depth));
         let text = plan.to_string();
         assert!(text.contains("server result cache: hit"), "got: {text}");

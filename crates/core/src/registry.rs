@@ -31,16 +31,27 @@ use std::sync::{Arc, Mutex};
 
 use ttk_uncertain::{CoalescePolicy, Error, Result};
 
+use crate::live::{AppendLog, LiveDataset};
 use crate::query::{Algorithm, QueryAnswer, TopkQuery};
 use crate::session::Dataset;
+
+/// One resident dataset: its name, the queryable [`Dataset`], and — for
+/// live datasets — the shared [`AppendLog`] the append/subscribe paths
+/// operate on.
+struct Entry {
+    name: String,
+    dataset: Arc<Dataset>,
+    live: Option<Arc<AppendLog>>,
+}
 
 /// The named datasets resident in a serving process.
 ///
 /// Insertion-ordered; names are unique. Built once at daemon startup and
-/// then shared read-only across workers.
+/// then shared read-only across workers (live datasets mutate through
+/// their interior [`AppendLog`], not through the registry).
 #[derive(Default)]
 pub struct DatasetRegistry {
-    entries: Vec<(String, Arc<Dataset>)>,
+    entries: Vec<Entry>,
 }
 
 impl DatasetRegistry {
@@ -58,14 +69,41 @@ impl DatasetRegistry {
     /// is already registered — silently shadowing a resident dataset would
     /// leave stale cache entries answering for the wrong data.
     pub fn register(&mut self, name: impl Into<String>, dataset: Dataset) -> Result<u64> {
+        self.push_entry(name.into(), dataset, None)
+    }
+
+    /// Registers `log` under `name` as a live dataset (a [`LiveDataset`]
+    /// provider labelled `name`) and returns its process-unique dataset id.
+    /// The log stays shared: the daemon's append and subscription paths
+    /// reach it through [`DatasetRegistry::live`].
+    ///
+    /// # Errors
+    ///
+    /// As [`DatasetRegistry::register`].
+    pub fn register_live(&mut self, name: impl Into<String>, log: Arc<AppendLog>) -> Result<u64> {
         let name = name.into();
-        if self.entries.iter().any(|(existing, _)| *existing == name) {
+        let dataset =
+            Dataset::from_provider(LiveDataset::new(Arc::clone(&log))).with_label(name.clone());
+        self.push_entry(name, dataset, Some(log))
+    }
+
+    fn push_entry(
+        &mut self,
+        name: String,
+        dataset: Dataset,
+        live: Option<Arc<AppendLog>>,
+    ) -> Result<u64> {
+        if self.entries.iter().any(|entry| entry.name == name) {
             return Err(Error::InvalidParameter(format!(
                 "dataset `{name}` is already registered"
             )));
         }
         let id = dataset.id();
-        self.entries.push((name, Arc::new(dataset)));
+        self.entries.push(Entry {
+            name,
+            dataset: Arc::new(dataset),
+            live,
+        });
         Ok(id)
     }
 
@@ -73,13 +111,25 @@ impl DatasetRegistry {
     pub fn get(&self, name: &str) -> Option<&Arc<Dataset>> {
         self.entries
             .iter()
-            .find(|(existing, _)| existing == name)
-            .map(|(_, dataset)| dataset)
+            .find(|entry| entry.name == name)
+            .map(|entry| &entry.dataset)
+    }
+
+    /// Looks up the append log behind a resident **live** dataset by name
+    /// (`None` when the name is unknown or names a static dataset).
+    pub fn live(&self, name: &str) -> Option<&Arc<AppendLog>> {
+        self.entries
+            .iter()
+            .find(|entry| entry.name == name)
+            .and_then(|entry| entry.live.as_ref())
     }
 
     /// The registered names, in registration order.
     pub fn names(&self) -> Vec<&str> {
-        self.entries.iter().map(|(name, _)| name.as_str()).collect()
+        self.entries
+            .iter()
+            .map(|entry| entry.name.as_str())
+            .collect()
     }
 
     /// Number of resident datasets.
@@ -104,6 +154,11 @@ impl DatasetRegistry {
 pub struct CacheKey {
     /// Process-unique id of the resident dataset ([`Dataset::id`]).
     pub dataset: u64,
+    /// The dataset epoch the answer was computed at ([`Dataset::epoch`]).
+    /// Static datasets stay at 0 forever; live datasets advance per seal,
+    /// so an answer cached at one watermark is a clean miss at the next —
+    /// append/seal invalidates without any explicit eviction.
+    pub epoch: u64,
     /// Number of top tuples ranked.
     pub k: usize,
     /// Raw bits of the Theorem-2 tail mass bound pτ.
@@ -123,10 +178,12 @@ pub struct CacheKey {
 }
 
 impl CacheKey {
-    /// The key for `query` against the resident dataset `dataset_id`.
-    pub fn new(dataset_id: u64, query: &TopkQuery) -> Self {
+    /// The key for `query` against the resident dataset `dataset_id` at
+    /// watermark `epoch` (0 for static datasets).
+    pub fn new(dataset_id: u64, epoch: u64, query: &TopkQuery) -> Self {
         CacheKey {
             dataset: dataset_id,
+            epoch,
             k: query.k,
             p_tau_bits: query.p_tau.to_bits(),
             typical_count: query.typical_count,
@@ -159,6 +216,7 @@ pub struct ResultCache {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    generation: AtomicU64,
 }
 
 impl ResultCache {
@@ -176,6 +234,7 @@ impl ResultCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            generation: AtomicU64::new(0),
         }
     }
 
@@ -259,6 +318,21 @@ impl ResultCache {
     pub fn evictions(&self) -> u64 {
         self.evictions.load(Ordering::Relaxed)
     }
+
+    /// The cache generation: how many times an append/seal has invalidated
+    /// cached epochs. Purely observational — invalidation itself is
+    /// structural (the epoch is part of every [`CacheKey`], so stale
+    /// entries simply stop matching and age out by LRU); the generation is
+    /// the daemon's cheap "the data moved" signal for log lines and
+    /// `explain --after`.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Relaxed)
+    }
+
+    /// Advances the generation (called when a live dataset's epoch moves).
+    pub fn bump_generation(&self) {
+        self.generation.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 #[cfg(test)]
@@ -282,7 +356,7 @@ mod tests {
     }
 
     fn key(dataset: u64, k: usize, p_tau: f64) -> CacheKey {
-        CacheKey::new(dataset, &TopkQuery::new(k).with_p_tau(p_tau))
+        CacheKey::new(dataset, 0, &TopkQuery::new(k).with_p_tau(p_tau))
     }
 
     fn tiny_table() -> UncertainTable {
@@ -331,16 +405,63 @@ mod tests {
     #[test]
     fn cache_keys_differ_when_any_query_knob_differs() {
         let base = TopkQuery::new(3);
-        let k0 = CacheKey::new(1, &base);
-        assert_ne!(k0, CacheKey::new(2, &base));
-        assert_ne!(k0, CacheKey::new(1, &TopkQuery::new(4)));
-        assert_ne!(k0, CacheKey::new(1, &base.with_p_tau(1e-6)));
-        assert_ne!(k0, CacheKey::new(1, &base.with_max_lines(0)));
+        let k0 = CacheKey::new(1, 0, &base);
+        assert_ne!(k0, CacheKey::new(2, 0, &base));
+        assert_ne!(k0, CacheKey::new(1, 1, &base), "epoch must participate");
+        assert_ne!(k0, CacheKey::new(1, 0, &TopkQuery::new(4)));
+        assert_ne!(k0, CacheKey::new(1, 0, &base.with_p_tau(1e-6)));
+        assert_ne!(k0, CacheKey::new(1, 0, &base.with_max_lines(0)));
         assert_ne!(
             k0,
-            CacheKey::new(1, &base.with_algorithm(Algorithm::KCombo))
+            CacheKey::new(1, 0, &base.with_algorithm(Algorithm::KCombo))
         );
-        assert_ne!(k0, CacheKey::new(1, &base.with_u_topk(false)));
+        assert_ne!(k0, CacheKey::new(1, 0, &base.with_u_topk(false)));
+    }
+
+    #[test]
+    fn live_registration_exposes_the_log_and_static_datasets_do_not() {
+        use crate::live::AppendLog;
+        use std::sync::Arc as StdArc;
+        use ttk_uncertain::{SourceTuple, UncertainTuple};
+
+        let mut registry = DatasetRegistry::new();
+        registry
+            .register("frozen", Dataset::table(tiny_table()))
+            .expect("static registration");
+        let log = StdArc::new(AppendLog::new(8));
+        let id = registry
+            .register_live("feed", StdArc::clone(&log))
+            .expect("live registration");
+        assert!(registry.live("frozen").is_none());
+        assert!(registry.live("missing").is_none());
+        assert!(registry.live("feed").is_some());
+        assert_eq!(registry.names(), vec!["frozen", "feed"]);
+
+        // The registry's dataset view and the shared log see the same data.
+        let dataset = registry.get("feed").expect("resolves");
+        assert_eq!(dataset.id(), id);
+        assert_eq!(dataset.label(), "feed");
+        assert_eq!(dataset.epoch(), 0);
+        log.append(vec![SourceTuple::independent(
+            UncertainTuple::new(1u64, 9.0, 0.5).expect("tuple"),
+        )])
+        .expect("append");
+        log.seal();
+        assert_eq!(dataset.epoch(), 1);
+
+        let err = registry
+            .register_live("feed", StdArc::new(AppendLog::new(8)))
+            .expect_err("duplicate live name");
+        assert!(err.to_string().contains("already registered"));
+    }
+
+    #[test]
+    fn cache_generation_counts_bumps() {
+        let cache = ResultCache::new(4);
+        assert_eq!(cache.generation(), 0);
+        cache.bump_generation();
+        cache.bump_generation();
+        assert_eq!(cache.generation(), 2);
     }
 
     #[test]

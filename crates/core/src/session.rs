@@ -108,6 +108,16 @@ pub enum ScanPath {
     /// server executes against its resident dataset and streams the answer
     /// back, so no tuples cross the network at all.
     RemoteQuery,
+    /// A live dataset's watermarked snapshot: the sealed, rank-ordered
+    /// segments published at one epoch, fused under the loser-tree k-way
+    /// merge. Appends after the snapshot was taken are invisible to this
+    /// scan.
+    Live {
+        /// Number of sealed segments under the merge.
+        segments: usize,
+        /// The snapshot's epoch (advances by one per seal).
+        epoch: u64,
+    },
 }
 
 impl std::fmt::Display for ScanPath {
@@ -162,6 +172,11 @@ impl std::fmt::Display for ScanPath {
                 f,
                 "remote query execution on a serving daemon (the answer ships, \
                  not the tuples)"
+            ),
+            ScanPath::Live { segments, epoch } => write!(
+                f,
+                "live snapshot scan at epoch {epoch}: k-way merge over \
+                 {segments} sealed segments"
             ),
         }
     }
@@ -251,6 +266,15 @@ pub trait DatasetProvider: Send + Sync {
     fn plan_for(&self, full_stream: bool) -> DatasetPlan {
         let _ = full_stream;
         self.plan()
+    }
+
+    /// The provider's current epoch — the watermark a scan opened *now*
+    /// would see. Static providers never change, so the default is a
+    /// constant `0`; live providers (`ttk_core::live`) report their sealed
+    /// snapshot's epoch, which cache keys incorporate so an answer computed
+    /// at one watermark is never served for another.
+    fn epoch(&self) -> u64 {
+        0
     }
 }
 
@@ -489,6 +513,16 @@ impl Dataset {
         self.id
     }
 
+    /// The dataset's current epoch: `0` for every static kind, the sealed
+    /// snapshot's watermark for a live provider. Part of the serving
+    /// daemon's cache key, so appends invalidate cached answers.
+    pub fn epoch(&self) -> u64 {
+        match &self.inner {
+            Inner::Provider(provider) => provider.epoch(),
+            _ => 0,
+        }
+    }
+
     /// The dataset kind, for diagnostics.
     pub fn kind(&self) -> &'static str {
         match &self.inner {
@@ -633,6 +667,14 @@ pub struct PlanDescription {
     /// populated by the remote-query client path, where the server reports
     /// the outcome in its result header.
     pub server_cache_hit: Option<bool>,
+    /// The dataset epoch this plan is pinned to: the live snapshot's
+    /// watermark for live datasets (local or server-reported), `None` for
+    /// static datasets.
+    pub dataset_epoch: Option<u64>,
+    /// The serving daemon's result-cache generation at answer time
+    /// (advances whenever an append/seal invalidates cached epochs).
+    /// `None` for local execution or pre-v5 servers.
+    pub server_cache_generation: Option<u64>,
 }
 
 impl PlanDescription {
@@ -681,6 +723,12 @@ impl std::fmt::Display for PlanDescription {
                 "  server result cache: {}",
                 if hit { "hit" } else { "miss" }
             )?;
+        }
+        if let Some(epoch) = self.dataset_epoch {
+            writeln!(f, "  dataset epoch: {epoch}")?;
+        }
+        if let Some(generation) = self.server_cache_generation {
+            writeln!(f, "  server cache generation: {generation}")?;
         }
         writeln!(f, "  estimated cost: {:.0}", self.estimated_cost)?;
         write!(
@@ -902,6 +950,10 @@ impl Session {
             _ => Some(estimated_scan_depth(query.k, query.p_tau, plan.rows)),
         };
         let key = observation_key(dataset, query);
+        let dataset_epoch = match plan.path {
+            ScanPath::Live { epoch, .. } => Some(epoch),
+            _ => None,
+        };
         PlanDescription {
             dataset: dataset.label().to_string(),
             path: plan.path,
@@ -915,6 +967,8 @@ impl Session {
             drains_stream,
             observed_wire_tuples: self.wire_observations.get(&key).copied(),
             server_cache_hit: None,
+            dataset_epoch,
+            server_cache_generation: None,
         }
     }
 

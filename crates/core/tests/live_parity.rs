@@ -1,0 +1,251 @@
+//! Live-dataset acceptance properties:
+//!
+//! 1. **Snapshot parity** — for *any* table, *any* append order and *any*
+//!    segmentation into sealed segments, scanning the live snapshot is
+//!    bit-identical to scanning the table directly: the same rank-ordered
+//!    row sequence, and the same executed answer. (Sealed segments are
+//!    individually rank-sorted and the snapshot opens as a k-way merge; the
+//!    rank key is a total order, so merge == global sort.)
+//! 2. **Snapshot isolation** — a reader racing a sealing appender never
+//!    observes a torn snapshot: every opened snapshot drains to exactly its
+//!    advertised row count, in rank order, with a prefix-closed id set.
+//! 3. **Exactly-on-shift subscriptions** — over a real socket served by
+//!    `serve_client`, a standing query is pushed its baseline answer and
+//!    then again only when an epoch advance actually shifted the answer
+//!    distribution; unshifted epochs are evaluated and skipped.
+
+use std::net::TcpListener;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::Duration;
+
+use proptest::prelude::*;
+use ttk_core::{
+    AppendLog, Dataset, DatasetRegistry, LiveDataset, QueryServeOptions, RemoteQueryClient,
+    ResultCache, ServeOutcome, Session, TopkQuery,
+};
+use ttk_uncertain::{ScanHandle, SourceTuple, TupleSource, UncertainTuple};
+
+mod support;
+use support::table_with;
+
+fn drain(mut handle: ScanHandle) -> Vec<SourceTuple> {
+    let mut rows = Vec::new();
+    while let Some(row) = handle.next_tuple().unwrap() {
+        rows.push(row);
+    }
+    rows
+}
+
+/// Deterministic xorshift shuffle — append order must not matter, so the
+/// property feeds the log a salted permutation of the table's stream.
+fn shuffled(mut rows: Vec<SourceTuple>, salt: u64) -> Vec<SourceTuple> {
+    let mut state = salt | 1;
+    for i in (1..rows.len()).rev() {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        rows.swap(i, (state % (i as u64 + 1)) as usize);
+    }
+    rows
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any append order, any segmentation: the sealed snapshot scans
+    /// bit-identically to the table it accumulated, and the executed answer
+    /// matches the direct-stream run.
+    #[test]
+    fn live_snapshot_scan_and_answer_match_the_one_shot_table(
+        table in table_with(6),
+        salt in 0u64..1_000_000,
+        batch in 1usize..9,
+        seal_every_batches in 1usize..4,
+        k in 1usize..4,
+    ) {
+        let reference = drain(Dataset::stream(table.to_source()).open().unwrap());
+        let log = Arc::new(AppendLog::new(usize::MAX >> 1));
+        for (index, chunk) in shuffled(reference.clone(), salt).chunks(batch).enumerate() {
+            log.append(chunk.to_vec()).unwrap();
+            if (index + 1) % seal_every_batches == 0 {
+                log.seal();
+            }
+        }
+        log.seal();
+        prop_assert_eq!(log.staged_rows(), 0);
+
+        let snapshot = log.snapshot();
+        prop_assert_eq!(snapshot.rows(), reference.len());
+        let scanned = drain(snapshot.open());
+        prop_assert_eq!(&scanned, &reference);
+
+        // Executed-answer parity through the full Dataset/Session seam.
+        let query = TopkQuery::new(k).with_p_tau(1e-3).with_u_topk(false);
+        let mut session = Session::new();
+        let direct = session.execute(&Dataset::stream(table.to_source()), &query);
+        let live = session.execute(
+            &Dataset::from_provider(LiveDataset::new(Arc::clone(&log))),
+            &query,
+        );
+        match (direct, live) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a.distribution, b.distribution);
+                prop_assert_eq!(a.scan_depth, b.scan_depth);
+                prop_assert_eq!(a.typical.scores(), b.typical.scores());
+            }
+            // Degenerate tables (fewer than k compatible tuples) must fail
+            // identically on both paths.
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(false, "paths disagree: {:?} vs {:?}", a, b),
+        }
+    }
+}
+
+/// A reader racing a sealing appender never sees a torn snapshot: each
+/// observed snapshot has exactly its advertised rows, in rank order, and
+/// its id set is a prefix of the append sequence.
+#[test]
+fn concurrent_appends_never_tear_a_snapshot() {
+    const CHUNK: usize = 50;
+    const CHUNKS: usize = 40;
+    let log = Arc::new(AppendLog::new(usize::MAX >> 1));
+
+    let appender = {
+        let log = Arc::clone(&log);
+        std::thread::spawn(move || {
+            for chunk in 0..CHUNKS {
+                let base = (chunk * CHUNK) as u64;
+                let rows: Vec<SourceTuple> = (0..CHUNK as u64)
+                    .map(|i| {
+                        // Scores deliberately interleave across chunks so
+                        // sealed segments overlap in rank order.
+                        let id = base + i;
+                        let score = ((id * 7919) % 1000) as f64;
+                        SourceTuple::independent(UncertainTuple::new(id, score, 0.5).unwrap())
+                    })
+                    .collect();
+                log.append(rows).unwrap();
+                log.seal();
+            }
+        })
+    };
+
+    let total = (CHUNK * CHUNKS) as u64;
+    loop {
+        let snapshot = log.snapshot();
+        let rows = drain(snapshot.open());
+        assert_eq!(
+            rows.len(),
+            snapshot.rows(),
+            "snapshot advertised a different row count than it scanned"
+        );
+        // Rank order holds across segment boundaries.
+        for pair in rows.windows(2) {
+            assert!(
+                pair[0].tuple.rank_key() <= pair[1].tuple.rank_key(),
+                "snapshot scan out of rank order"
+            );
+        }
+        // Sealed-only visibility: every chunk is all-or-nothing, so the id
+        // set is exactly the first `rows.len()` appended ids.
+        assert_eq!(
+            rows.len() % CHUNK,
+            0,
+            "a partially-applied chunk is visible"
+        );
+        let mut ids: Vec<u64> = rows.iter().map(|r| r.tuple.id().raw()).collect();
+        ids.sort_unstable();
+        for (position, id) in ids.iter().enumerate() {
+            assert_eq!(*id, position as u64, "id set is not append-prefix-closed");
+        }
+        if rows.len() as u64 == total {
+            break;
+        }
+    }
+    appender.join().unwrap();
+    assert_eq!(log.epoch(), CHUNKS as u64);
+}
+
+/// The standing-subscription contract over a real socket: the baseline
+/// answer is pushed once, an epoch that does not shift the distribution
+/// pushes nothing, and the next shifting epoch is pushed (reporting its own
+/// epoch — the unshifted one was evaluated and skipped, not queued).
+#[test]
+fn subscription_pushes_exactly_on_answer_shift() {
+    let log = Arc::new(AppendLog::new(1000));
+    log.append(vec![SourceTuple::independent(
+        UncertainTuple::new(1u64, 100.0, 1.0).unwrap(),
+    )])
+    .unwrap();
+    log.seal();
+
+    let mut registry = DatasetRegistry::new();
+    registry.register_live("feed", Arc::clone(&log)).unwrap();
+    let registry = Arc::new(registry);
+    let cache = Arc::new(ResultCache::new(8));
+
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let server = {
+        let registry = Arc::clone(&registry);
+        let cache = Arc::clone(&cache);
+        std::thread::spawn(move || {
+            static STOP: AtomicBool = AtomicBool::new(false);
+            let (stream, _) = listener.accept().unwrap();
+            let mut session = Session::new();
+            let options = QueryServeOptions {
+                subscription_poll: Duration::from_millis(10),
+                ..QueryServeOptions::default()
+            };
+            ttk_core::serve_client(stream, &registry, &cache, &mut session, &options, &STOP)
+        })
+    };
+
+    let query = TopkQuery::new(1).with_p_tau(1e-6).with_u_topk(false);
+    let mut watch = RemoteQueryClient::new(addr)
+        .watch("feed", &query, 2)
+        .unwrap();
+
+    let baseline = watch.next_push().unwrap().expect("baseline push");
+    assert_eq!(baseline.epoch, 1);
+    assert_eq!(baseline.answer.distribution.len(), 1);
+
+    // Epoch 2: a certain loser — the top-1 distribution cannot change.
+    log.append(vec![SourceTuple::independent(
+        UncertainTuple::new(2u64, 50.0, 0.5).unwrap(),
+    )])
+    .unwrap();
+    log.seal();
+    // Give the subscription loop ample polls to evaluate (and skip) it.
+    std::thread::sleep(Duration::from_millis(200));
+
+    // Epoch 3: a maybe-winner above the incumbent — the distribution shifts.
+    log.append(vec![SourceTuple::independent(
+        UncertainTuple::new(3u64, 200.0, 0.5).unwrap(),
+    )])
+    .unwrap();
+    log.seal();
+
+    let shifted = watch.next_push().unwrap().expect("shift push");
+    assert_eq!(shifted.epoch, 3, "the unshifted epoch 2 must be skipped");
+    assert_ne!(shifted.answer_hash, baseline.answer_hash);
+    assert_eq!(shifted.answer.distribution.len(), 2);
+
+    // max_pushes = 2: the server closes the push stream cleanly.
+    assert!(watch.next_push().unwrap().is_none());
+
+    let outcome = server.join().unwrap().unwrap();
+    match outcome {
+        ServeOutcome::Subscription(summary) => {
+            assert_eq!(summary.pushes, 2, "exactly the baseline and the shift");
+            assert!(
+                summary.evaluations >= 3,
+                "every sealed epoch is evaluated (got {})",
+                summary.evaluations
+            );
+            assert_eq!(summary.last_epoch, 3);
+        }
+        other => panic!("expected a subscription outcome, got {other}"),
+    }
+}

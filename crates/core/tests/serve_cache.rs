@@ -45,7 +45,7 @@ fn serve_one(
     session: &mut Session,
     query: &TopkQuery,
 ) -> Arc<ttk_core::QueryAnswer> {
-    let key = CacheKey::new(dataset.id(), query);
+    let key = CacheKey::new(dataset.id(), dataset.epoch(), query);
     if let Some(answer) = cache.get(&key) {
         return answer;
     }
@@ -88,7 +88,7 @@ fn mixed_read_write_stress_returns_bit_identical_answers_within_the_bound() {
     let mut expected: HashMap<CacheKey, ttk_core::QueryAnswer> = HashMap::new();
     let mut record = |query: &TopkQuery| {
         // Key on the *served* dataset's id — that is what the workers use.
-        let key = CacheKey::new(registry.get("stress").expect("resident").id(), query);
+        let key = CacheKey::new(registry.get("stress").expect("resident").id(), 0, query);
         expected.entry(key).or_insert_with(|| {
             reference_session
                 .execute(&reference_dataset, query)
@@ -121,7 +121,7 @@ fn mixed_read_write_stress_returns_bit_identical_answers_within_the_bound() {
                         fresh_for(worker, op)
                     };
                     let answer = serve_one(&cache, &dataset, &mut session, &query);
-                    observed.push((CacheKey::new(dataset.id(), &query), answer));
+                    observed.push((CacheKey::new(dataset.id(), dataset.epoch(), &query), answer));
                 }
                 observed
             })

@@ -305,8 +305,10 @@ impl From<&ttk_uncertain::ShardAssignment> for ShardImportOptions {
 }
 
 /// 64-bit FNV-1a over a group label — the stable cross-process group key of
-/// [`ShardImportOptions::hashed_group_keys`].
-fn stable_group_key(label: &str) -> u64 {
+/// [`ShardImportOptions::hashed_group_keys`]. Public so clients staging live
+/// appends (`ttk append --row ID:SCORE:PROB:GROUP`) derive the same group
+/// keys a CSV import of the same labels would.
+pub fn stable_group_key(label: &str) -> u64 {
     let mut hash = 0xcbf2_9ce4_8422_2325u64;
     for byte in label.bytes() {
         hash ^= u64::from(byte);

@@ -36,7 +36,7 @@ use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 
 use ttk_core::{Dataset, DatasetPlan, DatasetProvider, ScanPath};
-use ttk_uncertain::{PrefetchPolicy, ScanHandle, TupleSource, VecSource};
+use ttk_uncertain::{PrefetchPolicy, ScanHandle, SourceTuple, TupleSource, VecSource};
 
 use crate::csv::{
     shard_sources_from_csv_with, CsvOptions, ShardImportOptions, SpillIndex, SpillOptions,
@@ -227,6 +227,38 @@ impl CsvDataset {
     /// expression errors, spill failures.
     pub fn warm(&self) -> Result<()> {
         self.open_impl().map(drop)
+    }
+
+    /// Drains the scored scan into owned rows, in rank order.
+    ///
+    /// This is the bridge from a CSV file to a live append: `ttk append
+    /// --file` scores the CSV exactly like `ttk serve` would serve it, then
+    /// ships the resulting rows to the daemon's
+    /// [`AppendLog`](ttk_core::AppendLog) instead of opening a local scan.
+    ///
+    /// ```
+    /// use ttk_pdb::{parse_expression, CsvDataset, CsvOptions};
+    ///
+    /// let csv = "score,probability,group_key\n9,0.5,g1\n7,1.0,\n";
+    /// let dataset =
+    ///     CsvDataset::from_text("feed", csv, CsvOptions::default(), parse_expression("score")?);
+    /// let rows = dataset.scored_rows()?;
+    /// assert_eq!(rows.len(), 2);
+    /// assert_eq!(rows[0].tuple.score(), 9.0);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Whatever the open would have returned: I/O failures, CSV or
+    /// expression errors, spill failures.
+    pub fn scored_rows(&self) -> Result<Vec<SourceTuple>> {
+        let mut handle = self.open_impl()?;
+        let mut rows = Vec::new();
+        while let Some(row) = handle.next_tuple()? {
+            rows.push(row);
+        }
+        Ok(rows)
     }
 
     /// Wraps the dataset into the unified [`Dataset`] type consumed by

@@ -54,9 +54,10 @@ pub mod value;
 
 pub use catalog::Database;
 pub use csv::{
-    count_csv_records, shard_sources_from_csv, shard_sources_from_csv_with, table_from_csv,
-    table_to_csv, tuple_source_from_csv, tuple_source_from_csv_path, tuple_source_from_csv_spilled,
-    CsvOptions, ShardImportOptions, SpillIndex, SpillOptions, SpilledSource,
+    count_csv_records, shard_sources_from_csv, shard_sources_from_csv_with, stable_group_key,
+    table_from_csv, table_to_csv, tuple_source_from_csv, tuple_source_from_csv_path,
+    tuple_source_from_csv_spilled, CsvOptions, ShardImportOptions, SpillIndex, SpillOptions,
+    SpilledSource,
 };
 pub use dataset::CsvDataset;
 pub use error::{PdbError, Result};

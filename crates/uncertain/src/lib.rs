@@ -91,7 +91,8 @@ pub use table::{UncertainTable, UncertainTableBuilder};
 pub use tuple::{TupleId, UncertainTuple};
 pub use vector::TopkVector;
 pub use wire::{
-    Hello, LeaseRegistry, PushdownQuery, QueryRequest, QueryResult, ShardAssignment, StoppedAt,
-    WireReader, WireScanStats, WireTypical, WireUTopk, WireWriter,
+    AppendAck, AppendRequest, ClientRequest, Hello, LeaseRegistry, Notification, PushdownQuery,
+    QueryRequest, QueryResult, ShardAssignment, StoppedAt, SubscribeRequest, WireReader,
+    WireScanStats, WireTypical, WireUTopk, WireWriter,
 };
 pub use worlds::{exact_topk_score_distribution, world_count, PossibleWorld, PossibleWorlds};

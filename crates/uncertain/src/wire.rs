@@ -22,9 +22,15 @@
 //! | `7` | query announcement (client→server, v3) | k `u64` (`0` = stream everything), pτ bits `u64` |
 //! | `8` | bound update (client→server, v3) | accumulated merge-side mass bits `u64` |
 //! | `9` | stopped-at trailer (server→client, v3, precedes `end`) | rows scanned `u64`, tuples shipped `u64`, gate-limited flag `u8` |
-//! | `10` | query request (client→server, v4) | version `u8`, k `u64`, pτ bits `u64`, typical count `u64`, max lines `u64`, algorithm `u8`, coalesce `u8`, flags `u8`, dataset length `u16`, dataset bytes |
-//! | `11` | query result header (server→client, v4) | version `u8`, flags `u8`, scan depth `u64`, phase times `u64`×2, point count `u64`, expected distance bits `u64`, typical answers, optional U-Top-k |
-//! | `12` | result chunk (server→client, v4, precedes `end`) | point count `u16`, encoded distribution points |
+//! | `10` | query request (client→server, v4/v5) | version `u8`, k `u64`, pτ bits `u64`, typical count `u64`, max lines `u64`, algorithm `u8`, coalesce `u8`, flags `u8`, dataset length `u16`, dataset bytes |
+//! | `11` | query result header (server→client, v4/v5) | version `u8`, flags `u8`, scan depth `u64`, phase times `u64`×2, point count `u64`, expected distance bits `u64`, typical answers, optional U-Top-k; v5 appends dataset epoch `u64` and cache generation `u64` |
+//! | `12` | result chunk (server→client, v4/v5, precedes `end`) | point count `u16`, encoded distribution points |
+//! | `13` | append request header (client→server, v5) | version `u8`, flags `u8` (bit 0 = seal), row count `u64`, dataset length `u16`, dataset bytes |
+//! | `14` | append row chunk (client→server, v5, precedes `end`) | row count `u16`, encoded rows (tuple layout sans kind byte) |
+//! | `15` | append acknowledgement (server→client, v5) | version `u8`, flags `u8` (bit 0 = sealed now), epoch `u64`, staged rows `u64`, sealed rows `u64` |
+//! | `16` | subscribe request (client→server, v5) | the v5 query request fields, then max pushes `u64`, dataset length `u16`, dataset bytes |
+//! | `17` | notification (server→client, v5, precedes a result stream) | version `u8`, epoch `u64`, answer hash `u64` |
+//! | `18` | busy / retry-after (server→client, v5) | version `u8`, retry-after millis `u64` |
 //!
 //! All integers are little-endian. A [`WireWriter`] emits the hello frame at
 //! construction and exactly one terminal frame (`end` or `error`); a
@@ -83,6 +89,24 @@
 //! pointed at a shard-replay server gets a clean decode error off the
 //! server's hello in the same way.
 //!
+//! **v5** adds *live datasets*: a query-serving daemon may hold append-only
+//! datasets that grow under epoch-numbered snapshots, so the client-speaks-
+//! first exchange gains two new request kinds next to the query request. An
+//! **append** ([`write_append_request`]) ships scored rows in size-bounded
+//! chunks (the tuple-frame encoding, minus the kind byte) with an optional
+//! seal trigger, and is answered by a single acknowledgement frame carrying
+//! the dataset's post-append epoch ([`AppendAck`]). A **subscription**
+//! ([`write_subscribe`]) registers a standing query: the server pushes a
+//! notification frame ([`Notification`]) followed by a complete v5 result
+//! stream each time the answer distribution actually shifts, and closes the
+//! subscription with a bare end frame. Query requests and result headers are
+//! version-stamped: a v5 result appends the dataset epoch and the server's
+//! cache generation, while a v4 client keeps receiving the byte-identical v4
+//! layout — the server echoes the version the client spoke. Finally, the
+//! **busy** frame ([`write_busy`]) is a cheap admission-control refusal: a
+//! daemon whose worker handoff would block answers it in place of any reply
+//! and closes, and clients decode it as a retryable (never semantic) error.
+//!
 //! The register/lease frames are the coordinator handshake: a shard server
 //! connects to the coordinator, frames its row count and a display label
 //! ([`write_register`]), and receives the `(id base, namespace)` lease the
@@ -109,6 +133,11 @@ pub const WIRE_VERSION_V3: u8 = 3;
 /// rejects version bytes past v3.
 pub const WIRE_VERSION_V4: u8 = 4;
 
+/// The v5 protocol version byte: live datasets — append/seal requests,
+/// standing-query subscriptions, epoch-stamped result headers, and the
+/// busy/retry-after admission frame. Like v4 it defines no hello layout.
+pub const WIRE_VERSION_V5: u8 = 5;
+
 /// The original protocol version: a 10-byte hello, no assignment metadata.
 const WIRE_VERSION_V1: u8 = 1;
 
@@ -126,6 +155,12 @@ const FRAME_STOPPED: u8 = 9;
 const FRAME_QUERY_REQUEST: u8 = 10;
 const FRAME_QUERY_RESULT: u8 = 11;
 const FRAME_RESULT_CHUNK: u8 = 12;
+const FRAME_APPEND: u8 = 13;
+const FRAME_APPEND_ROWS: u8 = 14;
+const FRAME_APPEND_ACK: u8 = 15;
+const FRAME_SUBSCRIBE: u8 = 16;
+const FRAME_NOTIFY: u8 = 17;
+const FRAME_BUSY: u8 = 18;
 
 /// Largest frame body a reader will accept (an error message, at most; tuple
 /// frames are 34 bytes). Guards against garbage length prefixes allocating
@@ -449,6 +484,10 @@ impl ControlParser {
 /// range-checks) the codes.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueryRequest {
+    /// Protocol version the request speaks ([`WIRE_VERSION_V4`] or
+    /// [`WIRE_VERSION_V5`]). The server echoes it in the result header, so a
+    /// v4 client keeps receiving the byte-identical v4 result layout.
+    pub version: u8,
     /// Name of the server-resident dataset to query.
     pub dataset: String,
     /// Number of answers requested (`k >= 1`).
@@ -468,16 +507,16 @@ pub struct QueryRequest {
     pub u_topk: bool,
 }
 
-/// Frames a v4 query request and flushes. The client sends this immediately
-/// after connecting — the query-serving exchange has no hello.
-///
-/// # Errors
-///
-/// [`Error::Source`] on I/O failure or an over-long dataset name.
-pub fn write_query_request(writer: &mut impl Write, request: &QueryRequest) -> Result<()> {
-    let mut body = Vec::with_capacity(39 + request.dataset.len());
-    body.push(FRAME_QUERY_REQUEST);
-    body.push(WIRE_VERSION_V4);
+/// Appends the version-through-flags query-shape fields shared by the query
+/// request and subscribe frames.
+fn push_query_shape(body: &mut Vec<u8>, request: &QueryRequest) -> Result<()> {
+    if request.version != WIRE_VERSION_V4 && request.version != WIRE_VERSION_V5 {
+        return Err(Error::Source(format!(
+            "query request version {} is not a version this build speaks (v4/v5)",
+            request.version
+        )));
+    }
+    body.push(request.version);
     body.extend_from_slice(&request.k.to_le_bytes());
     body.extend_from_slice(&request.p_tau.to_bits().to_le_bytes());
     body.extend_from_slice(&request.typical_count.to_le_bytes());
@@ -485,26 +524,49 @@ pub fn write_query_request(writer: &mut impl Write, request: &QueryRequest) -> R
     body.push(request.algorithm);
     body.push(request.coalesce);
     body.push(u8::from(request.u_topk));
+    Ok(())
+}
+
+/// Frames a query request and flushes. The client sends this immediately
+/// after connecting — the query-serving exchange has no hello. The frame
+/// carries [`QueryRequest::version`]: v4 requests encode byte-identically to
+/// the v4 release, v5 requests tell the server to stamp epoch metadata into
+/// the result header.
+///
+/// # Errors
+///
+/// [`Error::Source`] on I/O failure, an over-long dataset name, or a version
+/// this build does not speak.
+pub fn write_query_request(writer: &mut impl Write, request: &QueryRequest) -> Result<()> {
+    let mut body = Vec::with_capacity(39 + request.dataset.len());
+    body.push(FRAME_QUERY_REQUEST);
+    push_query_shape(&mut body, request)?;
     push_label(&mut body, &request.dataset)?;
     write_frame_to(writer, &body)?;
     writer.flush().map_err(|e| io_err("flush", e))
 }
 
-/// Server-side decode of a [`write_query_request`] frame.
-///
-/// # Errors
-///
-/// [`Error::Source`] on I/O failure, a malformed frame, a version other than
-/// v4, `k == 0`, or a pτ outside `(0, 1)`.
-pub fn read_query_request(reader: &mut impl Read) -> Result<QueryRequest> {
-    let body = read_frame_from(reader)?;
-    if body.first() != Some(&FRAME_QUERY_REQUEST) || body.len() < 39 {
-        return Err(Error::Source("corrupt wire query request frame".into()));
+/// Decodes the version-through-flags query shape starting at `body[1]`,
+/// shared by the query request and subscribe frames. Returns the fields and
+/// the offset past them; the caller decodes what follows (max-pushes for a
+/// subscription) and the trailing dataset label.
+fn pop_query_shape(
+    body: &[u8],
+    what: &'static str,
+    min_version: u8,
+) -> Result<(QueryRequest, usize)> {
+    if body.len() < 39 {
+        return Err(Error::Source(format!("corrupt wire {what} frame")));
     }
-    if body[1] != WIRE_VERSION_V4 {
+    let version = body[1];
+    if version != WIRE_VERSION_V4 && version != WIRE_VERSION_V5 {
         return Err(Error::Source(format!(
-            "query request speaks protocol version {} (query serving needs v4)",
-            body[1]
+            "{what} speaks protocol version {version} (query serving needs v4)"
+        )));
+    }
+    if version < min_version {
+        return Err(Error::Source(format!(
+            "{what} needs protocol version {min_version} or later (got v{version})"
         )));
     }
     let k = u64::from_le_bytes(body[2..10].try_into().expect("8 bytes"));
@@ -517,23 +579,48 @@ pub fn read_query_request(reader: &mut impl Read) -> Result<QueryRequest> {
     let coalesce = body[35];
     let flags = body[36];
     if flags > 1 {
-        return Err(Error::Source("corrupt wire query request frame".into()));
+        return Err(Error::Source(format!("corrupt wire {what} frame")));
     }
     if k == 0 || !(p_tau > 0.0 && p_tau < 1.0) {
         return Err(Error::Source(format!(
-            "query request carries k {k} / p_tau {p_tau} outside the accepted range"
+            "{what} carries k {k} / p_tau {p_tau} outside the accepted range"
         )));
     }
-    Ok(QueryRequest {
-        dataset: pop_label(&body, 37, "query request")?,
-        k,
-        p_tau,
-        typical_count,
-        max_lines,
-        algorithm,
-        coalesce,
-        u_topk: flags == 1,
-    })
+    Ok((
+        QueryRequest {
+            version,
+            dataset: String::new(),
+            k,
+            p_tau,
+            typical_count,
+            max_lines,
+            algorithm,
+            coalesce,
+            u_topk: flags == 1,
+        },
+        37,
+    ))
+}
+
+/// Decodes a [`write_query_request`] frame body (kind byte already matched).
+fn decode_query_request(body: &[u8]) -> Result<QueryRequest> {
+    let (mut request, at) = pop_query_shape(body, "query request", WIRE_VERSION_V4)?;
+    request.dataset = pop_label(body, at, "query request")?;
+    Ok(request)
+}
+
+/// Server-side decode of a [`write_query_request`] frame.
+///
+/// # Errors
+///
+/// [`Error::Source`] on I/O failure, a malformed frame, a version other than
+/// v4/v5, `k == 0`, or a pτ outside `(0, 1)`.
+pub fn read_query_request(reader: &mut impl Read) -> Result<QueryRequest> {
+    let body = read_frame_from(reader)?;
+    if body.first() != Some(&FRAME_QUERY_REQUEST) {
+        return Err(Error::Source("corrupt wire query request frame".into()));
+    }
+    decode_query_request(&body)
 }
 
 /// One typical answer as it travels in a v4 result header: the score line it
@@ -560,11 +647,16 @@ pub struct WireUTopk {
     pub deepest_position: u64,
 }
 
-/// A v4 query result: everything the server's answer carried. Scores and
+/// A query result: everything the server's answer carried. Scores and
 /// probabilities are raw IEEE-754 bits on the wire, so a decoded result is
 /// bit-identical to the server-side computation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueryResult {
+    /// Protocol version of the result layout ([`WIRE_VERSION_V4`] or
+    /// [`WIRE_VERSION_V5`]). Servers echo the version the request spoke; a
+    /// v4 result encodes byte-identically to the v4 release and carries
+    /// `epoch`/`cache_generation` as zero.
+    pub version: u8,
     /// Whether the server answered from its result cache.
     pub cache_hit: bool,
     /// Scan depth the server-side execution observed.
@@ -581,6 +673,12 @@ pub struct QueryResult {
     pub typical: Vec<WireTypical>,
     /// The U-Top-k baseline answer, when the request asked for it.
     pub u_topk: Option<WireUTopk>,
+    /// Epoch of the dataset snapshot the answer was computed against
+    /// (v5 results; `0` for v4 results and static datasets).
+    pub epoch: u64,
+    /// The server's result-cache generation — bumped on every append/seal
+    /// that advanced any live dataset's epoch (v5 results; `0` on v4).
+    pub cache_generation: u64,
 }
 
 /// Incremental decoder over one frame body: every short read or trailing
@@ -737,9 +835,15 @@ fn flush_chunk(writer: &mut impl Write, chunk: &mut Vec<u8>, count: &mut u16) ->
 /// exceeds the frame-body limit (vectors of more than `u16::MAX` ids, or a
 /// pathological typical-answer set).
 pub fn write_query_result(writer: &mut impl Write, result: &QueryResult) -> Result<()> {
+    if result.version != WIRE_VERSION_V4 && result.version != WIRE_VERSION_V5 {
+        return Err(Error::Source(format!(
+            "query result version {} is not a version this build speaks (v4/v5)",
+            result.version
+        )));
+    }
     let mut body = Vec::with_capacity(128);
     body.push(FRAME_QUERY_RESULT);
-    body.push(WIRE_VERSION_V4);
+    body.push(result.version);
     let mut flags = 0u8;
     if result.cache_hit {
         flags |= 1;
@@ -776,6 +880,11 @@ pub fn write_query_result(writer: &mut impl Write, result: &QueryResult) -> Resu
         push_vector(&mut body, &u_topk.vector)?;
         body.extend_from_slice(&u_topk.expansions.to_le_bytes());
         body.extend_from_slice(&u_topk.deepest_position.to_le_bytes());
+    }
+    if result.version >= WIRE_VERSION_V5 {
+        // v5 only: a v4 client reads the byte-identical v4 header.
+        body.extend_from_slice(&result.epoch.to_le_bytes());
+        body.extend_from_slice(&result.cache_generation.to_le_bytes());
     }
     if body.len() > MAX_FRAME_BODY {
         return Err(Error::Source(format!(
@@ -828,11 +937,12 @@ pub fn read_query_result(reader: &mut impl Read) -> Result<QueryResult> {
     match body.first() {
         Some(&FRAME_QUERY_RESULT) => {}
         Some(&FRAME_ERROR) => return Err(remote_failed(&body[1..])),
+        Some(&FRAME_BUSY) => return Err(busy_error(&body)),
         _ => return Err(Error::Source("corrupt wire query result frame".into())),
     }
     let mut cursor = FrameCursor::new(&body, 1, "query result");
     let version = cursor.u8()?;
-    if version != WIRE_VERSION_V4 {
+    if version != WIRE_VERSION_V4 && version != WIRE_VERSION_V5 {
         return Err(Error::Source(format!(
             "unsupported query result protocol version {version}"
         )));
@@ -872,6 +982,11 @@ pub fn read_query_result(reader: &mut impl Read) -> Result<QueryResult> {
     } else {
         None
     };
+    let (epoch, cache_generation) = if version >= WIRE_VERSION_V5 {
+        (cursor.u64()?, cursor.u64()?)
+    } else {
+        (0, 0)
+    };
     cursor.finish()?;
 
     // The announced count sizes the allocation only up to a clamp — the
@@ -901,6 +1016,7 @@ pub fn read_query_result(reader: &mut impl Read) -> Result<QueryResult> {
         )));
     }
     Ok(QueryResult {
+        version,
         cache_hit: flags & 1 != 0,
         scan_depth,
         distribution_time_ns,
@@ -909,6 +1025,8 @@ pub fn read_query_result(reader: &mut impl Read) -> Result<QueryResult> {
         points,
         typical,
         u_topk,
+        epoch,
+        cache_generation,
     })
 }
 
@@ -927,6 +1045,409 @@ pub fn write_query_error(writer: &mut impl Write, message: &str) -> Result<()> {
     body.extend_from_slice(message.as_bytes());
     write_frame_to(writer, &body)?;
     writer.flush().map_err(|e| io_err("flush", e))
+}
+
+/// Frames a v5 busy/retry-after refusal and flushes: the admission-control
+/// answer of a daemon whose worker handoff would block. Sent in place of any
+/// reply (the daemon closes right after), so a flood is shed with one cheap
+/// frame instead of sitting in the listen backlog.
+///
+/// # Errors
+///
+/// [`Error::Source`] on I/O failure.
+pub fn write_busy(writer: &mut impl Write, retry_after_ms: u64) -> Result<()> {
+    let mut body = Vec::with_capacity(10);
+    body.push(FRAME_BUSY);
+    body.push(WIRE_VERSION_V5);
+    body.extend_from_slice(&retry_after_ms.to_le_bytes());
+    write_frame_to(writer, &body)?;
+    writer.flush().map_err(|e| io_err("flush", e))
+}
+
+/// Decodes a busy frame body into the client-side error. The message
+/// deliberately does **not** carry the semantic `remote … failed` prefix the
+/// retrying clients treat as final — a busy refusal is the one server answer
+/// that is *meant* to be retried.
+fn busy_error(body: &[u8]) -> Error {
+    if body.len() != 10 || body[1] != WIRE_VERSION_V5 {
+        return Error::Source("corrupt wire busy frame".into());
+    }
+    let retry_after_ms = u64::from_le_bytes(body[2..10].try_into().expect("8 bytes"));
+    Error::Source(format!(
+        "server busy: connection shed by admission control, retry after {retry_after_ms}ms"
+    ))
+}
+
+/// A v5 append request: scored rows for one of the server's live datasets,
+/// with an optional seal trigger publishing them as a new snapshot epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppendRequest {
+    /// Name of the server-resident live dataset to append to.
+    pub dataset: String,
+    /// Whether to seal the staging buffer after the rows land.
+    pub seal: bool,
+    /// The scored rows, in any order (the seal sorts them).
+    pub rows: Vec<SourceTuple>,
+}
+
+/// Most rows a single append request may announce — bounds the server-side
+/// allocation the same way [`MAX_FRAME_BODY`] bounds one frame.
+const MAX_APPEND_ROWS: u64 = 1 << 20;
+
+/// Encodes one row in a chunk body: the tuple-frame layout minus the kind
+/// byte (id, score bits, prob bits, group flag [+ key]).
+fn push_source_tuple(body: &mut Vec<u8>, row: &SourceTuple) {
+    body.extend_from_slice(&row.tuple.id().raw().to_le_bytes());
+    body.extend_from_slice(&row.tuple.score().to_bits().to_le_bytes());
+    body.extend_from_slice(&row.tuple.prob().to_bits().to_le_bytes());
+    match row.group {
+        GroupKey::Independent => body.push(0),
+        GroupKey::Shared(key) => {
+            body.push(1);
+            body.extend_from_slice(&key.to_le_bytes());
+        }
+    }
+}
+
+/// Decodes one row from a chunk body, re-validating through
+/// [`UncertainTuple::new`] so a peer cannot append rows the import paths
+/// would have refused.
+fn pop_source_tuple(cursor: &mut FrameCursor<'_>) -> Result<SourceTuple> {
+    let id = cursor.u64()?;
+    let score = f64::from_bits(cursor.u64()?);
+    let prob = f64::from_bits(cursor.u64()?);
+    let tuple = UncertainTuple::new(id, score, prob)?;
+    match cursor.u8()? {
+        0 => Ok(SourceTuple::independent(tuple)),
+        1 => Ok(SourceTuple::grouped(tuple, cursor.u64()?)),
+        _ => Err(cursor.corrupt()),
+    }
+}
+
+/// Frames a v5 append request — header, row chunks, end frame — and flushes.
+/// Rows pack into size-bounded chunk frames like a result's distribution
+/// points, so an append of any size streams without oversized frames.
+///
+/// # Errors
+///
+/// [`Error::Source`] on I/O failure, an over-long dataset name, or more rows
+/// than one request may announce.
+pub fn write_append_request(writer: &mut impl Write, request: &AppendRequest) -> Result<()> {
+    if request.rows.len() as u64 > MAX_APPEND_ROWS {
+        return Err(Error::Source(format!(
+            "append request carries {} rows (limit {MAX_APPEND_ROWS}); split it",
+            request.rows.len()
+        )));
+    }
+    let mut body = Vec::with_capacity(13 + request.dataset.len());
+    body.push(FRAME_APPEND);
+    body.push(WIRE_VERSION_V5);
+    body.push(u8::from(request.seal));
+    body.extend_from_slice(&(request.rows.len() as u64).to_le_bytes());
+    push_label(&mut body, &request.dataset)?;
+    write_frame_to(writer, &body)?;
+
+    let mut chunk = vec![FRAME_APPEND_ROWS, 0, 0];
+    let mut in_chunk: u16 = 0;
+    for row in &request.rows {
+        // A row is at most 33 bytes, so one more always fits a fresh chunk.
+        if in_chunk > 0 && (chunk.len() + 33 > MAX_FRAME_BODY || in_chunk == u16::MAX) {
+            chunk[1..CHUNK_HEADER].copy_from_slice(&in_chunk.to_le_bytes());
+            write_frame_to(writer, &chunk)?;
+            chunk = vec![FRAME_APPEND_ROWS, 0, 0];
+            in_chunk = 0;
+        }
+        push_source_tuple(&mut chunk, row);
+        in_chunk += 1;
+    }
+    if in_chunk > 0 {
+        chunk[1..CHUNK_HEADER].copy_from_slice(&in_chunk.to_le_bytes());
+        write_frame_to(writer, &chunk)?;
+    }
+    write_frame_to(writer, &[FRAME_END])?;
+    writer.flush().map_err(|e| io_err("flush", e))
+}
+
+/// Decodes the row chunks and end frame following an append header whose
+/// body is `body`. Cross-checks the shipped row count against the header's
+/// announcement.
+fn read_append_rows(reader: &mut impl Read, body: &[u8]) -> Result<AppendRequest> {
+    let corrupt = || Error::Source("corrupt wire append request frame".into());
+    if body.len() < 13 || body[1] != WIRE_VERSION_V5 || body[2] > 1 {
+        return Err(corrupt());
+    }
+    let seal = body[2] == 1;
+    let announced = u64::from_le_bytes(body[3..11].try_into().expect("8 bytes"));
+    if announced > MAX_APPEND_ROWS {
+        return Err(Error::Source(format!(
+            "append request announces {announced} rows (limit {MAX_APPEND_ROWS})"
+        )));
+    }
+    let dataset = pop_label(body, 11, "append request")?;
+    // The announced count sizes the allocation only up to a clamp — the
+    // actual frames, not the header, decide how much memory is committed.
+    let mut rows = Vec::with_capacity((announced as usize).min(4096));
+    loop {
+        let body = read_frame_from(reader)?;
+        match body.first() {
+            Some(&FRAME_APPEND_ROWS) => {
+                let mut cursor = FrameCursor::new(&body, 1, "append row chunk");
+                let count = cursor.u16()?;
+                for _ in 0..count {
+                    if rows.len() as u64 >= MAX_APPEND_ROWS {
+                        return Err(Error::Source(format!(
+                            "append request ships more than {MAX_APPEND_ROWS} rows"
+                        )));
+                    }
+                    rows.push(pop_source_tuple(&mut cursor)?);
+                }
+                cursor.finish()?;
+            }
+            Some(&FRAME_END) if body.len() == 1 => break,
+            Some(&FRAME_ERROR) => {
+                return Err(Error::Source(format!(
+                    "append request aborted by the peer: {}",
+                    String::from_utf8_lossy(&body[1..])
+                )))
+            }
+            Some(&other) => return Err(Error::Source(format!("unknown wire frame kind {other}"))),
+            None => return Err(corrupt()),
+        }
+    }
+    if rows.len() as u64 != announced {
+        return Err(Error::Source(format!(
+            "append request shipped {} rows but announced {announced}",
+            rows.len()
+        )));
+    }
+    Ok(AppendRequest {
+        dataset,
+        seal,
+        rows,
+    })
+}
+
+/// The server's answer to an append request: where the live dataset stands
+/// after the rows (and any seal) landed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppendAck {
+    /// Snapshot epoch after this request was applied.
+    pub epoch: u64,
+    /// Rows currently staged (appended but not yet sealed).
+    pub staged: u64,
+    /// Total rows across all sealed segments.
+    pub sealed_rows: u64,
+    /// Whether this request advanced the epoch (an explicit or size-
+    /// triggered seal published a new snapshot).
+    pub sealed_now: bool,
+}
+
+/// Frames a v5 append acknowledgement and flushes.
+///
+/// # Errors
+///
+/// [`Error::Source`] on I/O failure.
+pub fn write_append_ack(writer: &mut impl Write, ack: &AppendAck) -> Result<()> {
+    let mut body = Vec::with_capacity(27);
+    body.push(FRAME_APPEND_ACK);
+    body.push(WIRE_VERSION_V5);
+    body.push(u8::from(ack.sealed_now));
+    body.extend_from_slice(&ack.epoch.to_le_bytes());
+    body.extend_from_slice(&ack.staged.to_le_bytes());
+    body.extend_from_slice(&ack.sealed_rows.to_le_bytes());
+    write_frame_to(writer, &body)?;
+    writer.flush().map_err(|e| io_err("flush", e))
+}
+
+/// Client-side decode of a [`write_append_ack`] frame. A server-side error
+/// frame in its place surfaces with the semantic `remote append failed`
+/// prefix (never retried); a busy frame surfaces as the retryable busy
+/// error.
+///
+/// # Errors
+///
+/// [`Error::Source`] on I/O failure, a malformed frame, a server-side
+/// refusal, or a busy refusal.
+pub fn read_append_ack(reader: &mut impl Read) -> Result<AppendAck> {
+    let body = read_frame_from(reader)?;
+    match body.first() {
+        Some(&FRAME_APPEND_ACK) => {}
+        Some(&FRAME_ERROR) => {
+            return Err(Error::Source(format!(
+                "remote append failed: {}",
+                String::from_utf8_lossy(&body[1..])
+            )))
+        }
+        Some(&FRAME_BUSY) => return Err(busy_error(&body)),
+        _ => return Err(Error::Source("corrupt wire append ack frame".into())),
+    }
+    if body.len() != 27 || body[1] != WIRE_VERSION_V5 || body[2] > 1 {
+        return Err(Error::Source("corrupt wire append ack frame".into()));
+    }
+    Ok(AppendAck {
+        sealed_now: body[2] == 1,
+        epoch: u64::from_le_bytes(body[3..11].try_into().expect("8 bytes")),
+        staged: u64::from_le_bytes(body[11..19].try_into().expect("8 bytes")),
+        sealed_rows: u64::from_le_bytes(body[19..27].try_into().expect("8 bytes")),
+    })
+}
+
+/// A v5 subscription request: a standing query the server re-evaluates on
+/// every epoch advance of the named live dataset, pushing a notification
+/// (plus a full result stream) only when the answer distribution shifted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubscribeRequest {
+    /// The standing query shape (its `dataset` names the live dataset; its
+    /// `version` must be [`WIRE_VERSION_V5`]).
+    pub query: QueryRequest,
+    /// Pushes after which the server closes the subscription (`0` = no
+    /// limit; the subscription lives until a side disconnects).
+    pub max_pushes: u64,
+}
+
+/// Frames a v5 subscribe request and flushes. Sent immediately after
+/// connecting, like the query request it extends.
+///
+/// # Errors
+///
+/// [`Error::Source`] on I/O failure, an over-long dataset name, or a query
+/// whose version is not v5.
+pub fn write_subscribe(writer: &mut impl Write, request: &SubscribeRequest) -> Result<()> {
+    if request.query.version != WIRE_VERSION_V5 {
+        return Err(Error::Source(format!(
+            "subscriptions need protocol version {WIRE_VERSION_V5} (request speaks v{})",
+            request.query.version
+        )));
+    }
+    let mut body = Vec::with_capacity(47 + request.query.dataset.len());
+    body.push(FRAME_SUBSCRIBE);
+    push_query_shape(&mut body, &request.query)?;
+    body.extend_from_slice(&request.max_pushes.to_le_bytes());
+    push_label(&mut body, &request.query.dataset)?;
+    write_frame_to(writer, &body)?;
+    writer.flush().map_err(|e| io_err("flush", e))
+}
+
+/// Decodes a [`write_subscribe`] frame body (kind byte already matched).
+fn decode_subscribe(body: &[u8]) -> Result<SubscribeRequest> {
+    let (mut query, at) = pop_query_shape(body, "subscribe request", WIRE_VERSION_V5)?;
+    let corrupt = || Error::Source("corrupt wire subscribe request frame".into());
+    let max_pushes = u64::from_le_bytes(
+        body.get(at..at + 8)
+            .ok_or_else(corrupt)?
+            .try_into()
+            .expect("8 bytes"),
+    );
+    query.dataset = pop_label(body, at + 8, "subscribe request")?;
+    Ok(SubscribeRequest { query, max_pushes })
+}
+
+/// One subscription push announcement: the epoch the standing query was
+/// re-evaluated at and the answer-distribution hash that shifted. A complete
+/// v5 result stream ([`read_query_result`]) follows every notification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Notification {
+    /// Epoch of the snapshot the pushed answer was computed against.
+    pub epoch: u64,
+    /// The server's hash of the answer distribution (what it compares
+    /// between epochs to decide whether to push).
+    pub answer_hash: u64,
+}
+
+/// Frames a v5 notification. The caller streams the full query result right
+/// after it; no flush here, so notification + result leave as one write.
+///
+/// # Errors
+///
+/// [`Error::Source`] on I/O failure.
+pub fn write_notification(writer: &mut impl Write, notification: &Notification) -> Result<()> {
+    let mut body = Vec::with_capacity(18);
+    body.push(FRAME_NOTIFY);
+    body.push(WIRE_VERSION_V5);
+    body.extend_from_slice(&notification.epoch.to_le_bytes());
+    body.extend_from_slice(&notification.answer_hash.to_le_bytes());
+    write_frame_to(writer, &body)
+}
+
+/// Server-side close of a push stream: frames a bare end marker (what
+/// [`read_push`] decodes as `None`) and flushes, so the subscriber sees a
+/// clean end instead of a dropped connection.
+///
+/// # Errors
+///
+/// [`Error::Source`] on I/O failure.
+pub fn write_push_end(writer: &mut impl Write) -> Result<()> {
+    write_frame_to(writer, &[FRAME_END])?;
+    writer
+        .flush()
+        .map_err(|e| Error::Source(format!("flushing the wire stream: {e}")))
+}
+
+/// Client-side read of the next subscription event: `Some(notification)`
+/// when the server pushed (decode the result stream next), `None` when the
+/// server closed the subscription cleanly (push budget reached or daemon
+/// drain).
+///
+/// # Errors
+///
+/// [`Error::Source`] on I/O failure, a malformed frame, a server-side
+/// subscription failure, or a busy refusal (possible only as the very first
+/// event).
+pub fn read_push(reader: &mut impl Read) -> Result<Option<Notification>> {
+    let body = read_frame_from(reader)?;
+    match body.first() {
+        Some(&FRAME_NOTIFY) if body.len() == 18 && body[1] == WIRE_VERSION_V5 => {
+            Ok(Some(Notification {
+                epoch: u64::from_le_bytes(body[2..10].try_into().expect("8 bytes")),
+                answer_hash: u64::from_le_bytes(body[10..18].try_into().expect("8 bytes")),
+            }))
+        }
+        Some(&FRAME_NOTIFY) => Err(Error::Source("corrupt wire notification frame".into())),
+        Some(&FRAME_END) if body.len() == 1 => Ok(None),
+        Some(&FRAME_ERROR) => Err(Error::Source(format!(
+            "remote subscription failed: {}",
+            String::from_utf8_lossy(&body[1..])
+        ))),
+        Some(&FRAME_BUSY) => Err(busy_error(&body)),
+        Some(&other) => Err(Error::Source(format!("unknown wire frame kind {other}"))),
+        None => Err(Error::Source("corrupt wire notification frame".into())),
+    }
+}
+
+/// The first frame a v5 serving daemon reads off a fresh connection: one of
+/// the three client-speaks-first request kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientRequest {
+    /// A one-shot query ([`write_query_request`], v4 or v5).
+    Query(QueryRequest),
+    /// An append (+ optional seal) to a live dataset
+    /// ([`write_append_request`], v5).
+    Append(AppendRequest),
+    /// A standing-query subscription ([`write_subscribe`], v5).
+    Subscribe(SubscribeRequest),
+}
+
+/// Server-side dispatch on the first frame of a connection: decodes a query,
+/// append (draining its row chunks) or subscribe request. Anything else —
+/// a pre-v4 hello, garbage — is an error the daemon answers with an error
+/// frame, so old peers fail cleanly instead of hanging.
+///
+/// # Errors
+///
+/// [`Error::Source`] on I/O failure, a malformed or unexpected frame, or
+/// invalid request fields.
+pub fn read_client_request(reader: &mut impl Read) -> Result<ClientRequest> {
+    let body = read_frame_from(reader)?;
+    match body.first() {
+        Some(&FRAME_QUERY_REQUEST) => Ok(ClientRequest::Query(decode_query_request(&body)?)),
+        Some(&FRAME_APPEND) => Ok(ClientRequest::Append(read_append_rows(reader, &body)?)),
+        Some(&FRAME_SUBSCRIBE) => Ok(ClientRequest::Subscribe(decode_subscribe(&body)?)),
+        Some(&other) => Err(Error::Source(format!(
+            "unexpected wire frame kind {other} (a query-serving daemon expects a query, \
+             append or subscribe request)"
+        ))),
+        None => Err(Error::Source("corrupt wire request frame".into())),
+    }
 }
 
 /// The coordinator's allocation state: hands out contiguous, non-overlapping
@@ -1781,6 +2302,7 @@ mod tests {
 
     fn sample_request() -> QueryRequest {
         QueryRequest {
+            version: WIRE_VERSION_V5,
             dataset: "area-60".into(),
             k: 5,
             p_tau: 1e-3,
@@ -1798,6 +2320,7 @@ mod tests {
             probability: 0.25 + (seed % 7) as f64 / 100.0,
         };
         QueryResult {
+            version: WIRE_VERSION_V5,
             cache_hit: true,
             scan_depth: 69,
             distribution_time_ns: 1_234_567,
@@ -1827,6 +2350,8 @@ mod tests {
                 expansions: 42,
                 deepest_position: 7,
             }),
+            epoch: 9,
+            cache_generation: 4,
         }
     }
 
@@ -1858,7 +2383,7 @@ mod tests {
 
         // A version bump is named in the refusal, and truncation is an error.
         let mut future = buf.clone();
-        future[5] = WIRE_VERSION_V4 + 1;
+        future[5] = WIRE_VERSION_V5 + 1;
         let err = read_query_request(&mut future.as_slice()).unwrap_err();
         assert!(
             matches!(&err, Error::Source(m) if m.contains("needs v4")),
@@ -1932,6 +2457,227 @@ mod tests {
         let err = read_query_result(&mut short.as_slice()).unwrap_err();
         assert!(
             matches!(&err, Error::Source(m) if m.contains("announced")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn v4_request_and_result_layouts_are_preserved_for_old_peers() {
+        // A v4 request round-trips with the v4 version byte on the wire.
+        let request = QueryRequest {
+            version: WIRE_VERSION_V4,
+            ..sample_request()
+        };
+        let mut buf = Vec::new();
+        write_query_request(&mut buf, &request).unwrap();
+        assert_eq!(buf[5], WIRE_VERSION_V4, "version byte on the wire");
+        assert_eq!(read_query_request(&mut buf.as_slice()).unwrap(), request);
+
+        // A result answered at v4 is byte-identical to the v4 release: the
+        // header is exactly 16 bytes shorter (no epoch / cache generation)
+        // and decodes with both fields zero.
+        let v5 = sample_result(3);
+        let v4 = QueryResult {
+            version: WIRE_VERSION_V4,
+            epoch: 0,
+            cache_generation: 0,
+            ..v5.clone()
+        };
+        let (mut buf4, mut buf5) = (Vec::new(), Vec::new());
+        write_query_result(&mut buf4, &v4).unwrap();
+        write_query_result(&mut buf5, &v5).unwrap();
+        let header = |buf: &[u8]| u32::from_le_bytes(buf[0..4].try_into().unwrap());
+        assert_eq!(header(&buf5), header(&buf4) + 16);
+        let decoded = read_query_result(&mut buf4.as_slice()).unwrap();
+        assert_eq!(decoded, v4);
+        assert_eq!((decoded.epoch, decoded.cache_generation), (0, 0));
+        // And the v5 result carries its epoch metadata through.
+        let decoded = read_query_result(&mut buf5.as_slice()).unwrap();
+        assert_eq!((decoded.epoch, decoded.cache_generation), (9, 4));
+        // Versions outside v4/v5 are refused at write time.
+        assert!(write_query_result(
+            &mut Vec::new(),
+            &QueryResult {
+                version: WIRE_VERSION_V5 + 1,
+                ..v5
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn append_request_round_trips_through_client_dispatch() {
+        for (n, seal) in [(0u64, true), (5, false), (9_000, true)] {
+            let request = AppendRequest {
+                dataset: "feed".into(),
+                seal,
+                rows: tuples(n),
+            };
+            let mut buf = Vec::new();
+            write_append_request(&mut buf, &request).unwrap();
+            match read_client_request(&mut buf.as_slice()).unwrap() {
+                ClientRequest::Append(decoded) => assert_eq!(decoded, request),
+                other => panic!("expected an append request, got {other:?}"),
+            }
+        }
+
+        // An invalid probability is refused at decode time, like every
+        // import path.
+        let row = SourceTuple::independent(UncertainTuple::new(1u64, 10.0, 0.5).unwrap());
+        let mut buf = Vec::new();
+        write_append_request(
+            &mut buf,
+            &AppendRequest {
+                dataset: "feed".into(),
+                seal: false,
+                rows: vec![row],
+            },
+        )
+        .unwrap();
+        // Zero the probability bits inside the row chunk: the row starts at
+        // chunk body offset 3, its prob field 16 bytes in.
+        let header_len = 4 + u32::from_le_bytes(buf[0..4].try_into().unwrap()) as usize;
+        let prob_at = header_len + 4 + CHUNK_HEADER + 16;
+        buf[prob_at..prob_at + 8].copy_from_slice(&0u64.to_le_bytes());
+        assert!(read_client_request(&mut buf.as_slice()).is_err());
+
+        // A shipped-vs-announced row count mismatch is rejected.
+        let request = AppendRequest {
+            dataset: "feed".into(),
+            seal: false,
+            rows: tuples(4),
+        };
+        let mut buf = Vec::new();
+        write_append_request(&mut buf, &request).unwrap();
+        buf[4 + 3] = 9; // bump the announced count
+        let err = read_client_request(&mut buf.as_slice()).unwrap_err();
+        assert!(
+            matches!(&err, Error::Source(m) if m.contains("announced")),
+            "{err}"
+        );
+
+        // Truncation anywhere is an error, not a hang or a partial append.
+        let mut buf = Vec::new();
+        write_append_request(
+            &mut buf,
+            &AppendRequest {
+                dataset: "feed".into(),
+                seal: true,
+                rows: tuples(8),
+            },
+        )
+        .unwrap();
+        for cut in [2usize, 25, buf.len() - 2] {
+            assert!(read_client_request(&mut buf[..cut].as_ref()).is_err());
+        }
+    }
+
+    #[test]
+    fn append_ack_round_trips_and_server_refusals_surface() {
+        let ack = AppendAck {
+            epoch: 12,
+            staged: 7,
+            sealed_rows: 4_096,
+            sealed_now: true,
+        };
+        let mut buf = Vec::new();
+        write_append_ack(&mut buf, &ack).unwrap();
+        assert_eq!(read_append_ack(&mut buf.as_slice()).unwrap(), ack);
+
+        // A server error frame decodes with the semantic (never-retried)
+        // prefix; a busy frame decodes as the retryable busy error.
+        let mut refusal = Vec::new();
+        write_query_error(&mut refusal, "dataset `feed` is not live").unwrap();
+        let err = read_append_ack(&mut refusal.as_slice()).unwrap_err();
+        assert!(
+            matches!(&err, Error::Source(m) if m.starts_with("remote append failed")),
+            "{err}"
+        );
+        let mut busy = Vec::new();
+        write_busy(&mut busy, 250).unwrap();
+        let err = read_append_ack(&mut busy.as_slice()).unwrap_err();
+        assert!(
+            matches!(&err, Error::Source(m) if m.contains("retry after 250ms")
+                && !m.contains("failed")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn subscribe_round_trips_and_requires_v5() {
+        let request = SubscribeRequest {
+            query: sample_request(),
+            max_pushes: 3,
+        };
+        let mut buf = Vec::new();
+        write_subscribe(&mut buf, &request).unwrap();
+        match read_client_request(&mut buf.as_slice()).unwrap() {
+            ClientRequest::Subscribe(decoded) => assert_eq!(decoded, request),
+            other => panic!("expected a subscribe request, got {other:?}"),
+        }
+
+        // A v4 query shape cannot subscribe — refused at write time, and a
+        // doctored frame is refused at decode time.
+        let v4 = SubscribeRequest {
+            query: QueryRequest {
+                version: WIRE_VERSION_V4,
+                ..sample_request()
+            },
+            max_pushes: 0,
+        };
+        assert!(write_subscribe(&mut Vec::new(), &v4).is_err());
+        let mut doctored = buf.clone();
+        doctored[5] = WIRE_VERSION_V4;
+        let err = read_client_request(&mut doctored.as_slice()).unwrap_err();
+        assert!(
+            matches!(&err, Error::Source(m) if m.contains("needs protocol version 5")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn notifications_and_busy_frames_decode_on_the_push_stream() {
+        let mut buf = Vec::new();
+        write_notification(
+            &mut buf,
+            &Notification {
+                epoch: 3,
+                answer_hash: 0xDEAD_BEEF,
+            },
+        )
+        .unwrap();
+        write_frame_to(&mut buf, &[FRAME_END]).unwrap();
+        let mut reader = buf.as_slice();
+        assert_eq!(
+            read_push(&mut reader).unwrap(),
+            Some(Notification {
+                epoch: 3,
+                answer_hash: 0xDEAD_BEEF,
+            })
+        );
+        assert_eq!(read_push(&mut reader).unwrap(), None, "clean close");
+
+        // A busy refusal on the query path is retryable: no semantic prefix.
+        let mut busy = Vec::new();
+        write_busy(&mut busy, 100).unwrap();
+        let err = read_query_result(&mut busy.as_slice()).unwrap_err();
+        assert!(
+            matches!(&err, Error::Source(m) if m.contains("server busy")
+                && !m.starts_with("remote query failed")),
+            "{err}"
+        );
+        let err = read_push(&mut busy.as_slice()).unwrap_err();
+        assert!(
+            matches!(&err, Error::Source(m) if m.contains("server busy")),
+            "{err}"
+        );
+
+        // Dispatch refuses non-request frames by kind, naming the surprise.
+        let mut hello = Vec::new();
+        WireWriter::new(&mut hello, None).unwrap().finish().unwrap();
+        let err = read_client_request(&mut hello.as_slice()).unwrap_err();
+        assert!(
+            matches!(&err, Error::Source(m) if m.contains("unexpected wire frame kind")),
             "{err}"
         );
     }
