@@ -27,8 +27,19 @@ const DEFAULT_THRESHOLD: f64 = 1.25;
 /// Default absolute slowdown (ns) a sample must exceed to count at all.
 const DEFAULT_NOISE_FLOOR_NS: u128 = 200_000;
 
-/// Extracts `(name, mean_ns)` pairs from `bench_smoke`-style JSON.
-fn parse_samples(json: &str) -> Vec<(String, u128)> {
+/// One sample parsed out of `bench_smoke`-style JSON.
+#[derive(Debug, Clone, PartialEq)]
+struct ParsedSample {
+    name: String,
+    mean_ns: u128,
+    /// Optional throughput annotation (samples with a natural per-iteration
+    /// tuple count emit it) — reported as an informational delta, never
+    /// gated on.
+    tuples_per_sec: Option<f64>,
+}
+
+/// Extracts the samples from `bench_smoke`-style JSON.
+fn parse_samples(json: &str) -> Vec<ParsedSample> {
     let mut out = Vec::new();
     let mut rest = json;
     while let Some(pos) = rest.find("\"name\":") {
@@ -46,8 +57,26 @@ fn parse_samples(json: &str) -> Vec<(String, u128)> {
             .skip_while(|c| c.is_whitespace())
             .take_while(char::is_ascii_digit)
             .collect();
-        if let Ok(mean) = digits.parse() {
-            out.push((name, mean));
+        // The throughput field belongs to this sample only if it appears
+        // before the next sample's name key.
+        let next_name = rest.find("\"name\":");
+        let tuples_per_sec = rest
+            .find("\"tuples_per_sec\":")
+            .filter(|tpos| next_name.is_none_or(|n| *tpos < n))
+            .and_then(|tpos| {
+                let digits: String = rest[tpos + "\"tuples_per_sec\":".len()..]
+                    .chars()
+                    .skip_while(|c| c.is_whitespace())
+                    .take_while(|c| c.is_ascii_digit() || *c == '.')
+                    .collect();
+                digits.parse().ok()
+            });
+        if let Ok(mean_ns) = digits.parse() {
+            out.push(ParsedSample {
+                name,
+                mean_ns,
+                tuples_per_sec,
+            });
         }
     }
     out
@@ -63,31 +92,44 @@ struct Row {
 /// Diffs `current` against `baseline` under the gate parameters; the second
 /// return is true when any row fails the gate.
 fn compare(
-    baseline: &[(String, u128)],
-    current: &[(String, u128)],
+    baseline: &[ParsedSample],
+    current: &[ParsedSample],
     threshold: f64,
     noise_floor_ns: u128,
 ) -> (Vec<Row>, bool) {
     let mut rows = Vec::new();
     let mut failed = false;
-    for (name, base_ns) in baseline {
-        let Some((_, cur_ns)) = current.iter().find(|(n, _)| n == name) else {
+    for base in baseline {
+        let Some(cur) = current.iter().find(|s| s.name == base.name) else {
             rows.push(Row {
-                name: name.clone(),
+                name: base.name.clone(),
                 detail: "MISSING from the current run".to_string(),
                 failed: true,
             });
             failed = true;
             continue;
         };
-        let ratio = *cur_ns as f64 / (*base_ns).max(1) as f64;
-        let slowdown = cur_ns.saturating_sub(*base_ns);
+        let (base_ns, cur_ns) = (base.mean_ns, cur.mean_ns);
+        let ratio = cur_ns as f64 / base_ns.max(1) as f64;
+        let slowdown = cur_ns.saturating_sub(base_ns);
         let regressed = ratio > threshold && slowdown > noise_floor_ns;
         failed |= regressed;
+        // Throughput is informational only: the wall-clock gate above is
+        // what fails the build, the tuples/s delta just makes the trend
+        // readable next to it.
+        let throughput = match (base.tuples_per_sec, cur.tuples_per_sec) {
+            (Some(b), Some(c)) if b > 0.0 => format!(
+                ", throughput {:.2}M -> {:.2}M tuples/s ({:+.0}%)",
+                b / 1e6,
+                c / 1e6,
+                (c / b - 1.0) * 100.0
+            ),
+            _ => String::new(),
+        };
         rows.push(Row {
-            name: name.clone(),
+            name: base.name.clone(),
             detail: format!(
-                "{base_ns} ns -> {cur_ns} ns ({ratio:.2}x){}",
+                "{base_ns} ns -> {cur_ns} ns ({ratio:.2}x){throughput}{}",
                 if regressed {
                     "  REGRESSION"
                 } else if ratio > threshold {
@@ -99,11 +141,11 @@ fn compare(
             failed: regressed,
         });
     }
-    for (name, cur_ns) in current {
-        if !baseline.iter().any(|(n, _)| n == name) {
+    for cur in current {
+        if !baseline.iter().any(|s| s.name == cur.name) {
             rows.push(Row {
-                name: name.clone(),
-                detail: format!("{cur_ns} ns (new sample, no baseline)"),
+                name: cur.name.clone(),
+                detail: format!("{} ns (new sample, no baseline)", cur.mean_ns),
                 failed: false,
             });
         }
@@ -186,24 +228,42 @@ mod tests {
   "dataset": {"generator": "cartel", "segments": 60},
   "results": [
     {"name": "fig09/depth/k5", "mean_ns": 1000, "min_ns": 900, "iters": 30},
+    {"name": "blocks/drain", "mean_ns": 2000, "min_ns": 1800, "iters": 10, "tuples_per_iter": 40000, "tuples_per_sec": 20000000000},
     {"name": "query/main/k5", "mean_ns": 5000000, "min_ns": 4000000, "iters": 3}
   ]
 }"#;
 
     #[test]
-    fn parses_names_and_means_from_smoke_json() {
+    fn parses_names_means_and_optional_throughput() {
         let samples = parse_samples(SNIPPET);
         assert_eq!(
             samples,
             vec![
-                ("fig09/depth/k5".to_string(), 1000),
-                ("query/main/k5".to_string(), 5_000_000),
+                ParsedSample {
+                    name: "fig09/depth/k5".to_string(),
+                    mean_ns: 1000,
+                    tuples_per_sec: None,
+                },
+                ParsedSample {
+                    name: "blocks/drain".to_string(),
+                    mean_ns: 2000,
+                    tuples_per_sec: Some(20e9),
+                },
+                ParsedSample {
+                    name: "query/main/k5".to_string(),
+                    mean_ns: 5_000_000,
+                    tuples_per_sec: None,
+                },
             ]
         );
     }
 
-    fn sample(name: &str, mean_ns: u128) -> (String, u128) {
-        (name.to_string(), mean_ns)
+    fn sample(name: &str, mean_ns: u128) -> ParsedSample {
+        ParsedSample {
+            name: name.to_string(),
+            mean_ns,
+            tuples_per_sec: None,
+        }
     }
 
     #[test]
@@ -252,5 +312,20 @@ mod tests {
         let (rows, failed) = compare(&baseline, &current, 1.25, 0);
         assert!(!failed);
         assert!(rows.iter().any(|r| r.detail.contains("new sample")));
+    }
+
+    #[test]
+    fn throughput_delta_is_reported_but_never_gates() {
+        // 4x slower by wall clock *and* throughput — but with a generous
+        // threshold the row passes, proving the tuples/s delta is
+        // informational only.
+        let mut base = sample("blocks/drain", 1_000_000);
+        base.tuples_per_sec = Some(40e6);
+        let mut cur = sample("blocks/drain", 4_000_000);
+        cur.tuples_per_sec = Some(10e6);
+        let (rows, failed) = compare(&[base], &[cur], 10.0, 0);
+        assert!(!failed);
+        assert!(rows[0].detail.contains("throughput 40.00M -> 10.00M"));
+        assert!(rows[0].detail.contains("-75%"));
     }
 }

@@ -118,7 +118,7 @@ fn usage() -> &'static str {
               [--id-base N [--namespace LABEL] | --coordinator HOST:PORT]
               [--spill-buffer TUPLES]
               [--max-conns N] [--max-parallel N] [--port-file FILE]
-              [--pushdown-wait-ms MS]
+              [--pushdown-wait-ms MS] [--block-tuples N]
               [--prob-column NAME] [--group-column NAME]
   ttk coordinator --listen HOST:PORT [--namespace LABEL] [--max-leases N]
               [--port-file FILE]
@@ -156,7 +156,10 @@ fn usage() -> &'static str {
   atomically (useful with --listen 127.0.0.1:0). Each connection waits
   --pushdown-wait-ms (default 25) for a pushdown query announcement before
   falling back to the full v1/v2 replay, and logs one summary line (rows
-  scanned, tuples shipped, stop reason: gate/exhausted/client-gone).
+  scanned, tuples shipped, stop reason: gate/exhausted/client-gone). Clients
+  that announce columnar block support get the replay packed into block
+  frames of at most --block-tuples tuples each (default 512, clamped by the
+  client's own announced cap); per-tuple clients are served unchanged.
 
   coordinator hands out non-overlapping id-base leases (and one shared
   namespace label, --namespace, stamped into every served hello) to
@@ -1003,6 +1006,8 @@ fn cmd_serve_shard(args: &[String]) -> Result<(), String> {
     }
     let serve_options = ServeOptions {
         pushdown_wait: Duration::from_millis(get_parse(&flags, "pushdown-wait-ms", 25u64)?.max(1)),
+        block_tuples: get_parse(&flags, "block-tuples", ServeOptions::default().block_tuples)?
+            .max(1),
         ..ServeOptions::default()
     };
     let csv_options = parse_csv_options(&flags);
@@ -1508,9 +1513,16 @@ fn describe_scan(plan: &PlanDescription) -> String {
             }
         }
         ScanPath::RemotePushdown { remote, local } => {
+            let blocks = match (plan.observed_wire_blocks, plan.mean_block_fill()) {
+                (Some(blocks), Some(fill)) => {
+                    format!(" in {blocks} blocks, mean fill {fill:.1}")
+                }
+                (Some(0), None) => " tuple-at-a-time".to_string(),
+                _ => String::new(),
+            };
             let wire = plan
                 .observed_wire_tuples
-                .map(|n| format!(", {n} tuples observed over the wire"))
+                .map(|n| format!(", {n} tuples observed over the wire{blocks}"))
                 .unwrap_or_default();
             if local > 0 {
                 format!(

@@ -10,7 +10,7 @@
 //! The drivers in [`super`] decide how tables are translated into rows and
 //! which exits are enabled; the engine is agnostic to those decisions.
 
-use ttk_uncertain::{CoalescePolicy, ScoreDistribution, TupleId};
+use ttk_uncertain::{CoalescePolicy, ScoreColumns, ScoreDistribution, TupleId};
 
 /// One row of the dynamic-programming table.
 #[derive(Debug, Clone)]
@@ -78,6 +78,16 @@ impl Default for EngineConfig {
 /// last selected row at a position `r` with `exits[r] == true`.
 ///
 /// `exits.len()` must equal `rows.len()`.
+///
+/// The working cells are held as [`ScoreColumns`] — parallel score and
+/// probability columns — so the two inner-loop operations run columnar: the
+/// exclude branch scales the probability column in place (a branch-free,
+/// auto-vectorizable pass with no allocation) and the include branch fuses
+/// shift, scale and merge into one sorted-union sweep that only materializes
+/// witnesses for surviving lines. Both perform the floating-point arithmetic
+/// in exactly the order of the scalar [`ScoreDistribution`] operations, so
+/// the returned distribution is bit-identical to the point-at-a-time
+/// formulation.
 pub fn run(rows: &[DpRow], exits: &[bool], k: usize, config: &EngineConfig) -> ScoreDistribution {
     assert_eq!(rows.len(), exits.len(), "one exit flag per row");
     if k == 0 || rows.is_empty() {
@@ -86,32 +96,28 @@ pub fn run(rows: &[DpRow], exits: &[bool], k: usize, config: &EngineConfig) -> S
 
     // `current[j]` holds D_{i+1, j} while processing row i (bottom-up).
     // Column 0 is *not* stored: the recurrence consults `exits[i]` directly
-    // when it needs D_{i+1, 0}.
-    let mut current: Vec<ScoreDistribution> = vec![ScoreDistribution::empty(); k + 1];
-    let unit = if config.track_witnesses {
-        ScoreDistribution::unit()
-    } else {
-        ScoreDistribution::singleton(0.0, 1.0, None)
-    };
+    // when it needs D_{i+1, 0}. `next` is the double buffer the new cells are
+    // written into; the two swap every row, so the cell vectors are
+    // allocated once.
+    let mut current: Vec<ScoreColumns> = vec![ScoreColumns::empty(); k + 1];
+    let mut next: Vec<ScoreColumns> = vec![ScoreColumns::empty(); k + 1];
+    let unit = ScoreColumns::unit(config.track_witnesses);
 
     for i in (0..rows.len()).rev() {
         let row = &rows[i];
         let exclude_p = row.exclude_probability();
-        let mut next: Vec<ScoreDistribution> = vec![ScoreDistribution::empty(); k + 1];
-        // The number of selections still possible below row i is bounded by
-        // the number of tuples the remaining rows can contribute, but keeping
-        // the loop over all 1..=k is simpler and the empty distributions
-        // short-circuit immediately.
-        for j in 1..=k {
+        // Descending j lets the exclude branch *take* `current[j]` and scale
+        // it in place — `current[j]` is never read again this row once the
+        // cells above it are done, while `current[j - 1]` (the include
+        // branch's input) has not been touched yet. Cell values do not depend
+        // on the iteration order.
+        for j in (1..=k).rev() {
             // Exclude branch: row i contributes nothing.
-            let mut dist = if exclude_p > 0.0 {
-                current[j].shifted_scaled(0.0, exclude_p, None)
-            } else {
-                ScoreDistribution::empty()
-            };
+            let mut dist = std::mem::take(&mut current[j]);
+            dist.scale_in_place(exclude_p);
             // Include branch: row i contributes one tuple; the remaining j-1
             // selections come from below (or from the exit when j == 1).
-            let below: &ScoreDistribution = if j == 1 {
+            let below: &ScoreColumns = if j == 1 {
                 if exits[i] {
                     &unit
                 } else {
@@ -125,12 +131,12 @@ pub fn run(rows: &[DpRow], exits: &[bool], k: usize, config: &EngineConfig) -> S
                 match row {
                     DpRow::Simple { id, score, prob } => {
                         let prepend = config.track_witnesses.then_some(*id);
-                        dist.merge_from(&below.shifted_scaled(*score, *prob, prepend));
+                        dist.merge_shifted_scaled(below, *score, *prob, prepend);
                     }
                     DpRow::Rule { branches } => {
                         for (id, score, prob) in branches {
                             let prepend = config.track_witnesses.then_some(*id);
-                            dist.merge_from(&below.shifted_scaled(*score, *prob, prepend));
+                            dist.merge_shifted_scaled(below, *score, *prob, prepend);
                         }
                     }
                 }
@@ -140,10 +146,11 @@ pub fn run(rows: &[DpRow], exits: &[bool], k: usize, config: &EngineConfig) -> S
             }
             next[j] = dist;
         }
-        // current[0] stays empty: it only models the blocked exit.
-        current = next;
+        // current[0] stays empty in both buffers: it only models the blocked
+        // exit.
+        std::mem::swap(&mut current, &mut next);
     }
-    std::mem::take(&mut current[k])
+    std::mem::take(&mut current[k]).into_distribution()
 }
 
 #[cfg(test)]

@@ -107,7 +107,7 @@ pub use query_serve::{
 };
 pub use registry::{CacheKey, DatasetRegistry, ResultCache};
 pub use remote::{ConnectOptions, RemoteShardDataset};
-pub use scan::{RankScan, ScanPrefix};
+pub use scan::{RankScan, ScanPrefix, FIRST_BLOCK_TUPLES, MAX_BLOCK_TUPLES};
 pub use scan_depth::{scan_depth, stopping_threshold, GateMeter, ScanGate, ShardScanGate};
 pub use serve::{serve_stream, ServeOptions, ServeSummary, StopReason};
 pub use session::{

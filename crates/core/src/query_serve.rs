@@ -941,6 +941,8 @@ impl RemoteQueryClient {
             estimated_cost: estimated_cost(query, None),
             drains_stream: query.compute_u_topk || query.algorithm == Algorithm::Exhaustive,
             observed_wire_tuples: None,
+            observed_wire_blocks: None,
+            observed_wire_block_tuples: None,
             server_cache_hit: Some(remote.cache_hit),
             dataset_epoch: remote.epoch,
             server_cache_generation: remote.cache_generation,

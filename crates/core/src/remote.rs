@@ -48,8 +48,8 @@ use std::time::Duration;
 
 use ttk_uncertain::wire::{self, PushdownQuery, WIRE_VERSION_V3};
 use ttk_uncertain::{
-    Error, PrefetchPolicy, Result, ScanHandle, ShardAssignment, SourceTuple, TupleSource,
-    WireReader, WireScanStats,
+    Error, PrefetchPolicy, Result, ScanHandle, ShardAssignment, SourceTuple, TupleBlock,
+    TupleSource, WireReader, WireScanStats,
 };
 
 use crate::scan_depth::GateMeter;
@@ -121,8 +121,14 @@ pub struct RemoteShardDataset {
     prefetch: PrefetchPolicy,
     connect: ConnectOptions,
     pushdown: bool,
+    wire_blocks: bool,
     bound_update_every: u64,
 }
+
+/// The per-block tuple cap a pushdown client announces in its kind-19 query
+/// frame. The server ships blocks no larger than the *smaller* of this and
+/// its own `ServeOptions::block_tuples`.
+const CLIENT_BLOCK_TUPLES: u16 = 2048;
 
 impl std::fmt::Debug for RemoteShardDataset {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -132,6 +138,7 @@ impl std::fmt::Debug for RemoteShardDataset {
             .field("prefetch", &self.prefetch)
             .field("connect", &self.connect)
             .field("pushdown", &self.pushdown)
+            .field("wire_blocks", &self.wire_blocks)
             .field("bound_update_every", &self.bound_update_every)
             .finish()
     }
@@ -148,6 +155,7 @@ impl RemoteShardDataset {
             prefetch: PrefetchPolicy::Off,
             connect: ConnectOptions::default(),
             pushdown: true,
+            wire_blocks: true,
             bound_update_every: 64,
         }
     }
@@ -160,6 +168,17 @@ impl RemoteShardDataset {
     /// are bit-identical either way.
     pub fn with_pushdown(mut self, pushdown: bool) -> Self {
         self.pushdown = pushdown;
+        self
+    }
+
+    /// Enables or disables columnar block framing on pushdown connections
+    /// (on by default): when enabled, the query announcement asks the server
+    /// to pack the gated prefix into kind-20 block frames instead of one
+    /// frame per tuple. A server that predates blocks rejects the announcement
+    /// and the connection is redialed speaking the plain query — results are
+    /// bit-identical either way. Has no effect when pushdown is off.
+    pub fn with_wire_blocks(mut self, blocks: bool) -> Self {
+        self.wire_blocks = blocks;
         self
     }
 
@@ -224,6 +243,7 @@ fn try_dial_query(
     addr: &str,
     options: &ConnectOptions,
     query: Option<&PushdownQuery>,
+    blocks: Option<u16>,
 ) -> Result<(WireReader<BufReader<TcpStream>>, Option<TcpStream>)> {
     let sock_addrs: Vec<_> = addr
         .to_socket_addrs()
@@ -260,7 +280,11 @@ fn try_dial_query(
             // surfaces here as a write error while the hello and tuples stay
             // readable in our receive queue. Downgrade to the legacy replay
             // and let the hello read decide whether the connection is alive.
-            match wire::write_query(&mut write_half, query) {
+            let sent = match blocks {
+                Some(max_block) => wire::write_query_blocks(&mut write_half, query, max_block),
+                None => wire::write_query(&mut write_half, query),
+            };
+            match sent {
                 Ok(()) => Some(write_half),
                 Err(_) => None,
             }
@@ -281,11 +305,20 @@ fn try_dial_query(
 /// the hello retry under exponential backoff until the budget is spent.
 /// Each attempt re-announces `query` on a fresh connection, so a retry never
 /// resumes a half-spoken handshake.
+///
+/// When `blocks` is set, the first failed handshake also triggers an
+/// immediate redial speaking the plain kind-7 query: a server that predates
+/// block framing strictly rejects the kind-19 announcement and closes before
+/// its hello, and that downgrade redial — not a capability exchange — is how
+/// old servers keep interoperating. The downgrade sticks for the remaining
+/// attempts; a genuinely dead peer fails the plain dial the same way.
 fn dial(
     addr: &str,
     options: &ConnectOptions,
     query: Option<&PushdownQuery>,
+    blocks: Option<u16>,
 ) -> Result<(WireReader<BufReader<TcpStream>>, Option<TcpStream>)> {
+    let mut blocks = blocks.filter(|_| query.is_some());
     let mut delay = options.backoff;
     let mut first = None;
     let mut last = None;
@@ -294,9 +327,14 @@ fn dial(
             std::thread::sleep(delay);
             delay = delay.saturating_mul(2);
         }
-        match try_dial_query(addr, options, query) {
+        match try_dial_query(addr, options, query, blocks) {
             Ok(connection) => return Ok(connection),
             Err(e) => {
+                if blocks.take().is_some() {
+                    if let Ok(connection) = try_dial_query(addr, options, query, None) {
+                        return Ok(connection);
+                    }
+                }
                 // Unwrap the Error::Source shell so the final message does
                 // not nest its prefix per attempt.
                 let text = match e {
@@ -393,6 +431,25 @@ struct BoundSource {
     cadence: u64,
     stats: Arc<WireScanStats>,
     finished: bool,
+    /// Frame counts already folded into `stats`, so each harvest only adds
+    /// the delta since the previous reader call.
+    reported_frames: (u64, u64),
+}
+
+impl BoundSource {
+    /// Folds newly decoded kind-20 frames into the shared stats. Runs after
+    /// every reader call: the reader decodes block frames into its buffer
+    /// even when the merge above drains tuple-at-a-time, so pull-site
+    /// counting alone would miss the wire framing entirely.
+    fn harvest_frames(&mut self) {
+        let (frames, rows) = self.reader.block_frames_decoded();
+        let (seen_frames, seen_rows) = self.reported_frames;
+        if frames > seen_frames || rows > seen_rows {
+            self.stats
+                .record_block_frames(frames - seen_frames, rows - seen_rows);
+            self.reported_frames = (frames, rows);
+        }
+    }
 }
 
 impl TupleSource for BoundSource {
@@ -410,10 +467,45 @@ impl TupleSource for BoundSource {
                 }
             }
         }
-        match self.reader.next_tuple() {
+        let pulled = self.reader.next_tuple();
+        self.harvest_frames();
+        match pulled {
             Ok(Some(tuple)) => {
                 self.stats.record_tuple();
                 Ok(Some(tuple))
+            }
+            Ok(None) => {
+                if !self.finished {
+                    self.finished = true;
+                    if let Some(stopped) = self.reader.stopped_at() {
+                        self.stats.record_stopped(stopped);
+                    }
+                }
+                Ok(None)
+            }
+            Err(error) => Err(error),
+        }
+    }
+
+    fn next_block(&mut self, max: usize) -> Result<Option<TupleBlock>> {
+        // Blocks are hundreds of tuples, so the bound-update cadence check
+        // runs once per block pull instead of every `cadence` tuples.
+        if self.write.is_some() {
+            let mass = self.meter.current();
+            if mass > self.last_sent {
+                match wire::write_bound(self.write.as_mut().expect("checked above"), mass) {
+                    Ok(()) => self.last_sent = mass,
+                    Err(_) => self.write = None,
+                }
+            }
+        }
+        let pulled = self.reader.next_block(max);
+        self.harvest_frames();
+        match pulled {
+            Ok(Some(block)) => {
+                self.pulls += block.len() as u64;
+                self.stats.record_block_pull(block.len());
+                Ok(Some(block))
             }
             Ok(None) => {
                 if !self.finished {
@@ -446,8 +538,9 @@ impl RemoteShardDataset {
         let mut shards: Vec<Box<dyn TupleSource + Send>> =
             Vec::with_capacity(self.addrs.len() + self.local_count);
         let mut assignments = Vec::with_capacity(self.addrs.len());
+        let blocks = self.wire_blocks.then_some(CLIENT_BLOCK_TUPLES);
         for addr in &self.addrs {
-            let (mut reader, write) = dial(addr, &self.connect, query)?;
+            let (mut reader, write) = dial(addr, &self.connect, query, blocks)?;
             let hello = reader.hello().expect("hello decoded during dial").clone();
             stats.record_connection(write.is_some());
             assignments.push((addr.clone(), hello.assignment, hello.size_hint));
@@ -460,6 +553,7 @@ impl RemoteShardDataset {
                 cadence: self.bound_update_every.max(1),
                 stats: Arc::clone(&stats),
                 finished: false,
+                reported_frames: (0, 0),
             }));
         }
         validate_assignments(&assignments)?;

@@ -5,20 +5,38 @@
 //! [`UncertainTable`], computed the Theorem-2 depth, and *truncated*
 //! afterwards — the whole input was read, sorted and grouped even though only
 //! a prefix was ever needed. [`RankScan::collect_prefix`] fuses the stopping
-//! condition into the scan instead: tuples are pulled one by one from a
-//! [`TupleSource`], each is offered to a [`ScanGate`], and the scan ends the
-//! moment the gate closes. At most **one** tuple past the bound is ever read
-//! (the look-ahead that observes the tie-group boundary), which is what makes
-//! out-of-core and incrementally-arriving inputs viable.
+//! condition into the scan instead: tuples are pulled from a [`TupleSource`]
+//! in geometrically growing columnar [`TupleBlock`]s, each row is offered to
+//! a [`ScanGate`] by an in-block scalar tail, and the scan ends the moment
+//! the gate closes — the stopping depth is **bit-identical** to pulling one
+//! tuple at a time, the block pull only changes how many tuples sit in the
+//! executor's hand when the gate closes. The unconsumed remainder of that
+//! last block is kept as [`ScanPrefix::surplus`] (it is never lost, and
+//! [`ScanPrefix::into_full_table`] splices it back), so the over-read past
+//! the bound is bounded by the final block ask, which starts at
+//! [`FIRST_BLOCK_TUPLES`] and at most doubles per pull up to
+//! [`MAX_BLOCK_TUPLES`] — out-of-core and incrementally-arriving inputs stay
+//! viable while deep scans amortize per-tuple dispatch (spill decode, wire
+//! frames, feed channel hops) over whole blocks.
 //!
 //! The admitted prefix is assembled into a regular [`UncertainTable`] via
 //! [`UncertainTable::from_rank_ordered`] — no re-sort, no rule re-derivation
 //! — so the downstream dynamic programs run unchanged on a table that is
 //! observationally identical to the old truncate-based one.
 
-use ttk_uncertain::{GroupKey, Result, SourceTuple, TupleSource, UncertainTable, UncertainTuple};
+use ttk_uncertain::{
+    GroupKey, Result, SourceTuple, TupleBlock, TupleSource, UncertainTable, UncertainTuple,
+};
 
 use crate::scan_depth::ScanGate;
+
+/// The executor's first block ask: small, so a scan whose gate closes within
+/// the first few ranks over-reads almost nothing.
+pub const FIRST_BLOCK_TUPLES: usize = 32;
+
+/// The executor's largest block ask, reached after a few doublings; also the
+/// block size used when draining a stream to exhaustion.
+pub const MAX_BLOCK_TUPLES: usize = 512;
 
 /// The Theorem-2 prefix produced by one rank scan.
 #[derive(Debug, Clone)]
@@ -33,7 +51,13 @@ pub struct ScanPrefix {
     /// The single look-ahead tuple the gate rejected, when it closed
     /// mid-stream.
     pub pending: Option<SourceTuple>,
-    /// Number of tuples pulled from the source, including the look-ahead.
+    /// The unconsumed remainder of the block the gate closed inside: the
+    /// rows after [`pending`](ScanPrefix::pending) in rank order, already
+    /// pulled from the source but never offered to the gate. Empty when the
+    /// gate closed on the last row of its block or the stream was exhausted.
+    pub surplus: TupleBlock,
+    /// Number of tuples pulled from the source, including the look-ahead
+    /// and the surplus rows.
     pub pulled: usize,
     /// True when the source was exhausted before the gate closed (the prefix
     /// is the entire stream).
@@ -57,7 +81,7 @@ impl ScanPrefix {
     ///
     /// Propagates source errors and table-validation errors.
     pub fn into_full_table(self, source: &mut dyn TupleSource) -> Result<UncertainTable> {
-        if self.exhausted && self.pending.is_none() {
+        if self.exhausted && self.pending.is_none() && self.surplus.is_empty() {
             return Ok(self.table);
         }
         let mut tuples: Vec<UncertainTuple> = self.table.tuples().to_vec();
@@ -66,9 +90,15 @@ impl ScanPrefix {
             tuples.push(pending.tuple);
             keys.push(pending.group);
         }
-        while let Some(streamed) = source.next_tuple()? {
+        for streamed in self.surplus.iter() {
             tuples.push(streamed.tuple);
             keys.push(streamed.group);
+        }
+        while let Some(block) = source.next_block(MAX_BLOCK_TUPLES)? {
+            for streamed in block.iter() {
+                tuples.push(streamed.tuple);
+                keys.push(streamed.group);
+            }
         }
         UncertainTable::from_rank_ordered(tuples, &keys)
     }
@@ -90,6 +120,11 @@ impl RankScan {
     /// Pulls tuples from `source` while `gate` admits them and assembles the
     /// admitted prefix.
     ///
+    /// Tuples are pulled in geometrically growing blocks and admitted by an
+    /// in-block scalar tail, so the prefix and stopping depth are
+    /// bit-identical to a tuple-at-a-time scan; the unconsumed rows of the
+    /// block the gate closed inside land in [`ScanPrefix::surplus`].
+    ///
     /// # Errors
     ///
     /// Propagates source errors and prefix-validation errors (out-of-order
@@ -107,26 +142,36 @@ impl RankScan {
         let mut keys: Vec<GroupKey> = Vec::with_capacity(hint);
         let mut pulled = 0usize;
         let mut pending = None;
+        let mut surplus = TupleBlock::default();
         let mut exhausted = true;
-        while let Some(streamed) = source.next_tuple()? {
-            pulled += 1;
-            if !gate.admit(
-                streamed.tuple.score(),
-                streamed.tuple.prob(),
-                streamed.group,
-            ) {
-                pending = Some(streamed);
-                exhausted = false;
-                break;
+        let mut ask = FIRST_BLOCK_TUPLES;
+        'scan: while let Some(block) = source.next_block(ask)? {
+            pulled += block.len();
+            for at in 0..block.len() {
+                let streamed = block.get(at);
+                if !gate.admit(
+                    streamed.tuple.score(),
+                    streamed.tuple.prob(),
+                    streamed.group,
+                ) {
+                    pending = Some(streamed);
+                    exhausted = false;
+                    if at + 1 < block.len() {
+                        surplus.push_range(&block, at + 1, block.len());
+                    }
+                    break 'scan;
+                }
+                tuples.push(streamed.tuple);
+                keys.push(streamed.group);
             }
-            tuples.push(streamed.tuple);
-            keys.push(streamed.group);
+            ask = (ask * 2).min(MAX_BLOCK_TUPLES);
         }
         let table = UncertainTable::from_rank_ordered(tuples, &keys)?;
         Ok(ScanPrefix {
             table,
             keys,
             pending,
+            surplus,
             pulled,
             exhausted,
         })
@@ -177,7 +222,7 @@ mod tests {
     }
 
     #[test]
-    fn scan_reads_at_most_one_tuple_past_the_bound() {
+    fn scan_over_read_is_bounded_by_the_block_ask() {
         let table = uniform_table(5000, 0.8);
         let k = 10;
         let p_tau = 1e-3;
@@ -192,8 +237,50 @@ mod tests {
 
         assert_eq!(prefix.depth(), depth);
         assert!(!prefix.exhausted);
-        assert_eq!(source.pulled(), depth + 1, "exactly one look-ahead tuple");
-        assert_eq!(prefix.pulled, depth + 1);
+        // Every pulled tuple is accounted for: the admitted prefix, one
+        // rejected look-ahead, and the unconsumed surplus of the last block.
+        assert_eq!(source.pulled(), prefix.pulled);
+        assert_eq!(prefix.pulled, depth + 1 + prefix.surplus.len());
+        assert!(
+            prefix.surplus.len() < MAX_BLOCK_TUPLES,
+            "surplus {} must stay under the largest block ask",
+            prefix.surplus.len()
+        );
+    }
+
+    #[test]
+    fn block_scan_matches_the_tuple_at_a_time_scan() {
+        /// Degrades every block ask to a single tuple, forcing the exact
+        /// pre-block pull pattern.
+        struct OneAtATime<S>(S);
+        impl<S: TupleSource> TupleSource for OneAtATime<S> {
+            fn next_tuple(&mut self) -> ttk_uncertain::Result<Option<SourceTuple>> {
+                self.0.next_tuple()
+            }
+            fn next_block(
+                &mut self,
+                _max: usize,
+            ) -> ttk_uncertain::Result<Option<ttk_uncertain::TupleBlock>> {
+                self.0.next_block(1)
+            }
+        }
+
+        let table = uniform_table(3000, 0.7);
+        for (k, p_tau) in [(5usize, 1e-3), (12, 0.01)] {
+            let mut gate = ScanGate::new(k, p_tau).unwrap();
+            let blocked = RankScan::new()
+                .collect_prefix(&mut TableSource::new(&table), &mut gate)
+                .unwrap();
+            let mut gate = ScanGate::new(k, p_tau).unwrap();
+            let scalar = RankScan::new()
+                .collect_prefix(&mut OneAtATime(TableSource::new(&table)), &mut gate)
+                .unwrap();
+            assert_eq!(blocked.depth(), scalar.depth());
+            assert_eq!(blocked.table.tuples(), scalar.table.tuples());
+            assert_eq!(blocked.keys, scalar.keys);
+            assert_eq!(blocked.pending, scalar.pending);
+            assert!(scalar.surplus.is_empty(), "unit blocks leave no surplus");
+        }
     }
 
     #[test]

@@ -19,7 +19,7 @@ use std::net::TcpStream;
 use std::time::Duration;
 
 use ttk_uncertain::wire::{self, ControlFrame, ControlParser, PushdownQuery, StoppedAt};
-use ttk_uncertain::{Error, Result, ShardAssignment, TupleSource, WireWriter};
+use ttk_uncertain::{Error, Result, ShardAssignment, TupleBlock, TupleSource, WireWriter};
 
 use crate::scan_depth::ShardScanGate;
 
@@ -57,6 +57,9 @@ pub struct ServeSummary {
     pub reason: StopReason,
     /// Whether the connection negotiated v3 pushdown.
     pub pushdown: bool,
+    /// Bytes framed onto the wire (length prefixes included); best-effort
+    /// on [`StopReason::ClientGone`], exact otherwise.
+    pub wire_bytes: u64,
 }
 
 /// Knobs for [`serve_stream`].
@@ -67,6 +70,10 @@ pub struct ServeOptions {
     pub pushdown_wait: Duration,
     /// Drain client bound updates every this many shipped tuples.
     pub drain_every: u64,
+    /// Most tuples packed into one block frame when the client negotiates
+    /// columnar blocks (the effective size is the smaller of this and the
+    /// client's announced maximum). Per-tuple clients are unaffected.
+    pub block_tuples: usize,
 }
 
 impl Default for ServeOptions {
@@ -74,6 +81,7 @@ impl Default for ServeOptions {
         ServeOptions {
             pushdown_wait: Duration::from_millis(25),
             drain_every: 64,
+            block_tuples: 512,
         }
     }
 }
@@ -108,6 +116,7 @@ pub fn serve_stream(
             shipped: 0,
             reason: StopReason::ClientGone,
             pushdown: false,
+            wire_bytes: 0,
         }),
         Ok(_) => serve_pushdown(stream, source, assignment, options),
         Err(e) if would_block(&e) => serve_legacy(stream, source, assignment),
@@ -116,6 +125,7 @@ pub fn serve_stream(
             shipped: 0,
             reason: StopReason::ClientGone,
             pushdown: false,
+            wire_bytes: 0,
         }),
     }
 }
@@ -154,6 +164,7 @@ fn serve_legacy(
                 shipped: 0,
                 reason: StopReason::ClientGone,
                 pushdown: false,
+                wire_bytes: 0,
             })
         }
     };
@@ -167,20 +178,23 @@ fn serve_legacy(
                         shipped,
                         reason: StopReason::ClientGone,
                         pushdown: false,
+                        wire_bytes: writer.bytes_written(),
                     });
                 }
                 shipped += 1;
             }
             Ok(None) => {
-                let reason = match writer.finish() {
-                    Ok(()) => StopReason::Exhausted,
-                    Err(_) => StopReason::ClientGone,
+                let sent = writer.bytes_written();
+                let (reason, wire_bytes) = match writer.finish() {
+                    Ok(total) => (StopReason::Exhausted, total),
+                    Err(_) => (StopReason::ClientGone, sent),
                 };
                 return Ok(ServeSummary {
                     scanned: shipped,
                     shipped,
                     reason,
                     pushdown: false,
+                    wire_bytes,
                 });
             }
             Err(error) => {
@@ -194,6 +208,11 @@ fn serve_legacy(
 /// The v3 query-mode path: read the query frame, answer with the v3 hello,
 /// replay through a [`ShardScanGate`] while draining bound updates off the
 /// client half of the socket, and close with the stopped-at trailer.
+///
+/// A client that announced block capability (the kind-19 query frame) gets
+/// the same gated prefix packed into kind-20 block frames; the gate still
+/// admits tuple by tuple, so scanned/shipped counts and the stopping point
+/// are identical to the per-tuple path.
 fn serve_pushdown(
     stream: TcpStream,
     source: &mut dyn TupleSource,
@@ -203,11 +222,12 @@ fn serve_pushdown(
     // The query frame is already (at least partially) in the receive buffer;
     // keep the grace-window timeout for the remainder rather than blocking
     // forever on a half-written frame from a dying client.
-    let query = wire::read_query(&mut (&stream))?;
+    let (query, max_block) = wire::read_query_negotiated(&mut (&stream))?;
     let mut gate = match query.k {
         0 => None,
         k => Some(ShardScanGate::new(k as usize, query.p_tau)?),
     };
+    let block_cap = max_block.map(|m| (m as usize).min(options.block_tuples.max(1)));
 
     // Bound updates are drained with tiny timed reads mid-replay.
     stream
@@ -223,6 +243,7 @@ fn serve_pushdown(
                 shipped: 0,
                 reason: StopReason::ClientGone,
                 pushdown: true,
+                wire_bytes: 0,
             })
         }
     };
@@ -231,7 +252,8 @@ fn serve_pushdown(
     let mut updates_dead = false;
     let mut scanned = 0u64;
     let mut shipped = 0u64;
-    let reason = loop {
+    let mut block = TupleBlock::default();
+    let mut reason = loop {
         let tuple = match source.next_tuple() {
             Ok(Some(tuple)) => tuple,
             Ok(None) => break StopReason::Exhausted,
@@ -246,8 +268,21 @@ fn serve_pushdown(
                 break StopReason::Gate;
             }
         }
-        if writer.write_tuple(&tuple).is_err() {
-            break StopReason::ClientGone;
+        match block_cap {
+            None => {
+                if writer.write_tuple(&tuple).is_err() {
+                    break StopReason::ClientGone;
+                }
+            }
+            Some(cap) => {
+                block.push(&tuple);
+                if block.len() >= cap {
+                    if writer.write_block(&block).is_err() {
+                        break StopReason::ClientGone;
+                    }
+                    block.clear();
+                }
+            }
         }
         shipped += 1;
         if !updates_dead && shipped.is_multiple_of(options.drain_every) {
@@ -259,19 +294,26 @@ fn serve_pushdown(
         }
     };
 
+    // Flush the partially filled block before the trailer, so the shipped
+    // count the trailer reports is exactly what crossed the wire.
+    if reason != StopReason::ClientGone && !block.is_empty() && writer.write_block(&block).is_err()
+    {
+        reason = StopReason::ClientGone;
+    }
+    let mut wire_bytes = writer.bytes_written();
     if reason != StopReason::ClientGone {
         let trailer = StoppedAt {
             scanned,
             shipped,
             gate_limited: reason == StopReason::Gate,
         };
-        if writer.write_stopped(&trailer).is_err() || writer.finish().is_err() {
-            return Ok(ServeSummary {
-                scanned,
-                shipped,
-                reason: StopReason::ClientGone,
-                pushdown: true,
-            });
+        if writer.write_stopped(&trailer).is_err() {
+            reason = StopReason::ClientGone;
+        } else {
+            match writer.finish() {
+                Ok(total) => wire_bytes = total,
+                Err(_) => reason = StopReason::ClientGone,
+            }
         }
     }
     Ok(ServeSummary {
@@ -279,6 +321,7 @@ fn serve_pushdown(
         shipped,
         reason,
         pushdown: true,
+        wire_bytes,
     })
 }
 

@@ -662,6 +662,17 @@ pub struct PlanDescription {
     /// evidence for scan-gate pushdown. `None` for local datasets or before
     /// the first execution.
     pub observed_wire_tuples: Option<u64>,
+    /// Columnar block frames that carried those wire tuples the last time
+    /// this combination executed remotely — `Some(0)` when the transport
+    /// fell back to tuple-at-a-time frames (a pre-block peer), `None` for
+    /// local datasets or before the first execution.
+    pub observed_wire_blocks: Option<u64>,
+    /// Tuples that arrived *inside* columnar block frames (the rest crossed
+    /// as per-tuple frames). Divide by [`observed_wire_blocks`] for the mean
+    /// block fill, or use [`PlanDescription::mean_block_fill`].
+    ///
+    /// [`observed_wire_blocks`]: PlanDescription::observed_wire_blocks
+    pub observed_wire_block_tuples: Option<u64>,
     /// Whether a query-serving daemon answered this query from its result
     /// cache. `None` for local execution (there is no server-side cache);
     /// populated by the remote-query client path, where the server reports
@@ -686,6 +697,15 @@ impl PlanDescription {
         let estimated = self.estimated_depth?;
         let observed = self.observed_depth?;
         Some(observed as f64 / estimated.max(1) as f64)
+    }
+
+    /// Mean tuples per columnar block frame observed on the wire. `None`
+    /// until a remote execution has been observed, or when no block frames
+    /// crossed at all (tuple-at-a-time transport).
+    pub fn mean_block_fill(&self) -> Option<f64> {
+        let blocks = self.observed_wire_blocks?;
+        let tuples = self.observed_wire_block_tuples?;
+        (blocks > 0).then(|| tuples as f64 / blocks as f64)
     }
 }
 
@@ -716,6 +736,16 @@ impl std::fmt::Display for PlanDescription {
         }
         if let Some(wire) = self.observed_wire_tuples {
             writeln!(f, "  observed wire tuples: {wire}")?;
+            match (self.observed_wire_blocks, self.mean_block_fill()) {
+                (Some(blocks), Some(fill)) => writeln!(
+                    f,
+                    "  observed wire blocks: {blocks} (mean fill {fill:.1} tuples)"
+                )?,
+                (Some(0), None) => {
+                    writeln!(f, "  observed wire blocks: 0 (tuple-at-a-time frames)")?
+                }
+                _ => {}
+            }
         }
         if let Some(hit) = self.server_cache_hit {
             writeln!(
@@ -896,10 +926,21 @@ pub struct Session {
     /// process-unique id (not its label, which need not be unique), so two
     /// same-kind datasets never read each other's observations.
     observations: std::collections::HashMap<(u64, usize, u64), usize>,
-    /// Observed wire-tuple counts (same key), recorded when a dataset's scan
+    /// Observed wire traffic (same key), recorded when a dataset's scan
     /// crossed the network — reported back as
-    /// [`PlanDescription::observed_wire_tuples`].
-    wire_observations: std::collections::HashMap<(u64, usize, u64), u64>,
+    /// [`PlanDescription::observed_wire_tuples`] and the block-transport
+    /// fields next to it.
+    wire_observations: std::collections::HashMap<(u64, usize, u64), WireObservation>,
+}
+
+/// What one remote execution put on the wire, as seen from the client:
+/// total decoded tuples, and how many of them arrived batched inside
+/// columnar block frames (vs. one frame per tuple).
+#[derive(Debug, Clone, Copy)]
+struct WireObservation {
+    tuples: u64,
+    blocks: u64,
+    block_tuples: u64,
 }
 
 /// The observation key of one `(dataset, query)` combination.
@@ -965,7 +1006,9 @@ impl Session {
             observed_depth: self.observations.get(&key).copied(),
             estimated_cost: estimated_cost(query, plan.rows),
             drains_stream,
-            observed_wire_tuples: self.wire_observations.get(&key).copied(),
+            observed_wire_tuples: self.wire_observations.get(&key).map(|w| w.tuples),
+            observed_wire_blocks: self.wire_observations.get(&key).map(|w| w.blocks),
+            observed_wire_block_tuples: self.wire_observations.get(&key).map(|w| w.block_tuples),
             server_cache_hit: None,
             dataset_epoch,
             server_cache_generation: None,
@@ -1032,7 +1075,7 @@ impl Session {
             capacity,
             executor,
             |index, executor| execute_on(executor, jobs[index].dataset, &jobs[index].query),
-            |index, answer: Result<(QueryAnswer, Option<u64>)>| {
+            |index, answer: Result<(QueryAnswer, Option<WireObservation>)>| {
                 let answer = answer.map(|(answer, wire)| {
                     let key = observation_key(jobs[index].dataset, &jobs[index].query);
                     observations.insert(key, answer.scan_depth);
@@ -1055,7 +1098,7 @@ fn execute_on(
     executor: &mut Executor,
     dataset: &Dataset,
     query: &TopkQuery,
-) -> Result<(QueryAnswer, Option<u64>)> {
+) -> Result<(QueryAnswer, Option<WireObservation>)> {
     match dataset.as_table() {
         Some(table) => executor.execute(table, query).map(|answer| (answer, None)),
         None => {
@@ -1064,7 +1107,12 @@ fn execute_on(
             let stats = handle.wire_stats().cloned();
             let answer =
                 executor.run_source_metered(&mut handle, query, None, Some(spec.meter.clone()))?;
-            Ok((answer, stats.map(|stats| stats.tuples_received())))
+            let observation = stats.map(|stats| WireObservation {
+                tuples: stats.tuples_received(),
+                blocks: stats.blocks_received(),
+                block_tuples: stats.block_tuples_received(),
+            });
+            Ok((answer, observation))
         }
     }
 }

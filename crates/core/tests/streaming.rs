@@ -32,7 +32,7 @@ fn confident_synthetic_table() -> UncertainTable {
 }
 
 #[test]
-fn bounded_algorithms_never_read_past_the_theorem_2_bound() {
+fn bounded_algorithms_over_read_at_most_the_last_block_ask() {
     let table = confident_synthetic_table();
     let k = 4;
     let p_tau = 1e-3;
@@ -61,10 +61,19 @@ fn bounded_algorithms_never_read_past_the_theorem_2_bound() {
             .execute(&dataset, &query)
             .unwrap_or_else(|e| panic!("{algorithm:?}: {e}"));
         assert_eq!(answer.scan_depth, depth, "{algorithm:?}");
-        assert_eq!(
-            counter.get(),
-            depth + 1,
-            "{algorithm:?} must read exactly the bound plus one look-ahead tuple"
+        // The gate still admits exactly `depth` tuples and closes on the
+        // `depth + 1`-st, but the scan pulls columnar blocks, so the source
+        // may be read past the stopping tuple by at most the remainder of
+        // the block the gate closed inside (< MAX_BLOCK_TUPLES).
+        assert!(
+            counter.get() > depth,
+            "{algorithm:?} must read past the bound to close the gate"
+        );
+        assert!(
+            counter.get() <= depth + ttk_core::MAX_BLOCK_TUPLES,
+            "{algorithm:?} read {} tuples for depth {depth}: more than one \
+             block past the bound",
+            counter.get()
         );
         assert!(
             answer.distribution.total_probability() > 0.5,
@@ -256,7 +265,7 @@ fn executor_scratch_reuse_does_not_leak_state_between_queries() {
 }
 
 #[test]
-fn sharded_scan_reads_at_most_one_past_the_bound_per_shard() {
+fn sharded_scan_over_read_is_bounded_by_the_block_ask_per_shard() {
     let table = confident_synthetic_table();
     let k = 4;
     let p_tau = 1e-3;
@@ -274,25 +283,27 @@ fn sharded_scan_reads_at_most_one_past_the_bound_per_shard() {
         .unwrap();
     assert_eq!(answer.scan_depth, depth);
 
-    // The merged scan emits depth + 1 tuples (the single look-ahead); round
-    // robin deals global rank position p to shard p % shards, so shard i
-    // contributed ceil((depth + 1 - i) / shards) of them and may hold one
-    // buffered merge head on top — the per-shard ≤ 1-past-bound guarantee.
-    let mut emitted_total = 0usize;
+    // The merged scan emits at least depth + 1 tuples (the gate closes on
+    // the depth + 1-st) and at most the remainder of the block the gate
+    // closed inside on top (< MAX_BLOCK_TUPLES). Round robin deals global
+    // rank position p to shard p % shards, so the emitted tuples spread
+    // evenly, and each shard may additionally hold one buffered merge head.
+    let emitted_bound = depth + ttk_core::MAX_BLOCK_TUPLES;
     for (i, counter) in counters.iter().enumerate() {
-        let emitted = (depth + 1).saturating_sub(i).div_ceil(shards);
-        emitted_total += emitted;
         assert!(
-            counter.get() <= emitted + 1,
-            "shard {i}: pulled {} for {emitted} emitted tuples",
+            counter.get() <= emitted_bound.div_ceil(shards) + 1,
+            "shard {i}: pulled {} for at most {emitted_bound} merged tuples",
             counter.get()
         );
     }
-    assert_eq!(emitted_total, depth + 1);
     let pulled_total: usize = counters.iter().map(|c| c.get()).sum();
     assert!(
-        pulled_total <= depth + 1 + shards,
-        "total reads {pulled_total} exceed depth {depth} + 1 + {shards} heads"
+        pulled_total > depth,
+        "the merged scan must read past the bound to close the gate"
+    );
+    assert!(
+        pulled_total <= emitted_bound + shards,
+        "total reads {pulled_total} exceed depth {depth} + one block + {shards} heads"
     );
 }
 

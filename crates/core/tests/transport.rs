@@ -524,6 +524,7 @@ fn serve_shards_v3(
                 let options = ServeOptions {
                     pushdown_wait: Duration::from_millis(5),
                     drain_every: 4,
+                    ..ServeOptions::default()
                 };
                 // A vanished client is a summary, not an error; a source
                 // error cannot happen with a VecSource.
@@ -616,6 +617,21 @@ fn check_pushdown_case(
         observed,
         shipped_total
     );
+    // The block transport stats count decoded kind-20 frames — the framing
+    // truth, independent of how the merge pulled. Blocks are negotiated by
+    // default, so every delivered tuple rode a block frame (observed ≤ frame
+    // rows), the client never decodes more rows than the servers shipped,
+    // and the per-frame accounting is self-consistent.
+    let blocks = plan
+        .observed_wire_blocks
+        .expect("remote scan records block transport stats");
+    let block_tuples = plan
+        .observed_wire_block_tuples
+        .expect("remote scan records block transport stats");
+    prop_assert!(observed <= block_tuples);
+    prop_assert!(block_tuples <= shipped_total);
+    prop_assert!(blocks <= block_tuples || (blocks == 0 && block_tuples == 0));
+    prop_assert!(observed == 0 || blocks > 0, "tuples arrived outside blocks");
     if drains {
         prop_assert_eq!(observed, shipped_total);
     }

@@ -18,8 +18,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use ttk_uncertain::{
-    GroupKey, MergeSource, PrefetchPolicy, SourceTuple, TupleFeed, TupleSource, UncertainTuple,
-    VecSource,
+    GroupKey, MergeSource, PrefetchPolicy, SourceTuple, TupleBlock, TupleFeed, TupleSource,
+    UncertainTuple, VecSource,
 };
 
 use crate::error::{PdbError, Result};
@@ -678,6 +678,41 @@ impl TupleSource for RunSource {
         Ok(next)
     }
 
+    /// Bulk pull: decodes up to `max` run lines straight into one columnar
+    /// block, so a replay (or the feed producer thread wrapping it under
+    /// prefetch) pays the dispatch and channel cost once per block instead
+    /// of once per line.
+    fn next_block(&mut self, max: usize) -> ttk_uncertain::Result<Option<TupleBlock>> {
+        let max = max.max(1);
+        let mut block = TupleBlock::with_capacity(self.remaining.min(max));
+        match &mut self.run {
+            Run::Memory(iter) => {
+                for t in iter.take(max) {
+                    block.push(&t);
+                }
+            }
+            Run::File(lines) => {
+                while block.len() < max {
+                    match lines.next() {
+                        None => break,
+                        Some(line) => {
+                            let line = line.map_err(|e| {
+                                ttk_uncertain::Error::Source(format!("reading spill run: {e}"))
+                            })?;
+                            block.push(&decode_run_line(&line)?);
+                        }
+                    }
+                }
+            }
+        }
+        self.remaining = self.remaining.saturating_sub(block.len());
+        if block.is_empty() {
+            Ok(None)
+        } else {
+            Ok(Some(block))
+        }
+    }
+
     fn size_hint(&self) -> Option<usize> {
         Some(self.remaining)
     }
@@ -944,6 +979,10 @@ impl SpilledSource {
 impl TupleSource for SpilledSource {
     fn next_tuple(&mut self) -> ttk_uncertain::Result<Option<SourceTuple>> {
         self.merge.next_tuple()
+    }
+
+    fn next_block(&mut self, max: usize) -> ttk_uncertain::Result<Option<TupleBlock>> {
+        self.merge.next_block(max)
     }
 
     fn size_hint(&self) -> Option<usize> {

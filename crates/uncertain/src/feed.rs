@@ -34,7 +34,7 @@
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 
 use crate::error::{Error, Result};
-use crate::source::{SourceTuple, TupleSource};
+use crate::source::{SourceTuple, TupleBlock, TupleSource};
 
 /// Whether (and how deeply) the shards of a merge read ahead through
 /// [`TupleFeed`]s.
@@ -74,10 +74,12 @@ impl PrefetchPolicy {
 enum FeedMessage {
     /// One rank-ordered tuple.
     Tuple(SourceTuple),
-    /// A rank-ordered batch — the amortized path of [`TupleFeed::spawn`]:
-    /// one channel synchronization pays for a whole chunk of tuples, which
-    /// is what lets a producer thread outrun per-tuple channel overhead.
-    Batch(Vec<SourceTuple>),
+    /// A rank-ordered columnar block — the amortized path of
+    /// [`TupleFeed::spawn`]: one channel synchronization pays for a whole
+    /// block of tuples, and the producer assembles it with the source's own
+    /// batched [`next_block`](TupleSource::next_block) pull, so spill-run
+    /// decoding and socket reads batch end-to-end.
+    Block(TupleBlock),
     /// Clean end of stream.
     End,
     /// The producer failed; the error is delivered to the consumer.
@@ -124,8 +126,10 @@ impl FeedSender {
 /// whose producer runs elsewhere. See the [module documentation](self).
 pub struct TupleFeed {
     rx: Receiver<FeedMessage>,
-    /// Tuples of the current batch not yet handed to the consumer.
-    pending: std::vec::IntoIter<SourceTuple>,
+    /// The current received block; tuples before `cursor` were already
+    /// handed to the consumer.
+    pending: TupleBlock,
+    cursor: usize,
     done: bool,
     hint: Option<usize>,
 }
@@ -150,7 +154,8 @@ impl TupleFeed {
             FeedSender { tx },
             TupleFeed {
                 rx,
-                pending: Vec::new().into_iter(),
+                pending: TupleBlock::default(),
+                cursor: 0,
                 done: false,
                 hint: None,
             },
@@ -160,26 +165,32 @@ impl TupleFeed {
     /// Moves `source` onto its own producer thread and returns the feed the
     /// consumer pulls from.
     ///
-    /// The thread pulls `source` eagerly, accumulating tuples into chunks
-    /// and sending each chunk as one channel message (one synchronization
-    /// pays for a whole chunk — the consumer iterates the received batch
-    /// locally). At most ~`buffer` tuples are in flight; the thread blocks
-    /// when the consumer falls behind, forwards a clean end of stream,
-    /// forwards the source's error if it fails, and exits as soon as the
-    /// consumer hangs up. The source's initial
+    /// The thread pulls `source` in columnar blocks
+    /// (via [`next_block`](TupleSource::next_block), so sources with a real
+    /// bulk path — spill runs, wire readers, tables — batch their own work
+    /// too) and sends each block as one channel message: one synchronization
+    /// pays for a whole block. At most ~`buffer` tuples are in flight; the
+    /// thread blocks when the consumer falls behind, forwards a clean end of
+    /// stream, forwards the source's error if it fails, and exits as soon as
+    /// the consumer hangs up. The source's initial
     /// [`size_hint`](TupleSource::size_hint) is preserved on the feed, so
     /// planners still see the row count.
     pub fn spawn(source: impl TupleSource + Send + 'static, buffer: usize) -> TupleFeed {
         let buffer = buffer.max(1);
-        // Chunks amortize channel overhead; the channel depth in chunks
-        // keeps the total in-flight tuple count near `buffer`.
-        let chunk = (buffer / 4).clamp(1, 512);
-        let depth = (buffer / chunk).max(1);
+        // Blocks amortize both the channel synchronization and the source's
+        // per-pull work, so they should be as large as the budget allows:
+        // half the buffer per block, two blocks in flight (producer fills
+        // one while the consumer drains the other). The old quarter-sized
+        // chunks at depth 4+ paid more per-message overhead than they
+        // amortized — that is exactly the `fig09/spill-drain` regression.
+        let chunk = (buffer / 2).clamp(1, 4096);
+        let depth = (buffer / chunk).max(2);
         let hint = source.size_hint();
         let (tx, rx) = sync_channel(depth);
         let feed = TupleFeed {
             rx,
-            pending: Vec::new().into_iter(),
+            pending: TupleBlock::default(),
+            cursor: 0,
             done: false,
             hint,
         };
@@ -191,33 +202,20 @@ impl TupleFeed {
     }
 }
 
-/// The producer loop of [`TupleFeed::spawn`]: pull, chunk, send.
+/// The producer loop of [`TupleFeed::spawn`]: pull a block, send a block.
 fn run_producer(mut source: impl TupleSource, tx: SyncSender<FeedMessage>, chunk: usize) {
-    let mut batch: Vec<SourceTuple> = Vec::with_capacity(chunk);
     loop {
-        match source.next_tuple() {
-            Ok(Some(tuple)) => {
-                batch.push(tuple);
-                if batch.len() >= chunk {
-                    let full = std::mem::replace(&mut batch, Vec::with_capacity(chunk));
-                    if tx.send(FeedMessage::Batch(full)).is_err() {
-                        return; // Consumer hung up; stop producing.
-                    }
+        match source.next_block(chunk) {
+            Ok(Some(block)) => {
+                if tx.send(FeedMessage::Block(block)).is_err() {
+                    return; // Consumer hung up; stop producing.
                 }
             }
             Ok(None) => {
-                if !batch.is_empty() && tx.send(FeedMessage::Batch(batch)).is_err() {
-                    return;
-                }
                 let _ = tx.send(FeedMessage::End);
                 return;
             }
             Err(error) => {
-                // Deliver the tuples that preceded the failure, then the
-                // failure itself, in order.
-                if !batch.is_empty() && tx.send(FeedMessage::Batch(batch)).is_err() {
-                    return;
-                }
                 let _ = tx.send(FeedMessage::Failed(error));
                 return;
             }
@@ -225,50 +223,101 @@ fn run_producer(mut source: impl TupleSource, tx: SyncSender<FeedMessage>, chunk
     }
 }
 
+impl TupleFeed {
+    /// Number of buffered tuples not yet handed to the consumer.
+    fn buffered(&self) -> usize {
+        self.pending.len() - self.cursor
+    }
+
+    /// Receives the next channel message, returning `Ok(true)` when tuples
+    /// became available, `Ok(false)` on a clean end of stream.
+    fn refill(&mut self) -> Result<bool> {
+        match self.rx.recv() {
+            Ok(FeedMessage::Tuple(tuple)) => {
+                self.pending.clear();
+                self.cursor = 0;
+                self.pending.push(&tuple);
+                Ok(true)
+            }
+            Ok(FeedMessage::Block(block)) => {
+                self.pending = block;
+                self.cursor = 0;
+                Ok(!self.pending.is_empty())
+            }
+            Ok(FeedMessage::End) => {
+                self.done = true;
+                Ok(false)
+            }
+            Ok(FeedMessage::Failed(error)) => {
+                self.done = true;
+                Err(error)
+            }
+            // The producer handle was dropped without `finish`/`fail`:
+            // the producer died. Surface it, don't truncate the stream.
+            Err(_) => {
+                self.done = true;
+                Err(Error::Source(
+                    "tuple feed producer disconnected mid-stream".into(),
+                ))
+            }
+        }
+    }
+
+    fn consume_hint(&mut self, n: usize) {
+        if let Some(hint) = &mut self.hint {
+            *hint = hint.saturating_sub(n);
+        }
+    }
+}
+
 impl TupleSource for TupleFeed {
     fn next_tuple(&mut self) -> Result<Option<SourceTuple>> {
         loop {
-            if let Some(tuple) = self.pending.next() {
-                if let Some(hint) = &mut self.hint {
-                    *hint = hint.saturating_sub(1);
-                }
+            if self.cursor < self.pending.len() {
+                let tuple = self.pending.get(self.cursor);
+                self.cursor += 1;
+                self.consume_hint(1);
                 return Ok(Some(tuple));
             }
             if self.done {
                 return Ok(None);
             }
-            match self.rx.recv() {
-                Ok(FeedMessage::Tuple(tuple)) => {
-                    if let Some(hint) = &mut self.hint {
-                        *hint = hint.saturating_sub(1);
-                    }
-                    return Ok(Some(tuple));
-                }
-                Ok(FeedMessage::Batch(batch)) => {
-                    self.pending = batch.into_iter();
-                }
-                Ok(FeedMessage::End) => {
-                    self.done = true;
-                    return Ok(None);
-                }
-                Ok(FeedMessage::Failed(error)) => {
-                    self.done = true;
-                    return Err(error);
-                }
-                // The producer handle was dropped without `finish`/`fail`:
-                // the producer died. Surface it, don't truncate the stream.
-                Err(_) => {
-                    self.done = true;
-                    return Err(Error::Source(
-                        "tuple feed producer disconnected mid-stream".into(),
-                    ));
-                }
+            if !self.refill()? && self.done {
+                return Ok(None);
+            }
+        }
+    }
+
+    fn next_block(&mut self, max: usize) -> Result<Option<TupleBlock>> {
+        let max = max.max(1);
+        loop {
+            let buffered = self.buffered();
+            if buffered > 0 {
+                // Hand the whole received block over when it fits; copy the
+                // requested range out otherwise.
+                let block = if self.cursor == 0 && buffered <= max {
+                    std::mem::take(&mut self.pending)
+                } else {
+                    let take = buffered.min(max);
+                    let mut out = TupleBlock::with_capacity(take);
+                    out.push_range(&self.pending, self.cursor, self.cursor + take);
+                    self.cursor += take;
+                    out
+                };
+                self.consume_hint(block.len());
+                return Ok(Some(block));
+            }
+            if self.done {
+                return Ok(None);
+            }
+            if !self.refill()? && self.done {
+                return Ok(None);
             }
         }
     }
 
     fn size_hint(&self) -> Option<usize> {
-        if self.done && self.pending.len() == 0 {
+        if self.done && self.buffered() == 0 {
             return Some(0);
         }
         self.hint

@@ -19,7 +19,7 @@ use std::sync::Arc;
 use crate::error::Result;
 use crate::feed::{PrefetchPolicy, TupleFeed};
 use crate::merge::MergeSource;
-use crate::source::{SourceTuple, TupleSource};
+use crate::source::{SourceTuple, TupleBlock, TupleSource};
 use crate::wire::WireScanStats;
 
 /// An opened, rank-ordered scan over one logical relation: either a single
@@ -145,6 +145,10 @@ impl std::fmt::Debug for ScanHandle {
 impl TupleSource for ScanHandle {
     fn next_tuple(&mut self) -> Result<Option<SourceTuple>> {
         self.source.next_tuple()
+    }
+
+    fn next_block(&mut self, max: usize) -> Result<Option<TupleBlock>> {
+        self.source.next_block(max)
     }
 
     fn size_hint(&self) -> Option<usize> {

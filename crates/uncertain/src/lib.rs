@@ -20,7 +20,10 @@
 //!   probability.
 //! * [`TupleSource`] — a rank-ordered streaming view of uncertain tuples
 //!   (with ME-group metadata) that lets the `ttk-core` scan executor stop at
-//!   the Theorem-2 bound without ever materializing a full table.
+//!   the Theorem-2 bound without ever materializing a full table. Batched
+//!   pulls move columnar [`TupleBlock`]s (structure-of-arrays id/score/
+//!   probability/group columns) through the same seam, amortizing dispatch,
+//!   channel, and framing overhead.
 //! * [`MergeSource`] — a loser-tree k-way merge fusing per-shard rank-ordered
 //!   sources into one stream, so a scan can span partitions (shard files,
 //!   external-sort spill runs) while reading at most one look-ahead tuple
@@ -81,11 +84,13 @@ pub use feed::{FeedSender, PrefetchPolicy, TupleFeed};
 pub use handle::ScanHandle;
 pub use merge::{partition_round_robin, MergeSource};
 pub use pmf::{
-    scores_equal, CoalescePolicy, DistributionPoint, Histogram, ScoreDistribution, VectorWitness,
+    scores_equal, CoalescePolicy, DistributionPoint, Histogram, ScoreColumns, ScoreDistribution,
+    VectorWitness,
 };
 pub use probability::{Probability, PROBABILITY_EPSILON};
 pub use source::{
-    CountingSource, GroupKey, PullCounter, SourceTuple, TableSource, TupleSource, VecSource,
+    CountingSource, GroupKey, PullCounter, SourceTuple, TableSource, TupleBlock, TupleSource,
+    VecSource,
 };
 pub use table::{UncertainTable, UncertainTableBuilder};
 pub use tuple::{TupleId, UncertainTuple};

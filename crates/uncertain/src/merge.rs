@@ -39,7 +39,7 @@
 use std::collections::HashMap;
 
 use crate::error::{Error, Result};
-use crate::source::{GroupKey, SourceTuple, TupleSource, VecSource};
+use crate::source::{GroupKey, SourceTuple, TupleBlock, TupleSource, VecSource};
 
 /// How a [`MergeSource`] treats the [`GroupKey`] namespaces of its shards.
 #[derive(Debug)]
@@ -196,6 +196,34 @@ impl<S: TupleSource> MergeSource<S> {
         Ok(())
     }
 
+    /// The strongest live challenger to `winner`: the best among the losers
+    /// stored on the path from `winner`'s leaf to the root. `None` when every
+    /// challenger is exhausted (or there is only one shard).
+    ///
+    /// The loser-tree invariant puts the overall runner-up somewhere on this
+    /// path (it must have lost directly to the winner), so as long as the
+    /// winner's refilled head still beats this challenger, the winner keeps
+    /// winning and a whole run can be emitted without replaying the
+    /// tournament.
+    fn second_best(&self, winner: usize) -> Option<usize> {
+        let n = self.shards.len();
+        if n < 2 {
+            return None;
+        }
+        let mut best: Option<usize> = None;
+        let mut t = (n + winner) / 2;
+        while t > 0 {
+            let candidate = self.tree[t];
+            if self.shards[candidate].head.is_some()
+                && best.is_none_or(|b| self.beats(candidate, b))
+            {
+                best = Some(candidate);
+            }
+            t /= 2;
+        }
+        best
+    }
+
     /// Applies the key-namespace mode to an outgoing tuple.
     fn rekey(&mut self, shard: usize, mut t: SourceTuple) -> SourceTuple {
         if let KeyMode::Disjoint(map) = &mut self.keys {
@@ -231,6 +259,58 @@ impl<S: TupleSource> TupleSource for MergeSource<S> {
         }
         self.emitted += 1;
         Ok(Some(self.rekey(winner, tuple)))
+    }
+
+    /// Batched pull: drains *runs* of same-shard winners per loser-tree
+    /// descent. After the tournament picks a winner, the strongest live
+    /// challenger is computed once ([`Self::second_best`]); tuples then
+    /// stream from the winning shard — refilling and validating per tuple,
+    /// exactly like the scalar path — for as long as its refilled head still
+    /// beats that challenger, and only the run's end replays the tournament
+    /// path. The emitted sequence is bit-identical to repeated
+    /// [`next_tuple`](TupleSource::next_tuple) calls.
+    fn next_block(&mut self, max: usize) -> Result<Option<TupleBlock>> {
+        let max = max.max(1);
+        if self.shards.is_empty() {
+            return Ok(None);
+        }
+        if !self.initialized {
+            self.initialize()?;
+        }
+        let mut block = TupleBlock::with_capacity(max);
+        while block.len() < max {
+            let winner = if self.shards.len() == 1 {
+                0
+            } else {
+                self.tree[0]
+            };
+            if self.shards[winner].head.is_none() {
+                break;
+            }
+            let second = self.second_best(winner);
+            loop {
+                let tuple = self.shards[winner].head.take().expect("head checked above");
+                self.shards[winner].refill(winner)?;
+                self.emitted += 1;
+                let rekeyed = self.rekey(winner, tuple);
+                block.push(&rekeyed);
+                if block.len() >= max
+                    || self.shards[winner].head.is_none()
+                    || second.is_some_and(|s| !self.beats(winner, s))
+                {
+                    break;
+                }
+                // `second == None` means no live challenger: drain freely.
+            }
+            if self.shards.len() >= 2 {
+                self.adjust(winner);
+            }
+        }
+        if block.is_empty() {
+            Ok(None)
+        } else {
+            Ok(Some(block))
+        }
     }
 
     fn size_hint(&self) -> Option<usize> {

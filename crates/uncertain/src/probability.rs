@@ -39,6 +39,15 @@ impl Probability {
         Ok(Probability(value.min(1.0)))
     }
 
+    /// Rebuilds a probability from a value that was validated previously
+    /// (a column of a [`TupleBlock`](crate::source::TupleBlock) only ever
+    /// holds values that entered through [`Probability::new`]).
+    #[inline]
+    pub(crate) fn from_validated(value: f64) -> Self {
+        debug_assert!(value.is_finite() && value > 0.0 && value <= 1.0);
+        Probability(value)
+    }
+
     /// Returns the raw value.
     #[inline]
     pub fn value(self) -> f64 {

@@ -61,16 +61,222 @@ impl SourceTuple {
     }
 }
 
+/// A columnar batch of rank-ordered tuples (structure of arrays).
+///
+/// Blocks are the amortized unit of the batched pull path: one
+/// [`TupleSource::next_block`] call moves up to a whole block through a
+/// virtual dispatch, a channel send, or a wire frame, where the scalar path
+/// pays that overhead per tuple. The payload is stored as parallel columns —
+/// ids, scores, membership probabilities, and packed group keys (a shared/
+/// independent flag column plus a raw-key column) — so consumers that only
+/// need one column (the DP convolutions, the gate's score/probability feed)
+/// walk contiguous `f64` memory.
+///
+/// A block preserves rank order and group keys exactly: draining a source
+/// block-wise yields the bit-identical tuple sequence of the scalar path.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TupleBlock {
+    ids: Vec<u64>,
+    scores: Vec<f64>,
+    probabilities: Vec<f64>,
+    /// 1 where the tuple belongs to a shared ME group, 0 where independent.
+    group_flags: Vec<u8>,
+    /// The raw shared-group key; 0 (ignored) where the flag is 0.
+    group_keys: Vec<u64>,
+}
+
+impl TupleBlock {
+    /// An empty block with room for `capacity` tuples per column.
+    pub fn with_capacity(capacity: usize) -> Self {
+        TupleBlock {
+            ids: Vec::with_capacity(capacity),
+            scores: Vec::with_capacity(capacity),
+            probabilities: Vec::with_capacity(capacity),
+            group_flags: Vec::with_capacity(capacity),
+            group_keys: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Number of tuples in the block.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when the block holds no tuples.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Appends one already-validated tuple to the columns.
+    #[inline]
+    pub fn push(&mut self, t: &SourceTuple) {
+        self.ids.push(t.tuple.id().raw());
+        self.scores.push(t.tuple.score());
+        self.probabilities.push(t.tuple.prob());
+        match t.group {
+            GroupKey::Independent => {
+                self.group_flags.push(0);
+                self.group_keys.push(0);
+            }
+            GroupKey::Shared(key) => {
+                self.group_flags.push(1);
+                self.group_keys.push(key);
+            }
+        }
+    }
+
+    /// Appends one tuple from raw column values, validating the score and
+    /// probability exactly as [`UncertainTuple::new`] does — the entry point
+    /// for decoded wire frames and spill-run lines.
+    ///
+    /// # Errors
+    ///
+    /// Whatever [`UncertainTuple::new`] returns for invalid values.
+    pub fn try_push_raw(
+        &mut self,
+        id: u64,
+        score: f64,
+        probability: f64,
+        group: GroupKey,
+    ) -> Result<()> {
+        let tuple = UncertainTuple::new(id, score, probability)?;
+        self.push(&SourceTuple { tuple, group });
+        Ok(())
+    }
+
+    /// The tuple at position `i` (panics when out of bounds).
+    #[inline]
+    pub fn get(&self, i: usize) -> SourceTuple {
+        SourceTuple {
+            tuple: UncertainTuple::from_validated_parts(
+                self.ids[i],
+                self.scores[i],
+                self.probabilities[i],
+            ),
+            group: self.group(i),
+        }
+    }
+
+    /// The group key of the tuple at position `i` (panics when out of
+    /// bounds).
+    #[inline]
+    pub fn group(&self, i: usize) -> GroupKey {
+        if self.group_flags[i] == 0 {
+            GroupKey::Independent
+        } else {
+            GroupKey::Shared(self.group_keys[i])
+        }
+    }
+
+    /// The id column.
+    #[inline]
+    pub fn ids(&self) -> &[u64] {
+        &self.ids
+    }
+
+    /// The score column.
+    #[inline]
+    pub fn scores(&self) -> &[f64] {
+        &self.scores
+    }
+
+    /// The membership-probability column.
+    #[inline]
+    pub fn probabilities(&self) -> &[f64] {
+        &self.probabilities
+    }
+
+    /// The shared-group flag column (1 = shared, 0 = independent).
+    #[inline]
+    pub fn group_flags(&self) -> &[u8] {
+        &self.group_flags
+    }
+
+    /// The raw shared-group key column (entries where the flag is 0 are
+    /// meaningless padding).
+    #[inline]
+    pub fn group_keys(&self) -> &[u64] {
+        &self.group_keys
+    }
+
+    /// Appends the tuples `other[start..end]` to this block (a column-wise
+    /// `memcpy`; panics when the range is out of bounds).
+    pub fn push_range(&mut self, other: &TupleBlock, start: usize, end: usize) {
+        self.ids.extend_from_slice(&other.ids[start..end]);
+        self.scores.extend_from_slice(&other.scores[start..end]);
+        self.probabilities
+            .extend_from_slice(&other.probabilities[start..end]);
+        self.group_flags
+            .extend_from_slice(&other.group_flags[start..end]);
+        self.group_keys
+            .extend_from_slice(&other.group_keys[start..end]);
+    }
+
+    /// Iterates the block's tuples in order.
+    pub fn iter(&self) -> impl Iterator<Item = SourceTuple> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+
+    /// Empties the block, keeping its column allocations.
+    pub fn clear(&mut self) {
+        self.ids.clear();
+        self.scores.clear();
+        self.probabilities.clear();
+        self.group_flags.clear();
+        self.group_keys.clear();
+    }
+}
+
 /// A pull-based stream of uncertain tuples in rank order.
 ///
 /// Implementations must yield tuples in the workspace rank order (score
 /// descending, then probability descending, then id ascending); consumers may
 /// validate this and fail otherwise. Sources are single-pass: once a tuple
 /// has been pulled it is gone, which is exactly what lets adapters stream
-/// from disk or from a network without retaining history.
+/// from disk or from a network without retaining history. The scalar
+/// [`next_tuple`](TupleSource::next_tuple) and batched
+/// [`next_block`](TupleSource::next_block) pulls may be mixed freely; both
+/// walk the same underlying stream.
 pub trait TupleSource {
     /// Pulls the next tuple, or `Ok(None)` at the end of the stream.
     fn next_tuple(&mut self) -> Result<Option<SourceTuple>>;
+
+    /// Pulls up to `max` tuples (at least one; `max` is clamped to ≥ 1) as
+    /// one columnar [`TupleBlock`], or `Ok(None)` at the end of the stream.
+    ///
+    /// The default implementation assembles the block tuple-by-tuple from
+    /// [`next_tuple`](TupleSource::next_tuple), so every source supports
+    /// block pulls; adapters with a cheaper bulk path (tables, spill runs,
+    /// feeds, wire readers, merges) override it. A returned block may be
+    /// shorter than `max` without implying end-of-stream — only `Ok(None)`
+    /// does that.
+    ///
+    /// # Errors
+    ///
+    /// On a mid-block failure an implementation may either surface the error
+    /// immediately (dropping the partially assembled block, as the default
+    /// implementation does) or deliver the complete partial block first and
+    /// surface the error on the next pull.
+    fn next_block(&mut self, max: usize) -> Result<Option<TupleBlock>> {
+        let max = max.max(1);
+        let mut block = TupleBlock::with_capacity(match self.size_hint() {
+            Some(hint) => hint.min(max),
+            None => max,
+        });
+        while block.len() < max {
+            match self.next_tuple()? {
+                Some(t) => block.push(&t),
+                None => break,
+            }
+        }
+        if block.is_empty() {
+            Ok(None)
+        } else {
+            Ok(Some(block))
+        }
+    }
 
     /// An optional hint of how many tuples remain (used to presize buffers).
     fn size_hint(&self) -> Option<usize> {
@@ -83,6 +289,10 @@ impl<T: TupleSource + ?Sized> TupleSource for Box<T> {
         (**self).next_tuple()
     }
 
+    fn next_block(&mut self, max: usize) -> Result<Option<TupleBlock>> {
+        (**self).next_block(max)
+    }
+
     fn size_hint(&self) -> Option<usize> {
         (**self).size_hint()
     }
@@ -91,6 +301,10 @@ impl<T: TupleSource + ?Sized> TupleSource for Box<T> {
 impl<T: TupleSource + ?Sized> TupleSource for &mut T {
     fn next_tuple(&mut self) -> Result<Option<SourceTuple>> {
         (**self).next_tuple()
+    }
+
+    fn next_block(&mut self, max: usize) -> Result<Option<TupleBlock>> {
+        (**self).next_block(max)
     }
 
     fn size_hint(&self) -> Option<usize> {
@@ -126,6 +340,25 @@ impl TupleSource for TableSource<'_> {
             GroupKey::Independent
         };
         Ok(Some(SourceTuple { tuple, group }))
+    }
+
+    fn next_block(&mut self, max: usize) -> Result<Option<TupleBlock>> {
+        let end = self.table.len().min(self.next + max.max(1));
+        if self.next >= end {
+            return Ok(None);
+        }
+        let mut block = TupleBlock::with_capacity(end - self.next);
+        for pos in self.next..end {
+            let tuple = *self.table.tuple(pos);
+            let group = if self.table.group_members(pos).len() > 1 {
+                GroupKey::Shared(self.table.group_index(pos) as u64)
+            } else {
+                GroupKey::Independent
+            };
+            block.push(&SourceTuple { tuple, group });
+        }
+        self.next = end;
+        Ok(Some(block))
     }
 
     fn size_hint(&self) -> Option<usize> {
@@ -176,6 +409,19 @@ impl TupleSource for VecSource {
         Ok(Some(t))
     }
 
+    fn next_block(&mut self, max: usize) -> Result<Option<TupleBlock>> {
+        let end = self.tuples.len().min(self.next + max.max(1));
+        if self.next >= end {
+            return Ok(None);
+        }
+        let mut block = TupleBlock::with_capacity(end - self.next);
+        for t in &self.tuples[self.next..end] {
+            block.push(t);
+        }
+        self.next = end;
+        Ok(Some(block))
+    }
+
     fn size_hint(&self) -> Option<usize> {
         Some(self.remaining())
     }
@@ -220,6 +466,10 @@ impl PullCounter {
 
     fn increment(&self) {
         self.0.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    fn add(&self, n: usize) {
+        self.0.fetch_add(n, std::sync::atomic::Ordering::Relaxed);
     }
 }
 
@@ -270,6 +520,14 @@ impl<S: TupleSource> TupleSource for CountingSource<S> {
             self.counter.increment();
         }
         Ok(t)
+    }
+
+    fn next_block(&mut self, max: usize) -> Result<Option<TupleBlock>> {
+        let block = self.inner.next_block(max)?;
+        if let Some(block) = &block {
+            self.counter.add(block.len());
+        }
+        Ok(block)
     }
 
     fn size_hint(&self) -> Option<usize> {

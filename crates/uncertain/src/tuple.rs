@@ -64,6 +64,18 @@ impl UncertainTuple {
         })
     }
 
+    /// Rebuilds a tuple from columns whose values were validated when they
+    /// entered the block (see [`Probability::from_validated`]).
+    #[inline]
+    pub(crate) fn from_validated_parts(id: u64, score: f64, probability: f64) -> Self {
+        debug_assert!(score.is_finite());
+        UncertainTuple {
+            id: TupleId(id),
+            score,
+            probability: Probability::from_validated(probability),
+        }
+    }
+
     /// The tuple identifier.
     #[inline]
     pub fn id(&self) -> TupleId {

@@ -31,6 +31,8 @@
 //! | `16` | subscribe request (client→server, v5) | the v5 query request fields, then max pushes `u64`, dataset length `u16`, dataset bytes |
 //! | `17` | notification (server→client, v5, precedes a result stream) | version `u8`, epoch `u64`, answer hash `u64` |
 //! | `18` | busy / retry-after (server→client, v5) | version `u8`, retry-after millis `u64` |
+//! | `19` | block-capable query announcement (client→server) | the kind-7 fields, then max tuples per block frame `u16` |
+//! | `20` | tuple block (server→client, negotiated via kind 19) | tuple count `u16`, encoded rows (tuple layout sans kind byte) |
 //!
 //! All integers are little-endian. A [`WireWriter`] emits the hello frame at
 //! construction and exactly one terminal frame (`end` or `error`); a
@@ -107,6 +109,20 @@
 //! daemon whose worker handoff would block answers it in place of any reply
 //! and closes, and clients decode it as a retryable (never semantic) error.
 //!
+//! **Columnar block framing** rides on the same client-speaks-first
+//! negotiation as v3–v5: a client that can consume [`TupleBlock`]s announces
+//! its query with the kind-19 frame ([`write_query_blocks`]) — the kind-7
+//! fields plus the largest per-frame tuple count it wants — and a
+//! block-aware server then ships the gated prefix as size-bounded kind-20
+//! tuple-block frames instead of one frame per tuple. The rows inside a
+//! block frame use the tuple-frame layout minus the kind byte (identical to
+//! the append-chunk row encoding), so a decoded block is bit-identical to
+//! the per-tuple stream. Compatibility needs no capability exchange: an old
+//! v3–v5 server *strictly* rejects the unknown 19-byte query frame, the
+//! client sees the failed hello and redials speaking the plain kind-7 query,
+//! and everything downstream proceeds byte-identically to today. A new
+//! server answering a kind-7 client never emits a block frame.
+//!
 //! The register/lease frames are the coordinator handshake: a shard server
 //! connects to the coordinator, frames its row count and a display label
 //! ([`write_register`]), and receives the `(id base, namespace)` lease the
@@ -116,7 +132,7 @@ use std::io::{Read, Write};
 
 use crate::error::{Error, Result};
 use crate::pmf::{DistributionPoint, VectorWitness};
-use crate::source::{GroupKey, SourceTuple, TupleSource};
+use crate::source::{GroupKey, SourceTuple, TupleBlock, TupleSource};
 use crate::tuple::{TupleId, UncertainTuple};
 use crate::vector::TopkVector;
 
@@ -161,11 +177,17 @@ const FRAME_APPEND_ACK: u8 = 15;
 const FRAME_SUBSCRIBE: u8 = 16;
 const FRAME_NOTIFY: u8 = 17;
 const FRAME_BUSY: u8 = 18;
+const FRAME_QUERY_BLOCKS: u8 = 19;
+const FRAME_TUPLE_BLOCK: u8 = 20;
 
 /// Largest frame body a reader will accept (an error message, at most; tuple
-/// frames are 34 bytes). Guards against garbage length prefixes allocating
-/// gigabytes.
+/// frames are 34 bytes and block frames pack rows up to this bound). Guards
+/// against garbage length prefixes allocating gigabytes.
 const MAX_FRAME_BODY: usize = 64 * 1024;
+
+/// Most rows one tuple-block frame can carry: the frame body bound divided
+/// by the worst-case 33-byte row encoding (plus the 3-byte chunk header).
+const MAX_BLOCK_ROWS: usize = (MAX_FRAME_BODY - CHUNK_HEADER) / 33;
 
 fn io_err(context: &str, e: std::io::Error) -> Error {
     Error::Source(format!("wire {context}: {e}"))
@@ -364,6 +386,12 @@ pub fn write_query(writer: &mut impl Write, query: &PushdownQuery) -> Result<()>
 
 /// Server-side decode of a [`write_query`] frame.
 ///
+/// This is the strict pre-block decoder: it accepts only the 17-byte v3
+/// layout, which is exactly why a block-capable client that guessed wrong
+/// about its peer gets an immediate error (and redials speaking plain v3)
+/// instead of a silent misinterpretation. New servers use
+/// [`read_query_negotiated`].
+///
 /// # Errors
 ///
 /// [`Error::Source`] on I/O failure, a malformed frame, or (for `k > 0`) a
@@ -373,6 +401,11 @@ pub fn read_query(reader: &mut impl Read) -> Result<PushdownQuery> {
     if body.first() != Some(&FRAME_QUERY) || body.len() != 17 {
         return Err(Error::Source("corrupt wire query frame".into()));
     }
+    decode_query_fields(&body)
+}
+
+/// Decodes the shared `(k, p_tau)` fields at `body[1..17]`.
+fn decode_query_fields(body: &[u8]) -> Result<PushdownQuery> {
     let k = u64::from_le_bytes(body[1..9].try_into().expect("8 bytes"));
     let p_tau = f64::from_bits(u64::from_le_bytes(body[9..17].try_into().expect("8 bytes")));
     if k > 0 && !(p_tau > 0.0 && p_tau < 1.0) {
@@ -381,6 +414,56 @@ pub fn read_query(reader: &mut impl Read) -> Result<PushdownQuery> {
         )));
     }
     Ok(PushdownQuery { k, p_tau })
+}
+
+/// Frames a block-capable query announcement and flushes: the v3 query
+/// fields plus the largest tuple-block (in rows) the client wants per frame.
+///
+/// Negotiation is client-speaks-first, like every extension since v3: a
+/// block-capable server answers with its hello and ships
+/// [`WireWriter::write_block`] frames; a **pre-block v3–v5 server** rejects
+/// the unknown first frame (its [`read_query`] is strict), which the client
+/// observes as a failed hello and handles by redialing with the plain
+/// [`write_query`] announcement — old servers never see block frames, old
+/// byte layouts are untouched.
+///
+/// # Errors
+///
+/// [`Error::Source`] on I/O failure.
+pub fn write_query_blocks(
+    writer: &mut impl Write,
+    query: &PushdownQuery,
+    max_block: u16,
+) -> Result<()> {
+    let mut body = Vec::with_capacity(19);
+    body.push(FRAME_QUERY_BLOCKS);
+    body.extend_from_slice(&query.k.to_le_bytes());
+    body.extend_from_slice(&query.p_tau.to_bits().to_le_bytes());
+    body.extend_from_slice(&max_block.to_le_bytes());
+    write_frame_to(writer, &body)?;
+    writer.flush().map_err(|e| io_err("flush", e))
+}
+
+/// Server-side decode of a query announcement in either layout: the plain
+/// v3 [`write_query`] frame (returns `None` for the block size — ship
+/// per-tuple frames) or the block-capable [`write_query_blocks`] frame
+/// (returns the client's requested rows-per-block, clamped to ≥ 1).
+///
+/// # Errors
+///
+/// [`Error::Source`] on I/O failure, a malformed frame, or (for `k > 0`) a
+/// pτ outside `(0, 1)`.
+pub fn read_query_negotiated(reader: &mut impl Read) -> Result<(PushdownQuery, Option<u16>)> {
+    let body = read_frame_from(reader)?;
+    match body.first() {
+        Some(&FRAME_QUERY) if body.len() == 17 => Ok((decode_query_fields(&body)?, None)),
+        Some(&FRAME_QUERY_BLOCKS) if body.len() == 19 => {
+            let query = decode_query_fields(&body)?;
+            let max_block = u16::from_le_bytes(body[17..19].try_into().expect("2 bytes")).max(1);
+            Ok((query, Some(max_block)))
+        }
+        _ => Err(Error::Source("corrupt wire query frame".into())),
+    }
 }
 
 /// Frames a v3 bound update — the merge-side gate's accumulated probability
@@ -1515,6 +1598,7 @@ impl LeaseRegistry {
 #[derive(Debug)]
 pub struct WireWriter<W: Write> {
     writer: W,
+    bytes: u64,
 }
 
 impl<W: Write> WireWriter<W> {
@@ -1532,7 +1616,7 @@ impl<W: Write> WireWriter<W> {
         body.push(WIRE_VERSION_V1);
         let hint = size_hint.map(|n| n as u64).unwrap_or(u64::MAX);
         body.extend_from_slice(&hint.to_le_bytes());
-        let mut this = WireWriter { writer };
+        let mut this = WireWriter { writer, bytes: 0 };
         this.frame(&body)?;
         Ok(this)
     }
@@ -1559,7 +1643,7 @@ impl<W: Write> WireWriter<W> {
         body.extend_from_slice(&hint.to_le_bytes());
         body.extend_from_slice(&assignment.id_base.to_le_bytes());
         push_label(&mut body, &assignment.namespace)?;
-        let mut this = WireWriter { writer };
+        let mut this = WireWriter { writer, bytes: 0 };
         this.frame(&body)?;
         Ok(this)
     }
@@ -1591,7 +1675,7 @@ impl<W: Write> WireWriter<W> {
                 push_label(&mut body, &assignment.namespace)?;
             }
         }
-        let mut this = WireWriter { writer };
+        let mut this = WireWriter { writer, bytes: 0 };
         this.frame(&body)?;
         Ok(this)
     }
@@ -1613,7 +1697,14 @@ impl<W: Write> WireWriter<W> {
     }
 
     fn frame(&mut self, body: &[u8]) -> Result<()> {
+        self.bytes += body.len() as u64 + 4;
         write_frame_to(&mut self.writer, body)
+    }
+
+    /// Total bytes framed onto the writer so far (length prefixes included)
+    /// — the shipped-byte accounting the bench and serve summaries report.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes
     }
 
     /// Frames one tuple.
@@ -1637,14 +1728,40 @@ impl<W: Write> WireWriter<W> {
         self.frame(&body)
     }
 
-    /// Sends the end-of-stream frame and flushes.
+    /// Frames a columnar tuple block as one or more kind-20 frames of at
+    /// most [`MAX_FRAME_BODY`] bytes each (an empty block frames nothing).
+    /// Only send on connections whose peer announced block support with the
+    /// kind-19 query frame — per-tuple peers treat kind 20 as corrupt.
     ///
     /// # Errors
     ///
     /// [`Error::Source`] on I/O failure.
-    pub fn finish(mut self) -> Result<()> {
+    pub fn write_block(&mut self, block: &TupleBlock) -> Result<()> {
+        let mut at = 0;
+        while at < block.len() {
+            let count = (block.len() - at).min(MAX_BLOCK_ROWS);
+            let mut body = vec![FRAME_TUPLE_BLOCK, 0, 0];
+            for row in at..at + count {
+                push_source_tuple(&mut body, &block.get(row));
+            }
+            body[1..CHUNK_HEADER].copy_from_slice(&(count as u16).to_le_bytes());
+            self.frame(&body)?;
+            at += count;
+        }
+        Ok(())
+    }
+
+    /// Sends the end-of-stream frame and flushes, returning the total bytes
+    /// framed over the connection's lifetime (see
+    /// [`bytes_written`](WireWriter::bytes_written)).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Source`] on I/O failure.
+    pub fn finish(mut self) -> Result<u64> {
         self.frame(&[FRAME_END])?;
-        self.writer.flush().map_err(|e| io_err("flush", e))
+        self.writer.flush().map_err(|e| io_err("flush", e))?;
+        Ok(self.bytes)
     }
 
     /// Sends an error frame (delivered to the peer as [`Error::Source`])
@@ -1705,6 +1822,16 @@ pub struct WireReader<R: Read> {
     done: bool,
     hint: Option<usize>,
     stopped: Option<StoppedAt>,
+    /// Undelivered remainder of the last kind-20 block frame; frames are
+    /// only read while this buffer is empty.
+    pending: TupleBlock,
+    cursor: usize,
+    /// Kind-20 block frames decoded off the wire, and the rows they carried
+    /// — the framing truth, independent of how the consumer pulls (a merge
+    /// draining tuple-at-a-time still empties block frames through the
+    /// buffer above).
+    block_frames: u64,
+    block_frame_rows: u64,
 }
 
 impl<R: Read> WireReader<R> {
@@ -1716,7 +1843,20 @@ impl<R: Read> WireReader<R> {
             done: false,
             hint: None,
             stopped: None,
+            pending: TupleBlock::default(),
+            cursor: 0,
+            block_frames: 0,
+            block_frame_rows: 0,
         }
+    }
+
+    /// How many kind-20 block frames this reader has decoded so far, and
+    /// the total rows they carried — regardless of whether the consumer
+    /// pulled them back out as blocks or tuple-at-a-time. `(0, 0)` means the
+    /// peer framed every tuple individually (a pre-block server, or blocks
+    /// disabled at either end).
+    pub fn block_frames_decoded(&self) -> (u64, u64) {
+        (self.block_frames, self.block_frame_rows)
     }
 
     fn read_frame(&mut self) -> Result<Vec<u8>> {
@@ -1829,10 +1969,54 @@ impl<R: Read> WireReader<R> {
             _ => Err(corrupt()),
         }
     }
+
+    fn decode_block(body: &[u8]) -> Result<TupleBlock> {
+        let mut cursor = FrameCursor::new(body, 1, "tuple block");
+        let count = cursor.u16()? as usize;
+        let mut block = TupleBlock::with_capacity(count);
+        for _ in 0..count {
+            block.push(&pop_source_tuple(&mut cursor)?);
+        }
+        cursor.finish()?;
+        Ok(block)
+    }
+
+    /// Delivers the next buffered block-frame row, maintaining the hint.
+    fn pop_buffered(&mut self) -> Option<SourceTuple> {
+        if self.cursor >= self.pending.len() {
+            return None;
+        }
+        let row = self.pending.get(self.cursor);
+        self.cursor += 1;
+        if self.cursor >= self.pending.len() {
+            self.pending.clear();
+            self.cursor = 0;
+        }
+        if let Some(hint) = &mut self.hint {
+            *hint = hint.saturating_sub(1);
+        }
+        Some(row)
+    }
+
+    fn note_stopped(&mut self, body: &[u8]) -> Result<()> {
+        if body.len() != 18 || body[17] > 1 {
+            self.done = true;
+            return Err(Error::Source("corrupt wire stopped-at frame".into()));
+        }
+        self.stopped = Some(StoppedAt {
+            scanned: u64::from_le_bytes(body[1..9].try_into().expect("8 bytes")),
+            shipped: u64::from_le_bytes(body[9..17].try_into().expect("8 bytes")),
+            gate_limited: body[17] == 1,
+        });
+        Ok(())
+    }
 }
 
 impl<R: Read> TupleSource for WireReader<R> {
     fn next_tuple(&mut self) -> Result<Option<SourceTuple>> {
+        if let Some(row) = self.pop_buffered() {
+            return Ok(Some(row));
+        }
         if self.done {
             return Ok(None);
         }
@@ -1860,20 +2044,28 @@ impl<R: Read> TupleSource for WireReader<R> {
                         Err(e)
                     }
                 },
+                FRAME_TUPLE_BLOCK => match Self::decode_block(&body) {
+                    Ok(block) => {
+                        self.block_frames += 1;
+                        self.block_frame_rows += block.len() as u64;
+                        self.pending = block;
+                        self.cursor = 0;
+                        match self.pop_buffered() {
+                            Some(row) => Ok(Some(row)),
+                            None => continue, // empty block frame
+                        }
+                    }
+                    Err(e) => {
+                        self.done = true;
+                        Err(e)
+                    }
+                },
                 FRAME_END => {
                     self.done = true;
                     Ok(None)
                 }
                 FRAME_STOPPED => {
-                    if body.len() != 18 || body[17] > 1 {
-                        self.done = true;
-                        return Err(Error::Source("corrupt wire stopped-at frame".into()));
-                    }
-                    self.stopped = Some(StoppedAt {
-                        scanned: u64::from_le_bytes(body[1..9].try_into().expect("8 bytes")),
-                        shipped: u64::from_le_bytes(body[9..17].try_into().expect("8 bytes")),
-                        gate_limited: body[17] == 1,
-                    });
+                    self.note_stopped(&body)?;
                     continue; // the end frame follows the trailer
                 }
                 FRAME_ERROR => {
@@ -1888,6 +2080,104 @@ impl<R: Read> TupleSource for WireReader<R> {
                     Err(Error::Source(format!("unknown wire frame kind {other}")))
                 }
             };
+        }
+    }
+
+    fn next_block(&mut self, max: usize) -> Result<Option<TupleBlock>> {
+        let max = max.max(1);
+        let buffered = self.pending.len() - self.cursor;
+        if buffered > 0 {
+            // Whole-block handover when the buffer fits the ask; otherwise
+            // copy a slice of the columns and keep the remainder buffered.
+            let block = if self.cursor == 0 && buffered <= max {
+                std::mem::take(&mut self.pending)
+            } else {
+                let take = buffered.min(max);
+                let mut out = TupleBlock::with_capacity(take);
+                out.push_range(&self.pending, self.cursor, self.cursor + take);
+                self.cursor += take;
+                if self.cursor >= self.pending.len() {
+                    self.pending.clear();
+                    self.cursor = 0;
+                }
+                out
+            };
+            if let Some(hint) = &mut self.hint {
+                *hint = hint.saturating_sub(block.len());
+            }
+            return Ok(Some(block));
+        }
+        if self.done {
+            return Ok(None);
+        }
+        if self.hello.is_none() {
+            self.hello()?;
+        }
+        loop {
+            let body = match self.read_frame() {
+                Ok(body) => body,
+                Err(e) => {
+                    self.done = true;
+                    return Err(e);
+                }
+            };
+            match body[0] {
+                FRAME_TUPLE_BLOCK => match Self::decode_block(&body) {
+                    Ok(block) if block.is_empty() => {
+                        self.block_frames += 1;
+                        continue;
+                    }
+                    Ok(block) => {
+                        self.block_frames += 1;
+                        self.block_frame_rows += block.len() as u64;
+                        self.pending = block;
+                        self.cursor = 0;
+                        // Deliver through the buffer path above, which
+                        // honors `max` and maintains the hint.
+                        return self.next_block(max);
+                    }
+                    Err(e) => {
+                        self.done = true;
+                        return Err(e);
+                    }
+                },
+                // A per-tuple peer: hand each tuple up as a unit block
+                // rather than blocking here to batch frames the server may
+                // not have sent yet.
+                FRAME_TUPLE => match Self::decode_tuple(&body) {
+                    Ok(tuple) => {
+                        if let Some(hint) = &mut self.hint {
+                            *hint = hint.saturating_sub(1);
+                        }
+                        let mut block = TupleBlock::with_capacity(1);
+                        block.push(&tuple);
+                        return Ok(Some(block));
+                    }
+                    Err(e) => {
+                        self.done = true;
+                        return Err(e);
+                    }
+                },
+                FRAME_END => {
+                    self.done = true;
+                    return Ok(None);
+                }
+                FRAME_STOPPED => {
+                    self.note_stopped(&body)?;
+                    continue;
+                }
+                FRAME_ERROR => {
+                    self.done = true;
+                    return Err(Error::Source(format!(
+                        "remote source failed: {}",
+                        String::from_utf8_lossy(&body[1..])
+                    )));
+                }
+                other => {
+                    self.done = true;
+                    return Err(Error::Source(format!("unknown wire frame kind {other}")));
+                }
+            }
         }
     }
 
@@ -1907,6 +2197,8 @@ impl<R: Read> TupleSource for WireReader<R> {
 #[derive(Debug, Default)]
 pub struct WireScanStats {
     tuples: std::sync::atomic::AtomicU64,
+    blocks: std::sync::atomic::AtomicU64,
+    block_tuples: std::sync::atomic::AtomicU64,
     pushdown_conns: std::sync::atomic::AtomicU64,
     plain_conns: std::sync::atomic::AtomicU64,
     server_scanned: std::sync::atomic::AtomicU64,
@@ -1920,6 +2212,26 @@ impl WireScanStats {
     /// Records one tuple received over the wire.
     pub fn record_tuple(&self) {
         self.tuples.fetch_add(1, Self::ORDER);
+    }
+
+    /// Records `tuples` tuples delivered through one block pull — they count
+    /// toward [`tuples_received`] exactly like per-tuple deliveries. Wire
+    /// framing is tracked separately via [`record_block_frames`]: a block
+    /// pull may be served from a buffered frame, and a buffered frame may be
+    /// drained tuple-at-a-time.
+    ///
+    /// [`tuples_received`]: WireScanStats::tuples_received
+    /// [`record_block_frames`]: WireScanStats::record_block_frames
+    pub fn record_block_pull(&self, tuples: usize) {
+        self.tuples.fetch_add(tuples as u64, Self::ORDER);
+    }
+
+    /// Folds in kind-20 block frames decoded off the wire (`frames` frames
+    /// carrying `rows` rows total), typically harvested from
+    /// [`WireReader::block_frames_decoded`].
+    pub fn record_block_frames(&self, frames: u64, rows: u64) {
+        self.blocks.fetch_add(frames, Self::ORDER);
+        self.block_tuples.fetch_add(rows, Self::ORDER);
     }
 
     /// Records one opened connection, pushdown-negotiated or plain.
@@ -1941,6 +2253,19 @@ impl WireScanStats {
     /// Tuples received over the wire so far.
     pub fn tuples_received(&self) -> u64 {
         self.tuples.load(Self::ORDER)
+    }
+
+    /// Kind-20 columnar block frames decoded off the wire so far.
+    pub fn blocks_received(&self) -> u64 {
+        self.blocks.load(Self::ORDER)
+    }
+
+    /// Rows that arrived inside decoded block frames (divide by
+    /// [`blocks_received`] for the mean block fill).
+    ///
+    /// [`blocks_received`]: WireScanStats::blocks_received
+    pub fn block_tuples_received(&self) -> u64 {
+        self.block_tuples.load(Self::ORDER)
     }
 
     /// Connections that negotiated v3 pushdown.
@@ -2008,6 +2333,117 @@ mod tests {
         assert_eq!(decoded, all);
         assert_eq!(reader.size_hint(), Some(0));
         assert!(reader.next_tuple().unwrap().is_none());
+    }
+
+    #[test]
+    fn block_frames_round_trip_bit_identical() {
+        let all = tuples(1000);
+        let mut block = TupleBlock::with_capacity(all.len());
+        for t in &all {
+            block.push(t);
+        }
+        let mut buf = Vec::new();
+        let mut writer = WireWriter::new(&mut buf, Some(all.len())).unwrap();
+        writer.write_block(&block).unwrap();
+        assert!(writer.bytes_written() > 0);
+        writer.finish().unwrap();
+
+        // Tuple-at-a-time consumption of the blocked stream.
+        let mut reader = WireReader::new(buf.as_slice());
+        assert_eq!(drain(&mut reader).unwrap(), all);
+
+        // Blocked consumption: same tuples, same order, hint maintained.
+        let mut reader = WireReader::new(buf.as_slice());
+        let mut out = Vec::new();
+        while let Some(b) = reader.next_block(97).unwrap() {
+            assert!(b.len() <= 97);
+            out.extend(b.iter());
+        }
+        assert_eq!(out, all);
+        assert_eq!(reader.size_hint(), Some(0));
+    }
+
+    #[test]
+    fn oversized_block_splits_into_bounded_frames() {
+        // 34-byte grouped rows: MAX_BLOCK_ROWS rows won't fit one frame
+        // once every row carries a key, so the writer must split.
+        let mut block = TupleBlock::with_capacity(MAX_BLOCK_ROWS + 10);
+        for i in 0..(MAX_BLOCK_ROWS + 10) as u64 {
+            let t = UncertainTuple::new(i, 1e6 - i as f64, 0.5).unwrap();
+            block.push(&SourceTuple::grouped(t, i));
+        }
+        let mut buf = Vec::new();
+        let mut writer = WireWriter::new(&mut buf, None).unwrap();
+        writer.write_block(&block).unwrap();
+        writer.finish().unwrap();
+        let mut reader = WireReader::new(buf.as_slice());
+        let decoded = drain(&mut reader).unwrap();
+        assert_eq!(decoded.len(), block.len());
+        assert_eq!(decoded[MAX_BLOCK_ROWS], block.get(MAX_BLOCK_ROWS));
+    }
+
+    #[test]
+    fn empty_block_frames_nothing() {
+        let mut buf = Vec::new();
+        let mut writer = WireWriter::new(&mut buf, None).unwrap();
+        let before = writer.bytes_written();
+        writer.write_block(&TupleBlock::default()).unwrap();
+        assert_eq!(writer.bytes_written(), before);
+        writer.finish().unwrap();
+        assert!(drain(&mut WireReader::new(buf.as_slice()))
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn mixed_tuple_and_block_frames_interleave() {
+        let all = tuples(10);
+        let mut block = TupleBlock::default();
+        for t in &all[2..7] {
+            block.push(t);
+        }
+        let mut buf = Vec::new();
+        let mut writer = WireWriter::new(&mut buf, None).unwrap();
+        writer.write_tuple(&all[0]).unwrap();
+        writer.write_tuple(&all[1]).unwrap();
+        writer.write_block(&block).unwrap();
+        for t in &all[7..] {
+            writer.write_tuple(t).unwrap();
+        }
+        writer.finish().unwrap();
+        assert_eq!(drain(&mut WireReader::new(buf.as_slice())).unwrap(), all);
+    }
+
+    #[test]
+    fn blocked_query_negotiation_round_trips() {
+        let query = PushdownQuery { k: 7, p_tau: 0.125 };
+        let mut buf = Vec::new();
+        write_query_blocks(&mut buf, &query, 512).unwrap();
+        let (decoded, max_block) = read_query_negotiated(&mut buf.as_slice()).unwrap();
+        assert_eq!(decoded, query);
+        assert_eq!(max_block, Some(512));
+
+        // A plain kind-7 query decodes with no block capability.
+        let mut buf = Vec::new();
+        write_query(&mut buf, &query).unwrap();
+        let (decoded, max_block) = read_query_negotiated(&mut buf.as_slice()).unwrap();
+        assert_eq!(decoded, query);
+        assert_eq!(max_block, None);
+
+        // The strict pre-block reader rejects the kind-19 frame — that
+        // rejection is what triggers the client's plain-query redial.
+        let mut buf = Vec::new();
+        write_query_blocks(&mut buf, &query, 512).unwrap();
+        assert!(read_query(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn negotiated_zero_block_clamps_to_one() {
+        let query = PushdownQuery { k: 1, p_tau: 0.5 };
+        let mut buf = Vec::new();
+        write_query_blocks(&mut buf, &query, 0).unwrap();
+        let (_, max_block) = read_query_negotiated(&mut buf.as_slice()).unwrap();
+        assert_eq!(max_block, Some(1));
     }
 
     #[test]

@@ -200,6 +200,7 @@ fn serve_v3(text: String, id_base: u64, conns: usize) -> (String, mpsc::Receiver
             let options = ServeOptions {
                 pushdown_wait: Duration::from_millis(10),
                 drain_every: 8,
+                ..ServeOptions::default()
             };
             let summary = serve_stream(stream, &mut source, None, &options).unwrap();
             let _ = sender.send(summary);
