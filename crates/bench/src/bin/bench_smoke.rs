@@ -286,6 +286,39 @@ fn main() {
             .unwrap()
     }));
 
+    // Fragmentation vs compaction: the same 10k rows once as a 32-segment
+    // log (every query pays a 32-way merge) and once folded into a single
+    // sealed segment by `compact()`. The gap between the two samples is
+    // what the serving daemon's `--compact-at` bound (and the admin plane's
+    // on-demand `compact` verb) buys back on every query.
+    const FRAGMENTS: usize = 32;
+    let fragmented_log = Arc::new(AppendLog::new(usize::MAX >> 1));
+    for chunk in append_rows.chunks(APPEND_ROWS.div_ceil(FRAGMENTS)) {
+        fragmented_log.append(chunk.to_vec()).unwrap();
+        fragmented_log.seal();
+    }
+    assert_eq!(fragmented_log.snapshot().segment_count(), FRAGMENTS);
+    let fragmented_dataset = Dataset::from_provider(LiveDataset::new(fragmented_log));
+    samples.push(measure("live/query-fragmented/k5", 5, || {
+        session
+            .execute(&fragmented_dataset, &TopkQuery::new(5).with_u_topk(false))
+            .unwrap()
+    }));
+    let compacted_log = Arc::new(AppendLog::new(usize::MAX >> 1));
+    for chunk in append_rows.chunks(APPEND_ROWS.div_ceil(FRAGMENTS)) {
+        compacted_log.append(chunk.to_vec()).unwrap();
+        compacted_log.seal();
+    }
+    let outcome = compacted_log.compact();
+    assert!(outcome.compacted_now);
+    assert_eq!(outcome.segments_after, 1);
+    let compacted_dataset = Dataset::from_provider(LiveDataset::new(compacted_log));
+    samples.push(measure("live/query-compacted/k5", 5, || {
+        session
+            .execute(&compacted_dataset, &TopkQuery::new(5).with_u_topk(false))
+            .unwrap()
+    }));
+
     // The query daemon's result cache, measured over a real loopback round
     // trip: `serve_cache/cold` varies the cache key every iteration (a
     // vanishing pτ perturbation — same work, different key) so each query
@@ -302,7 +335,7 @@ fn main() {
     let serve_thread = std::thread::spawn({
         let table = table.clone();
         move || {
-            let mut registry = DatasetRegistry::new();
+            let registry = DatasetRegistry::new();
             registry
                 .register("smoke", Dataset::table(table))
                 .expect("register resident dataset");

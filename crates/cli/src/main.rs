@@ -43,23 +43,25 @@
 //! * `ttk soldier` — print the paper's toy example end to end.
 
 use std::collections::HashMap;
-use std::net::{TcpListener, TcpStream};
+use std::net::TcpStream;
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::time::Duration;
 
 use ttk_core::{
-    serve_client, serve_stream, Algorithm, AppendLog, BatchOptions, ConnectOptions, Dataset,
-    DatasetProvider, DatasetRegistry, PlanDescription, QueryJob, QueryServeOptions,
-    RemoteQueryClient, RemoteShardDataset, ResultCache, ScanPath, ServeOptions, Session, TopkQuery,
+    bind_daemon_listener, run_daemon, serve_client, serve_stream, Algorithm, AppendLog,
+    BatchOptions, ConnectOptions, ConnectionHandler, DaemonControl, DaemonOptions, Dataset,
+    DatasetLoader, DatasetProvider, DatasetRegistry, PlanDescription, QueryJob, QueryServeOptions,
+    RemoteQueryClient, RemoteShardDataset, ResultCache, ScanPath, ServeOptions, Session,
+    ShedPolicy, TopkQuery,
 };
 use ttk_datagen::cartel::{generate_area, CartelConfig};
 use ttk_datagen::soldier;
 use ttk_datagen::synthetic::{generate, IntRange, MePolicy, SyntheticConfig};
 use ttk_pdb::{
     count_csv_records, parse_expression, stable_group_key, table_to_csv, CsvDataset, CsvOptions,
-    DataType, PTable, Schema, ShardImportOptions, SpillOptions,
+    DataType, Expr, PTable, Schema, ShardImportOptions, SpillOptions,
 };
 use ttk_uncertain::{
     wire, LeaseRegistry, PrefetchPolicy, ScoreDistribution, ShardAssignment, SourceTuple,
@@ -101,8 +103,9 @@ fn usage() -> &'static str {
               [--remote-timeout SECS] [--remote-retries N]
   ttk serve   [NAME=FILE.csv ...] [--live NAME ...] [--score EXPR]
               --listen HOST:PORT
-              [--seal-every ROWS]
+              [--seal-every ROWS] [--compact-at SEGMENTS]
               [--max-conns N] [--max-parallel N] [--cache-entries N]
+              [--cache-ttl-ms MS] [--write-timeout-ms MS]
               [--request-wait-ms MS] [--port-file FILE]
               [--prob-column NAME] [--group-column NAME]
   ttk append  --server HOST:PORT --dataset NAME
@@ -118,10 +121,15 @@ fn usage() -> &'static str {
               [--id-base N [--namespace LABEL] | --coordinator HOST:PORT]
               [--spill-buffer TUPLES]
               [--max-conns N] [--max-parallel N] [--port-file FILE]
+              [--write-timeout-ms MS]
               [--pushdown-wait-ms MS] [--block-tuples N]
               [--prob-column NAME] [--group-column NAME]
   ttk coordinator --listen HOST:PORT [--namespace LABEL] [--max-leases N]
-              [--port-file FILE]
+              [--port-file FILE] [--write-timeout-ms MS]
+  ttk admin   --server HOST:PORT
+              (stats | register NAME=FILE.csv | unregister NAME
+               | reload NAME | compact NAME)
+              [--remote-timeout SECS] [--remote-retries N]
 
   Every input form resolves to one dataset: a single CSV file (positional or
   --file), the shard files of one partitioned relation (--shard, repeatable;
@@ -198,6 +206,26 @@ fn usage() -> &'static str {
   stays busy through the admission grace window, serve now sheds the
   connection with a busy/retry-after frame instead of parking it — clients
   retry with backoff, and shed connections do not count toward --max-conns.
+
+  All three daemons run on one shared runtime: --port-file atomic address
+  publication, a bounded worker pool fed over a rendezvous channel,
+  --max-conns / signal-requested draining, and --write-timeout-ms MS (0 or
+  absent = no timeout) arming a socket write timeout on every accepted
+  connection so a stalled reader is shed instead of pinning a worker
+  forever.
+
+  ttk admin manages a running serve daemon over the same port (wire v6):
+  `stats` prints the resident roster (per-dataset epoch, segment count,
+  last compaction epoch) and result-cache counters; `register NAME=FILE.csv`
+  imports a CSV server-side and makes it resident (the server must have
+  been started with --score so it knows how to score imports; duplicate
+  names are refused); `reload NAME` re-imports a file-backed dataset from
+  its source path and swaps it in atomically — in-flight queries finish on
+  the old snapshot; `unregister NAME` drops a resident dataset; `compact
+  NAME` folds every sealed segment of a live dataset into one. serve also
+  compacts automatically past --compact-at sealed segments (0 or absent =
+  never; minimum 2), and --cache-ttl-ms MS expires cached answers by age
+  on top of the epoch/generation invalidation (0 or absent = no TTL).
 
   --batch KS runs one query per k in KS (comma list `1,5,10` or range
   `LO:HI`) through the cost-ordered parallel batch executor and prints a
@@ -290,6 +318,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "append" => cmd_append(rest),
         "watch" => cmd_watch(rest),
         "coordinator" => cmd_coordinator(rest),
+        "admin" => cmd_admin(rest),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
@@ -756,136 +785,15 @@ fn install_shutdown_handler() {
 #[cfg(not(unix))]
 fn install_shutdown_handler() {}
 
-/// Writes `contents` to `path` atomically: the bytes land in a unique temp
-/// file in the same directory which is then renamed into place, so a
-/// concurrently-polling reader observes either no file or the complete
-/// contents — never a partial write.
-fn write_file_atomically(path: &str, contents: &str) -> Result<(), String> {
-    let target = std::path::Path::new(path);
-    let mut tmp_name = target.as_os_str().to_owned();
-    tmp_name.push(format!(".tmp-{}", std::process::id()));
-    let tmp = std::path::PathBuf::from(tmp_name);
-    std::fs::write(&tmp, contents).map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
-    std::fs::rename(&tmp, target)
-        .map_err(|e| format!("cannot move {} to {path}: {e}", tmp.display()))
-}
-
-/// True for accept-loop failures that concern one connection attempt (an
-/// aborted handshake, a reset before accept, fd pressure) rather than the
-/// listener itself. Fatal errors — the listener fd is dead, the address
-/// became invalid — must exit non-zero instead of spinning forever.
-fn accept_error_is_transient(e: &std::io::Error) -> bool {
-    matches!(
-        e.kind(),
-        std::io::ErrorKind::ConnectionAborted
-            | std::io::ErrorKind::ConnectionReset
-            | std::io::ErrorKind::ConnectionRefused
-            | std::io::ErrorKind::Interrupted
-            | std::io::ErrorKind::TimedOut
-            | std::io::ErrorKind::WouldBlock
-    )
-}
-
-/// Even "transient" accept errors repeating back-to-back with no successful
-/// accept in between mean the listener is wedged; give up after this many.
-const MAX_CONSECUTIVE_ACCEPT_FAILURES: usize = 128;
-
-/// A bounded pool of connection workers: `acquire` blocks while `max`
-/// workers are live, so a connection flood queues in the listen backlog
-/// instead of spawning unbounded threads.
-struct WorkerGate {
-    active: Mutex<usize>,
-    freed: Condvar,
-}
-
-impl WorkerGate {
-    fn new() -> Arc<Self> {
-        Arc::new(WorkerGate {
-            active: Mutex::new(0),
-            freed: Condvar::new(),
-        })
-    }
-
-    /// Waits for a worker slot, polling the shutdown flag so a pool full of
-    /// stalled clients cannot pin the accept loop past a drain request.
-    /// Returns `false` when shutdown was requested instead of a slot.
-    fn acquire(&self, max: usize) -> bool {
-        let mut active = self.active.lock().expect("worker gate poisoned");
-        while *active >= max {
-            if SHUTDOWN.load(Ordering::SeqCst) {
-                return false;
-            }
-            let (guard, _) = self
-                .freed
-                .wait_timeout(active, Duration::from_millis(50))
-                .expect("worker gate poisoned");
-            active = guard;
-        }
-        *active += 1;
-        true
-    }
-
-    fn release(&self) {
-        *self.active.lock().expect("worker gate poisoned") -= 1;
-        self.freed.notify_one();
-    }
-}
-
-/// RAII handle for one acquired worker slot: released on drop, so a worker
-/// that panics mid-connection still returns its permit instead of
-/// permanently shrinking the pool.
-struct WorkerPermit(Arc<WorkerGate>);
-
-impl Drop for WorkerPermit {
-    fn drop(&mut self) {
-        self.0.release();
-    }
-}
-
-/// The accept-loop outcome of [`next_connection`].
-enum Accepted {
-    /// A connection is ready to serve.
-    Conn(TcpStream),
-    /// Graceful shutdown was requested (signal); drain and exit.
-    Drain,
-}
-
-/// Polls a non-blocking `listener` for the next connection, honouring the
-/// shutdown flag and distinguishing transient accept failures (logged,
-/// loop continues) from fatal listener errors (returned as `Err`, exiting
-/// the daemon non-zero). `idle` runs on every empty poll so callers can
-/// reap finished workers.
-fn next_connection(
-    listener: &TcpListener,
-    consecutive_failures: &mut usize,
-    mut idle: impl FnMut(),
-) -> Result<Accepted, String> {
-    loop {
-        if SHUTDOWN.load(Ordering::SeqCst) {
-            return Ok(Accepted::Drain);
-        }
-        match listener.accept() {
-            Ok((stream, _)) => {
-                *consecutive_failures = 0;
-                return Ok(Accepted::Conn(stream));
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                idle();
-                std::thread::sleep(Duration::from_millis(10));
-            }
-            Err(e) if accept_error_is_transient(&e) => {
-                *consecutive_failures += 1;
-                if *consecutive_failures >= MAX_CONSECUTIVE_ACCEPT_FAILURES {
-                    return Err(format!(
-                        "accept failing persistently ({e} and {MAX_CONSECUTIVE_ACCEPT_FAILURES} \
-                         predecessors); the listener is presumed dead"
-                    ));
-                }
-                eprintln!("accepting connection: {e}");
-            }
-            Err(e) => return Err(format!("accept failed fatally: {e}")),
-        }
-    }
+/// The optional per-socket write timeout of a daemon (`--write-timeout-ms`,
+/// default 0 = off): how long a worker's blocked reply write may stall on a
+/// client that stopped reading before the connection is shed and the worker
+/// freed.
+fn parse_write_timeout(flags: &Flags) -> Result<Option<Duration>, String> {
+    Ok(match get_parse(flags, "write-timeout-ms", 0u64)? {
+        0 => None,
+        ms => Some(Duration::from_millis(ms)),
+    })
 }
 
 /// Counts the data records of the CSV files an input form resolves to — the
@@ -946,41 +854,51 @@ fn obtain_lease(coordinator: &str, rows: u64, label: &str) -> Result<ShardAssign
     ))
 }
 
-/// Serves one accepted connection through the version-negotiating
-/// [`serve_stream`]: a pushdown client announcing the query gets the
-/// gate-bounded replay over a v3 session, anything else the full replay
-/// behind the daemon's v1/v2 hello (with the assignment advertised when the
-/// daemon holds one). Failures — a poisoned socket, a dataset open error —
-/// are logged and isolated to this connection; the outcome is logged as one
-/// summary line either way.
-fn serve_connection(
-    stream: TcpStream,
-    dataset: &Dataset,
-    assignment: Option<&ShardAssignment>,
-    options: &ServeOptions,
-) {
-    let peer = stream
-        .peer_addr()
-        .map(|a| a.to_string())
-        .unwrap_or_else(|_| "<unknown>".to_string());
-    let result = dataset
-        .open()
-        .and_then(|mut handle| serve_stream(stream, &mut handle, assignment, options));
-    match result {
-        Ok(summary) => eprintln!(
-            "connection {peer}: scanned {} rows, shipped {} tuples, stopped: {} ({})",
-            summary.scanned,
-            summary.shipped,
-            summary.reason,
-            if summary.pushdown {
-                "scan-gate pushdown"
-            } else {
-                "full replay"
-            }
-        ),
-        // A failing replay (or a peer violating the protocol) is normal
-        // operation for a streaming server, not a reason to exit.
-        Err(e) => eprintln!("connection {peer}: {e}"),
+/// The `ttk serve-shard` handler on the shared daemon runtime: every
+/// connection gets a fresh replay of the resolved dataset through the
+/// version-negotiating [`serve_stream`] — a pushdown client announcing the
+/// query gets the gate-bounded replay over a v3 session, anything else the
+/// full replay behind the daemon's v1/v2 hello (with the assignment
+/// advertised when the daemon holds one). Failures — a poisoned socket, a
+/// dataset open error — are isolated to their connection by the runtime.
+struct ShardHandler {
+    dataset: Dataset,
+    assignment: Option<ShardAssignment>,
+    options: ServeOptions,
+}
+
+impl ConnectionHandler for ShardHandler {
+    type Worker = ();
+
+    fn worker(&self, _worker_id: usize) {}
+
+    fn serve(
+        &self,
+        _worker: &mut (),
+        stream: TcpStream,
+        _control: &DaemonControl<'_>,
+    ) -> Result<String, String> {
+        self.dataset
+            .open()
+            .and_then(|mut handle| {
+                serve_stream(stream, &mut handle, self.assignment.as_ref(), &self.options)
+            })
+            .map(|summary| {
+                format!(
+                    "scanned {} rows, shipped {} tuples, stopped: {} ({})",
+                    summary.scanned,
+                    summary.shipped,
+                    summary.reason,
+                    if summary.pushdown {
+                        "scan-gate pushdown"
+                    } else {
+                        "full replay"
+                    }
+                )
+            })
+            // A failing replay (or a peer violating the protocol) is normal
+            // operation for a streaming server, not a reason to exit.
+            .map_err(|e| e.to_string())
     }
 }
 
@@ -1057,26 +975,9 @@ fn cmd_serve_shard(args: &[String]) -> Result<(), String> {
             .transpose()?,
     };
 
-    let dataset = Arc::new(resolve_dataset(
-        &positional,
-        &flags,
-        &csv_options,
-        &score,
-        true,
-    )?);
+    let dataset = resolve_dataset(&positional, &flags, &csv_options, &score, true)?;
 
-    let listener =
-        TcpListener::bind(&listen).map_err(|e| format!("cannot listen on {listen}: {e}"))?;
-    listener
-        .set_nonblocking(true)
-        .map_err(|e| format!("cannot poll the listener: {e}"))?;
-    let bound = listener
-        .local_addr()
-        .map_err(|e| e.to_string())?
-        .to_string();
-    if let Some(path) = get(&flags, "port-file") {
-        write_file_atomically(path, &bound)?;
-    }
+    let (listener, bound) = bind_daemon_listener(&listen, get(&flags, "port-file"))?;
     install_shutdown_handler();
     eprintln!(
         "serving dataset `{}` on {bound} ({max_parallel} parallel connections{})",
@@ -1088,68 +989,77 @@ fn cmd_serve_shard(args: &[String]) -> Result<(), String> {
         }
     );
 
-    let gate = WorkerGate::new();
-    let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
-    let mut served_conns = 0usize;
-    let mut consecutive_failures = 0usize;
-    let drained = loop {
-        let accepted = next_connection(&listener, &mut consecutive_failures, || {
-            workers.retain(|w| !w.is_finished());
-        });
-        let stream = match accepted {
-            Ok(Accepted::Conn(stream)) => stream,
-            Ok(Accepted::Drain) => break true,
-            Err(fatal) => {
-                // The listener is gone; the in-flight connections still
-                // deserve their streams before the non-zero exit.
-                for worker in workers {
-                    let _ = worker.join();
-                }
-                return Err(fatal);
-            }
-        };
-        if !gate.acquire(max_parallel) {
-            // Shutdown arrived while waiting for a slot; the connection just
-            // accepted is dropped unserved (its client sees a clean close
-            // before the hello) and the daemon drains.
-            break true;
-        }
-        // Reap finished handles on the accept path too — a continuously
-        // busy daemon may rarely hit the idle callback, and the handle list
-        // must not grow with total connections served.
-        workers.retain(|w| !w.is_finished());
-        let worker_dataset = Arc::clone(&dataset);
-        let permit = WorkerPermit(Arc::clone(&gate));
-        let worker_assignment = assignment.clone();
-        workers.push(std::thread::spawn(move || {
-            let _permit = permit;
-            serve_connection(
-                stream,
-                &worker_dataset,
-                worker_assignment.as_ref(),
-                &serve_options,
-            );
-        }));
-        served_conns += 1;
-        if max_conns > 0 && served_conns >= max_conns {
-            break false;
-        }
+    let handler = ShardHandler {
+        dataset,
+        assignment,
+        options: serve_options,
     };
-    let in_flight = workers.iter().filter(|w| !w.is_finished()).count();
-    if in_flight > 0 {
-        eprintln!(
-            "{}: joining {in_flight} in-flight connection(s)",
-            if drained {
-                "shutdown requested"
-            } else {
-                "--max-conns reached"
-            }
-        );
-    }
-    for worker in workers {
-        let _ = worker.join();
-    }
+    let daemon_options = DaemonOptions {
+        workers: max_parallel,
+        max_conns,
+        write_timeout: parse_write_timeout(&flags)?,
+        // Streaming clients block on their replay anyway: when every worker
+        // is busy the flood waits in the listen backlog, as it always has.
+        shed: ShedPolicy::Block,
+    };
+    run_daemon(&listener, &handler, &daemon_options, &SHUTDOWN)?;
     Ok(())
+}
+
+/// Builds the loader that (re-)imports `path` with the daemon's CSV options
+/// and score expression. Registered alongside every file-backed dataset so
+/// the admin plane's `reload` verb can re-import it without a restart, and
+/// the building block of the admin `register` importer.
+fn csv_loader(path: String, csv_options: CsvOptions, expression: Expr) -> DatasetLoader {
+    Box::new(move || {
+        let csv = CsvDataset::from_path(path.clone(), csv_options.clone(), expression.clone());
+        csv.warm()
+            .map_err(|e| ttk_uncertain::Error::Source(format!("cannot load {path}: {e}")))?;
+        Ok(csv.into_dataset())
+    })
+}
+
+/// The `ttk serve` handler on the shared daemon runtime: each worker owns
+/// one plan-once/run-many [`Session`], and every connection — a query, an
+/// append, a subscription or an admin request — is answered by
+/// [`serve_client`] from the shared registry and result cache. When every
+/// worker stays busy, shed connections get a busy/retry-after frame.
+struct QueryHandler {
+    registry: DatasetRegistry,
+    cache: ResultCache,
+    options: QueryServeOptions,
+}
+
+impl ConnectionHandler for QueryHandler {
+    type Worker = Session;
+
+    fn worker(&self, _worker_id: usize) -> Session {
+        Session::new()
+    }
+
+    fn serve(
+        &self,
+        session: &mut Session,
+        stream: TcpStream,
+        control: &DaemonControl<'_>,
+    ) -> Result<String, String> {
+        // Per-connection error isolation: a stalled client, a garbled
+        // request or a failing execution is logged and the worker moves on.
+        serve_client(
+            stream,
+            &self.registry,
+            &self.cache,
+            session,
+            &self.options,
+            control.shutdown_flag(),
+        )
+        .map(|outcome| outcome.to_string())
+        .map_err(|e| e.to_string())
+    }
+
+    fn shed(&self, stream: &TcpStream, retry_after_ms: u64) {
+        let _ = wire::write_busy(&mut &*stream, retry_after_ms);
+    }
 }
 
 /// `ttk serve`: a resident-dataset query daemon. Each `NAME=FILE.csv`
@@ -1192,18 +1102,28 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     if seal_every == 0 {
         return Err("--seal-every must be at least 1".to_string());
     }
+    let compact_at = get_parse(&flags, "compact-at", 0usize)?;
+    if compact_at == 1 {
+        return Err("--compact-at must be 0 (disabled) or at least 2 sealed segments".to_string());
+    }
+    let cache_ttl = match get_parse(&flags, "cache-ttl-ms", 0u64)? {
+        0 => None,
+        ms => Some(Duration::from_millis(ms)),
+    };
     let serve_options = QueryServeOptions {
         request_wait: Duration::from_millis(get_parse(&flags, "request-wait-ms", 10_000u64)?),
         ..QueryServeOptions::default()
     };
     let csv_options = parse_csv_options(&flags);
+    let expression = get(&flags, "score")
+        .map(|score| parse_expression(score).map_err(|e| e.to_string()))
+        .transpose()?;
 
     let mut registry = DatasetRegistry::new();
     if !positional.is_empty() {
-        let score = get(&flags, "score")
-            .ok_or("--score is required to score the NAME=FILE.csv datasets")?
-            .to_string();
-        let expression = parse_expression(&score).map_err(|e| e.to_string())?;
+        let expression = expression
+            .clone()
+            .ok_or("--score is required to score the NAME=FILE.csv datasets")?;
         for spec in &positional {
             let (name, path) = spec.split_once('=').ok_or_else(|| {
                 format!(
@@ -1220,37 +1140,48 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             csv.warm()
                 .map_err(|e| format!("cannot load dataset `{name}` from {path}: {e}"))?;
             let dataset = csv.into_dataset().with_label(name);
+            // The loader lets the admin plane's `reload` verb re-import this
+            // dataset from its original path without a restart.
+            let loader = csv_loader(path.to_string(), csv_options.clone(), expression.clone());
             let id = registry
-                .register(name, dataset)
+                .register_with_loader(name, dataset, loader)
                 .map_err(|e| e.to_string())?;
             eprintln!("dataset `{name}` resident from {path} (dataset id {id})");
         }
     }
     for name in &live_names {
-        let log = Arc::new(AppendLog::new(seal_every));
+        let log = Arc::new(AppendLog::new(seal_every).with_compact_at(compact_at));
         let id = registry
             .register_live(name, log)
             .map_err(|e| e.to_string())?;
         eprintln!(
-            "dataset `{name}` live (append-only, auto-seals every {seal_every} staged rows, \
-             dataset id {id})"
+            "dataset `{name}` live (append-only, auto-seals every {seal_every} staged rows{}, \
+             dataset id {id})",
+            if compact_at > 0 {
+                format!(", compacts past {compact_at} sealed segments")
+            } else {
+                String::new()
+            }
         );
     }
-    let registry = Arc::new(registry);
-    let cache = Arc::new(ResultCache::new(cache_entries));
-
-    let listener =
-        TcpListener::bind(&listen).map_err(|e| format!("cannot listen on {listen}: {e}"))?;
-    listener
-        .set_nonblocking(true)
-        .map_err(|e| format!("cannot poll the listener: {e}"))?;
-    let bound = listener
-        .local_addr()
-        .map_err(|e| e.to_string())?
-        .to_string();
-    if let Some(path) = get(&flags, "port-file") {
-        write_file_atomically(path, &bound)?;
+    // With a score expression the daemon can import datasets at runtime:
+    // the admin plane's `register NAME=FILE.csv` verb scores the server-side
+    // file exactly like a startup NAME=FILE.csv positional.
+    if let Some(expression) = expression {
+        let importer_options = csv_options.clone();
+        registry.set_importer(Box::new(move |path| {
+            let loader = csv_loader(
+                path.to_string(),
+                importer_options.clone(),
+                expression.clone(),
+            );
+            let dataset = loader()?;
+            Ok((dataset, loader))
+        }));
     }
+    let registry = registry;
+    let cache = ResultCache::new(cache_entries).with_ttl(cache_ttl);
+    let (listener, bound) = bind_daemon_listener(&listen, get(&flags, "port-file"))?;
     install_shutdown_handler();
     eprintln!(
         "serving {} resident dataset(s) on {bound} ({max_parallel} workers, result cache of \
@@ -1263,130 +1194,86 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         }
     );
 
-    // The worker pool: a rendezvous channel (capacity 0) hands each
-    // accepted connection to exactly one worker; `try_send` only succeeds
-    // when a worker is actually waiting, so the accept loop backpressures
-    // instead of buffering connections nobody is ready to serve.
-    let (conn_tx, conn_rx) = std::sync::mpsc::sync_channel::<TcpStream>(0);
-    let conn_rx = Arc::new(Mutex::new(conn_rx));
-    let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
-    for worker_id in 0..max_parallel {
-        let conn_rx = Arc::clone(&conn_rx);
-        let registry = Arc::clone(&registry);
-        let cache = Arc::clone(&cache);
-        let options = serve_options.clone();
-        workers.push(std::thread::spawn(move || {
-            let mut session = Session::new();
-            loop {
-                // Take the receiver lock only to pull the next connection;
-                // serving happens outside it so workers run concurrently.
-                let next = conn_rx.lock().expect("connection channel poisoned").recv();
-                let Ok(stream) = next else {
-                    break; // Sender dropped: the daemon is draining.
-                };
-                let peer = stream
-                    .peer_addr()
-                    .map(|a| a.to_string())
-                    .unwrap_or_else(|_| "<unknown>".to_string());
-                // Per-connection error isolation: a stalled client, a
-                // garbled request or a failing execution is logged and the
-                // worker moves on.
-                match serve_client(stream, &registry, &cache, &mut session, &options, &SHUTDOWN) {
-                    Ok(outcome) => eprintln!("connection {peer} (worker {worker_id}): {outcome}"),
-                    Err(e) => eprintln!("connection {peer} (worker {worker_id}): {e}"),
-                }
-            }
-        }));
-    }
-    drop(conn_rx); // Workers hold the only receiver clones now.
-
-    let mut served_conns = 0usize;
-    let mut consecutive_failures = 0usize;
-    let drained = 'accept: loop {
-        let accepted = next_connection(&listener, &mut consecutive_failures, || {});
-        let stream = match accepted {
-            Ok(Accepted::Conn(stream)) => stream,
-            Ok(Accepted::Drain) => break 'accept true,
-            Err(fatal) => {
-                drop(conn_tx);
-                for worker in workers {
-                    let _ = worker.join();
-                }
-                return Err(fatal);
-            }
-        };
-        // Hand off under backpressure: wait briefly for a free worker, still
-        // honouring a shutdown request (the connection just accepted is
-        // dropped unserved — its client sees a clean close). A pool that
-        // stays busy through the whole grace window sheds the connection
-        // with a busy/retry-after frame instead of parking it — the client
-        // retries with backoff, and the daemon never accumulates a queue of
-        // connections nobody is draining.
-        let mut pending = stream;
-        let mut grace_polls = 0usize;
-        let handed_off = loop {
-            if SHUTDOWN.load(Ordering::SeqCst) {
-                break 'accept true;
-            }
-            match conn_tx.try_send(pending) {
-                Ok(()) => break true,
-                Err(std::sync::mpsc::TrySendError::Full(back)) => {
-                    pending = back;
-                    grace_polls += 1;
-                    if grace_polls >= BUSY_GRACE_POLLS {
-                        let peer = pending
-                            .peer_addr()
-                            .map(|a| a.to_string())
-                            .unwrap_or_else(|_| "<unknown>".to_string());
-                        let _ = wire::write_busy(&mut &pending, BUSY_RETRY_AFTER_MS);
-                        eprintln!(
-                            "connection {peer}: shed by admission control (every worker busy), \
-                             retry-after {BUSY_RETRY_AFTER_MS}ms"
-                        );
-                        break false;
-                    }
-                    std::thread::sleep(Duration::from_millis(5));
-                }
-                Err(std::sync::mpsc::TrySendError::Disconnected(_)) => {
-                    for worker in workers {
-                        let _ = worker.join();
-                    }
-                    return Err("every worker exited; the daemon cannot serve".to_string());
-                }
-            }
-        };
-        if !handed_off {
-            // Shed connections were never served: they do not count toward
-            // --max-conns, which bounds *served* connections.
-            continue;
-        }
-        served_conns += 1;
-        if max_conns > 0 && served_conns >= max_conns {
-            break 'accept false;
-        }
+    let handler = QueryHandler {
+        registry,
+        cache,
+        options: serve_options,
     };
-    drop(conn_tx); // Unblocks workers waiting in recv; in-flight queries finish.
-    let in_flight = workers.iter().filter(|w| !w.is_finished()).count();
-    if in_flight > 0 {
-        eprintln!(
-            "{}: joining {in_flight} worker(s)",
-            if drained {
-                "shutdown requested"
-            } else {
-                "--max-conns reached"
-            }
-        );
-    }
-    for worker in workers {
-        let _ = worker.join();
-    }
+    let daemon_options = DaemonOptions {
+        workers: max_parallel,
+        max_conns,
+        write_timeout: parse_write_timeout(&flags)?,
+        // A pool that stays busy through the whole grace window sheds the
+        // connection with a busy/retry-after frame instead of parking it —
+        // the client retries with backoff, and the daemon never accumulates
+        // a queue of connections nobody is draining.
+        shed: ShedPolicy::Busy {
+            grace_polls: BUSY_GRACE_POLLS,
+            retry_after_ms: BUSY_RETRY_AFTER_MS,
+        },
+    };
+    run_daemon(&listener, &handler, &daemon_options, &SHUTDOWN)?;
     eprintln!(
-        "result cache: {} hits, {} misses, {} evictions",
-        cache.hits(),
-        cache.misses(),
-        cache.evictions()
+        "result cache: {} hits, {} misses, {} evictions, {} expirations",
+        handler.cache.hits(),
+        handler.cache.misses(),
+        handler.cache.evictions(),
+        handler.cache.expirations()
     );
     Ok(())
+}
+
+/// The `ttk coordinator` handler on the shared daemon runtime. A pool of
+/// exactly one worker processes registrations strictly in arrival order, so
+/// the id ranges of the registered shards stay contiguous and
+/// non-overlapping; the worker owns the [`LeaseRegistry`] plus the count of
+/// leases *delivered* (lease frame written without error). A registrant
+/// dying mid-exchange advances the id watermark — re-leasing a range the
+/// peer may have received risks overlap, while a gap in the id space is
+/// harmless — but must not count toward `--max-leases`, or a failed
+/// delivery would exit the coordinator before every daemon got a lease.
+struct CoordinatorHandler {
+    namespace: String,
+    max_leases: usize,
+}
+
+impl ConnectionHandler for CoordinatorHandler {
+    type Worker = (LeaseRegistry, usize);
+
+    fn worker(&self, _worker_id: usize) -> (LeaseRegistry, usize) {
+        (LeaseRegistry::new(self.namespace.clone()), 0)
+    }
+
+    fn serve(
+        &self,
+        worker: &mut (LeaseRegistry, usize),
+        stream: TcpStream,
+        control: &DaemonControl<'_>,
+    ) -> Result<String, String> {
+        let (registry, delivered) = worker;
+        // Per-registration error isolation: a malformed or stalled
+        // registrant is logged and dropped; it never kills the lease loop
+        // (the read timeout bounds how long it can stall the line).
+        let (rows, label, lease) = stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .map_err(|e| e.to_string())
+            .and_then(|_| wire::read_register(&mut (&stream)).map_err(|e| e.to_string()))
+            .and_then(|(rows, label)| {
+                let lease = registry.register(rows);
+                wire::write_lease(&mut (&stream), &lease)
+                    .map_err(|e| e.to_string())
+                    .map(|_| (rows, label, lease))
+            })?;
+        *delivered += 1;
+        if self.max_leases > 0 && *delivered >= self.max_leases {
+            eprintln!("--max-leases reached after {delivered} leases");
+            control.request_drain();
+        }
+        Ok(format!(
+            "leased id base {} (`{label}`, {rows} rows)",
+            lease.id_base
+        ))
+    }
 }
 
 /// `ttk coordinator`: hands out `(id base, namespace)` leases to
@@ -1408,67 +1295,81 @@ fn cmd_coordinator(args: &[String]) -> Result<(), String> {
         .to_string();
     let max_leases = get_parse(&flags, "max-leases", 0usize)?;
 
-    let listener =
-        TcpListener::bind(listen).map_err(|e| format!("cannot listen on {listen}: {e}"))?;
-    listener
-        .set_nonblocking(true)
-        .map_err(|e| format!("cannot poll the listener: {e}"))?;
-    let bound = listener
-        .local_addr()
-        .map_err(|e| e.to_string())?
-        .to_string();
-    if let Some(path) = get(&flags, "port-file") {
-        write_file_atomically(path, &bound)?;
-    }
+    let (listener, bound) = bind_daemon_listener(listen, get(&flags, "port-file"))?;
     install_shutdown_handler();
     eprintln!("coordinating namespace `{namespace}` on {bound}");
 
-    let mut registry = LeaseRegistry::new(namespace);
-    let mut consecutive_failures = 0usize;
-    // Leases *delivered* (lease frame written without error). A registrant
-    // dying mid-exchange advances the id watermark — re-leasing a range the
-    // peer may have received risks overlap, while a gap in the id space is
-    // harmless — but must not count toward --max-leases, or a failed
-    // delivery would exit the coordinator before every daemon got a lease.
-    let mut delivered = 0usize;
-    loop {
-        let stream = match next_connection(&listener, &mut consecutive_failures, || {})? {
-            Accepted::Conn(stream) => stream,
-            Accepted::Drain => break,
-        };
-        let peer = stream
-            .peer_addr()
-            .map(|a| a.to_string())
-            .unwrap_or_else(|_| "<unknown>".to_string());
-        // Per-registration error isolation: a malformed or stalled
-        // registrant is logged and dropped; it never kills the lease loop
-        // (the read timeout bounds how long it can stall the line).
-        let result = stream
-            .set_nonblocking(false)
-            .and_then(|_| stream.set_read_timeout(Some(Duration::from_secs(10))))
-            .map_err(|e| e.to_string())
-            .and_then(|_| wire::read_register(&mut (&stream)).map_err(|e| e.to_string()))
-            .and_then(|(rows, label)| {
-                let lease = registry.register(rows);
-                wire::write_lease(&mut (&stream), &lease)
-                    .map_err(|e| e.to_string())
-                    .map(|_| (rows, label, lease))
-            });
-        match result {
-            Ok((rows, label, lease)) => {
-                delivered += 1;
-                eprintln!(
-                    "leased id base {} to {peer} (`{label}`, {rows} rows)",
-                    lease.id_base
-                );
+    let handler = CoordinatorHandler {
+        namespace,
+        max_leases,
+    };
+    let daemon_options = DaemonOptions {
+        workers: 1,
+        max_conns: 0,
+        write_timeout: parse_write_timeout(&flags)?,
+        shed: ShedPolicy::Block,
+    };
+    run_daemon(&listener, &handler, &daemon_options, &SHUTDOWN)?;
+    Ok(())
+}
+
+/// `ttk admin`: ships one management verb to a running `ttk serve` daemon
+/// over the wire-v6 admin plane and prints the server's report.
+fn cmd_admin(args: &[String]) -> Result<(), String> {
+    let (positional, flags) = parse_flags(args)?;
+    let server = get(&flags, "server").ok_or("--server HOST:PORT is required")?;
+    let mut words = positional.iter().map(String::as_str);
+    let verb = words.next().ok_or(
+        "missing admin verb: expected stats, register NAME=FILE.csv, unregister NAME, \
+         reload NAME or compact NAME",
+    )?;
+    let mut named = |verb: wire::AdminVerb| -> Result<wire::AdminRequest, String> {
+        let name = words
+            .next()
+            .ok_or_else(|| format!("{verb} needs a dataset NAME"))?;
+        Ok(wire::AdminRequest {
+            verb,
+            name: name.to_string(),
+            arg: String::new(),
+        })
+    };
+    let request = match verb {
+        "stats" => wire::AdminRequest {
+            verb: wire::AdminVerb::Stats,
+            name: String::new(),
+            arg: String::new(),
+        },
+        "register" => {
+            let spec = words.next().ok_or("register needs NAME=FILE.csv")?;
+            let (name, path) = spec
+                .split_once('=')
+                .ok_or_else(|| format!("expected NAME=FILE.csv, got `{spec}`"))?;
+            if name.is_empty() || path.is_empty() {
+                return Err(format!("expected NAME=FILE.csv, got `{spec}`"));
             }
-            Err(e) => eprintln!("registration from {peer}: {e}"),
+            wire::AdminRequest {
+                verb: wire::AdminVerb::Register,
+                name: name.to_string(),
+                arg: path.to_string(),
+            }
         }
-        if max_leases > 0 && delivered >= max_leases {
-            eprintln!("--max-leases reached after {delivered} leases");
-            break;
+        "unregister" => named(wire::AdminVerb::Unregister)?,
+        "reload" => named(wire::AdminVerb::Reload)?,
+        "compact" => named(wire::AdminVerb::Compact)?,
+        other => {
+            return Err(format!(
+                "unknown admin verb `{other}`: expected stats, register, unregister, \
+                 reload or compact"
+            ))
         }
+    };
+    if let Some(extra) = words.next() {
+        return Err(format!("unexpected argument `{extra}` after {verb}"));
     }
+    let client =
+        RemoteQueryClient::new(server).with_connect_options(parse_connect_options(&flags)?);
+    let report = client.admin(&request).map_err(|e| e.to_string())?;
+    println!("{report}");
     Ok(())
 }
 
@@ -1543,9 +1444,18 @@ fn describe_scan(plan: &PlanDescription) -> String {
              {buffer}-tuple channel)",
             plan.dataset
         ),
-        ScanPath::Live { segments, epoch } => format!(
+        ScanPath::Live {
+            segments,
+            epoch,
+            compacted_epoch,
+        } => format!(
             "{rows} rows from the live snapshot at epoch {epoch} ({segments} sealed segments, \
-             {})",
+             {}, {})",
+            if compacted_epoch > 0 {
+                format!("last compacted at epoch {compacted_epoch}")
+            } else {
+                "never compacted".to_string()
+            },
             plan.dataset
         ),
         ScanPath::RemoteQuery => {
@@ -2359,64 +2269,6 @@ mod tests {
             std::fs::remove_file(pf).ok();
         }
         std::fs::remove_file(&data).ok();
-    }
-
-    #[test]
-    fn port_files_are_written_atomically() {
-        let dir = std::env::temp_dir();
-        let path = dir.join(format!("ttk_cli_test_atomic_{}", std::process::id()));
-        let path_str = path.to_string_lossy().to_string();
-        write_file_atomically(&path_str, "127.0.0.1:12345").unwrap();
-        assert_eq!(std::fs::read_to_string(&path).unwrap(), "127.0.0.1:12345");
-        // Re-writes land atomically too (rename replaces the target).
-        write_file_atomically(&path_str, "127.0.0.1:54321").unwrap();
-        assert_eq!(std::fs::read_to_string(&path).unwrap(), "127.0.0.1:54321");
-        // No temp droppings are left beside the target.
-        let stem = path.file_name().unwrap().to_string_lossy().into_owned();
-        let leftovers = std::fs::read_dir(&dir)
-            .unwrap()
-            .filter(|e| {
-                let name = e
-                    .as_ref()
-                    .unwrap()
-                    .file_name()
-                    .to_string_lossy()
-                    .into_owned();
-                name.starts_with(&stem) && name != stem
-            })
-            .count();
-        assert_eq!(leftovers, 0);
-        std::fs::remove_file(&path).ok();
-    }
-
-    #[test]
-    fn accept_errors_are_classified() {
-        use std::io::{Error, ErrorKind};
-        for transient in [
-            ErrorKind::ConnectionAborted,
-            ErrorKind::ConnectionReset,
-            ErrorKind::Interrupted,
-            ErrorKind::TimedOut,
-            ErrorKind::WouldBlock,
-        ] {
-            assert!(
-                accept_error_is_transient(&Error::from(transient)),
-                "{transient:?} must not kill the daemon"
-            );
-        }
-        // A dead listener fd or an invalid address is fatal: the daemon must
-        // exit non-zero instead of spinning on a listener that can never
-        // accept again.
-        for fatal in [
-            ErrorKind::InvalidInput,
-            ErrorKind::NotFound,
-            ErrorKind::PermissionDenied,
-        ] {
-            assert!(
-                !accept_error_is_transient(&Error::from(fatal)),
-                "{fatal:?} must exit the accept loop"
-            );
-        }
     }
 
     #[test]
@@ -3276,6 +3128,385 @@ mod tests {
         // Missing required flags are reported as errors.
         assert!(run(&s(&["query", "--file", &path])).is_err());
         assert!(run(&s(&["query", "--file", &path, "--score", "delay"])).is_err());
+        std::fs::remove_file(&data).ok();
+    }
+
+    /// The wire-v6 admin plane against a live daemon: stats, runtime
+    /// registration (guarded by the same duplicate-name check as startup),
+    /// reload picking up a rewritten source file, and unregister — while
+    /// the original resident keeps answering throughout.
+    #[test]
+    fn admin_plane_manages_residents_end_to_end() {
+        let dir = std::env::temp_dir();
+        let alpha_csv = dir.join("ttk_cli_test_admin_alpha.csv");
+        let beta_csv = dir.join("ttk_cli_test_admin_beta.csv");
+        std::fs::write(&alpha_csv, "score,probability\n100,1.0\n90,0.5\n80,0.25\n").unwrap();
+        std::fs::write(&beta_csv, "score,probability\n50,1.0\n40,0.5\n").unwrap();
+        let port_file = dir.join("ttk_cli_test_admin_port");
+        std::fs::remove_file(&port_file).ok();
+        let alpha_spec = format!("alpha={}", alpha_csv.to_string_lossy());
+        // Nine connections: stats, register, cold beta query, duplicate
+        // register, reload, reloaded query, stats, unregister, missing
+        // query.
+        let server_args = s(&[
+            "serve",
+            &alpha_spec,
+            "--score",
+            "score",
+            "--listen",
+            "127.0.0.1:0",
+            "--port-file",
+            &port_file.to_string_lossy(),
+            "--max-conns",
+            "9",
+            "--max-parallel",
+            "2",
+        ]);
+        let server = std::thread::spawn(move || run(&server_args));
+        let addr = poll_port_file(&port_file);
+        let client = RemoteQueryClient::new(addr.as_str());
+        let query = TopkQuery::new(1).with_p_tau(1e-6).with_u_topk(false);
+        let stats_request = wire::AdminRequest {
+            verb: wire::AdminVerb::Stats,
+            name: String::new(),
+            arg: String::new(),
+        };
+
+        // The roster before any admin mutation.
+        let stats = client.admin(&stats_request).unwrap();
+        assert!(stats.contains("resident datasets: 1"), "{stats}");
+        assert!(stats.contains("alpha: static"), "{stats}");
+
+        // Runtime registration through the CLI verb, then the fresh
+        // resident answers immediately (its top score is certain).
+        let beta_spec = format!("beta={}", beta_csv.to_string_lossy());
+        run(&s(&["admin", "--server", &addr, "register", &beta_spec])).unwrap();
+        let v1 = client.execute("beta", &query).unwrap();
+        assert_eq!(v1.answer.distribution.max_score(), Some(50.0));
+
+        // The startup duplicate-name check guards the admin plane too.
+        let err = client
+            .admin(&wire::AdminRequest {
+                verb: wire::AdminVerb::Register,
+                name: "beta".to_string(),
+                arg: beta_csv.to_string_lossy().into_owned(),
+            })
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("already registered"), "{err}");
+
+        // Rewrite the source and reload: the swap is epoch-safe (queries
+        // in flight finish on their Arc'd handle) and lands as a new
+        // dataset id, so the repeat is a structural cache miss that sees
+        // the new rows.
+        std::fs::write(&beta_csv, "score,probability\n70,1.0\n60,0.5\n").unwrap();
+        let report = client
+            .admin(&wire::AdminRequest {
+                verb: wire::AdminVerb::Reload,
+                name: "beta".to_string(),
+                arg: String::new(),
+            })
+            .unwrap();
+        assert!(report.contains("reloaded `beta`"), "{report}");
+        let v2 = client.execute("beta", &query).unwrap();
+        assert!(!v2.cache_hit, "a reload must not serve the stale answer");
+        assert_eq!(v2.answer.distribution.max_score(), Some(70.0));
+
+        // Stats reflect the grown roster; unregister names the survivors;
+        // the dropped name stops resolving.
+        let stats = client.admin(&stats_request).unwrap();
+        assert!(stats.contains("resident datasets: 2"), "{stats}");
+        assert!(stats.contains("beta: static"), "{stats}");
+        let report = client
+            .admin(&wire::AdminRequest {
+                verb: wire::AdminVerb::Unregister,
+                name: "beta".to_string(),
+                arg: String::new(),
+            })
+            .unwrap();
+        assert!(report.contains("unregistered `beta`"), "{report}");
+        assert!(report.contains("alpha"), "{report}");
+        let err = client.execute("beta", &query).unwrap_err().to_string();
+        assert!(err.contains("no such dataset"), "{err}");
+        assert!(err.contains("alpha"), "{err}");
+
+        server.join().unwrap().unwrap();
+
+        // Verb parsing fails before anything dials.
+        assert!(run(&s(&["admin", "stats"])).is_err());
+        assert!(run(&s(&["admin", "--server", &addr])).is_err());
+        assert!(run(&s(&["admin", "--server", &addr, "frobnicate"])).is_err());
+        assert!(run(&s(&["admin", "--server", &addr, "register", "nope"])).is_err());
+        assert!(run(&s(&["admin", "--server", &addr, "reload"])).is_err());
+        assert!(run(&s(&["admin", "--server", &addr, "stats", "extra"])).is_err());
+
+        std::fs::remove_file(&port_file).ok();
+        std::fs::remove_file(&alpha_csv).ok();
+        std::fs::remove_file(&beta_csv).ok();
+    }
+
+    /// Live-log compaction over the admin plane: seal three segments, fold
+    /// them into one, and the merged answer (and its v6 plan tail) stays
+    /// bit-identical while the segment count drops to one.
+    #[test]
+    fn admin_compacts_a_live_dataset_over_the_wire() {
+        let dir = std::env::temp_dir();
+        let port_file = dir.join("ttk_cli_test_admin_compact_port");
+        std::fs::remove_file(&port_file).ok();
+        // Nine connections: three sealing appends, the fragmented query,
+        // compact, the compacted query, the no-op compact, the
+        // importer-less register, and the reload-of-a-live-log error.
+        let server_args = s(&[
+            "serve",
+            "--live",
+            "stream",
+            "--listen",
+            "127.0.0.1:0",
+            "--port-file",
+            &port_file.to_string_lossy(),
+            "--max-conns",
+            "9",
+            "--max-parallel",
+            "2",
+        ]);
+        let server = std::thread::spawn(move || run(&server_args));
+        let addr = poll_port_file(&port_file);
+        let client = RemoteQueryClient::new(addr.as_str());
+        let query = TopkQuery::new(2).with_p_tau(1e-6).with_u_topk(false);
+
+        // Three sealed segments (epochs 1-3), appended out of rank order so
+        // the fragmented scan genuinely k-way merges.
+        let mut epoch = 0;
+        for pair in [
+            [(1u64, 90.0), (2u64, 50.0)],
+            [(3, 120.0), (4, 30.0)],
+            [(5, 70.0), (6, 110.0)],
+        ] {
+            let rows: Vec<SourceTuple> = pair
+                .iter()
+                .map(|&(id, score)| {
+                    SourceTuple::independent(UncertainTuple::new(id, score, 0.5).unwrap())
+                })
+                .collect();
+            let ack = client.append("stream", rows, true).unwrap();
+            epoch = ack.epoch;
+        }
+        assert_eq!(epoch, 3);
+
+        // The fragmented answer, with the v6 live tail on the wire.
+        let fragmented = client.execute("stream", &query).unwrap();
+        assert_eq!(fragmented.epoch, Some(3));
+        assert_eq!(fragmented.live_segments, Some(3));
+        assert_eq!(fragmented.compacted_epoch, Some(0), "never compacted");
+
+        // Fold all three segments into one; the fold publishes epoch 4.
+        let compact_request = wire::AdminRequest {
+            verb: wire::AdminVerb::Compact,
+            name: "stream".to_string(),
+            arg: String::new(),
+        };
+        let report = client.admin(&compact_request).unwrap();
+        assert!(
+            report.contains("compacted `stream`: 3 segments -> 1 at epoch 4"),
+            "{report}"
+        );
+
+        // Bit-identical answer from one segment. The compaction epoch is a
+        // different cache key, so this executed rather than serving the
+        // fragmented run's cached answer.
+        let compacted = client.execute("stream", &query).unwrap();
+        assert!(!compacted.cache_hit);
+        assert_eq!(compacted.epoch, Some(4));
+        assert_eq!(compacted.live_segments, Some(1));
+        assert_eq!(compacted.compacted_epoch, Some(4));
+        assert_eq!(
+            compacted.answer.distribution,
+            fragmented.answer.distribution
+        );
+        assert_eq!(compacted.answer.typical, fragmented.answer.typical);
+        assert_eq!(compacted.answer.scan_depth, fragmented.answer.scan_depth);
+
+        // Compaction is idempotent: one segment is nothing to fold.
+        let report = client.admin(&compact_request).unwrap();
+        assert!(report.contains("nothing to compact"), "{report}");
+
+        // No --score at startup means no importer for runtime registration,
+        // and reload targets file-backed datasets, never live logs.
+        let err = client
+            .admin(&wire::AdminRequest {
+                verb: wire::AdminVerb::Register,
+                name: "x".to_string(),
+                arg: "x.csv".to_string(),
+            })
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("cannot import"), "{err}");
+        let err = client
+            .admin(&wire::AdminRequest {
+                verb: wire::AdminVerb::Reload,
+                name: "stream".to_string(),
+                arg: String::new(),
+            })
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("live"), "{err}");
+
+        server.join().unwrap().unwrap();
+
+        // Flag validation: a compaction bound of one segment is senseless.
+        let err = run(&s(&[
+            "serve",
+            "--live",
+            "x",
+            "--listen",
+            "127.0.0.1:0",
+            "--compact-at",
+            "1",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--compact-at"), "{err}");
+
+        std::fs::remove_file(&port_file).ok();
+    }
+
+    /// `--write-timeout-ms` on the shared runtime: a client that connects
+    /// and never reads is shed once the socket write stalls past the
+    /// timeout, releasing the only worker for a real query — and the daemon
+    /// still drains cleanly at --max-conns.
+    #[test]
+    fn serve_shard_write_timeout_sheds_a_stalled_reader() {
+        let dir = std::env::temp_dir();
+        let data = dir.join("ttk_cli_test_wtimeout.csv");
+        let path = data.to_string_lossy().to_string();
+        run(&s(&[
+            "generate",
+            "synthetic",
+            "--tuples",
+            "200000",
+            "--seed",
+            "29",
+            "--out",
+            &path,
+        ]))
+        .unwrap();
+        let port_file = dir.join("ttk_cli_test_wtimeout_port");
+        std::fs::remove_file(&port_file).ok();
+        let server_args = s(&[
+            "serve-shard",
+            &path,
+            "--score",
+            "score",
+            "--listen",
+            "127.0.0.1:0",
+            "--port-file",
+            &port_file.to_string_lossy(),
+            "--max-conns",
+            "2",
+            "--max-parallel",
+            "1",
+            "--write-timeout-ms",
+            "200",
+        ]);
+        let server = std::thread::spawn(move || run(&server_args));
+        let addr = poll_port_file(&port_file);
+
+        // The stalled reader: connects, announces nothing, reads nothing.
+        // After the pushdown grace the server replays 200k tuples into the
+        // socket until the kernel buffers fill, then the 200 ms write
+        // timeout sheds the connection and frees the worker.
+        let stalled = TcpStream::connect(&addr).unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+
+        // The real query completes on the single worker the stall would
+        // otherwise have pinned forever.
+        run(&s(&[
+            "query",
+            "--remote-shard",
+            &addr,
+            "--score",
+            "score",
+            "--k",
+            "2",
+            "--remote-timeout",
+            "30",
+        ]))
+        .unwrap();
+
+        drop(stalled);
+        server.join().unwrap().unwrap();
+        std::fs::remove_file(&port_file).ok();
+        std::fs::remove_file(&data).ok();
+    }
+
+    /// A v5 client (the previous wire revision) against a v6 server: the
+    /// result comes back in v5 framing with no v6 tail — the shared
+    /// cursor's trailing-byte check and the post-end EOF prove it — and
+    /// decodes bit-identically to the v6 client's answer.
+    #[test]
+    fn v5_clients_read_byte_identical_results_from_a_v6_server() {
+        let dir = std::env::temp_dir();
+        let data = dir.join("ttk_cli_test_v5_compat.csv");
+        std::fs::write(
+            &data,
+            "score,probability\n100,1.0\n90,0.5\n80,0.25\n70,0.125\n",
+        )
+        .unwrap();
+        let port_file = dir.join("ttk_cli_test_v5_compat_port");
+        std::fs::remove_file(&port_file).ok();
+        let spec = format!("data={}", data.to_string_lossy());
+        let server_args = s(&[
+            "serve",
+            &spec,
+            "--score",
+            "score",
+            "--listen",
+            "127.0.0.1:0",
+            "--port-file",
+            &port_file.to_string_lossy(),
+            "--max-conns",
+            "2",
+        ]);
+        let server = std::thread::spawn(move || run(&server_args));
+        let addr = poll_port_file(&port_file);
+
+        // The hand-rolled v5 exchange: pin the request version and decode
+        // with the shared reader, whose frame cursor rejects trailing bytes
+        // — a v6 tail smuggled into the header frame would fail the decode.
+        let query = TopkQuery::new(2).with_p_tau(1e-6);
+        let mut request = ttk_core::request_for("data", &query);
+        request.version = wire::WIRE_VERSION_V5;
+        let stream = TcpStream::connect(&addr).unwrap();
+        wire::write_query_request(&mut (&stream), &request).unwrap();
+        let mut reader = std::io::BufReader::new(&stream);
+        let result = wire::read_query_result(&mut reader).unwrap();
+        assert_eq!(result.version, wire::WIRE_VERSION_V5);
+        assert!(!result.live, "v5 results carry no live tail");
+        assert_eq!(result.live_segments, 0);
+        assert_eq!(result.compacted_epoch, 0);
+        // After the end frame the server has nothing more to say: EOF, not
+        // surplus v6 bytes.
+        use std::io::Read as _;
+        let mut surplus = [0u8; 1];
+        assert_eq!(
+            reader.read(&mut surplus).unwrap_or(0),
+            0,
+            "no bytes may follow a v5 result"
+        );
+        drop(reader);
+        drop(stream);
+
+        // The modern client sees the same answer bit for bit.
+        let modern = RemoteQueryClient::new(addr.as_str())
+            .execute("data", &query)
+            .unwrap();
+        let (v5_answer, v5_cache_hit) = ttk_core::answer_from_wire(result);
+        assert!(!v5_cache_hit, "the cold v5 run executed");
+        assert_eq!(v5_answer.distribution, modern.answer.distribution);
+        assert_eq!(v5_answer.typical, modern.answer.typical);
+        assert_eq!(v5_answer.scan_depth, modern.answer.scan_depth);
+
+        server.join().unwrap().unwrap();
+        std::fs::remove_file(&port_file).ok();
         std::fs::remove_file(&data).ok();
     }
 }

@@ -30,6 +30,11 @@
 //! * [`serve`] — the server side of scan-gate pushdown: [`serve_stream`]
 //!   negotiates v1/v2/v3 per connection and replays a shard through the
 //!   conservative [`ShardScanGate`] bound.
+//! * [`daemon`] — the shared daemon runtime all three serving binaries run
+//!   on: listener setup with atomic port files, the non-blocking accept
+//!   loop, a bounded worker pool with rendezvous handoff, saturation
+//!   shedding, write-timeout stall protection, and signal/handler-requested
+//!   draining — behind one small [`ConnectionHandler`] trait.
 //! * [`registry`] — the state a query-serving daemon keeps resident: the
 //!   named, `Arc`-shared [`DatasetRegistry`] and the sharded LRU
 //!   [`ResultCache`] keyed on the full query shape ([`CacheKey`]),
@@ -78,6 +83,7 @@
 #![forbid(unsafe_code)]
 
 pub mod baselines;
+pub mod daemon;
 pub mod dp;
 pub mod k_combo;
 pub mod live;
@@ -93,6 +99,10 @@ pub mod state_expansion;
 pub mod typical;
 
 pub use baselines::{u_topk, UTopkAnswer, UTopkConfig};
+pub use daemon::{
+    bind_daemon_listener, run_daemon, write_file_atomically, ConnectionHandler, DaemonControl,
+    DaemonOptions, DaemonReport, DrainReason, ShedPolicy,
+};
 pub use dp::{
     materialized_topk_score_distribution, topk_score_distribution,
     topk_score_distribution_streamed, MainConfig, MainOutput, MeStrategy,
@@ -105,7 +115,7 @@ pub use query_serve::{
     serve_query, AppendServeSummary, QueryServeOptions, QueryServeSummary, RemoteAnswer,
     RemoteQueryClient, ServeOutcome, SubscriptionSummary, WatchClient, WatchPush,
 };
-pub use registry::{CacheKey, DatasetRegistry, ResultCache};
+pub use registry::{CacheKey, DatasetImporter, DatasetLoader, DatasetRegistry, ResultCache};
 pub use remote::{ConnectOptions, RemoteShardDataset};
 pub use scan::{RankScan, ScanPrefix, FIRST_BLOCK_TUPLES, MAX_BLOCK_TUPLES};
 pub use scan_depth::{scan_depth, stopping_threshold, GateMeter, ScanGate, ShardScanGate};

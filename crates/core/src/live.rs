@@ -31,13 +31,24 @@
 //! Sealing also wakes subscribers: [`AppendLog::wait_for_epoch_beyond`] is
 //! the blocking primitive the serving daemon's standing-query loop uses to
 //! sleep until the watermark advances.
+//!
+//! Long-lived logs accumulate segments, and every scan re-merges all of
+//! them. **Compaction** folds sealed segments back through the same k-way
+//! merge into one segment and publishes the result as a new epoch — either
+//! automatically when a seal would push the snapshot past a configured bound
+//! ([`AppendLog::with_compact_at`]) or on demand ([`AppendLog::compact`],
+//! the admin plane's `compact` verb). Because
+//! [`rank_key`](ttk_uncertain::UncertainTuple::rank_key) is a total order,
+//! the folded segment is bit-identical to the sequence the fragmented scan
+//! produced, so compaction is invisible to queries except for the epoch
+//! bump (and the speed).
 
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use ttk_uncertain::{Error, Result, ScanHandle, SourceTuple, VecSource};
+use ttk_uncertain::{Error, Result, ScanHandle, SourceTuple, TupleSource, VecSource};
 
 use crate::session::{DatasetPlan, DatasetProvider, ScanPath};
 
@@ -70,12 +81,19 @@ pub struct LiveSnapshot {
     epoch: u64,
     segments: Vec<Arc<Vec<SourceTuple>>>,
     rows: usize,
+    compacted_epoch: u64,
 }
 
 impl LiveSnapshot {
     /// The snapshot's epoch: 0 before the first seal, +1 per seal.
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// Epoch at which the log's segments were most recently compacted
+    /// (`0` when the log was never compacted).
+    pub fn compacted_epoch(&self) -> u64 {
+        self.compacted_epoch
     }
 
     /// Number of sealed segments under the merge.
@@ -137,6 +155,7 @@ pub struct AppendLog {
     state: Mutex<LogState>,
     sealed: Condvar,
     staging_capacity: usize,
+    compact_at: usize,
     subscribers: AtomicU64,
 }
 
@@ -153,17 +172,35 @@ impl AppendLog {
                     epoch: 0,
                     segments: Vec::new(),
                     rows: 0,
+                    compacted_epoch: 0,
                 }),
             }),
             sealed: Condvar::new(),
             staging_capacity: staging_capacity.max(1),
+            compact_at: 0,
             subscribers: AtomicU64::new(0),
         }
+    }
+
+    /// Enables automatic LSM-style compaction: whenever a seal would publish
+    /// more than `bound` segments, the oldest segments are folded through
+    /// the k-way merge into one so the snapshot lands exactly at `bound`
+    /// (clamped to at least 2). `0` disables auto-compaction (the default);
+    /// [`AppendLog::compact`] stays available either way.
+    pub fn with_compact_at(mut self, bound: usize) -> Self {
+        self.compact_at = if bound == 0 { 0 } else { bound.max(2) };
+        self
     }
 
     /// The staging capacity that triggers an automatic seal.
     pub fn staging_capacity(&self) -> usize {
         self.staging_capacity
+    }
+
+    /// The segment-count bound that triggers automatic compaction on seal
+    /// (`0` = auto-compaction disabled).
+    pub fn compact_at(&self) -> usize {
+        self.compact_at
     }
 
     /// Appends a batch of rows to the staging buffer, sealing automatically
@@ -299,18 +336,73 @@ impl AppendLog {
         self.state.lock().expect("append log poisoned")
     }
 
-    /// Sorts staging into a segment and publishes the next snapshot.
-    /// Caller holds the lock and guarantees staging is non-empty.
+    /// Folds every sealed segment through the k-way merge into one and
+    /// publishes the result as a new epoch, waking every waiting subscriber.
+    /// Staged rows are untouched (they are not sealed — compaction never
+    /// changes what queries can see). A no-op when the snapshot already has
+    /// at most one segment.
+    ///
+    /// In-flight scans keep their `Arc`'d pre-compaction snapshot; the
+    /// merged segment is bit-identical to the fragmented scan because
+    /// [`rank_key`](ttk_uncertain::UncertainTuple::rank_key) is a total
+    /// order.
+    pub fn compact(&self) -> CompactionOutcome {
+        let mut state = self.lock_state();
+        let segments_before = state.snapshot.segments.len();
+        if segments_before <= 1 {
+            return CompactionOutcome {
+                epoch: state.snapshot.epoch,
+                segments_before,
+                segments_after: segments_before,
+                rows: state.snapshot.rows,
+                compacted_now: false,
+            };
+        }
+        let folded = Arc::new(merged_rows(&state.snapshot.segments));
+        let rows = folded.len();
+        let epoch = state.snapshot.epoch + 1;
+        state.snapshot = Arc::new(LiveSnapshot {
+            epoch,
+            segments: vec![folded],
+            rows,
+            compacted_epoch: epoch,
+        });
+        self.sealed.notify_all();
+        CompactionOutcome {
+            epoch,
+            segments_before,
+            segments_after: 1,
+            rows,
+            compacted_now: true,
+        }
+    }
+
+    /// Sorts staging into a segment and publishes the next snapshot,
+    /// auto-compacting the oldest segments first when the result would
+    /// exceed the configured bound. Caller holds the lock and guarantees
+    /// staging is non-empty.
     fn seal_locked(&self, state: &mut LogState) {
         let mut rows = std::mem::take(&mut state.staging);
         rows.sort_by_key(|row| row.tuple.rank_key());
         let mut segments = state.snapshot.segments.clone();
         segments.push(Arc::new(rows));
+        let next_epoch = state.snapshot.epoch + 1;
+        let mut compacted_epoch = state.snapshot.compacted_epoch;
+        if self.compact_at > 0 && segments.len() > self.compact_at {
+            // Fold the oldest segments into one so the published snapshot
+            // lands exactly at the bound — one epoch, never a torn
+            // intermediate state.
+            let fold = segments.len() - self.compact_at + 1;
+            let folded = Arc::new(merged_rows(&segments[..fold]));
+            segments.splice(..fold, [folded]);
+            compacted_epoch = next_epoch;
+        }
         let rows = segments.iter().map(|segment| segment.len()).sum();
         state.snapshot = Arc::new(LiveSnapshot {
-            epoch: state.snapshot.epoch + 1,
+            epoch: next_epoch,
             segments,
             rows,
+            compacted_epoch,
         });
         self.sealed.notify_all();
     }
@@ -335,6 +427,48 @@ impl std::fmt::Debug for AppendLog {
             .field("staging_capacity", &self.staging_capacity)
             .finish()
     }
+}
+
+/// What one [`AppendLog::compact`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionOutcome {
+    /// The epoch of the snapshot current after the call (advanced by one
+    /// when compaction ran, unchanged otherwise).
+    pub epoch: u64,
+    /// Sealed segments before the call.
+    pub segments_before: usize,
+    /// Sealed segments after the call.
+    pub segments_after: usize,
+    /// Rows visible to queries after the call (compaction never changes
+    /// this).
+    pub rows: usize,
+    /// True when the call actually folded segments and advanced the epoch;
+    /// false for the ≤1-segment no-op.
+    pub compacted_now: bool,
+}
+
+/// Replays `segments` (each rank-ordered) through the loser-tree k-way merge
+/// into one rank-ordered row vector — the same fuse a snapshot scan
+/// performs, so the result is bit-identical to scanning the segments
+/// fragmented.
+fn merged_rows(segments: &[Arc<Vec<SourceTuple>>]) -> Vec<SourceTuple> {
+    let mut sources: Vec<VecSource> = segments
+        .iter()
+        .map(|segment| VecSource::new((**segment).clone()))
+        .collect();
+    let mut handle = match sources.len() {
+        0 => return Vec::new(),
+        1 => ScanHandle::single(sources.remove(0)),
+        _ => ScanHandle::merged(sources),
+    };
+    let mut rows = Vec::with_capacity(segments.iter().map(|segment| segment.len()).sum());
+    while let Some(tuple) = handle
+        .next_tuple()
+        .expect("in-memory segment merge cannot fail")
+    {
+        rows.push(tuple);
+    }
+    rows
 }
 
 /// Decrements the subscriber count of an [`AppendLog`] on drop.
@@ -383,6 +517,7 @@ impl DatasetProvider for LiveDataset {
             path: ScanPath::Live {
                 segments: snapshot.segment_count(),
                 epoch: snapshot.epoch(),
+                compacted_epoch: snapshot.compacted_epoch(),
             },
             rows: Some(snapshot.rows()),
         }
@@ -557,6 +692,89 @@ mod tests {
     }
 
     #[test]
+    fn on_demand_compaction_folds_to_one_segment_and_bumps_the_epoch() {
+        let log = AppendLog::new(64);
+        for (id, score) in [(1u64, 10.0), (2, 4.0), (3, 7.0), (4, 12.0)] {
+            log.append(vec![row(id, score, 0.5)]).expect("appends");
+            log.seal();
+        }
+        // One staged row proves compaction never touches staging.
+        log.append(vec![row(5, 1.0, 0.5)]).expect("appends");
+        let fragmented: Vec<u64> = drain(log.snapshot().open())
+            .iter()
+            .map(|r| r.tuple.id().raw())
+            .collect();
+
+        let outcome = log.compact();
+        assert!(outcome.compacted_now);
+        assert_eq!(outcome.epoch, 5);
+        assert_eq!(outcome.segments_before, 4);
+        assert_eq!(outcome.segments_after, 1);
+        assert_eq!(outcome.rows, 4);
+        assert_eq!(log.staged_rows(), 1);
+
+        let snapshot = log.snapshot();
+        assert_eq!(snapshot.segment_count(), 1);
+        assert_eq!(snapshot.epoch(), 5);
+        assert_eq!(snapshot.compacted_epoch(), 5);
+        let compacted: Vec<u64> = drain(snapshot.open())
+            .iter()
+            .map(|r| r.tuple.id().raw())
+            .collect();
+        assert_eq!(compacted, fragmented);
+
+        // A second compact is a visible no-op: nothing to fold.
+        let outcome = log.compact();
+        assert!(!outcome.compacted_now);
+        assert_eq!(outcome.epoch, 5);
+        assert_eq!(outcome.segments_after, 1);
+    }
+
+    #[test]
+    fn auto_compaction_holds_the_segment_bound_across_seals() {
+        let log = AppendLog::new(64).with_compact_at(3);
+        assert_eq!(log.compact_at(), 3);
+        for id in 0..10u64 {
+            log.append(vec![row(id, id as f64, 0.5)]).expect("appends");
+            log.seal();
+            assert!(
+                log.snapshot().segment_count() <= 3,
+                "seal {} published {} segments",
+                id,
+                log.snapshot().segment_count()
+            );
+        }
+        let snapshot = log.snapshot();
+        // Each seal is exactly one epoch, compaction or not.
+        assert_eq!(snapshot.epoch(), 10);
+        assert_eq!(snapshot.segment_count(), 3);
+        // The fourth seal was the first to fold; the tenth was the latest.
+        assert_eq!(snapshot.compacted_epoch(), 10);
+        let ids: Vec<u64> = drain(snapshot.open())
+            .iter()
+            .map(|r| r.tuple.id().raw())
+            .collect();
+        assert_eq!(ids, (0..10u64).rev().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn compaction_wakes_epoch_subscribers() {
+        let log = Arc::new(AppendLog::new(64));
+        for id in 0..3u64 {
+            log.append(vec![row(id, id as f64, 0.5)]).expect("appends");
+            log.seal();
+        }
+        let compactor = Arc::clone(&log);
+        let handle = std::thread::spawn(move || compactor.compact());
+        let snapshot = log
+            .wait_for_epoch_beyond(3, Duration::from_secs(10))
+            .expect("woken by the compaction");
+        assert_eq!(snapshot.epoch(), 4);
+        assert_eq!(snapshot.segment_count(), 1);
+        assert!(handle.join().expect("compactor").compacted_now);
+    }
+
+    #[test]
     fn live_dataset_plans_the_live_path_and_reports_its_epoch() {
         let log = Arc::new(AppendLog::new(16));
         log.append(vec![row(1, 9.0, 0.5)]).expect("appends");
@@ -567,7 +785,8 @@ mod tests {
             plan.path,
             ScanPath::Live {
                 segments: 1,
-                epoch: 1
+                epoch: 1,
+                compacted_epoch: 0
             }
         );
         assert_eq!(plan.rows, Some(1));

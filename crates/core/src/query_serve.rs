@@ -50,6 +50,16 @@
 //! * results are epoch-stamped, and the daemon echoes the client's spoken
 //!   protocol version, so pre-v5 clients are served byte-identical v4
 //!   results.
+//!
+//! The v6 surface adds the **admin plane**: a [`ClientRequest::Admin`] frame
+//! carries a lifecycle verb — `stats`, `register`, `unregister`, `reload`,
+//! `compact` — dispatched by [`serve_client`] to [`serve_admin`], which
+//! mutates the shared [`DatasetRegistry`] / [`AppendLog`](crate::live::AppendLog)
+//! and answers with a human-readable report. Still client-speaks-first: a
+//! server never emits a v6 byte unless the client sent one, so v5-and-older
+//! peers interop byte-identically. v6 results additionally carry the
+//! live-scan tail (segment count + last compaction epoch) for
+//! `explain --after`.
 
 use std::collections::hash_map::DefaultHasher;
 use std::fmt;
@@ -61,8 +71,9 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use ttk_uncertain::wire::{
-    self, AppendAck, AppendRequest, ClientRequest, Notification, QueryRequest, QueryResult,
-    SubscribeRequest, WireTypical, WireUTopk, WIRE_VERSION_V5,
+    self, AdminRequest, AdminVerb, AppendAck, AppendRequest, ClientRequest, Notification,
+    QueryRequest, QueryResult, SubscribeRequest, WireTypical, WireUTopk, WIRE_VERSION_V5,
+    WIRE_VERSION_V6,
 };
 use ttk_uncertain::{CoalescePolicy, Error, Result, ScoreDistribution, SourceTuple};
 
@@ -133,7 +144,7 @@ pub fn coalesce_from_code(code: u8) -> Result<CoalescePolicy> {
 /// The wire request for `query` against the resident dataset `dataset`.
 pub fn request_for(dataset: &str, query: &TopkQuery) -> QueryRequest {
     QueryRequest {
-        version: WIRE_VERSION_V5,
+        version: WIRE_VERSION_V6,
         dataset: dataset.to_string(),
         k: query.k as u64,
         p_tau: query.p_tau,
@@ -175,6 +186,9 @@ pub fn answer_to_wire(answer: &QueryAnswer, cache_hit: bool) -> QueryResult {
         version: WIRE_VERSION_V5,
         epoch: 0,
         cache_generation: 0,
+        live: false,
+        live_segments: 0,
+        compacted_epoch: 0,
         cache_hit,
         scan_depth: answer.scan_depth as u64,
         distribution_time_ns: answer.distribution_time.as_nanos() as u64,
@@ -278,6 +292,12 @@ pub struct QueryServeSummary {
     pub epoch: u64,
     /// The result cache's generation when the answer shipped.
     pub cache_generation: u64,
+    /// Sealed segments under the live snapshot answered from (`None` for
+    /// static datasets).
+    pub live_segments: Option<u64>,
+    /// Epoch of the live log's most recent compaction, 0 = never (`None`
+    /// for static datasets).
+    pub compacted_epoch: Option<u64>,
 }
 
 impl fmt::Display for QueryServeSummary {
@@ -294,7 +314,17 @@ impl fmt::Display for QueryServeSummary {
             if self.cache_hit { "hit" } else { "miss" },
             self.cache_generation,
             self.scan_depth,
-        )
+        )?;
+        if let Some(segments) = self.live_segments {
+            write!(f, ", {segments} live segments")?;
+        }
+        if let Some(compacted) = self.compacted_epoch {
+            match compacted {
+                0 => write!(f, ", never compacted")?,
+                epoch => write!(f, ", last compacted at epoch {epoch}")?,
+            }
+        }
+        Ok(())
     }
 }
 
@@ -362,19 +392,31 @@ fn serve_decoded_query(
     let (answer, cache_hit) = match cache.get(&key) {
         Some(answer) => (answer, true),
         None => {
-            let answer = Arc::new(session.execute(dataset, &query)?);
+            let answer = Arc::new(session.execute(&dataset, &query)?);
             cache.insert(key, Arc::clone(&answer));
             (answer, false)
         }
     };
 
+    // The live-scan tail for v6 results and the daemon's summary line.
+    let live_meta = registry.live(&request.dataset).map(|log| {
+        let snapshot = log.snapshot();
+        (snapshot.segment_count() as u64, snapshot.compacted_epoch())
+    });
+
     let cache_generation = cache.generation();
     let mut result = answer_to_wire(&answer, cache_hit);
     // Echo the client's spoken version: a v4 client gets a byte-identical
-    // v4 result, a v5 client additionally gets the epoch/generation tail.
+    // v4 result, a v5 client additionally gets the epoch/generation tail,
+    // a v6 client additionally gets the live-scan tail.
     result.version = request.version;
     result.epoch = epoch;
     result.cache_generation = cache_generation;
+    if let Some((segments, compacted)) = live_meta {
+        result.live = true;
+        result.live_segments = segments;
+        result.compacted_epoch = compacted;
+    }
     let mut writer = BufWriter::new(stream);
     wire::write_query_result(&mut writer, &result)?;
 
@@ -388,6 +430,8 @@ fn serve_decoded_query(
         scan_depth: answer.scan_depth,
         epoch,
         cache_generation,
+        live_segments: live_meta.map(|(segments, _)| segments),
+        compacted_epoch: live_meta.map(|(_, compacted)| compacted),
     })
 }
 
@@ -483,6 +527,28 @@ impl fmt::Display for SubscriptionSummary {
     }
 }
 
+/// What one admin connection did — the daemon's log line for it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdminServeSummary {
+    /// The lifecycle verb executed.
+    pub verb: AdminVerb,
+    /// The dataset the verb targeted (empty for `stats`).
+    pub target: String,
+    /// The report shipped back to the admin client.
+    pub report: String,
+}
+
+impl fmt::Display for AdminServeSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let first_line = self.report.lines().next().unwrap_or("");
+        if self.target.is_empty() {
+            write!(f, "admin {}: {first_line}", self.verb)
+        } else {
+            write!(f, "admin {} `{}`: {first_line}", self.verb, self.target)
+        }
+    }
+}
+
 /// What one served connection turned out to be, for the daemon's log.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ServeOutcome {
@@ -492,6 +558,8 @@ pub enum ServeOutcome {
     Append(AppendServeSummary),
     /// A standing-query subscription that has now ended.
     Subscription(SubscriptionSummary),
+    /// A wire-v6 admin-plane request.
+    Admin(AdminServeSummary),
 }
 
 impl fmt::Display for ServeOutcome {
@@ -500,6 +568,7 @@ impl fmt::Display for ServeOutcome {
             ServeOutcome::Query(summary) => summary.fmt(f),
             ServeOutcome::Append(summary) => summary.fmt(f),
             ServeOutcome::Subscription(summary) => summary.fmt(f),
+            ServeOutcome::Admin(summary) => summary.fmt(f),
         }
     }
 }
@@ -552,6 +621,9 @@ pub fn serve_client(
         ClientRequest::Subscribe(request) => {
             serve_subscription(&stream, &request, registry, cache, session, options, stop)
                 .map(ServeOutcome::Subscription)
+        }
+        ClientRequest::Admin(request) => {
+            serve_admin(&stream, request, registry, cache).map(ServeOutcome::Admin)
         }
     };
     match outcome {
@@ -612,6 +684,130 @@ fn serve_append(
     })
 }
 
+/// One admin connection: execute the lifecycle verb against the registry
+/// and ship a human-readable report back in a single
+/// [`wire::write_admin_response`] frame.
+///
+/// Failures return through `serve_client`'s common error path (a
+/// best-effort error frame), so an admin client reads them as
+/// `remote admin failed: …` — the same isolation every other request
+/// kind gets.
+fn serve_admin(
+    stream: &TcpStream,
+    request: AdminRequest,
+    registry: &DatasetRegistry,
+    cache: &ResultCache,
+) -> Result<AdminServeSummary> {
+    let AdminRequest { verb, name, arg } = request;
+    let report = match verb {
+        AdminVerb::Stats => stats_report(registry, cache),
+        AdminVerb::Register => {
+            let id = registry.admin_register(&name, &arg)?;
+            format!("registered `{name}` from `{arg}` (dataset id {id})")
+        }
+        AdminVerb::Unregister => {
+            registry.unregister(&name)?;
+            format!("unregistered `{name}`; residents: {}", roster(registry))
+        }
+        AdminVerb::Reload => {
+            let fresh = registry.reload(&name)?;
+            cache.bump_generation();
+            format!(
+                "reloaded `{name}` (dataset id {}, cache generation {})",
+                fresh.id(),
+                cache.generation()
+            )
+        }
+        AdminVerb::Compact => {
+            let log = registry.live(&name).ok_or_else(|| {
+                if registry.get(&name).is_some() {
+                    Error::InvalidParameter(format!(
+                        "dataset `{name}` is static; compaction applies to live datasets"
+                    ))
+                } else {
+                    no_such_dataset(registry, &name)
+                }
+            })?;
+            let outcome = log.compact();
+            if outcome.compacted_now {
+                cache.bump_generation();
+                format!(
+                    "compacted `{name}`: {} segments -> {} at epoch {} ({} rows visible)",
+                    outcome.segments_before, outcome.segments_after, outcome.epoch, outcome.rows
+                )
+            } else {
+                format!(
+                    "nothing to compact in `{name}`: {} segment(s) at epoch {}",
+                    outcome.segments_after, outcome.epoch
+                )
+            }
+        }
+    };
+    wire::write_admin_response(&mut &*stream, &report)?;
+    Ok(AdminServeSummary {
+        verb,
+        target: name,
+        report,
+    })
+}
+
+/// The `stats` verb's report: one line per resident dataset (live ones
+/// with their epoch/segment/compaction state) plus the cache counters.
+fn stats_report(registry: &DatasetRegistry, cache: &ResultCache) -> String {
+    use std::fmt::Write as _;
+    let names = registry.names();
+    let mut report = format!("resident datasets: {}", names.len());
+    for name in names {
+        match registry.live(&name) {
+            Some(log) => {
+                let snapshot = log.snapshot();
+                let _ = write!(
+                    report,
+                    "\n  {name}: live, epoch {}, {} segment(s), ",
+                    snapshot.epoch(),
+                    snapshot.segment_count()
+                );
+                match snapshot.compacted_epoch() {
+                    0 => report.push_str("never compacted"),
+                    epoch => {
+                        let _ = write!(report, "last compacted at epoch {epoch}");
+                    }
+                }
+                let _ = write!(
+                    report,
+                    ", {} row(s) visible, {} staged, {} subscriber(s)",
+                    snapshot.rows(),
+                    log.staged_rows(),
+                    log.subscriber_count()
+                );
+            }
+            None => {
+                let _ = write!(report, "\n  {name}: static");
+            }
+        }
+    }
+    let _ = write!(
+        report,
+        "\nresult cache: {} hit(s), {} miss(es), {} expiration(s), generation {}",
+        cache.hits(),
+        cache.misses(),
+        cache.expirations(),
+        cache.generation()
+    );
+    report
+}
+
+/// The resident-dataset names as one comma-joined line (`(none)` when the
+/// registry is empty) — the tail of the `unregister` report.
+fn roster(registry: &DatasetRegistry) -> String {
+    let names = registry.names();
+    if names.is_empty() {
+        "(none)".to_string()
+    } else {
+        names.join(", ")
+    }
+}
+
 /// True when the subscribed client hung up (clean EOF or a dead socket).
 fn client_gone(stream: &TcpStream) -> bool {
     if stream.set_nonblocking(true).is_err() {
@@ -663,7 +859,7 @@ fn serve_subscription(
 
     'serve: loop {
         evaluations += 1;
-        let answer = session.execute(dataset, &query)?;
+        let answer = session.execute(&dataset, &query)?;
         let hash = answer_hash(&answer);
         if last_hash != Some(hash) {
             let mut result = answer_to_wire(&answer, false);
@@ -722,6 +918,12 @@ pub struct RemoteAnswer {
     /// The server's result-cache generation at answer time (`None` from a
     /// pre-v5 server).
     pub cache_generation: Option<u64>,
+    /// Sealed segments behind a live dataset's answer (`None` from a pre-v6
+    /// server or for a static dataset).
+    pub live_segments: Option<u64>,
+    /// The epoch the live dataset was last compacted at — 0 means never
+    /// (`None` from a pre-v6 server or for a static dataset).
+    pub compacted_epoch: Option<u64>,
 }
 
 /// The client side of query serving: dials a `ttk serve` daemon, ships the
@@ -818,8 +1020,13 @@ impl RemoteQueryClient {
     /// Returns [`Error::Source`] with the dial history once the retry budget
     /// is spent.
     pub fn watch(&self, dataset: &str, query: &TopkQuery, max_pushes: u64) -> Result<WatchClient> {
+        // Subscriptions are a v5 exchange (v6 only adds the admin plane and
+        // the one-shot result tail), so the embedded query pins v5 — that
+        // keeps the subscribe frame byte-identical to a v5 client's.
+        let mut wire_query = request_for(dataset, query);
+        wire_query.version = WIRE_VERSION_V5;
         let request = SubscribeRequest {
-            query: request_for(dataset, query),
+            query: wire_query,
             max_pushes,
         };
         let stream = self.retry("remote subscription failed", "subscribing to", || {
@@ -916,12 +1123,19 @@ impl RemoteQueryClient {
         } else {
             (None, None)
         };
+        let (live_segments, compacted_epoch) = if result.version >= WIRE_VERSION_V6 && result.live {
+            (Some(result.live_segments), Some(result.compacted_epoch))
+        } else {
+            (None, None)
+        };
         let (answer, cache_hit) = answer_from_wire(result);
         Ok(RemoteAnswer {
             answer,
             cache_hit,
             epoch,
             cache_generation,
+            live_segments,
+            compacted_epoch,
         })
     }
 
@@ -946,7 +1160,32 @@ impl RemoteQueryClient {
             server_cache_hit: Some(remote.cache_hit),
             dataset_epoch: remote.epoch,
             server_cache_generation: remote.cache_generation,
+            live_segments: remote.live_segments.map(|segments| segments as usize),
+            last_compaction_epoch: remote.compacted_epoch,
         }
+    }
+
+    /// Ships one admin-plane request (wire v6) and returns the server's
+    /// plain-text report.
+    ///
+    /// Retries follow [`execute`](Self::execute)'s discipline: transient
+    /// dial failures retry under backoff, a server-answered refusal
+    /// (`remote admin failed: …`) returns immediately. Every verb here is
+    /// safe to retry after a connection lost mid-exchange — `register`
+    /// re-sent after a success fails on the duplicate-name check rather
+    /// than double-registering.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Source`] with the dial history once the retry
+    /// budget is spent, or the server's own refusal immediately.
+    pub fn admin(&self, request: &AdminRequest) -> Result<String> {
+        self.retry("remote admin failed", "administering", || {
+            let stream = self.dial()?;
+            wire::write_admin_request(&mut &stream, request)?;
+            let mut reader = BufReader::new(&stream);
+            wire::read_admin_response(&mut reader)
+        })
     }
 }
 
@@ -1086,7 +1325,7 @@ mod tests {
         let addr = listener.local_addr().expect("addr").to_string();
 
         let server = std::thread::spawn(move || {
-            let mut registry = DatasetRegistry::new();
+            let registry = DatasetRegistry::new();
             registry
                 .register("soldiers", Dataset::table(soldier_table()))
                 .expect("registers");
@@ -1182,12 +1421,16 @@ mod tests {
             cache_hit: true,
             epoch: Some(3),
             cache_generation: Some(2),
+            live_segments: Some(4),
+            compacted_epoch: Some(2),
         };
         let plan = client.plan("soldiers", &query, &remote);
         assert_eq!(plan.path, ScanPath::RemoteQuery);
         assert_eq!(plan.server_cache_hit, Some(true));
         assert_eq!(plan.dataset_epoch, Some(3));
         assert_eq!(plan.server_cache_generation, Some(2));
+        assert_eq!(plan.live_segments, Some(4));
+        assert_eq!(plan.last_compaction_epoch, Some(2));
         assert_eq!(plan.observed_depth, Some(remote.answer.scan_depth));
         let text = plan.to_string();
         assert!(text.contains("server result cache: hit"), "got: {text}");

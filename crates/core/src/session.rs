@@ -117,6 +117,9 @@ pub enum ScanPath {
         segments: usize,
         /// The snapshot's epoch (advances by one per seal).
         epoch: u64,
+        /// Epoch of the log's most recent LSM-style compaction (`0` when the
+        /// log was never compacted).
+        compacted_epoch: u64,
     },
 }
 
@@ -173,11 +176,21 @@ impl std::fmt::Display for ScanPath {
                 "remote query execution on a serving daemon (the answer ships, \
                  not the tuples)"
             ),
-            ScanPath::Live { segments, epoch } => write!(
-                f,
-                "live snapshot scan at epoch {epoch}: k-way merge over \
-                 {segments} sealed segments"
-            ),
+            ScanPath::Live {
+                segments,
+                epoch,
+                compacted_epoch,
+            } => {
+                write!(
+                    f,
+                    "live snapshot scan at epoch {epoch}: k-way merge over \
+                     {segments} sealed segments"
+                )?;
+                if *compacted_epoch > 0 {
+                    write!(f, " (last compacted at epoch {compacted_epoch})")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -686,6 +699,13 @@ pub struct PlanDescription {
     /// (advances whenever an append/seal invalidates cached epochs).
     /// `None` for local execution or pre-v5 servers.
     pub server_cache_generation: Option<u64>,
+    /// Sealed segments under the live snapshot this plan scans — local live
+    /// datasets report their snapshot, v6 servers report it in the result
+    /// tail. `None` for static datasets and pre-v6 servers.
+    pub live_segments: Option<usize>,
+    /// Epoch of the live log's most recent LSM-style compaction (`0` when it
+    /// was never compacted). `None` for static datasets and pre-v6 servers.
+    pub last_compaction_epoch: Option<u64>,
 }
 
 impl PlanDescription {
@@ -759,6 +779,15 @@ impl std::fmt::Display for PlanDescription {
         }
         if let Some(generation) = self.server_cache_generation {
             writeln!(f, "  server cache generation: {generation}")?;
+        }
+        if let Some(segments) = self.live_segments {
+            writeln!(f, "  live segments: {segments}")?;
+        }
+        if let Some(compacted) = self.last_compaction_epoch {
+            match compacted {
+                0 => writeln!(f, "  last compaction: never")?,
+                epoch => writeln!(f, "  last compaction: epoch {epoch}")?,
+            }
         }
         writeln!(f, "  estimated cost: {:.0}", self.estimated_cost)?;
         write!(
@@ -991,9 +1020,13 @@ impl Session {
             _ => Some(estimated_scan_depth(query.k, query.p_tau, plan.rows)),
         };
         let key = observation_key(dataset, query);
-        let dataset_epoch = match plan.path {
-            ScanPath::Live { epoch, .. } => Some(epoch),
-            _ => None,
+        let (dataset_epoch, live_segments, last_compaction_epoch) = match plan.path {
+            ScanPath::Live {
+                epoch,
+                segments,
+                compacted_epoch,
+            } => (Some(epoch), Some(segments), Some(compacted_epoch)),
+            _ => (None, None, None),
         };
         PlanDescription {
             dataset: dataset.label().to_string(),
@@ -1012,6 +1045,8 @@ impl Session {
             server_cache_hit: None,
             dataset_epoch,
             server_cache_generation: None,
+            live_segments,
+            last_compaction_epoch,
         }
     }
 

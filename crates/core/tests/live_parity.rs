@@ -100,6 +100,80 @@ proptest! {
             (a, b) => prop_assert!(false, "paths disagree: {:?} vs {:?}", a, b),
         }
     }
+
+    /// Any append order, any segmentation, any compaction schedule — an
+    /// auto-fold bound, on-demand folds fired mid-stream by a bitmask, or
+    /// both at once: the folded snapshot still scans bit-identically to the
+    /// one-shot table and still executes to the same answer, while the
+    /// final fold genuinely collapses the log to a single sealed segment.
+    #[test]
+    fn compaction_preserves_scan_and_answer_parity(
+        table in table_with(6),
+        salt in 0u64..1_000_000,
+        batch in 1usize..9,
+        seal_every_batches in 1usize..4,
+        auto_bound in 0usize..6,
+        compact_mask in 0u16..1024,
+        k in 1usize..4,
+    ) {
+        // A bound of one sealed segment is rejected by the builder; fold
+        // the degenerate draw into "auto-compaction disabled".
+        let auto_bound = if auto_bound == 1 { 0 } else { auto_bound };
+        let reference = drain(Dataset::stream(table.to_source()).open().unwrap());
+        let log = Arc::new(AppendLog::new(usize::MAX >> 1).with_compact_at(auto_bound));
+        let mut seals = 0usize;
+        for (index, chunk) in shuffled(reference.clone(), salt).chunks(batch).enumerate() {
+            log.append(chunk.to_vec()).unwrap();
+            if (index + 1) % seal_every_batches == 0 {
+                log.seal();
+                // The on-demand half of the trigger schedule: the mask
+                // decides after which seals a fold fires, so folds land on
+                // fresh segments, folded segments, and empty logs alike.
+                if compact_mask & (1 << (seals % 10)) != 0 {
+                    let outcome = log.compact();
+                    prop_assert!(outcome.segments_after <= 1);
+                }
+                seals += 1;
+            }
+        }
+        log.seal();
+        prop_assert_eq!(log.staged_rows(), 0);
+
+        // The final fold: everything sealed collapses into one segment at a
+        // fresh epoch (unless the schedule already left at most one).
+        let outcome = log.compact();
+        if outcome.compacted_now {
+            prop_assert_eq!(outcome.segments_after, 1);
+            prop_assert_eq!(outcome.rows, reference.len());
+        }
+        let snapshot = log.snapshot();
+        prop_assert!(snapshot.segment_count() <= 1);
+        prop_assert_eq!(snapshot.rows(), reference.len());
+        if outcome.compacted_now {
+            prop_assert_eq!(snapshot.compacted_epoch(), snapshot.epoch());
+            prop_assert_eq!(snapshot.epoch(), outcome.epoch);
+        }
+        let scanned = drain(snapshot.open());
+        prop_assert_eq!(&scanned, &reference);
+
+        // Executed-answer parity through the full Dataset/Session seam.
+        let query = TopkQuery::new(k).with_p_tau(1e-3).with_u_topk(false);
+        let mut session = Session::new();
+        let direct = session.execute(&Dataset::stream(table.to_source()), &query);
+        let compacted = session.execute(
+            &Dataset::from_provider(LiveDataset::new(Arc::clone(&log))),
+            &query,
+        );
+        match (direct, compacted) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a.distribution, b.distribution);
+                prop_assert_eq!(a.scan_depth, b.scan_depth);
+                prop_assert_eq!(a.typical.scores(), b.typical.scores());
+            }
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(false, "paths disagree: {:?} vs {:?}", a, b),
+        }
+    }
 }
 
 /// A reader racing a sealing appender never sees a torn snapshot: each
@@ -180,7 +254,7 @@ fn subscription_pushes_exactly_on_answer_shift() {
     .unwrap();
     log.seal();
 
-    let mut registry = DatasetRegistry::new();
+    let registry = DatasetRegistry::new();
     registry.register_live("feed", Arc::clone(&log)).unwrap();
     let registry = Arc::new(registry);
     let cache = Arc::new(ResultCache::new(8));

@@ -61,7 +61,7 @@ fn mixed_read_write_stress_returns_bit_identical_answers_within_the_bound() {
     const CAPACITY: usize = 6;
 
     let table = synthetic_table(300);
-    let mut registry = DatasetRegistry::new();
+    let registry = DatasetRegistry::new();
     registry
         .register("stress", Dataset::table(table.clone()))
         .expect("registers");
@@ -110,7 +110,7 @@ fn mixed_read_write_stress_returns_bit_identical_answers_within_the_bound() {
             let cache = Arc::clone(&cache);
             let hot = hot.clone();
             thread::spawn(move || {
-                let dataset = Arc::clone(registry.get("stress").expect("resident"));
+                let dataset = registry.get("stress").expect("resident");
                 let mut session = Session::new();
                 let mut observed = Vec::new();
                 for op in 0..OPS_PER_THREAD {

@@ -128,6 +128,7 @@
 //! ([`write_register`]), and receives the `(id base, namespace)` lease the
 //! coordinator allotted from its [`LeaseRegistry`] ([`read_lease`]).
 
+use std::fmt;
 use std::io::{Read, Write};
 
 use crate::error::{Error, Result};
@@ -154,6 +155,14 @@ pub const WIRE_VERSION_V4: u8 = 4;
 /// busy/retry-after admission frame. Like v4 it defines no hello layout.
 pub const WIRE_VERSION_V5: u8 = 5;
 
+/// The v6 protocol version byte: the serving-lifecycle admin plane
+/// (stats/register/unregister/reload/compact against a resident-dataset
+/// daemon) and the live-scan result tail (segment count + last compaction
+/// epoch after the v5 epoch/generation fields). Like v4/v5 it defines no
+/// hello layout, and it stays client-speaks-first: v5-and-older peers never
+/// see a v6 byte unless they asked for one.
+pub const WIRE_VERSION_V6: u8 = 6;
+
 /// The original protocol version: a 10-byte hello, no assignment metadata.
 const WIRE_VERSION_V1: u8 = 1;
 
@@ -179,6 +188,8 @@ const FRAME_NOTIFY: u8 = 17;
 const FRAME_BUSY: u8 = 18;
 const FRAME_QUERY_BLOCKS: u8 = 19;
 const FRAME_TUPLE_BLOCK: u8 = 20;
+const FRAME_ADMIN: u8 = 21;
+const FRAME_ADMIN_RESPONSE: u8 = 22;
 
 /// Largest frame body a reader will accept (an error message, at most; tuple
 /// frames are 34 bytes and block frames pack rows up to this bound). Guards
@@ -567,8 +578,8 @@ impl ControlParser {
 /// range-checks) the codes.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueryRequest {
-    /// Protocol version the request speaks ([`WIRE_VERSION_V4`] or
-    /// [`WIRE_VERSION_V5`]). The server echoes it in the result header, so a
+    /// Protocol version the request speaks ([`WIRE_VERSION_V4`] through
+    /// [`WIRE_VERSION_V6`]). The server echoes it in the result header, so a
     /// v4 client keeps receiving the byte-identical v4 result layout.
     pub version: u8,
     /// Name of the server-resident dataset to query.
@@ -593,9 +604,9 @@ pub struct QueryRequest {
 /// Appends the version-through-flags query-shape fields shared by the query
 /// request and subscribe frames.
 fn push_query_shape(body: &mut Vec<u8>, request: &QueryRequest) -> Result<()> {
-    if request.version != WIRE_VERSION_V4 && request.version != WIRE_VERSION_V5 {
+    if !(WIRE_VERSION_V4..=WIRE_VERSION_V6).contains(&request.version) {
         return Err(Error::Source(format!(
-            "query request version {} is not a version this build speaks (v4/v5)",
+            "query request version {} is not a version this build speaks (v4-v6)",
             request.version
         )));
     }
@@ -642,7 +653,7 @@ fn pop_query_shape(
         return Err(Error::Source(format!("corrupt wire {what} frame")));
     }
     let version = body[1];
-    if version != WIRE_VERSION_V4 && version != WIRE_VERSION_V5 {
+    if !(WIRE_VERSION_V4..=WIRE_VERSION_V6).contains(&version) {
         return Err(Error::Source(format!(
             "{what} speaks protocol version {version} (query serving needs v4)"
         )));
@@ -735,10 +746,11 @@ pub struct WireUTopk {
 /// bit-identical to the server-side computation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueryResult {
-    /// Protocol version of the result layout ([`WIRE_VERSION_V4`] or
-    /// [`WIRE_VERSION_V5`]). Servers echo the version the request spoke; a
+    /// Protocol version of the result layout ([`WIRE_VERSION_V4`] through
+    /// [`WIRE_VERSION_V6`]). Servers echo the version the request spoke; a
     /// v4 result encodes byte-identically to the v4 release and carries
-    /// `epoch`/`cache_generation` as zero.
+    /// `epoch`/`cache_generation` as zero, and pre-v6 results carry the
+    /// live-scan tail (`live`/`live_segments`/`compacted_epoch`) as zero.
     pub version: u8,
     /// Whether the server answered from its result cache.
     pub cache_hit: bool,
@@ -762,6 +774,15 @@ pub struct QueryResult {
     /// The server's result-cache generation — bumped on every append/seal
     /// that advanced any live dataset's epoch (v5 results; `0` on v4).
     pub cache_generation: u64,
+    /// Whether the answered dataset is live — i.e. whether the segment/
+    /// compaction tail below is meaningful (v6 results; `false` on pre-v6).
+    pub live: bool,
+    /// Sealed segments under the live snapshot the answer was computed
+    /// against (v6 results for live datasets; `0` otherwise).
+    pub live_segments: u64,
+    /// Epoch of the live log's most recent compaction, `0` when it was
+    /// never compacted (v6 results for live datasets; `0` otherwise).
+    pub compacted_epoch: u64,
 }
 
 /// Incremental decoder over one frame body: every short read or trailing
@@ -918,9 +939,9 @@ fn flush_chunk(writer: &mut impl Write, chunk: &mut Vec<u8>, count: &mut u16) ->
 /// exceeds the frame-body limit (vectors of more than `u16::MAX` ids, or a
 /// pathological typical-answer set).
 pub fn write_query_result(writer: &mut impl Write, result: &QueryResult) -> Result<()> {
-    if result.version != WIRE_VERSION_V4 && result.version != WIRE_VERSION_V5 {
+    if !(WIRE_VERSION_V4..=WIRE_VERSION_V6).contains(&result.version) {
         return Err(Error::Source(format!(
-            "query result version {} is not a version this build speaks (v4/v5)",
+            "query result version {} is not a version this build speaks (v4-v6)",
             result.version
         )));
     }
@@ -968,6 +989,13 @@ pub fn write_query_result(writer: &mut impl Write, result: &QueryResult) -> Resu
         // v5 only: a v4 client reads the byte-identical v4 header.
         body.extend_from_slice(&result.epoch.to_le_bytes());
         body.extend_from_slice(&result.cache_generation.to_le_bytes());
+    }
+    if result.version >= WIRE_VERSION_V6 {
+        // v6 only: the live-scan tail. Pre-v6 clients asked for pre-v6
+        // results and read a byte-identical older header.
+        body.push(u8::from(result.live));
+        body.extend_from_slice(&result.live_segments.to_le_bytes());
+        body.extend_from_slice(&result.compacted_epoch.to_le_bytes());
     }
     if body.len() > MAX_FRAME_BODY {
         return Err(Error::Source(format!(
@@ -1025,7 +1053,7 @@ pub fn read_query_result(reader: &mut impl Read) -> Result<QueryResult> {
     }
     let mut cursor = FrameCursor::new(&body, 1, "query result");
     let version = cursor.u8()?;
-    if version != WIRE_VERSION_V4 && version != WIRE_VERSION_V5 {
+    if !(WIRE_VERSION_V4..=WIRE_VERSION_V6).contains(&version) {
         return Err(Error::Source(format!(
             "unsupported query result protocol version {version}"
         )));
@@ -1070,6 +1098,20 @@ pub fn read_query_result(reader: &mut impl Read) -> Result<QueryResult> {
     } else {
         (0, 0)
     };
+    let (live, live_segments, compacted_epoch) = if version >= WIRE_VERSION_V6 {
+        let live = match cursor.u8()? {
+            0 => false,
+            1 => true,
+            other => {
+                return Err(Error::Source(format!(
+                    "corrupt query result live flag {other}"
+                )));
+            }
+        };
+        (live, cursor.u64()?, cursor.u64()?)
+    } else {
+        (false, 0, 0)
+    };
     cursor.finish()?;
 
     // The announced count sizes the allocation only up to a clamp — the
@@ -1110,6 +1152,9 @@ pub fn read_query_result(reader: &mut impl Read) -> Result<QueryResult> {
         u_topk,
         epoch,
         cache_generation,
+        live,
+        live_segments,
+        compacted_epoch,
     })
 }
 
@@ -1497,23 +1542,196 @@ pub fn read_push(reader: &mut impl Read) -> Result<Option<Notification>> {
     }
 }
 
-/// The first frame a v5 serving daemon reads off a fresh connection: one of
-/// the three client-speaks-first request kinds.
+/// Decodes a `u16`-length-prefixed label starting at `body[at..]` that is
+/// *not* required to end at the frame boundary; returns the label and the
+/// offset of the first byte after it. Multi-label frames decode every label
+/// but the last through this, and the last through [`pop_label`] (which
+/// enforces the frame boundary).
+fn pop_label_chained(body: &[u8], at: usize, what: &str) -> Result<(String, usize)> {
+    let corrupt = || Error::Source(format!("corrupt wire {what} frame"));
+    if body.len() < at + 2 {
+        return Err(corrupt());
+    }
+    let len = u16::from_le_bytes(body[at..at + 2].try_into().expect("2 bytes")) as usize;
+    let end = at + 2 + len;
+    if body.len() < end {
+        return Err(corrupt());
+    }
+    let label = String::from_utf8(body[at + 2..end].to_vec()).map_err(|_| corrupt())?;
+    Ok((label, end))
+}
+
+/// The lifecycle verbs a wire-v6 admin client can send a serving daemon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdminVerb {
+    /// Report the resident datasets, cache counters and runtime state.
+    Stats,
+    /// Import a new dataset (`name` = dataset, `arg` = server-side CSV path)
+    /// and make it resident without a restart.
+    Register,
+    /// Drop a resident dataset; in-flight queries finish on the old handle.
+    Unregister,
+    /// Re-import a file-backed dataset from its original path and swap it in.
+    Reload,
+    /// Fold a live dataset's sealed segments into one (LSM-style compaction).
+    Compact,
+}
+
+impl AdminVerb {
+    fn code(self) -> u8 {
+        match self {
+            AdminVerb::Stats => 0,
+            AdminVerb::Register => 1,
+            AdminVerb::Unregister => 2,
+            AdminVerb::Reload => 3,
+            AdminVerb::Compact => 4,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(AdminVerb::Stats),
+            1 => Some(AdminVerb::Register),
+            2 => Some(AdminVerb::Unregister),
+            3 => Some(AdminVerb::Reload),
+            4 => Some(AdminVerb::Compact),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for AdminVerb {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AdminVerb::Stats => "stats",
+            AdminVerb::Register => "register",
+            AdminVerb::Unregister => "unregister",
+            AdminVerb::Reload => "reload",
+            AdminVerb::Compact => "compact",
+        })
+    }
+}
+
+/// One admin-plane request: a verb plus its (possibly empty) operands.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdminRequest {
+    /// What the server should do.
+    pub verb: AdminVerb,
+    /// The dataset the verb targets; empty for [`AdminVerb::Stats`].
+    pub name: String,
+    /// The verb's argument — the server-side CSV path for
+    /// [`AdminVerb::Register`], empty otherwise.
+    pub arg: String,
+}
+
+/// Frames a wire-v6 admin request and flushes. Client-speaks-first: a server
+/// that never receives one never emits a v6 byte, so v5-and-older peers
+/// interop byte-identically.
+///
+/// # Errors
+///
+/// [`Error::Source`] on I/O failure or an over-long name/argument.
+pub fn write_admin_request(writer: &mut impl Write, request: &AdminRequest) -> Result<()> {
+    let mut body = Vec::with_capacity(7 + request.name.len() + request.arg.len());
+    body.push(FRAME_ADMIN);
+    body.push(WIRE_VERSION_V6);
+    body.push(request.verb.code());
+    push_label(&mut body, &request.name)?;
+    push_label(&mut body, &request.arg)?;
+    if body.len() > MAX_FRAME_BODY {
+        return Err(Error::Source(format!(
+            "admin request of {} bytes exceeds the frame-body limit",
+            body.len()
+        )));
+    }
+    write_frame_to(writer, &body)?;
+    writer.flush().map_err(|e| io_err("flush", e))
+}
+
+/// Decodes an already-read [`write_admin_request`] frame body.
+fn decode_admin(body: &[u8]) -> Result<AdminRequest> {
+    let corrupt = || Error::Source("corrupt wire admin frame".into());
+    if body.len() < 3 {
+        return Err(corrupt());
+    }
+    if body[1] != WIRE_VERSION_V6 {
+        return Err(Error::Source(format!(
+            "admin frame speaks protocol version {} (the admin plane needs v6)",
+            body[1]
+        )));
+    }
+    let verb = AdminVerb::from_code(body[2])
+        .ok_or_else(|| Error::Source(format!("unknown admin verb {}", body[2])))?;
+    let (name, after_name) = pop_label_chained(body, 3, "admin")?;
+    let arg = pop_label(body, after_name, "admin")?;
+    Ok(AdminRequest { verb, name, arg })
+}
+
+/// Frames a successful admin outcome — a short human-readable report — and
+/// flushes. Failures are sent as plain error frames ([`write_query_error`])
+/// instead, which [`read_admin_response`] surfaces as [`Error::Source`].
+///
+/// # Errors
+///
+/// [`Error::Source`] on I/O failure or an over-long report.
+pub fn write_admin_response(writer: &mut impl Write, text: &str) -> Result<()> {
+    let mut body = Vec::with_capacity(2 + text.len());
+    body.push(FRAME_ADMIN_RESPONSE);
+    body.push(WIRE_VERSION_V6);
+    body.extend_from_slice(text.as_bytes());
+    if body.len() > MAX_FRAME_BODY {
+        return Err(Error::Source(format!(
+            "admin response of {} bytes exceeds the frame-body limit",
+            body.len()
+        )));
+    }
+    write_frame_to(writer, &body)?;
+    writer.flush().map_err(|e| io_err("flush", e))
+}
+
+/// Client-side decode of the server's answer to an admin request: the report
+/// text on success.
+///
+/// # Errors
+///
+/// [`Error::Source`] on I/O failure, a malformed frame, a busy refusal (which
+/// clients may retry), or a server-side failure — surfaced with the `remote
+/// admin failed` prefix the retrying clients treat as final.
+pub fn read_admin_response(reader: &mut impl Read) -> Result<String> {
+    let body = read_frame_from(reader)?;
+    match body.first() {
+        Some(&FRAME_ADMIN_RESPONSE) if body.len() >= 2 && body[1] == WIRE_VERSION_V6 => {
+            String::from_utf8(body[2..].to_vec())
+                .map_err(|_| Error::Source("corrupt wire admin response frame".into()))
+        }
+        Some(&FRAME_ERROR) => Err(Error::Source(format!(
+            "remote admin failed: {}",
+            String::from_utf8_lossy(&body[1..])
+        ))),
+        Some(&FRAME_BUSY) => Err(busy_error(&body)),
+        _ => Err(Error::Source("corrupt wire admin response frame".into())),
+    }
+}
+
+/// The first frame a serving daemon reads off a fresh connection: one of
+/// the four client-speaks-first request kinds.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ClientRequest {
-    /// A one-shot query ([`write_query_request`], v4 or v5).
+    /// A one-shot query ([`write_query_request`], v4 through v6).
     Query(QueryRequest),
     /// An append (+ optional seal) to a live dataset
     /// ([`write_append_request`], v5).
     Append(AppendRequest),
     /// A standing-query subscription ([`write_subscribe`], v5).
     Subscribe(SubscribeRequest),
+    /// A lifecycle verb on the admin plane ([`write_admin_request`], v6).
+    Admin(AdminRequest),
 }
 
 /// Server-side dispatch on the first frame of a connection: decodes a query,
-/// append (draining its row chunks) or subscribe request. Anything else —
-/// a pre-v4 hello, garbage — is an error the daemon answers with an error
-/// frame, so old peers fail cleanly instead of hanging.
+/// append (draining its row chunks), subscribe or admin request. Anything
+/// else — a pre-v4 hello, garbage — is an error the daemon answers with an
+/// error frame, so old peers fail cleanly instead of hanging.
 ///
 /// # Errors
 ///
@@ -1525,9 +1743,10 @@ pub fn read_client_request(reader: &mut impl Read) -> Result<ClientRequest> {
         Some(&FRAME_QUERY_REQUEST) => Ok(ClientRequest::Query(decode_query_request(&body)?)),
         Some(&FRAME_APPEND) => Ok(ClientRequest::Append(read_append_rows(reader, &body)?)),
         Some(&FRAME_SUBSCRIBE) => Ok(ClientRequest::Subscribe(decode_subscribe(&body)?)),
+        Some(&FRAME_ADMIN) => Ok(ClientRequest::Admin(decode_admin(&body)?)),
         Some(&other) => Err(Error::Source(format!(
             "unexpected wire frame kind {other} (a query-serving daemon expects a query, \
-             append or subscribe request)"
+             append, subscribe or admin request)"
         ))),
         None => Err(Error::Source("corrupt wire request frame".into())),
     }
@@ -2788,6 +3007,9 @@ mod tests {
             }),
             epoch: 9,
             cache_generation: 4,
+            live: false,
+            live_segments: 0,
+            compacted_epoch: 0,
         }
     }
 
@@ -2819,7 +3041,7 @@ mod tests {
 
         // A version bump is named in the refusal, and truncation is an error.
         let mut future = buf.clone();
-        future[5] = WIRE_VERSION_V5 + 1;
+        future[5] = WIRE_VERSION_V6 + 1;
         let err = read_query_request(&mut future.as_slice()).unwrap_err();
         assert!(
             matches!(&err, Error::Source(m) if m.contains("needs v4")),
@@ -2930,15 +3152,139 @@ mod tests {
         // And the v5 result carries its epoch metadata through.
         let decoded = read_query_result(&mut buf5.as_slice()).unwrap();
         assert_eq!((decoded.epoch, decoded.cache_generation), (9, 4));
-        // Versions outside v4/v5 are refused at write time.
+        // Versions outside v4-v6 are refused at write time.
         assert!(write_query_result(
             &mut Vec::new(),
             &QueryResult {
-                version: WIRE_VERSION_V5 + 1,
+                version: WIRE_VERSION_V6 + 1,
                 ..v5
             }
         )
         .is_err());
+    }
+
+    #[test]
+    fn v6_result_tail_round_trips_and_pre_v6_layouts_are_byte_identical() {
+        // A v6 result carries the live-scan tail: 17 bytes (flag + segments
+        // + last compaction epoch) after the v5 header.
+        let v5 = sample_result(3);
+        let v6 = QueryResult {
+            version: WIRE_VERSION_V6,
+            live: true,
+            live_segments: 12,
+            compacted_epoch: 31,
+            ..v5.clone()
+        };
+        let (mut buf5, mut buf6) = (Vec::new(), Vec::new());
+        write_query_result(&mut buf5, &v5).unwrap();
+        write_query_result(&mut buf6, &v6).unwrap();
+        let header = |buf: &[u8]| u32::from_le_bytes(buf[0..4].try_into().unwrap());
+        assert_eq!(header(&buf6), header(&buf5) + 17);
+        let decoded = read_query_result(&mut buf6.as_slice()).unwrap();
+        assert_eq!(decoded, v6);
+        assert_eq!(
+            (decoded.live, decoded.live_segments, decoded.compacted_epoch),
+            (true, 12, 31)
+        );
+
+        // A result answered at v5 by this build is byte-identical to the v5
+        // release — not a single v6 byte unless the client asked for one —
+        // and decodes with the live tail zeroed.
+        let decoded = read_query_result(&mut buf5.as_slice()).unwrap();
+        assert_eq!(decoded, v5);
+        assert_eq!(
+            (decoded.live, decoded.live_segments, decoded.compacted_epoch),
+            (false, 0, 0)
+        );
+    }
+
+    #[test]
+    fn admin_requests_round_trip_through_client_dispatch() {
+        let requests = [
+            AdminRequest {
+                verb: AdminVerb::Stats,
+                name: String::new(),
+                arg: String::new(),
+            },
+            AdminRequest {
+                verb: AdminVerb::Register,
+                name: "sensors".into(),
+                arg: "/data/sensors.csv".into(),
+            },
+            AdminRequest {
+                verb: AdminVerb::Unregister,
+                name: "sensors".into(),
+                arg: String::new(),
+            },
+            AdminRequest {
+                verb: AdminVerb::Reload,
+                name: "soldiers".into(),
+                arg: String::new(),
+            },
+            AdminRequest {
+                verb: AdminVerb::Compact,
+                name: "feed".into(),
+                arg: String::new(),
+            },
+        ];
+        for request in requests {
+            let mut buf = Vec::new();
+            write_admin_request(&mut buf, &request).unwrap();
+            match read_client_request(&mut buf.as_slice()).unwrap() {
+                ClientRequest::Admin(decoded) => assert_eq!(decoded, request),
+                other => panic!("expected an admin request, got {other:?}"),
+            }
+        }
+
+        // An unknown verb byte and truncation anywhere are refusals.
+        let mut buf = Vec::new();
+        write_admin_request(
+            &mut buf,
+            &AdminRequest {
+                verb: AdminVerb::Compact,
+                name: "feed".into(),
+                arg: String::new(),
+            },
+        )
+        .unwrap();
+        let mut bad = buf.clone();
+        bad[4 + 2] = 9;
+        let err = read_client_request(&mut bad.as_slice()).unwrap_err();
+        assert!(
+            matches!(&err, Error::Source(m) if m.contains("unknown admin verb")),
+            "{err}"
+        );
+        for cut in [2usize, 6, buf.len() - 2] {
+            assert!(read_client_request(&mut buf[..cut].as_ref()).is_err());
+        }
+    }
+
+    #[test]
+    fn admin_responses_round_trip_and_refusals_surface() {
+        let mut buf = Vec::new();
+        write_admin_response(&mut buf, "registered `sensors` (1,024 rows)").unwrap();
+        assert_eq!(
+            read_admin_response(&mut buf.as_slice()).unwrap(),
+            "registered `sensors` (1,024 rows)"
+        );
+
+        // A server error frame decodes with the semantic (never-retried)
+        // prefix, a busy frame with the retryable message.
+        let mut refusal = Vec::new();
+        write_query_error(&mut refusal, "dataset `sensors` is already registered").unwrap();
+        let err = read_admin_response(&mut refusal.as_slice()).unwrap_err();
+        assert!(
+            matches!(&err, Error::Source(m) if m.starts_with("remote admin failed: ")
+                && m.contains("already registered")),
+            "{err}"
+        );
+        let mut busy = Vec::new();
+        write_busy(&mut busy, 250).unwrap();
+        let err = read_admin_response(&mut busy.as_slice()).unwrap_err();
+        assert!(
+            matches!(&err, Error::Source(m) if m.contains("retry after 250ms")),
+            "{err}"
+        );
     }
 
     #[test]
